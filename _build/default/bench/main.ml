@@ -1,0 +1,811 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (section 7), plus the ablation benches listed in
+   DESIGN.md and a Bechamel micro-benchmark suite of the engine's
+   primitive costs.
+
+     dune exec bench/main.exe              run everything
+     dune exec bench/main.exe -- fig7 t5   run selected experiments
+
+   Time is virtual (see DESIGN.md): one tick nominally 100 ms, so one
+   virtual minute is 600 ticks.  Absolute numbers are not comparable to
+   the paper's EC2 cluster; the *shapes* are the reproduction target and
+   each experiment prints the expected shape next to its data. *)
+
+module C = Core.Cloud9
+module CD = Cluster.Driver
+module ED = Engine.Driver
+
+let vmin = 600 (* ticks per virtual minute *)
+
+let line () = print_endline (String.make 78 '-')
+
+let section name what =
+  line ();
+  Printf.printf "%s\n%s\n" name what;
+  line ()
+
+(* --- generic runners -------------------------------------------------------- *)
+
+let make_worker ?(max_steps = 2_000_000) ?global_alloc program id =
+  let solver = Smt.Solver.create () in
+  let cfg =
+    Posix.Api.make_config ~solver ~max_steps ?global_alloc
+      ~nlines:program.Cvm.Program.nlines ()
+  in
+  let make_root () = Posix.Api.initial_state program ~args:[] in
+  Cluster.Worker.create ~id ~cfg ~make_root ~seed:42 ()
+
+let cluster ?(speed = 100) ?(status = 5) ?(latency = 1) ?lb_disable_at ?(goal = CD.Exhaust)
+    ?(max_ticks = 5_000_000) ?(bucket = vmin) ?max_steps ?global_alloc ~nworkers program =
+  let cfg =
+    {
+      CD.nworkers;
+      make_worker = make_worker ?max_steps ?global_alloc program;
+      join_tick = (fun _ -> 0);
+      speed = (fun _ -> speed);
+      status_interval = status;
+      latency;
+      lb_disable_at;
+      goal;
+      max_ticks;
+      bucket_ticks = bucket;
+      coverable_lines = List.length (Cvm.Program.covered_lines program);
+    }
+  in
+  CD.run cfg
+
+let local ?(strategy = "interleaved") ?max_steps ?(goal = ED.Exhaust) ?solver program =
+  let solver = match solver with Some s -> s | None -> Smt.Solver.create () in
+  let cfg = Posix.Api.make_config ~solver ?max_steps ~nlines:program.Cvm.Program.nlines () in
+  let rng = Random.State.make [| 42 |] in
+  let searcher = Engine.Searcher.of_name ~rng strategy in
+  let st0 = Posix.Api.initial_state program ~args:[] in
+  let r = ED.run ~collect_tests:0 ~goal cfg searcher st0 in
+  (cfg, r)
+
+(* workloads shared by several figures *)
+let mc2 = lazy (Targets.Memcached_mini.symbolic_packets ~npackets:2 ~pkt_len:6)
+let mc2_small = lazy (Targets.Memcached_mini.symbolic_packets ~npackets:2 ~pkt_len:5)
+let mc3 = lazy (Targets.Memcached_mini.symbolic_packets ~npackets:3 ~pkt_len:5)
+let printf5 = lazy (Targets.Printf_target.program ~fmt_len:5)
+let test3 = lazy (Targets.Test_target.program ~ntokens:3)
+
+let ticks_to_minutes t = float_of_int t /. float_of_int vmin
+
+(* ====================================================================== *)
+(* Table 4: testing targets that run on the platform                       *)
+(* ====================================================================== *)
+
+let table4 () =
+  section "Table 4" "Testing targets running on the platform (sizes are ours, not the originals')";
+  Printf.printf "%-12s %-28s %10s %8s\n" "System" "Type of Software" "IR instrs" "stmts";
+  List.iter
+    (fun (name, kind, instrs, lines) ->
+      Printf.printf "%-12s %-28s %10d %8d\n" name kind instrs lines)
+    (Core.Registry.table4 ())
+
+(* ====================================================================== *)
+(* Figure 7: time to exhaust the memcached symbolic test vs cluster size   *)
+(* ====================================================================== *)
+
+let fig7 () =
+  section "Figure 7"
+    "Time to exhaustively explore two symbolic packets in memcached.\n\
+     Expected shape: each doubling of workers roughly halves completion time.";
+  let program = Lazy.force mc2 in
+  Printf.printf "%8s %14s %10s %12s %12s\n" "workers" "time [vmin]" "paths" "useful" "replay";
+  let base = ref 0.0 in
+  List.iter
+    (fun nworkers ->
+      let r = cluster ~nworkers ~speed:60 program in
+      let t = ticks_to_minutes r.CD.ticks in
+      if nworkers = 1 then base := t;
+      Printf.printf "%8d %14.2f %10d %12d %12d   (speedup %5.1fx)\n%!" nworkers t
+        r.CD.total_paths r.CD.useful_instrs r.CD.replay_instrs (!base /. t))
+    [ 1; 2; 4; 6; 12; 24; 48 ]
+
+(* ====================================================================== *)
+(* Figure 8: time to reach a target coverage level for printf              *)
+(* ====================================================================== *)
+
+let fig8 () =
+  section "Figure 8"
+    "Time to reach 50..90% line coverage of printf vs cluster size.\n\
+     Expected shape: time decreases with workers; higher targets need more time.";
+  (* fmt_len 8 so the deepest per-position handling (4 specifiers) is
+     reachable but expensive: high coverage requires real exploration *)
+  let program = Targets.Printf_target.program ~fmt_len:7 in
+  let levels = [ 0.5; 0.6; 0.7; 0.8; 0.9 ] in
+  Printf.printf "%8s" "workers";
+  List.iter (fun l -> Printf.printf "%9.0f%%" (100.0 *. l)) levels;
+  Printf.printf "   (time to reach level, vmin)\n";
+  List.iter
+    (fun nworkers ->
+      (* one exhaustive run per cluster size; extract level-crossing times
+         from the bucket time series *)
+      let r =
+        cluster ~nworkers ~speed:10 ~bucket:30 ~goal:(CD.Coverage_target 0.9)
+          ~max_ticks:(40 * vmin) program
+      in
+      Printf.printf "%8d" nworkers;
+      List.iter
+        (fun level ->
+          let crossing = List.find_opt (fun b -> b.CD.coverage >= level) r.CD.buckets in
+          match crossing with
+          | Some b -> Printf.printf "%10.2f" (ticks_to_minutes (b.CD.b_start_tick + 30))
+          | None ->
+            (* the run stops the moment the goal is met, so the crossing
+               may fall inside the final, unrecorded bucket *)
+            if r.CD.final_coverage >= level then
+              Printf.printf "%10.2f" (ticks_to_minutes r.CD.ticks)
+            else Printf.printf "%10s" "-")
+        levels;
+      Printf.printf "\n%!")
+    [ 1; 4; 8; 24; 48 ]
+
+(* ====================================================================== *)
+(* Figure 9: useful work for memcached at fixed times vs cluster size      *)
+(* ====================================================================== *)
+
+let fig9 () =
+  section "Figure 9"
+    "Useful (non-replay) instructions executed in 4..10 virtual minutes, and\n\
+     the same normalized per worker.  Expected shape: total grows ~linearly\n\
+     with workers; the per-worker value stays roughly flat.";
+  let program = Lazy.force mc3 in
+  let minutes = [ 4; 6; 8; 10 ] in
+  Printf.printf "%8s" "workers";
+  List.iter (fun m -> Printf.printf "%12s" (Printf.sprintf "%d min" m)) minutes;
+  Printf.printf "   (total useful instructions)\n";
+  let per_worker = ref [] in
+  List.iter
+    (fun nworkers ->
+      let r = cluster ~nworkers ~speed:10 ~goal:CD.Time_limit ~max_ticks:(10 * vmin) program in
+      let at_minute m =
+        (* cumulative useful instructions recorded at each 1-vmin bucket *)
+        match List.nth_opt r.CD.buckets (m - 1) with
+        | Some b -> b.CD.useful
+        | None -> r.CD.useful_instrs
+      in
+      Printf.printf "%8d" nworkers;
+      List.iter (fun m -> Printf.printf "%12d" (at_minute m)) minutes;
+      Printf.printf "\n%!";
+      per_worker := (nworkers, List.map at_minute minutes) :: !per_worker)
+    [ 1; 4; 6; 12; 24; 48 ];
+  Printf.printf "%8s" "workers";
+  List.iter (fun m -> Printf.printf "%12s" (Printf.sprintf "%d min" m)) minutes;
+  Printf.printf "   (normalized: useful instructions / worker)\n";
+  List.iter
+    (fun (nworkers, vals) ->
+      Printf.printf "%8d" nworkers;
+      List.iter (fun v -> Printf.printf "%12d" (v / nworkers)) vals;
+      Printf.printf "\n")
+    (List.rev !per_worker)
+
+(* ====================================================================== *)
+(* Figure 10: useful work for printf and test vs cluster size              *)
+(* ====================================================================== *)
+
+let fig10 () =
+  section "Figure 10"
+    "Useful work on the two UNIX utilities at fixed virtual times.\n\
+     Expected shape: roughly linear growth with cluster size, as for memcached.";
+  (* the utilities are an order of magnitude smaller than memcached, so
+     this experiment uses a compressed virtual minute (75 ticks) and slow
+     workers to keep 48 workers from exhausting the tree *)
+  let umin = 75 in
+  let minutes = [ 30; 40; 50; 60 ] in
+  List.iter
+    (fun (name, program) ->
+      Printf.printf "%s:\n%8s" name "workers";
+      List.iter (fun m -> Printf.printf "%12s" (Printf.sprintf "%d min" m)) minutes;
+      Printf.printf "   (total useful instructions)\n";
+      List.iter
+        (fun nworkers ->
+          let r =
+            cluster ~nworkers ~speed:1 ~goal:CD.Time_limit ~bucket:umin
+              ~max_ticks:(60 * umin) program
+          in
+          let at_minute m =
+            match List.nth_opt r.CD.buckets (m - 1) with
+            | Some b -> b.CD.useful
+            | None -> r.CD.useful_instrs
+          in
+          Printf.printf "%8d" nworkers;
+          List.iter (fun m -> Printf.printf "%12d" (at_minute m)) minutes;
+          Printf.printf "\n%!")
+        [ 1; 4; 12; 24; 48 ])
+    [ ("printf", Lazy.force printf5); ("test", Lazy.force test3) ]
+
+(* ====================================================================== *)
+(* Figure 11: coverage increase on the 96 Coreutils, 1 vs 12 workers       *)
+(* ====================================================================== *)
+
+let fig11 () =
+  section "Figure 11"
+    "Line coverage on the 96 generated Coreutils: 1-worker baseline vs the\n\
+     additional coverage a 12-worker cluster attains in the same virtual time.\n\
+     Expected shape: additional coverage everywhere nonnegative, large for some\n\
+     utilities, with several reaching 100%.";
+  let budget = vmin in
+  let rows =
+    List.init Targets.Coreutils_gen.count (fun seed ->
+        let program = Targets.Coreutils_gen.program seed in
+        let run nworkers =
+          let r =
+            cluster ~nworkers ~speed:10 ~goal:CD.Time_limit ~max_ticks:budget ~bucket:budget
+              program
+          in
+          r.CD.final_coverage
+        in
+        let base = run 1 in
+        let multi = run 12 in
+        (seed, base, Float.max 0.0 (multi -. base)))
+  in
+  Printf.printf "%-6s %10s %12s\n" "util" "baseline%" "additional%";
+  List.iter
+    (fun (seed, base, add) ->
+      Printf.printf "cu%02d   %9.1f %12.1f\n" seed (100.0 *. base) (100.0 *. add))
+    rows;
+  let adds = List.map (fun (_, _, a) -> a) rows in
+  let avg = List.fold_left ( +. ) 0.0 adds /. float_of_int (List.length adds) in
+  let mx = List.fold_left Float.max 0.0 adds in
+  Printf.printf
+    "summary: average additional coverage %.1f%%, maximum %.1f%%, %d utilities at 100%% total\n"
+    (100.0 *. avg) (100.0 *. mx)
+    (List.length (List.filter (fun (_, b, a) -> b +. a >= 0.999) rows))
+
+(* ====================================================================== *)
+(* Table 5: memcached coverage by testing method                           *)
+(* ====================================================================== *)
+
+let t5 () =
+  section "Table 5"
+    "Path count and server-code coverage of each testing method on memcached,\n\
+     isolated and cumulated with the concrete test suite.\n\
+     Expected shape: symbolic methods multiply paths by orders of magnitude but\n\
+     add only a little line coverage on top of the suite (the paper's point\n\
+     about line coverage being a weak metric).";
+  let module M = Targets.Memcached_mini in
+  let server_lines = Lazy.force M.server_line_count in
+  (* coverage restricted to the shared server code (lines 1..server_lines) *)
+  let server_cov program (vec : Bytes.t) =
+    let coverable =
+      List.filter (fun l -> l <= server_lines) (Cvm.Program.covered_lines program)
+    in
+    let covered =
+      List.filter
+        (fun l -> Char.code (Bytes.get vec (l / 8)) land (1 lsl (l mod 8)) <> 0)
+        coverable
+    in
+    float_of_int (List.length covered) /. float_of_int (max 1 (List.length coverable))
+  in
+  let union vecs =
+    match vecs with
+    | [] -> Bytes.create 0
+    | first :: _ ->
+      let acc = Bytes.make (Bytes.length first) '\000' in
+      List.iter
+        (fun v ->
+          for i = 0 to min (Bytes.length acc) (Bytes.length v) - 1 do
+            Bytes.set acc i
+              (Char.chr (Char.code (Bytes.get acc i) lor Char.code (Bytes.get v i)))
+          done)
+        vecs;
+      acc
+  in
+  let run_method programs =
+    let results =
+      List.map
+        (fun program ->
+          let cfg, r = local ~strategy:"dfs" ~max_steps:400_000 program in
+          (program, Bytes.copy cfg.Engine.Executor.coverage, r.ED.paths_explored))
+        programs
+    in
+    let paths = List.fold_left (fun a (_, _, p) -> a + p) 0 results in
+    let vec = union (List.map (fun (_, v, _) -> v) results) in
+    let prog = match programs with p :: _ -> p | [] -> assert false in
+    (paths, vec, prog)
+  in
+  let suite_programs =
+    List.map
+      (fun (_, cmds, statuses) -> M.concrete_suite ~commands:cmds ~expected_statuses:statuses ())
+      M.test_suite
+  in
+  let suite_paths, suite_vec, suite_prog = run_method suite_programs in
+  let binary_subset =
+    List.filter (fun (n, _, _) -> List.mem n [ "bad_magic"; "bad_opcode"; "version" ]) M.test_suite
+    |> List.map (fun (_, cmds, statuses) ->
+           M.concrete_suite ~commands:cmds ~expected_statuses:statuses ())
+  in
+  let bin_paths, bin_vec, _ = run_method binary_subset in
+  let sym_paths, sym_vec, _ = run_method [ Lazy.force mc2_small ] in
+  let fi_programs =
+    List.map
+      (fun (_, cmds, statuses) ->
+        M.concrete_suite ~fault_injection:true ~commands:cmds ~expected_statuses:statuses ())
+      M.test_suite
+  in
+  let fi_paths, fi_vec, _ = run_method fi_programs in
+  let suite_cov = server_cov suite_prog suite_vec in
+  Printf.printf "%-28s %9s %10s %12s\n" "Testing method" "Paths" "Isolated" "Cumulated";
+  Printf.printf "%-28s %9d %9.2f%% %11s\n" "Entire test suite" suite_paths (100.0 *. suite_cov) "-";
+  let row name paths vec =
+    let iso = server_cov suite_prog vec in
+    let cum = server_cov suite_prog (union [ suite_vec; vec ]) in
+    Printf.printf "%-28s %9d %9.2f%% %10.2f%% (%+.2f%%)\n" name paths (100.0 *. iso)
+      (100.0 *. cum)
+      (100.0 *. (cum -. suite_cov))
+  in
+  row "Binary protocol subset" bin_paths bin_vec;
+  row "Symbolic packets (2)" sym_paths sym_vec;
+  row "Suite + fault injection" fi_paths fi_vec
+
+(* ====================================================================== *)
+(* Figure 12: states transferred between workers over time                 *)
+(* ====================================================================== *)
+
+let fig12 () =
+  section "Figure 12"
+    "Fraction of candidate states transferred between workers per bucket during\n\
+     a 48-worker exhaustive memcached run.\n\
+     Expected shape: load balancing is continuous — a few percent of all states\n\
+     move in nearly every bucket.";
+  let r = cluster ~nworkers:48 ~speed:20 ~status:10 ~bucket:100 (Lazy.force mc3) in
+  Printf.printf "%14s %12s %12s %10s\n" "time [vmin]" "transferred" "candidates" "%moved";
+  List.iter
+    (fun b ->
+      let pct =
+        if b.CD.candidates = 0 then 0.0
+        else 100.0 *. float_of_int b.CD.transferred /. float_of_int b.CD.candidates
+      in
+      Printf.printf "%14.1f %12d %12d %9.1f%%\n" (ticks_to_minutes (b.CD.b_start_tick + 100))
+        b.CD.transferred b.CD.candidates pct)
+    r.CD.buckets;
+  Printf.printf "total: %d states transferred across %d buckets\n" r.CD.transfers
+    (List.length r.CD.buckets)
+
+(* ====================================================================== *)
+(* Figure 13: effect of disabling load balancing mid-run                   *)
+(* ====================================================================== *)
+
+let fig13 () =
+  section "Figure 13"
+    "Useful work over time on 48 workers with the load balancer disabled at\n\
+     different moments.  Expected shape: the earlier balancing stops, the lower\n\
+     the curve flattens — static partitions starve workers.";
+  (* a tree the 48-worker cluster CAN exhaust within the window: without
+     rebalancing, workers that drain their static partition sit idle *)
+  let program = Lazy.force mc2 in
+  let total_minutes = 12 in
+  let configs =
+    [ ("continuous", None) ]
+    @ List.map (fun m -> (Printf.sprintf "LB stops %dmin" m, Some (m * vmin))) [ 6; 4; 2; 1 ]
+  in
+  let series =
+    List.map
+      (fun (name, lb_disable_at) ->
+        let r =
+          cluster ~nworkers:48 ~speed:2 ?lb_disable_at ~goal:CD.Time_limit
+            ~max_ticks:(total_minutes * vmin) program
+        in
+        (name, List.map (fun b -> b.CD.useful) r.CD.buckets))
+      configs
+  in
+  let continuous_total =
+    match series with (_, vals) :: _ -> List.fold_left max 1 vals | [] -> 1
+  in
+  Printf.printf "%-16s" "time [vmin]:";
+  List.iteri (fun i _ -> Printf.printf "%8d" (i + 1)) (snd (List.hd series));
+  Printf.printf "\n";
+  List.iter
+    (fun (name, vals) ->
+      Printf.printf "%-16s" name;
+      List.iter
+        (fun v ->
+          Printf.printf "%7.0f%%" (100.0 *. float_of_int v /. float_of_int continuous_total))
+        vals;
+      Printf.printf "\n%!")
+    series
+
+(* ====================================================================== *)
+(* Table 6: lighttpd fragmentation matrix                                  *)
+(* ====================================================================== *)
+
+let t6 () =
+  section "Table 6"
+    "Behavior of lighttpd versions under three request fragmentation patterns.\n\
+     Expected: 1x28 OK/OK; 26+2 crash/OK; complex crash/crash.";
+  let module L = Targets.Lighttpd_mini in
+  Printf.printf "%-26s %-18s %-18s\n" "Fragmentation pattern" "ver 1.4.12" "ver 1.4.13";
+  List.iter
+    (fun (pname, pattern) ->
+      let outcome version =
+        let _, r = local ~strategy:"dfs" (L.program version pattern) in
+        if r.ED.errors > 0 then "crash + hang" else "OK"
+      in
+      Printf.printf "%-26s %-18s %-18s\n%!" pname (outcome L.V12) (outcome L.V13))
+    [
+      ("1 x 28", L.pattern_whole);
+      ("1 x 26 + 1 x 2", L.pattern_split);
+      ("2+5+1+5+2x1+3x2+5+2x1", L.pattern_complex);
+    ]
+
+(* ====================================================================== *)
+(* Ablation benches (DESIGN.md)                                            *)
+(* ====================================================================== *)
+
+let ablation_encoding () =
+  section "Ablation 1: job transfer encoding"
+    "Path encoding vs job-tree prefix sharing vs serialized state, for a batch\n\
+     of 32 jobs from a live memcached frontier.";
+  let program = Lazy.force mc2_small in
+  let w = make_worker program 0 in
+  Cluster.Worker.seed_root w;
+  ignore (Cluster.Worker.execute w ~budget:30_000);
+  let jobs = Cluster.Worker.transfer_out w ~count:32 in
+  let naive = Cluster.Job.naive_encoded_size jobs in
+  let tree = Cluster.Job.tree_encoded_size jobs in
+  let st = Posix.Api.initial_state program ~args:[] in
+  let state_bytes =
+    Cluster.Job.state_encoded_size
+      ~memory_bytes:(Cvm.Memory.footprint st.Engine.State.mem ~pid:0)
+  in
+  Printf.printf "jobs in batch:               %d\n" (List.length jobs);
+  Printf.printf "naive per-path encoding:     %6d bytes\n" naive;
+  Printf.printf "job-tree (prefix sharing):   %6d bytes  (%.0f%% of naive)\n" tree
+    (100.0 *. float_of_int tree /. float_of_int (max 1 naive));
+  Printf.printf "serialized state (per job):  %6d bytes  -> %d bytes for the batch\n" state_bytes
+    (state_bytes * List.length jobs)
+
+let ablation_allocator () =
+  section "Ablation 2: deterministic per-state allocator (paper 6, Broken Replays)"
+    "A workload whose branch conditions depend on allocated addresses, explored\n\
+     by a 4-worker cluster.  Expected: zero broken replays with the per-state\n\
+     allocator; broken replays and lost paths with a global allocator.";
+  let open Lang.Builder in
+  let program =
+    compile
+      (cunit ~entry:"main"
+         [
+           fn "grab" [] (Some u64)
+             [
+               decl_arr "slot" u8 16;
+               (* the frame object's address feeds the branch threshold *)
+               ret (cast u64 (addr (idx (v "slot") (n 0))));
+             ];
+           fn "main" [] (Some u32)
+             [
+               decl_arr "x" u8 8;
+               expr (Posix.Api.make_symbolic (addr (idx (v "x") (n 0))) (n 8) "x");
+               decl "acc" u32 (Some (n 0));
+               for_range "i" ~from:(n 0) ~below:(n 8)
+                 [
+                   decl "threshold" u8 (Some (cast u8 (call "grab" [] >>! n 4) &! n 63));
+                   when_ (idx (v "x") (v "i") <! v "threshold")
+                     [ set (v "acc") (v "acc" +! n 1) ];
+                   when_ (idx (v "x") (v "i") >! n 200) [ set (v "acc") (v "acc" +! n 2) ];
+                 ];
+               halt (v "acc");
+             ];
+         ])
+  in
+  let reference = (cluster ~nworkers:1 ~speed:100 program).CD.total_paths in
+  let run name global_alloc =
+    (* snapshots off: every replay re-executes, exercising the allocator *)
+    let mk ga id =
+      let solver = Smt.Solver.create () in
+      let cfg =
+        Posix.Api.make_config ~solver ~max_steps:2_000_000 ?global_alloc:ga
+          ~nlines:program.Cvm.Program.nlines ()
+      in
+      let make_root () = Posix.Api.initial_state program ~args:[] in
+      Cluster.Worker.create ~id ~cfg ~make_root ~seed:42 ~snap_limit:0 ()
+    in
+    let cfg =
+      {
+        CD.nworkers = 4;
+        make_worker = mk global_alloc;
+        join_tick = (fun _ -> 0);
+        speed = (fun _ -> 100);
+        status_interval = 5;
+        latency = 1;
+        lb_disable_at = None;
+        goal = CD.Exhaust;
+        max_ticks = 2_000_000;
+        bucket_ticks = vmin;
+        coverable_lines = List.length (Cvm.Program.covered_lines program);
+      }
+    in
+    let r = CD.run cfg in
+    Printf.printf "%-22s paths=%4d (reference %d)  broken replays=%d\n" name r.CD.total_paths
+      reference r.CD.broken_replays
+  in
+  run "per-state allocator" None;
+  run "global allocator" (Some (Some (ref 0x1000)))
+
+let ablation_caches () =
+  section "Ablation 3: solver caches"
+    "Full exploration of printf with solver optimizations toggled.\n\
+     Expected: caches and independence cut SAT-solver invocations drastically.";
+  let program = Targets.Printf_target.program ~fmt_len:4 in
+  let configs =
+    [
+      ("all optimizations", true, true, true, true);
+      ("no range analysis", true, true, true, false);
+      ("no sat cache", false, true, true, true);
+      ("no cex cache", true, false, true, true);
+      ("no independence", true, true, false, true);
+      ("none", false, false, false, false);
+    ]
+  in
+  Printf.printf "%-20s %10s %10s %10s %10s %8s\n" "configuration" "queries" "SAT calls"
+    "rangehits" "cachehits" "time";
+  List.iter
+    (fun (name, sat_c, cex_c, indep, range) ->
+      let solver =
+        Smt.Solver.create ~use_sat_cache:sat_c ~use_cex_cache:cex_c ~use_independence:indep
+          ~use_range:range ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let _cfg, r = local ~strategy:"dfs" ~solver program in
+      let dt = Unix.gettimeofday () -. t0 in
+      let st = Smt.Solver.stats solver in
+      assert (r.ED.exhausted);
+      Printf.printf "%-20s %10d %10d %10d %10d %7.2fs\n%!" name st.Smt.Solver.queries
+        st.Smt.Solver.sat_calls st.Smt.Solver.range_hits
+        (st.Smt.Solver.cache_hits + st.Smt.Solver.cex_hits)
+        dt)
+    configs
+
+let ablation_strategies () =
+  section "Ablation 4: search strategies"
+    "Line coverage after a fixed 6k-instruction budget on printf.\n\
+     Expected: coverage-guided and random-path beat plain DFS.";
+  Printf.printf "%-16s %10s %8s\n" "strategy" "coverage" "paths";
+  List.iter
+    (fun strategy ->
+      let _cfg, r = local ~strategy ~goal:(ED.Instructions 6_000) (Lazy.force printf5) in
+      Printf.printf "%-16s %9.1f%% %8d\n%!" strategy (100.0 *. r.ED.coverage)
+        r.ED.paths_explored)
+    [ "dfs"; "bfs"; "random-path"; "cov-opt"; "interleaved" ]
+
+let ablation_static () =
+  section "Ablation 5: dynamic balancing vs one-shot static split"
+    "8 workers exhaust the memcached test; the static variant splits work once\n\
+     and never rebalances.  Expected: the static split finishes later and\n\
+     leaves workers idle (imbalanced per-worker useful work).";
+  let program = Lazy.force mc2_small in
+  let spread r =
+    let vals = List.map snd r.CD.per_worker_useful in
+    (List.fold_left min max_int vals, List.fold_left max 0 vals)
+  in
+  let dyn = cluster ~nworkers:8 ~speed:50 program in
+  let sta = cluster ~nworkers:8 ~speed:50 ~lb_disable_at:12 program in
+  let dmin, dmax = spread dyn and smin, smax = spread sta in
+  Printf.printf "%-10s %12s %14s %22s\n" "mode" "time [vmin]" "paths" "per-worker useful";
+  Printf.printf "%-10s %12.2f %14d %10d .. %d\n" "dynamic" (ticks_to_minutes dyn.CD.ticks)
+    dyn.CD.total_paths dmin dmax;
+  Printf.printf "%-10s %12.2f %14d %10d .. %d\n" "static" (ticks_to_minutes sta.CD.ticks)
+    sta.CD.total_paths smin smax
+
+let ablation_hetero () =
+  section "Ablation 6: heterogeneous workers"
+    "8 workers exhaust the memcached test with equal total capacity, either\n\
+     uniform or with per-worker speeds spread over ~2x (like the paper's\n\
+     2.3-2.6 GHz EC2 mix).  Expected: dynamic balancing absorbs the skew —\n\
+     completion times stay close.";
+  let program = Lazy.force mc2_small in
+  (* both configurations provide 400 instructions/tick in total *)
+  let speeds = [| 30; 35; 40; 45; 55; 60; 65; 70 |] in
+  let run name speed_fn =
+    let cfg =
+      {
+        (CD.default_config ~nworkers:8 ~make_worker:(make_worker program)
+           ~coverable_lines:(List.length (Cvm.Program.covered_lines program))
+           ())
+        with
+        CD.speed = speed_fn;
+        status_interval = 5;
+        latency = 1;
+        max_ticks = 2_000_000;
+      }
+    in
+    let r = CD.run cfg in
+    Printf.printf "%-14s time=%6.2f vmin  paths=%d\n%!" name (ticks_to_minutes r.CD.ticks)
+      r.CD.total_paths;
+    r.CD.ticks
+  in
+  let uni = run "uniform" (fun _ -> 50) in
+  let het = run "heterogeneous" (fun i -> speeds.(i mod 8)) in
+  Printf.printf "slowdown from heterogeneity: %.0f%%\n"
+    (100.0 *. (float_of_int het /. float_of_int uni -. 1.0))
+
+let ablation_join () =
+  section "Ablation 7: staggered worker arrival"
+    "8 workers, either all present at start or joining one every 30 ticks\n\
+     (the paper's section 3.1 protocol: newcomers report an empty queue and\n\
+     the balancer seeds them from loaded workers).  Expected: late arrivals\n\
+     cost far less than the capacity lost while absent.";
+  let program = Lazy.force mc2_small in
+  let run name join_fn =
+    let cfg =
+      {
+        (CD.default_config ~nworkers:8 ~make_worker:(make_worker program)
+           ~coverable_lines:(List.length (Cvm.Program.covered_lines program))
+           ())
+        with
+        CD.speed = (fun _ -> 50);
+        join_tick = join_fn;
+        status_interval = 5;
+        latency = 1;
+        max_ticks = 2_000_000;
+      }
+    in
+    let r = CD.run cfg in
+    Printf.printf "%-14s time=%6.2f vmin  paths=%d  transfers=%d\n%!" name
+      (ticks_to_minutes r.CD.ticks) r.CD.total_paths r.CD.transfers;
+    r.CD.ticks
+  in
+  let all = run "all at start" (fun _ -> 0) in
+  let stag = run "staggered" (fun i -> i * 30) in
+  Printf.printf "arrival staggering cost: %.0f%%\n"
+    (100.0 *. (float_of_int stag /. float_of_int all -. 1.0))
+
+(* ====================================================================== *)
+(* Bechamel micro-benchmarks of the engine primitives                      *)
+(* ====================================================================== *)
+
+let micro () =
+  section "Microbenchmarks" "Primitive costs measured with Bechamel (ns per run).";
+  let open Bechamel in
+  let open Toolkit in
+  let branch_query =
+    (* a fresh branch-feasibility query, solved then cached *)
+    let solver = Smt.Solver.create () in
+    let x = Smt.Expr.fresh_sym ~name:"bx" 8 in
+    let pc = [ Smt.Expr.ult x (Smt.Expr.const ~width:8 100L) ] in
+    Test.make ~name:"solver.branch_feasible (cached)"
+      (Staged.stage (fun () ->
+           ignore
+             (Smt.Solver.branch_feasible solver ~pc
+                (Smt.Expr.ult x (Smt.Expr.const ~width:8 50L)))))
+  in
+  let sat_solve =
+    let x = Smt.Expr.fresh_sym ~name:"sx" 16 in
+    let c =
+      Smt.Expr.eq
+        (Smt.Expr.mul x (Smt.Expr.const ~width:16 7L))
+        (Smt.Expr.const ~width:16 6391L)
+    in
+    Test.make ~name:"solver.full SAT solve (16-bit mul)"
+      (Staged.stage (fun () ->
+           let solver = Smt.Solver.create ~use_sat_cache:false ~use_cex_cache:false () in
+           ignore (Smt.Solver.check solver [ c ])))
+  in
+  let concrete_run =
+    let open Lang.Builder in
+    let program =
+      compile
+        (cunit ~entry:"main"
+           [
+             fn "main" [] (Some u32)
+               [
+                 decl "acc" u32 (Some (n 0));
+                 for_range "i" ~from:(n 0) ~below:(n 1000)
+                   [ set (v "acc") (v "acc" +! v "i") ];
+                 halt (v "acc");
+               ];
+           ])
+    in
+    Test.make ~name:"engine.1000-iteration concrete run"
+      (Staged.stage (fun () ->
+           let searcher = Engine.Searcher.dfs () in
+           ignore (ED.run_pure ~searcher program ~args:[])))
+  in
+  let single_step =
+    let program = Lazy.force mc2_small in
+    let solver = Smt.Solver.create () in
+    let cfg = Posix.Api.make_config ~solver ~nlines:program.Cvm.Program.nlines () in
+    let st0 = Posix.Api.initial_state program ~args:[] in
+    (* drive forward a while so the state is representative *)
+    let rec go st n =
+      if n = 0 then st
+      else
+        match Engine.Executor.step cfg st with
+        | { Engine.Executor.running = st' :: _; _ } -> go st' (n - 1)
+        | _ -> st
+    in
+    let st = go st0 500 in
+    Test.make ~name:"engine.single step (posix state)"
+      (Staged.stage (fun () -> ignore (Engine.Executor.step cfg st)))
+  in
+  let replay_jobs =
+    let program = Lazy.force mc2_small in
+    let src = make_worker program 0 in
+    Cluster.Worker.seed_root src;
+    ignore (Cluster.Worker.execute src ~budget:20_000);
+    let jobs = Cluster.Worker.transfer_out src ~count:4 in
+    Test.make ~name:"cluster.replay 4 jobs"
+      (Staged.stage (fun () ->
+           let dst = make_worker program 1 in
+           Cluster.Worker.receive_jobs dst jobs;
+           let rec drain n =
+             if n > 0 && not (Cluster.Worker.is_idle dst) then begin
+               ignore (Cluster.Worker.execute dst ~budget:50_000);
+               drain (n - 1)
+             end
+           in
+           drain 20))
+  in
+  let tests =
+    Test.make_grouped ~name:"cloud9"
+      [ branch_query; sat_solve; concrete_run; single_step; replay_jobs ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _measure by_test ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-44s %14.0f ns/run\n" name est
+          | Some ests ->
+            Printf.printf "%-44s %14s\n" name
+              (String.concat "," (List.map (Printf.sprintf "%.0f") ests))
+          | None -> Printf.printf "%-44s %14s\n" name "n/a")
+        by_test)
+    results
+
+(* ====================================================================== *)
+
+let experiments =
+  [
+    ("table4", table4);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("t5", t5);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("t6", t6);
+    ("ablation-encoding", ablation_encoding);
+    ("ablation-allocator", ablation_allocator);
+    ("ablation-caches", ablation_caches);
+    ("ablation-strategies", ablation_strategies);
+    ("ablation-static", ablation_static);
+    ("ablation-hetero", ablation_hetero);
+    ("ablation-join", ablation_join);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    if requested = [] then experiments
+    else
+      List.map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> (name, f)
+          | None ->
+            Printf.eprintf "unknown experiment %s; available: %s\n" name
+              (String.concat " " (List.map fst experiments));
+            exit 1)
+        requested
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      let t = Unix.gettimeofday () in
+      f ();
+      Printf.printf "[%s took %.1fs]\n%!" name (Unix.gettimeofday () -. t))
+    to_run;
+  line ();
+  Printf.printf "benchmark suite completed in %.1fs\n" (Unix.gettimeofday () -. t0)

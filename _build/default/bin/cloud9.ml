@@ -1,0 +1,147 @@
+(* The cloud9 command-line interface.
+
+     cloud9 list                         enumerate targets and harnesses
+     cloud9 table4                       print the Table 4 inventory
+     cloud9 run TARGET [-v HARNESS] ...  run a symbolic test, locally or
+                                         on a simulated cluster (-w N)
+
+   Examples:
+     cloud9 run curl
+     cloud9 run memcached -v udp-hang --max-steps 20000
+     cloud9 run printf -v sym-4 -w 12 *)
+
+open Cmdliner
+module C = Core.Cloud9
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-12s %-28s %s\n" e.Core.Registry.rname e.Core.Registry.rkind
+          (String.concat ", " (List.map fst e.Core.Registry.variants)))
+      Core.Registry.entries
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List testing targets and their harnesses")
+    Term.(const run $ const ())
+
+let table4_cmd =
+  let run () =
+    Printf.printf "%-12s %-28s %10s %8s\n" "System" "Type of Software" "IR instrs" "stmts";
+    List.iter
+      (fun (name, kind, instrs, lines) ->
+        Printf.printf "%-12s %-28s %10d %8d\n" name kind instrs lines)
+      (Core.Registry.table4 ())
+  in
+  Cmd.v (Cmd.info "table4" ~doc:"Print the target inventory (paper Table 4)")
+    Term.(const run $ const ())
+
+let target_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc:"Registry target name")
+
+let variant_arg =
+  Arg.(value & opt (some string) None & info [ "v"; "variant" ] ~docv:"HARNESS" ~doc:"Harness variant")
+
+let workers_arg =
+  Arg.(value & opt int 1 & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker count (1 = local engine)")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt string "interleaved"
+    & info [ "s"; "strategy" ] ~docv:"NAME"
+        ~doc:"Search strategy: dfs, bfs, random-path, cov-opt, interleaved")
+
+let max_steps_arg =
+  Arg.(
+    value
+    & opt int 1_000_000
+    & info [ "max-steps" ] ~docv:"K" ~doc:"Per-path instruction cap (hang detector)")
+
+let max_paths_arg =
+  Arg.(value & opt (some int) None & info [ "paths" ] ~docv:"N" ~doc:"Stop after N completed paths")
+
+let coverage_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "coverage" ] ~docv:"F" ~doc:"Stop at this line-coverage fraction")
+
+let tests_arg =
+  Arg.(value & opt int 16 & info [ "tests" ] ~docv:"N" ~doc:"Test cases to materialize")
+
+let speed_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "speed" ] ~docv:"I" ~doc:"Cluster mode: instructions per worker per tick")
+
+let run_local target options =
+  let report = C.run_local ~options target in
+  Format.printf "%a" C.pp_report report;
+  let st = report.C.solver_stats in
+  Format.printf "solver: %d queries, %d SAT calls, %d cache hits, %d model-probe hits@."
+    st.Smt.Solver.queries st.Smt.Solver.sat_calls st.Smt.Solver.cache_hits
+    st.Smt.Solver.cex_hits
+
+let run_cluster target nworkers speed goal max_steps =
+  let options =
+    {
+      C.default_cluster_options with
+      C.nworkers;
+      speed;
+      cluster_goal = goal;
+      cworker_max_steps = Some max_steps;
+    }
+  in
+  let r = C.run_cluster ~options target in
+  Printf.printf
+    "cluster: %d workers, %d virtual ticks, %d paths (%d errors), %.1f%% coverage\n"
+    nworkers r.Cluster.Driver.ticks r.Cluster.Driver.total_paths r.Cluster.Driver.total_errors
+    (100.0 *. r.Cluster.Driver.final_coverage);
+  Printf.printf "work: %d useful + %d replay instructions, %d states transferred, %d broken replays\n"
+    r.Cluster.Driver.useful_instrs r.Cluster.Driver.replay_instrs r.Cluster.Driver.transfers
+    r.Cluster.Driver.broken_replays
+
+let run_cmd =
+  let run name variant workers strategy max_steps max_paths coverage tests speed =
+    match Core.Registry.resolve ~name ~variant with
+    | None ->
+      Printf.eprintf "unknown target %s%s (try: cloud9 list)\n" name
+        (match variant with Some v -> "/" ^ v | None -> "");
+      exit 1
+    | Some target ->
+      if workers <= 1 then begin
+        let goal =
+          match (max_paths, coverage) with
+          | Some p, _ -> Engine.Driver.Paths p
+          | None, Some f -> Engine.Driver.Coverage f
+          | None, None -> Engine.Driver.Exhaust
+        in
+        run_local target
+          {
+            C.default_options with
+            C.strategy;
+            max_steps = Some max_steps;
+            collect_tests = tests;
+            goal;
+          }
+      end
+      else begin
+        let goal =
+          match coverage with
+          | Some f -> Cluster.Driver.Coverage_target f
+          | None -> Cluster.Driver.Exhaust
+        in
+        run_cluster target workers speed goal max_steps
+      end
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a symbolic test on a target")
+    Term.(
+      const run $ target_arg $ variant_arg $ workers_arg $ strategy_arg $ max_steps_arg
+      $ max_paths_arg $ coverage_arg $ tests_arg $ speed_arg)
+
+let () =
+  let info =
+    Cmd.info "cloud9" ~version:"1.0"
+      ~doc:"Parallel symbolic execution for automated real-world software testing"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; table4_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/cluster_scaling.ml: Cluster Core Format List

@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Core Engine Format Lang Posix

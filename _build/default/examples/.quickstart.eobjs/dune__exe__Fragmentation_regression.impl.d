@@ -1,0 +1,1 @@
+examples/fragmentation_regression.ml: Core Engine Format List Targets

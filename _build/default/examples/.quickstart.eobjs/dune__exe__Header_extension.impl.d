@@ -1,0 +1,1 @@
+examples/header_extension.ml: Core Engine Format Lang List Posix String

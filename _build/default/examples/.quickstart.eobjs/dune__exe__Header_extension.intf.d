@@ -1,0 +1,1 @@
+examples/header_extension.mli:

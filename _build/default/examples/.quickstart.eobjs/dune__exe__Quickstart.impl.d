@@ -1,0 +1,1 @@
+examples/quickstart.ml: Char Core Engine Format Lang List Posix String

@@ -1,0 +1,75 @@
+(* The paper's section 5.2 use case: testing support for a new
+   "X-NewExtension" HTTP header just added to a web server.
+
+   The symbolic test reuses the boilerplate of a concrete test (build a
+   request, send it to the handler) and simply marks the header payload
+   symbolic — "whenever the code that processes the header data is
+   executed, Cloud9 forks at all the branches that depend on the header
+   content."  The new header parser here has a planted defect: its
+   quality-value parser accepts "q=" followed by two digits and uses the
+   tens digit to index a priority array, forgetting that 'q' values only
+   go up to 9 in the table.
+
+     dune exec examples/header_extension.exe *)
+
+open Lang.Builder
+module Api = Posix.Api
+module C = Core.Cloud9
+
+let header_len = 6
+
+let program =
+  compile
+    (cunit ~entry:"main"
+       ~globals:[ global "priorities" (Arr (u8, 8)) ]
+       [
+         (* the freshly added header processor under test *)
+         fn "process_new_extension" [ ("h", Ptr u8); ("len", u32) ] (Some u32)
+           [
+             (* expected forms: "on", "off", or "q=NN" *)
+             when_
+               (v "len" >=! n 2 &&! (idx (v "h") (n 0) ==! chr 'o')
+               &&! (idx (v "h") (n 1) ==! chr 'n'))
+               [ ret (n 1) ];
+             when_
+               (v "len" >=! n 3 &&! (idx (v "h") (n 0) ==! chr 'o')
+               &&! (idx (v "h") (n 1) ==! chr 'f')
+               &&! (idx (v "h") (n 2) ==! chr 'f'))
+               [ ret (n 0) ];
+             when_
+               (v "len" >=! n 4 &&! (idx (v "h") (n 0) ==! chr 'q')
+               &&! (idx (v "h") (n 1) ==! chr '=')
+               &&! (idx (v "h") (n 2) >=! chr '0')
+               &&! (idx (v "h") (n 2) <=! chr '9')
+               &&! (idx (v "h") (n 3) >=! chr '0')
+               &&! (idx (v "h") (n 3) <=! chr '9'))
+               [
+                 (* BUG: a two-digit q-value indexes the 8-entry priority
+                    table with values up to 9 *)
+                 decl "tens" u32 (Some (cast u32 (idx (v "h") (n 2) -! chr '0')));
+                 ret (cast u32 (idx (v "priorities") (v "tens")));
+               ];
+             ret (n 255); (* unknown value: ignore the header *)
+           ];
+         fn "main" [] (Some u32)
+           [
+             (* boilerplate from the concrete test: build the request... *)
+             decl_arr "hdata" u8 header_len;
+             (* ...and make the header payload symbolic (the only change) *)
+             expr (Api.make_symbolic (addr (idx (v "hdata") (n 0))) (n header_len) "hData");
+             halt (call "process_new_extension" [ addr (idx (v "hdata") (n 0)); n header_len ]);
+           ];
+       ])
+
+let () =
+  Format.printf "Symbolic test for the X-NewExtension header (paper section 5.2)@.";
+  let target = C.target ~kind:"example" "x-new-extension" program in
+  let report = C.run_local ~options:{ C.default_options with C.collect_tests = 2000 } target in
+  Format.printf "%d header-content paths explored, %d trigger bugs@." report.C.paths report.C.errors;
+  match C.error_tests report with
+  | [] -> Format.printf "the new header handler looks clean@."
+  | bug :: _ ->
+    let input = List.assoc "hData" bug.Engine.Testcase.inputs in
+    Format.printf "bug: %s@." (Engine.Errors.termination_to_string bug.Engine.Testcase.termination);
+    Format.printf "triggering header value: %S@."
+      (String.concat "" (List.init (min 4 (String.length input)) (fun i -> String.make 1 input.[i])))

@@ -1,0 +1,48 @@
+(* Quickstart: write a small program in the mini-C DSL, mark its input
+   symbolic, and let Cloud9 explore every path — finding the planted bug
+   and generating a concrete test input that triggers it.
+
+     dune exec examples/quickstart.exe *)
+
+open Lang.Builder
+module Api = Posix.Api
+module C = Core.Cloud9
+
+(* A little parser with a bug: it indexes the lookup table with a value
+   derived from the input without checking the upper bound. *)
+let program =
+  compile
+    (cunit ~entry:"main"
+       ~globals:[ global "table" (Arr (u8, 10)) ]
+       [
+         fn "lookup" [ ("c", u8) ] (Some u8)
+           [
+             (* "digits index the table" — but 'c' is only checked from
+                below, so ':' (the character after '9') slips through *)
+             when_ (v "c" <! chr '0') [ ret (n 0) ];
+             decl "i" u32 (Some (cast u32 (v "c" -! chr '0')));
+             ret (idx (v "table") (v "i"));
+           ];
+         fn "main" [] (Some u32)
+           [
+             decl_arr "input" u8 2;
+             expr (Api.make_symbolic (addr (idx (v "input") (n 0))) (n 2) "input");
+             decl "a" u8 (Some (call "lookup" [ idx (v "input") (n 0) ]));
+             decl "b" u8 (Some (call "lookup" [ idx (v "input") (n 1) ]));
+             halt (v "a" +! v "b");
+           ];
+       ])
+
+let () =
+  Format.printf "Exploring all paths of the example parser...@.";
+  let target = C.target ~kind:"example" "quickstart" program in
+  let report = C.run_local ~options:{ C.default_options with C.collect_tests = 1000 } target in
+  Format.printf "%d paths explored (%d buggy), %.0f%% line coverage@." report.C.paths
+    report.C.errors (100.0 *. report.C.coverage);
+  match C.error_tests report with
+  | [] -> Format.printf "no bugs found@."
+  | bug :: _ ->
+    Format.printf "first bug: %a" Engine.Testcase.pp bug;
+    let input = List.assoc "input" bug.Engine.Testcase.inputs in
+    Format.printf "the generated test input is %d bytes; byte 0 = 0x%02x@."
+      (String.length input) (Char.code input.[0])

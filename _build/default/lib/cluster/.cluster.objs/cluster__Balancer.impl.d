@@ -1,0 +1,1 @@
+lib/cluster/balancer.ml: Bytes Char Float Hashtbl List

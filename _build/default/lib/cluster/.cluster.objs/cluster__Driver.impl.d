@@ -1,0 +1,1 @@
+lib/cluster/driver.ml: Array Balancer Bytes Char Engine Job List Worker

@@ -1,0 +1,1 @@
+lib/cluster/driver.mli: Worker

@@ -1,0 +1,1 @@
+lib/cluster/job.ml: Engine List Trie

@@ -1,0 +1,1 @@
+lib/cluster/trie.ml: Engine List Option Random

@@ -1,0 +1,1 @@
+lib/cluster/trie.mli: Engine Random

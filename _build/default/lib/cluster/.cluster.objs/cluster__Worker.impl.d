@@ -1,0 +1,1 @@
+lib/cluster/worker.ml: Array Engine Hashtbl List Queue Random Trie

@@ -1,0 +1,1 @@
+lib/cluster/worker.mli: Engine Hashtbl Job Queue Random Trie

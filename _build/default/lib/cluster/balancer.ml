@@ -1,0 +1,94 @@
+(* The Cloud9 load balancer (paper section 3.3).
+
+   Workers periodically report their queue length (number of candidate
+   nodes) and their coverage bit vector.  The balancer classifies workers
+   as underloaded / overloaded by mean and standard deviation, pairs them
+   from the two ends of the sorted list, and issues transfer requests
+   <source, destination, job count>.  It also maintains the global
+   coverage overlay: reported vectors are OR-ed in, and the merged vector
+   is returned to the reporting worker so its local strategy can pursue
+   the global goal. *)
+
+type request = { src : int; dst : int; count : int }
+
+type t = {
+  delta : float; (* the delta constant of the classification rule *)
+  queues : (int, int) Hashtbl.t; (* worker id -> last reported queue length *)
+  global_coverage : Bytes.t;
+  mutable enabled : bool; (* Fig. 13 disables balancing mid-run *)
+  mutable total_transfers_requested : int;
+}
+
+let create ?(delta = 0.5) ~coverage_bytes () =
+  {
+    delta;
+    queues = Hashtbl.create 16;
+    global_coverage = Bytes.make coverage_bytes '\000';
+    enabled = true;
+    total_transfers_requested = 0;
+  }
+
+let disable t = t.enabled <- false
+
+(* A worker status update: merge coverage, remember the queue length, and
+   return the current global coverage for the worker to merge back. *)
+let report t ~worker ~queue_len ~coverage =
+  Hashtbl.replace t.queues worker queue_len;
+  let n = min (Bytes.length coverage) (Bytes.length t.global_coverage) in
+  for i = 0 to n - 1 do
+    Bytes.set t.global_coverage i
+      (Char.chr (Char.code (Bytes.get t.global_coverage i) lor Char.code (Bytes.get coverage i)))
+  done;
+  Bytes.copy t.global_coverage
+
+let forget t ~worker = Hashtbl.remove t.queues worker
+
+(* Compute transfer requests from the last reported queue lengths.  Pairs
+   are matched from the ends of the queue-length-sorted worker list; each
+   pair <Wi, Wj> with li < lj moves (lj - li) / 2 jobs (paper 3.3). *)
+let rebalance t =
+  if not t.enabled then []
+  else begin
+    let entries = Hashtbl.fold (fun w l acc -> (w, l) :: acc) t.queues [] in
+    let nworkers = List.length entries in
+    if nworkers < 2 then []
+    else begin
+      let lens = List.map (fun (_, l) -> float_of_int l) entries in
+      let mean = List.fold_left ( +. ) 0.0 lens /. float_of_int nworkers in
+      let var =
+        List.fold_left (fun acc l -> acc +. ((l -. mean) ** 2.0)) 0.0 lens
+        /. float_of_int nworkers
+      in
+      let sigma = sqrt var in
+      let lo = Float.max (mean -. (t.delta *. sigma)) 0.0 in
+      let hi = mean +. (t.delta *. sigma) in
+      let sorted = List.sort (fun (_, a) (_, b) -> compare a b) entries in
+      let under = List.filter (fun (_, l) -> float_of_int l < lo || l = 0) sorted in
+      let over =
+        List.filter (fun (_, l) -> float_of_int l > hi && l >= 2) (List.rev sorted)
+      in
+      let rec pair acc under over =
+        match (under, over) with
+        | (wi, li) :: under', (wj, lj) :: over' when wi <> wj && lj > li + 1 ->
+          (* half the difference, capped at a quarter of the source's
+             queue: uncapped moves churn states between workers faster
+             than they can be explored *)
+          let count = min ((lj - li) / 2) (max 1 (lj / 4)) in
+          pair ({ src = wj; dst = wi; count } :: acc) under' over'
+        | _ :: under', over -> pair acc under' over
+        | [], _ -> acc
+      in
+      let reqs = pair [] under over in
+      (* optimistically update the ledger so the next round does not
+         re-issue the same transfers before fresh reports arrive *)
+      List.iter
+        (fun { src; dst; count } ->
+          Hashtbl.replace t.queues src (max 0 ((Hashtbl.find t.queues src) - count));
+          Hashtbl.replace t.queues dst (Hashtbl.find t.queues dst + count);
+          t.total_transfers_requested <- t.total_transfers_requested + count)
+        reqs;
+      reqs
+    end
+  end
+
+let global_coverage t = t.global_coverage

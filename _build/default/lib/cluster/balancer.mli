@@ -1,0 +1,30 @@
+(** The Cloud9 load balancer (paper section 3.3): classifies workers as
+    under/overloaded by queue-length mean and standard deviation, pairs
+    them from the two ends of the sorted list, and issues transfer
+    requests.  Also maintains the global coverage overlay. *)
+
+type request = { src : int; dst : int; count : int }
+
+type t
+
+(** [delta] is the classification constant (under if [l < mean - delta*sigma],
+    over if [l > mean + delta*sigma]). *)
+val create : ?delta:float -> coverage_bytes:int -> unit -> t
+
+(** Stop issuing transfer requests (Fig. 13's mid-run disable). *)
+val disable : t -> unit
+
+(** Record a worker's status update: merge its coverage into the global
+    overlay, remember its queue length, and return the merged global
+    vector for the worker to fold back into its local strategy. *)
+val report : t -> worker:int -> queue_len:int -> coverage:Bytes.t -> Bytes.t
+
+val forget : t -> worker:int -> unit
+
+(** Compute transfer requests from the last reported queue lengths.  Each
+    pair moves half the difference, capped at a quarter of the source's
+    queue; the internal ledger is updated optimistically so consecutive
+    rounds do not re-issue the same transfers. *)
+val rebalance : t -> request list
+
+val global_coverage : t -> Bytes.t

@@ -1,0 +1,242 @@
+(* Cluster driver: a discrete-event simulation of a Cloud9 deployment.
+
+   Substitution note (see DESIGN.md): the paper measures wall-clock time
+   on an EC2 cluster; a single-machine reproduction cannot honestly run 48
+   workers concurrently, so time is *virtual*.  Each simulated worker
+   embeds a real engine instance exploring the real execution tree; in
+   every tick a worker retires up to [speed] instructions (heterogeneous
+   per worker if desired), messages carry a latency in ticks, and workers
+   may join at different times.  Everything the paper measures — time to
+   goal, useful (non-replay) instructions, states transferred per
+   interval, the effect of disabling the balancer — is preserved.
+
+   One tick nominally represents 10 ms of virtual time. *)
+
+module Path = Engine.Path
+module Executor = Engine.Executor
+
+type message =
+  | Jobs of { dst : int; jobs : Path.t list }
+  | Transfer_request of { src : int; dst : int; count : int }
+
+type goal =
+  | Exhaust                (* stop when the global tree is fully explored *)
+  | Coverage_target of float
+  | Time_limit             (* run until max_ticks *)
+
+type 'env config = {
+  nworkers : int;
+  make_worker : int -> 'env Worker.t; (* builds worker [i] with its own engine *)
+  join_tick : int -> int;   (* when worker [i] joins the cluster *)
+  speed : int -> int;       (* instructions per tick for worker [i] *)
+  status_interval : int;    (* ticks between status updates *)
+  latency : int;            (* message latency in ticks *)
+  lb_disable_at : int option;
+  goal : goal;
+  max_ticks : int;
+  bucket_ticks : int;       (* stats bucket size (Fig. 12 uses 10 s) *)
+  coverable_lines : int;    (* denominator for global coverage fraction *)
+}
+
+type bucket = {
+  b_start_tick : int;
+  mutable transferred : int; (* states moved between workers in this bucket *)
+  mutable candidates : int;  (* candidate nodes, averaged over the bucket's ticks *)
+  mutable cand_sum : int;    (* accumulator for the average *)
+  mutable cand_samples : int;
+  mutable useful : int;      (* cumulative useful instructions at bucket end *)
+  mutable coverage : float;  (* global coverage fraction at bucket end *)
+}
+
+let fresh_bucket t =
+  { b_start_tick = t; transferred = 0; candidates = 0; cand_sum = 0; cand_samples = 0; useful = 0; coverage = 0.0 }
+
+type result = {
+  ticks : int;               (* virtual time consumed *)
+  reached_goal : bool;
+  total_paths : int;
+  total_errors : int;
+  useful_instrs : int;
+  replay_instrs : int;
+  broken_replays : int;
+  transfers : int;           (* total states transferred *)
+  buckets : bucket list;     (* oldest first *)
+  per_worker_useful : (int * int) list; (* worker id -> useful instructions *)
+  final_coverage : float;
+}
+
+let popcount_bytes b =
+  let rec pop x acc = if x = 0 then acc else pop (x lsr 1) (acc + (x land 1)) in
+  let c = ref 0 in
+  Bytes.iter (fun ch -> c := !c + pop (Char.code ch) 0) b;
+  !c
+
+let run (cfg : 'env config) =
+  let workers : 'env Worker.t option array = Array.make cfg.nworkers None in
+  let coverage_bytes =
+    (* worker coverage vectors all have the same length; size the global
+       vector accordingly once the first worker exists *)
+    let w0 = cfg.make_worker 0 in
+    Bytes.length w0.Worker.cfg.Executor.coverage
+  in
+  let lb = Balancer.create ~coverage_bytes () in
+  let inbox : (int * message) list ref = ref [] in (* (deliver_tick, msg) *)
+  let send ~at msg = inbox := (at, msg) :: !inbox in
+  let tick = ref 0 in
+  let transfers_total = ref 0 in
+  let buckets = ref [] in
+  let cur_bucket = ref (fresh_bucket 0) in
+  let stop = ref false in
+  let reached = ref false in
+
+  let alive_workers () =
+    Array.to_list workers |> List.filter_map (fun w -> w)
+  in
+  let global_coverage_fraction () =
+    (* merge every live worker's vector into the LB's view *)
+    let g = Balancer.global_coverage lb in
+    List.iter
+      (fun w ->
+        let c = w.Worker.cfg.Executor.coverage in
+        for i = 0 to min (Bytes.length g) (Bytes.length c) - 1 do
+          Bytes.set g i (Char.chr (Char.code (Bytes.get g i) lor Char.code (Bytes.get c i)))
+        done)
+      (alive_workers ());
+    if cfg.coverable_lines = 0 then 1.0
+    else float_of_int (popcount_bytes g) /. float_of_int cfg.coverable_lines
+  in
+  let totals () =
+    List.fold_left
+      (fun (p, e, u, r, b) w ->
+        let paths, errs, useful, replay = Worker.stats w in
+        (p + paths, e + errs, u + useful, r + replay, b + w.Worker.broken_replays))
+      (0, 0, 0, 0, 0) (alive_workers ())
+  in
+
+  while not !stop do
+    let t = !tick in
+    (* worker arrivals *)
+    for i = 0 to cfg.nworkers - 1 do
+      if workers.(i) = None && cfg.join_tick i <= t then begin
+        let w = cfg.make_worker i in
+        if i = 0 then Worker.seed_root w;
+        workers.(i) <- Some w
+      end
+    done;
+    (* deliver due messages *)
+    let due, later = List.partition (fun (at, _) -> at <= t) !inbox in
+    inbox := later;
+    List.iter
+      (fun (_, msg) ->
+        match msg with
+        | Jobs { dst; jobs } -> (
+          match workers.(dst) with
+          | Some w ->
+            Worker.receive_jobs w jobs;
+            transfers_total := !transfers_total + List.length jobs;
+            !cur_bucket.transferred <- !cur_bucket.transferred + List.length jobs
+          | None -> ())
+        | Transfer_request { src; dst; count } -> (
+          match workers.(src) with
+          | Some w ->
+            let jobs = Worker.transfer_out w ~count in
+            if jobs <> [] then begin
+              (* transfer size adds latency: 1 tick per 4 KiB of encoding *)
+              let size = Job.tree_encoded_size jobs in
+              let extra = size / 4096 in
+              send ~at:(t + cfg.latency + extra) (Jobs { dst; jobs })
+            end
+          | None -> ()))
+      due;
+    (* balancer disable hook (Fig. 13) *)
+    (match cfg.lb_disable_at with
+    | Some at when t = at -> Balancer.disable lb
+    | Some _ | None -> ());
+    (* each worker runs its per-tick instruction budget *)
+    Array.iteri
+      (fun i w ->
+        match w with
+        | Some w -> ignore (Worker.execute w ~budget:(cfg.speed i))
+        | None -> ())
+      workers;
+    (* periodic status reports and rebalancing *)
+    if t mod cfg.status_interval = 0 then begin
+      List.iter
+        (fun w ->
+          let cov = w.Worker.cfg.Executor.coverage in
+          let global = Balancer.report lb ~worker:w.Worker.id ~queue_len:(Worker.queue_length w) ~coverage:cov in
+          (* the worker merges the global vector into its own so its local
+             coverage-optimized strategy pursues the global goal *)
+          ignore (Executor.merge_coverage w.Worker.cfg global))
+        (alive_workers ());
+      List.iter
+        (fun { Balancer.src; dst; count } ->
+          send ~at:(t + cfg.latency) (Transfer_request { src; dst; count }))
+        (Balancer.rebalance lb)
+    end;
+    (* bucket bookkeeping: sample the candidate population every tick so
+       the bucket reports an average, not an end-of-bucket snapshot *)
+    !cur_bucket.cand_sum <-
+      !cur_bucket.cand_sum
+      + List.fold_left (fun acc w -> acc + Worker.queue_length w) 0 (alive_workers ());
+    !cur_bucket.cand_samples <- !cur_bucket.cand_samples + 1;
+    if (t + 1) mod cfg.bucket_ticks = 0 then begin
+      let _, _, useful, _, _ = totals () in
+      !cur_bucket.candidates <- !cur_bucket.cand_sum / max 1 !cur_bucket.cand_samples;
+      !cur_bucket.useful <- useful;
+      !cur_bucket.coverage <- global_coverage_fraction ();
+      buckets := !cur_bucket :: !buckets;
+      cur_bucket := fresh_bucket (t + 1)
+    end;
+    (* goal checks *)
+    let exhausted () =
+      !inbox = []
+      && List.for_all Worker.is_idle (alive_workers ())
+      && Array.for_all (fun w -> w <> None) workers
+    in
+    (match cfg.goal with
+    | Exhaust -> if exhausted () then begin reached := true; stop := true end
+    | Coverage_target target ->
+      if t mod cfg.status_interval = 0 && global_coverage_fraction () >= target then begin
+        reached := true;
+        stop := true
+      end
+      else if exhausted () then stop := true
+    | Time_limit -> if exhausted () then begin reached := true; stop := true end);
+    incr tick;
+    if !tick >= cfg.max_ticks then stop := true
+  done;
+  let total_paths, total_errors, useful, replay, broken = totals () in
+  {
+    ticks = !tick;
+    reached_goal = !reached;
+    total_paths;
+    total_errors;
+    useful_instrs = useful;
+    replay_instrs = replay;
+    broken_replays = broken;
+    transfers = !transfers_total;
+    buckets = List.rev !buckets;
+    per_worker_useful =
+      List.map
+        (fun w -> (w.Worker.id, w.Worker.cfg.Executor.stats.Executor.useful_instrs))
+        (alive_workers ());
+    final_coverage = global_coverage_fraction ();
+  }
+
+(* Convenience: a homogeneous cluster configuration with sensible
+   defaults.  [make_worker] receives the worker id. *)
+let default_config ~nworkers ~make_worker ~coverable_lines () =
+  {
+    nworkers;
+    make_worker;
+    join_tick = (fun _ -> 0);
+    speed = (fun _ -> 2000);
+    status_interval = 20;
+    latency = 2;
+    lb_disable_at = None;
+    goal = Exhaust;
+    max_ticks = 1_000_000;
+    bucket_ticks = 1000;
+    coverable_lines;
+  }

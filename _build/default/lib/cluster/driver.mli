@@ -1,0 +1,64 @@
+(** Cluster driver: a discrete-event simulation of a Cloud9 deployment.
+
+    The paper measures wall-clock time on an EC2 cluster; a single-machine
+    reproduction cannot honestly run 48 workers concurrently, so time here
+    is {e virtual}: each simulated worker embeds a real engine exploring
+    the real execution tree, retires a per-tick instruction budget, and
+    exchanges messages with simulated latency.  Everything the paper
+    measures — time to goal, useful instructions, transfer rates, the
+    effect of disabling the balancer — is preserved.  One tick nominally
+    represents 100 ms. *)
+
+type goal =
+  | Exhaust                  (** stop when the global tree is explored *)
+  | Coverage_target of float
+  | Time_limit               (** run until [max_ticks] *)
+
+type 'env config = {
+  nworkers : int;
+  make_worker : int -> 'env Worker.t;
+  join_tick : int -> int;   (** when worker i joins the cluster *)
+  speed : int -> int;       (** instructions per tick for worker i *)
+  status_interval : int;    (** ticks between status updates to the LB *)
+  latency : int;            (** message latency in ticks *)
+  lb_disable_at : int option;  (** Fig. 13's mid-run disable *)
+  goal : goal;
+  max_ticks : int;
+  bucket_ticks : int;       (** statistics bucket size *)
+  coverable_lines : int;    (** denominator of global coverage *)
+}
+
+type bucket = {
+  b_start_tick : int;
+  mutable transferred : int;
+  mutable candidates : int;  (** averaged over the bucket's ticks *)
+  mutable cand_sum : int;
+  mutable cand_samples : int;
+  mutable useful : int;      (** cumulative useful instructions at bucket end *)
+  mutable coverage : float;  (** global coverage fraction at bucket end *)
+}
+
+type result = {
+  ticks : int;
+  reached_goal : bool;
+  total_paths : int;
+  total_errors : int;
+  useful_instrs : int;
+  replay_instrs : int;
+  broken_replays : int;
+  transfers : int;
+  buckets : bucket list;  (** oldest first *)
+  per_worker_useful : (int * int) list;
+  final_coverage : float;
+}
+
+val run : 'env config -> result
+
+(** A homogeneous cluster with sensible defaults (speed 2000, status every
+    20 ticks, latency 2, exhaustive goal). *)
+val default_config :
+  nworkers:int ->
+  make_worker:(int -> 'env Worker.t) ->
+  coverable_lines:int ->
+  unit ->
+  'env config

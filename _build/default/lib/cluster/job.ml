@@ -1,0 +1,38 @@
+(* Exploration jobs and their transfer encoding.
+
+   A job is a candidate node to explore, encoded as the path from the
+   execution-tree root to that node (paper section 3.2: the alternative —
+   serializing the multi-megabyte program state — trades bandwidth for the
+   destination's replay CPU; Cloud9 chooses paths because commodity
+   clusters have abundant CPU and meager bisection bandwidth).
+
+   When several jobs travel together their paths are aggregated into a
+   *job tree*, sharing common prefixes.  [tree_encoded_size] measures the
+   wire size of that encoding (one byte per edge plus one per leaf marker),
+   which the transfer-encoding ablation bench compares against naive
+   per-path encoding and against simulated state serialization. *)
+
+module Path = Engine.Path
+
+type t = Path.t (* root-first choice list *)
+
+(* Wire size of jobs encoded independently: one length byte plus one byte
+   per choice. *)
+let naive_encoded_size jobs =
+  List.fold_left (fun acc j -> acc + 1 + Path.encoded_size j) 0 jobs
+
+(* Wire size after aggregating into a prefix-sharing job tree, serialized
+   preorder: one structure byte per node (child count + job-leaf flag)
+   plus one byte per edge (the choice).  Sharing wins as soon as jobs have
+   substantial common prefixes, which transferred sibling candidates
+   always do. *)
+let tree_encoded_size jobs =
+  let trie = Trie.create () in
+  List.iter (fun j -> Trie.add trie j ()) jobs;
+  Trie.structure_size trie
+
+(* Simulated size of serializing the program state instead of the path:
+   the paper quotes "at least several megabytes" for real programs; our
+   miniatures are smaller, so we model it as a fixed header plus the
+   state's live memory footprint. *)
+let state_encoded_size ~memory_bytes = 256 + memory_bytes

@@ -1,0 +1,18 @@
+(** Exploration jobs and their transfer encoding (paper section 3.2):
+    a job is a candidate node encoded as its root path; batches aggregate
+    into a prefix-sharing job tree. *)
+
+type t = Engine.Path.t
+
+(** Wire size of jobs encoded independently (one length byte plus one byte
+    per choice). *)
+val naive_encoded_size : t list -> int
+
+(** Wire size of the batch as a preorder-serialized job tree: one
+    structure byte per node plus one byte per edge.  Wins once jobs share
+    substantial prefixes, which transferred sibling candidates always do. *)
+val tree_encoded_size : t list -> int
+
+(** Simulated size of shipping the serialized program state instead of
+    the path (the alternative the paper rejects for bandwidth reasons). *)
+val state_encoded_size : memory_bytes:int -> int

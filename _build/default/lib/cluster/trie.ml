@@ -1,0 +1,99 @@
+(* A trie over execution-tree paths with subtree counts, supporting
+   uniform random-path descent.  Workers keep their exploration frontier
+   in one of these: payloads are frontier entries (materialized states or
+   virtual nodes), keyed by the node's root path. *)
+
+module E = Engine.Path
+
+type 'a t = {
+  mutable payload : 'a option;
+  mutable children : (E.choice * 'a t) list;
+  mutable count : int; (* payloads in this subtree *)
+}
+
+let create () = { payload = None; children = []; count = 0 }
+
+let size t = t.count
+
+(* Returns true when a new payload was created (replacements must not
+   inflate ancestor counts). *)
+let rec add_fresh t path x =
+  match path with
+  | [] ->
+    let fresh = t.payload = None in
+    t.payload <- Some x;
+    if fresh then t.count <- t.count + 1;
+    fresh
+  | c :: rest ->
+    let child =
+      match List.assoc_opt c t.children with
+      | Some n -> n
+      | None ->
+        let n = create () in
+        t.children <- (c, n) :: t.children;
+        n
+    in
+    let fresh = add_fresh child rest x in
+    if fresh then t.count <- t.count + 1;
+    fresh
+
+let add t path x = ignore (add_fresh t path x)
+
+let rec find t path =
+  match path with
+  | [] -> t.payload
+  | c :: rest -> (
+    match List.assoc_opt c t.children with None -> None | Some child -> find child rest)
+
+(* Returns true when a payload was removed. *)
+let rec remove t path =
+  match path with
+  | [] ->
+    if t.payload = None then false
+    else begin
+      t.payload <- None;
+      t.count <- t.count - 1;
+      true
+    end
+  | c :: rest -> (
+    match List.assoc_opt c t.children with
+    | None -> false
+    | Some child ->
+      let removed = remove child rest in
+      if removed then begin
+        t.count <- t.count - 1;
+        if child.count = 0 then t.children <- List.remove_assoc c t.children
+      end;
+      removed)
+
+(* Random-path descent (KLEE's strategy, paper section 7): from the root,
+   choose uniformly among "the payload here" and each nonempty child. *)
+let rec random_pick rng t =
+  let options =
+    (match t.payload with Some _ -> [ `Here ] | None -> [])
+    @ List.filter_map (fun (_, n) -> if n.count > 0 then Some (`Child n) else None) t.children
+  in
+  match options with
+  | [] -> None
+  | _ -> (
+    match List.nth options (Random.State.int rng (List.length options)) with
+    | `Here -> t.payload
+    | `Child n -> random_pick rng n)
+
+let iter f t =
+  let rec go t = Option.iter f t.payload; List.iter (fun (_, n) -> go n) t.children in
+  go t
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun x -> acc := f x !acc) t;
+  !acc
+
+(* Nodes plus edges of the trie skeleton: the byte size of a preorder
+   serialization with one structure byte per node and one choice byte per
+   edge. *)
+let structure_size t =
+  let rec count node =
+    List.fold_left (fun acc (_, child) -> acc + 1 + count child) 1 node.children
+  in
+  count t

@@ -1,0 +1,28 @@
+(** A trie over execution-tree paths with subtree counts and uniform
+    random-path descent; the worker's frontier container. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Number of payloads stored. *)
+val size : 'a t -> int
+
+(** Insert (or replace) the payload at a path. *)
+val add : 'a t -> Engine.Path.t -> 'a -> unit
+
+val find : 'a t -> Engine.Path.t -> 'a option
+
+(** Returns [true] when a payload was removed. *)
+val remove : 'a t -> Engine.Path.t -> bool
+
+(** Random-path descent (KLEE's strategy): from the root, choose uniformly
+    among the payload here and each nonempty child subtree. *)
+val random_pick : Random.State.t -> 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+
+(** Nodes plus edges of the trie skeleton — the byte size of a preorder
+    serialization with one structure byte per node and one per edge. *)
+val structure_size : 'a t -> int

@@ -1,0 +1,339 @@
+(* A Cloud9 worker: an independent symbolic execution engine exploring one
+   region of the global execution tree (paper section 3.2).
+
+   The worker's local view is its exploration *frontier*: candidate nodes,
+   each either *materialized* (program state in memory) or *virtual* (an
+   empty shell encoded as its root path, received in a job transfer).
+   Dead nodes are simply dropped — their state is never needed again — and
+   *fence* nodes are kept as paths only, marking subtrees some other
+   worker owns.  Choosing a virtual candidate triggers a lazy replay: the
+   worker re-executes the path from the root; forks encountered along the
+   way yield off-path siblings, which are fenced because they are being
+   explored elsewhere (Fig. 3's node life cycle).
+
+   Selection interleaves KLEE's random-path strategy (over the whole
+   frontier, virtual nodes included) with the coverage-optimized weighted
+   strategy (over materialized states), as in the paper's evaluation; a
+   custom weight function can replace the coverage weights (used e.g. by
+   the fewest-faults-first strategy of section 7.3.3). *)
+
+module Path = Engine.Path
+module State = Engine.State
+module Executor = Engine.Executor
+module Errors = Engine.Errors
+module Testcase = Engine.Testcase
+
+type 'env entry = {
+  epath : Path.t; (* root-first *)
+  estate : 'env State.t option; (* None = virtual *)
+}
+
+type 'env mode =
+  | Exploring
+  | Replaying of {
+      target : Path.t;
+      remaining : Path.choice list;
+      rstate : 'env State.t;
+    }
+
+type policy = Random_path_only | Interleaved
+
+type 'env t = {
+  id : int;
+  cfg : 'env Executor.config;
+  make_root : unit -> 'env State.t;
+  frontier : 'env entry Trie.t;
+  fence : unit Trie.t;
+  rng : Random.State.t;
+  policy : policy;
+  weight : ('env State.t -> float) option;
+  quantum : int; (* instructions to run a state before reselecting *)
+  collect_tests : int;
+  (* snapshot cache: recently seen states at fork points, so replays start
+     from the deepest known ancestor instead of the root — the paper's
+     "replayed from nodes on the frontier, instead of from the root"
+     optimization (section 8, discussion of VeriSoft).  Sibling jobs in a
+     transferred job tree share long prefixes, so each replay seeds the
+     next one's start point. *)
+  snapshots : (string, 'env State.t) Hashtbl.t;
+  snap_queue : string Queue.t; (* FIFO eviction *)
+  snap_limit : int;
+  mutable mode : 'env mode;
+  mutable cov_turn : bool;
+  mutable paths_completed : int;
+  mutable errors : int;
+  mutable pruned : int;
+  mutable tests : Testcase.t list;
+  mutable broken_replays : int;
+  mutable replays_done : int;
+  mutable jobs_sent : int;
+  mutable jobs_received : int;
+}
+
+let create ?(policy = Interleaved) ?weight ?(quantum = 50) ?(collect_tests = 0)
+    ?(snap_limit = 512) ~id ~cfg ~make_root ~seed () =
+  let w =
+    {
+      id;
+      cfg;
+      make_root;
+      frontier = Trie.create ();
+      fence = Trie.create ();
+      rng = Random.State.make [| seed; id |];
+      policy;
+      weight;
+      quantum;
+      collect_tests;
+      snapshots = Hashtbl.create 256;
+      snap_queue = Queue.create ();
+      snap_limit;
+      mode = Exploring;
+      cov_turn = false;
+      paths_completed = 0;
+      errors = 0;
+      pruned = 0;
+      tests = [];
+      broken_replays = 0;
+      replays_done = 0;
+      jobs_sent = 0;
+      jobs_received = 0;
+    }
+  in
+  w
+
+(* Seed the worker with the whole execution tree (the first worker's
+   initial job, paper section 3.1). *)
+let seed_root w =
+  let root = w.make_root () in
+  Trie.add w.frontier [] { epath = []; estate = Some root }
+
+let queue_length w = Trie.size w.frontier
+
+let is_idle w = Trie.size w.frontier = 0 && w.mode = Exploring
+
+(* --- selection ------------------------------------------------------------------ *)
+
+let default_weight (st : 'env State.t) =
+  1.0 /. float_of_int (1 + st.State.steps - st.State.last_new_cover)
+
+(* Weighted random choice among materialized entries; None if the frontier
+   has no materialized entry. *)
+let pick_weighted w =
+  let weight = match w.weight with Some f -> f | None -> default_weight in
+  let entries =
+    Trie.fold (fun e acc -> match e.estate with Some st -> (e, weight st) :: acc | None -> acc)
+      w.frontier []
+  in
+  match entries with
+  | [] -> None
+  | _ ->
+    let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 entries in
+    let target = Random.State.float w.rng total in
+    let rec scan acc = function
+      | [] -> Some (fst (List.hd entries))
+      | (e, wt) :: rest -> if acc +. wt >= target then Some e else scan (acc +. wt) rest
+    in
+    scan 0.0 entries
+
+let select w =
+  match w.policy with
+  | Random_path_only -> Trie.random_pick w.rng w.frontier
+  | Interleaved ->
+    w.cov_turn <- not w.cov_turn;
+    if w.cov_turn then
+      match pick_weighted w with Some e -> Some e | None -> Trie.random_pick w.rng w.frontier
+    else Trie.random_pick w.rng w.frontier
+
+(* --- terminations ----------------------------------------------------------------- *)
+
+let record_finished w (st, term) =
+  match term with
+  | Errors.Pruned -> w.pruned <- w.pruned + 1
+  | Errors.Exit _ | Errors.Error _ ->
+    w.paths_completed <- w.paths_completed + 1;
+    if Errors.is_error term then w.errors <- w.errors + 1;
+    if List.length w.tests < w.collect_tests then begin
+      match Testcase.of_state w.cfg.Executor.solver st term with
+      | Some tc -> w.tests <- tc :: w.tests
+      | None -> ()
+    end
+
+(* Remember a state at a fork point for future replays. *)
+let cache_snapshot w (st : 'env State.t) =
+  let key = Path.to_string (State.path st) in
+  if not (Hashtbl.mem w.snapshots key) then begin
+    Hashtbl.replace w.snapshots key st;
+    Queue.add key w.snap_queue;
+    if Queue.length w.snap_queue > w.snap_limit then
+      Hashtbl.remove w.snapshots (Queue.take w.snap_queue)
+  end
+
+(* Deepest cached ancestor of [target] (root-first path): returns the
+   starting state plus the choices still to replay. *)
+let replay_start w target =
+  let arr = Array.of_list target in
+  let n = Array.length arr in
+  let rec probe k =
+    if k <= 0 then (w.make_root (), target)
+    else begin
+      let prefix = Array.to_list (Array.sub arr 0 k) in
+      match Hashtbl.find_opt w.snapshots (Path.to_string prefix) with
+      | Some st -> (st, Array.to_list (Array.sub arr k (n - k)))
+      | None -> probe (k - 1)
+    end
+  in
+  probe n
+
+let add_running w states =
+  List.iter
+    (fun (st : 'env State.t) ->
+      let p = State.path st in
+      cache_snapshot w st;
+      Trie.add w.frontier p { epath = p; estate = Some st })
+    states
+
+(* --- replay ---------------------------------------------------------------------------- *)
+
+(* One replay step.  Returns the instruction count consumed (always 1). *)
+let replay_step w ~target ~remaining ~rstate =
+  let { Executor.running; finished } = Executor.step w.cfg ~replay:true rstate in
+  let depth_before = List.length rstate.State.path in
+  let forked st = List.length st.State.path > depth_before in
+  match (running, remaining) with
+  | [ st ], _ when not (forked st) ->
+    (* deterministic step: stay on course *)
+    w.mode <- Replaying { target; remaining; rstate = st }
+  | _ -> (
+    (* a fork (or termination) happened; consume the next expected choice *)
+    match remaining with
+    | [] ->
+      (* we are already at the target but the step forked: this means the
+         target node was the fork point itself; materialize all successors
+         as our own candidates (they are our subtree) *)
+      add_running w running;
+      List.iter (record_finished w) finished;
+      w.replays_done <- w.replays_done + 1;
+      w.mode <- Exploring
+    | expected :: rest -> (
+      let matches (st : 'env State.t) =
+        match st.State.path with c :: _ -> c = expected | [] -> false
+      in
+      (* off-path running siblings become fence nodes *)
+      List.iter
+        (fun st -> if not (matches st) then Trie.add w.fence (State.path st) ())
+        running;
+      (* off-path finished siblings were already completed by the source
+         worker: fence them silently (no double counting) *)
+      match List.find_opt matches running with
+      | Some st ->
+        cache_snapshot w st;
+        if rest = [] then begin
+          (* arrived: the node is now materialized *)
+          let p = State.path st in
+          Trie.add w.frontier p { epath = p; estate = Some st };
+          w.replays_done <- w.replays_done + 1;
+          w.mode <- Exploring
+        end
+        else w.mode <- Replaying { target; remaining = rest; rstate = st }
+      | None ->
+        (* the expected successor does not exist: broken replay *)
+        w.broken_replays <- w.broken_replays + 1;
+        w.mode <- Exploring))
+
+(* --- main execution loop ------------------------------------------------------------------ *)
+
+(* Run up to [budget] instructions; returns the number actually executed.
+   Returns early when the worker has nothing to do. *)
+let execute w ~budget =
+  let used = ref 0 in
+  let idle = ref false in
+  while !used < budget && not !idle do
+    match w.mode with
+    | Replaying { target; remaining; rstate } ->
+      incr used;
+      replay_step w ~target ~remaining ~rstate
+    | Exploring -> (
+      match select w with
+      | None -> idle := true
+      | Some entry -> (
+        ignore (Trie.remove w.frontier entry.epath);
+        match entry.estate with
+        | None ->
+          (* virtual node: lazy replay from the deepest cached ancestor *)
+          if Hashtbl.mem w.snapshots (Path.to_string entry.epath) then begin
+            (* exact snapshot: materialize without any replay *)
+            let st = Hashtbl.find w.snapshots (Path.to_string entry.epath) in
+            Trie.add w.frontier entry.epath { entry with estate = Some st };
+            w.replays_done <- w.replays_done + 1
+          end
+          else begin
+            let rstate, remaining = replay_start w entry.epath in
+            w.mode <- Replaying { target = entry.epath; remaining; rstate }
+          end
+        | Some st ->
+          (* run this state for a quantum *)
+          let continue = ref (Some st) in
+          let q = ref 0 in
+          while !continue <> None && !q < w.quantum && !used < budget do
+            match !continue with
+            | None -> ()
+            | Some st ->
+              incr used;
+              incr q;
+              let { Executor.running; finished } = Executor.step w.cfg st in
+              List.iter (record_finished w) finished;
+              (match running with
+              | [ one ] -> continue := Some one
+              | _ ->
+                add_running w running;
+                continue := None)
+          done;
+          (match !continue with Some st -> add_running w [ st ] | None -> ())))
+  done;
+  !used
+
+(* --- job transfer --------------------------------------------------------------------------- *)
+
+(* Package up to [count] candidate nodes for another worker; each becomes
+   a fence node here (paper: "this conversion prevents redundant work").
+   Virtual nodes are forwarded first: they carry no local progress, so
+   giving them away wastes nothing. *)
+let transfer_out w ~count =
+  let jobs = ref [] in
+  let n = ref 0 in
+  let give entry =
+    ignore (Trie.remove w.frontier entry.epath);
+    Trie.add w.fence entry.epath ();
+    jobs := entry.epath :: !jobs;
+    incr n;
+    w.jobs_sent <- w.jobs_sent + 1
+  in
+  let virtuals =
+    Trie.fold (fun e acc -> if e.estate = None then e :: acc else acc) w.frontier []
+  in
+  List.iter (fun e -> if !n < count then give e) virtuals;
+  while !n < count && Trie.size w.frontier > 0 do
+    match Trie.random_pick w.rng w.frontier with
+    | None -> n := count
+    | Some entry -> give entry
+  done;
+  !jobs
+
+(* Import a job tree: each path becomes a virtual candidate node. *)
+let receive_jobs w jobs =
+  List.iter
+    (fun p ->
+      w.jobs_received <- w.jobs_received + 1;
+      Trie.add w.frontier p { epath = p; estate = None })
+    jobs
+
+(* --- introspection ------------------------------------------------------------------------------ *)
+
+let frontier_paths w = Trie.fold (fun e acc -> e.epath :: acc) w.frontier []
+let fence_count w = Trie.size w.fence
+
+let stats w =
+  ( w.paths_completed,
+    w.errors,
+    w.cfg.Executor.stats.Executor.useful_instrs,
+    w.cfg.Executor.stats.Executor.replay_instrs )

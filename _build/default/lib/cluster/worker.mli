@@ -1,0 +1,94 @@
+(** A Cloud9 worker: an independent symbolic execution engine exploring
+    one region of the global execution tree (paper section 3.2).
+
+    The worker's frontier holds candidate nodes — materialized (program
+    state in memory) or virtual (path-only shells from job transfers).
+    Selecting a virtual candidate triggers lazy replay from the deepest
+    cached ancestor; off-path siblings revealed by the replay become
+    fence nodes (Fig. 3's node life cycle). *)
+
+type 'env entry = {
+  epath : Engine.Path.t;
+  estate : 'env Engine.State.t option;  (** [None] = virtual *)
+}
+
+type 'env mode =
+  | Exploring
+  | Replaying of {
+      target : Engine.Path.t;
+      remaining : Engine.Path.choice list;
+      rstate : 'env Engine.State.t;
+    }
+
+type policy =
+  | Random_path_only
+  | Interleaved  (** random-path alternating with coverage-optimized *)
+
+type 'env t = {
+  id : int;
+  cfg : 'env Engine.Executor.config;
+  make_root : unit -> 'env Engine.State.t;
+  frontier : 'env entry Trie.t;
+  fence : unit Trie.t;
+  rng : Random.State.t;
+  policy : policy;
+  weight : ('env Engine.State.t -> float) option;
+  quantum : int;
+  collect_tests : int;
+  snapshots : (string, 'env Engine.State.t) Hashtbl.t;
+  snap_queue : string Queue.t;
+  snap_limit : int;
+  mutable mode : 'env mode;
+  mutable cov_turn : bool;
+  mutable paths_completed : int;
+  mutable errors : int;
+  mutable pruned : int;
+  mutable tests : Engine.Testcase.t list;
+  mutable broken_replays : int;
+  mutable replays_done : int;
+  mutable jobs_sent : int;
+  mutable jobs_received : int;
+}
+
+(** [weight] replaces the coverage-optimized weighting (used e.g. by a
+    fewest-faults-first strategy); [quantum] is how many instructions a
+    selected state runs before reselection; [snap_limit] bounds the
+    replay snapshot cache (0 disables it, forcing replay from the root). *)
+val create :
+  ?policy:policy ->
+  ?weight:('env Engine.State.t -> float) ->
+  ?quantum:int ->
+  ?collect_tests:int ->
+  ?snap_limit:int ->
+  id:int ->
+  cfg:'env Engine.Executor.config ->
+  make_root:(unit -> 'env Engine.State.t) ->
+  seed:int ->
+  unit ->
+  'env t
+
+(** Give the worker the whole execution tree (the first worker's seed
+    job). *)
+val seed_root : 'env t -> unit
+
+(** Candidate-node count — what the worker reports to the balancer. *)
+val queue_length : 'env t -> int
+
+val is_idle : 'env t -> bool
+
+(** Run up to [budget] instructions; returns the count actually executed
+    (less when the worker runs out of work). *)
+val execute : 'env t -> budget:int -> int
+
+(** Package up to [count] candidates for another worker; each becomes a
+    fence node locally.  Virtual candidates are forwarded first. *)
+val transfer_out : 'env t -> count:int -> Job.t list
+
+(** Import transferred jobs as virtual candidates. *)
+val receive_jobs : 'env t -> Job.t list -> unit
+
+val frontier_paths : 'env t -> Engine.Path.t list
+val fence_count : 'env t -> int
+
+(** [(paths_completed, errors, useful_instrs, replay_instrs)]. *)
+val stats : 'env t -> int * int * int * int

@@ -1,0 +1,1 @@
+lib/core/cloud9.ml: Bytes Char Cluster Cvm Engine Format List Posix Random Smt

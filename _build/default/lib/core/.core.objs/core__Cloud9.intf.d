@@ -1,0 +1,1 @@
+lib/core/cloud9.mli: Bytes Cluster Cvm Engine Format Smt

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Cloud9 Cvm List Printf Targets

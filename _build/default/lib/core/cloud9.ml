@@ -1,0 +1,203 @@
+(* The Cloud9 platform facade: one entry point for writing and running
+   symbolic tests (paper section 5), locally (one worker, classic KLEE
+   style) or on a simulated cluster of workers with dynamic load
+   balancing (section 3).
+
+   A symbolic test is a mini-C program (usually built from a target in
+   {!Registry} or with {!Lang.Builder} + {!Posix.Api}) whose inputs are
+   marked symbolic via the cloud9_* primitives; running it explores the
+   induced execution tree and produces test cases for every path. *)
+
+module Errors = Engine.Errors
+module Testcase = Engine.Testcase
+
+type target = {
+  name : string;
+  kind : string; (* the "Type of Software" column of Table 4 *)
+  program : Cvm.Program.t;
+}
+
+let target ?(kind = "test program") name program = { name; kind; program }
+
+type options = {
+  max_steps : int option;      (* per-path instruction cap (hang detector) *)
+  check_div_zero : bool;
+  strategy : string;           (* Engine.Searcher.of_name *)
+  seed : int;
+  collect_tests : int;         (* how many test cases to materialize *)
+  goal : Engine.Driver.goal;
+}
+
+let default_options =
+  {
+    max_steps = Some 1_000_000;
+    check_div_zero = true;
+    strategy = "interleaved";
+    seed = 42;
+    collect_tests = 64;
+    goal = Engine.Driver.Exhaust;
+  }
+
+type report = {
+  target_name : string;
+  paths : int;
+  errors : int;
+  coverage : float;            (* fraction of coverable source lines *)
+  coverage_vector : Bytes.t;   (* the raw line bit vector, for unions *)
+  coverable : int;             (* lines with instructions (denominator) *)
+  instructions : int;
+  exhausted : bool;
+  tests : Testcase.t list;
+  solver_stats : Smt.Solver.stats;
+}
+
+(* --- single-node runs --------------------------------------------------------- *)
+
+let run_local ?(options = default_options) (t : target) =
+  let solver = Smt.Solver.create () in
+  let cfg =
+    Posix.Api.make_config ~solver ?max_steps:options.max_steps
+      ~check_div_zero:options.check_div_zero ~nlines:t.program.Cvm.Program.nlines ()
+  in
+  let rng = Random.State.make [| options.seed |] in
+  let searcher = Engine.Searcher.of_name ~rng options.strategy in
+  let st0 = Posix.Api.initial_state t.program ~args:[] in
+  let r =
+    Engine.Driver.run ~collect_tests:options.collect_tests ~goal:options.goal cfg searcher st0
+  in
+  {
+    target_name = t.name;
+    paths = r.Engine.Driver.paths_explored;
+    errors = r.Engine.Driver.errors;
+    coverage = r.Engine.Driver.coverage;
+    coverage_vector = Bytes.copy cfg.Engine.Executor.coverage;
+    coverable = List.length (Cvm.Program.covered_lines t.program);
+    instructions = r.Engine.Driver.instructions;
+    exhausted = r.Engine.Driver.exhausted;
+    tests = r.Engine.Driver.tests;
+    solver_stats = Smt.Solver.stats solver;
+  }
+
+(* OR coverage vectors together and return the covered fraction over
+   [coverable] lines — used for the "cumulated coverage" columns of
+   Table 5. *)
+let union_coverage ~coverable vectors =
+  match vectors with
+  | [] -> 0.0
+  | first :: _ ->
+    let acc = Bytes.make (Bytes.length first) '\000' in
+    List.iter
+      (fun v ->
+        for i = 0 to min (Bytes.length acc) (Bytes.length v) - 1 do
+          Bytes.set acc i (Char.chr (Char.code (Bytes.get acc i) lor Char.code (Bytes.get v i)))
+        done)
+      vectors;
+    let rec pop x n = if x = 0 then n else pop (x lsr 1) (n + (x land 1)) in
+    let covered = ref 0 in
+    Bytes.iter (fun c -> covered := !covered + pop (Char.code c) 0) acc;
+    if coverable = 0 then 1.0 else float_of_int !covered /. float_of_int coverable
+
+(* --- test-case replay --------------------------------------------------------------- *)
+
+(* Re-execute a generated test case concretely: make_symbolic fills the
+   test's recorded bytes instead of fresh symbols, so the run follows one
+   path — the one the test case describes.  Returns that path's
+   termination; for a bug test, the same bug must reproduce. *)
+let replay_test ?(max_steps = 1_000_000) (t : target) (tc : Testcase.t) =
+  let solver = Smt.Solver.create () in
+  let cfg =
+    Posix.Api.make_config ~solver ~max_steps ~concrete_inputs:tc.Testcase.inputs
+      ~nlines:t.program.Cvm.Program.nlines ()
+  in
+  let searcher = Engine.Searcher.dfs () in
+  let st0 = Posix.Api.initial_state t.program ~args:[] in
+  let r = Engine.Driver.run ~collect_tests:4 cfg searcher st0 in
+  match r.Engine.Driver.tests with
+  | [ only ] -> Some only.Testcase.termination
+  | _ -> None (* residual nondeterminism (e.g. fragmentation choices) *)
+
+(* --- cluster runs ---------------------------------------------------------------- *)
+
+type cluster_options = {
+  nworkers : int;
+  speed : int;                 (* instructions per worker per tick *)
+  heterogeneous : bool;        (* vary worker speeds +-15%, as on EC2 *)
+  join_spread : int;           (* ticks between worker arrivals *)
+  status_interval : int;
+  latency : int;
+  lb_disable_at : int option;
+  cluster_goal : Cluster.Driver.goal;
+  max_ticks : int;
+  bucket_ticks : int;
+  cworker_max_steps : int option;
+  cseed : int;
+  use_global_alloc : bool;     (* ablation: shared allocator breaks replays *)
+}
+
+let default_cluster_options =
+  {
+    nworkers = 4;
+    speed = 2000;
+    heterogeneous = false;
+    join_spread = 0;
+    status_interval = 20;
+    latency = 2;
+    lb_disable_at = None;
+    cluster_goal = Cluster.Driver.Exhaust;
+    max_ticks = 2_000_000;
+    bucket_ticks = 1000;
+    cworker_max_steps = Some 1_000_000;
+    cseed = 42;
+    use_global_alloc = false;
+  }
+
+let make_worker ?(opts = default_cluster_options) (t : target) shared_alloc id =
+  let solver = Smt.Solver.create () in
+  let cfg =
+    Posix.Api.make_config ~solver ?max_steps:opts.cworker_max_steps
+      ~global_alloc:(if opts.use_global_alloc then Some shared_alloc else None)
+      ~nlines:t.program.Cvm.Program.nlines ()
+  in
+  let make_root () = Posix.Api.initial_state t.program ~args:[] in
+  Cluster.Worker.create ~id ~cfg ~make_root ~seed:opts.cseed ()
+
+let run_cluster ?(options = default_cluster_options) (t : target) =
+  let opts = options in
+  let shared_alloc = ref 0x1000 in
+  let cfg =
+    {
+      Cluster.Driver.nworkers = opts.nworkers;
+      make_worker = make_worker ~opts t shared_alloc;
+      join_tick = (fun i -> i * opts.join_spread);
+      speed =
+        (fun i ->
+          if opts.heterogeneous then
+            (* deterministic spread around the base speed, like the
+               paper's 2.3-2.6 GHz heterogeneous cluster *)
+            opts.speed * (85 + ((i * 7) mod 31)) / 100
+          else opts.speed);
+      status_interval = opts.status_interval;
+      latency = opts.latency;
+      lb_disable_at = opts.lb_disable_at;
+      goal = opts.cluster_goal;
+      max_ticks = opts.max_ticks;
+      bucket_ticks = opts.bucket_ticks;
+      coverable_lines = List.length (Cvm.Program.covered_lines t.program);
+    }
+  in
+  Cluster.Driver.run cfg
+
+(* --- reporting ---------------------------------------------------------------------- *)
+
+let pp_report fmt (r : report) =
+  Format.fprintf fmt "target %s: %d paths (%d errors), %.1f%% line coverage, %d instructions%s@."
+    r.target_name r.paths r.errors (100.0 *. r.coverage) r.instructions
+    (if r.exhausted then ", exhaustive" else "");
+  List.iteri
+    (fun i tc ->
+      if Errors.is_error tc.Testcase.termination then
+        Format.fprintf fmt "  bug %d: %a" i Testcase.pp tc)
+    r.tests
+
+let error_tests (r : report) =
+  List.filter (fun tc -> Errors.is_error tc.Testcase.termination) r.tests

@@ -1,0 +1,79 @@
+(** The Cloud9 platform facade: one entry point for writing and running
+    symbolic tests (paper section 5) — locally (one worker, classic KLEE
+    style) or on a simulated cluster with dynamic load balancing
+    (section 3). *)
+
+module Errors = Engine.Errors
+module Testcase = Engine.Testcase
+
+type target = {
+  name : string;
+  kind : string;  (** the "Type of Software" column of Table 4 *)
+  program : Cvm.Program.t;
+}
+
+val target : ?kind:string -> string -> Cvm.Program.t -> target
+
+type options = {
+  max_steps : int option;  (** per-path instruction cap (hang detector) *)
+  check_div_zero : bool;
+  strategy : string;       (** a {!Engine.Searcher.of_name} name *)
+  seed : int;
+  collect_tests : int;     (** how many test cases to materialize *)
+  goal : Engine.Driver.goal;
+}
+
+val default_options : options
+
+type report = {
+  target_name : string;
+  paths : int;
+  errors : int;
+  coverage : float;          (** fraction of coverable source lines *)
+  coverage_vector : Bytes.t; (** raw line bit vector, for unions *)
+  coverable : int;
+  instructions : int;
+  exhausted : bool;
+  tests : Testcase.t list;
+  solver_stats : Smt.Solver.stats;
+}
+
+(** Run a symbolic test on one engine. *)
+val run_local : ?options:options -> target -> report
+
+(** OR coverage vectors and return the covered fraction — the "cumulated
+    coverage" arithmetic of Table 5. *)
+val union_coverage : coverable:int -> Bytes.t list -> float
+
+(** Re-execute a generated test case concretely (its recorded input bytes
+    replace the symbolic data), returning the termination of the single
+    path it drives — for a bug test, the same bug.  [None] when the
+    program retains nondeterminism beyond its symbolic inputs (e.g.
+    symbolic fragmentation), which makes the concrete run fork. *)
+val replay_test : ?max_steps:int -> target -> Testcase.t -> Errors.termination option
+
+type cluster_options = {
+  nworkers : int;
+  speed : int;           (** instructions per worker per tick *)
+  heterogeneous : bool;  (** vary worker speeds, as on a real cluster *)
+  join_spread : int;     (** ticks between worker arrivals *)
+  status_interval : int;
+  latency : int;
+  lb_disable_at : int option;
+  cluster_goal : Cluster.Driver.goal;
+  max_ticks : int;
+  bucket_ticks : int;
+  cworker_max_steps : int option;
+  cseed : int;
+  use_global_alloc : bool;  (** broken-replay ablation *)
+}
+
+val default_cluster_options : cluster_options
+
+(** Run the target on a simulated cluster. *)
+val run_cluster : ?options:cluster_options -> target -> Cluster.Driver.result
+
+val pp_report : Format.formatter -> report -> unit
+
+(** The collected test cases whose termination is an error. *)
+val error_tests : report -> Testcase.t list

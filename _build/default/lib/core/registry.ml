@@ -1,0 +1,172 @@
+(* The registry of testing targets: every system of paper Table 4 that we
+   reproduce, each with its symbolic test harnesses.  The CLI, the
+   examples, and the benchmark harness all draw targets from here. *)
+
+type entry = {
+  rname : string;
+  rkind : string;              (* "Type of Software" (Table 4) *)
+  variants : (string * (unit -> Cvm.Program.t)) list;
+      (* harness name -> program; the first is the default *)
+}
+
+let entries =
+  [
+    {
+      rname = "memcached";
+      rkind = "Distributed object cache";
+      variants =
+        [
+          ("sym-packets-2", fun () -> Targets.Memcached_mini.symbolic_packets ~npackets:2 ~pkt_len:5);
+          ("sym-packets-1", fun () -> Targets.Memcached_mini.symbolic_packets ~npackets:1 ~pkt_len:5);
+          ("udp-hang", fun () -> Targets.Memcached_mini.udp_program ~dgram_len:5);
+          ( "suite",
+            fun () ->
+              let _, cmds, statuses = List.hd Targets.Memcached_mini.test_suite in
+              Targets.Memcached_mini.concrete_suite ~commands:cmds ~expected_statuses:statuses () );
+        ];
+    };
+    {
+      rname = "lighttpd";
+      rkind = "Web server";
+      variants =
+        [
+          ("v12-split", fun () -> Targets.Lighttpd_mini.(program V12 pattern_split));
+          ("v12-whole", fun () -> Targets.Lighttpd_mini.(program V12 pattern_whole));
+          ("v12-complex", fun () -> Targets.Lighttpd_mini.(program V12 pattern_complex));
+          ("v13-split", fun () -> Targets.Lighttpd_mini.(program V13 pattern_split));
+          ("v13-whole", fun () -> Targets.Lighttpd_mini.(program V13 pattern_whole));
+          ("v13-complex", fun () -> Targets.Lighttpd_mini.(program V13 pattern_complex));
+          ("v13-symbolic-frag", fun () -> Targets.Lighttpd_mini.(symbolic_program V13));
+        ];
+    };
+    {
+      rname = "curl";
+      rkind = "Network utility";
+      variants =
+        [
+          ("symbolic", fun () -> Targets.Curl_glob.program ~buggy:true ~url_len:6);
+          ("fixed-symbolic", fun () -> Targets.Curl_glob.program ~buggy:false ~url_len:6);
+          ( "crash-input",
+            fun () -> Targets.Curl_glob.concrete_program ~buggy:true ~url:"s.{a,b}.com{" );
+        ];
+    };
+    {
+      rname = "bandicoot";
+      rkind = "Lightweight DBMS";
+      variants = [ ("symbolic", fun () -> Targets.Bandicoot_mini.program ~req_len:10) ];
+    };
+    {
+      rname = "apache";
+      rkind = "Web server";
+      variants =
+        [
+          ("symbolic", fun () -> Targets.Apache_mini.program ~req_len:7);
+          ( "conformance",
+            fun () -> Targets.Apache_mini.concrete_program ~req:"GET / HTTP/1.1\r\nHost: x\r\n\r\n" );
+        ];
+    };
+    {
+      rname = "ghttpd";
+      rkind = "Web server";
+      variants =
+        [
+          ("symbolic", fun () -> Targets.Ghttpd_mini.program ~buggy:true ~req_len:22);
+          ("fixed-symbolic", fun () -> Targets.Ghttpd_mini.program ~buggy:false ~req_len:22);
+        ];
+    };
+    {
+      rname = "python";
+      rkind = "Language interpreter";
+      variants =
+        [
+          ("sym-3", fun () -> Targets.Python_mini.program ~src_len:3);
+          ("sym-4", fun () -> Targets.Python_mini.program ~src_len:4);
+        ];
+    };
+    {
+      rname = "rsync";
+      rkind = "Network utility";
+      variants = [ ("sym-5", fun () -> Targets.Rsync_mini.program ~new_len:5) ];
+    };
+    {
+      rname = "pbzip";
+      rkind = "Compression utility";
+      variants =
+        [
+          ("symbolic", fun () -> Targets.Pbzip_mini.program ~nblocks:1 ~nworkers:2 ~symbolic:true);
+          ("concrete", fun () -> Targets.Pbzip_mini.program ~nblocks:3 ~nworkers:2 ~symbolic:false);
+        ];
+    };
+    {
+      rname = "libevent";
+      rkind = "Event notification library";
+      variants =
+        [
+          ("symbolic", fun () -> Targets.Libevent_mini.program ~payload:"xxxx" ~symbolic:true);
+          ("concrete", fun () -> Targets.Libevent_mini.program ~payload:"hello!" ~symbolic:false);
+        ];
+    };
+    {
+      rname = "printf";
+      rkind = "UNIX utility";
+      variants =
+        [
+          ("sym-4", fun () -> Targets.Printf_target.program ~fmt_len:4);
+          ("sym-5", fun () -> Targets.Printf_target.program ~fmt_len:5);
+        ];
+    };
+    {
+      rname = "test";
+      rkind = "UNIX utility";
+      variants = [ ("sym-3", fun () -> Targets.Test_target.program ~ntokens:3) ];
+    };
+    {
+      rname = "prodcons";
+      rkind = "POSIX model exerciser";
+      variants =
+        [
+          ( "symbolic",
+            fun () ->
+              Targets.Prodcons.program ~nproducers:1 ~nconsumers:1 ~items_per_producer:2
+                ~symbolic:true );
+          ( "concrete",
+            fun () ->
+              Targets.Prodcons.program ~nproducers:2 ~nconsumers:2 ~items_per_producer:2
+                ~symbolic:false );
+        ];
+    };
+    {
+      rname = "coreutils";
+      rkind = "Suite of system utilities";
+      variants =
+        List.init Targets.Coreutils_gen.count (fun seed ->
+            (Targets.Coreutils_gen.name seed, fun () -> Targets.Coreutils_gen.program seed));
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.rname = name) entries
+
+let find_variant entry variant =
+  match variant with
+  | None -> Some (List.hd entry.variants)
+  | Some vname -> List.find_opt (fun (n, _) -> n = vname) entry.variants
+
+(* Instantiate a Cloud9 target from registry names. *)
+let resolve ~name ~variant =
+  match find name with
+  | None -> None
+  | Some e -> (
+    match find_variant e variant with
+    | None -> None
+    | Some (vname, mk) ->
+      Some (Cloud9.target ~kind:e.rkind (Printf.sprintf "%s/%s" e.rname vname) (mk ())))
+
+(* Rows of Table 4: target name, type, and static size in IR instructions
+   and source statements of the default harness. *)
+let table4 () =
+  List.map
+    (fun e ->
+      let _, mk = List.hd e.variants in
+      let p = mk () in
+      (e.rname, e.rkind, Cvm.Program.instruction_count p, p.Cvm.Program.nlines))
+    entries

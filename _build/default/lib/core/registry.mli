@@ -1,0 +1,23 @@
+(** The registry of testing targets: every system of paper Table 4, each
+    with its symbolic test harnesses.  The CLI, the examples, and the
+    benchmark harness all draw targets from here. *)
+
+type entry = {
+  rname : string;
+  rkind : string;  (** "Type of Software" (Table 4) *)
+  variants : (string * (unit -> Cvm.Program.t)) list;
+      (** harness name -> program; the first is the default *)
+}
+
+val entries : entry list
+
+val find : string -> entry option
+val find_variant : entry -> string option -> (string * (unit -> Cvm.Program.t)) option
+
+(** Instantiate a Cloud9 target; [variant = None] picks the default
+    harness.  [None] when the name or variant is unknown. *)
+val resolve : name:string -> variant:string option -> Cloud9.target option
+
+(** Rows of Table 4: (name, type, IR instruction count, statement count)
+    of each default harness. *)
+val table4 : unit -> (string * string * int * int) list

@@ -1,0 +1,1 @@
+lib/cvm/instr.ml: Format List Smt

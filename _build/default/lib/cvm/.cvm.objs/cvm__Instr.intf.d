@@ -1,0 +1,1 @@
+lib/cvm/instr.mli: Format Smt

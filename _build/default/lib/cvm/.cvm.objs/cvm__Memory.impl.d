@@ -1,0 +1,1 @@
+lib/cvm/memory.ml: Array Buffer Char Int Int64 Map Printf Smt String

@@ -1,0 +1,1 @@
+lib/cvm/memory.mli: Smt

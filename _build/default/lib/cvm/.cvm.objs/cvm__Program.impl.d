@@ -1,0 +1,1 @@
+lib/cvm/program.ml: Array Format Instr Int List Option Printf Set String

@@ -1,0 +1,1 @@
+lib/cvm/program.mli: Format Instr

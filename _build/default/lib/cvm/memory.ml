@@ -1,0 +1,242 @@
+(* Byte-granular symbolic memory with multiple address spaces per state.
+
+   The layout mirrors the KLEE/Cloud9 model:
+   - memory is a set of objects, each a contiguous byte array whose cells
+     hold width-8 expressions;
+   - a state holds one address space per process, plus a set of *shared*
+     objects visible to every process in the copy-on-write domain
+     (paper section 4.2, [cloud9_make_shared]);
+   - all structures are persistent, so cloning a state at a fork is O(1)
+     and writes are copy-on-write;
+   - addresses come from a deterministic per-state bump allocator, which is
+     the fix for broken replays described in paper section 6: a replayed
+     path performs the same allocations and therefore computes the same
+     addresses.
+
+   Loads and stores are little-endian. *)
+
+module Imap = Map.Make (Int)
+
+type fault =
+  | Out_of_bounds of { addr : int; size : int }
+  | Use_after_free of { addr : int }
+  | Unmapped of { addr : int }
+  | Read_only of { addr : int }
+
+exception Fault of fault
+
+let fault_to_string = function
+  | Out_of_bounds { addr; size } -> Printf.sprintf "out-of-bounds access at 0x%x size %d" addr size
+  | Use_after_free { addr } -> Printf.sprintf "use after free at 0x%x" addr
+  | Unmapped { addr } -> Printf.sprintf "access to unmapped address 0x%x" addr
+  | Read_only { addr } -> Printf.sprintf "write to read-only memory at 0x%x" addr
+
+type obj = {
+  base : int;
+  size : int;
+  init : Smt.Expr.t array;     (* initial contents; never mutated *)
+  writes : Smt.Expr.t Imap.t;  (* overlay of writes, keyed by offset *)
+  writable : bool;
+  freed : bool;
+}
+
+type space = obj Imap.t (* keyed by base address *)
+
+type t = {
+  spaces : space Imap.t; (* process id -> private address space *)
+  shared : space;        (* objects shared across the CoW domain *)
+  next_addr : int;       (* deterministic bump allocator *)
+}
+
+(* Leave address 0 unmapped so null-pointer dereferences fault. *)
+let initial_break = 0x1000
+
+let empty = { spaces = Imap.singleton 0 Imap.empty; shared = Imap.empty; next_addr = initial_break }
+
+let byte_zero = Smt.Expr.const ~width:8 0L
+
+let align16 n = (n + 15) land lnot 15
+
+(* --- address spaces ------------------------------------------------------ *)
+
+let add_space t ~pid = { t with spaces = Imap.add pid Imap.empty t.spaces }
+
+(* Fork: the child gets a copy of the parent's private space.  Persistence
+   makes this O(1); subsequent writes diverge. *)
+let clone_space t ~parent ~child =
+  match Imap.find_opt parent t.spaces with
+  | None -> invalid_arg "Memory.clone_space: unknown parent process"
+  | Some sp -> { t with spaces = Imap.add child sp t.spaces }
+
+let remove_space t ~pid = { t with spaces = Imap.remove pid t.spaces }
+
+let space_exn t pid =
+  match Imap.find_opt pid t.spaces with
+  | Some sp -> sp
+  | None -> invalid_arg (Printf.sprintf "Memory: unknown process %d" pid)
+
+(* --- allocation ------------------------------------------------------------ *)
+
+let alloc_with ~shared ~writable ~init t ~pid =
+  let size = Array.length init in
+  let base = t.next_addr in
+  (* the +1 red zone guarantees at least one unmapped byte between
+     objects, so off-by-one overflows fault instead of silently landing
+     in the neighboring object *)
+  let next_addr = base + align16 (max size 1 + 1) in
+  let obj = { base; size; init; writes = Imap.empty; writable; freed = false } in
+  let t =
+    if shared then { t with shared = Imap.add base obj t.shared; next_addr }
+    else
+      let sp = space_exn t pid in
+      { t with spaces = Imap.add pid (Imap.add base obj sp) t.spaces; next_addr }
+  in
+  (t, base)
+
+let alloc ?(shared = false) ?(writable = true) t ~pid ~size =
+  alloc_with ~shared ~writable ~init:(Array.make size byte_zero) t ~pid
+
+let alloc_bytes ?(shared = false) ?(writable = true) t ~pid ~bytes =
+  let init = Array.init (String.length bytes) (fun i -> Smt.Expr.const ~width:8 (Int64.of_int (Char.code bytes.[i]))) in
+  alloc_with ~shared ~writable ~init t ~pid
+
+let alloc_exprs ?(shared = false) ?(writable = true) t ~pid ~init =
+  alloc_with ~shared ~writable ~init t ~pid
+
+(* Override the bump pointer; used by the global-counter allocation mode in
+   the broken-replay ablation. *)
+let set_next_addr t addr = { t with next_addr = max t.next_addr addr }
+let next_addr t = t.next_addr
+
+(* --- object lookup ----------------------------------------------------------- *)
+
+let find_in sp addr =
+  match Imap.find_last_opt (fun base -> base <= addr) sp with
+  | Some (_, obj) when addr < obj.base + obj.size -> Some obj
+  | Some _ | None -> None
+
+(* Find the object containing [addr]: the process's private space first,
+   then the shared pool. *)
+let find_obj t ~pid addr =
+  match find_in (space_exn t pid) addr with
+  | Some obj -> Some (`Private, obj)
+  | None -> (
+    match find_in t.shared addr with Some obj -> Some (`Shared, obj) | None -> None)
+
+let check_range obj addr len =
+  if addr < obj.base || addr + len > obj.base + obj.size then
+    raise (Fault (Out_of_bounds { addr; size = len }))
+
+let obj_read_byte obj off =
+  match Imap.find_opt off obj.writes with Some e -> e | None -> obj.init.(off)
+
+let obj_write_byte obj off e = { obj with writes = Imap.add off e obj.writes }
+
+let update_obj t ~pid where obj =
+  match where with
+  | `Shared -> { t with shared = Imap.add obj.base obj t.shared }
+  | `Private ->
+    let sp = space_exn t pid in
+    { t with spaces = Imap.add pid (Imap.add obj.base obj sp) t.spaces }
+
+(* --- loads and stores ----------------------------------------------------------- *)
+
+let locate t ~pid addr len =
+  match find_obj t ~pid addr with
+  | None -> raise (Fault (Unmapped { addr }))
+  | Some (where, obj) ->
+    if obj.freed then raise (Fault (Use_after_free { addr }));
+    check_range obj addr len;
+    (where, obj)
+
+(* [load t ~pid ~addr ~len] reads [len] bytes little-endian and returns an
+   expression of width [8*len]. *)
+let load t ~pid ~addr ~len =
+  let _, obj = locate t ~pid addr len in
+  let off = addr - obj.base in
+  let e = ref (obj_read_byte obj off) in
+  for i = 1 to len - 1 do
+    e := Smt.Expr.concat (obj_read_byte obj (off + i)) !e
+  done;
+  !e
+
+(* [store t ~pid ~addr e] writes [e] (width must be a multiple of 8)
+   little-endian. *)
+let store t ~pid ~addr e =
+  let w = Smt.Expr.width e in
+  assert (w mod 8 = 0);
+  let len = w / 8 in
+  let where, obj = locate t ~pid addr len in
+  if not obj.writable then raise (Fault (Read_only { addr }));
+  let off = addr - obj.base in
+  let obj = ref obj in
+  for i = 0 to len - 1 do
+    let byte = Smt.Simplify.simplify (Smt.Expr.extract e ~off:(8 * i) ~len:8) in
+    obj := obj_write_byte !obj (off + i) byte
+  done;
+  update_obj t ~pid where !obj
+
+let load_byte t ~pid ~addr = load t ~pid ~addr ~len:1
+let store_byte t ~pid ~addr e = store t ~pid ~addr e
+
+let free t ~pid ~addr =
+  match find_obj t ~pid addr with
+  | None -> raise (Fault (Unmapped { addr }))
+  | Some (_, obj) when obj.freed -> raise (Fault (Use_after_free { addr }))
+  | Some (_, obj) when obj.base <> addr ->
+    raise (Fault (Out_of_bounds { addr; size = 0 })) (* free of interior pointer *)
+  | Some (where, obj) -> update_obj t ~pid where { obj with freed = true }
+
+(* Promote an existing private object to the shared pool
+   ([cloud9_make_shared]). *)
+let make_shared t ~pid ~addr =
+  match find_obj t ~pid addr with
+  | None -> raise (Fault (Unmapped { addr }))
+  | Some (`Shared, _) -> t
+  | Some (`Private, obj) ->
+    let sp = Imap.remove obj.base (space_exn t pid) in
+    { t with spaces = Imap.add pid sp t.spaces; shared = Imap.add obj.base obj t.shared }
+
+let object_size t ~pid ~addr =
+  match find_obj t ~pid addr with
+  | Some (_, obj) when not obj.freed -> Some obj.size
+  | Some _ | None -> None
+
+(* Base and size of the live object containing [addr]; used by the
+   engine's symbolic-pointer bounds check. *)
+let containing_object t ~pid ~addr =
+  match find_obj t ~pid addr with
+  | Some (_, obj) when not obj.freed -> Some (obj.base, obj.size)
+  | Some _ | None -> None
+
+(* Read a concrete, NUL-terminated string; any symbolic byte stops the
+   read.  Utility for syscall handlers and test reporting. *)
+let read_cstring ?(max_len = 4096) t ~pid ~addr =
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i >= max_len then Buffer.contents buf
+    else
+      let b = load t ~pid ~addr:(addr + i) ~len:1 in
+      match Smt.Expr.const_value b with
+      | Some 0L -> Buffer.contents buf
+      | Some v ->
+        Buffer.add_char buf (Char.chr (Int64.to_int v land 0xff));
+        go (i + 1)
+      | None -> Buffer.contents buf
+  in
+  go 0
+
+(* Write a concrete string (no terminator added). *)
+let write_string t ~pid ~addr s =
+  let t = ref t in
+  String.iteri
+    (fun i c ->
+      t := store !t ~pid ~addr:(addr + i) (Smt.Expr.const ~width:8 (Int64.of_int (Char.code c))))
+    s;
+  !t
+
+(* Total bytes currently allocated in a process's view (private + shared,
+   live objects only); used by the symbolic max-heap limit. *)
+let footprint t ~pid =
+  let count sp = Imap.fold (fun _ o acc -> if o.freed then acc else acc + o.size) sp 0 in
+  count (space_exn t pid) + count t.shared

@@ -1,0 +1,82 @@
+(** Byte-granular symbolic memory with multiple address spaces per state.
+
+    Memory is a set of objects whose cells hold width-8 expressions.  A
+    state holds one private address space per process plus a pool of
+    {e shared} objects visible to all processes of the copy-on-write domain
+    (paper section 4.2).  All structures are persistent: cloning at a fork
+    is O(1) and writes are copy-on-write.  Addresses come from a
+    deterministic per-state bump allocator (the broken-replay fix of paper
+    section 6).  Loads and stores are little-endian. *)
+
+type fault =
+  | Out_of_bounds of { addr : int; size : int }
+  | Use_after_free of { addr : int }
+  | Unmapped of { addr : int }
+  | Read_only of { addr : int }
+
+exception Fault of fault
+
+val fault_to_string : fault -> string
+
+type t
+
+(** One process (pid 0) with an empty address space; address 0 unmapped. *)
+val empty : t
+
+(** Register an empty address space for a new process id. *)
+val add_space : t -> pid:int -> t
+
+(** Duplicate [parent]'s address space for [child] (process fork). *)
+val clone_space : t -> parent:int -> child:int -> t
+
+val remove_space : t -> pid:int -> t
+
+(** Allocate [size] zeroed bytes; returns the base address.
+    [shared] places the object in the CoW-domain shared pool. *)
+val alloc : ?shared:bool -> ?writable:bool -> t -> pid:int -> size:int -> t * int
+
+(** Allocate and initialize from a concrete string. *)
+val alloc_bytes : ?shared:bool -> ?writable:bool -> t -> pid:int -> bytes:string -> t * int
+
+(** Allocate and initialize from width-8 expressions. *)
+val alloc_exprs :
+  ?shared:bool -> ?writable:bool -> t -> pid:int -> init:Smt.Expr.t array -> t * int
+
+(** Raise the bump pointer (global-counter allocation ablation). *)
+val set_next_addr : t -> int -> t
+
+val next_addr : t -> int
+
+(** Read [len] bytes little-endian as a width-[8*len] expression.
+    @raise Fault on unmapped, out-of-bounds, or freed accesses. *)
+val load : t -> pid:int -> addr:int -> len:int -> Smt.Expr.t
+
+(** Write an expression whose width is a multiple of 8, little-endian.
+    @raise Fault on bad accesses or read-only objects. *)
+val store : t -> pid:int -> addr:int -> Smt.Expr.t -> t
+
+val load_byte : t -> pid:int -> addr:int -> Smt.Expr.t
+val store_byte : t -> pid:int -> addr:int -> Smt.Expr.t -> t
+
+(** Mark an object freed; later accesses fault with [Use_after_free].
+    @raise Fault if [addr] is not an object base. *)
+val free : t -> pid:int -> addr:int -> t
+
+(** Promote a private object to the shared pool ([cloud9_make_shared]). *)
+val make_shared : t -> pid:int -> addr:int -> t
+
+(** Size of the live object containing [addr], if any. *)
+val object_size : t -> pid:int -> addr:int -> int option
+
+(** Base and size of the live object containing [addr], if any. *)
+val containing_object : t -> pid:int -> addr:int -> (int * int) option
+
+(** Read a concrete NUL-terminated string (stops at symbolic bytes). *)
+val read_cstring : ?max_len:int -> t -> pid:int -> addr:int -> string
+
+(** Store a concrete string, no terminator added. *)
+val write_string : t -> pid:int -> addr:int -> string -> t
+
+(** Total live bytes visible to [pid] (private + shared); used by the
+    symbolic max-heap limit. *)
+val footprint : t -> pid:int -> int

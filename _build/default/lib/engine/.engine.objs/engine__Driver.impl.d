@@ -1,0 +1,1 @@
+lib/engine/driver.ml: Cvm Errors Executor List Option Searcher Smt State Testcase

@@ -1,0 +1,1 @@
+lib/engine/driver.mli: Cvm Executor Searcher Smt State Testcase

@@ -1,0 +1,1 @@
+lib/engine/executor.ml: Bytes Char Cvm Errors Int64 List Option Path Printf Smt State String

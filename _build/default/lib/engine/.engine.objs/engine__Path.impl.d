@@ -1,0 +1,1 @@
+lib/engine/path.ml: List Printf String

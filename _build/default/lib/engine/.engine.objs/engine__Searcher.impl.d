@@ -1,0 +1,1 @@
+lib/engine/searcher.ml: Array Hashtbl List Path Queue Random State

@@ -1,0 +1,1 @@
+lib/engine/searcher.mli: Path Random State

@@ -1,0 +1,1 @@
+lib/engine/state.ml: Array Cvm Int Int64 List Map Path Printf Smt

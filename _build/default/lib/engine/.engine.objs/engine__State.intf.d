@@ -1,0 +1,1 @@
+lib/engine/state.mli: Cvm Map Path Smt

@@ -1,0 +1,1 @@
+lib/engine/testcase.ml: Char Errors Format Int64 List Path Smt State String

@@ -1,0 +1,1 @@
+lib/engine/testcase.mli: Errors Format Path Smt State

@@ -1,0 +1,90 @@
+(* Single-node exploration driver: the classic KLEE loop.  Pick a state
+   with the searcher, execute one step, insert the successors, record test
+   cases at terminations — until a goal is met or the tree is exhausted.
+
+   The cluster layer (lib/cluster) replaces this loop with per-worker
+   frontier management; this driver is what a "1-worker Cloud9" runs and
+   is also the baseline for all comparisons. *)
+
+type goal =
+  | Exhaust                   (* explore every path *)
+  | Coverage of float         (* stop at this fraction of coverable lines *)
+  | Instructions of int       (* stop after this many retired instructions *)
+  | Paths of int              (* stop after this many completed paths *)
+
+type 'env result = {
+  tests : Testcase.t list;    (* newest first *)
+  paths_explored : int;
+  pruned_paths : int;
+  exhausted : bool;
+  coverage : float;           (* fraction of coverable lines covered *)
+  instructions : int;
+  errors : int;
+}
+
+let coverage_fraction cfg program =
+  let coverable = List.length (Cvm.Program.covered_lines program) in
+  if coverable = 0 then 1.0
+  else float_of_int (Executor.coverage_count cfg) /. float_of_int coverable
+
+let goal_met cfg program ~paths = function
+  | Exhaust -> false
+  | Coverage target -> coverage_fraction cfg program >= target
+  | Instructions n -> cfg.Executor.stats.Executor.useful_instrs >= n
+  | Paths n -> paths >= n
+
+(* [run cfg searcher st0 ~goal] explores from [st0].  [collect_tests]
+   bounds how many test cases are materialized (solving for inputs is the
+   expensive part); path counting is unaffected. *)
+let run ?(collect_tests = max_int) ?(goal = Exhaust) cfg searcher (st0 : 'env State.t) =
+  let program = st0.State.program in
+  searcher.Searcher.add st0;
+  let tests = ref [] in
+  let ntests = ref 0 in
+  let paths = ref 0 in
+  let pruned = ref 0 in
+  let errors = ref 0 in
+  let stop = ref false in
+  while (not !stop) && searcher.Searcher.size () > 0 do
+    match searcher.Searcher.select () with
+    | None -> stop := true
+    | Some st ->
+      let { Executor.running; finished } = Executor.step cfg st in
+      List.iter searcher.Searcher.add running;
+      List.iter
+        (fun (st, term) ->
+          match term with
+          | Errors.Pruned -> incr pruned
+          | Errors.Exit _ | Errors.Error _ ->
+            incr paths;
+            if Errors.is_error term then incr errors;
+            if !ntests < collect_tests then begin
+              match Testcase.of_state cfg.Executor.solver st term with
+              | Some tc ->
+                tests := tc :: !tests;
+                incr ntests
+              | None -> ()
+            end)
+        finished;
+      if goal_met cfg program ~paths:!paths goal then stop := true
+  done;
+  {
+    tests = !tests;
+    paths_explored = !paths;
+    pruned_paths = !pruned;
+    exhausted = searcher.Searcher.size () = 0;
+    coverage = coverage_fraction cfg program;
+    instructions = cfg.Executor.stats.Executor.useful_instrs;
+    errors = !errors;
+  }
+
+(* Convenience wrapper: run a program that needs no environment model. *)
+let run_pure ?collect_tests ?goal ?max_steps ~searcher program ~args =
+  let solver = Smt.Solver.create () in
+  let cfg =
+    Executor.make_config ~solver ~handler:Executor.no_env_handler
+      ~nlines:program.Cvm.Program.nlines
+      ?max_steps:(Option.map Option.some max_steps) ()
+  in
+  let st0 = State.init program ~env:() ~args in
+  (cfg, run ?collect_tests ?goal cfg searcher st0)

@@ -1,0 +1,35 @@
+(* Ways an execution path can end.  Every termination yields a test case;
+   error terminations are the bugs Cloud9 reports (memory errors and
+   failed assertions inherited from KLEE, plus the two hang detectors the
+   paper adds: deadlock, and the per-path instruction cap that exposed the
+   memcached UDP infinite loop, section 7.3.3). *)
+
+type error =
+  | Memory_fault of string    (* out-of-bounds, use-after-free, unmapped *)
+  | Assert_failed of string
+  | Division_by_zero
+  | Deadlock                  (* all live threads sleeping *)
+  | Instruction_limit         (* per-path cap exceeded: suspected hang *)
+  | Invalid_op of string      (* e.g. unresolvable symbolic pointer *)
+  | Model_failure of string   (* the environment model rejected the call *)
+
+type termination =
+  | Exit of int64             (* normal exit with code *)
+  | Error of error
+  | Pruned                    (* infeasible assumption: no test case generated *)
+
+let error_to_string = function
+  | Memory_fault s -> "memory fault: " ^ s
+  | Assert_failed m -> "assertion failed: " ^ m
+  | Division_by_zero -> "division by zero"
+  | Deadlock -> "deadlock: all threads sleeping"
+  | Instruction_limit -> "instruction limit exceeded (suspected hang)"
+  | Invalid_op s -> "invalid operation: " ^ s
+  | Model_failure s -> "environment model failure: " ^ s
+
+let termination_to_string = function
+  | Exit code -> Printf.sprintf "exit(%Ld)" code
+  | Error e -> error_to_string e
+  | Pruned -> "pruned (infeasible assumption)"
+
+let is_error = function Exit _ | Pruned -> false | Error _ -> true

@@ -1,0 +1,24 @@
+(** Ways an execution path can end.  Error terminations are the bugs the
+    platform reports: memory errors and failed assertions (inherited from
+    the KLEE feature set) plus the two hang detectors the paper adds —
+    deadlock and the per-path instruction cap (section 7.3.3). *)
+
+type error =
+  | Memory_fault of string  (** out-of-bounds, use-after-free, unmapped *)
+  | Assert_failed of string
+  | Division_by_zero
+  | Deadlock                (** all live threads sleeping *)
+  | Instruction_limit       (** per-path cap exceeded: suspected hang *)
+  | Invalid_op of string    (** engine-level misuse, e.g. infeasible state *)
+  | Model_failure of string (** the environment model rejected the call *)
+
+type termination =
+  | Exit of int64  (** normal exit with code *)
+  | Error of error
+  | Pruned         (** infeasible assumption: no test case generated *)
+
+val error_to_string : error -> string
+val termination_to_string : termination -> string
+
+(** [true] only for [Error _]. *)
+val is_error : termination -> bool

@@ -1,0 +1,47 @@
+(* Path encoding: the sequence of nondeterministic choices that leads from
+   the execution-tree root to a node.  This is the currency of Cloud9's
+   job transfer (paper section 3.2): a candidate node is shipped to
+   another worker as its root path and "replayed" there.
+
+   A choice records which successor was taken at a fork point:
+   - [Branch b]: a symbolic conditional branch (or a checked operation such
+     as division-by-zero, encoded as the "no fault" branch being [true]);
+   - [Sched i]: the i-th runnable thread was scheduled;
+   - [Sys i]: the i-th variant of a forking system call (fault injection,
+     packet fragmentation, symbolic ioctls, ...). *)
+
+type choice = Branch of bool | Sched of int | Sys of int
+
+(* Root-first list of choices. *)
+type t = choice list
+
+let choice_to_string = function
+  | Branch true -> "T"
+  | Branch false -> "F"
+  | Sched i -> Printf.sprintf "s%d" i
+  | Sys i -> Printf.sprintf "y%d" i
+
+let to_string p = String.concat "" (List.map choice_to_string p)
+
+let compare_choice (a : choice) (b : choice) = compare a b
+
+let compare (a : t) (b : t) = compare a b
+
+(* [is_prefix p q] holds when [p] is a prefix of [q]. *)
+let rec is_prefix p q =
+  match (p, q) with
+  | [], _ -> true
+  | _, [] -> false
+  | c1 :: p', c2 :: q' -> c1 = c2 && is_prefix p' q'
+
+let length = List.length
+
+(* Number of choices shared at the front of two paths. *)
+let rec common_prefix_len p q =
+  match (p, q) with
+  | c1 :: p', c2 :: q' when c1 = c2 -> 1 + common_prefix_len p' q'
+  | _ -> 0
+
+(* Serialized size in bytes of a path when encoded one byte per choice
+   (used by the transfer-encoding ablation bench). *)
+let encoded_size p = List.length p

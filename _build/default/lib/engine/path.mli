@@ -1,0 +1,30 @@
+(** Path encoding: the sequence of nondeterministic choices from the
+    execution-tree root to a node — the currency of Cloud9's job transfer
+    (paper section 3.2). *)
+
+type choice =
+  | Branch of bool  (** a symbolic conditional (or checked operation) *)
+  | Sched of int    (** the i-th runnable thread was scheduled *)
+  | Sys of int      (** the i-th variant of a forking system call *)
+
+(** Root-first list of choices. *)
+type t = choice list
+
+val choice_to_string : choice -> string
+
+(** Compact textual form, e.g. ["TFy2sT"]; unique per node. *)
+val to_string : t -> string
+
+val compare_choice : choice -> choice -> int
+val compare : t -> t -> int
+
+(** [is_prefix p q]: [p] is a prefix of [q] (i.e. [q] is in [p]'s subtree). *)
+val is_prefix : t -> t -> bool
+
+val length : t -> int
+
+(** Number of choices shared at the front of two paths. *)
+val common_prefix_len : t -> t -> int
+
+(** Serialized size in bytes at one byte per choice. *)
+val encoded_size : t -> int

@@ -1,0 +1,258 @@
+(* Exploration strategies: which candidate state to execute next.
+
+   Cloud9 workers run the same searchers KLEE ships (paper section 7:
+   "an interleaving of random-path and coverage-optimized strategies");
+   the cluster layer coordinates them globally via the coverage overlay.
+
+   All searchers share one interface and support removal by path, so an
+   interleaved searcher can keep several orderings over the same state
+   population.  A state's path is its unique key. *)
+
+type 'env t = {
+  add : 'env State.t -> unit;
+  select : unit -> 'env State.t option; (* removes the state *)
+  remove : Path.t -> unit;
+  size : unit -> int;
+}
+
+let key st = Path.to_string (State.path st)
+let key_of_path p = Path.to_string p
+
+(* --- depth-first ------------------------------------------------------------ *)
+
+let dfs () =
+  let table : (string, 'env State.t) Hashtbl.t = Hashtbl.create 64 in
+  let stack = ref [] in
+  let rec pop () =
+    match !stack with
+    | [] -> None
+    | k :: rest -> (
+      stack := rest;
+      match Hashtbl.find_opt table k with
+      | Some st ->
+        Hashtbl.remove table k;
+        Some st
+      | None -> pop () (* removed earlier: skip the stale key *))
+  in
+  {
+    add =
+      (fun st ->
+        let k = key st in
+        Hashtbl.replace table k st;
+        stack := k :: !stack);
+    select = pop;
+    remove = (fun p -> Hashtbl.remove table (key_of_path p));
+    size = (fun () -> Hashtbl.length table);
+  }
+
+(* --- breadth-first ------------------------------------------------------------ *)
+
+let bfs () =
+  let table : (string, 'env State.t) Hashtbl.t = Hashtbl.create 64 in
+  let q = Queue.create () in
+  let rec pop () =
+    match Queue.take_opt q with
+    | None -> None
+    | Some k -> (
+      match Hashtbl.find_opt table k with
+      | Some st ->
+        Hashtbl.remove table k;
+        Some st
+      | None -> pop ())
+  in
+  {
+    add =
+      (fun st ->
+        let k = key st in
+        Hashtbl.replace table k st;
+        Queue.add k q);
+    select = pop;
+    remove = (fun p -> Hashtbl.remove table (key_of_path p));
+    size = (fun () -> Hashtbl.length table);
+  }
+
+(* --- random-path ----------------------------------------------------------------- *)
+
+(* KLEE's random-path searcher: walk the execution tree from the root,
+   picking a uniformly random child at each internal node, until reaching
+   a leaf state.  Deep subtrees thus do not dominate selection.  We keep a
+   trie of the alive states' paths. *)
+
+module Trie = struct
+  type 'env node = {
+    mutable state : 'env State.t option;
+    mutable children : (Path.choice * 'env node) list;
+    mutable count : int; (* alive states in this subtree *)
+  }
+
+  let make () = { state = None; children = []; count = 0 }
+
+  (* Returns true when a new payload was created: re-adding a state at an
+     existing path (a state stepped without forking keeps its path) must
+     not inflate ancestor counts. *)
+  let rec add_fresh node path st =
+    match path with
+    | [] ->
+      let fresh = node.state = None in
+      node.state <- Some st;
+      if fresh then node.count <- node.count + 1;
+      fresh
+    | c :: rest ->
+      let child =
+        match List.assoc_opt c node.children with
+        | Some n -> n
+        | None ->
+          let n = make () in
+          node.children <- (c, n) :: node.children;
+          n
+      in
+      let fresh = add_fresh child rest st in
+      if fresh then node.count <- node.count + 1;
+      fresh
+
+  let add node path st = ignore (add_fresh node path st)
+
+  (* Returns true when a state was removed. *)
+  let rec remove node path =
+    match path with
+    | [] ->
+      if node.state = None then false
+      else begin
+        node.state <- None;
+        node.count <- node.count - 1;
+        true
+      end
+    | c :: rest -> (
+      match List.assoc_opt c node.children with
+      | None -> false
+      | Some child ->
+        let removed = remove child rest in
+        if removed then begin
+          node.count <- node.count - 1;
+          if child.count = 0 then node.children <- List.remove_assoc c node.children
+        end;
+        removed)
+
+  let rec pick rng node =
+    (* candidates: the state at this node, plus each nonempty child *)
+    let options =
+      (match node.state with Some _ -> [ `Here ] | None -> [])
+      @ List.filter_map (fun (_, n) -> if n.count > 0 then Some (`Child n) else None)
+          (List.map (fun x -> x) node.children)
+    in
+    match options with
+    | [] -> None
+    | _ -> (
+      match List.nth options (Random.State.int rng (List.length options)) with
+      | `Here -> node.state
+      | `Child n -> pick rng n)
+end
+
+let random_path ~rng () =
+  let root = Trie.make () in
+  let rec select () =
+    match Trie.pick rng root with
+    | None -> None
+    | Some st ->
+      if Trie.remove root (State.path st) then Some st
+      else select ()
+  in
+  {
+    add = (fun st -> Trie.add root (State.path st) st);
+    select;
+    remove = (fun p -> ignore (Trie.remove root p));
+    size = (fun () -> root.Trie.count);
+  }
+
+(* --- coverage-optimized -------------------------------------------------------------- *)
+
+(* Weighted random selection: states that recently covered new code get
+   high weight — a proxy for "estimated distance to an uncovered line"
+   (paper section 7: coverage-optimized strategy). *)
+
+let coverage_optimized ~rng () =
+  let table : (string, 'env State.t) Hashtbl.t = Hashtbl.create 64 in
+  let weight st =
+    let staleness = st.State.steps - st.State.last_new_cover in
+    1.0 /. float_of_int (1 + staleness)
+  in
+  let select () =
+    if Hashtbl.length table = 0 then None
+    else begin
+      let total = Hashtbl.fold (fun _ st acc -> acc +. weight st) table 0.0 in
+      let target = Random.State.float rng total in
+      let chosen = ref None in
+      let acc = ref 0.0 in
+      (try
+         Hashtbl.iter
+           (fun k st ->
+             acc := !acc +. weight st;
+             if !acc >= target then begin
+               chosen := Some (k, st);
+               raise Exit
+             end)
+           table
+       with Exit -> ());
+      match !chosen with
+      | Some (k, st) ->
+        Hashtbl.remove table k;
+        Some st
+      | None ->
+        (* floating-point slack: fall back to any state *)
+        let any = Hashtbl.fold (fun k st acc -> match acc with None -> Some (k, st) | s -> s) table None in
+        (match any with
+        | Some (k, st) ->
+          Hashtbl.remove table k;
+          Some st
+        | None -> None)
+    end
+  in
+  {
+    add = (fun st -> Hashtbl.replace table (key st) st);
+    select;
+    remove = (fun p -> Hashtbl.remove table (key_of_path p));
+    size = (fun () -> Hashtbl.length table);
+  }
+
+(* --- interleaved ------------------------------------------------------------------------ *)
+
+(* Alternate between sub-strategies over the same state population — the
+   KLEE/Cloud9 default interleaves random-path with coverage-optimized. *)
+let interleave subs =
+  match subs with
+  | [] -> invalid_arg "Searcher.interleave: no sub-searchers"
+  | _ ->
+    let subs = Array.of_list subs in
+    let turn = ref 0 in
+    let select () =
+      let n = Array.length subs in
+      let rec try_from k attempts =
+        if attempts = 0 then None
+        else
+          match subs.(k).select () with
+          | Some st ->
+            (* keep the populations consistent *)
+            Array.iteri (fun i s -> if i <> k then s.remove (State.path st)) subs;
+            turn := (k + 1) mod n;
+            Some st
+          | None -> try_from ((k + 1) mod n) (attempts - 1)
+      in
+      try_from !turn n
+    in
+    {
+      add = (fun st -> Array.iter (fun s -> s.add st) subs);
+      select;
+      remove = (fun p -> Array.iter (fun s -> s.remove p) subs);
+      size = (fun () -> subs.(0).size ());
+    }
+
+(* The searcher used in the paper's evaluation. *)
+let default ~rng () = interleave [ random_path ~rng (); coverage_optimized ~rng () ]
+
+let of_name ~rng = function
+  | "dfs" -> dfs ()
+  | "bfs" -> bfs ()
+  | "random-path" -> random_path ~rng ()
+  | "cov-opt" -> coverage_optimized ~rng ()
+  | "default" | "interleaved" -> default ~rng ()
+  | other -> invalid_arg ("Searcher.of_name: unknown strategy " ^ other)

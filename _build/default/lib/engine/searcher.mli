@@ -1,0 +1,35 @@
+(** Exploration strategies: which candidate state to execute next.
+
+    All searchers share one interface and support removal by path (a
+    state's path is its unique key), so an interleaved searcher can keep
+    several orderings over the same state population. *)
+
+type 'env t = {
+  add : 'env State.t -> unit;
+  select : unit -> 'env State.t option;  (** removes the selected state *)
+  remove : Path.t -> unit;
+  size : unit -> int;
+}
+
+val dfs : unit -> 'env t
+val bfs : unit -> 'env t
+
+(** KLEE's random-path strategy: walk the execution tree from the root,
+    picking a uniformly random child at each node — deep subtrees do not
+    dominate selection. *)
+val random_path : rng:Random.State.t -> unit -> 'env t
+
+(** Weighted random selection favoring states that recently covered new
+    code (the coverage-optimized strategy of the paper's evaluation). *)
+val coverage_optimized : rng:Random.State.t -> unit -> 'env t
+
+(** Alternate between sub-strategies over one shared population. *)
+val interleave : 'env t list -> 'env t
+
+(** The paper's evaluation default: random-path + coverage-optimized. *)
+val default : rng:Random.State.t -> unit -> 'env t
+
+(** By name: "dfs", "bfs", "random-path", "cov-opt",
+    "interleaved"/"default".
+    @raise Invalid_argument on unknown names. *)
+val of_name : rng:Random.State.t -> string -> 'env t

@@ -1,0 +1,135 @@
+(** An execution state: one node's worth of program state in the symbolic
+    execution tree.
+
+    Everything is persistent, so cloning at a fork is O(1) and states
+    never alias mutable data.  A state spans multiple processes (address
+    spaces live in {!Cvm.Memory}) and threads under a cooperative
+    scheduler (paper section 4.2).  The opaque ['env] slot carries the
+    environment model's own state (e.g. the POSIX model's descriptor
+    tables and stream buffers) and forks with the rest. *)
+
+module Imap : Map.S with type key = int
+
+type frame = {
+  fname : string;
+  regs : Smt.Expr.t Imap.t;
+  frame_base : int;  (** address of the frame object; 0 when frameless *)
+  ret_reg : int option;
+  ret_block : int;
+  ret_index : int;
+}
+
+type tstatus = Runnable | Sleeping of int (** wait-list id *) | Exited
+
+type thread = {
+  tid : int;
+  pid : int;
+  frames : frame list;  (** top of stack first *)
+  block : int;
+  index : int;
+  status : tstatus;
+}
+
+type sched_policy =
+  | Round_robin          (** deterministic *)
+  | Fork_all             (** fork per runnable thread at yield points *)
+  | Context_bound of int (** fork until the preemption budget is spent *)
+
+type 'env t = {
+  program : Cvm.Program.t;
+  globals : (string * int) list;
+  mem : Cvm.Memory.t;
+  threads : thread Imap.t;
+  cur : int;
+  next_tid : int;
+  next_pid : int;
+  next_wlist : int;
+  next_sym : int;
+  pc : Smt.Expr.t list;  (** path condition, newest first *)
+  subst : (Smt.Expr.t * Smt.Expr.t) list;
+      (** pc-implied equalities applied when reading operands *)
+  path : Path.choice list;  (** choices from the root, newest first *)
+  sym_inputs : (string * int list) list;
+      (** input name -> byte symbol ids, oldest input first *)
+  steps : int;
+  since_sched : int;  (** instructions since the last scheduling point *)
+  preemptions : int;
+  heap_limit : int option;
+  sched : sched_policy;
+  depth : int;
+  last_new_cover : int;
+  exit_code : int64;
+  env : 'env;
+}
+
+(** Root-first path of this state (its node address in the tree). *)
+val path : 'env t -> Path.t
+
+val path_condition : 'env t -> Smt.Expr.t list
+
+(** @raise Invalid_argument on unknown thread ids. *)
+val thread_exn : 'env t -> int -> thread
+
+val current : 'env t -> thread
+val current_pid : 'env t -> int
+val update_thread : 'env t -> thread -> 'env t
+
+(** Runnable thread ids in increasing order. *)
+val runnable_tids : 'env t -> int list
+
+(** Threads not yet exited. *)
+val live_threads : 'env t -> int
+
+(** Wake every thread sleeping on the given wait list. *)
+val wake_all : 'env t -> int -> 'env t
+
+val sleeping_on : 'env t -> int -> int list
+val top_frame : thread -> frame
+
+(** Uninitialized registers read as 64-bit zero. *)
+val get_reg : 'env t -> int -> Smt.Expr.t
+
+val set_reg : 'env t -> int -> Smt.Expr.t -> 'env t
+val current_instr : 'env t -> Cvm.Instr.t
+
+(** Move to the next instruction of the current block. *)
+val advance : 'env t -> 'env t
+
+(** Jump to the start of a block. *)
+val goto : 'env t -> int -> 'env t
+
+val global_addr : 'env t -> string -> int
+
+(** Rewrite an expression with the pc-implied equality substitution. *)
+val apply_subst : 'env t -> Smt.Expr.t -> Smt.Expr.t
+
+val eval_operand : 'env t -> Cvm.Instr.operand -> Smt.Expr.t
+
+(** Create [count] fresh width-8 symbols with deterministic per-state ids
+    (replay creates identical symbols) and record them as a named input. *)
+val fresh_input : 'env t -> name:string -> count:int -> 'env t * Smt.Expr.t list
+
+(** A fresh symbol not recorded as a test input. *)
+val fresh_sym : 'env t -> name:string -> width:int -> 'env t * Smt.Expr.t
+
+(** Conjoin a (simplified) constraint onto the path condition; equalities
+    with constants additionally feed the substitution. *)
+val add_constraint : 'env t -> Smt.Expr.t -> 'env t
+
+(** Append a fork choice to the path. *)
+val push_choice : 'env t -> Path.choice -> 'env t
+
+val make_frame :
+  Cvm.Program.func ->
+  frame_base:int ->
+  args:Smt.Expr.t list ->
+  ret_reg:int option ->
+  ret_block:int ->
+  ret_index:int ->
+  frame
+
+(** Initial state: globals allocated in process 0, one thread at the
+    entry function with the given argument expressions. *)
+val init : Cvm.Program.t -> env:'env -> args:Smt.Expr.t list -> 'env t
+
+val map_env : 'env t -> ('env -> 'env) -> 'env t

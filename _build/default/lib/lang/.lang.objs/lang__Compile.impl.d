@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Array Ast Cvm Hashtbl List Printf Smt String Typecheck

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Ast Hashtbl Int64 List Smt Typecheck

@@ -1,0 +1,1 @@
+lib/lang/typecheck.ml: Ast Char Int64 List Option Printf

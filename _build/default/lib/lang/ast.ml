@@ -1,0 +1,157 @@
+(* Abstract syntax of the mini-C source language in which all target
+   programs are written.  The language is deliberately close to the C
+   subset exercised by the paper's targets: fixed-width integers of both
+   signednesses, pointers, arrays, strings, functions, and the usual
+   statements.  There is no parser — programs are built with the
+   combinators in {!Builder}. *)
+
+type ty =
+  | Int of { bits : int; signed : bool } (* bits in {8,16,32,64} *)
+  | Ptr of ty
+  | Arr of ty * int
+
+let u8 = Int { bits = 8; signed = false }
+let u16 = Int { bits = 16; signed = false }
+let u32 = Int { bits = 32; signed = false }
+let u64 = Int { bits = 64; signed = false }
+let i8 = Int { bits = 8; signed = true }
+let i16 = Int { bits = 16; signed = true }
+let i32 = Int { bits = 32; signed = true }
+let i64 = Int { bits = 64; signed = true }
+
+let rec sizeof = function
+  | Int { bits; _ } -> bits / 8
+  | Ptr _ -> 8
+  | Arr (t, n) -> n * sizeof t
+
+let rec ty_to_string = function
+  | Int { bits; signed } -> Printf.sprintf "%c%d" (if signed then 'i' else 'u') bits
+  | Ptr t -> ty_to_string t ^ "*"
+  | Arr (t, n) -> Printf.sprintf "%s[%d]" (ty_to_string t) n
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Land (* short-circuit *)
+  | Lor  (* short-circuit *)
+
+type unop =
+  | Neg
+  | Bnot
+  | Lnot
+
+type expr =
+  | Num of int64
+  | Chr of char                     (* character literal: a u8 *)
+  | Str of string                   (* NUL-terminated string constant; type u8* *)
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Cond of expr * expr * expr      (* c ? a : b *)
+  | Call of string * expr list
+  | Syscall of int * expr list      (* raw symbolic system call; type i64 *)
+  | Idx of expr * expr              (* a[i] *)
+  | Deref of expr
+  | AddrOf of expr                  (* & of Var/Idx/Deref *)
+  | Cast of ty * expr
+  | Sizeof of ty
+
+type stmt =
+  | Decl of string * ty * expr option
+  | Assign of expr * expr           (* lvalue = expr *)
+  | If of expr * block * block
+  | While of expr * block
+  | For of stmt list * expr * stmt list * block  (* init; cond; step *)
+  | Return of expr option
+  | Expr of expr                    (* expression for effect *)
+  | Break
+  | Continue
+  | Assert of expr * string
+  | Halt of expr                    (* exit(code): terminates all processes *)
+
+and block = stmt list
+
+type func = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty option;
+  locals_hint : int; (* ignored; reserved for future register allocation *)
+  body : block;
+}
+
+type global = {
+  gname : string;
+  gty : ty;
+  ginit : string option; (* concrete initial bytes; zeroed when absent *)
+}
+
+type comp_unit = { funcs : func list; globals : global list; entry : string }
+
+(* --- typed intermediate form (produced by Typecheck) ---------------------- *)
+
+type texpr = { node : texpr_node; ty : ty }
+
+and texpr_node =
+  | Tnum of int64
+  | Tstr of string
+  | Tvar of string
+  | Tbin of binop * texpr * texpr
+  | Tun of unop * texpr
+  | Tcond of texpr * texpr * texpr
+  | Tcall of string * texpr list
+  | Tsyscall of int * texpr list
+  | Tderef of texpr                 (* load through a pointer *)
+  | Taddr of tlvalue
+  | Tcast of ty * texpr
+
+(* An lvalue is a variable or a computed address. *)
+and tlvalue =
+  | Lvar of string
+  | Lmem of texpr (* address expression; its type is Ptr of the cell type *)
+
+type tstmt =
+  | Tdecl of string * ty * texpr option
+  | Tassign of tlvalue * texpr
+  | Tif of texpr * tblock * tblock
+  | Twhile of texpr * tblock
+  | Tfor of tstmt list * texpr * tstmt list * tblock
+      (* init; cond; step — kept explicit so [continue] can target the step *)
+  | Treturn of texpr option
+  | Texpr of texpr
+  | Tbreak
+  | Tcontinue
+  | Tassert of texpr * string
+  | Thalt of texpr
+
+and tblock = tstmt list
+
+type tfunc = {
+  tfname : string;
+  tparams : (string * ty) list;
+  tret : ty option;
+  tbody : tblock;
+  (* variables whose address is taken (directly, or arrays, which decay to
+     pointers): these live in the frame rather than registers *)
+  taddr_taken : string list;
+  tvar_types : (string * ty) list;
+}
+
+type tunit = { tfuncs : tfunc list; tglobals : global list; tentry : string }
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt

@@ -1,0 +1,89 @@
+(* Combinators for writing mini-C programs directly in OCaml.  All target
+   programs (lib/targets) are written against this surface; the goal is
+   that a program reads close to the C it models.
+
+   Expressions use suffixed operators ([+!], [<!], [==!], ...) to avoid
+   clashing with the integer operators of the host program. *)
+
+include Ast
+
+(* --- expressions ----------------------------------------------------------- *)
+
+let n i = Num (Int64.of_int i)
+let n64 i = Num i
+let chr c = Chr c
+let str s = Str s
+let v name = Var name
+let sizeof_ ty = Sizeof ty
+
+let ( +! ) a b = Bin (Add, a, b)
+let ( -! ) a b = Bin (Sub, a, b)
+let ( *! ) a b = Bin (Mul, a, b)
+let ( /! ) a b = Bin (Div, a, b)
+let ( %! ) a b = Bin (Rem, a, b)
+let ( &! ) a b = Bin (Band, a, b)
+let ( |! ) a b = Bin (Bor, a, b)
+let ( ^! ) a b = Bin (Bxor, a, b)
+let ( <<! ) a b = Bin (Shl, a, b)
+let ( >>! ) a b = Bin (Shr, a, b)
+let ( <! ) a b = Bin (Lt, a, b)
+let ( <=! ) a b = Bin (Le, a, b)
+let ( >! ) a b = Bin (Gt, a, b)
+let ( >=! ) a b = Bin (Ge, a, b)
+let ( ==! ) a b = Bin (Eq, a, b)
+let ( <>! ) a b = Bin (Ne, a, b)
+let ( &&! ) a b = Bin (Land, a, b)
+let ( ||! ) a b = Bin (Lor, a, b)
+let neg e = Un (Neg, e)
+let bnot e = Un (Bnot, e)
+let not_ e = Un (Lnot, e)
+let cond c a b = Cond (c, a, b)
+let call name args = Call (name, args)
+let syscall num args = Syscall (num, args)
+let idx a i = Idx (a, i)
+let ( .%() ) a i = Idx (a, i)
+let deref p = Deref p
+let addr e = AddrOf e
+let cast ty e = Cast (ty, e)
+
+(* --- statements -------------------------------------------------------------- *)
+
+let decl name ty init = Decl (name, ty, init)
+let decl_arr name elem_ty count = Decl (name, Arr (elem_ty, count), None)
+let set lhs rhs = Assign (lhs, rhs)
+let ( <-- ) lhs rhs = Assign (lhs, rhs)
+let if_ c then_ else_ = If (c, then_, else_)
+let when_ c then_ = If (c, then_, [])
+let while_ c body = While (c, body)
+let for_ init cond step body = For (init, cond, step, body)
+
+(* the common [for (i = 0; i < bound; i = i + 1)] shape *)
+let for_range name ~from ~below body =
+  For
+    ( [ Decl (name, u32, Some from) ],
+      Bin (Lt, Var name, below),
+      [ Assign (Var name, Bin (Add, Var name, Num 1L)) ],
+      body )
+
+let ret e = Return (Some e)
+let ret_void = Return None
+let expr e = Expr e
+let call_void name args = Expr (Call (name, args))
+let break_ = Break
+let continue_ = Continue
+let assert_ e msg = Assert (e, msg)
+let halt e = Halt e
+let incr_ name = Assign (Var name, Bin (Add, Var name, Num 1L))
+let decr_ name = Assign (Var name, Bin (Sub, Var name, Num 1L))
+
+(* --- functions and units --------------------------------------------------------- *)
+
+let fn name params ret body = { fname = name; params; ret; locals_hint = 0; body }
+
+let global ?init name ty = { gname = name; gty = ty; ginit = init }
+
+let cunit ?(globals = []) ~entry funcs = { funcs; globals; entry }
+
+(* Type check and compile to CVM bytecode.
+   @raise Ast.Type_error or Cvm.Program.Invalid on malformed programs. *)
+let compile = Compile.compile_unit

@@ -1,0 +1,484 @@
+(* Compilation of the typed mini-C form to CVM bytecode.
+
+   Storage assignment: scalars whose address is never taken live in
+   virtual registers; address-taken scalars and all arrays live in the
+   function's frame (the engine allocates one frame object per call, so
+   the deterministic allocator gives replayed paths identical addresses).
+   Globals live in named program globals.
+
+   Every source statement receives a fresh "line" number from a
+   per-compilation-unit counter; all instructions compiled from that
+   statement carry it.  Line coverage in the engine is therefore statement
+   coverage, and [nlines] is the total statement count. *)
+
+open Ast
+module Instr = Cvm.Instr
+module Program = Cvm.Program
+
+type storage = Sreg of int | Sframe of int | Sglobal of string
+
+type uctx = {
+  mutable strings : (string * string) list; (* literal -> global name *)
+  mutable nstrings : int;
+  mutable line_counter : int;
+}
+
+type fctx = {
+  u : uctx;
+  mutable nregs : int;
+  frame_off : (string, storage) Hashtbl.t;
+  mutable frame_size : int;
+  mutable blocks : Instr.t list array; (* reversed instruction lists *)
+  mutable nblocks : int;
+  mutable sealed : bool array;
+  mutable cur : int;
+  mutable cur_line : int;
+  mutable break_stack : int list;
+  mutable continue_stack : int list;
+}
+
+let fresh_reg ctx =
+  let r = ctx.nregs in
+  ctx.nregs <- r + 1;
+  r
+
+let new_block ctx =
+  if ctx.nblocks >= Array.length ctx.blocks then begin
+    let blocks = Array.make (2 * Array.length ctx.blocks) [] in
+    Array.blit ctx.blocks 0 blocks 0 ctx.nblocks;
+    ctx.blocks <- blocks;
+    let sealed = Array.make (2 * Array.length ctx.sealed) false in
+    Array.blit ctx.sealed 0 sealed 0 ctx.nblocks;
+    ctx.sealed <- sealed
+  end;
+  let b = ctx.nblocks in
+  ctx.nblocks <- b + 1;
+  ctx.blocks.(b) <- [];
+  ctx.sealed.(b) <- false;
+  b
+
+let switch_to ctx b = ctx.cur <- b
+
+let emit ctx op =
+  if ctx.sealed.(ctx.cur) then
+    (* unreachable code after a terminator: park it in a fresh dead block *)
+    switch_to ctx (new_block ctx);
+  let i = Instr.make ~line:ctx.cur_line op in
+  ctx.blocks.(ctx.cur) <- i :: ctx.blocks.(ctx.cur);
+  if Instr.is_terminator i then ctx.sealed.(ctx.cur) <- true
+
+let intern_string ctx s =
+  match List.assoc_opt s ctx.u.strings with
+  | Some name -> name
+  | None ->
+    let name = Printf.sprintf "str.%d" ctx.u.nstrings in
+    ctx.u.nstrings <- ctx.u.nstrings + 1;
+    ctx.u.strings <- (s, name) :: ctx.u.strings;
+    name
+
+let bits_of ty =
+  match ty with
+  | Int { bits; _ } -> bits
+  | Ptr _ -> 64
+  | Arr _ -> invalid_arg "bits_of: array has no scalar width"
+
+(* Locals are in the storage table; anything else was validated by
+   Typecheck to be a global. *)
+let storage_exn ctx name =
+  match Hashtbl.find_opt ctx.frame_off name with
+  | Some s -> s
+  | None -> Sglobal name
+
+(* --- expressions --------------------------------------------------------- *)
+
+let imm ~ty v = Instr.Imm { width = bits_of ty; value = v }
+
+(* Compile [e] and return an operand holding its value. *)
+let rec compile_expr ctx (e : texpr) : Instr.operand =
+  match e.node with
+  | Tnum v -> imm ~ty:e.ty v
+  | Tstr s -> Instr.Glob (intern_string ctx s)
+  | Tvar name -> (
+    match storage_exn ctx name with
+    | Sreg r -> Instr.Reg r
+    | Sframe off ->
+      let a = fresh_reg ctx in
+      emit ctx (Instr.Frame { dst = a; off });
+      let v = fresh_reg ctx in
+      emit ctx (Instr.Load { dst = v; addr = Instr.Reg a; len = sizeof e.ty });
+      Instr.Reg v
+    | Sglobal g ->
+      let v = fresh_reg ctx in
+      emit ctx (Instr.Load { dst = v; addr = Instr.Glob g; len = sizeof e.ty });
+      Instr.Reg v)
+  | Tbin (op, a, b) -> compile_bin ctx e.ty op a b
+  | Tun (op, a) -> (
+    let va = compile_expr ctx a in
+    let dst = fresh_reg ctx in
+    match op with
+    | Neg ->
+      emit ctx (Instr.Unop { dst; op = Smt.Expr.Neg; a = va });
+      Instr.Reg dst
+    | Bnot ->
+      emit ctx (Instr.Unop { dst; op = Smt.Expr.Not; a = va });
+      Instr.Reg dst
+    | Lnot ->
+      (* !x = (x == 0), widened to u8 *)
+      emit ctx (Instr.Binop { dst; op = Smt.Expr.Eq; a = va; b = imm ~ty:a.ty 0L });
+      let w = fresh_reg ctx in
+      emit ctx (Instr.Cast { dst = w; kind = Instr.Zext; a = Instr.Reg dst; width = 8 });
+      Instr.Reg w)
+  | Tcond (c, a, b) ->
+    let vc = compile_expr ctx c in
+    let dst = fresh_reg ctx in
+    let bthen = new_block ctx and belse = new_block ctx and bjoin = new_block ctx in
+    emit ctx (Instr.Br { cond = vc; then_ = bthen; else_ = belse });
+    switch_to ctx bthen;
+    let va = compile_expr ctx a in
+    emit ctx (Instr.Mov { dst; a = va });
+    emit ctx (Instr.Jmp bjoin);
+    switch_to ctx belse;
+    let vb = compile_expr ctx b in
+    emit ctx (Instr.Mov { dst; a = vb });
+    emit ctx (Instr.Jmp bjoin);
+    switch_to ctx bjoin;
+    Instr.Reg dst
+  | Tcall (name, args) ->
+    let vargs = List.map (compile_expr ctx) args in
+    let dst = fresh_reg ctx in
+    emit ctx (Instr.Call { dst = Some dst; func = name; args = vargs });
+    Instr.Reg dst
+  | Tsyscall (num, args) ->
+    let vargs = List.map (compile_expr ctx) args in
+    let dst = fresh_reg ctx in
+    emit ctx (Instr.Syscall { dst; num; args = vargs });
+    Instr.Reg dst
+  | Tderef addr ->
+    let vaddr = compile_expr ctx addr in
+    let dst = fresh_reg ctx in
+    emit ctx (Instr.Load { dst; addr = vaddr; len = sizeof e.ty });
+    Instr.Reg dst
+  | Taddr (Lvar name) -> (
+    match storage_exn ctx name with
+    | Sreg _ -> invalid_arg "Compile: address of register variable"
+    | Sframe off ->
+      let dst = fresh_reg ctx in
+      emit ctx (Instr.Frame { dst; off });
+      Instr.Reg dst
+    | Sglobal g ->
+      let dst = fresh_reg ctx in
+      emit ctx (Instr.Mov { dst; a = Instr.Glob g });
+      Instr.Reg dst)
+  | Taddr (Lmem addr) -> compile_expr ctx addr
+  | Tcast (ty, inner) ->
+    let v = compile_expr ctx inner in
+    let from_bits = bits_of inner.ty and to_bits = bits_of ty in
+    if from_bits = to_bits then v
+    else begin
+      let dst = fresh_reg ctx in
+      let kind =
+        if to_bits < from_bits then Instr.Trunc
+        else if
+          (* widening uses the signedness of the source type *)
+          match inner.ty with
+          | Int { signed; _ } -> signed
+          | Ptr _ -> false
+          | Arr _ -> false
+        then Instr.Sext
+        else Instr.Zext
+      in
+      emit ctx (Instr.Cast { dst; kind; a = v; width = to_bits });
+      Instr.Reg dst
+    end
+
+and compile_bin ctx result_ty op a b =
+  match op with
+  | Land | Lor -> compile_short_circuit ctx op a b
+  | Add | Sub | Mul | Div | Rem | Band | Bor | Bxor | Shl | Shr ->
+    let signed = is_signed_ty a.ty in
+    let vop =
+      match op with
+      | Add -> Smt.Expr.Add
+      | Sub -> Smt.Expr.Sub
+      | Mul -> Smt.Expr.Mul
+      | Div -> if signed then Smt.Expr.Sdiv else Smt.Expr.Udiv
+      | Rem -> if signed then Smt.Expr.Srem else Smt.Expr.Urem
+      | Band -> Smt.Expr.And
+      | Bor -> Smt.Expr.Or
+      | Bxor -> Smt.Expr.Xor
+      | Shl -> Smt.Expr.Shl
+      | Shr -> if signed then Smt.Expr.Ashr else Smt.Expr.Lshr
+      | Land | Lor | Lt | Le | Gt | Ge | Eq | Ne -> assert false
+    in
+    let va = compile_expr ctx a in
+    let vb = compile_expr ctx b in
+    let dst = fresh_reg ctx in
+    emit ctx (Instr.Binop { dst; op = vop; a = va; b = vb });
+    Instr.Reg dst
+  | Lt | Le | Gt | Ge | Eq | Ne ->
+    let signed = is_signed_ty a.ty in
+    let va = compile_expr ctx a in
+    let vb = compile_expr ctx b in
+    (* Gt/Ge compile as swapped Lt/Le *)
+    let vop, va, vb =
+      match op with
+      | Lt -> ((if signed then Smt.Expr.Slt else Smt.Expr.Ult), va, vb)
+      | Le -> ((if signed then Smt.Expr.Sle else Smt.Expr.Ule), va, vb)
+      | Gt -> ((if signed then Smt.Expr.Slt else Smt.Expr.Ult), vb, va)
+      | Ge -> ((if signed then Smt.Expr.Sle else Smt.Expr.Ule), vb, va)
+      | Eq | Ne -> (Smt.Expr.Eq, va, vb)
+      | Add | Sub | Mul | Div | Rem | Band | Bor | Bxor | Shl | Shr | Land | Lor ->
+        assert false
+    in
+    let c = fresh_reg ctx in
+    emit ctx (Instr.Binop { dst = c; op = vop; a = va; b = vb });
+    let c =
+      if op = Ne then begin
+        let n = fresh_reg ctx in
+        emit ctx (Instr.Unop { dst = n; op = Smt.Expr.Not; a = Instr.Reg c });
+        n
+      end
+      else c
+    in
+    let dst = fresh_reg ctx in
+    emit ctx (Instr.Cast { dst; kind = Instr.Zext; a = Instr.Reg c; width = bits_of result_ty });
+    Instr.Reg dst
+
+and is_signed_ty = function
+  | Int { signed; _ } -> signed
+  | Ptr _ -> false
+  | Arr _ -> false
+
+and compile_short_circuit ctx op a b =
+  let dst = fresh_reg ctx in
+  let btest_b = new_block ctx and bjoin = new_block ctx in
+  let va = compile_expr ctx a in
+  (match op with
+  | Land ->
+    (* a false -> result 0 without evaluating b *)
+    emit ctx (Instr.Mov { dst; a = Instr.Imm { width = 8; value = 0L } });
+    emit ctx (Instr.Br { cond = va; then_ = btest_b; else_ = bjoin })
+  | Lor ->
+    emit ctx (Instr.Mov { dst; a = Instr.Imm { width = 8; value = 1L } });
+    emit ctx (Instr.Br { cond = va; then_ = bjoin; else_ = btest_b })
+  | _ -> assert false);
+  switch_to ctx btest_b;
+  let vb = compile_expr ctx b in
+  (* result = (b != 0) as u8 *)
+  let c = fresh_reg ctx in
+  emit ctx (Instr.Binop { dst = c; op = Smt.Expr.Eq; a = vb; b = imm ~ty:(type_of_operand b) 0L });
+  let n = fresh_reg ctx in
+  emit ctx (Instr.Unop { dst = n; op = Smt.Expr.Not; a = Instr.Reg c });
+  emit ctx (Instr.Cast { dst; kind = Instr.Zext; a = Instr.Reg n; width = 8 });
+  emit ctx (Instr.Jmp bjoin);
+  switch_to ctx bjoin;
+  Instr.Reg dst
+
+and type_of_operand (b : texpr) = b.ty
+
+(* --- statements ------------------------------------------------------------- *)
+
+let store_to ctx storage ty value =
+  match storage with
+  | Sreg r -> emit ctx (Instr.Mov { dst = r; a = value })
+  | Sframe off ->
+    let a = fresh_reg ctx in
+    emit ctx (Instr.Frame { dst = a; off });
+    ignore ty;
+    emit ctx (Instr.Store { addr = Instr.Reg a; value })
+  | Sglobal g -> emit ctx (Instr.Store { addr = Instr.Glob g; value })
+
+let next_line ctx =
+  ctx.u.line_counter <- ctx.u.line_counter + 1;
+  ctx.cur_line <- ctx.u.line_counter
+
+let rec compile_stmt ctx ~ret (s : tstmt) =
+  next_line ctx;
+  match s with
+  | Tdecl (name, ty, init) -> (
+    match init with
+    | None -> ()
+    | Some e ->
+      let v = compile_expr ctx e in
+      store_to ctx (storage_exn ctx name) ty v)
+  | Tassign (Lvar name, e) ->
+    let v = compile_expr ctx e in
+    store_to ctx (storage_exn ctx name) e.ty v
+  | Tassign (Lmem addr, e) ->
+    let vaddr = compile_expr ctx addr in
+    let v = compile_expr ctx e in
+    emit ctx (Instr.Store { addr = vaddr; value = v })
+  | Tif (c, then_, else_) ->
+    let vc = compile_expr ctx c in
+    let bthen = new_block ctx and belse = new_block ctx and bjoin = new_block ctx in
+    emit ctx (Instr.Br { cond = vc; then_ = bthen; else_ = belse });
+    switch_to ctx bthen;
+    compile_block ctx ~ret then_;
+    emit ctx (Instr.Jmp bjoin);
+    switch_to ctx belse;
+    compile_block ctx ~ret else_;
+    emit ctx (Instr.Jmp bjoin);
+    switch_to ctx bjoin
+  | Twhile (c, body) ->
+    let bcond = new_block ctx and bbody = new_block ctx and bexit = new_block ctx in
+    emit ctx (Instr.Jmp bcond);
+    switch_to ctx bcond;
+    let vc = compile_expr ctx c in
+    emit ctx (Instr.Br { cond = vc; then_ = bbody; else_ = bexit });
+    ctx.break_stack <- bexit :: ctx.break_stack;
+    ctx.continue_stack <- bcond :: ctx.continue_stack;
+    switch_to ctx bbody;
+    compile_block ctx ~ret body;
+    emit ctx (Instr.Jmp bcond);
+    ctx.break_stack <- List.tl ctx.break_stack;
+    ctx.continue_stack <- List.tl ctx.continue_stack;
+    switch_to ctx bexit
+  | Tfor (init, c, step, body) ->
+    List.iter (compile_stmt ctx ~ret) init;
+    next_line ctx;
+    let bcond = new_block ctx and bbody = new_block ctx in
+    let bstep = new_block ctx and bexit = new_block ctx in
+    emit ctx (Instr.Jmp bcond);
+    switch_to ctx bcond;
+    let vc = compile_expr ctx c in
+    emit ctx (Instr.Br { cond = vc; then_ = bbody; else_ = bexit });
+    ctx.break_stack <- bexit :: ctx.break_stack;
+    ctx.continue_stack <- bstep :: ctx.continue_stack;
+    switch_to ctx bbody;
+    compile_block ctx ~ret body;
+    emit ctx (Instr.Jmp bstep);
+    switch_to ctx bstep;
+    List.iter (compile_stmt ctx ~ret) step;
+    emit ctx (Instr.Jmp bcond);
+    ctx.break_stack <- List.tl ctx.break_stack;
+    ctx.continue_stack <- List.tl ctx.continue_stack;
+    switch_to ctx bexit
+  | Treturn None -> emit ctx (Instr.Ret None)
+  | Treturn (Some e) ->
+    let v = compile_expr ctx e in
+    emit ctx (Instr.Ret (Some v))
+  | Texpr e -> (
+    (* calls to void functions have no destination register *)
+    match e.node with
+    | Tcall (name, args) ->
+      let vargs = List.map (compile_expr ctx) args in
+      emit ctx (Instr.Call { dst = None; func = name; args = vargs })
+    | _ -> ignore (compile_expr ctx e))
+  | Tbreak -> emit ctx (Instr.Jmp (List.hd ctx.break_stack))
+  | Tcontinue -> emit ctx (Instr.Jmp (List.hd ctx.continue_stack))
+  | Tassert (e, msg) ->
+    let v = compile_expr ctx e in
+    emit ctx (Instr.Assert { cond = v; msg })
+  | Thalt e ->
+    let v = compile_expr ctx e in
+    emit ctx (Instr.Halt v)
+
+and compile_block ctx ~ret (b : tblock) = List.iter (compile_stmt ctx ~ret) b
+
+(* --- functions and units ------------------------------------------------------ *)
+
+let align_to align n = (n + align - 1) / align * align
+
+let compile_func u (f : tfunc) : Program.func =
+  let ctx =
+    {
+      u;
+      nregs = List.length f.tparams;
+      frame_off = Hashtbl.create 16;
+      frame_size = 0;
+      blocks = Array.make 8 [];
+      nblocks = 0;
+      sealed = Array.make 8 false;
+      cur = 0;
+      cur_line = u.line_counter;
+      break_stack = [];
+      continue_stack = [];
+    }
+  in
+  (* storage assignment *)
+  let addr_taken name = List.mem name f.taddr_taken in
+  List.iteri
+    (fun i (name, ty) ->
+      if addr_taken name then begin
+        let size = sizeof ty in
+        let off = align_to (min size 16) ctx.frame_size in
+        ctx.frame_size <- off + size;
+        Hashtbl.replace ctx.frame_off name (Sframe off);
+        ignore i
+      end
+      else Hashtbl.replace ctx.frame_off name (Sreg i))
+    f.tparams;
+  List.iter
+    (fun (name, ty) ->
+      if not (Hashtbl.mem ctx.frame_off name) then
+        if addr_taken name then begin
+          let size = sizeof ty in
+          let off = align_to (min (max size 1) 16) ctx.frame_size in
+          ctx.frame_size <- off + size;
+          Hashtbl.replace ctx.frame_off name (Sframe off)
+        end
+        else Hashtbl.replace ctx.frame_off name (Sreg (fresh_reg ctx)))
+    f.tvar_types;
+  let entry = new_block ctx in
+  switch_to ctx entry;
+  next_line ctx;
+  (* spill address-taken parameters from their registers into the frame *)
+  List.iteri
+    (fun i (name, _ty) ->
+      match storage_exn ctx name with
+      | Sframe off ->
+        let a = fresh_reg ctx in
+        emit ctx (Instr.Frame { dst = a; off });
+        emit ctx (Instr.Store { addr = Instr.Reg a; value = Instr.Reg i })
+      | Sreg _ | Sglobal _ -> ())
+    f.tparams;
+  compile_block ctx ~ret:f.tret f.tbody;
+  (* implicit return at the end of the body *)
+  if not ctx.sealed.(ctx.cur) then begin
+    match f.tret with
+    | None -> emit ctx (Instr.Ret None)
+    | Some ty -> emit ctx (Instr.Ret (Some (imm ~ty 0L)))
+  end;
+  (* seal any dangling blocks (e.g. empty join blocks of dead code) *)
+  for b = 0 to ctx.nblocks - 1 do
+    if not ctx.sealed.(b) then begin
+      switch_to ctx b;
+      match f.tret with
+      | None -> emit ctx (Instr.Ret None)
+      | Some ty -> emit ctx (Instr.Ret (Some (imm ~ty 0L)))
+    end
+  done;
+  {
+    Program.name = f.tfname;
+    nparams = List.length f.tparams;
+    nregs = ctx.nregs;
+    frame_size = ctx.frame_size;
+    blocks = Array.init ctx.nblocks (fun b -> Array.of_list (List.rev ctx.blocks.(b)));
+  }
+
+let compile_unit (cu : comp_unit) : Program.t =
+  let tu = Typecheck.check_unit cu in
+  let u = { strings = []; nstrings = 0; line_counter = 0 } in
+  let funcs = List.map (fun f -> (f.tfname, compile_func u f)) tu.tfuncs in
+  let data_globals =
+    List.map
+      (fun g ->
+        let size = sizeof g.gty in
+        let bytes =
+          match g.ginit with
+          | None -> String.make size '\000'
+          | Some s ->
+            if String.length s > size then invalid_arg ("initializer too long for " ^ g.gname)
+            else s ^ String.make (size - String.length s) '\000'
+        in
+        { Program.gname = g.gname; bytes; gwritable = true })
+      tu.tglobals
+  in
+  let string_globals =
+    List.map
+      (fun (s, name) -> { Program.gname = name; bytes = s ^ "\000"; gwritable = false })
+      u.strings
+  in
+  Program.create ~entry:tu.tentry ~funcs
+    ~globals:(data_globals @ string_globals)
+    ~nlines:u.line_counter

@@ -1,0 +1,12 @@
+(** Compilation of mini-C to CVM bytecode.
+
+    Scalars whose address is never taken live in virtual registers;
+    address-taken scalars and all arrays live in the per-call frame
+    object, so the deterministic allocator gives replayed paths identical
+    addresses.  Every source statement receives a fresh line number;
+    line coverage is therefore statement coverage.
+
+    @raise Ast.Type_error on ill-typed programs.
+    @raise Cvm.Program.Invalid on compiler-internal inconsistencies. *)
+
+val compile_unit : Ast.comp_unit -> Cvm.Program.t

@@ -1,0 +1,202 @@
+(* A reference interpreter for the scalar fragment of mini-C: direct
+   concrete evaluation over the *typed* AST, independent of the compiler,
+   the bytecode VM, and the engine.
+
+   Its purpose is differential testing: for any concrete program in the
+   supported fragment, [run unit] must agree with compiling the program
+   and executing it symbolically (which, absent symbolic data, follows a
+   single path).  The supported fragment excludes pointers, arrays, and
+   system calls — those have dedicated unit tests — but covers the full
+   arithmetic, conversion, control-flow, and function-call semantics where
+   compiler bugs hide.
+
+   Arithmetic follows the same modular semantics as {!Smt.Expr.eval_binop}:
+   values are stored as the sign-agnostic low [bits] of an int64. *)
+
+open Ast
+
+exception Unsupported of string
+
+type value = { v : int64; vty : ty }
+
+let truncate_ty ty v =
+  match ty with
+  | Int { bits; _ } -> Smt.Expr.truncate bits v
+  | Ptr _ -> v
+  | Arr _ -> raise (Unsupported "array value")
+
+let mk ty v = { v = truncate_ty ty v; vty = ty }
+
+type frame = (string, value) Hashtbl.t
+
+type env = {
+  funcs : (string * tfunc) list;
+  mutable budget : int; (* instruction-ish budget to guarantee termination *)
+}
+
+exception Halted of int64
+exception Returned of value option
+exception Break_loop
+exception Continue_loop
+
+let spend env =
+  env.budget <- env.budget - 1;
+  if env.budget <= 0 then raise (Unsupported "interpreter budget exhausted")
+
+let as_bool { v; _ } = v <> 0L
+
+let signed_of { v; vty } =
+  match vty with
+  | Int { bits; signed = true } -> Smt.Expr.to_signed bits v
+  | Int _ -> v
+  | Ptr _ | Arr _ -> v
+
+let rec eval env (frame : frame) (e : texpr) : value =
+  spend env;
+  match e.node with
+  | Tnum v -> mk e.ty v
+  | Tstr _ -> raise (Unsupported "string literal")
+  | Tvar name -> (
+    match Hashtbl.find_opt frame name with
+    | Some v -> v
+    | None -> mk e.ty 0L (* uninitialized scalars read as zero, like registers *))
+  | Tbin (op, a, b) -> eval_bin env frame e.ty op a b
+  | Tun (op, a) -> (
+    let va = eval env frame a in
+    match op with
+    | Neg -> mk e.ty (Int64.neg va.v)
+    | Bnot -> mk e.ty (Int64.lognot va.v)
+    | Lnot -> mk e.ty (if as_bool va then 0L else 1L))
+  | Tcond (c, a, b) ->
+    if as_bool (eval env frame c) then eval env frame a else eval env frame b
+  | Tcall (name, args) -> (
+    let vargs = List.map (eval env frame) args in
+    match call env name vargs with
+    | Some v -> v
+    | None -> mk e.ty 0L)
+  | Tsyscall _ -> raise (Unsupported "syscall")
+  | Tderef _ | Taddr _ -> raise (Unsupported "pointer operation")
+  | Tcast (ty, inner) ->
+    let vi = eval env frame inner in
+    (* widening uses the signedness of the source type, as the compiler *)
+    let wide =
+      match (vi.vty, ty) with
+      | Int { bits = fb; signed }, Int { bits = tb; _ } when tb > fb ->
+        if signed then Smt.Expr.to_signed fb vi.v else vi.v
+      | _ -> vi.v
+    in
+    mk ty wide
+
+and eval_bin env frame rty op a b =
+  match op with
+  | Land ->
+    let va = eval env frame a in
+    mk rty (if as_bool va && as_bool (eval env frame b) then 1L else 0L)
+  | Lor ->
+    let va = eval env frame a in
+    mk rty (if as_bool va || as_bool (eval env frame b) then 1L else 0L)
+  | _ -> (
+    let va = eval env frame a in
+    let vb = eval env frame b in
+    let bits = match va.vty with Int { bits; _ } -> bits | Ptr _ -> 64 | Arr _ -> 64 in
+    let signed = match va.vty with Int { signed; _ } -> signed | Ptr _ | Arr _ -> false in
+    let module E = Smt.Expr in
+    let arith eop = mk rty (E.eval_binop eop bits va.v vb.v) in
+    match op with
+    | Add -> arith E.Add
+    | Sub -> arith E.Sub
+    | Mul -> arith E.Mul
+    | Div ->
+      if vb.v = 0L then raise (Unsupported "division by zero")
+      else arith (if signed then E.Sdiv else E.Udiv)
+    | Rem ->
+      if vb.v = 0L then raise (Unsupported "division by zero")
+      else arith (if signed then E.Srem else E.Urem)
+    | Band -> arith E.And
+    | Bor -> arith E.Or
+    | Bxor -> arith E.Xor
+    | Shl -> arith E.Shl
+    | Shr -> arith (if signed then E.Ashr else E.Lshr)
+    | Lt -> mk rty (if compare_v signed va vb < 0 then 1L else 0L)
+    | Le -> mk rty (if compare_v signed va vb <= 0 then 1L else 0L)
+    | Gt -> mk rty (if compare_v signed va vb > 0 then 1L else 0L)
+    | Ge -> mk rty (if compare_v signed va vb >= 0 then 1L else 0L)
+    | Eq -> mk rty (if va.v = vb.v then 1L else 0L)
+    | Ne -> mk rty (if va.v <> vb.v then 1L else 0L)
+    | Land | Lor -> assert false)
+
+and compare_v signed a b =
+  if signed then compare (signed_of a) (signed_of b) else Smt.Expr.ucompare a.v b.v
+
+and exec env frame (s : tstmt) : unit =
+  spend env;
+  match s with
+  | Tdecl (name, ty, init) ->
+    let v = match init with Some e -> eval env frame e | None -> mk ty 0L in
+    Hashtbl.replace frame name v
+  | Tassign (Lvar name, e) ->
+    let v = eval env frame e in
+    Hashtbl.replace frame name v
+  | Tassign (Lmem _, _) -> raise (Unsupported "store through pointer")
+  | Tif (c, then_, else_) ->
+    if as_bool (eval env frame c) then exec_block env frame then_
+    else exec_block env frame else_
+  | Twhile (c, body) ->
+    (try
+       while as_bool (eval env frame c) do
+         spend env;
+         try exec_block env frame body with Continue_loop -> ()
+       done
+     with Break_loop -> ())
+  | Tfor (init, c, step, body) ->
+    List.iter (exec env frame) init;
+    (try
+       while as_bool (eval env frame c) do
+         spend env;
+         (try exec_block env frame body with Continue_loop -> ());
+         List.iter (exec env frame) step
+       done
+     with Break_loop -> ())
+  | Treturn None -> raise (Returned None)
+  | Treturn (Some e) -> raise (Returned (Some (eval env frame e)))
+  | Texpr e ->
+    (match e.node with
+    | Tcall (name, args) ->
+      let vargs = List.map (eval env frame) args in
+      ignore (call env name vargs)
+    | _ -> ignore (eval env frame e))
+  | Tbreak -> raise Break_loop
+  | Tcontinue -> raise Continue_loop
+  | Tassert (e, msg) -> if not (as_bool (eval env frame e)) then raise (Unsupported ("assert failed: " ^ msg))
+  | Thalt e -> raise (Halted (eval env frame e).v)
+
+and exec_block env frame b = List.iter (exec env frame) b
+
+and call env name vargs : value option =
+  match List.assoc_opt name env.funcs with
+  | None -> raise (Unsupported ("unknown function " ^ name))
+  | Some f -> (
+    let frame : frame = Hashtbl.create 16 in
+    List.iter2 (fun (pname, pty) v -> Hashtbl.replace frame pname (mk pty v.v)) f.tparams vargs;
+    try
+      exec_block env frame f.tbody;
+      (* implicit return *)
+      match f.tret with None -> None | Some ty -> Some (mk ty 0L)
+    with Returned v -> v)
+
+type outcome = Exit of int64 | Unsupported_feature of string
+
+(* Run a compilation unit from its entry function; [budget] bounds the
+   number of evaluation steps (default one million). *)
+let run ?(budget = 1_000_000) (cu : comp_unit) : outcome =
+  match Typecheck.check_unit cu with
+  | exception Type_error msg -> Unsupported_feature ("type error: " ^ msg)
+  | tu -> (
+    let env = { funcs = List.map (fun f -> (f.tfname, f)) tu.tfuncs; budget } in
+    try
+      match call env tu.tentry [] with
+      | Some v -> Exit v.v
+      | None -> Exit 0L
+    with
+    | Halted code -> Exit code
+    | Unsupported msg -> Unsupported_feature msg)

@@ -1,0 +1,17 @@
+(** A reference interpreter for the scalar fragment of mini-C: direct
+    concrete evaluation over the typed AST, sharing no code with the
+    compiler, the bytecode VM, or the engine.  Used for differential
+    testing: on the supported fragment (no pointers, arrays, globals, or
+    system calls) its outcome must match compiling and executing the
+    program. *)
+
+type outcome =
+  | Exit of int64
+  | Unsupported_feature of string
+      (** the program uses something outside the fragment (or divides by
+          zero / fails an assert, which the engine reports as error
+          paths) *)
+
+(** Run a compilation unit from its entry function; [budget] bounds
+    evaluation steps to guarantee termination. *)
+val run : ?budget:int -> Ast.comp_unit -> outcome

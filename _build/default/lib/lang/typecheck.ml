@@ -1,0 +1,348 @@
+(* Type checking and elaboration of the mini-C AST into the typed
+   intermediate form consumed by {!Compile}.
+
+   Elaboration makes every implicit operation explicit:
+   - integer conversions become [Tcast] (conversion rule: the common type
+     of two integer operands has the wider width; on equal widths,
+     unsigned wins — a simplification of C's usual arithmetic conversions,
+     without promotion to [int]);
+   - array expressions decay to pointers;
+   - pointer arithmetic is scaled by the element size here, so the
+     compiler only ever sees 64-bit address arithmetic;
+   - every declaration is alpha-renamed to a unique name, so the compiler
+     can use a flat per-function variable map. *)
+
+open Ast
+
+type fsig = { psig : ty list; rsig : ty option }
+
+type env = {
+  funcs : (string * fsig) list;
+  globals : (string * ty) list;
+  (* scope stack: source name -> (unique name, type) *)
+  mutable scopes : (string * (string * ty)) list list;
+  mutable renames : int;
+  mutable addr_taken : string list;   (* unique names *)
+  mutable var_types : (string * ty) list; (* unique names, in decl order *)
+  mutable loop_depth : int;
+}
+
+let is_int = function Int _ -> true | Ptr _ | Arr _ -> false
+let int_bits = function Int { bits; _ } -> bits | Ptr _ | Arr _ -> invalid_arg "int_bits"
+let is_signed = function Int { signed; _ } -> signed | Ptr _ | Arr _ -> false
+
+let lookup_var env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with Some x -> Some x | None -> go rest)
+  in
+  go env.scopes
+
+let declare env name ty =
+  (match env.scopes with
+  | scope :: _ when List.mem_assoc name scope ->
+    type_error "variable %s redeclared in the same scope" name
+  | _ -> ());
+  env.renames <- env.renames + 1;
+  let unique = Printf.sprintf "%s.%d" name env.renames in
+  (match env.scopes with
+  | scope :: rest -> env.scopes <- ((name, (unique, ty)) :: scope) :: rest
+  | [] -> assert false);
+  env.var_types <- (unique, ty) :: env.var_types;
+  (* arrays always live in memory: using them decays to their address *)
+  (match ty with Arr _ -> env.addr_taken <- unique :: env.addr_taken | Int _ | Ptr _ -> ());
+  unique
+
+let mark_addr_taken env unique =
+  if not (List.mem unique env.addr_taken) then env.addr_taken <- unique :: env.addr_taken
+
+let push_scope env = env.scopes <- [] :: env.scopes
+let pop_scope env = match env.scopes with _ :: rest -> env.scopes <- rest | [] -> assert false
+
+(* Common type of two integer operands. *)
+let common_int a b =
+  let wa = int_bits a and wb = int_bits b in
+  if wa = wb then Int { bits = wa; signed = is_signed a && is_signed b }
+  else if wa > wb then a
+  else b
+
+let cast_to ty e = if e.ty = ty then e else { node = Tcast (ty, e); ty }
+
+(* Implicit conversion on assignment/argument/return positions: any integer
+   converts to any integer; pointers must match exactly. *)
+let convert ~what ty e =
+  if e.ty = ty then e
+  else if is_int ty && is_int e.ty then cast_to ty e
+  else type_error "%s: cannot convert %s to %s" what (ty_to_string e.ty) (ty_to_string ty)
+
+let u64_of e = cast_to u64 e
+
+(* Scale an index by the element size and add it to a pointer (both as
+   64-bit arithmetic), producing a pointer to the element. *)
+let ptr_offset ptr elem_ty idx =
+  let scaled =
+    if sizeof elem_ty = 1 then u64_of idx
+    else { node = Tbin (Mul, u64_of idx, { node = Tnum (Int64.of_int (sizeof elem_ty)); ty = u64 }); ty = u64 }
+  in
+  { node = Tbin (Add, ptr, scaled); ty = Ptr elem_ty }
+
+let rec check_expr env (e : expr) : texpr =
+  match e with
+  | Num v -> { node = Tnum v; ty = i32 }
+  | Chr c -> { node = Tnum (Int64.of_int (Char.code c)); ty = u8 }
+  | Str s -> { node = Tstr s; ty = Ptr u8 }
+  | Sizeof t -> { node = Tnum (Int64.of_int (sizeof t)); ty = u64 }
+  | Var name -> (
+    match lookup_var env name with
+    | Some (unique, (Arr (elem, _) as _aty)) ->
+      (* array decays to pointer to first element *)
+      mark_addr_taken env unique;
+      { node = Taddr (Lvar unique); ty = Ptr elem }
+    | Some (unique, ty) -> { node = Tvar unique; ty }
+    | None -> (
+      match List.assoc_opt name env.globals with
+      | Some (Arr (elem, _)) -> { node = Taddr (Lvar name); ty = Ptr elem }
+      | Some ty -> { node = Tvar name; ty }
+      | None -> type_error "unknown variable %s" name))
+  | Bin (op, a, b) -> check_bin env op a b
+  | Un (op, a) -> (
+    let ta = check_expr env a in
+    match op with
+    | Neg | Bnot ->
+      if not (is_int ta.ty) then type_error "unary %s on non-integer" "op";
+      { node = Tun (op, ta); ty = ta.ty }
+    | Lnot ->
+      if not (is_int ta.ty || match ta.ty with Ptr _ -> true | _ -> false) then
+        type_error "! on non-scalar";
+      { node = Tun (Lnot, ta); ty = u8 })
+  | Cond (c, a, b) ->
+    let tc = check_expr env c in
+    let ta = check_expr env a and tb = check_expr env b in
+    if is_int ta.ty && is_int tb.ty then
+      let ty = common_int ta.ty tb.ty in
+      { node = Tcond (tc, cast_to ty ta, cast_to ty tb); ty }
+    else if ta.ty = tb.ty then { node = Tcond (tc, ta, tb); ty = ta.ty }
+    else type_error "?: branches have incompatible types"
+  | Call (name, args) -> (
+    match List.assoc_opt name env.funcs with
+    | None -> type_error "call to unknown function %s" name
+    | Some { psig; rsig } ->
+      if List.length args <> List.length psig then
+        type_error "%s expects %d arguments, got %d" name (List.length psig)
+          (List.length args);
+      let targs =
+        List.map2 (fun a ty -> convert ~what:("argument of " ^ name) ty (check_expr env a)) args psig
+      in
+      let ty = match rsig with Some t -> t | None -> u8 (* value unusable; Expr-stmt only *) in
+      { node = Tcall (name, targs); ty })
+  | Syscall (num, args) ->
+    let targs = List.map (fun a ->
+        let ta = check_expr env a in
+        match ta.ty with
+        | Ptr _ -> ta
+        | Int _ -> cast_to i64 ta
+        | Arr _ -> assert false) args
+    in
+    { node = Tsyscall (num, targs); ty = i64 }
+  | Idx (a, i) -> (
+    let ta = check_expr env a in
+    let ti = check_expr env i in
+    if not (is_int ti.ty) then type_error "array index must be an integer";
+    match ta.ty with
+    | Ptr elem -> { node = Tderef (ptr_offset ta elem ti); ty = elem }
+    | Int _ | Arr _ -> type_error "indexing a non-pointer of type %s" (ty_to_string ta.ty))
+  | Deref p -> (
+    let tp = check_expr env p in
+    match tp.ty with
+    | Ptr elem -> { node = Tderef tp; ty = elem }
+    | Int _ | Arr _ -> type_error "dereferencing non-pointer of type %s" (ty_to_string tp.ty))
+  | AddrOf e1 -> (
+    match e1 with
+    | Var name -> (
+      match lookup_var env name with
+      | Some (unique, ty) ->
+        mark_addr_taken env unique;
+        let pointee = match ty with Arr (elem, _) -> elem | other -> other in
+        { node = Taddr (Lvar unique); ty = Ptr pointee }
+      | None -> (
+        match List.assoc_opt name env.globals with
+        | Some ty ->
+          let pointee = match ty with Arr (elem, _) -> elem | other -> other in
+          { node = Taddr (Lvar name); ty = Ptr pointee }
+        | None -> type_error "unknown variable %s" name))
+    | Idx (a, i) -> (
+      let ta = check_expr env a in
+      let ti = check_expr env i in
+      match ta.ty with
+      | Ptr elem -> ptr_offset ta elem ti
+      | Int _ | Arr _ -> type_error "&x[i] on non-pointer")
+    | Deref p -> check_expr env p
+    | Num _ | Chr _ | Str _ | Bin _ | Un _ | Cond _ | Call _ | Syscall _ | AddrOf _
+    | Cast _ | Sizeof _ ->
+      type_error "& applied to a non-lvalue")
+  | Cast (ty, e1) -> (
+    let te = check_expr env e1 in
+    match (ty, te.ty) with
+    | Int _, Int _ -> cast_to ty te
+    | Ptr _, Ptr _ -> { te with ty }
+    | Ptr _, Int _ -> { node = Tcast (u64, te); ty }
+    | Int _, Ptr _ -> cast_to ty { te with ty = u64 }
+    | (Arr _, _ | _, Arr _) -> type_error "cannot cast arrays")
+
+and check_bin env op a b =
+  let ta = check_expr env a and tb = check_expr env b in
+  match op with
+  | Land | Lor ->
+    (* operands may be any scalar; result is u8 *)
+    { node = Tbin (op, ta, tb); ty = u8 }
+  | Lt | Le | Gt | Ge | Eq | Ne ->
+    let ta, tb =
+      if is_int ta.ty && is_int tb.ty then
+        let c = common_int ta.ty tb.ty in
+        (cast_to c ta, cast_to c tb)
+      else if ta.ty = tb.ty then (ta, tb) (* pointer comparison *)
+      else type_error "comparison of incompatible types %s and %s" (ty_to_string ta.ty) (ty_to_string tb.ty)
+    in
+    { node = Tbin (op, ta, tb); ty = u8 }
+  | Add | Sub -> (
+    match (ta.ty, tb.ty) with
+    | Ptr elem, Int _ ->
+      let off = if op = Sub then { node = Tun (Neg, u64_of tb); ty = u64 } else tb in
+      ptr_offset ta elem off
+    | Int _, Ptr elem when op = Add -> ptr_offset tb elem ta
+    | Int _, Int _ ->
+      let c = common_int ta.ty tb.ty in
+      { node = Tbin (op, cast_to c ta, cast_to c tb); ty = c }
+    | _ -> type_error "invalid operands to +/-")
+  | Mul | Div | Rem | Band | Bor | Bxor ->
+    if not (is_int ta.ty && is_int tb.ty) then type_error "arithmetic on non-integers";
+    let c = common_int ta.ty tb.ty in
+    { node = Tbin (op, cast_to c ta, cast_to c tb); ty = c }
+  | Shl | Shr ->
+    if not (is_int ta.ty && is_int tb.ty) then type_error "shift on non-integers";
+    (* the shift amount adopts the value's type; result has the value's type *)
+    { node = Tbin (op, ta, cast_to ta.ty tb); ty = ta.ty }
+
+let check_lvalue env (e : expr) : tlvalue * ty =
+  match e with
+  | Var name -> (
+    match lookup_var env name with
+    | Some (_, Arr _) -> type_error "cannot assign to an array"
+    | Some (unique, ty) -> (Lvar unique, ty)
+    | None -> (
+      match List.assoc_opt name env.globals with
+      | Some (Arr _) -> type_error "cannot assign to an array"
+      | Some ty -> (Lvar name, ty)
+      | None -> type_error "unknown variable %s" name))
+  | Idx _ | Deref _ -> (
+    let te = check_expr env e in
+    match te.node with
+    | Tderef addr -> (Lmem addr, te.ty)
+    | _ -> assert false)
+  | Num _ | Chr _ | Str _ | Bin _ | Un _ | Cond _ | Call _ | Syscall _ | AddrOf _ | Cast _
+  | Sizeof _ ->
+    type_error "assignment to a non-lvalue"
+
+let rec check_stmt env ~ret (s : stmt) : tstmt list =
+  match s with
+  | Decl (name, ty, init) ->
+    let tinit = Option.map (fun e -> convert ~what:("initializer of " ^ name) (match ty with Arr _ -> type_error "array initializers not supported" | t -> t) (check_expr env e)) init in
+    let unique = declare env name ty in
+    [ Tdecl (unique, ty, tinit) ]
+  | Assign (lhs, rhs) ->
+    let lv, ty = check_lvalue env lhs in
+    let trhs = convert ~what:"assignment" ty (check_expr env rhs) in
+    [ Tassign (lv, trhs) ]
+  | If (c, then_, else_) ->
+    let tc = check_expr env c in
+    [ Tif (tc, check_block env ~ret then_, check_block env ~ret else_) ]
+  | While (c, body) ->
+    let tc = check_expr env c in
+    env.loop_depth <- env.loop_depth + 1;
+    let tbody = check_block env ~ret body in
+    env.loop_depth <- env.loop_depth - 1;
+    [ Twhile (tc, tbody) ]
+  | For (init, cond, step, body) ->
+    (* desugared here: { init; while (cond) { body'; step } } with
+       [continue] in [body] compiled to a jump to [step] by Compile, which
+       recognizes the Tfor-shaped while loop via an explicit marker. *)
+    push_scope env;
+    let tinit = List.concat_map (check_stmt env ~ret) init in
+    let tc = check_expr env cond in
+    env.loop_depth <- env.loop_depth + 1;
+    let tbody = check_block env ~ret body in
+    let tstep = List.concat_map (check_stmt env ~ret) step in
+    env.loop_depth <- env.loop_depth - 1;
+    pop_scope env;
+    [ Tfor (tinit, tc, tstep, tbody) ]
+  | Return None ->
+    if ret <> None then type_error "return without a value in a non-void function";
+    [ Treturn None ]
+  | Return (Some e) -> (
+    match ret with
+    | None -> type_error "return with a value in a void function"
+    | Some ty -> [ Treturn (Some (convert ~what:"return" ty (check_expr env e))) ])
+  | Expr e -> [ Texpr (check_expr env e) ]
+  | Break ->
+    if env.loop_depth = 0 then type_error "break outside a loop";
+    [ Tbreak ]
+  | Continue ->
+    if env.loop_depth = 0 then type_error "continue outside a loop";
+    [ Tcontinue ]
+  | Assert (e, msg) -> [ Tassert (check_expr env e, msg) ]
+  | Halt e -> [ Thalt (cast_to u64 (check_expr env e)) ]
+
+and check_block env ~ret (b : block) : tblock =
+  push_scope env;
+  let r = List.concat_map (check_stmt env ~ret) b in
+  pop_scope env;
+  r
+
+let check_func ~funcs ~globals (f : func) : tfunc =
+  let env =
+    {
+      funcs;
+      globals;
+      scopes = [ [] ];
+      renames = 0;
+      addr_taken = [];
+      var_types = [];
+      loop_depth = 0;
+    }
+  in
+  (* parameters form the outer scope; they keep unique names too *)
+  let tparams = List.map (fun (name, ty) ->
+      match ty with
+      | Arr _ -> type_error "array parameters not supported; pass a pointer"
+      | _ -> (declare env name ty, ty)) f.params
+  in
+  let tbody = check_block env ~ret:f.ret f.body in
+  {
+    tfname = f.fname;
+    tparams;
+    tret = f.ret;
+    tbody;
+    taddr_taken = env.addr_taken;
+    tvar_types = List.rev env.var_types;
+  }
+
+let check_unit (u : comp_unit) : tunit =
+  let fsigs =
+    List.map (fun f -> (f.fname, { psig = List.map snd f.params; rsig = f.ret })) u.funcs
+  in
+  (match List.find_opt (fun f -> f.fname = u.entry) u.funcs with
+  | None -> type_error "entry function %s not defined" u.entry
+  | Some _ -> ());
+  let dup =
+    List.find_opt
+      (fun f -> List.length (List.filter (fun g -> g.fname = f.fname) u.funcs) > 1)
+      u.funcs
+  in
+  (match dup with Some f -> type_error "function %s defined twice" f.fname | None -> ());
+  let globals = List.map (fun g -> (g.gname, g.gty)) u.globals in
+  {
+    tfuncs = List.map (check_func ~funcs:fsigs ~globals) u.funcs;
+    tglobals = u.globals;
+    tentry = u.entry;
+  }

@@ -1,0 +1,9 @@
+(** Type checking and elaboration of the mini-C AST into the typed form
+    consumed by {!Compile}: implicit conversions become explicit casts
+    (common type = wider width; unsigned wins ties), arrays decay to
+    pointers, pointer arithmetic is scaled here, and every declaration is
+    alpha-renamed to a unique name.
+
+    @raise Ast.Type_error on ill-typed programs. *)
+
+val check_unit : Ast.comp_unit -> Ast.tunit

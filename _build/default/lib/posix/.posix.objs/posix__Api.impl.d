@@ -1,0 +1,1 @@
+lib/posix/api.ml: Engine Env Handler Int64 Lang Option Smt Sysno

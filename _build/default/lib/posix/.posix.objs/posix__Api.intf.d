@@ -1,0 +1,1 @@
+lib/posix/api.mli: Cvm Engine Handler Lang Smt

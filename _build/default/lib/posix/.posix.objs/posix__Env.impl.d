@@ -1,0 +1,1 @@
+lib/posix/env.ml: Char Fqueue Int Int64 List Map Printf Seq Smt String

@@ -1,0 +1,1 @@
+lib/posix/fqueue.mli:

@@ -1,0 +1,1 @@
+lib/posix/handler.ml: Array Char Cvm Engine Env Fqueue Int Int64 List Map Printf Smt String Sysno

@@ -1,0 +1,1 @@
+lib/posix/handler.mli: Engine Env

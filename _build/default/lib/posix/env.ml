@@ -1,0 +1,200 @@
+(* State of the POSIX environment model (paper section 4).
+
+   The model keeps, per execution state, a persistent record of all system
+   objects: per-process file descriptor tables, files (block buffers),
+   half-duplex stream buffers (the building block of pipes and sockets,
+   Fig. 6), the single-IP network's listener and UDP port maps, and fault
+   injection bookkeeping.  Persistence makes the whole environment fork
+   with the execution state for free.
+
+   Wait-list ids used by the model come from a dedicated counter
+   (starting at 1_000_000) so they never collide with wait lists the
+   tested program allocates through the engine's get_wlist primitive. *)
+
+module Imap = Map.Make (Int)
+module Smap = Map.Make (String)
+module E = Smt.Expr
+
+(* --- stream buffers --------------------------------------------------------- *)
+
+(* A half-duplex byte channel: producer-consumer queue with event wait
+   lists on both ends (paper section 4.3, "stream buffers"). *)
+type stream = {
+  data : E.t Fqueue.t;
+  capacity : int;
+  closed_write : bool; (* no more data will arrive; readers see EOF *)
+  closed_read : bool;  (* readers are gone; writers get EPIPE *)
+  rd_wl : int;         (* woken when data arrives or the write end closes *)
+  wr_wl : int;         (* woken when space frees or the read end closes *)
+  fragment : bool;     (* SIO_PKT_FRAGMENT: fork over read sizes *)
+}
+
+(* --- files (block buffers) ---------------------------------------------------- *)
+
+type file = {
+  bytes : E.t Imap.t; (* offset -> byte; holes read as zero *)
+  fsize : int;
+}
+
+(* --- descriptors ----------------------------------------------------------------- *)
+
+type fd_kind =
+  | Kfile of { path : string; pos : int; flags : int }
+  | Kpipe_rd of int (* stream id *)
+  | Kpipe_wr of int
+  | Ktcp_new
+  | Ktcp_bound of int (* port *)
+  | Ktcp_listen of int (* port; the accept queue lives in [listeners] *)
+  | Ktcp_conn of { rx : int; tx : int } (* stream ids *)
+  | Kudp of { port : int option }
+
+type fd = {
+  kind : fd_kind;
+  fi_rd : bool;  (* SIO_FAULT_INJ RD *)
+  fi_wr : bool;  (* SIO_FAULT_INJ WR *)
+  sym_src : bool; (* SIO_SYMBOLIC: reads produce fresh symbolic bytes *)
+  nonblock : bool; (* O_NONBLOCK: would-block operations return EAGAIN *)
+}
+
+let plain_fd kind = { kind; fi_rd = false; fi_wr = false; sym_src = false; nonblock = false }
+
+type fdtable = { fds : fd Imap.t; next_fd : int }
+
+(* --- network ----------------------------------------------------------------------- *)
+
+(* A pending or accepted TCP connection is a pair of streams:
+   client-to-server and server-to-client. *)
+type listener = {
+  backlog : (int * int) Fqueue.t; (* (c2s, s2c) stream ids *)
+  lwl : int;                      (* accept() waits here *)
+}
+
+type udp_port = {
+  dgrams : E.t list Fqueue.t; (* whole datagrams, preserving boundaries *)
+  uwl : int;
+}
+
+(* --- the environment ------------------------------------------------------------------ *)
+
+type t = {
+  tables : fdtable Imap.t; (* pid -> descriptor table *)
+  files : file Smap.t;     (* path -> file *)
+  streams : stream Imap.t;
+  next_stream : int;
+  listeners : listener Imap.t; (* TCP port -> accept queue *)
+  udp_ports : udp_port Imap.t; (* UDP port -> datagram queue *)
+  next_wl : int;
+  fi_global : bool;   (* cloud9_fi_enable / cloud9_fi_disable *)
+  fault_count : int;  (* faults injected along this path (strategy input) *)
+  exit_codes : int64 Imap.t; (* pid -> exit status *)
+  wait_wl : int;      (* waitpid() sleeps here *)
+  select_wl : int;    (* select() sleeps here; notified on every event *)
+  clock : int;        (* deterministic time source *)
+}
+
+let stream_capacity = 65536
+
+let init () =
+  {
+    tables = Imap.singleton 0 { fds = Imap.empty; next_fd = 3 };
+    files = Smap.empty;
+    streams = Imap.empty;
+    next_stream = 1;
+    listeners = Imap.empty;
+    udp_ports = Imap.empty;
+    next_wl = 1_000_000;
+    fi_global = false;
+    fault_count = 0;
+    exit_codes = Imap.empty;
+    wait_wl = 999_998;
+    select_wl = 999_999;
+    clock = 0;
+  }
+
+let fresh_wl t = ({ t with next_wl = t.next_wl + 1 }, t.next_wl)
+
+(* --- descriptor tables ------------------------------------------------------------------- *)
+
+let table t pid =
+  match Imap.find_opt pid t.tables with
+  | Some tbl -> tbl
+  | None -> { fds = Imap.empty; next_fd = 3 }
+
+let set_table t pid tbl = { t with tables = Imap.add pid tbl t.tables }
+
+(* fork() semantics: the child inherits a copy of the parent's table. *)
+let clone_table t ~parent ~child = set_table t child (table t parent)
+
+let lookup_fd t pid fdnum = Imap.find_opt fdnum (table t pid).fds
+
+let alloc_fd t pid fd =
+  let tbl = table t pid in
+  let fdnum = tbl.next_fd in
+  (set_table t pid { fds = Imap.add fdnum fd tbl.fds; next_fd = fdnum + 1 }, fdnum)
+
+let set_fd t pid fdnum fd =
+  let tbl = table t pid in
+  set_table t pid { tbl with fds = Imap.add fdnum fd tbl.fds }
+
+let remove_fd t pid fdnum =
+  let tbl = table t pid in
+  set_table t pid { tbl with fds = Imap.remove fdnum tbl.fds }
+
+(* --- streams --------------------------------------------------------------------------------- *)
+
+let new_stream ?(capacity = stream_capacity) t =
+  let t, rd_wl = fresh_wl t in
+  let t, wr_wl = fresh_wl t in
+  let id = t.next_stream in
+  let s =
+    {
+      data = Fqueue.empty;
+      capacity;
+      closed_write = false;
+      closed_read = false;
+      rd_wl;
+      wr_wl;
+      fragment = false;
+    }
+  in
+  ({ t with next_stream = id + 1; streams = Imap.add id s t.streams }, id)
+
+let stream_exn t id =
+  match Imap.find_opt id t.streams with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Posix.Env: unknown stream %d" id)
+
+let set_stream t id s = { t with streams = Imap.add id s t.streams }
+
+let stream_readable s = not (Fqueue.is_empty s.data) || s.closed_write
+let stream_writable s = Fqueue.length s.data < s.capacity && not s.closed_read
+
+(* --- files --------------------------------------------------------------------------------------- *)
+
+let file_of_bytes content =
+  let bytes =
+    String.to_seq content
+    |> Seq.mapi (fun i c -> (i, E.const ~width:8 (Int64.of_int (Char.code c))))
+    |> Imap.of_seq
+  in
+  { bytes; fsize = String.length content }
+
+let file_of_exprs exprs =
+  let bytes = List.mapi (fun i e -> (i, e)) exprs |> List.to_seq |> Imap.of_seq in
+  { bytes; fsize = List.length exprs }
+
+let file_read_byte f off =
+  match Imap.find_opt off f.bytes with
+  | Some e -> e
+  | None -> E.const ~width:8 0L
+
+let file_write_byte f off e =
+  { bytes = Imap.add off e f.bytes; fsize = max f.fsize (off + 1) }
+
+(* --- fault injection --------------------------------------------------------------------------------- *)
+
+(* Whether a read/write class operation on [fd] is subject to fault
+   injection right now. *)
+let should_inject t fd ~write = t.fi_global && if write then fd.fi_wr else fd.fi_rd
+
+let record_fault t = { t with fault_count = t.fault_count + 1 }

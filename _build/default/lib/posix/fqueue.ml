@@ -1,0 +1,42 @@
+(* A persistent FIFO queue (Okasaki's two-list representation): O(1)
+   amortized push/pop without mutation, so queues embedded in the
+   environment state clone for free at state forks. *)
+
+type 'a t = { front : 'a list; back : 'a list; size : int }
+
+let empty = { front = []; back = []; size = 0 }
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+let push q x = { q with back = x :: q.back; size = q.size + 1 }
+
+let pop q =
+  match q.front with
+  | x :: front -> Some (x, { q with front; size = q.size - 1 })
+  | [] -> (
+    match List.rev q.back with
+    | [] -> None
+    | x :: front -> Some (x, { front; back = []; size = q.size - 1 }))
+
+let peek q =
+  match q.front with
+  | x :: _ -> Some x
+  | [] -> ( match List.rev q.back with [] -> None | x :: _ -> Some x)
+
+(* Remove up to [n] elements from the front. *)
+let pop_n q n =
+  let rec go acc q n =
+    if n = 0 then (List.rev acc, q)
+    else
+      match pop q with
+      | None -> (List.rev acc, q)
+      | Some (x, q) -> go (x :: acc) q (n - 1)
+  in
+  go [] q n
+
+let push_list q xs = List.fold_left push q xs
+
+let to_list q = q.front @ List.rev q.back
+
+let of_list xs = { front = xs; back = []; size = List.length xs }

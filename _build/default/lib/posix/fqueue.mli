@@ -1,0 +1,19 @@
+(** A persistent FIFO queue (two-list representation): O(1) amortized
+    push/pop without mutation, so queues embedded in the environment state
+    clone for free at state forks. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> 'a -> 'a t
+val pop : 'a t -> ('a * 'a t) option
+val peek : 'a t -> 'a option
+
+(** Remove up to [n] elements from the front. *)
+val pop_n : 'a t -> int -> 'a list * 'a t
+
+val push_list : 'a t -> 'a list -> 'a t
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t

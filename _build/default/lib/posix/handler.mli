@@ -1,0 +1,15 @@
+(** The POSIX model's system-call handler: file I/O, pipes, TCP/UDP over
+    the single-IP symbolic network, select(), the extended ioctls of paper
+    Table 3, fault injection, fork/exit/waitpid — implemented over the
+    engine's primitives and the persistent {!Env} carried in each state.
+
+    Blocking calls return [Sys_block]; the engine re-executes the call
+    when the thread is woken (the retry idiom).  Fault injection forks
+    completed I/O operations into success and error-return variants. *)
+
+type env = Env.t
+
+(** The handler to install as {!Engine.Executor.config}'s [handler]. *)
+val handle : env Engine.Executor.handler
+
+val initial_env : unit -> Env.t

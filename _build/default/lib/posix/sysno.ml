@@ -1,0 +1,76 @@
+(* System call numbers, ioctl codes, and flag constants of the POSIX
+   model.  Numbers below [Engine.Executor.Sysno.model_base] (100) are
+   engine primitives; everything here is >= 100 and dispatched to
+   {!Handler}. *)
+
+let open_ = 100
+let close = 101
+let read = 102
+let write = 103
+let pipe = 104
+let socket = 105
+let bind = 106
+let listen = 107
+let accept = 108
+let connect = 109
+let send = 110
+let recv = 111
+let sendto = 112
+let recvfrom = 113
+let select = 114
+let ioctl = 115
+let dup = 116
+let lseek = 117
+let fstat_size = 118
+let unlink = 119
+let waitpid = 120
+let fi_enable = 121       (* cloud9_fi_enable: global fault injection on *)
+let fi_disable = 122      (* cloud9_fi_disable *)
+let mkfile = 123          (* test setup: create a concrete file *)
+let make_symbolic_file = 124 (* test setup: create a file with symbolic bytes *)
+let exit_ = 125           (* process exit: terminates the calling process *)
+let time = 126            (* deterministic clock (path step count) *)
+let fork_ = 127           (* POSIX fork: engine fork + descriptor table inheritance *)
+let fcntl = 128           (* F_GETFL / F_SETFL (O_NONBLOCK) *)
+let dup2 = 129
+
+(* fcntl commands *)
+let f_getfl = 1
+let f_setfl = 2
+
+(* file status flags *)
+let o_nonblock = 1
+
+(* open() flags *)
+let o_rdonly = 0
+let o_wronly = 1
+let o_rdwr = 2
+let o_creat = 4
+let o_trunc = 8
+let o_append = 16
+
+(* socket protocols *)
+let sock_stream = 0 (* TCP *)
+let sock_dgram = 1  (* UDP *)
+
+(* extended ioctl codes (paper Table 3) *)
+let sio_symbolic = 1      (* this fd becomes a source of symbolic input *)
+let sio_pkt_fragment = 2  (* explore all read-fragmentation patterns *)
+let sio_fault_inj = 3     (* per-descriptor fault injection; arg = RD|WR *)
+
+(* SIO_FAULT_INJ argument bits *)
+let rd = 1
+let wr = 2
+
+(* error returns (negated errno values, as the raw syscall layer does) *)
+let eof = 0
+let ebadf = -9
+let efault = -14
+let einval = -22
+let epipe = -32
+let econnrefused = -111
+let eaddrinuse = -98
+let eagain = -11
+let enoent = -2
+let echild = -10
+let enomem = -12

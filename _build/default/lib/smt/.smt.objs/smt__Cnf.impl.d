@@ -1,0 +1,1 @@
+lib/smt/cnf.ml: Array Expr Hashtbl Int64 List Sat Simplify

@@ -1,0 +1,1 @@
+lib/smt/expr.ml: Format Int64 List Printf

@@ -1,0 +1,1 @@
+lib/smt/range.ml: Expr Int Int64 List Map

@@ -1,0 +1,1 @@
+lib/smt/range.mli: Expr Map

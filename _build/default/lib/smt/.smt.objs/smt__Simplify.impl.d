@@ -1,0 +1,1 @@
+lib/smt/simplify.ml: Expr Int64

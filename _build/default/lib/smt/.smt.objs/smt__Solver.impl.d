@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Cnf Expr Hashtbl Int List Model Range Sat Set Simplify

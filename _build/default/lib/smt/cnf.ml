@@ -1,0 +1,312 @@
+(* Bit blasting of bit-vector expressions to CNF over a {!Sat} instance.
+
+   Each expression translates to a vector of SAT literals, least
+   significant bit first.  Translations are memoized per context, so shared
+   subterms produce shared circuitry.  Signed division/remainder must be
+   lowered first (see {!Simplify.lower}); the translation here only
+   implements unsigned arithmetic. *)
+
+type ctx = {
+  sat : Sat.t;
+  true_lit : int;
+  cache : (Expr.t, int array) Hashtbl.t;
+  sym_bits : (int, int array) Hashtbl.t; (* sym id -> SAT var per bit *)
+  divmod_cache : (Expr.t * Expr.t, int array * int array) Hashtbl.t;
+}
+
+let create () =
+  let sat = Sat.create () in
+  let tv = Sat.new_var sat in
+  let true_lit = Sat.lit ~positive:true tv in
+  Sat.add_clause sat [ true_lit ];
+  {
+    sat;
+    true_lit;
+    cache = Hashtbl.create 256;
+    sym_bits = Hashtbl.create 64;
+    divmod_cache = Hashtbl.create 16;
+  }
+
+let lit_true ctx = ctx.true_lit
+let lit_false ctx = ctx.true_lit lxor 1
+let const_lit ctx b = if b then lit_true ctx else lit_false ctx
+let is_ctrue ctx l = l = ctx.true_lit
+let is_cfalse ctx l = l = ctx.true_lit lxor 1
+let fresh_lit ctx = Sat.lit ~positive:true (Sat.new_var ctx.sat)
+let neg l = l lxor 1
+
+(* --- gates ------------------------------------------------------------ *)
+
+let g_and ctx a b =
+  if is_cfalse ctx a || is_cfalse ctx b then lit_false ctx
+  else if is_ctrue ctx a then b
+  else if is_ctrue ctx b then a
+  else if a = b then a
+  else if a = neg b then lit_false ctx
+  else begin
+    let o = fresh_lit ctx in
+    Sat.add_clause ctx.sat [ neg a; neg b; o ];
+    Sat.add_clause ctx.sat [ a; neg o ];
+    Sat.add_clause ctx.sat [ b; neg o ];
+    o
+  end
+
+let g_or ctx a b = neg (g_and ctx (neg a) (neg b))
+
+let g_xor ctx a b =
+  if is_cfalse ctx a then b
+  else if is_cfalse ctx b then a
+  else if is_ctrue ctx a then neg b
+  else if is_ctrue ctx b then neg a
+  else if a = b then lit_false ctx
+  else if a = neg b then lit_true ctx
+  else begin
+    let o = fresh_lit ctx in
+    Sat.add_clause ctx.sat [ neg a; neg b; neg o ];
+    Sat.add_clause ctx.sat [ a; b; neg o ];
+    Sat.add_clause ctx.sat [ a; neg b; o ];
+    Sat.add_clause ctx.sat [ neg a; b; o ];
+    o
+  end
+
+let g_eqbit ctx a b = neg (g_xor ctx a b)
+
+(* if c then t else e *)
+let g_mux ctx c t e =
+  if is_ctrue ctx c then t
+  else if is_cfalse ctx c then e
+  else if t = e then t
+  else begin
+    let o = fresh_lit ctx in
+    Sat.add_clause ctx.sat [ neg c; neg t; o ];
+    Sat.add_clause ctx.sat [ neg c; t; neg o ];
+    Sat.add_clause ctx.sat [ c; neg e; o ];
+    Sat.add_clause ctx.sat [ c; e; neg o ];
+    o
+  end
+
+(* --- vector circuits ---------------------------------------------------- *)
+
+let vec_const ctx ~width v =
+  Array.init width (fun i -> const_lit ctx (Int64.logand (Int64.shift_right_logical v i) 1L = 1L))
+
+let vec_not ctx a =
+  ignore ctx;
+  Array.map neg a
+
+(* Ripple-carry addition with explicit carry-in literal. *)
+let vec_add_carry ctx a b cin =
+  let w = Array.length a in
+  let out = Array.make w (lit_false ctx) in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let x = a.(i) and y = b.(i) in
+    let xy = g_xor ctx x y in
+    out.(i) <- g_xor ctx xy !carry;
+    carry := g_or ctx (g_and ctx x y) (g_and ctx !carry xy)
+  done;
+  out
+
+let vec_add ctx a b = vec_add_carry ctx a b (lit_false ctx)
+let vec_sub ctx a b = vec_add_carry ctx a (vec_not ctx b) (lit_true ctx)
+let vec_neg ctx a = vec_add_carry ctx (vec_not ctx a) (vec_const ctx ~width:(Array.length a) 0L) (lit_true ctx)
+
+let vec_mul ctx a b =
+  let w = Array.length a in
+  let acc = ref (vec_const ctx ~width:w 0L) in
+  for i = 0 to w - 1 do
+    (* addend = (b << i) AND-masked by a_i, truncated to w bits *)
+    let addend =
+      Array.init w (fun j -> if j < i then lit_false ctx else g_and ctx a.(i) b.(j - i))
+    in
+    acc := vec_add ctx !acc addend
+  done;
+  !acc
+
+(* Unsigned less-than: scan from the most significant bit. *)
+let vec_ult ctx a b =
+  let w = Array.length a in
+  let lt = ref (lit_false ctx) in
+  for i = 0 to w - 1 do
+    (* invariant: !lt holds a <_[0,i) b *)
+    let bit_lt = g_and ctx (neg a.(i)) b.(i) in
+    let bit_eq = g_eqbit ctx a.(i) b.(i) in
+    lt := g_or ctx bit_lt (g_and ctx bit_eq !lt)
+  done;
+  !lt
+
+let vec_eq ctx a b =
+  let acc = ref (lit_true ctx) in
+  Array.iteri (fun i x -> acc := g_and ctx !acc (g_eqbit ctx x b.(i))) a;
+  !acc
+
+let flip_msb ctx a =
+  ignore ctx;
+  let a' = Array.copy a in
+  let w = Array.length a' in
+  a'.(w - 1) <- neg a'.(w - 1);
+  a'
+
+let vec_shift_const ctx a k ~fill =
+  ignore ctx;
+  let w = Array.length a in
+  if k >= w || -k >= w then Array.make w fill
+  else
+    Array.init w (fun i ->
+        if k >= 0 then if i < k then fill else a.(i - k) (* left shift *)
+        else if i - k < w then a.(i - k)
+        else fill)
+
+(* Barrel shifter.  [dir] is [`Left] or [`Right]; [fill] is the literal
+   shifted in.  The shift amount [b] has the same width as [a]; amounts
+   >= width yield all-[fill]. *)
+let vec_shift ctx a b ~dir ~fill =
+  let w = Array.length a in
+  let stages = ref [] in
+  let k = ref 0 in
+  while 1 lsl !k < w do
+    stages := !k :: !stages;
+    incr k
+  done;
+  let stages = List.rev !stages in
+  let cur = ref (Array.copy a) in
+  List.iter
+    (fun st ->
+      let amount = 1 lsl st in
+      let shifted =
+        match dir with
+        | `Left -> vec_shift_const ctx !cur amount ~fill
+        | `Right -> vec_shift_const ctx !cur (-amount) ~fill
+      in
+      cur := Array.mapi (fun i orig -> g_mux ctx b.(st) shifted.(i) orig) !cur)
+    stages;
+  (* if any amount bit at position >= log2(w) is set, the result is fill *)
+  let too_big = ref (lit_false ctx) in
+  for i = 0 to Array.length b - 1 do
+    if i >= 62 || 1 lsl i >= w then too_big := g_or ctx !too_big b.(i)
+  done;
+  Array.map (fun l -> g_mux ctx !too_big fill l) !cur
+
+(* --- expression translation ---------------------------------------------- *)
+
+let sym_vector ctx id w =
+  match Hashtbl.find_opt ctx.sym_bits id with
+  | Some vars ->
+    assert (Array.length vars = w);
+    Array.map (fun v -> Sat.lit ~positive:true v) vars
+  | None ->
+    let vars = Array.init w (fun _ -> Sat.new_var ctx.sat) in
+    Hashtbl.replace ctx.sym_bits id vars;
+    Array.map (fun v -> Sat.lit ~positive:true v) vars
+
+(* Assert [cond -> (a = b)] bitwise. *)
+let imply_vec_eq ctx cond a b =
+  Array.iteri
+    (fun i x ->
+      let e = g_eqbit ctx x b.(i) in
+      Sat.add_clause ctx.sat [ neg cond; e ])
+    a
+
+let rec translate ctx (e : Expr.t) : int array =
+  match Hashtbl.find_opt ctx.cache e with
+  | Some bits -> bits
+  | None ->
+    let bits = translate_uncached ctx e in
+    Hashtbl.replace ctx.cache e bits;
+    bits
+
+and divmod ctx a b =
+  match Hashtbl.find_opt ctx.divmod_cache (a, b) with
+  | Some qr -> qr
+  | None ->
+    let w = Expr.width a in
+    let av = translate ctx a and bv = translate ctx b in
+    let q = Array.init w (fun _ -> fresh_lit ctx) in
+    let r = Array.init w (fun _ -> fresh_lit ctx) in
+    let bnz = Array.fold_left (fun acc l -> g_or ctx acc l) (lit_false ctx) bv in
+    (* b = 0: q = all-ones, r = a (matching Expr.eval_binop) *)
+    imply_vec_eq ctx (neg bnz) q (Array.make w (lit_true ctx));
+    imply_vec_eq ctx (neg bnz) r av;
+    (* b <> 0: a = q*b + r at double width (no wraparound), and r < b *)
+    let pad v = Array.append v (Array.make w (lit_false ctx)) in
+    let prod = vec_mul ctx (pad q) (pad bv) in
+    let sum = vec_add ctx prod (pad r) in
+    imply_vec_eq ctx bnz sum (pad av);
+    let rlt = vec_ult ctx r bv in
+    Sat.add_clause ctx.sat [ neg bnz; rlt ];
+    Hashtbl.replace ctx.divmod_cache (a, b) (q, r);
+    (q, r)
+
+and translate_uncached ctx (e : Expr.t) : int array =
+  match e with
+  | Expr.Const { width; value } -> vec_const ctx ~width value
+  | Expr.Sym { id; width; _ } -> sym_vector ctx id width
+  | Expr.Unop (Expr.Not, e1) -> vec_not ctx (translate ctx e1)
+  | Expr.Unop (Expr.Neg, e1) -> vec_neg ctx (translate ctx e1)
+  | Expr.Binop (op, a, b) -> translate_binop ctx op a b
+  | Expr.Ite (c, a, b) ->
+    let cv = translate ctx c in
+    let av = translate ctx a and bv = translate ctx b in
+    Array.mapi (fun i x -> g_mux ctx cv.(0) x bv.(i)) av
+  | Expr.Extract { e = e1; off; len } ->
+    let v = translate ctx e1 in
+    Array.sub v off len
+  | Expr.Zext (e1, w) ->
+    let v = translate ctx e1 in
+    Array.append v (Array.make (w - Array.length v) (lit_false ctx))
+  | Expr.Sext (e1, w) ->
+    let v = translate ctx e1 in
+    let msb = v.(Array.length v - 1) in
+    Array.append v (Array.make (w - Array.length v) msb)
+
+and translate_binop ctx op a b =
+  let bin f =
+    let av = translate ctx a and bv = translate ctx b in
+    f av bv
+  in
+  match op with
+  | Expr.Add -> bin (vec_add ctx)
+  | Expr.Sub -> bin (vec_sub ctx)
+  | Expr.Mul -> bin (vec_mul ctx)
+  | Expr.Udiv -> fst (divmod ctx a b)
+  | Expr.Urem -> snd (divmod ctx a b)
+  | Expr.Sdiv | Expr.Srem ->
+    invalid_arg "Cnf.translate: signed div/rem must be lowered first (Simplify.lower)"
+  | Expr.And -> bin (fun av bv -> Array.mapi (fun i x -> g_and ctx x bv.(i)) av)
+  | Expr.Or -> bin (fun av bv -> Array.mapi (fun i x -> g_or ctx x bv.(i)) av)
+  | Expr.Xor -> bin (fun av bv -> Array.mapi (fun i x -> g_xor ctx x bv.(i)) av)
+  | Expr.Shl -> bin (fun av bv -> vec_shift ctx av bv ~dir:`Left ~fill:(lit_false ctx))
+  | Expr.Lshr -> bin (fun av bv -> vec_shift ctx av bv ~dir:`Right ~fill:(lit_false ctx))
+  | Expr.Ashr ->
+    bin (fun av bv ->
+        let msb = av.(Array.length av - 1) in
+        vec_shift ctx av bv ~dir:`Right ~fill:msb)
+  | Expr.Ult -> bin (fun av bv -> [| vec_ult ctx av bv |])
+  | Expr.Ule -> bin (fun av bv -> [| neg (vec_ult ctx bv av) |])
+  | Expr.Slt -> bin (fun av bv -> [| vec_ult ctx (flip_msb ctx av) (flip_msb ctx bv) |])
+  | Expr.Sle -> bin (fun av bv -> [| neg (vec_ult ctx (flip_msb ctx bv) (flip_msb ctx av)) |])
+  | Expr.Eq -> bin (fun av bv -> [| vec_eq ctx av bv |])
+  | Expr.Concat -> bin (fun av bv -> Array.append bv av)
+
+(* Assert that a width-1 expression is true. *)
+let assert_expr ctx e =
+  let e = Simplify.lower e in
+  assert (Expr.width e = 1);
+  let bits = translate ctx e in
+  Sat.add_clause ctx.sat [ bits.(0) ]
+
+let solve ctx = Sat.solve ctx.sat
+
+(* Read back the value of symbol [id] (width [w]) from the satisfying
+   assignment; returns [None] if the symbol never appeared in a constraint. *)
+let sym_value ctx id =
+  match Hashtbl.find_opt ctx.sym_bits id with
+  | None -> None
+  | Some vars ->
+    let v = ref 0L in
+    Array.iteri
+      (fun i var -> if Sat.value ctx.sat var then v := Int64.logor !v (Int64.shift_left 1L i))
+      vars;
+    Some !v
+
+let sym_ids ctx = Hashtbl.fold (fun id _ acc -> id :: acc) ctx.sym_bits []

@@ -1,0 +1,23 @@
+(** Bit blasting of bit-vector expressions to CNF over a {!Sat} instance.
+
+    Each expression translates to a vector of SAT literals (least
+    significant bit first); translations are memoized per context so shared
+    subterms share circuitry.  A context accumulates constraints for one
+    satisfiability query. *)
+
+type ctx
+
+val create : unit -> ctx
+
+(** Assert that a width-1 expression is true.  Signed division/remainder
+    are lowered automatically via {!Simplify.lower}. *)
+val assert_expr : ctx -> Expr.t -> unit
+
+val solve : ctx -> Sat.result
+
+(** Read back the value of symbol [id] from the satisfying assignment of
+    the last {!solve}; [None] if the symbol never appeared. *)
+val sym_value : ctx -> int -> int64 option
+
+(** Ids of all symbols mentioned in asserted constraints. *)
+val sym_ids : ctx -> int list

@@ -1,0 +1,323 @@
+(* Bit-vector expression terms.
+
+   All values are fixed-width bit vectors with 1 <= width <= 64, stored in
+   an [int64] with bits above the width cleared.  Boolean expressions are
+   width-1 bit vectors (0 = false, 1 = true).  Smart constructors perform
+   constant folding and cheap local rewrites; deeper canonicalization lives
+   in {!Simplify}. *)
+
+type unop =
+  | Not  (* bitwise complement *)
+  | Neg  (* two's complement negation *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Udiv
+  | Urem
+  | Sdiv
+  | Srem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Lshr
+  | Ashr
+  | Ult
+  | Ule
+  | Slt
+  | Sle
+  | Eq
+  | Concat
+
+type t =
+  | Const of { width : int; value : int64 }
+  | Sym of { id : int; name : string; width : int }
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Ite of t * t * t
+  | Extract of { e : t; off : int; len : int }
+  | Zext of t * int
+  | Sext of t * int
+
+exception Width_error of string
+
+let mask width = if width >= 64 then -1L else Int64.sub (Int64.shift_left 1L width) 0x1L
+
+let truncate width v = Int64.logand v (mask width)
+
+(* Sign-extend the low [width] bits of [v] to a full int64. *)
+let to_signed width v =
+  if width >= 64 then v
+  else
+    let shift = 64 - width in
+    Int64.shift_right (Int64.shift_left v shift) shift
+
+let rec width = function
+  | Const { width; _ } -> width
+  | Sym { width; _ } -> width
+  | Unop (_, e) -> width e
+  | Binop ((Ult | Ule | Slt | Sle | Eq), _, _) -> 1
+  | Binop (Concat, a, b) -> width a + width b
+  | Binop (_, a, _) -> width a
+  | Ite (_, a, _) -> width a
+  | Extract { len; _ } -> len
+  | Zext (_, w) -> w
+  | Sext (_, w) -> w
+
+let check_width w =
+  if w < 1 || w > 64 then raise (Width_error (Printf.sprintf "width %d out of [1,64]" w))
+
+let const ~width:w value =
+  check_width w;
+  Const { width = w; value = truncate w value }
+
+let of_bool b = Const { width = 1; value = (if b then 1L else 0L) }
+let true_ = of_bool true
+let false_ = of_bool false
+let of_int ~width:w v = const ~width:w (Int64.of_int v)
+
+let sym_counter = ref 0
+
+let fresh_sym ?(name = "v") w =
+  check_width w;
+  incr sym_counter;
+  Sym { id = !sym_counter; name; width = w }
+
+(* Deterministic symbol creation for replay: the caller supplies the id. *)
+let sym_with_id ~id ~name w =
+  check_width w;
+  if id > !sym_counter then sym_counter := id;
+  Sym { id; name; width = w }
+
+let is_const = function Const _ -> true | _ -> false
+let const_value = function Const { value; _ } -> Some value | _ -> None
+
+let is_true = function Const { width = 1; value = 1L } -> true | _ -> false
+let is_false = function Const { width = 1; value = 0L } -> true | _ -> false
+
+(* Unsigned comparison of int64 values. *)
+let ucompare a b = Int64.unsigned_compare a b
+
+let eval_unop op w v =
+  match op with
+  | Not -> truncate w (Int64.lognot v)
+  | Neg -> truncate w (Int64.neg v)
+
+let eval_binop op w a b =
+  match op with
+  | Add -> truncate w (Int64.add a b)
+  | Sub -> truncate w (Int64.sub a b)
+  | Mul -> truncate w (Int64.mul a b)
+  | Udiv -> if b = 0L then mask w else truncate w (Int64.unsigned_div a b)
+  | Urem -> if b = 0L then a else truncate w (Int64.unsigned_rem a b)
+  | Sdiv ->
+    if b = 0L then mask w
+    else
+      let sa = to_signed w a and sb = to_signed w b in
+      truncate w (Int64.div sa sb)
+  | Srem ->
+    if b = 0L then a
+    else
+      let sa = to_signed w a and sb = to_signed w b in
+      truncate w (Int64.rem sa sb)
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl ->
+    let s = Int64.to_int b in
+    if s >= w || s < 0 then 0L else truncate w (Int64.shift_left a s)
+  | Lshr ->
+    let s = Int64.to_int b in
+    if s >= w || s < 0 then 0L else Int64.shift_right_logical a s
+  | Ashr ->
+    let s = Int64.to_int b in
+    let sa = to_signed w a in
+    if s >= w || s < 0 then truncate w (Int64.shift_right sa 63)
+    else truncate w (Int64.shift_right sa s)
+  | Ult -> if ucompare a b < 0 then 1L else 0L
+  | Ule -> if ucompare a b <= 0 then 1L else 0L
+  | Slt -> if to_signed w a < to_signed w b then 1L else 0L
+  | Sle -> if to_signed w a <= to_signed w b then 1L else 0L
+  | Eq -> if a = b then 1L else 0L
+  | Concat -> assert false (* needs both widths; handled in [binop] *)
+
+let unop op e =
+  match e with
+  | Const { width = w; value } -> Const { width = w; value = eval_unop op w value }
+  | Unop (Not, inner) when op = Not -> inner
+  | Unop (Neg, inner) when op = Neg -> inner
+  | _ -> Unop (op, e)
+
+let binop op a b =
+  (match op with
+  | Concat -> check_width (width a + width b)
+  | Eq | Ult | Ule | Slt | Sle | Add | Sub | Mul | Udiv | Urem | Sdiv | Srem | And | Or | Xor
+  | Shl | Lshr | Ashr ->
+    if width a <> width b then
+      raise
+        (Width_error
+           (Printf.sprintf "binop operand widths differ: %d vs %d" (width a) (width b))));
+  match (a, b) with
+  | Const { width = wa; value = va }, Const { value = vb; _ } -> (
+    match op with
+    | Concat ->
+      let wb = width b in
+      Const { width = wa + wb; value = Int64.logor (Int64.shift_left va wb) vb }
+    | Eq | Ult | Ule | Slt | Sle -> Const { width = 1; value = eval_binop op wa va vb }
+    | _ -> Const { width = wa; value = eval_binop op wa va vb })
+  | _ -> Binop (op, a, b)
+
+let ite c a b =
+  if width c <> 1 then raise (Width_error "ite condition must have width 1");
+  if width a <> width b then raise (Width_error "ite branches must have equal widths");
+  match c with
+  | Const { value = 1L; _ } -> a
+  | Const { value = 0L; _ } -> b
+  | _ -> if a = b then a else Ite (c, a, b)
+
+let extract e ~off ~len =
+  let w = width e in
+  if off < 0 || len < 1 || off + len > w then
+    raise (Width_error (Printf.sprintf "extract [%d,%d) out of width %d" off (off + len) w));
+  if off = 0 && len = w then e
+  else
+    match e with
+    | Const { value; _ } -> Const { width = len; value = truncate len (Int64.shift_right_logical value off) }
+    | Extract { e = inner; off = off'; _ } -> Extract { e = inner; off = off + off'; len }
+    | _ -> Extract { e; off; len }
+
+let zext e w =
+  check_width w;
+  let we = width e in
+  if w < we then raise (Width_error "zext target narrower than operand")
+  else if w = we then e
+  else
+    match e with
+    | Const { value; _ } -> Const { width = w; value }
+    | _ -> Zext (e, w)
+
+let sext e w =
+  check_width w;
+  let we = width e in
+  if w < we then raise (Width_error "sext target narrower than operand")
+  else if w = we then e
+  else
+    match e with
+    | Const { value; _ } -> Const { width = w; value = truncate w (to_signed we value) }
+    | _ -> Sext (e, w)
+
+(* Convenience boolean connectives over width-1 vectors. *)
+let not_ e = unop Not e
+let and_ a b = if is_true a then b else if is_true b then a else binop And a b
+let or_ a b = if is_false a then b else if is_false b then a else binop Or a b
+let eq a b = binop Eq a b
+let ne a b = not_ (eq a b)
+let ult a b = binop Ult a b
+let ule a b = binop Ule a b
+let ugt a b = binop Ult b a
+let uge a b = binop Ule b a
+let slt a b = binop Slt a b
+let sle a b = binop Sle a b
+let sgt a b = binop Slt b a
+let sge a b = binop Sle b a
+let add a b = binop Add a b
+let sub a b = binop Sub a b
+let mul a b = binop Mul a b
+let concat a b = binop Concat a b
+
+(* Support set: ids of symbols occurring in the expression. *)
+let rec collect_syms acc = function
+  | Const _ -> acc
+  | Sym { id; _ } -> if List.mem id acc then acc else id :: acc
+  | Unop (_, e) -> collect_syms acc e
+  | Binop (_, a, b) -> collect_syms (collect_syms acc a) b
+  | Ite (c, a, b) -> collect_syms (collect_syms (collect_syms acc c) a) b
+  | Extract { e; _ } -> collect_syms acc e
+  | Zext (e, _) -> collect_syms acc e
+  | Sext (e, _) -> collect_syms acc e
+
+let syms e = collect_syms [] e
+
+(* Replace every occurrence of the given subterms (bottom-up, so nested
+   matches rewrite first).  Used for path-condition-implied equalities:
+   when the path condition contains [e = c], any occurrence of [e] may be
+   replaced by [c]. *)
+let rec substitute pairs e =
+  let e' =
+    match e with
+    | Const _ | Sym _ -> e
+    | Unop (op, a) -> unop op (substitute pairs a)
+    | Binop (op, a, b) -> binop op (substitute pairs a) (substitute pairs b)
+    | Ite (c, a, b) -> ite (substitute pairs c) (substitute pairs a) (substitute pairs b)
+    | Extract { e = a; off; len } -> extract (substitute pairs a) ~off ~len
+    | Zext (a, w) -> zext (substitute pairs a) w
+    | Sext (a, w) -> sext (substitute pairs a) w
+  in
+  match List.assoc_opt e' pairs with Some r -> r | None -> e'
+
+let rec size = function
+  | Const _ | Sym _ -> 1
+  | Unop (_, e) -> 1 + size e
+  | Binop (_, a, b) -> 1 + size a + size b
+  | Ite (c, a, b) -> 1 + size c + size a + size b
+  | Extract { e; _ } -> 1 + size e
+  | Zext (e, _) -> 1 + size e
+  | Sext (e, _) -> 1 + size e
+
+let unop_name = function Not -> "not" | Neg -> "neg"
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Udiv -> "udiv"
+  | Urem -> "urem"
+  | Sdiv -> "sdiv"
+  | Srem -> "srem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+  | Ult -> "ult"
+  | Ule -> "ule"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Eq -> "eq"
+  | Concat -> "concat"
+
+let rec pp fmt = function
+  | Const { width; value } -> Format.fprintf fmt "%Lu:%d" value width
+  | Sym { name; id; width } -> Format.fprintf fmt "%s%d:%d" name id width
+  | Unop (op, e) -> Format.fprintf fmt "(%s %a)" (unop_name op) pp e
+  | Binop (op, a, b) -> Format.fprintf fmt "(%s %a %a)" (binop_name op) pp a pp b
+  | Ite (c, a, b) -> Format.fprintf fmt "(ite %a %a %a)" pp c pp a pp b
+  | Extract { e; off; len } -> Format.fprintf fmt "(extract %a %d %d)" pp e off len
+  | Zext (e, w) -> Format.fprintf fmt "(zext %a %d)" pp e w
+  | Sext (e, w) -> Format.fprintf fmt "(sext %a %d)" pp e w
+
+let to_string e = Format.asprintf "%a" pp e
+
+(* Concrete evaluation under an assignment from symbol id to value.
+   Unbound symbols evaluate to [default] (0 by default), which matches the
+   "counterexample cache" usage where partial models are probed. *)
+let rec eval ?(default = 0L) lookup e =
+  match e with
+  | Const { value; _ } -> value
+  | Sym { id; width = w; _ } -> (
+    match lookup id with Some v -> truncate w v | None -> truncate w default)
+  | Unop (op, e1) -> eval_unop op (width e1) (eval ~default lookup e1)
+  | Binop (Concat, a, b) ->
+    let wb = width b in
+    Int64.logor (Int64.shift_left (eval ~default lookup a) wb) (eval ~default lookup b)
+  | Binop (op, a, b) ->
+    eval_binop op (width a) (eval ~default lookup a) (eval ~default lookup b)
+  | Ite (c, a, b) ->
+    if eval ~default lookup c = 1L then eval ~default lookup a else eval ~default lookup b
+  | Extract { e = e1; off; len } ->
+    truncate len (Int64.shift_right_logical (eval ~default lookup e1) off)
+  | Zext (e1, _) -> eval ~default lookup e1
+  | Sext (e1, w) -> truncate w (to_signed (width e1) (eval ~default lookup e1))

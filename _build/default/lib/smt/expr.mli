@@ -1,0 +1,136 @@
+(** Bit-vector expression terms.
+
+    All values are fixed-width bit vectors with [1 <= width <= 64], stored
+    in an [int64] with bits above the width cleared.  Boolean expressions
+    are width-1 bit vectors ([0] = false, [1] = true).  The constructors
+    below are smart: they perform constant folding and cheap local
+    rewrites.  Deeper canonicalization lives in {!Simplify}. *)
+
+type unop =
+  | Not  (** bitwise complement *)
+  | Neg  (** two's complement negation *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Udiv  (** unsigned division; [x udiv 0 = all-ones] (SMT-LIB) *)
+  | Urem  (** unsigned remainder; [x urem 0 = x] *)
+  | Sdiv  (** signed division, truncating; [x sdiv 0 = all-ones] *)
+  | Srem  (** signed remainder (sign of dividend); [x srem 0 = x] *)
+  | And
+  | Or
+  | Xor
+  | Shl   (** shift amounts [>= width] yield 0 *)
+  | Lshr
+  | Ashr
+  | Ult   (** comparisons produce width-1 results *)
+  | Ule
+  | Slt
+  | Sle
+  | Eq
+  | Concat  (** [concat a b] puts [a] in the high bits *)
+
+type t =
+  | Const of { width : int; value : int64 }
+  | Sym of { id : int; name : string; width : int }
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Ite of t * t * t
+  | Extract of { e : t; off : int; len : int }
+  | Zext of t * int
+  | Sext of t * int
+
+(** Raised when operand widths are inconsistent or out of range. *)
+exception Width_error of string
+
+(** [mask w] is a bit mask of the low [w] bits. *)
+val mask : int -> int64
+
+(** [truncate w v] clears the bits of [v] above width [w]. *)
+val truncate : int -> int64 -> int64
+
+(** [to_signed w v] sign-extends the low [w] bits of [v] to an int64. *)
+val to_signed : int -> int64 -> int64
+
+(** Unsigned comparison of two int64 values. *)
+val ucompare : int64 -> int64 -> int
+
+(** Bit width of an expression. *)
+val width : t -> int
+
+(** [const ~width v] builds a constant, truncating [v] to [width] bits. *)
+val const : width:int -> int64 -> t
+
+val of_bool : bool -> t
+val true_ : t
+val false_ : t
+val of_int : width:int -> int -> t
+
+(** Allocate a fresh symbolic variable with a globally unique id. *)
+val fresh_sym : ?name:string -> int -> t
+
+(** Build a symbol with a caller-chosen id; used by deterministic replay so
+    that a replayed path names the same symbols as the original run. *)
+val sym_with_id : id:int -> name:string -> int -> t
+
+val is_const : t -> bool
+val const_value : t -> int64 option
+val is_true : t -> bool
+val is_false : t -> bool
+
+(** Concrete semantics of each operator, used by both the smart
+    constructors and {!eval}. *)
+val eval_unop : unop -> int -> int64 -> int64
+
+val eval_binop : binop -> int -> int64 -> int64 -> int64
+
+val unop : unop -> t -> t
+val binop : binop -> t -> t -> t
+val ite : t -> t -> t -> t
+
+(** [extract e ~off ~len] selects bits [off, off+len) of [e] (bit 0 is the
+    least significant). *)
+val extract : t -> off:int -> len:int -> t
+
+val zext : t -> int -> t
+val sext : t -> int -> t
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val eq : t -> t -> t
+val ne : t -> t -> t
+val ult : t -> t -> t
+val ule : t -> t -> t
+val ugt : t -> t -> t
+val uge : t -> t -> t
+val slt : t -> t -> t
+val sle : t -> t -> t
+val sgt : t -> t -> t
+val sge : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val concat : t -> t -> t
+
+(** Ids of the symbolic variables occurring in the expression. *)
+val syms : t -> int list
+
+(** [substitute pairs e] replaces every occurrence of each [fst] subterm
+    with its [snd], bottom-up.  Sound when each pair is an equality
+    implied by the context (e.g. the path condition). *)
+val substitute : (t * t) list -> t -> t
+
+(** Node count, used by caches and cost heuristics. *)
+val size : t -> int
+
+val unop_name : unop -> string
+val binop_name : binop -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [eval lookup e] evaluates [e] under the assignment [lookup]; symbols
+    for which [lookup] returns [None] take the value [default]
+    (default [0L]).  The result is truncated to [width e] bits. *)
+val eval : ?default:int64 -> (int -> int64 option) -> t -> int64

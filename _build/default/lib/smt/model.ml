@@ -1,0 +1,23 @@
+(* A satisfying assignment: symbol id -> concrete value.  Symbols absent
+   from the model are unconstrained and default to zero when evaluated. *)
+
+module Imap = Map.Make (Int)
+
+type t = int64 Imap.t
+
+let empty = Imap.empty
+let add id v m = Imap.add id v m
+let get m id = Imap.find_opt id m
+let bindings m = Imap.bindings m
+let of_bindings l = List.fold_left (fun m (id, v) -> Imap.add id v m) Imap.empty l
+
+let eval m e = Expr.eval (fun id -> Imap.find_opt id m) e
+
+(* A model satisfies a constraint set when every constraint evaluates to
+   true under it (unbound symbols read as zero). *)
+let satisfies m constraints = List.for_all (fun c -> eval m c = 1L) constraints
+
+let pp fmt m =
+  Format.fprintf fmt "{";
+  Imap.iter (fun id v -> Format.fprintf fmt " v%d=%Lu" id v) m;
+  Format.fprintf fmt " }"

@@ -1,0 +1,18 @@
+(** A satisfying assignment: symbol id -> concrete value. *)
+
+type t
+
+val empty : t
+val add : int -> int64 -> t -> t
+val get : t -> int -> int64 option
+val bindings : t -> (int * int64) list
+val of_bindings : (int * int64) list -> t
+
+(** Evaluate an expression under the model; unbound symbols read as 0. *)
+val eval : t -> Expr.t -> int64
+
+(** [satisfies m cs] is true when every constraint in [cs] evaluates to
+    true under [m] (unbound symbols read as zero). *)
+val satisfies : t -> Expr.t list -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(** Unsigned interval (range) analysis over bit-vector expressions: the
+    cheap fast path in front of the SAT solver.  All transfer functions
+    are conservative — the concrete value always lies inside the computed
+    interval. *)
+
+type t = { lo : int64; hi : int64; width : int }
+
+val top : int -> t
+val of_const : width:int -> int64 -> t
+val make : width:int -> int64 -> int64 -> t
+val is_singleton : t -> bool
+val contains : t -> int64 -> bool
+val join : t -> t -> t
+
+(** Intersection; [None] when empty. *)
+val meet : t -> t -> t option
+
+(** Abstract evaluation under symbol intervals ([None] = unconstrained). *)
+val eval : (int -> t option) -> Expr.t -> t
+
+module Imap : Map.S with type key = int
+
+(** Symbol intervals implied by a (simplified) path condition; [None] when
+    the learned facts alone are contradictory. *)
+val boxes_of_pc : Expr.t list -> t Imap.t option
+
+val lookup_of_boxes : t Imap.t -> int -> t option
+
+(** Fast verdict for "is [pc /\ cond] satisfiable?" given that [pc] is
+    satisfiable; [None] means undecided (fall through to SAT). *)
+val quick_feasible : pc:Expr.t list -> Expr.t -> bool option

@@ -1,0 +1,445 @@
+(* A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
+   analysis, VSIDS-style activities with phase saving, and Luby restarts.
+   Clause deletion is omitted: the query mix produced by symbolic execution
+   of our targets consists of many small queries, for which learnt-clause
+   growth within a single query is negligible.
+
+   Literal encoding: variable [v] (0-based) has positive literal [2*v] and
+   negative literal [2*v+1].  [lit lxor 1] negates. *)
+
+type lbool = Unassigned | True | False
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : int array array;  (* clause arena; first two lits watched *)
+  mutable nclauses : int;
+  mutable watches : int list array;   (* lit -> clause indices watching it *)
+  mutable assign : lbool array;       (* var -> value *)
+  mutable level : int array;          (* var -> decision level *)
+  mutable reason : int array;         (* var -> clause index or -1 *)
+  mutable activity : float array;
+  mutable phase : bool array;         (* saved polarity *)
+  mutable heap : int array;           (* max-heap of vars by activity *)
+  mutable heap_size : int;
+  mutable heap_pos : int array;       (* var -> index in heap, or -1 *)
+  mutable trail : int array;          (* assigned literals in order *)
+  mutable trail_size : int;
+  mutable trail_lim : int array;      (* decision-level boundaries *)
+  mutable ntrail_lim : int;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable ok : bool;                  (* false once a top-level conflict exists *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  seen_buf : Buffer.t;                (* placeholder to keep record non-empty-safe *)
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses = Array.make 16 [||];
+    nclauses = 0;
+    watches = Array.make 32 [];
+    assign = Array.make 16 Unassigned;
+    level = Array.make 16 0;
+    reason = Array.make 16 (-1);
+    activity = Array.make 16 0.0;
+    phase = Array.make 16 false;
+    heap = Array.make 16 0;
+    heap_size = 0;
+    heap_pos = Array.make 16 (-1);
+    trail = Array.make 16 0;
+    trail_size = 0;
+    trail_lim = Array.make 16 0;
+    ntrail_lim = 0;
+    qhead = 0;
+    var_inc = 1.0;
+    ok = true;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    seen_buf = Buffer.create 1;
+  }
+
+let grow_array a n default =
+  if Array.length a >= n then a
+  else begin
+    let a' = Array.make (max n (2 * Array.length a)) default in
+    Array.blit a 0 a' 0 (Array.length a);
+    a'
+  end
+
+(* --- activity-ordered max-heap --------------------------------------- *)
+
+let heap_less s v1 v2 = s.activity.(v1) > s.activity.(v2)
+
+let heap_swap s i j =
+  let vi = s.heap.(i) and vj = s.heap.(j) in
+  s.heap.(i) <- vj;
+  s.heap.(j) <- vi;
+  s.heap_pos.(vj) <- i;
+  s.heap_pos.(vi) <- j
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_less s s.heap.(i) s.heap.(parent) then begin
+      heap_swap s i parent;
+      heap_up s parent
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && heap_less s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_size && heap_less s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap <- grow_array s.heap (s.heap_size + 1) 0;
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    heap_up s (s.heap_size - 1)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_size > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_size);
+    s.heap_pos.(s.heap.(0)) <- 0;
+    heap_down s 0
+  end;
+  v
+
+let heap_bump s v = if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* --- variables and values --------------------------------------------- *)
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assign <- grow_array s.assign s.nvars Unassigned;
+  s.level <- grow_array s.level s.nvars 0;
+  s.reason <- grow_array s.reason s.nvars (-1);
+  s.activity <- grow_array s.activity s.nvars 0.0;
+  s.phase <- grow_array s.phase s.nvars false;
+  s.heap_pos <- grow_array s.heap_pos s.nvars (-1);
+  s.trail <- grow_array s.trail s.nvars 0;
+  s.heap_pos.(v) <- -1;
+  s.assign.(v) <- Unassigned;
+  s.activity.(v) <- 0.0;
+  s.phase.(v) <- false;
+  s.reason.(v) <- -1;
+  if Array.length s.watches < 2 * s.nvars then begin
+    let w = Array.make (max (2 * s.nvars) (2 * Array.length s.watches)) [] in
+    Array.blit s.watches 0 w 0 (Array.length s.watches);
+    s.watches <- w
+  end;
+  s.watches.((2 * v)) <- [];
+  s.watches.((2 * v) + 1) <- [];
+  heap_insert s v;
+  v
+
+let var_of_lit l = l lsr 1
+let lit_sign l = l land 1 = 0 (* true when positive *)
+let lit ~positive v = if positive then 2 * v else (2 * v) + 1
+
+let lit_value s l =
+  match s.assign.(var_of_lit l) with
+  | Unassigned -> Unassigned
+  | True -> if lit_sign l then True else False
+  | False -> if lit_sign l then False else True
+
+let value s v = match s.assign.(v) with True -> true | False | Unassigned -> false
+
+let decision_level s = s.ntrail_lim
+
+(* --- assignment / trail ------------------------------------------------ *)
+
+let enqueue s l reason =
+  let v = var_of_lit l in
+  s.assign.(v) <- (if lit_sign l then True else False);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.phase.(v) <- lit_sign l;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_size - 1 downto bound do
+      let v = var_of_lit s.trail.(i) in
+      s.assign.(v) <- Unassigned;
+      s.reason.(v) <- -1;
+      heap_insert s v
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    s.ntrail_lim <- lvl
+  end
+
+(* --- clauses ------------------------------------------------------------ *)
+
+let attach_clause s ci =
+  let c = s.clauses.(ci) in
+  s.watches.(c.(0)) <- ci :: s.watches.(c.(0));
+  s.watches.(c.(1)) <- ci :: s.watches.(c.(1))
+
+let push_clause s c =
+  if s.nclauses >= Array.length s.clauses then begin
+    let a = Array.make (2 * Array.length s.clauses) [||] in
+    Array.blit s.clauses 0 a 0 s.nclauses;
+    s.clauses <- a
+  end;
+  s.clauses.(s.nclauses) <- c;
+  s.nclauses <- s.nclauses + 1;
+  s.nclauses - 1
+
+(* Add a problem clause.  Must be called before [solve] (at level 0). *)
+let add_clause s lits =
+  if s.ok then begin
+    (* Remove duplicates and false literals; detect tautologies. *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.exists (fun l' -> l' = l lxor 1) lits) lits
+    in
+    if not tautology then begin
+      let lits = List.filter (fun l -> lit_value s l <> False) lits in
+      if List.exists (fun l -> lit_value s l = True) lits then ()
+      else
+        match lits with
+        | [] -> s.ok <- false
+        | [ l ] -> enqueue s l (-1)
+        | l0 :: l1 :: _ ->
+          let c = Array.of_list lits in
+          let ci = push_clause s c in
+          ignore l0;
+          ignore l1;
+          attach_clause s ci
+    end
+  end
+
+(* --- propagation --------------------------------------------------------- *)
+
+(* Propagate all enqueued assignments; returns the index of a conflicting
+   clause, or -1 if no conflict. *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict < 0 && s.qhead < s.trail_size do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let false_lit = p lxor 1 in
+    let old_watch = s.watches.(false_lit) in
+    s.watches.(false_lit) <- [];
+    let rec go = function
+      | [] -> ()
+      | ci :: rest ->
+        let c = s.clauses.(ci) in
+        (* ensure the false literal is at position 1 *)
+        if c.(0) = false_lit then begin
+          c.(0) <- c.(1);
+          c.(1) <- false_lit
+        end;
+        if lit_value s c.(0) = True then begin
+          (* clause satisfied: keep watching *)
+          s.watches.(false_lit) <- ci :: s.watches.(false_lit);
+          go rest
+        end
+        else begin
+          (* look for a new literal to watch *)
+          let n = Array.length c in
+          let rec find i = if i >= n then -1 else if lit_value s c.(i) <> False then i else find (i + 1) in
+          let k = find 2 in
+          if k >= 0 then begin
+            c.(1) <- c.(k);
+            c.(k) <- false_lit;
+            s.watches.(c.(1)) <- ci :: s.watches.(c.(1));
+            go rest
+          end
+          else begin
+            (* unit or conflicting *)
+            s.watches.(false_lit) <- ci :: s.watches.(false_lit);
+            if lit_value s c.(0) = False then begin
+              (* conflict: restore remaining watches and stop *)
+              List.iter (fun ci' -> s.watches.(false_lit) <- ci' :: s.watches.(false_lit)) rest;
+              s.qhead <- s.trail_size;
+              conflict := ci
+            end
+            else begin
+              enqueue s c.(0) ci;
+              go rest
+            end
+          end
+        end
+    in
+    go old_watch
+  done;
+  !conflict
+
+(* --- conflict analysis ---------------------------------------------------- *)
+
+let var_decay = 0.95
+let rescale_limit = 1e100
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > rescale_limit then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_bump s v
+
+let decay_activities s = s.var_inc <- s.var_inc /. var_decay
+
+(* First-UIP learning.  Returns (learnt clause with asserting literal
+   first, backtrack level). *)
+let analyze s conflict_ci =
+  let seen = Array.make s.nvars false in
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let ci = ref conflict_ci in
+  let idx = ref (s.trail_size - 1) in
+  let asserting = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let c = s.clauses.(!ci) in
+    let start = if !p < 0 then 0 else 1 in
+    for i = start to Array.length c - 1 do
+      let q = c.(i) in
+      let v = var_of_lit q in
+      if (not seen.(v)) && s.level.(v) > 0 then begin
+        seen.(v) <- true;
+        bump_var s v;
+        if s.level.(v) >= decision_level s then incr counter
+        else learnt := q :: !learnt
+      end
+    done;
+    (* pick the next literal on the trail to resolve *)
+    let rec next_seen i = if seen.(var_of_lit s.trail.(i)) then i else next_seen (i - 1) in
+    idx := next_seen !idx;
+    let q = s.trail.(!idx) in
+    let v = var_of_lit q in
+    p := q;
+    seen.(v) <- false;
+    decr counter;
+    decr idx;
+    if !counter = 0 then begin
+      asserting := !p lxor 1;
+      continue := false
+    end
+    else ci := s.reason.(v)
+  done;
+  let learnt = !asserting :: !learnt in
+  (* backtrack level: second-highest level in the learnt clause *)
+  let blevel =
+    match learnt with
+    | [ _ ] -> 0
+    | _ :: rest -> List.fold_left (fun acc l -> max acc s.level.(var_of_lit l)) 0 rest
+    | [] -> 0
+  in
+  (learnt, blevel)
+
+(* --- search ----------------------------------------------------------------- *)
+
+let luby y i =
+  (* the Luby restart sequence *)
+  let rec go sz seq i = if sz < i + 1 then go ((2 * sz) + 1) (seq + 1) (i mod sz) else (sz, seq, i)
+  in
+  let rec outer i =
+    let sz, seq, i = go 1 0 i in
+    if sz - 1 = i then y ** float_of_int seq else outer i
+  in
+  outer i
+
+let pick_branch_var s =
+  let rec loop () =
+    if s.heap_size = 0 then -1
+    else
+      let v = heap_pop s in
+      if s.assign.(v) = Unassigned then v else loop ()
+  in
+  loop ()
+
+type result = Satisfiable | Unsatisfiable
+
+let record_learnt s learnt =
+  match learnt with
+  | [ l ] -> enqueue s l (-1)
+  | l0 :: _ :: _ ->
+    let c = Array.of_list learnt in
+    (* watch the asserting literal and a literal from the backtrack level *)
+    let ci = push_clause s c in
+    (* position 1 must hold a highest-level literal among the rest *)
+    let best = ref 1 in
+    for i = 2 to Array.length c - 1 do
+      if s.level.(var_of_lit c.(i)) > s.level.(var_of_lit c.(!best)) then best := i
+    done;
+    let tmp = c.(1) in
+    c.(1) <- c.(!best);
+    c.(!best) <- tmp;
+    attach_clause s ci;
+    enqueue s l0 ci
+  | [] -> s.ok <- false
+
+let solve s =
+  if not s.ok then Unsatisfiable
+  else begin
+    let restart_base = 64.0 in
+    let restarts = ref 0 in
+    let conflicts_until_restart = ref (restart_base *. luby 2.0 0) in
+    let result = ref None in
+    (if propagate s >= 0 then begin
+       s.ok <- false;
+       result := Some Unsatisfiable
+     end);
+    while !result = None do
+      let conflict = propagate s in
+      if conflict >= 0 then begin
+        s.conflicts <- s.conflicts + 1;
+        if decision_level s = 0 then begin
+          s.ok <- false;
+          result := Some Unsatisfiable
+        end
+        else begin
+          let learnt, blevel = analyze s conflict in
+          cancel_until s blevel;
+          record_learnt s learnt;
+          decay_activities s;
+          conflicts_until_restart := !conflicts_until_restart -. 1.0
+        end
+      end
+      else if !conflicts_until_restart <= 0.0 && decision_level s > 0 then begin
+        incr restarts;
+        conflicts_until_restart := restart_base *. luby 2.0 !restarts;
+        cancel_until s 0
+      end
+      else begin
+        let v = pick_branch_var s in
+        if v < 0 then result := Some Satisfiable
+        else begin
+          s.decisions <- s.decisions + 1;
+          s.trail_lim <- grow_array s.trail_lim (s.ntrail_lim + 1) 0;
+          s.trail_lim.(s.ntrail_lim) <- s.trail_size;
+          s.ntrail_lim <- s.ntrail_lim + 1;
+          enqueue s (lit ~positive:s.phase.(v) v) (-1)
+        end
+      end
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
+let stats s = (s.conflicts, s.decisions, s.propagations)

@@ -1,0 +1,36 @@
+(** A CDCL SAT solver with two-watched-literal propagation, first-UIP
+    learning, VSIDS-style branching, phase saving, and Luby restarts.
+
+    Literal encoding: variable [v] (0-based, allocated by {!new_var}) has
+    positive literal [2*v] and negative literal [2*v + 1]; [l lxor 1]
+    negates a literal. *)
+
+type t
+
+type result = Satisfiable | Unsatisfiable
+
+val create : unit -> t
+
+(** Allocate a new variable and return its index. *)
+val new_var : t -> int
+
+(** [lit ~positive v] is the literal for variable [v]. *)
+val lit : positive:bool -> int -> int
+
+val var_of_lit : int -> int
+
+(** [lit_sign l] is [true] for positive literals. *)
+val lit_sign : int -> bool
+
+(** Add a problem clause (list of literals).  Must be called before
+    {!solve}; an empty clause makes the instance unsatisfiable. *)
+val add_clause : t -> int list -> unit
+
+val solve : t -> result
+
+(** [value s v] is the value of variable [v] in the satisfying assignment
+    found by the last {!solve} call ([false] if unassigned). *)
+val value : t -> int -> bool
+
+(** [(conflicts, decisions, propagations)] counters. *)
+val stats : t -> int * int * int

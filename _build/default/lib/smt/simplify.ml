@@ -1,0 +1,176 @@
+(* Canonicalizing rewriter for bit-vector expressions.
+
+   The smart constructors in {!Expr} already fold constants; this module
+   adds algebraic identities, normalizes commutative operands (constants
+   to the right), and lowers signed division/remainder to unsigned
+   operations so the bit blaster only handles unsigned arithmetic.
+
+   The rewriter is bottom-up and memoized; rules are applied to a fixpoint
+   at each node (each rule strictly decreases a well-founded measure, so
+   this terminates). *)
+
+open Expr
+
+let is_zero e = match e with Const { value = 0L; _ } -> true | _ -> false
+let is_ones e = match e with Const { width; value } -> value = mask width | _ -> false
+let is_one e = match e with Const { value = 1L; _ } -> true | _ -> false
+
+let commutative = function
+  | Add | Mul | And | Or | Xor | Eq -> true
+  | Sub | Udiv | Urem | Sdiv | Srem | Shl | Lshr | Ashr | Ult | Ule | Slt | Sle | Concat ->
+    false
+
+(* Total order used to canonicalize commutative operands: constants sort
+   last so that the constant ends up on the right. *)
+let rank = function
+  | Const _ -> 2
+  | Sym _ -> 0
+  | Unop _ | Binop _ | Ite _ | Extract _ | Zext _ | Sext _ -> 1
+
+let operand_order a b =
+  let c = compare (rank a) (rank b) in
+  if c <> 0 then c else compare a b
+
+let rewrite_binop op a b =
+  let w = Expr.width a in
+  match (op, a, b) with
+  (* additive identities *)
+  | Add, e, z when is_zero z -> Some e
+  | Sub, e, z when is_zero z -> Some e
+  | Sub, a, b when a = b -> Some (const ~width:w 0L)
+  (* multiplicative identities *)
+  | Mul, _, z when is_zero z -> Some (const ~width:w 0L)
+  | Mul, e, o when is_one o -> Some e
+  | Udiv, e, o when is_one o -> Some e
+  | Urem, _, o when is_one o -> Some (const ~width:w 0L)
+  (* bitwise identities *)
+  | And, _, z when is_zero z -> Some (const ~width:w 0L)
+  | And, e, o when is_ones o -> Some e
+  | And, a, b when a = b -> Some a
+  | Or, e, z when is_zero z -> Some e
+  | Or, _, o when is_ones o -> Some (const ~width:w (mask w))
+  | Or, a, b when a = b -> Some a
+  | Xor, e, z when is_zero z -> Some e
+  | Xor, a, b when a = b -> Some (const ~width:w 0L)
+  | Xor, e, o when is_ones o -> Some (unop Not e)
+  (* shifts by zero *)
+  | (Shl | Lshr | Ashr), e, z when is_zero z -> Some e
+  (* reflexive comparisons *)
+  | Eq, a, b when a = b -> Some true_
+  | Ult, a, b when a = b -> Some false_
+  | Ule, a, b when a = b -> Some true_
+  | Slt, a, b when a = b -> Some false_
+  | Sle, a, b when a = b -> Some true_
+  (* unsigned bounds *)
+  | Ult, _, z when is_zero z -> Some false_
+  | Ule, z, _ when is_zero z -> Some true_
+  | Ule, _, o when is_ones o -> Some true_
+  | Ult, z, b when is_zero z -> Some (ne b (const ~width:(Expr.width b) 0L))
+  (* canonical equality forms feed path-condition substitution *)
+  | Ule, e, z when is_zero z -> Some (eq e z)
+  | Ult, e, o when is_one o -> Some (eq e (const ~width:w 0L))
+  (* eq against boolean constants collapses to the operand or its negation *)
+  | Eq, e, o when Expr.width e = 1 && is_one o -> Some e
+  | Eq, e, z when Expr.width e = 1 && is_zero z -> Some (unop Not e)
+  (* push equalities and unsigned comparisons through zero-extension:
+     keeps formulas narrow and exposes [sym = const] equalities for
+     path-condition substitution *)
+  | Eq, Zext (e, _), Const { width = _; value } ->
+    let we = Expr.width e in
+    if truncate we value = value then Some (eq e (const ~width:we value)) else Some false_
+  | Eq, Sext (e, _), Const { width = wc; value } ->
+    let we = Expr.width e in
+    let back = truncate we value in
+    if truncate wc (to_signed we back) = value then Some (eq e (const ~width:we back))
+    else Some false_
+  | Eq, Unop (Not, e), Const { width = wc; value } ->
+    Some (eq e (const ~width:wc (Int64.lognot value)))
+  | Eq, Binop (Add, x, Const { width = wc; value = k }), Const { value = c; _ } ->
+    Some (eq x (const ~width:wc (Int64.sub c k)))
+  | Eq, Binop (Sub, x, Const { width = wc; value = k }), Const { value = c; _ } ->
+    Some (eq x (const ~width:wc (Int64.add c k)))
+  | Ult, Zext (e, _), Const { value; _ } ->
+    let we = Expr.width e in
+    if ucompare value (mask we) > 0 then Some true_
+    else Some (ult e (const ~width:we value))
+  | Ult, Const { value; _ }, Zext (e, _) ->
+    let we = Expr.width e in
+    if ucompare value (mask we) >= 0 then Some false_
+    else Some (ult (const ~width:we value) e)
+  | Ule, Zext (e, _), Const { value; _ } ->
+    let we = Expr.width e in
+    if ucompare value (mask we) >= 0 then Some true_
+    else Some (ule e (const ~width:we value))
+  | Ule, Const { value; _ }, Zext (e, _) ->
+    let we = Expr.width e in
+    if ucompare value (mask we) > 0 then Some false_
+    else Some (ule (const ~width:we value) e)
+  | Eq, Zext (a, _), Zext (b, _) when Expr.width a = Expr.width b -> Some (eq a b)
+  | Ult, Zext (a, _), Zext (b, _) when Expr.width a = Expr.width b -> Some (ult a b)
+  | Ule, Zext (a, _), Zext (b, _) when Expr.width a = Expr.width b -> Some (ule a b)
+  (* x + x = 2x is not smaller; skip.  (x - c) etc. left to folding. *)
+  | _ -> None
+
+let rewrite_ite c a b =
+  match (c, a, b) with
+  | Unop (Not, c'), a, b -> Some (ite c' b a)
+  (* ite c 1 0 = c ; ite c 0 1 = !c  (width-1 only) *)
+  | c, o, z when Expr.width a = 1 && is_one o && is_zero z -> Some c
+  | c, z, o when Expr.width a = 1 && is_zero z && is_one o -> Some (unop Not c)
+  | _ -> None
+
+(* Lower signed division and remainder to unsigned equivalents so that the
+   CNF translation only needs unsigned circuits.  The lowering matches
+   {!Expr.eval_binop} exactly, including division by zero:
+   [sdiv x 0 = all-ones] and [srem x 0 = x]. *)
+let lower_sdiv a b =
+  let w = Expr.width a in
+  let zero = const ~width:w 0L in
+  let abs e = ite (slt e zero) (unop Neg e) e in
+  let q = binop Udiv (abs a) (abs b) in
+  let opposite_signs = binop Xor (slt a zero) (slt b zero) in
+  ite (eq b zero) (const ~width:w (mask w)) (ite opposite_signs (unop Neg q) q)
+
+let lower_srem a b =
+  let w = Expr.width a in
+  let zero = const ~width:w 0L in
+  let abs e = ite (slt e zero) (unop Neg e) e in
+  let r = binop Urem (abs a) (abs b) in
+  ite (eq b zero) a (ite (slt a zero) (unop Neg r) r)
+
+let rec simplify e =
+  match e with
+  | Const _ | Sym _ -> e
+  | Unop (op, e1) -> unop op (simplify e1)
+  | Binop (op, a, b) ->
+    let a = simplify a and b = simplify b in
+    let a, b = if commutative op && operand_order a b > 0 then (b, a) else (a, b) in
+    let folded = binop op a b in
+    (match folded with
+    | Binop (op', a', b') -> (
+      match rewrite_binop op' a' b' with Some e' -> simplify e' | None -> folded)
+    | other -> other)
+  | Ite (c, a, b) ->
+    let c = simplify c and a = simplify a and b = simplify b in
+    let folded = ite c a b in
+    (match folded with
+    | Ite (c', a', b') -> (
+      match rewrite_ite c' a' b' with Some e' -> simplify e' | None -> folded)
+    | other -> other)
+  | Extract { e = e1; off; len } -> extract (simplify e1) ~off ~len
+  | Zext (e1, w) -> zext (simplify e1) w
+  | Sext (e1, w) -> sext (simplify e1) w
+
+(* Recursively replace Sdiv/Srem with their unsigned lowering; used by the
+   CNF translation. *)
+let rec lower e =
+  match e with
+  | Const _ | Sym _ -> e
+  | Unop (op, e1) -> unop op (lower e1)
+  | Binop (Sdiv, a, b) -> lower_sdiv (lower a) (lower b)
+  | Binop (Srem, a, b) -> lower_srem (lower a) (lower b)
+  | Binop (op, a, b) -> binop op (lower a) (lower b)
+  | Ite (c, a, b) -> ite (lower c) (lower a) (lower b)
+  | Extract { e = e1; off; len } -> extract (lower e1) ~off ~len
+  | Zext (e1, w) -> zext (lower e1) w
+  | Sext (e1, w) -> sext (lower e1) w

@@ -1,0 +1,12 @@
+(** Canonicalizing rewriter for bit-vector expressions. *)
+
+(** [simplify e] applies constant folding, algebraic identities, and
+    commutative-operand normalization bottom-up, preserving the concrete
+    semantics of {!Expr.eval} exactly. *)
+val simplify : Expr.t -> Expr.t
+
+(** [lower e] recursively replaces signed division and remainder with an
+    unsigned lowering (matching {!Expr.eval_binop} exactly, including the
+    division-by-zero cases) so downstream bit blasting only needs unsigned
+    circuits. *)
+val lower : Expr.t -> Expr.t

@@ -1,0 +1,240 @@
+(* Query orchestration on top of the bit blaster and SAT core.
+
+   This mirrors the solver stack KLEE/Cloud9 sit on:
+   - a canonicalizing simplifier pass,
+   - constraint-independence slicing (only constraints transitively
+     sharing symbols with the query are sent to the solver),
+   - a satisfiability cache keyed on the canonical constraint set,
+   - a counterexample (model) cache: recent models are probed by concrete
+     evaluation before invoking the SAT solver.
+
+   Each feature can be disabled at construction for ablation benchmarks. *)
+
+type result = Sat of Model.t | Unsat
+
+type stats = {
+  mutable queries : int;       (* total satisfiability questions asked *)
+  mutable trivial : int;       (* answered by simplification alone *)
+  mutable range_hits : int;    (* answered by interval analysis *)
+  mutable cache_hits : int;    (* answered by the satisfiability cache *)
+  mutable cex_hits : int;      (* answered by probing a cached model *)
+  mutable sat_calls : int;     (* full bit-blast + SAT runs *)
+}
+
+type t = {
+  stats : stats;
+  use_sat_cache : bool;
+  use_cex_cache : bool;
+  use_independence : bool;
+  use_range : bool;
+  sat_cache : (Expr.t list, result) Hashtbl.t;
+  det_cache : (Expr.t list, result) Hashtbl.t;
+  mutable cex_models : Model.t list;
+  cex_limit : int;
+}
+
+let create ?(use_sat_cache = true) ?(use_cex_cache = true) ?(use_independence = true)
+    ?(use_range = true) () =
+  {
+    stats =
+      { queries = 0; trivial = 0; range_hits = 0; cache_hits = 0; cex_hits = 0; sat_calls = 0 };
+    use_sat_cache;
+    use_cex_cache;
+    use_independence;
+    use_range;
+    sat_cache = Hashtbl.create 1024;
+    det_cache = Hashtbl.create 256;
+    cex_models = [];
+    cex_limit = 32;
+  }
+
+let stats t = t.stats
+
+(* Drop the satisfiability cache (used when measuring cache reconstruction
+   after a job transfer, see paper section 6 "Constraint Caches"). *)
+let clear_caches t =
+  Hashtbl.reset t.sat_cache;
+  Hashtbl.reset t.det_cache;
+  t.cex_models <- []
+
+(* Normalize a constraint set: simplify, drop trivially-true constraints,
+   and sort for a canonical cache key.  Returns [None] when some constraint
+   is trivially false. *)
+let normalize constraints =
+  let rec go acc = function
+    | [] -> Some (List.sort_uniq compare acc)
+    | c :: rest ->
+      let c = Simplify.simplify c in
+      if Expr.is_true c then go acc rest
+      else if Expr.is_false c then None
+      else go (c :: acc) rest
+  in
+  go [] constraints
+
+(* Transitive closure of constraints connected to [seed_syms] through
+   shared symbols. *)
+let slice ~seed_syms constraints =
+  let module Iset = Set.Make (Int) in
+  let tagged = List.map (fun c -> (c, Expr.syms c)) constraints in
+  let closure = ref (Iset.of_list seed_syms) in
+  let selected = ref [] in
+  let remaining = ref tagged in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let rem, sel =
+      List.partition
+        (fun (_, syms) -> not (List.exists (fun s -> Iset.mem s !closure) syms))
+        !remaining
+    in
+    if sel <> [] then begin
+      changed := true;
+      List.iter
+        (fun (c, syms) ->
+          selected := c :: !selected;
+          List.iter (fun s -> closure := Iset.add s !closure) syms)
+        sel;
+      remaining := rem
+    end
+  done;
+  !selected
+
+let solve_raw t constraints =
+  t.stats.sat_calls <- t.stats.sat_calls + 1;
+  let ctx = Cnf.create () in
+  List.iter (Cnf.assert_expr ctx) constraints;
+  match Cnf.solve ctx with
+  | Sat.Unsatisfiable -> Unsat
+  | Sat.Satisfiable ->
+    let model =
+      List.fold_left
+        (fun m id ->
+          match Cnf.sym_value ctx id with Some v -> Model.add id v m | None -> m)
+        Model.empty (Cnf.sym_ids ctx)
+    in
+    (* The SAT model must satisfy the constraints; this is the solver's
+       own soundness check (cheap: concrete evaluation). *)
+    assert (Model.satisfies model constraints);
+    Sat model
+
+let remember_model t m =
+  if t.use_cex_cache then begin
+    let keep = List.filteri (fun i _ -> i < t.cex_limit - 1) t.cex_models in
+    t.cex_models <- m :: keep
+  end
+
+(* Core satisfiability check with caching; constraints are already
+   normalized and non-empty. *)
+let check_normalized t constraints =
+  let cached =
+    if t.use_sat_cache then Hashtbl.find_opt t.sat_cache constraints else None
+  in
+  match cached with
+  | Some r ->
+    t.stats.cache_hits <- t.stats.cache_hits + 1;
+    r
+  | None ->
+    let probe =
+      if t.use_cex_cache then
+        List.find_opt (fun m -> Model.satisfies m constraints) t.cex_models
+      else None
+    in
+    let r =
+      match probe with
+      | Some m ->
+        t.stats.cex_hits <- t.stats.cex_hits + 1;
+        Sat m
+      | None ->
+        let r = solve_raw t constraints in
+        (match r with Sat m -> remember_model t m | Unsat -> ());
+        r
+    in
+    if t.use_sat_cache then Hashtbl.replace t.sat_cache constraints r;
+    r
+
+(* Full check: is the conjunction of [constraints] satisfiable?  The model
+   returned covers all symbols mentioned in the constraints (others are
+   unconstrained and default to zero on evaluation). *)
+let check t constraints =
+  t.stats.queries <- t.stats.queries + 1;
+  match normalize constraints with
+  | None ->
+    t.stats.trivial <- t.stats.trivial + 1;
+    Unsat
+  | Some [] ->
+    t.stats.trivial <- t.stats.trivial + 1;
+    Sat Model.empty
+  | Some cs -> check_normalized t cs
+
+(* Branch-feasibility query: is [pc /\ cond] satisfiable?  Uses
+   independence slicing seeded by the symbols of [cond]; this is sound for
+   satisfiability because [pc] alone is satisfiable by invariant (every
+   state's path condition is feasible). *)
+let branch_feasible t ~pc cond =
+  t.stats.queries <- t.stats.queries + 1;
+  let cond = Simplify.simplify cond in
+  if Expr.is_true cond then true
+  else if Expr.is_false cond then begin
+    t.stats.trivial <- t.stats.trivial + 1;
+    false
+  end
+  else
+    match normalize (cond :: pc) with
+    | None ->
+      t.stats.trivial <- t.stats.trivial + 1;
+      false
+    | Some [] ->
+      t.stats.trivial <- t.stats.trivial + 1;
+      true
+    | Some cs -> (
+      (* interval fast path: many branch conditions are decided by the
+         boxes the path condition already implies, without SAT.  Note the
+         boxes must come from pc alone, not from cs (which includes cond:
+         learning cond's own facts would make it vacuously "feasible"). *)
+      let quick = if t.use_range then Range.quick_feasible ~pc cond else None in
+      match quick with
+      | Some verdict ->
+        t.stats.range_hits <- t.stats.range_hits + 1;
+        verdict
+      | None ->
+        let cs =
+          if t.use_independence then
+            match slice ~seed_syms:(Expr.syms cond) cs with
+            | [] -> [ cond ] (* cond itself is always in its own slice *)
+            | sliced -> List.sort_uniq compare sliced
+          else cs
+        in
+        (match check_normalized t cs with Sat _ -> true | Unsat -> false))
+
+(* [must_be_true t ~pc cond] holds when [pc -> cond] is valid, i.e.
+   [pc /\ not cond] is unsatisfiable. *)
+let must_be_true t ~pc cond = not (branch_feasible t ~pc (Expr.not_ cond))
+
+let get_model t constraints = check t constraints
+
+(* Deterministic model construction: always solves from scratch on the
+   canonical constraint set, never reusing history-dependent caches (the
+   counterexample cache returns whichever cached model happens to satisfy
+   the query, which depends on query order).  Two workers replaying the
+   same path therefore obtain the same model — the solver-side requirement
+   for replay determinism (paper section 6, "Broken Replays").  Results
+   are memoized in a dedicated cache whose entries are themselves
+   deterministic. *)
+let check_deterministic t constraints =
+  t.stats.queries <- t.stats.queries + 1;
+  match normalize constraints with
+  | None ->
+    t.stats.trivial <- t.stats.trivial + 1;
+    Unsat
+  | Some [] ->
+    t.stats.trivial <- t.stats.trivial + 1;
+    Sat Model.empty
+  | Some cs -> (
+    match Hashtbl.find_opt t.det_cache cs with
+    | Some r ->
+      t.stats.cache_hits <- t.stats.cache_hits + 1;
+      r
+    | None ->
+      let r = solve_raw t cs in
+      Hashtbl.replace t.det_cache cs r;
+      r)

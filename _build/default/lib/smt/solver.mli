@@ -1,0 +1,54 @@
+(** Query orchestration: simplification, constraint-independence slicing,
+    satisfiability cache, and counterexample (model) cache on top of the
+    bit blaster and CDCL SAT core — the same solver stack structure
+    KLEE/Cloud9 rely on.  Each optimization can be disabled at construction
+    for ablation experiments. *)
+
+type result = Sat of Model.t | Unsat
+
+type stats = {
+  mutable queries : int;     (** total satisfiability questions asked *)
+  mutable trivial : int;     (** answered by simplification alone *)
+  mutable range_hits : int;  (** answered by interval analysis *)
+  mutable cache_hits : int;  (** answered by the satisfiability cache *)
+  mutable cex_hits : int;    (** answered by probing a cached model *)
+  mutable sat_calls : int;   (** full bit-blast + SAT runs *)
+}
+
+type t
+
+val create :
+  ?use_sat_cache:bool ->
+  ?use_cex_cache:bool ->
+  ?use_independence:bool ->
+  ?use_range:bool ->
+  unit ->
+  t
+
+val stats : t -> stats
+
+(** Drop all caches; models transferred to another worker lose their
+    source's caches (paper section 6, "Constraint Caches"). *)
+val clear_caches : t -> unit
+
+(** Is the conjunction satisfiable?  On [Sat], the model covers every
+    symbol mentioned in the constraints. *)
+val check : t -> Expr.t list -> result
+
+(** [branch_feasible t ~pc cond]: is [pc /\ cond] satisfiable?  Requires
+    the invariant that [pc] alone is satisfiable (true for every live
+    execution state); under it, independence slicing seeded by [cond] is
+    sound. *)
+val branch_feasible : t -> pc:Expr.t list -> Expr.t -> bool
+
+(** [must_be_true t ~pc cond] holds when [pc -> cond] is valid. *)
+val must_be_true : t -> pc:Expr.t list -> Expr.t -> bool
+
+(** Alias of {!check}, used when a full test-case model is wanted. *)
+val get_model : t -> Expr.t list -> result
+
+(** Like {!check}, but the returned model depends only on the canonical
+    constraint set — never on query history — so every worker computes the
+    same model for the same path condition.  Required for replay-stable
+    concretization (paper section 6). *)
+val check_deterministic : t -> Expr.t list -> result

@@ -1,0 +1,1 @@
+lib/targets/apache_mini.ml: Lang List Posix String

@@ -1,0 +1,1 @@
+lib/targets/apache_mini.mli: Cvm Lang

@@ -1,0 +1,1 @@
+lib/targets/bandicoot_mini.ml: Lang List Posix String

@@ -1,0 +1,1 @@
+lib/targets/bandicoot_mini.mli: Cvm Lang

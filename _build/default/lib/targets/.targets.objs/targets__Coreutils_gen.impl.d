@@ -1,0 +1,1 @@
+lib/targets/coreutils_gen.ml: Lang List Posix Printf

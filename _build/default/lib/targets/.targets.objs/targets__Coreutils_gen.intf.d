@@ -1,0 +1,1 @@
+lib/targets/coreutils_gen.mli: Cvm Lang

@@ -1,0 +1,1 @@
+lib/targets/curl_glob.ml: Lang List Posix String

@@ -1,0 +1,1 @@
+lib/targets/curl_glob.mli: Cvm Lang

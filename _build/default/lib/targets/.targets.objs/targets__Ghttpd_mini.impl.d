@@ -1,0 +1,1 @@
+lib/targets/ghttpd_mini.ml: Lang List Posix String

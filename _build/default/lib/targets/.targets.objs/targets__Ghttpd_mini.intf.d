@@ -1,0 +1,1 @@
+lib/targets/ghttpd_mini.mli: Cvm Lang

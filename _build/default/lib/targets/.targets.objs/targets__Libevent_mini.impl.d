@@ -1,0 +1,1 @@
+lib/targets/libevent_mini.ml: Lang List Posix String

@@ -1,0 +1,1 @@
+lib/targets/lighttpd_mini.ml: Lang List Posix String

@@ -1,0 +1,1 @@
+lib/targets/lighttpd_mini.mli: Cvm Lang

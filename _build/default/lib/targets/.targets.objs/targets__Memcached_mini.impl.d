@@ -1,0 +1,1 @@
+lib/targets/memcached_mini.ml: Buffer Char Cvm Lang List Posix Printf String

@@ -1,0 +1,1 @@
+lib/targets/memcached_mini.mli: Cvm Lang Lazy

@@ -1,0 +1,1 @@
+lib/targets/pbzip_mini.ml: Char Lang List Posix String

@@ -1,0 +1,1 @@
+lib/targets/pbzip_mini.mli: Cvm Lang

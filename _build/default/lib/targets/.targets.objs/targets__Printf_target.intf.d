@@ -1,0 +1,1 @@
+lib/targets/printf_target.mli: Cvm Lang

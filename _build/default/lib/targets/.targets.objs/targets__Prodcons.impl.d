@@ -1,0 +1,1 @@
+lib/targets/prodcons.ml: Lang List Posix

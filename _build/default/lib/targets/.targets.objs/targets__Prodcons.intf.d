@@ -1,0 +1,1 @@
+lib/targets/prodcons.mli: Cvm Lang

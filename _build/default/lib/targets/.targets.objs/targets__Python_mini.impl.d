@@ -1,0 +1,1 @@
+lib/targets/python_mini.ml: Lang List Posix String

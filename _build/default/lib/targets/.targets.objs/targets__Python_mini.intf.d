@@ -1,0 +1,1 @@
+lib/targets/python_mini.mli: Cvm Lang

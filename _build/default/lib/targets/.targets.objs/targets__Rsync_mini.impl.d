@@ -1,0 +1,1 @@
+lib/targets/rsync_mini.ml: Lang List Posix String

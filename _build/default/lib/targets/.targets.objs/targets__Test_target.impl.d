@@ -1,0 +1,1 @@
+lib/targets/test_target.ml: Lang List Posix String

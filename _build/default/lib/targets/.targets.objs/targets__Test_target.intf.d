@@ -1,0 +1,1 @@
+lib/targets/test_target.mli: Cvm Lang

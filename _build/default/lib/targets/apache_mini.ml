@@ -1,0 +1,208 @@
+(* A miniature of Apache httpd — the largest web server in paper Table 4.
+
+   Richer than the lighttpd miniature: full request parsing (method,
+   URI with query-string split, HTTP version), a header loop recognizing
+   Host, Content-Length, and Connection, body consumption per
+   Content-Length, prefix routing (static files, a /cgi/ echo handler,
+   directory redirects) and keep-alive support — the parsing surface where
+   web-server bugs live.  No bug is planted: the symbolic harness is a
+   robustness proof over all request bytes of the given length, and the
+   concrete harness a protocol conformance test. *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+let funcs =
+  [
+    (* case-insensitive prefix match of a header name at req[p..] *)
+    fn "hdr_is" [ ("req", Ptr u8); ("p", u32); ("len", u32); ("name", Ptr u8) ] (Some u32)
+      [
+        decl "i" u32 (Some (n 0));
+        while_ (idx (v "name") (v "i") <>! n 0)
+          [
+            when_ (v "p" +! v "i" >=! v "len") [ ret (n 0) ];
+            decl "c" u8 (Some (idx (v "req") (v "p" +! v "i")));
+            (* fold to lower case *)
+            when_ (v "c" >=! chr 'A' &&! (v "c" <=! chr 'Z')) [ set (v "c") (v "c" +! n 32) ];
+            when_ (v "c" <>! idx (v "name") (v "i")) [ ret (n 0) ];
+            incr_ "i";
+          ];
+        ret (n 1);
+      ];
+    (* parse an unsigned decimal at req[p..]; result in global, returns
+       the position after the digits *)
+    fn "parse_uint" [ ("req", Ptr u8); ("p", u32); ("len", u32) ] (Some u32)
+      [
+        set (v "uint_val") (n 0);
+        while_
+          (v "p" <! v "len" &&! (idx (v "req") (v "p") >=! chr '0')
+          &&! (idx (v "req") (v "p") <=! chr '9'))
+          [
+            set (v "uint_val") ((v "uint_val" *! n 10) +! cast u32 (idx (v "req") (v "p") -! chr '0'));
+            when_ (v "uint_val" >! n 9999) [ set (v "uint_val") (n 9999) ];
+            incr_ "p";
+          ];
+        ret (v "p");
+      ];
+    (* handle_request(req, len) -> status; sets keep_alive *)
+    fn "handle_request" [ ("req", Ptr u8); ("len", u32) ] (Some u32)
+      [
+        set (v "keep_alive") (n 0);
+        (* --- method --- *)
+        decl "p" u32 (Some (n 0));
+        decl "meth" u32 (Some (n 0)); (* 1 GET, 2 HEAD, 3 POST *)
+        when_
+          (v "len" >=! n 4 &&! (idx (v "req") (n 0) ==! chr 'G')
+          &&! (idx (v "req") (n 1) ==! chr 'E') &&! (idx (v "req") (n 2) ==! chr 'T')
+          &&! (idx (v "req") (n 3) ==! chr ' '))
+          [ set (v "meth") (n 1); set (v "p") (n 4) ];
+        when_
+          (v "meth" ==! n 0 &&! (v "len" >=! n 5) &&! (idx (v "req") (n 0) ==! chr 'H')
+          &&! (idx (v "req") (n 1) ==! chr 'E') &&! (idx (v "req") (n 2) ==! chr 'A')
+          &&! (idx (v "req") (n 3) ==! chr 'D') &&! (idx (v "req") (n 4) ==! chr ' '))
+          [ set (v "meth") (n 2); set (v "p") (n 5) ];
+        when_
+          (v "meth" ==! n 0 &&! (v "len" >=! n 5) &&! (idx (v "req") (n 0) ==! chr 'P')
+          &&! (idx (v "req") (n 1) ==! chr 'O') &&! (idx (v "req") (n 2) ==! chr 'S')
+          &&! (idx (v "req") (n 3) ==! chr 'T') &&! (idx (v "req") (n 4) ==! chr ' '))
+          [ set (v "meth") (n 3); set (v "p") (n 5) ];
+        when_ (v "meth" ==! n 0) [ ret (n 501) ];
+        (* --- URI: up to space; split query at '?' --- *)
+        when_ (v "p" >=! v "len" ||! (idx (v "req") (v "p") <>! chr '/')) [ ret (n 400) ];
+        decl "uri_start" u32 (Some (v "p"));
+        decl "query_at" u32 (Some (n 0));
+        while_ (v "p" <! v "len" &&! (idx (v "req") (v "p") <>! chr ' '))
+          [
+            when_ (idx (v "req") (v "p") ==! chr '?' &&! (v "query_at" ==! n 0))
+              [ set (v "query_at") (v "p") ];
+            (* reject control characters in the URI *)
+            when_ (idx (v "req") (v "p") <! n 32) [ ret (n 400) ];
+            incr_ "p";
+          ];
+        when_ (v "p" >=! v "len") [ ret (n 400) ];
+        decl "uri_end" u32 (Some (cond (v "query_at" >! n 0) (v "query_at") (v "p")));
+        incr_ "p"; (* past the space *)
+        (* --- version: any "HTTP/" other than 1.0 / 1.1 is unsupported --- *)
+        decl "http11" u32 (Some (n 0));
+        when_
+          (v "p" +! n 7 <! v "len" &&! (idx (v "req") (v "p") ==! chr 'H')
+          &&! (idx (v "req") (v "p" +! n 1) ==! chr 'T')
+          &&! (idx (v "req") (v "p" +! n 2) ==! chr 'T')
+          &&! (idx (v "req") (v "p" +! n 3) ==! chr 'P')
+          &&! (idx (v "req") (v "p" +! n 4) ==! chr '/'))
+          [
+            when_
+              (idx (v "req") (v "p" +! n 5) <>! chr '1'
+              ||! (idx (v "req") (v "p" +! n 6) <>! chr '.')
+              ||! (idx (v "req") (v "p" +! n 7) <>! chr '0'
+                  &&! (idx (v "req") (v "p" +! n 7) <>! chr '1')))
+              [ ret (n 505) ];
+            when_ (idx (v "req") (v "p" +! n 7) ==! chr '1') [ set (v "http11") (n 1) ];
+          ];
+        (* skip to end of the request line *)
+        while_ (v "p" <! v "len" &&! (idx (v "req") (v "p") <>! chr '\n')) [ incr_ "p" ];
+        when_ (v "p" >=! v "len") [ ret (n 400) ];
+        incr_ "p";
+        (* HTTP/1.1 defaults to keep-alive *)
+        set (v "keep_alive") (v "http11");
+        (* --- header loop --- *)
+        decl "content_length" u32 (Some (n 0));
+        decl "saw_host" u32 (Some (n 0));
+        decl "more" u32 (Some (n 1));
+        while_ (v "more" ==! n 1)
+          [
+            when_ (v "p" >=! v "len") [ ret (n 400) ]; (* truncated headers *)
+            (* blank line ends the headers *)
+            if_
+              (idx (v "req") (v "p") ==! chr '\n'
+              ||! (idx (v "req") (v "p") ==! chr '\r'))
+              [
+                while_ (v "p" <! v "len" &&! (idx (v "req") (v "p") <>! chr '\n')) [ incr_ "p" ];
+                when_ (v "p" <! v "len") [ incr_ "p" ];
+                set (v "more") (n 0);
+              ]
+              [
+                when_ (call "hdr_is" [ v "req"; v "p"; v "len"; str "host:" ] ==! n 1)
+                  [ set (v "saw_host") (n 1) ];
+                when_ (call "hdr_is" [ v "req"; v "p"; v "len"; str "content-length:" ] ==! n 1)
+                  [
+                    decl "q" u32 (Some (v "p" +! n 15));
+                    while_ (v "q" <! v "len" &&! (idx (v "req") (v "q") ==! chr ' ')) [ incr_ "q" ];
+                    expr (call "parse_uint" [ v "req"; v "q"; v "len" ]);
+                    set (v "content_length") (v "uint_val");
+                  ];
+                when_ (call "hdr_is" [ v "req"; v "p"; v "len"; str "connection: close" ] ==! n 1)
+                  [ set (v "keep_alive") (n 0) ];
+                when_
+                  (call "hdr_is" [ v "req"; v "p"; v "len"; str "connection: keep-alive" ] ==! n 1)
+                  [ set (v "keep_alive") (n 1) ];
+                (* next line *)
+                while_ (v "p" <! v "len" &&! (idx (v "req") (v "p") <>! chr '\n')) [ incr_ "p" ];
+                when_ (v "p" >=! v "len") [ ret (n 400) ];
+                incr_ "p";
+              ];
+          ];
+        (* HTTP/1.1 requires Host *)
+        when_ (v "http11" ==! n 1 &&! (v "saw_host" ==! n 0)) [ ret (n 400) ];
+        (* --- body --- *)
+        when_ (v "meth" ==! n 3)
+          [
+            when_ (v "p" +! v "content_length" >! v "len") [ ret (n 400) ]; (* short body *)
+            set (v "body_sum") (n 0);
+            for_range "i" ~from:(n 0) ~below:(v "content_length")
+              [ set (v "body_sum") (v "body_sum" +! cast u32 (idx (v "req") (v "p" +! v "i"))) ];
+          ];
+        (* --- routing --- *)
+        decl "ulen" u32 (Some (v "uri_end" -! v "uri_start"));
+        (* "/" -> index *)
+        when_ (v "ulen" ==! n 1) [ ret (n 200) ];
+        (* "/cgi/..." -> the echo handler (POST only) *)
+        when_
+          (v "ulen" >=! n 5 &&! (idx (v "req") (v "uri_start" +! n 1) ==! chr 'c')
+          &&! (idx (v "req") (v "uri_start" +! n 2) ==! chr 'g')
+          &&! (idx (v "req") (v "uri_start" +! n 3) ==! chr 'i')
+          &&! (idx (v "req") (v "uri_start" +! n 4) ==! chr '/'))
+          [ if_ (v "meth" ==! n 3) [ ret (n 200) ] [ ret (n 405) ] ];
+        (* "/docs" without trailing slash -> redirect *)
+        when_
+          (v "ulen" ==! n 5 &&! (idx (v "req") (v "uri_start" +! n 1) ==! chr 'd')
+          &&! (idx (v "req") (v "uri_start" +! n 2) ==! chr 'o')
+          &&! (idx (v "req") (v "uri_start" +! n 3) ==! chr 'c')
+          &&! (idx (v "req") (v "uri_start" +! n 4) ==! chr 's'))
+          [ ret (n 301) ];
+        ret (n 404);
+      ];
+  ]
+
+let globals = [ global "uint_val" u32; global "keep_alive" u32; global "body_sum" u32 ]
+
+let symbolic_unit ~req_len =
+  cunit ~entry:"main" ~globals
+    (funcs
+    @ [
+        fn "main" [] (Some u32)
+          [
+            decl_arr "req" u8 req_len;
+            expr (Api.make_symbolic (addr (idx (v "req") (n 0))) (n req_len) "req");
+            halt (call "handle_request" [ addr (idx (v "req") (n 0)); n req_len ]);
+          ];
+      ])
+
+let program ~req_len = compile (symbolic_unit ~req_len)
+
+let concrete_unit ~req =
+  let len = String.length req in
+  cunit ~entry:"main" ~globals
+    (funcs
+    @ [
+        fn "main" [] (Some u32)
+          ([ decl_arr "buf" u8 (max len 1) ]
+          @ List.init len (fun i -> set (idx (v "buf") (n i)) (chr req.[i]))
+          @ [
+              decl "status" u32 (Some (call "handle_request" [ addr (idx (v "buf") (n 0)); n len ]));
+              (* fold keep-alive into the exit code: status*10 + ka *)
+              halt ((v "status" *! n 10) +! v "keep_alive");
+            ]);
+      ])
+
+let concrete_program ~req = compile (concrete_unit ~req)

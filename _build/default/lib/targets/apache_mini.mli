@@ -1,0 +1,12 @@
+(** A miniature of Apache httpd (paper Table 4's largest web server):
+    request-line parsing with query-string split, a header loop (Host,
+    Content-Length, Connection), Content-Length body handling, prefix
+    routing (static, /cgi/, directory redirect), and keep-alive rules.
+    The concrete harness exits with [status*10 + keep_alive]. *)
+
+val funcs : Lang.Ast.func list
+val globals : Lang.Ast.global list
+val symbolic_unit : req_len:int -> Lang.Ast.comp_unit
+val program : req_len:int -> Cvm.Program.t
+val concrete_unit : req:string -> Lang.Ast.comp_unit
+val concrete_program : req:string -> Cvm.Program.t

@@ -1,0 +1,116 @@
+(* A miniature of the Bandicoot DBMS's HTTP GET handler (paper section
+   7.3.5).  Bandicoot exposes relations over an HTTP interface; Cloud9's
+   exhaustive exploration of the GET paths found a read from outside the
+   allocated memory — one that "fortuitously did not crash" in the real
+   system because the out-of-bounds read landed in allocator metadata.
+
+   The defect reproduced here is the same class: the handler extracts the
+   relation name between '/' and the following space, computing its length
+   as [space_pos - slash_pos - 1] in unsigned arithmetic.  When the space
+   is missing (or precedes the slash, underflowing the length), the code
+   "truncates" the name to 8 bytes but still copies from [slash + 1 + i] —
+   reading past the end of the request buffer whenever the slash sits near
+   the end.  Our engine's memory checker reports the out-of-bounds read
+   that the real allocator's metadata masked. *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+let nrelations = 4
+
+let funcs =
+  [
+    (* find the first occurrence of [c] from [from]; returns len when absent *)
+    fn "find_char" [ ("s", Ptr u8); ("len", u32); ("from", u32); ("c", u8) ] (Some u32)
+      [
+        decl "i" u32 (Some (v "from"));
+        while_ (v "i" <! v "len")
+          [ when_ (idx (v "s") (v "i") ==! v "c") [ ret (v "i") ]; incr_ "i" ];
+        ret (v "len");
+      ];
+    (* look up a relation by name; returns its index or nrelations *)
+    fn "lookup_relation" [ ("name", Ptr u8); ("namelen", u32) ] (Some u32)
+      [
+        for_range "r" ~from:(n 0) ~below:(n nrelations)
+          [
+            decl "off" u32 (Some (v "r" *! n 8));
+            decl "m" u32 (Some (n 1));
+            for_range "i" ~from:(n 0) ~below:(n 8)
+              [
+                decl "expect" u8 (Some (idx (v "relnames") (v "off" +! v "i")));
+                if_ (v "i" <! v "namelen")
+                  [ when_ (idx (v "name") (v "i") <>! v "expect") [ set (v "m") (n 0) ] ]
+                  [ when_ (v "expect" <>! n 0) [ set (v "m") (n 0) ] ];
+              ];
+            when_ (v "m" ==! n 1) [ ret (v "r") ];
+          ];
+        ret (n nrelations);
+      ];
+    (* handle_get(req, len) -> status code *)
+    fn "handle_get" [ ("req", Ptr u8); ("len", u32) ] (Some u32)
+      [
+        (* expect "GET /<name> ..." *)
+        when_ (v "len" <! n 6) [ ret (n 400) ];
+        when_
+          (idx (v "req") (n 0) <>! chr 'G' ||! (idx (v "req") (n 1) <>! chr 'E')
+          ||! (idx (v "req") (n 2) <>! chr 'T') ||! (idx (v "req") (n 3) <>! chr ' '))
+          [ ret (n 400) ];
+        decl "slash" u32 (Some (call "find_char" [ v "req"; v "len"; n 4; chr '/' ]));
+        when_ (v "slash" >=! v "len") [ ret (n 400) ];
+        decl "space" u32 (Some (call "find_char" [ v "req"; v "len"; n 4; chr ' ' ]));
+        (* BUG: when the space at position 4 precedes the slash, this
+           unsigned subtraction underflows to a huge length *)
+        decl "namelen" u32 (Some (v "space" -! v "slash" -! n 1));
+        decl_arr "name" u8 16;
+        (* defensive-looking but insufficient cap, as in the original *)
+        when_ (v "namelen" >! n 8)
+          [
+            (* copy the first 8 bytes anyway to "truncate" the name:
+               with an underflowed namelen the source index is bogus *)
+            set (v "namelen") (n 8);
+          ];
+        for_range "i" ~from:(n 0) ~below:(v "namelen")
+          [ set (idx (v "name") (v "i")) (idx (v "req") (v "slash" +! n 1 +! v "i")) ];
+        decl "rel" u32 (Some (call "lookup_relation" [ addr (idx (v "name") (n 0)); v "namelen" ]));
+        when_ (v "rel" >=! n nrelations) [ ret (n 404) ];
+        ret (n 200);
+      ];
+  ]
+
+let globals =
+  [
+    { Lang.Ast.gname = "relnames";
+      gty = Arr (u8, nrelations * 8);
+      ginit = Some "users\000\000\000items\000\000\000logs\000\000\000\000cfg\000\000\000\000\000";
+    };
+  ]
+
+let symbolic_unit ~req_len =
+  cunit ~entry:"main" ~globals
+    (funcs
+    @ [
+        fn "main" [] (Some u32)
+          [
+            decl_arr "req" u8 req_len;
+            expr (Api.make_symbolic (addr (idx (v "req") (n 0))) (n req_len) "req");
+            halt (call "handle_get" [ addr (idx (v "req") (n 0)); n req_len ]);
+          ];
+      ])
+
+let program ~req_len = compile (symbolic_unit ~req_len)
+
+let concrete_unit ~req =
+  let len = String.length req in
+  cunit ~entry:"main" ~globals
+    (funcs
+    @ [
+        fn "main" [] (Some u32)
+          (List.concat
+             [
+               [ decl_arr "req" u8 len ];
+               List.init len (fun i -> set (idx (v "req") (n i)) (chr req.[i]));
+               [ halt (call "handle_get" [ addr (idx (v "req") (n 0)); n len ]) ];
+             ]);
+      ])
+
+let concrete_program ~req = compile (concrete_unit ~req)

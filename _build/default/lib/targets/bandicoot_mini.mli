@@ -1,0 +1,18 @@
+(** A miniature of the Bandicoot DBMS's HTTP GET handler (paper section
+    7.3.5): relation lookup over an HTTP interface with an out-of-bounds
+    read when the name's terminating delimiter is missing — the bug the
+    real allocator's metadata masked, which our memory checker reports. *)
+
+val nrelations : int
+val funcs : Lang.Ast.func list
+val globals : Lang.Ast.global list
+
+(** Fully symbolic request of [req_len] bytes. *)
+val symbolic_unit : req_len:int -> Lang.Ast.comp_unit
+
+val program : req_len:int -> Cvm.Program.t
+
+(** Concrete harness; exits with the HTTP status (200/400/404). *)
+val concrete_unit : req:string -> Lang.Ast.comp_unit
+
+val concrete_program : req:string -> Cvm.Program.t

@@ -1,0 +1,248 @@
+(* A generated suite of 96 small command-line utilities standing in for
+   Coreutils (paper section 7.3.1, Fig. 11).
+
+   We cannot ship GNU Coreutils inside the VM, so this module *generates*
+   96 distinct utilities.  Each utility is assembled from a seed-selected
+   subset of feature blocks (option parsing with a per-utility option set,
+   numeric parsing, case transforms, delimiter splitting, bracket
+   matching, checksums, range validation, run-length detection) over a
+   seed-sized symbolic input, under one of several control skeletons.
+   Utilities therefore differ in real structure — path counts across the
+   suite span two orders of magnitude — rather than being copies.
+
+   Utility k is [program k] for k in 0..95. *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+let count = 96
+
+(* --- feature blocks: each returns (functions, call expression) ------------- *)
+
+(* parse '-x' style options drawn from a per-utility option set *)
+let block_options ~opts =
+  let checks =
+    List.concat_map
+      (fun (c, code) ->
+        [
+          when_ (idx (v "input") (v "oi" +! n 1) ==! chr c)
+            [ set (v "optmask") (v "optmask" |! n code) ];
+        ])
+      opts
+  in
+  ( [
+      fn "parse_options" [ ("len", u32) ] (Some u32)
+        [
+          decl "oi" u32 (Some (n 0));
+          decl "optmask" u32 (Some (n 0));
+          while_ (v "oi" +! n 1 <! v "len" &&! (idx (v "input") (v "oi") ==! chr '-'))
+            (checks @ [ set (v "oi") (v "oi" +! n 2) ]);
+          set (v "argstart") (v "oi");
+          ret (v "optmask");
+        ];
+    ],
+    call "parse_options" [ v "len" ] )
+
+let block_atoi =
+  ( [
+      fn "parse_number" [ ("from", u32); ("len", u32) ] (Some u32)
+        [
+          decl "acc" u32 (Some (n 0));
+          decl "i" u32 (Some (v "from"));
+          while_
+            (v "i" <! v "len" &&! (idx (v "input") (v "i") >=! chr '0')
+            &&! (idx (v "input") (v "i") <=! chr '9'))
+            [ set (v "acc") ((v "acc" *! n 10) +! cast u32 (idx (v "input") (v "i") -! chr '0'));
+              incr_ "i" ];
+          ret (v "acc");
+        ];
+    ],
+    call "parse_number" [ v "argstart"; v "len" ] )
+
+let block_case_count =
+  ( [
+      fn "count_upper" [ ("from", u32); ("len", u32) ] (Some u32)
+        [
+          decl "cnt" u32 (Some (n 0));
+          decl "i" u32 (Some (v "from"));
+          while_ (v "i" <! v "len")
+            [
+              when_ (idx (v "input") (v "i") >=! chr 'A' &&! (idx (v "input") (v "i") <=! chr 'Z'))
+                [ incr_ "cnt" ];
+              incr_ "i";
+            ];
+          ret (v "cnt");
+        ];
+    ],
+    call "count_upper" [ v "argstart"; v "len" ] )
+
+let block_split ~delim =
+  ( [
+      fn "count_fields" [ ("from", u32); ("len", u32) ] (Some u32)
+        [
+          decl "fields" u32 (Some (n 1));
+          decl "i" u32 (Some (v "from"));
+          while_ (v "i" <! v "len")
+            [
+              when_ (idx (v "input") (v "i") ==! chr delim) [ incr_ "fields" ];
+              incr_ "i";
+            ];
+          ret (v "fields");
+        ];
+    ],
+    call "count_fields" [ v "argstart"; v "len" ] )
+
+let block_brackets =
+  ( [
+      fn "check_brackets" [ ("from", u32); ("len", u32) ] (Some u32)
+        [
+          decl "depth" u32 (Some (n 0));
+          decl "i" u32 (Some (v "from"));
+          while_ (v "i" <! v "len")
+            [
+              when_ (idx (v "input") (v "i") ==! chr '(') [ incr_ "depth" ];
+              when_ (idx (v "input") (v "i") ==! chr ')')
+                [
+                  when_ (v "depth" ==! n 0) [ ret (n 99) ]; (* unbalanced *)
+                  decr_ "depth";
+                ];
+              incr_ "i";
+            ];
+          ret (v "depth");
+        ];
+    ],
+    call "check_brackets" [ v "argstart"; v "len" ] )
+
+let block_checksum ~modulus =
+  ( [
+      fn "checksum" [ ("from", u32); ("len", u32) ] (Some u32)
+        [
+          decl "sum" u32 (Some (n 0));
+          decl "i" u32 (Some (v "from"));
+          while_ (v "i" <! v "len")
+            [ set (v "sum") (v "sum" +! cast u32 (idx (v "input") (v "i"))); incr_ "i" ];
+          ret (v "sum" %! n modulus);
+        ];
+    ],
+    call "checksum" [ v "argstart"; v "len" ] )
+
+let block_range ~lo ~hi =
+  ( [
+      fn "in_range" [ ("x", u32) ] (Some u32)
+        [ if_ (v "x" >=! n lo &&! (v "x" <=! n hi)) [ ret (n 1) ] [ ret (n 0) ] ];
+    ],
+    call "in_range" [ call "parse_number" [ v "argstart"; v "len" ] ] )
+
+let block_runs =
+  ( [
+      fn "longest_run" [ ("from", u32); ("len", u32) ] (Some u32)
+        [
+          decl "best" u32 (Some (n 0));
+          decl "cur" u32 (Some (n 0));
+          decl "prev" u8 (Some (n 0));
+          decl "i" u32 (Some (v "from"));
+          while_ (v "i" <! v "len")
+            [
+              if_ (idx (v "input") (v "i") ==! v "prev")
+                [ incr_ "cur" ]
+                [ set (v "cur") (n 1); set (v "prev") (idx (v "input") (v "i")) ];
+              when_ (v "cur" >! v "best") [ set (v "best") (v "cur") ];
+              incr_ "i";
+            ];
+          ret (v "best");
+        ];
+    ],
+    call "longest_run" [ v "argstart"; v "len" ] )
+
+(* --- assembly ----------------------------------------------------------------- *)
+
+let option_pool = [ ('v', 1); ('q', 2); ('r', 4); ('n', 8); ('f', 16); ('x', 32) ]
+
+(* Deterministic per-seed choices; a small LCG avoids clustering. *)
+let mix seed k = (seed * 2654435761 + k * 40503) land 0x3FFFFFFF
+
+let blocks_for seed =
+  let pick k n = mix seed k mod n in
+  let opts =
+    (* 2-3 options from the pool, rotated by seed *)
+    let rot = pick 1 6 in
+    let take = 2 + pick 2 2 in
+    List.init take (fun i -> List.nth option_pool ((rot + i) mod 6))
+  in
+  let pool =
+    [
+      block_options ~opts;
+      block_atoi;
+      block_case_count;
+      block_split ~delim:(List.nth [ ','; ':'; ';'; ' ' ] (pick 3 4));
+      block_brackets;
+      block_checksum ~modulus:(3 + pick 4 5);
+      block_runs;
+    ]
+  in
+  (* options always present (it sets argstart); 2-3 further blocks *)
+  let nextra = 2 + pick 5 2 in
+  let rec take_extra acc k remaining =
+    if k = 0 then List.rev acc
+    else
+      let idx = pick (6 + k) (List.length remaining) in
+      let b = List.nth remaining idx in
+      take_extra (b :: acc) (k - 1) (List.filteri (fun i _ -> i <> idx) remaining)
+  in
+  let extra = take_extra [] nextra (List.tl pool) in
+  (* block_range depends on parse_number; add both when selected *)
+  let has_atoi = List.exists (fun (fs, _) -> fs == fst block_atoi) extra in
+  let extra =
+    if pick 9 4 = 0 then
+      if has_atoi then extra @ [ block_range ~lo:(pick 10 50) ~hi:(50 + pick 11 50) ]
+      else extra @ [ block_atoi; block_range ~lo:(pick 10 50) ~hi:(50 + pick 11 50) ]
+    else extra
+  in
+  List.hd pool :: extra
+
+let input_len seed = 6 + mix seed 12 mod 4 (* 6..9 symbolic bytes *)
+
+(* Two control skeletons: sequential accumulation, or option-gated
+   dispatch where the option mask selects which analyses run. *)
+let unit_for seed =
+  let blocks = blocks_for seed in
+  let funcs = List.concat_map fst blocks in
+  let calls = List.map snd blocks in
+  let len = input_len seed in
+  let body =
+    match mix seed 13 mod 2 with
+    | 0 ->
+      (* sequential: combine all results *)
+      [ decl "acc" u32 (Some (n 0)) ]
+      @ List.map (fun c -> set (v "acc") ((v "acc" *! n 5) +! c)) calls
+      @ [ halt (v "acc" %! n 251) ]
+    | _ ->
+      (* gated: the option mask chooses analyses *)
+      let gated =
+        List.mapi
+          (fun i c ->
+            when_ ((v "mask" &! n (1 lsl (i mod 3))) <>! n 0)
+              [ set (v "acc") (v "acc" +! c) ])
+          (List.tl calls)
+      in
+      [ decl "acc" u32 (Some (n 0)); decl "mask" u32 (Some (List.hd calls)) ]
+      @ gated
+      @ [ halt (v "acc" %! n 251) ]
+  in
+  cunit ~entry:"main"
+    ~globals:[ global "input" (Arr (u8, len)); global "argstart" u32 ]
+    (funcs
+    @ [
+        fn "main" [] (Some u32)
+          ([
+             decl "len" u32 (Some (n len));
+             expr (Api.make_symbolic (addr (idx (v "input") (n 0))) (n len) "argv");
+           ]
+          @ body);
+      ])
+
+let program seed =
+  if seed < 0 || seed >= count then invalid_arg "Coreutils_gen.program: seed out of range";
+  compile (unit_for seed)
+
+let name seed = Printf.sprintf "cu%02d" seed

@@ -1,0 +1,16 @@
+(** A generated suite of 96 small command-line utilities standing in for
+    Coreutils (paper section 7.3.1, Fig. 11).  Each utility is assembled
+    from a seed-selected subset of feature blocks (option parsing, numeric
+    parsing, case transforms, field splitting, bracket matching,
+    checksums, range validation, run-length detection) under one of
+    several control skeletons, over a seed-sized symbolic input. *)
+
+val count : int
+
+val unit_for : int -> Lang.Ast.comp_unit
+
+(** @raise Invalid_argument when the seed is outside [0, count). *)
+val program : int -> Cvm.Program.t
+
+(** "cu00" .. "cu95". *)
+val name : int -> string

@@ -1,0 +1,113 @@
+(* A miniature of curl's URL globbing (paper section 7.3.2).
+
+   Curl expands URL patterns like "http://site.{one,two,three}.com" and
+   numeric ranges "[1-3]".  Cloud9 found that an input with an unmatched
+   opening brace — e.g. "http://site.{one,two,three}.com{" — crashes curl:
+   the alternative scanner runs past the end of the buffer looking for the
+   closing brace.  The developers confirmed and fixed it within a day.
+
+   [buggy_funcs] reproduces that defect (the scan loop trusts that '}'
+   exists); [fixed_funcs] carries the bounds check the fix added.  The
+   input URL buffer is allocated at exactly its length, so the engine's
+   memory checker catches the overrun precisely. *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+(* glob_count(url, len) -> number of URLs the pattern expands to *)
+let glob_funcs ~buggy =
+  let scan_guard =
+    (* the fix: stop scanning at the end of the buffer *)
+    if buggy then v "j" <! n 4096 (* effectively unbounded: runs off the buffer *)
+    else v "j" <! v "len"
+  in
+  [
+    fn "glob_count" [ ("url", Ptr u8); ("len", u32) ] (Some u32)
+      [
+        decl "i" u32 (Some (n 0));
+        decl "combos" u32 (Some (n 1));
+        while_ (v "i" <! v "len" &&! (idx (v "url") (v "i") <>! n 0))
+          [
+            decl "c" u8 (Some (idx (v "url") (v "i")));
+            if_
+              (v "c" ==! chr '{')
+              [
+                (* count alternatives up to the matching '}' *)
+                decl "alts" u32 (Some (n 1));
+                decl "j" u32 (Some (v "i" +! n 1));
+                while_ (scan_guard &&! (idx (v "url") (v "j") <>! chr '}'))
+                  [
+                    when_ (idx (v "url") (v "j") ==! chr ',') [ set (v "alts") (v "alts" +! n 1) ];
+                    incr_ "j";
+                  ];
+                (if buggy then
+                   (* pre-fix: assume the '}' was found *)
+                   set (v "i") (v "j" +! n 1)
+                 else
+                   if_ (v "j" >=! v "len")
+                     [ ret (n 0) (* unmatched brace: expansion error *) ]
+                     [ set (v "i") (v "j" +! n 1) ]);
+                set (v "combos") (v "combos" *! v "alts");
+              ]
+              [
+                if_
+                  (v "c" ==! chr '[')
+                  [
+                    (* numeric range [a-b] *)
+                    if_
+                      (v "i" +! n 4 <! v "len"
+                      &&! (idx (v "url") (v "i" +! n 2) ==! chr '-')
+                      &&! (idx (v "url") (v "i" +! n 4) ==! chr ']')
+                      &&! (idx (v "url") (v "i" +! n 1) >=! chr '0')
+                      &&! (idx (v "url") (v "i" +! n 1) <=! chr '9')
+                      &&! (idx (v "url") (v "i" +! n 3) >=! chr '0')
+                      &&! (idx (v "url") (v "i" +! n 3) <=! chr '9'))
+                      [
+                        decl "lo" u8 (Some (idx (v "url") (v "i" +! n 1) -! chr '0'));
+                        decl "hi" u8 (Some (idx (v "url") (v "i" +! n 3) -! chr '0'));
+                        when_ (v "hi" >=! v "lo")
+                          [ set (v "combos") (v "combos" *! cast u32 (v "hi" -! v "lo" +! n 1)) ];
+                        set (v "i") (v "i" +! n 5);
+                      ]
+                      [ incr_ "i" ];
+                  ]
+                  [ incr_ "i" ];
+              ];
+          ];
+        ret (v "combos");
+      ];
+  ]
+
+(* Symbolic harness: a fully symbolic URL of [url_len] bytes.  The buffer
+   sits in the frame at exactly [url_len] bytes, so the buggy scanner's
+   overrun faults precisely. *)
+let symbolic_unit ~buggy ~url_len =
+  cunit ~entry:"main"
+    (glob_funcs ~buggy
+    @ [
+        fn "main" [] (Some u32)
+          [
+            decl_arr "url" u8 url_len;
+            expr (Api.make_symbolic (addr (idx (v "url") (n 0))) (n url_len) "url");
+            halt (call "glob_count" [ addr (idx (v "url") (n 0)); n url_len ]);
+          ];
+      ])
+
+let program ~buggy ~url_len = compile (symbolic_unit ~buggy ~url_len)
+
+(* Concrete harness for a given URL string. *)
+let concrete_unit ~buggy ~url =
+  let len = String.length url in
+  cunit ~entry:"main"
+    (glob_funcs ~buggy
+    @ [
+        fn "main" [] (Some u32)
+          (List.concat
+             [
+               [ decl_arr "buf" u8 len ];
+               List.init len (fun i -> set (idx (v "buf") (n i)) (chr url.[i]));
+               [ halt (call "glob_count" [ addr (idx (v "buf") (n 0)); n len ]) ];
+             ]);
+      ])
+
+let concrete_program ~buggy ~url = compile (concrete_unit ~buggy ~url)

@@ -1,0 +1,18 @@
+(** A miniature of curl's URL globbing (paper section 7.3.2): expands
+    [{a,b,c}] alternatives and [[0-9]] ranges.  The pre-fix version scans
+    past the buffer on an unmatched '{' — the crash Cloud9 found, fixed
+    within a day by the developers. *)
+
+(** [buggy:true] reproduces the defect; [false] carries the bounds check
+    of the fix. *)
+val glob_funcs : buggy:bool -> Lang.Ast.func list
+
+(** Fully symbolic URL of [url_len] bytes. *)
+val symbolic_unit : buggy:bool -> url_len:int -> Lang.Ast.comp_unit
+
+val program : buggy:bool -> url_len:int -> Cvm.Program.t
+
+(** Concrete harness; exits with the expansion count. *)
+val concrete_unit : buggy:bool -> url:string -> Lang.Ast.comp_unit
+
+val concrete_program : buggy:bool -> url:string -> Cvm.Program.t

@@ -1,0 +1,81 @@
+(* A miniature of Ghttpd 1.4.4 — the smallest web server in paper Table 4
+   (0.6 KLOC).  The historical ghttpd vulnerability class is an unbounded
+   copy of the request URL into a fixed buffer on the logging path
+   (CVE-2002-1904-style): the URL is copied before any length check, so a
+   long request overflows the log record.
+
+   [serve] parses "METHOD URL", logs, and answers 200/404/501; the
+   overflow fires for URLs longer than the 16-byte log slot. *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+let log_slot = 16
+
+let funcs ~buggy =
+  [
+    fn "log_request" [ ("url", Ptr u8); ("urllen", u32) ] None
+      [
+        (if buggy then
+           (* pre-fix: copy the whole URL into the fixed slot *)
+           for_range "i" ~from:(n 0) ~below:(v "urllen")
+             [ set (idx (v "logbuf") (v "i")) (idx (v "url") (v "i")) ]
+         else
+           for_range "i" ~from:(n 0) ~below:(cond (v "urllen" <! n log_slot) (v "urllen") (n log_slot))
+             [ set (idx (v "logbuf") (v "i")) (idx (v "url") (v "i")) ]);
+        set (v "nlogged") (v "nlogged" +! n 1);
+      ];
+    fn "serve" [ ("req", Ptr u8); ("len", u32) ] (Some u32)
+      [
+        (* method *)
+        when_ (v "len" <! n 5) [ ret (n 400) ];
+        decl "is_get" u32 (Some (n 0));
+        when_
+          (idx (v "req") (n 0) ==! chr 'G' &&! (idx (v "req") (n 1) ==! chr 'E')
+          &&! (idx (v "req") (n 2) ==! chr 'T') &&! (idx (v "req") (n 3) ==! chr ' '))
+          [ set (v "is_get") (n 1) ];
+        when_ (v "is_get" ==! n 0) [ ret (n 501) ];
+        (* URL: from offset 4 to the next space or end *)
+        decl "urlend" u32 (Some (n 4));
+        while_ (v "urlend" <! v "len" &&! (idx (v "req") (v "urlend") <>! chr ' '))
+          [ incr_ "urlend" ];
+        decl "urllen" u32 (Some (v "urlend" -! n 4));
+        call_void "log_request" [ addr (idx (v "req") (n 4)); v "urllen" ];
+        (* routing: only "/" and "/index.html" exist *)
+        when_ (v "urllen" ==! n 1 &&! (idx (v "req") (n 4) ==! chr '/')) [ ret (n 200) ];
+        when_
+          (v "urllen" ==! n 11 &&! (idx (v "req") (n 4) ==! chr '/')
+          &&! (idx (v "req") (n 5) ==! chr 'i'))
+          [ ret (n 200) ];
+        ret (n 404);
+      ];
+  ]
+
+let globals = [ global "logbuf" (Arr (u8, log_slot)); global "nlogged" u32 ]
+
+let symbolic_unit ~buggy ~req_len =
+  cunit ~entry:"main" ~globals
+    (funcs ~buggy
+    @ [
+        fn "main" [] (Some u32)
+          [
+            decl_arr "req" u8 req_len;
+            expr (Api.make_symbolic (addr (idx (v "req") (n 0))) (n req_len) "req");
+            halt (call "serve" [ addr (idx (v "req") (n 0)); n req_len ]);
+          ];
+      ])
+
+let program ~buggy ~req_len = compile (symbolic_unit ~buggy ~req_len)
+
+let concrete_unit ~buggy ~req =
+  let len = String.length req in
+  cunit ~entry:"main" ~globals
+    (funcs ~buggy
+    @ [
+        fn "main" [] (Some u32)
+          ([ decl_arr "buf" u8 (max len 1) ]
+          @ List.init len (fun i -> set (idx (v "buf") (n i)) (chr req.[i]))
+          @ [ halt (call "serve" [ addr (idx (v "buf") (n 0)); n len ]) ]);
+      ])
+
+let concrete_program ~buggy ~req = compile (concrete_unit ~buggy ~req)

@@ -1,0 +1,12 @@
+(** A miniature of Ghttpd 1.4.4 (paper Table 4's smallest web server),
+    reproducing its vulnerability class: an unbounded copy of the request
+    URL into a fixed log buffer.  [buggy:false] carries the length check
+    of the fix. *)
+
+val log_slot : int
+val funcs : buggy:bool -> Lang.Ast.func list
+val globals : Lang.Ast.global list
+val symbolic_unit : buggy:bool -> req_len:int -> Lang.Ast.comp_unit
+val program : buggy:bool -> req_len:int -> Cvm.Program.t
+val concrete_unit : buggy:bool -> req:string -> Lang.Ast.comp_unit
+val concrete_program : buggy:bool -> req:string -> Cvm.Program.t

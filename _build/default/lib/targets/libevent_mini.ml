@@ -1,0 +1,154 @@
+(* A miniature of libevent — paper Table 4's "Event notification library".
+
+   The library core: register (fd, handler) pairs, then run an event loop
+   that select()s over the registered descriptors and dispatches ready
+   ones to their handlers.  Since mini-C has no function pointers,
+   handlers are small integers dispatched in [dispatch] — the same shape
+   as a handler table.
+
+   The demo application registers two pipes: an echo handler (copies
+   bytes to an output pipe) and an accumulator handler (sums bytes); a
+   feeder thread writes to both pipes and then closes them.  The loop
+   exits when every registered source has reached EOF.  With symbolic
+   feeder data, exploration covers the handlers' data-dependent branches
+   under all arrival orders select can report. *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+let max_events = 4
+
+let funcs =
+  [
+    fn "event_add" [ ("fd", i64); ("handler", u32) ] (Some u32)
+      [
+        when_ (v "nevents" >=! n max_events) [ ret (n 1) ];
+        set (idx (v "ev_fd") (v "nevents")) (cast i32 (v "fd"));
+        set (idx (v "ev_handler") (v "nevents")) (v "handler");
+        set (idx (v "ev_live") (v "nevents")) (n 1);
+        set (v "nevents") (v "nevents" +! n 1);
+        ret (n 0);
+      ];
+    (* handler 1: echo one byte to the sink pipe; handler 2: accumulate *)
+    fn "dispatch" [ ("slot", u32) ] None
+      [
+        decl "fd" i64 (Some (cast i64 (idx (v "ev_fd") (v "slot"))));
+        decl_arr "b" u8 1;
+        decl "got" i64 (Some (Api.read (v "fd") (addr (idx (v "b") (n 0))) (n 1)));
+        if_ (v "got" <=! n 0)
+          [ set (idx (v "ev_live") (v "slot")) (n 0) ] (* EOF: deregister *)
+          [
+            if_ (idx (v "ev_handler") (v "slot") ==! n 1)
+              [ expr (Api.write (cast i64 (idx (v "sinkfds") (n 1))) (addr (idx (v "b") (n 0))) (n 1)) ]
+              [
+                if_ (idx (v "b") (n 0) <! n 128)
+                  [ set (v "acc") (v "acc" +! cast u32 (idx (v "b") (n 0))) ]
+                  [ set (v "acc") (v "acc" +! n 1) ];
+              ];
+          ];
+      ];
+    (* the loop: select over live events, dispatch ready ones *)
+    fn "event_loop" [] None
+      [
+        decl "live" u32 (Some (n 1));
+        while_ (v "live" >! n 0)
+          [
+            (* build the read-interest set *)
+            decl_arr "rds" u8 16;
+            call_void "mem_set" [ addr (idx (v "rds") (n 0)); n 0; n 16 ];
+            set (v "live") (n 0);
+            for_range "s" ~from:(n 0) ~below:(v "nevents")
+              [
+                when_ (idx (v "ev_live") (v "s") ==! n 1)
+                  [
+                    set (idx (v "rds") (cast u32 (idx (v "ev_fd") (v "s")))) (n 1);
+                    incr_ "live";
+                  ];
+              ];
+            when_ (v "live" >! n 0)
+              [
+                decl "nready" i64
+                  (Some (Api.select (addr (idx (v "rds") (n 0))) (cast (Ptr u8) (n 0)) (n 16)));
+                when_ (v "nready" >! n 0)
+                  [
+                    for_range "s" ~from:(n 0) ~below:(v "nevents")
+                      [
+                        when_
+                          (idx (v "ev_live") (v "s") ==! n 1
+                          &&! (idx (v "rds") (cast u32 (idx (v "ev_fd") (v "s"))) ==! n 1))
+                          [ call_void "dispatch" [ v "s" ] ];
+                      ];
+                  ];
+              ];
+          ];
+      ];
+  ]
+
+let globals =
+  [
+    global "ev_fd" (Arr (i32, max_events));
+    global "ev_handler" (Arr (u32, max_events));
+    global "ev_live" (Arr (u32, max_events));
+    global "nevents" u32;
+    global "acc" u32;
+    global "echofds" (Arr (i32, 2));
+    global "accfds" (Arr (i32, 2));
+    global "sinkfds" (Arr (i32, 2));
+  ]
+
+let unit_for ~payload ~symbolic =
+  let plen = String.length payload in
+  cunit ~entry:"main" ~globals:(globals @ [ global "feed" (Arr (u8, max plen 1)) ])
+    (Api.runtime @ funcs
+    @ [
+        fn "feeder" [ ("k", i64) ] None
+          (List.concat
+             [
+               (if symbolic then []
+                else List.init plen (fun i -> set (idx (v "feed") (n i)) (chr payload.[i])));
+               [
+                 (* interleave writes to both pipes, then close them *)
+                 for_range "i" ~from:(n 0) ~below:(n plen)
+                   [
+                     if_ (v "i" %! n 2 ==! n 0)
+                       [ expr (Api.write (cast i64 (idx (v "echofds") (n 1))) (addr (idx (v "feed") (v "i"))) (n 1)) ]
+                       [ expr (Api.write (cast i64 (idx (v "accfds") (n 1))) (addr (idx (v "feed") (v "i"))) (n 1)) ];
+                   ];
+                 expr (Api.close (cast i64 (idx (v "echofds") (n 1))));
+                 expr (Api.close (cast i64 (idx (v "accfds") (n 1))));
+               ];
+             ]);
+        fn "main" [] (Some u32)
+          (List.concat
+             [
+               [
+                 expr (Api.pipe (cast (Ptr u8) (addr (idx (v "echofds") (n 0)))));
+                 expr (Api.pipe (cast (Ptr u8) (addr (idx (v "accfds") (n 0)))));
+                 expr (Api.pipe (cast (Ptr u8) (addr (idx (v "sinkfds") (n 0)))));
+                 expr (call "event_add" [ cast i64 (idx (v "echofds") (n 0)); n 1 ]);
+                 expr (call "event_add" [ cast i64 (idx (v "accfds") (n 0)); n 2 ]);
+               ];
+               (if symbolic then
+                  [ expr (Api.make_symbolic (addr (idx (v "feed") (n 0))) (n plen) "feed") ]
+                else []);
+               [
+                 expr (Api.thread_create "feeder" (n 0));
+                 call_void "event_loop" [];
+                 (* drain the echo sink and fold it into the digest *)
+                 decl "digest" u32 (Some (v "acc"));
+                 decl_arr "b" u8 1;
+                 expr (Api.close (cast i64 (idx (v "sinkfds") (n 1))));
+                 decl "got" i64 (Some (n 1));
+                 while_ (v "got" >! n 0)
+                   [
+                     set (v "got")
+                       (Api.read (cast i64 (idx (v "sinkfds") (n 0))) (addr (idx (v "b") (n 0))) (n 1));
+                     when_ (v "got" >! n 0)
+                       [ set (v "digest") ((v "digest" *! n 31) +! cast u32 (idx (v "b") (n 0))) ];
+                   ];
+                 halt (v "digest");
+               ];
+             ]);
+      ])
+
+let program ~payload ~symbolic = compile (unit_for ~payload ~symbolic)

@@ -1,0 +1,8 @@
+(** A miniature of libevent (paper Table 4's "Event notification
+    library"): an event loop select()ing over registered descriptors and
+    dispatching ready ones through a handler table, demonstrated with echo
+    and accumulator handlers over pipes fed by a separate thread. *)
+
+val max_events : int
+val unit_for : payload:string -> symbolic:bool -> Lang.Ast.comp_unit
+val program : payload:string -> symbolic:bool -> Cvm.Program.t

@@ -1,0 +1,273 @@
+(* A miniature of lighttpd's request parsing across fragmented reads
+   (paper section 7.3.4 and Table 6).
+
+   lighttpd reads HTTP requests with repeated read() calls; POSIX gives no
+   guarantee on how many bytes each read returns, so the header-terminator
+   scan ("\r\n\r\n") must carry its progress across chunk boundaries.
+   Version 1.4.12 got this wrong; the 1.4.13 fix was incomplete — some
+   fragmentation patterns still crashed the server and hung the client,
+   which Cloud9's symbolic fragmentation test exposed.
+
+   The two defects modeled:
+   - [V12]: after appending a new chunk, the scanner restarts one byte
+     *before* the chunk to catch terminators split across the boundary —
+     re-processing that byte corrupts the match state, so a terminator
+     split across chunks is missed; at EOF the error path indexes the
+     buffer with the "not found" sentinel (len + 1... an underflowed
+     offset), an out-of-bounds access.  Any multi-chunk delivery whose
+     boundary touches the terminator crashes.
+   - [V13]: the fix scans each chunk exactly once, carrying the state —
+     correct for the two-chunk pattern of the original report.  But the
+     fix added a "slow path" for single-byte reads that accumulates those
+     bytes in a 4-byte replay window without a bounds check; a pattern
+     containing five or more 1-byte fragments overflows the window.
+
+   With these mechanics the three fragmentation patterns of Table 6
+   behave exactly as in the paper:
+     1 x 28                          OK        OK
+     1 x 26 + 1 x 2                  crash     OK
+     2+5+1+5+2x1+3x2+5+2x1           crash     crash *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+type version = V12 | V13
+
+let request = "GET /index.html HTTP/1.0\r\n\r\n"
+let request_len = String.length request (* 28 *)
+
+(* Table 6's fragmentation patterns. *)
+let pattern_whole = [ 28 ]
+let pattern_split = [ 26; 2 ]
+let pattern_complex = [ 2; 5; 1; 5; 1; 1; 2; 2; 2; 5; 1; 1 ]
+
+let () = assert (List.fold_left ( + ) 0 pattern_complex = request_len)
+
+(* State machine over "\r\n\r\n": state = number of bytes matched. *)
+let scan_funcs =
+  [
+    fn "scan_byte" [ ("c", u8) ] None
+      [
+        if_
+          (v "c" ==! chr '\r')
+          [
+            if_ (v "match_state" ==! n 2) [ set (v "match_state") (n 3) ]
+              [ set (v "match_state") (n 1) ];
+          ]
+          [
+            if_
+              (v "c" ==! chr '\n')
+              [
+                if_ (v "match_state" ==! n 1) [ set (v "match_state") (n 2) ]
+                  [
+                    if_ (v "match_state" ==! n 3) [ set (v "match_state") (n 4) ]
+                      [ set (v "match_state") (n 0) ];
+                  ];
+              ]
+              [ set (v "match_state") (n 0) ];
+          ];
+      ];
+  ]
+
+(* The server's connection loop for each version.  Returns the response
+   status (200 when the request parsed). *)
+let server_funcs version =
+  let handle_chunk =
+    match version with
+    | V12 ->
+      [
+        (* v1.4.12: re-scan from one byte before the new chunk "to catch
+           split terminators" — the re-processed byte corrupts the match
+           state when the boundary touches the terminator *)
+        decl "start" u32 (Some (n 0));
+        if_ (v "total" >! n 0) [ set (v "start") (v "total" -! n 1) ] [];
+        decl "j" u32 (Some (v "start"));
+        while_ (v "j" <! v "total" +! cast u32 (v "got"))
+          [ call_void "scan_byte" [ idx (v "reqbuf") (v "j") ]; incr_ "j" ];
+      ]
+    | V13 ->
+      [
+        (* v1.4.13: scan each new byte exactly once... *)
+        decl "j" u32 (Some (v "total"));
+        while_ (v "j" <! v "total" +! cast u32 (v "got"))
+          [ call_void "scan_byte" [ idx (v "reqbuf") (v "j") ]; incr_ "j" ];
+        (* ...but the fix added a replay window for 1-byte reads, meant to
+           simplify terminator detection in the common telnet-style case;
+           it lacks a bounds check *)
+        when_ (v "got" ==! n 1)
+          [
+            set (idx (v "window") (v "wpos")) (idx (v "reqbuf") (v "total"));
+            set (v "wpos") (v "wpos" +! n 1);
+          ];
+      ]
+  in
+  scan_funcs
+  @ [
+      fn "serve_connection" [ ("c", i64) ] (Some u32)
+        (List.concat
+           [
+             [
+               set (v "match_state") (n 0);
+               set (v "total") (n 0);
+               set (v "wpos") (n 0);
+               decl "done_" u32 (Some (n 0));
+               while_ (v "done_" ==! n 0)
+                 (List.concat
+                    [
+                      [
+                        decl "got" i64
+                          (Some
+                             (Api.read (v "c")
+                                (addr (idx (v "reqbuf") (v "total")))
+                                (n 64 -! cast i64 (v "total"))));
+                      ];
+                      [
+                        if_ (v "got" <=! n 0)
+                          [
+                            (* EOF before a complete request: the error
+                               path reports the terminator position, which
+                               is len+1 when the scan never completed —
+                               v12 reaches this with a missed terminator
+                               and indexes the buffer out of bounds *)
+                            decl "term_pos" u32 (Some (n 0 -! n 1)); (* "not found" sentinel *)
+                            when_ (v "match_state" <>! n 4)
+                              [
+                                (* log the byte at the "terminator": OOB *)
+                                set (v "last_byte") (idx (v "reqbuf") (v "term_pos"));
+                              ];
+                            ret (n 400);
+                          ]
+                          [];
+                      ];
+                      handle_chunk;
+                      [
+                        set (v "total") (v "total" +! cast u32 (v "got"));
+                        when_ (v "match_state" ==! n 4) [ set (v "done_") (n 1) ];
+                        when_ (v "total" >=! n 64) [ ret (n 413) ]; (* header too large *)
+                      ];
+                    ]);
+               (* parsed: check the method *)
+               if_
+                 (idx (v "reqbuf") (n 0) ==! chr 'G'
+                 &&! (idx (v "reqbuf") (n 1) ==! chr 'E')
+                 &&! (idx (v "reqbuf") (n 2) ==! chr 'T'))
+                 [ ret (n 200) ]
+                 [ ret (n 501) ];
+             ];
+           ]);
+    ]
+
+let globals =
+  [
+    global "reqbuf" (Arr (u8, 64));
+    global "match_state" u32;
+    global "total" u32;
+    global "window" (Arr (u8, 4));
+    global "wpos" u32;
+    global "last_byte" u8;
+    global "srv_ready" u32;
+    global "last_status" u32;
+  ]
+
+(* A client that sends the request in chunks given by [pattern],
+   preempting after each chunk so the cooperative server observes exactly
+   that fragmentation, then closes the connection. *)
+let client_body pattern =
+  let setup =
+    List.init request_len (fun i -> set (idx (v "sendbuf") (n i)) (chr request.[i]))
+  in
+  let off = ref 0 in
+  let sends =
+    List.concat_map
+      (fun size ->
+        let this = !off in
+        off := !off + size;
+        [
+          expr (Api.write (v "c") (addr (idx (v "sendbuf") (n this))) (n size));
+          expr (Api.thread_preempt ());
+          expr (Api.thread_preempt ());
+        ])
+      pattern
+  in
+  [ decl "c" i64 (Some (Api.socket Api.sock_stream));
+    assert_ (Api.connect (v "c") (n 80) ==! n 0) "connect to server" ]
+  @ setup @ sends
+  @ [ expr (Api.close (v "c")); expr (Api.thread_preempt ()) ]
+
+(* Whole-system harness: server thread + fragmenting client. *)
+let harness_unit version pattern =
+  cunit ~entry:"main"
+    ~globals:(globals @ [ global "sendbuf" (Arr (u8, request_len)) ])
+    (server_funcs version
+    @ [
+        fn "server_main" [ ("k", i64) ] None
+          [
+            decl "s" i64 (Some (Api.socket Api.sock_stream));
+            expr (Api.bind (v "s") (n 80));
+            expr (Api.listen (v "s"));
+            set (v "srv_ready") (n 1);
+            decl "c" i64 (Some (Api.accept (v "s")));
+            decl "status" u32 (Some (call "serve_connection" [ v "c" ]));
+            set (v "last_status") (v "status");
+          ];
+        fn "main" [] (Some u32)
+          (List.concat
+             [
+               [
+                 expr (Api.thread_create "server_main" (n 0));
+                 while_ (v "srv_ready" ==! n 0) [ expr (Api.thread_preempt ()) ];
+               ];
+               client_body pattern;
+               [
+                 (* drain: let the server observe EOF and finish *)
+                 expr (Api.thread_preempt ());
+                 expr (Api.thread_preempt ());
+                 halt (v "last_status");
+               ];
+             ]);
+      ])
+
+let program version pattern = compile (harness_unit version pattern)
+
+(* Symbolic-fragmentation harness: instead of a fixed pattern, the client
+   sends the whole request and the server's socket is put in
+   SIO_PKT_FRAGMENT mode, so the engine explores every fragmentation
+   pattern — the symbolic test that proved the 1.4.13 fix incomplete. *)
+let symbolic_fragmentation_unit version =
+  cunit ~entry:"main"
+    ~globals:(globals @ [ global "sendbuf" (Arr (u8, request_len)) ])
+    (server_funcs version
+    @ [
+        fn "server_main" [ ("k", i64) ] None
+          [
+            decl "s" i64 (Some (Api.socket Api.sock_stream));
+            expr (Api.bind (v "s") (n 80));
+            expr (Api.listen (v "s"));
+            set (v "srv_ready") (n 1);
+            decl "c" i64 (Some (Api.accept (v "s")));
+            (* explore all read-size patterns on this connection *)
+            expr (Api.ioctl (v "c") Api.sio_pkt_fragment (n 0));
+            decl "status" u32 (Some (call "serve_connection" [ v "c" ]));
+            set (v "last_status") (v "status");
+          ];
+        fn "main" [] (Some u32)
+          (List.concat
+             [
+               [
+                 expr (Api.thread_create "server_main" (n 0));
+                 while_ (v "srv_ready" ==! n 0) [ expr (Api.thread_preempt ()) ];
+               ];
+               [ decl "c" i64 (Some (Api.socket Api.sock_stream));
+                 assert_ (Api.connect (v "c") (n 80) ==! n 0) "connect" ];
+               List.init request_len (fun i -> set (idx (v "sendbuf") (n i)) (chr request.[i]));
+               [
+                 expr (Api.write (v "c") (addr (idx (v "sendbuf") (n 0))) (n request_len));
+                 expr (Api.close (v "c"));
+                 expr (Api.thread_preempt ());
+                 expr (Api.thread_preempt ());
+                 halt (v "last_status");
+               ];
+             ]);
+      ])
+
+let symbolic_program version = compile (symbolic_fragmentation_unit version)

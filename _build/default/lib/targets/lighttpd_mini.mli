@@ -1,0 +1,35 @@
+(** A miniature of lighttpd's request parsing across fragmented reads
+    (paper section 7.3.4, Table 6).
+
+    [V12] misses header terminators split across read boundaries (its
+    re-scan corrupts the match state) and then crashes on the EOF error
+    path; [V13] fixes that but its single-byte-read slow path overflows a
+    4-byte window — the incomplete fix the symbolic fragmentation test
+    exposes.  The three patterns below reproduce Table 6 exactly. *)
+
+type version = V12 | V13
+
+val request : string
+val request_len : int
+
+(** 1 x 28: OK on both versions. *)
+val pattern_whole : int list
+
+(** 26 + 2: crashes V12, OK on V13. *)
+val pattern_split : int list
+
+(** 2+5+1+5+2x1+3x2+5+2x1: crashes both versions. *)
+val pattern_complex : int list
+
+(** Server thread + client sending the request fragmented per the pattern
+    (one preemption between chunks), then closing. *)
+val harness_unit : version -> int list -> Lang.Ast.comp_unit
+
+val program : version -> int list -> Cvm.Program.t
+
+(** Symbolic fragmentation: SIO_PKT_FRAGMENT on the server socket makes
+    the engine explore every read-size pattern — the regression test that
+    proves the 1.4.13 fix incomplete. *)
+val symbolic_fragmentation_unit : version -> Lang.Ast.comp_unit
+
+val symbolic_program : version -> Cvm.Program.t

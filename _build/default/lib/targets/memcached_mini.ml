@@ -1,0 +1,449 @@
+(* A miniature memcached: binary protocol over TCP, a hash-table object
+   store, and the UDP fragment-reassembly path containing the hang bug
+   Cloud9 found (paper section 7.3.3).
+
+   TCP binary protocol (a compressed version of memcached's):
+     request  = [magic 0x80][opcode][keylen][vallen][key bytes][val bytes]
+     response = [status][bodylen][body bytes]
+     opcodes: 0 GET, 1 SET, 2 DELETE, 3 INCR, 4 VERSION
+     statuses: 0 OK, 1 miss, 2 store error, 0x81 bad packet
+
+   The store is an open-addressing hash table in globals.
+
+   UDP frames carry a fragment train: [nfrags][frag]*, each frag being
+   [fraglen][payload...] where fraglen counts the whole fragment
+   *including* its length byte.  The reassembly loop advances by fraglen —
+   a fragment with fraglen = 0 therefore never advances: the infinite
+   loop that locks up the UDP handler, detected by the engine's per-path
+   instruction cap exactly as the paper describes. *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+let nbuckets = 8
+let key_size = 8
+let val_size = 8
+
+let store_globals =
+  [
+    global "ht_used" (Arr (u8, nbuckets));
+    global "ht_klen" (Arr (u8, nbuckets));
+    global "ht_vlen" (Arr (u8, nbuckets));
+    global "ht_keys" (Arr (u8, nbuckets * key_size));
+    global "ht_vals" (Arr (u8, nbuckets * val_size));
+  ]
+
+let store_funcs =
+  [
+    fn "ht_hash" [ ("key", Ptr u8); ("klen", u8) ] (Some u32)
+      [
+        decl "h" u32 (Some (n 5381));
+        for_range "i" ~from:(n 0) ~below:(cast u32 (v "klen"))
+          [ set (v "h") ((v "h" *! n 31) +! cast u32 (idx (v "key") (v "i"))) ];
+        ret (v "h" %! n nbuckets);
+      ];
+    (* returns the bucket holding [key], or nbuckets if absent *)
+    fn "ht_find" [ ("key", Ptr u8); ("klen", u8) ] (Some u32)
+      [
+        decl "b" u32 (Some (call "ht_hash" [ v "key"; v "klen" ]));
+        for_range "probe" ~from:(n 0) ~below:(n nbuckets)
+          [
+            decl "slot" u32 (Some ((v "b" +! v "probe") %! n nbuckets));
+            when_ (idx (v "ht_used") (v "slot") ==! n 0) [ ret (n nbuckets) ];
+            when_ (idx (v "ht_used") (v "slot") ==! n 1 &&! (idx (v "ht_klen") (v "slot") ==! v "klen"))
+              [
+                decl "m" u32 (Some (n 1));
+                for_range "i" ~from:(n 0) ~below:(cast u32 (v "klen"))
+                  [
+                    when_
+                      (idx (v "ht_keys") ((v "slot" *! n key_size) +! v "i")
+                      <>! idx (v "key") (v "i"))
+                      [ set (v "m") (n 0) ];
+                  ];
+                when_ (v "m" ==! n 1) [ ret (v "slot") ];
+              ];
+          ];
+        ret (n nbuckets);
+      ];
+    (* store a pair; returns 0 on success, 2 when the table is full *)
+    fn "ht_set" [ ("key", Ptr u8); ("klen", u8); ("value", Ptr u8); ("vlen", u8) ] (Some u32)
+      [
+        decl "slot" u32 (Some (call "ht_find" [ v "key"; v "klen" ]));
+        when_ (v "slot" >=! n nbuckets)
+          [
+            (* find a free slot by probing *)
+            decl "b" u32 (Some (call "ht_hash" [ v "key"; v "klen" ]));
+            set (v "slot") (n nbuckets);
+            for_range "probe" ~from:(n 0) ~below:(n nbuckets)
+              [
+                decl "cand" u32 (Some ((v "b" +! v "probe") %! n nbuckets));
+                when_ (v "slot" >=! n nbuckets &&! (idx (v "ht_used") (v "cand") ==! n 0))
+                  [ set (v "slot") (v "cand") ];
+              ];
+            when_ (v "slot" >=! n nbuckets) [ ret (n 2) ];
+          ];
+        set (idx (v "ht_used") (v "slot")) (n 1);
+        set (idx (v "ht_klen") (v "slot")) (v "klen");
+        set (idx (v "ht_vlen") (v "slot")) (v "vlen");
+        for_range "i" ~from:(n 0) ~below:(cast u32 (v "klen"))
+          [ set (idx (v "ht_keys") ((v "slot" *! n key_size) +! v "i")) (idx (v "key") (v "i")) ];
+        for_range "i" ~from:(n 0) ~below:(cast u32 (v "vlen"))
+          [ set (idx (v "ht_vals") ((v "slot" *! n val_size) +! v "i")) (idx (v "value") (v "i")) ];
+        ret (n 0);
+      ];
+    fn "ht_delete" [ ("key", Ptr u8); ("klen", u8) ] (Some u32)
+      [
+        decl "slot" u32 (Some (call "ht_find" [ v "key"; v "klen" ]));
+        when_ (v "slot" >=! n nbuckets) [ ret (n 1) ];
+        set (idx (v "ht_used") (v "slot")) (n 2); (* tombstone *)
+        ret (n 0);
+      ];
+  ]
+
+(* Parse and execute one packet sitting in [pkt, pkt+len); write the
+   response into the global response buffer and set resp_len. *)
+let server_core =
+  [
+    fn "respond1" [ ("status", u8) ] None
+      [
+        set (idx (v "resp") (n 0)) (v "status");
+        set (idx (v "resp") (n 1)) (n 0);
+        set (v "resp_len") (n 2);
+      ];
+    fn "handle_packet" [ ("pkt", Ptr u8); ("len", u32) ] None
+      [
+        when_ (v "len" <! n 4) [ call_void "respond1" [ n 0x81 ]; ret_void ];
+        when_ (idx (v "pkt") (n 0) <>! n 0x80) [ call_void "respond1" [ n 0x81 ]; ret_void ];
+        decl "opcode" u8 (Some (idx (v "pkt") (n 1)));
+        decl "klen" u8 (Some (idx (v "pkt") (n 2)));
+        decl "vlen" u8 (Some (idx (v "pkt") (n 3)));
+        when_ (cast u32 (v "klen") >! n key_size ||! (cast u32 (v "vlen") >! n val_size))
+          [ call_void "respond1" [ n 0x81 ]; ret_void ];
+        when_ (n 4 +! cast u32 (v "klen") +! cast u32 (v "vlen") >! v "len")
+          [ call_void "respond1" [ n 0x81 ]; ret_void ];
+        decl "key" (Ptr u8) (Some (addr (idx (v "pkt") (n 4))));
+        decl "value" (Ptr u8) (Some (addr (idx (v "pkt") (n 4 +! cast u32 (v "klen")))));
+        if_ (v "opcode" ==! n 0)
+          [
+            (* GET *)
+            decl "slot" u32 (Some (call "ht_find" [ v "key"; v "klen" ]));
+            if_ (v "slot" >=! n nbuckets)
+              [ call_void "respond1" [ n 1 ] ]
+              [
+                set (idx (v "resp") (n 0)) (n 0);
+                set (idx (v "resp") (n 1)) (idx (v "ht_vlen") (v "slot"));
+                for_range "i" ~from:(n 0) ~below:(cast u32 (idx (v "ht_vlen") (v "slot")))
+                  [
+                    set (idx (v "resp") (n 2 +! v "i"))
+                      (idx (v "ht_vals") ((v "slot" *! n val_size) +! v "i"));
+                  ];
+                set (v "resp_len") (n 2 +! cast u32 (idx (v "ht_vlen") (v "slot")));
+              ];
+          ]
+          [
+            if_ (v "opcode" ==! n 1)
+              [ call_void "respond1" [ cast u8 (call "ht_set" [ v "key"; v "klen"; v "value"; v "vlen" ]) ] ]
+              [
+                if_ (v "opcode" ==! n 2)
+                  [ call_void "respond1" [ cast u8 (call "ht_delete" [ v "key"; v "klen" ]) ] ]
+                  [
+                    if_ (v "opcode" ==! n 3)
+                      [
+                        (* INCR: bump the first value byte *)
+                        decl "slot" u32 (Some (call "ht_find" [ v "key"; v "klen" ]));
+                        if_ (v "slot" >=! n nbuckets)
+                          [ call_void "respond1" [ n 1 ] ]
+                          [
+                            set (idx (v "ht_vals") (v "slot" *! n val_size))
+                              (idx (v "ht_vals") (v "slot" *! n val_size) +! n 1);
+                            call_void "respond1" [ n 0 ];
+                          ];
+                      ]
+                      [
+                        if_ (v "opcode" ==! n 4)
+                          [
+                            (* VERSION *)
+                            set (idx (v "resp") (n 0)) (n 0);
+                            set (idx (v "resp") (n 1)) (n 3);
+                            set (idx (v "resp") (n 2)) (chr '1');
+                            set (idx (v "resp") (n 3)) (chr '.');
+                            set (idx (v "resp") (n 4)) (chr '4');
+                            set (v "resp_len") (n 5);
+                          ]
+                          [ call_void "respond1" [ n 0x81 ] ];
+                      ];
+                  ];
+              ];
+          ];
+      ];
+    (* TCP connection loop: read framed packets until EOF; [npackets]
+       bounds the packets served (keeps symbolic tests finite) *)
+    fn "serve_tcp" [ ("c", i64); ("npackets", u32) ] None
+      [
+        decl "served" u32 (Some (n 0));
+        while_ (v "served" <! v "npackets")
+          [
+            decl_arr "pkt" u8 24;
+            (* read the 4-byte header *)
+            decl "have" u32 (Some (n 0));
+            while_ (v "have" <! n 4)
+              [
+                decl "got" i64
+                  (Some (Api.read (v "c") (addr (idx (v "pkt") (v "have"))) (n 4 -! cast i64 (v "have"))));
+                when_ (v "got" <=! n 0) [ ret_void ];
+                set (v "have") (v "have" +! cast u32 (v "got"));
+              ];
+            decl "klen" u8 (Some (idx (v "pkt") (n 2)));
+            decl "vlen" u8 (Some (idx (v "pkt") (n 3)));
+            decl "body" u32 (Some (cast u32 (v "klen") +! cast u32 (v "vlen")));
+            when_ (v "body" >! n 16)
+              [ call_void "respond1" [ n 0x81 ];
+                expr (Api.write (v "c") (addr (idx (v "resp") (n 0))) (cast i64 (v "resp_len")));
+                ret_void ];
+            (* read the body one byte at a time: read lengths stay
+               concrete even when klen/vlen are symbolic *)
+            while_ (v "have" <! n 4 +! v "body")
+              [
+                decl "got2" i64 (Some (Api.read (v "c") (addr (idx (v "pkt") (v "have"))) (n 1)));
+                when_ (v "got2" <=! n 0) [ ret_void ];
+                set (v "have") (v "have" +! n 1);
+              ];
+            call_void "handle_packet" [ addr (idx (v "pkt") (n 0)); n 4 +! v "body" ];
+            expr (Api.write (v "c") (addr (idx (v "resp") (n 0))) (cast i64 (v "resp_len")));
+            set (v "served") (v "served" +! n 1);
+          ];
+      ];
+    (* UDP service loop: reassemble a fragment train.  Each fragment is
+       [fraglen][payload...], fraglen counting the whole fragment.  The
+       BUG: a fragment with fraglen = 0 does not advance the cursor. *)
+    fn "serve_udp_datagram" [ ("dgram", Ptr u8); ("dlen", u32) ] (Some u32)
+      [
+        when_ (v "dlen" <! n 1) [ ret (n 0) ];
+        decl "nfrags" u8 (Some (idx (v "dgram") (n 0)));
+        decl "pos" u32 (Some (n 1));
+        decl "assembled" u32 (Some (n 0));
+        decl "frag" u8 (Some (n 0));
+        while_ (v "frag" <! v "nfrags")
+          [
+            when_ (v "pos" >=! v "dlen") [ ret (n 0) ]; (* truncated train *)
+            decl "fraglen" u8 (Some (idx (v "dgram") (v "pos")));
+            when_ (v "pos" +! cast u32 (v "fraglen") >! v "dlen") [ ret (n 0) ];
+            (* accumulate payload bytes (fraglen - 1 of them) *)
+            set (v "assembled") (v "assembled" +! cast u32 (v "fraglen"));
+            (* the hang: pos += fraglen never advances when fraglen = 0 *)
+            set (v "pos") (v "pos" +! cast u32 (v "fraglen"));
+            when_ (v "fraglen" >! n 0) [ set (v "frag") (v "frag" +! n 1) ];
+          ];
+        ret (v "assembled");
+      ];
+  ]
+
+let base_globals = store_globals @ [ global "resp" (Arr (u8, 24)); global "resp_len" u32; global "srv_ready" u32 ]
+
+let all_funcs = store_funcs @ server_core
+
+(* Every memcached harness compiles [all_funcs] first, so the server's
+   code occupies source lines 1..server_line_count in all of them: this
+   lets Table 5 report coverage of the *server*, excluding harness
+   boilerplate, and makes coverage vectors comparable across harnesses. *)
+let server_line_count =
+  lazy
+    (let p =
+       compile
+         (cunit ~entry:"main" ~globals:base_globals
+            (all_funcs @ [ fn "main" [] (Some u32) [ halt (n 0) ] ]))
+     in
+     (* the dummy main consumes two lines: its entry line and the halt *)
+     p.Cvm.Program.nlines - 2)
+
+(* --- harness A: concrete test suite over TCP -------------------------------------- *)
+
+(* One concrete test case = a list of packets (as strings) the client
+   sends, with the expected first response status per packet. *)
+let packet ~opcode ~key ~value =
+  let b = Buffer.create 16 in
+  Buffer.add_char b '\x80';
+  Buffer.add_char b (Char.chr opcode);
+  Buffer.add_char b (Char.chr (String.length key));
+  Buffer.add_char b (Char.chr (String.length value));
+  Buffer.add_string b key;
+  Buffer.add_string b value;
+  Buffer.contents b
+
+let concrete_suite_unit ?(fault_injection = false) ~commands ~expected_statuses () =
+  let all = String.concat "" commands in
+  let npackets = List.length commands in
+  let send_setup =
+    List.init (String.length all) (fun i -> set (idx (v "sendbuf") (n i)) (chr all.[i]))
+  in
+  let checks =
+    (* responses share one byte stream: read the 2-byte header exactly,
+       check the status, then drain the body so the next response aligns *)
+    List.concat
+      (List.mapi
+         (fun k status ->
+           [
+             decl (Printf.sprintf "r%d" k) i64
+               (Some (Api.read (v "c") (addr (idx (v "rbuf") (n 0))) (n 2)));
+             assert_ (v (Printf.sprintf "r%d" k) ==! n 2) (Printf.sprintf "response %d header" k);
+             assert_ (idx (v "rbuf") (n 0) ==! n status)
+               (Printf.sprintf "response %d status" k);
+             decl (Printf.sprintf "b%d" k) u32 (Some (cast u32 (idx (v "rbuf") (n 1))));
+             while_ (v (Printf.sprintf "b%d" k) >! n 0)
+               [
+                 expr (Api.read (v "c") (addr (idx (v "rbuf") (n 2))) (n 1));
+                 set (v (Printf.sprintf "b%d" k)) (v (Printf.sprintf "b%d" k) -! n 1);
+               ];
+           ])
+         expected_statuses)
+  in
+  cunit ~entry:"main"
+    ~globals:(base_globals @ [ global "sendbuf" (Arr (u8, max (String.length all) 1)); global "rbuf" (Arr (u8, 24)) ])
+    (all_funcs
+    @ [
+        fn "server_main" [ ("k", i64) ] None
+          [
+            decl "s" i64 (Some (Api.socket Api.sock_stream));
+            expr (Api.bind (v "s") (n 11211));
+            expr (Api.listen (v "s"));
+            set (v "srv_ready") (n 1);
+            decl "c" i64 (Some (Api.accept (v "s")));
+            (* Table 5's fault-injection method: every failure memcached's
+               calls can produce is injected on the server's descriptor *)
+            (if fault_injection then
+               expr (Api.ioctl (v "c") Api.sio_fault_inj (Api.rd_flag |! Api.wr_flag))
+             else expr (Api.time ()));
+            call_void "serve_tcp" [ v "c"; n npackets ];
+            expr (Api.close (v "c"));
+          ];
+        fn "main" [] (Some u32)
+          (List.concat
+             [
+               [
+                 expr (Api.thread_create "server_main" (n 0));
+                 while_ (v "srv_ready" ==! n 0) [ expr (Api.thread_preempt ()) ];
+                 decl "c" i64 (Some (Api.socket Api.sock_stream));
+                 assert_ (Api.connect (v "c") (n 11211) ==! n 0) "connect";
+               ];
+               (if fault_injection then [ expr (Api.fi_enable ()) ] else []);
+               send_setup;
+               [ expr (Api.write (v "c") (addr (idx (v "sendbuf") (n 0))) (n (String.length all))) ];
+               checks;
+               [ halt (n 0) ];
+             ]);
+      ])
+
+let concrete_suite ?fault_injection ~commands ~expected_statuses () =
+  compile (concrete_suite_unit ?fault_injection ~commands ~expected_statuses ())
+
+(* The "existing test suite": representative get/set/delete/incr flows. *)
+let test_suite =
+  [
+    ( "set_get",
+      [ packet ~opcode:1 ~key:"k1" ~value:"v1"; packet ~opcode:0 ~key:"k1" ~value:"" ],
+      [ 0; 0 ] );
+    ( "get_miss",
+      [ packet ~opcode:0 ~key:"nope" ~value:"" ],
+      [ 1 ] );
+    ( "set_delete_get",
+      [
+        packet ~opcode:1 ~key:"k2" ~value:"vv";
+        packet ~opcode:2 ~key:"k2" ~value:"";
+        packet ~opcode:0 ~key:"k2" ~value:"";
+      ],
+      [ 0; 0; 1 ] );
+    ( "incr",
+      [ packet ~opcode:1 ~key:"c" ~value:"\x05"; packet ~opcode:3 ~key:"c" ~value:"" ],
+      [ 0; 0 ] );
+    ( "incr_miss",
+      [ packet ~opcode:3 ~key:"zz" ~value:"" ],
+      [ 1 ] );
+    ( "version",
+      [ packet ~opcode:4 ~key:"" ~value:"" ],
+      [ 0 ] );
+    ( "bad_magic",
+      [ "\x7f\x00\x00\x00" ],
+      [ 0x81 ] );
+    ( "bad_opcode",
+      [ packet ~opcode:9 ~key:"k" ~value:"" ],
+      [ 0x81 ] );
+    ( "replace",
+      [
+        packet ~opcode:1 ~key:"k3" ~value:"a";
+        packet ~opcode:1 ~key:"k3" ~value:"b";
+        packet ~opcode:0 ~key:"k3" ~value:"";
+      ],
+      [ 0; 0; 0 ] );
+  ]
+
+(* --- harness B: symbolic packets over TCP (Fig. 7/9/12/13, Table 5) ---------------- *)
+
+(* The client sends [npackets] fully symbolic packets of [pkt_len] bytes
+   each; the server serves exactly that many.  This is the paper's
+   "generic symbolic binary command followed by a second symbolic
+   command" test. *)
+let symbolic_packets_unit ~npackets ~pkt_len =
+  cunit ~entry:"main"
+    ~globals:(base_globals @ [ global "sendbuf" (Arr (u8, npackets * pkt_len)); global "rbuf" (Arr (u8, 24)) ])
+    (all_funcs
+    @ [
+        fn "server_main" [ ("k", i64) ] None
+          [
+            decl "s" i64 (Some (Api.socket Api.sock_stream));
+            expr (Api.bind (v "s") (n 11211));
+            expr (Api.listen (v "s"));
+            set (v "srv_ready") (n 1);
+            decl "c" i64 (Some (Api.accept (v "s")));
+            call_void "serve_tcp" [ v "c"; n npackets ];
+            expr (Api.close (v "c"));
+          ];
+        fn "main" [] (Some u32)
+          [
+            expr (Api.thread_create "server_main" (n 0));
+            while_ (v "srv_ready" ==! n 0) [ expr (Api.thread_preempt ()) ];
+            decl "c" i64 (Some (Api.socket Api.sock_stream));
+            assert_ (Api.connect (v "c") (n 11211) ==! n 0) "connect";
+            expr
+              (Api.make_symbolic (addr (idx (v "sendbuf") (n 0))) (n (npackets * pkt_len)) "packets");
+            expr (Api.write (v "c") (addr (idx (v "sendbuf") (n 0))) (n (npackets * pkt_len)));
+            (* drain responses until the server closes the connection *)
+            decl "got" i64 (Some (n 1));
+            while_ (v "got" >! n 0)
+              [ set (v "got") (Api.read (v "c") (addr (idx (v "rbuf") (n 0))) (n 24)) ];
+            halt (n 0);
+          ];
+      ])
+
+let symbolic_packets ~npackets ~pkt_len = compile (symbolic_packets_unit ~npackets ~pkt_len)
+
+(* --- harness C: UDP with the fragment-train hang (section 7.3.3) --------------------- *)
+
+let udp_unit ~dgram_len =
+  cunit ~entry:"main"
+    ~globals:(base_globals @ [ global "dbuf" (Arr (u8, dgram_len)) ])
+    (all_funcs
+    @ [
+        fn "udp_server" [ ("k", i64) ] None
+          [
+            decl "s" i64 (Some (Api.socket Api.sock_dgram));
+            expr (Api.bind (v "s") (n 11211));
+            set (v "srv_ready") (n 1);
+            decl_arr "d" u8 dgram_len;
+            decl "got" i64 (Some (Api.recvfrom (v "s") (addr (idx (v "d") (n 0))) (n dgram_len)));
+            when_ (v "got" >! n 0)
+              [ expr (call "serve_udp_datagram" [ addr (idx (v "d") (n 0)); cast u32 (v "got") ]) ];
+          ];
+        fn "main" [] (Some u32)
+          [
+            expr (Api.thread_create "udp_server" (n 0));
+            while_ (v "srv_ready" ==! n 0) [ expr (Api.thread_preempt ()) ];
+            decl "c" i64 (Some (Api.socket Api.sock_dgram));
+            expr (Api.make_symbolic (addr (idx (v "dbuf") (n 0))) (n dgram_len) "dgram");
+            expr (Api.sendto (v "c") (addr (idx (v "dbuf") (n 0))) (n dgram_len) (n 11211));
+            expr (Api.thread_preempt ());
+            expr (Api.thread_preempt ());
+            halt (n 0);
+          ];
+      ])
+
+let udp_program ~dgram_len = compile (udp_unit ~dgram_len)

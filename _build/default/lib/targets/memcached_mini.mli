@@ -1,0 +1,54 @@
+(** A miniature memcached: binary protocol over TCP, a hash-table store,
+    and the UDP fragment-train path with the non-advancing-cursor hang the
+    per-path instruction cap detects (paper section 7.3.3). *)
+
+val nbuckets : int
+val key_size : int
+val val_size : int
+
+val store_globals : Lang.Ast.global list
+val store_funcs : Lang.Ast.func list
+val server_core : Lang.Ast.func list
+val base_globals : Lang.Ast.global list
+val all_funcs : Lang.Ast.func list
+
+(** Every harness compiles [all_funcs] first, so the server's code spans
+    source lines [1..server_line_count] in all of them — Table 5 measures
+    coverage of the server, not harness boilerplate. *)
+val server_line_count : int Lazy.t
+
+(** Build a binary-protocol request packet. *)
+val packet : opcode:int -> key:string -> value:string -> string
+
+(** Client/server harness running a fixed command sequence and asserting
+    each response status.  [fault_injection] arms SIO_FAULT_INJ on the
+    server's connection and enables injection globally (Table 5's fourth
+    row). *)
+val concrete_suite_unit :
+  ?fault_injection:bool ->
+  commands:string list ->
+  expected_statuses:int list ->
+  unit ->
+  Lang.Ast.comp_unit
+
+val concrete_suite :
+  ?fault_injection:bool ->
+  commands:string list ->
+  expected_statuses:int list ->
+  unit ->
+  Cvm.Program.t
+
+(** The "existing test suite": (name, packets, expected statuses). *)
+val test_suite : (string * string list * int list) list
+
+(** The paper's generic symbolic-packet test: [npackets] fully symbolic
+    packets of [pkt_len] bytes each. *)
+val symbolic_packets_unit : npackets:int -> pkt_len:int -> Lang.Ast.comp_unit
+
+val symbolic_packets : npackets:int -> pkt_len:int -> Cvm.Program.t
+
+(** UDP harness: a symbolic datagram drives the fragment-train reassembly
+    loop; a zero-length fragment hangs it. *)
+val udp_unit : dgram_len:int -> Lang.Ast.comp_unit
+
+val udp_program : dgram_len:int -> Cvm.Program.t

@@ -1,0 +1,148 @@
+(* A miniature of pbzip2 — paper Table 4's "Compression utility".
+
+   pbzip2's structure: split the input into blocks, compress blocks on
+   worker threads in parallel, and write the compressed blocks out in
+   order.  This miniature keeps exactly that shape with a run-length
+   coder standing in for bzip2: a work queue feeds [nworkers] threads
+   (mutex + condvars from the POSIX runtime); each thread RLE-compresses
+   its blocks into a per-block output slot; the main thread concatenates
+   slots in order, then decompresses and asserts byte-exact recovery.
+
+   With symbolic input bytes, exhaustive exploration checks the
+   compress/decompress pair over every input of the given length, under
+   the cooperative thread interleavings. *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+let block = 4
+let max_blocks = 8
+let slot = 2 * block (* worst-case RLE expansion: (count, byte) pairs *)
+
+let funcs =
+  [
+    (* RLE-compress input[bi*block .. +block) into slots[bi]; stores the
+       compressed length in slot_len[bi] *)
+    fn "compress_block" [ ("bi", u32) ] None
+      [
+        decl "base" u32 (Some (v "bi" *! n block));
+        decl "w" u32 (Some (n 0));
+        decl "i" u32 (Some (n 0));
+        while_ (v "i" <! n block)
+          [
+            decl "c" u8 (Some (idx (v "input") (v "base" +! v "i")));
+            decl "run" u32 (Some (n 1));
+            while_
+              (v "i" +! v "run" <! n block
+              &&! (idx (v "input") (v "base" +! v "i" +! v "run") ==! v "c"))
+              [ set (v "run") (v "run" +! n 1) ];
+            set (idx (v "slots") ((v "bi" *! n slot) +! v "w")) (cast u8 (v "run"));
+            set (idx (v "slots") ((v "bi" *! n slot) +! v "w" +! n 1)) (v "c");
+            set (v "w") (v "w" +! n 2);
+            set (v "i") (v "i" +! v "run");
+          ];
+        set (idx (v "slot_len") (v "bi")) (v "w");
+      ];
+    (* worker thread: pull block indices from the shared queue *)
+    fn "compress_worker" [ ("k", i64) ] None
+      [
+        decl "more" u32 (Some (n 1));
+        while_ (v "more" ==! n 1)
+          [
+            call_void "mutex_lock" [ addr (idx (v "qm") (n 0)) ];
+            if_ (v "next_block" <! v "total_blocks")
+              [
+                decl "mine" u32 (Some (v "next_block"));
+                set (v "next_block") (v "next_block" +! n 1);
+                call_void "mutex_unlock" [ addr (idx (v "qm") (n 0)) ];
+                call_void "compress_block" [ v "mine" ];
+                call_void "mutex_lock" [ addr (idx (v "qm") (n 0)) ];
+                set (v "done_blocks") (v "done_blocks" +! n 1);
+                call_void "cond_signal" [ addr (idx (v "qdone") (n 0)) ];
+                call_void "mutex_unlock" [ addr (idx (v "qm") (n 0)) ];
+              ]
+              [ call_void "mutex_unlock" [ addr (idx (v "qm") (n 0)) ]; set (v "more") (n 0) ];
+          ];
+      ];
+    (* concatenate compressed slots in block order *)
+    fn "gather" [] (Some u32)
+      [
+        decl "w" u32 (Some (n 0));
+        for_range "bi" ~from:(n 0) ~below:(v "total_blocks")
+          [
+            for_range "j" ~from:(n 0) ~below:(idx (v "slot_len") (v "bi"))
+              [
+                set (idx (v "packed") (v "w")) (idx (v "slots") ((v "bi" *! n slot) +! v "j"));
+                incr_ "w";
+              ];
+          ];
+        ret (v "w");
+      ];
+    (* decompress the packed stream and compare with the input *)
+    fn "verify" [ ("plen", u32); ("total", u32) ] None
+      [
+        decl "r" u32 (Some (n 0));
+        decl "w" u32 (Some (n 0));
+        while_ (v "r" +! n 1 <! v "plen" ||! (v "r" +! n 1 ==! v "plen"))
+          [
+            decl "run" u32 (Some (cast u32 (idx (v "packed") (v "r"))));
+            decl "c" u8 (Some (idx (v "packed") (v "r" +! n 1)));
+            set (v "r") (v "r" +! n 2);
+            for_range "j" ~from:(n 0) ~below:(v "run")
+              [
+                assert_ (v "w" <! v "total") "decompressed length within input";
+                assert_ (idx (v "input") (v "w") ==! v "c") "byte-exact decompression";
+                incr_ "w";
+              ];
+          ];
+        assert_ (v "w" ==! v "total") "full length recovered";
+      ];
+  ]
+
+let globals ~total =
+  [
+    global "input" (Arr (u8, total));
+    global "slots" (Arr (u8, max_blocks * slot));
+    global "slot_len" (Arr (u32, max_blocks));
+    global "packed" (Arr (u8, max_blocks * slot));
+    global "qm" (Arr (u64, 3));
+    global "qdone" (Arr (u64, 1));
+    global "next_block" u32;
+    global "done_blocks" u32;
+    global "total_blocks" u32;
+  ]
+
+let unit_for ~nblocks ~nworkers ~symbolic =
+  let total = nblocks * block in
+  assert (nblocks <= max_blocks);
+  cunit ~entry:"main" ~globals:(globals ~total)
+    (Api.runtime @ funcs
+    @ [
+        fn "main" [] (Some u32)
+          (List.concat
+             [
+               [
+                 call_void "mutex_init" [ addr (idx (v "qm") (n 0)) ];
+                 call_void "cond_init" [ addr (idx (v "qdone") (n 0)) ];
+                 set (v "total_blocks") (n nblocks);
+               ];
+               (if symbolic then
+                  [ expr (Api.make_symbolic (addr (idx (v "input") (n 0))) (n total) "input") ]
+                else
+                  List.init total (fun i ->
+                      set (idx (v "input") (n i)) (n (Char.code "abbcccddddeeeee".[i mod 15]))));
+               List.init nworkers (fun i -> expr (Api.thread_create "compress_worker" (n i)));
+               [
+                 (* wait for all blocks *)
+                 call_void "mutex_lock" [ addr (idx (v "qm") (n 0)) ];
+                 while_ (v "done_blocks" <! n nblocks)
+                   [ call_void "cond_wait" [ addr (idx (v "qdone") (n 0)); addr (idx (v "qm") (n 0)) ] ];
+                 call_void "mutex_unlock" [ addr (idx (v "qm") (n 0)) ];
+                 decl "plen" u32 (Some (call "gather" []));
+                 call_void "verify" [ v "plen"; n total ];
+                 halt (v "plen");
+               ];
+             ]);
+      ])
+
+let program ~nblocks ~nworkers ~symbolic = compile (unit_for ~nblocks ~nworkers ~symbolic)

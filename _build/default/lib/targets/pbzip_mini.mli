@@ -1,0 +1,9 @@
+(** A miniature of pbzip2 (paper Table 4's "Compression utility"): blocks
+    compressed by a pool of worker threads (mutex + condvar work queue,
+    RLE standing in for bzip2), gathered in order, then decompressed and
+    asserted byte-exact. *)
+
+val block : int
+val max_blocks : int
+val unit_for : nblocks:int -> nworkers:int -> symbolic:bool -> Lang.Ast.comp_unit
+val program : nblocks:int -> nworkers:int -> symbolic:bool -> Cvm.Program.t

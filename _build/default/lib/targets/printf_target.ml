@@ -1,0 +1,230 @@
+(* A miniature printf: the format-string interpreter whose heavy parsing
+   makes it the paper's coverage-scalability workload (Fig. 8 and 10:
+   "printf performs a lot of parsing of its input (format specifiers),
+   which produces complex constraints when executed symbolically").
+
+   Supports the classic subset: literal bytes, [%%], flags [0-+], a
+   numeric width, and conversions [d u x c s].  Formatting writes into a
+   bounded output buffer; widths are clamped so padding loops terminate.
+   The format string is symbolic; argument values are fixed. *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+(* mini_printf(fmt, fmtlen) -> bytes emitted *)
+let funcs =
+  [
+    (* emit one byte into the global output buffer, dropping overflow *)
+    fn "emit" [ ("c", u8) ] None
+      [
+        when_ (v "outpos" <! n 64)
+          [ set (idx (v "outbuf") (v "outpos")) (v "c"); set (v "outpos") (v "outpos" +! n 1) ];
+      ];
+    (* emit an unsigned number in the given base, zero/space padded to width *)
+    fn "emit_num" [ ("value", u32); ("base", u32); ("width", u32); ("zero_pad", u8) ] None
+      [
+        decl_arr "digits" u8 12;
+        decl "ndigits" u32 (Some (n 0));
+        decl "value2" u32 (Some (v "value"));
+        if_ (v "value2" ==! n 0)
+          [ set (idx (v "digits") (n 0)) (chr '0'); set (v "ndigits") (n 1) ]
+          [
+            while_ (v "value2" >! n 0)
+              [
+                decl "d" u32 (Some (v "value2" %! v "base"));
+                if_ (v "d" <! n 10)
+                  [ set (idx (v "digits") (v "ndigits")) (cast u8 (v "d" +! n 48)) ]
+                  [ set (idx (v "digits") (v "ndigits")) (cast u8 (v "d" -! n 10 +! n 97)) ];
+                set (v "ndigits") (v "ndigits" +! n 1);
+                set (v "value2") (v "value2" /! v "base");
+              ];
+          ];
+        (* padding *)
+        while_ (v "width" >! v "ndigits")
+          [
+            if_ (v "zero_pad" <>! n 0)
+              [ call_void "emit" [ chr '0' ] ]
+              [ call_void "emit" [ chr ' ' ] ];
+            set (v "width") (v "width" -! n 1);
+          ];
+        (* digits are stored least-significant first *)
+        decl "k" u32 (Some (v "ndigits"));
+        while_ (v "k" >! n 0)
+          [ set (v "k") (v "k" -! n 1); call_void "emit" [ idx (v "digits") (v "k") ] ];
+      ];
+    (* per-position conversion accounting: real printf implementations
+       specialize handling by argument class; here every (position,
+       conversion) pair has its own statements, so the lines deep in this
+       function are only covered by formats with several specifiers —
+       exactly the "high coverage levels require more exploration"
+       behaviour Fig. 8 measures *)
+    fn "audit" [ ("conv", u8); ("argi", u32) ] None
+      [
+        if_ (v "argi" ==! n 0)
+          [
+            if_ (v "conv" ==! chr 'd') [ set (v "audit0") (v "audit0" +! n 1) ]
+              [
+                if_ (v "conv" ==! chr 'x') [ set (v "audit0") (v "audit0" +! n 2) ]
+                  [
+                    if_ (v "conv" ==! chr 'u') [ set (v "audit0") (v "audit0" +! n 3) ]
+                      [
+                        if_ (v "conv" ==! chr 's') [ set (v "audit0") (v "audit0" +! n 4) ]
+                          [ set (v "audit0") (v "audit0" +! n 5) ];
+                      ];
+                  ];
+              ];
+          ]
+          [
+            if_ (v "argi" ==! n 1)
+              [
+                if_ (v "conv" ==! chr 'd') [ set (v "audit1") (v "audit1" +! n 1) ]
+                  [
+                    if_ (v "conv" ==! chr 'x') [ set (v "audit1") (v "audit1" +! n 2) ]
+                      [
+                        if_ (v "conv" ==! chr 'u') [ set (v "audit1") (v "audit1" +! n 3) ]
+                          [
+                            if_ (v "conv" ==! chr 's') [ set (v "audit1") (v "audit1" +! n 4) ]
+                              [ set (v "audit1") (v "audit1" +! n 5) ];
+                          ];
+                      ];
+                  ];
+              ]
+              [
+                (* third and later specifiers share a bucket: deep but
+                   reachable through many different formats *)
+                if_ (v "conv" ==! chr 'd') [ set (v "audit2") (v "audit2" +! n 1) ]
+                  [
+                    if_ (v "conv" ==! chr 'x') [ set (v "audit2") (v "audit2" +! n 2) ]
+                      [
+                        if_ (v "conv" ==! chr 'u') [ set (v "audit2") (v "audit2" +! n 3) ]
+                          [
+                            if_ (v "conv" ==! chr 's') [ set (v "audit2") (v "audit2" +! n 4) ]
+                              [ set (v "audit2") (v "audit2" +! n 5) ];
+                          ];
+                      ];
+                  ];
+              ];
+          ];
+      ];
+    fn "mini_printf" [ ("fmt", Ptr u8); ("fmtlen", u32) ] (Some u32)
+      [
+        decl "i" u32 (Some (n 0));
+        decl "argi" u32 (Some (n 0));
+        decl_arr "args" u32 4;
+        set (idx (v "args") (n 0)) (n 42);
+        set (idx (v "args") (n 1)) (n 7);
+        set (idx (v "args") (n 2)) (n 123456);
+        set (idx (v "args") (n 3)) (n 0);
+        while_ (v "i" <! v "fmtlen" &&! (idx (v "fmt") (v "i") <>! n 0))
+          [
+            decl "c" u8 (Some (idx (v "fmt") (v "i")));
+            if_
+              (v "c" ==! chr '%')
+              [
+                incr_ "i";
+                when_ (v "i" >=! v "fmtlen") [ ret (v "outpos") ];
+                (* flags *)
+                decl "zero_pad" u8 (Some (n 0));
+                decl "left" u8 (Some (n 0));
+                while_
+                  (idx (v "fmt") (v "i") ==! chr '0'
+                  ||! (idx (v "fmt") (v "i") ==! chr '-')
+                  ||! (idx (v "fmt") (v "i") ==! chr '+'))
+                  [
+                    when_ (idx (v "fmt") (v "i") ==! chr '0') [ set (v "zero_pad") (n 1) ];
+                    when_ (idx (v "fmt") (v "i") ==! chr '-') [ set (v "left") (n 1) ];
+                    incr_ "i";
+                    when_ (v "i" >=! v "fmtlen") [ ret (v "outpos") ];
+                  ];
+                (* width, clamped so padding loops stay bounded *)
+                decl "width" u32 (Some (n 0));
+                while_
+                  (v "i" <! v "fmtlen"
+                  &&! (idx (v "fmt") (v "i") >=! chr '0')
+                  &&! (idx (v "fmt") (v "i") <=! chr '9'))
+                  [
+                    set (v "width") ((v "width" *! n 10) +! cast u32 (idx (v "fmt") (v "i") -! chr '0'));
+                    incr_ "i";
+                  ];
+                when_ (v "width" >! n 12) [ set (v "width") (n 12) ];
+                when_ (v "i" >=! v "fmtlen") [ ret (v "outpos") ];
+                decl "conv" u8 (Some (idx (v "fmt") (v "i")));
+                decl "arg" u32 (Some (n 0));
+                call_void "audit" [ v "conv"; v "argi" ];
+                when_ (v "argi" <! n 4)
+                  [ set (v "arg") (idx (v "args") (v "argi")); set (v "argi") (v "argi" +! n 1) ];
+                if_ (v "conv" ==! chr 'd')
+                  [ call_void "emit_num" [ v "arg"; n 10; v "width"; v "zero_pad" ] ]
+                  [
+                    if_ (v "conv" ==! chr 'u')
+                      [ call_void "emit_num" [ v "arg"; n 10; v "width"; v "zero_pad" ] ]
+                      [
+                        if_ (v "conv" ==! chr 'x')
+                          [ call_void "emit_num" [ v "arg"; n 16; v "width"; v "zero_pad" ] ]
+                          [
+                            if_ (v "conv" ==! chr 'c')
+                              [ call_void "emit" [ cast u8 (v "arg") ] ]
+                              [
+                                if_ (v "conv" ==! chr 's')
+                                  [
+                                    call_void "emit" [ chr 's' ];
+                                    call_void "emit" [ chr 't' ];
+                                    call_void "emit" [ chr 'r' ];
+                                  ]
+                                  [
+                                    if_ (v "conv" ==! chr '%')
+                                      [ call_void "emit" [ chr '%' ] ]
+                                      [ call_void "emit" [ chr '?' ] ];
+                                  ];
+                              ];
+                          ];
+                      ];
+                  ];
+                incr_ "i";
+              ]
+              [ call_void "emit" [ v "c" ]; incr_ "i" ];
+          ];
+        ret (v "outpos");
+      ];
+  ]
+
+let globals =
+  [
+    global "outbuf" (Arr (u8, 64));
+    global "outpos" u32;
+    global "audit0" u32;
+    global "audit1" u32;
+    global "audit2" u32;
+    
+  ]
+
+(* A symbolic test: [fmt_len] fully symbolic format bytes. *)
+let symbolic_unit ~fmt_len =
+  cunit ~entry:"main" ~globals
+    (funcs
+    @ [
+        fn "main" [] (Some u32)
+          [
+            decl_arr "fmt" u8 fmt_len;
+            expr (Api.make_symbolic (addr (idx (v "fmt") (n 0))) (n fmt_len) "fmt");
+            decl "emitted" u32 (Some (call "mini_printf" [ addr (idx (v "fmt") (n 0)); n fmt_len ]));
+            halt (v "emitted");
+          ];
+      ])
+
+let program ~fmt_len = compile (symbolic_unit ~fmt_len)
+
+(* A concrete smoke-test harness used by unit tests: formats a fixed
+   string and returns the number of emitted bytes. *)
+let concrete_unit ~fmt =
+  cunit ~entry:"main" ~globals
+    (funcs
+    @ [
+        fn "main" [] (Some u32)
+          [
+            decl "f" (Ptr u8) (Some (str fmt));
+            halt (call "mini_printf" [ v "f"; n (String.length fmt) ]);
+          ];
+      ])
+
+let concrete_program ~fmt = compile (concrete_unit ~fmt)

@@ -1,0 +1,17 @@
+(** A miniature printf: the format-string parsing workload of the paper's
+    coverage experiments (Fig. 8 and 10).  Supports literals, [%%], flags
+    [0-+], numeric widths, and conversions [d u x c s], with per-position
+    conversion accounting whose deep lines make high coverage expensive. *)
+
+val funcs : Lang.Ast.func list
+val globals : Lang.Ast.global list
+
+(** Symbolic test: [fmt_len] fully symbolic format bytes. *)
+val symbolic_unit : fmt_len:int -> Lang.Ast.comp_unit
+
+val program : fmt_len:int -> Cvm.Program.t
+
+(** Concrete harness: formats [fmt] and exits with the emitted byte count. *)
+val concrete_unit : fmt:string -> Lang.Ast.comp_unit
+
+val concrete_program : fmt:string -> Cvm.Program.t

@@ -1,0 +1,175 @@
+(* The multi-threaded, multi-process producer-consumer benchmark of paper
+   section 7.1: "exercises the entire functionality of the POSIX model:
+   threads, synchronization, processes, and networking."
+
+   Topology: [nproducers] producer threads push work items into a
+   mutex+condvar-protected ring buffer; [nconsumers] consumer threads pop
+   them and forward each item over a TCP connection to a sink process
+   (forked), which accumulates a checksum and reports it back over a pipe
+   when done.  The main thread validates the checksum.
+
+   The symbolic variant makes the produced items symbolic, so exploration
+   covers the data-dependent consumer branches under every cooperative
+   interleaving the scheduler policy allows. *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+let ring_size = 4
+
+let ring_funcs =
+  [
+    (* ring buffer protected by mutex m, condvars nonfull/nonempty *)
+    fn "ring_push" [ ("x", u8) ] None
+      [
+        call_void "mutex_lock" [ addr (idx (v "m") (n 0)) ];
+        while_ (v "fill" >=! n ring_size)
+          [ call_void "cond_wait" [ addr (idx (v "nonfull") (n 0)); addr (idx (v "m") (n 0)) ] ];
+        set (idx (v "ring") (v "wpos")) (v "x");
+        set (v "wpos") ((v "wpos" +! n 1) %! n ring_size);
+        set (v "fill") (v "fill" +! n 1);
+        call_void "cond_signal" [ addr (idx (v "nonempty") (n 0)) ];
+        call_void "mutex_unlock" [ addr (idx (v "m") (n 0)) ];
+      ];
+    fn "ring_pop" [] (Some u8)
+      [
+        call_void "mutex_lock" [ addr (idx (v "m") (n 0)) ];
+        while_ (v "fill" ==! n 0)
+          [ call_void "cond_wait" [ addr (idx (v "nonempty") (n 0)); addr (idx (v "m") (n 0)) ] ];
+        decl "x" u8 (Some (idx (v "ring") (v "rpos")));
+        set (v "rpos") ((v "rpos" +! n 1) %! n ring_size);
+        set (v "fill") (v "fill" -! n 1);
+        call_void "cond_signal" [ addr (idx (v "nonfull") (n 0)) ];
+        call_void "mutex_unlock" [ addr (idx (v "m") (n 0)) ];
+        ret (v "x");
+      ];
+  ]
+
+let unit_for ~nproducers ~nconsumers ~items_per_producer ~symbolic =
+  let total_items = nproducers * items_per_producer in
+  cunit ~entry:"main"
+    ~globals:
+      [
+        global "m" (Arr (u64, 3));
+        global "nonfull" (Arr (u64, 1));
+        global "nonempty" (Arr (u64, 1));
+        global "ring" (Arr (u8, ring_size));
+        global "fill" u32;
+        global "wpos" u32;
+        global "rpos" u32;
+        global "items" (Arr (u8, max total_items 1));
+        global "consumed" u32;
+        global "sink_ready" u32;
+        global "pipefds" (Arr (i32, 2));
+      ]
+    (Api.runtime @ ring_funcs
+    @ [
+        fn "producer" [ ("id", i64) ] None
+          [
+            for_range "i" ~from:(n 0) ~below:(n items_per_producer)
+              [
+                decl "item" u8
+                  (Some (idx (v "items") ((cast u32 (v "id") *! n items_per_producer) +! v "i")));
+                call_void "ring_push" [ v "item" ];
+              ];
+          ];
+        fn "consumer" [ ("c", i64) ] None
+          [
+            while_ (v "consumed" <! n total_items)
+              [
+                decl "x" u8 (Some (call "ring_pop" []));
+                set (v "consumed") (v "consumed" +! n 1);
+                (* data-dependent processing: classify then forward *)
+                decl_arr "msg" u8 2;
+                if_ (v "x" <! n 64)
+                  [ set (idx (v "msg") (n 0)) (chr 'l') ]
+                  [
+                    if_ (v "x" <! n 192)
+                      [ set (idx (v "msg") (n 0)) (chr 'm') ]
+                      [ set (idx (v "msg") (n 0)) (chr 'h') ];
+                  ];
+                set (idx (v "msg") (n 1)) (v "x");
+                expr (Api.write (v "c") (addr (idx (v "msg") (n 0))) (n 2));
+              ];
+          ];
+        (* the sink runs in a forked process: accumulates a checksum of
+           everything received over TCP, then reports it over the pipe *)
+        fn "sink_main" [] None
+          [
+            decl "s" i64 (Some (Api.socket Api.sock_stream));
+            expr (Api.bind (v "s") (n 7070));
+            expr (Api.listen (v "s"));
+            set (v "sink_ready") (n 1);
+            decl "c" i64 (Some (Api.accept (v "s")));
+            decl "sum" u32 (Some (n 0));
+            decl "seen" u32 (Some (n 0));
+            while_ (v "seen" <! n total_items)
+              [
+                decl_arr "b" u8 2;
+                decl "have" u32 (Some (n 0));
+                while_ (v "have" <! n 2)
+                  [
+                    decl "got" i64 (Some (Api.read (v "c") (addr (idx (v "b") (v "have"))) (n 1)));
+                    when_ (v "got" <=! n 0) [ expr (Api.exit_ (n 1)) ];
+                    incr_ "have";
+                  ];
+                set (v "sum") ((v "sum" *! n 7) +! cast u32 (idx (v "b") (n 1)));
+                incr_ "seen";
+              ];
+            decl_arr "out" u8 4;
+            set (idx (v "out") (n 0)) (cast u8 (v "sum"));
+            set (idx (v "out") (n 1)) (cast u8 (v "sum" >>! n 8));
+            set (idx (v "out") (n 2)) (cast u8 (v "sum" >>! n 16));
+            set (idx (v "out") (n 3)) (cast u8 (v "sum" >>! n 24));
+            expr (Api.write (cast i64 (idx (v "pipefds") (n 1))) (addr (idx (v "out") (n 0))) (n 4));
+            expr (Api.exit_ (n 0));
+          ];
+        fn "main" [] (Some u32)
+          (List.concat
+             [
+               [
+                 call_void "mutex_init" [ addr (idx (v "m") (n 0)) ];
+                 call_void "cond_init" [ addr (idx (v "nonfull") (n 0)) ];
+                 call_void "cond_init" [ addr (idx (v "nonempty") (n 0)) ];
+                 expr (Api.pipe (cast (Ptr u8) (addr (idx (v "pipefds") (n 0)))));
+               ];
+               (* shared globals must be visible to the forked sink; the
+                  pipe and the sink-ready flag cross the process boundary *)
+               [
+                 expr (Api.make_shared (addr (idx (v "pipefds") (n 0))));
+                 expr (Api.make_shared (addr (v "sink_ready")));
+               ];
+               (if symbolic then
+                  [ expr (Api.make_symbolic (addr (idx (v "items") (n 0))) (n total_items) "items") ]
+                else
+                  List.init total_items (fun i ->
+                      set (idx (v "items") (n i)) (n ((i * 37) land 0xff))));
+               [
+                 decl "pid" i64 (Some (Api.fork ()));
+                 when_ (v "pid" ==! n 0) [ call_void "sink_main" []; expr (Api.exit_ (n 0)) ];
+                 while_ (v "sink_ready" ==! n 0) [ expr (Api.thread_preempt ()) ];
+                 decl "c" i64 (Some (Api.socket Api.sock_stream));
+                 assert_ (Api.connect (v "c") (n 7070) ==! n 0) "connect to sink";
+               ];
+               List.init nproducers (fun i ->
+                   expr (Api.thread_create "producer" (n i)));
+               List.init nconsumers (fun _ -> expr (Api.thread_create "consumer" (v "c")));
+               [
+                 (* wait for the sink's checksum *)
+                 decl_arr "rep" u8 4;
+                 decl "have" u32 (Some (n 0));
+                 while_ (v "have" <! n 4)
+                   [
+                     decl "got" i64
+                       (Some (Api.read (cast i64 (idx (v "pipefds") (n 0))) (addr (idx (v "rep") (v "have"))) (n 1)));
+                     when_ (v "got" <=! n 0) [ halt (n 255) ];
+                     incr_ "have";
+                   ];
+                 expr (Api.waitpid (v "pid"));
+                 halt (cast u32 (idx (v "rep") (n 0)));
+               ];
+             ]);
+      ])
+
+let program ~nproducers ~nconsumers ~items_per_producer ~symbolic =
+  compile (unit_for ~nproducers ~nconsumers ~items_per_producer ~symbolic)

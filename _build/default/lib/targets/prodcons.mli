@@ -1,0 +1,23 @@
+(** The multi-threaded, multi-process producer-consumer benchmark of paper
+    section 7.1: producers feed a mutex+condvar ring buffer, consumers
+    classify items and forward them over TCP to a forked sink process,
+    which reports a checksum back through a pipe — every POSIX-model
+    feature in one program. *)
+
+val ring_size : int
+
+val unit_for :
+  nproducers:int ->
+  nconsumers:int ->
+  items_per_producer:int ->
+  symbolic:bool ->
+  Lang.Ast.comp_unit
+
+(** [symbolic] makes the produced items symbolic so exploration covers the
+    data-dependent consumer branches. *)
+val program :
+  nproducers:int ->
+  nconsumers:int ->
+  items_per_producer:int ->
+  symbolic:bool ->
+  Cvm.Program.t

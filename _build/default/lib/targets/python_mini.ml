@@ -1,0 +1,291 @@
+(* A miniature language interpreter standing in for the Python interpreter
+   of paper Table 4 ("Language interpreter", the largest target).
+
+   The language: integer expressions over single-letter variables with
+   [+ - * / % ( )], comparisons [< > =], and unary minus.  The pipeline is
+   a real interpreter's: a tokenizer, a shunting-yard translation to
+   postfix, and a stack-machine evaluator — three stages of input-
+   dependent branching, which is what makes interpreters prime symbolic
+   execution targets.
+
+   Error handling mirrors CPython's ethos: syntax errors and stack
+   underflows produce error codes, never crashes — the symbolic harness
+   doubles as a fuzzer proving that for all inputs of the given length. *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+(* token kinds *)
+let t_num = 1
+let t_var = 2
+let t_op = 3
+let t_lparen = 4
+let t_rparen = 5
+
+let funcs =
+  [
+    (* tokenize(src, len) -> token count, or -1 on bad character.
+       tokens are triples in globals: kind, value *)
+    fn "tokenize" [ ("src", Ptr u8); ("len", u32) ] (Some i32)
+      [
+        decl "i" u32 (Some (n 0));
+        decl "ntok" u32 (Some (n 0));
+        while_ (v "i" <! v "len" &&! (idx (v "src") (v "i") <>! n 0))
+          [
+            decl "c" u8 (Some (idx (v "src") (v "i")));
+            when_ (v "ntok" >=! n 16) [ ret (n (-2)) ]; (* too many tokens *)
+            if_ (v "c" ==! chr ' ')
+              [ incr_ "i" ]
+              [
+                if_ (v "c" >=! chr '0' &&! (v "c" <=! chr '9'))
+                  [
+                    (* number literal *)
+                    decl "acc" u32 (Some (n 0));
+                    while_
+                      (v "i" <! v "len"
+                      &&! (idx (v "src") (v "i") >=! chr '0')
+                      &&! (idx (v "src") (v "i") <=! chr '9'))
+                      [
+                        set (v "acc") ((v "acc" *! n 10) +! cast u32 (idx (v "src") (v "i") -! chr '0'));
+                        incr_ "i";
+                      ];
+                    set (idx (v "tok_kind") (v "ntok")) (n t_num);
+                    set (idx (v "tok_val") (v "ntok")) (v "acc");
+                    incr_ "ntok";
+                  ]
+                  [
+                    if_ (v "c" >=! chr 'a' &&! (v "c" <=! chr 'z'))
+                      [
+                        set (idx (v "tok_kind") (v "ntok")) (n t_var);
+                        set (idx (v "tok_val") (v "ntok")) (cast u32 (v "c" -! chr 'a'));
+                        incr_ "ntok";
+                        incr_ "i";
+                      ]
+                      [
+                        if_ (v "c" ==! chr '(')
+                          [
+                            set (idx (v "tok_kind") (v "ntok")) (n t_lparen);
+                            incr_ "ntok";
+                            incr_ "i";
+                          ]
+                          [
+                            if_ (v "c" ==! chr ')')
+                              [
+                                set (idx (v "tok_kind") (v "ntok")) (n t_rparen);
+                                incr_ "ntok";
+                                incr_ "i";
+                              ]
+                              [
+                                if_
+                                  (v "c" ==! chr '+' ||! (v "c" ==! chr '-') ||! (v "c" ==! chr '*')
+                                  ||! (v "c" ==! chr '/') ||! (v "c" ==! chr '%')
+                                  ||! (v "c" ==! chr '<') ||! (v "c" ==! chr '>')
+                                  ||! (v "c" ==! chr '='))
+                                  [
+                                    set (idx (v "tok_kind") (v "ntok")) (n t_op);
+                                    set (idx (v "tok_val") (v "ntok")) (cast u32 (v "c"));
+                                    incr_ "ntok";
+                                    incr_ "i";
+                                  ]
+                                  [ ret (n (-1)) ]; (* bad character *)
+                              ];
+                          ];
+                      ];
+                  ];
+              ];
+          ];
+        ret (cast i32 (v "ntok"));
+      ];
+    fn "precedence" [ ("op", u32) ] (Some u32)
+      [
+        when_ (v "op" ==! cast u32 (chr '*') ||! (v "op" ==! cast u32 (chr '/')) ||! (v "op" ==! cast u32 (chr '%')))
+          [ ret (n 3) ];
+        when_ (v "op" ==! cast u32 (chr '+') ||! (v "op" ==! cast u32 (chr '-'))) [ ret (n 2) ];
+        ret (n 1); (* comparisons *)
+      ];
+    (* shunting-yard: tokens -> postfix program in out_kind/out_val.
+       returns output length or -1 on syntax error. *)
+    fn "to_postfix" [ ("ntok", u32) ] (Some i32)
+      [
+        decl "out" u32 (Some (n 0));
+        decl "sp" u32 (Some (n 0)); (* operator stack pointer *)
+        decl "prev_operand" u32 (Some (n 0)); (* for unary minus and syntax checks *)
+        for_range "k" ~from:(n 0) ~below:(v "ntok")
+          [
+            decl "kind" u32 (Some (idx (v "tok_kind") (v "k")));
+            if_ (v "kind" ==! n t_num ||! (v "kind" ==! n t_var))
+              [
+                when_ (v "prev_operand" ==! n 1) [ ret (n (-1)) ]; (* two operands in a row *)
+                set (idx (v "out_kind") (v "out")) (v "kind");
+                set (idx (v "out_val") (v "out")) (idx (v "tok_val") (v "k"));
+                incr_ "out";
+                set (v "prev_operand") (n 1);
+              ]
+              [
+                if_ (v "kind" ==! n t_lparen)
+                  [
+                    when_ (v "sp" >=! n 16) [ ret (n (-2)) ];
+                    set (idx (v "op_stack") (v "sp")) (n 0); (* 0 marks '(' *)
+                    incr_ "sp";
+                    set (v "prev_operand") (n 0);
+                  ]
+                  [
+                    if_ (v "kind" ==! n t_rparen)
+                      [
+                        while_ (v "sp" >! n 0 &&! (idx (v "op_stack") (v "sp" -! n 1) <>! n 0))
+                          [
+                            decr_ "sp";
+                            set (idx (v "out_kind") (v "out")) (n t_op);
+                            set (idx (v "out_val") (v "out")) (idx (v "op_stack") (v "sp"));
+                            incr_ "out";
+                          ];
+                        when_ (v "sp" ==! n 0) [ ret (n (-1)) ]; (* unmatched ')' *)
+                        decr_ "sp"; (* pop '(' *)
+                        set (v "prev_operand") (n 1);
+                      ]
+                      [
+                        (* operator: unary minus becomes "0 x -" *)
+                        decl "op" u32 (Some (idx (v "tok_val") (v "k")));
+                        when_
+                          (v "prev_operand" ==! n 0 &&! (v "op" ==! cast u32 (chr '-')))
+                          [
+                            set (idx (v "out_kind") (v "out")) (n t_num);
+                            set (idx (v "out_val") (v "out")) (n 0);
+                            incr_ "out";
+                            set (v "prev_operand") (n 1);
+                          ];
+                        when_ (v "prev_operand" ==! n 0) [ ret (n (-1)) ]; (* binary op without lhs *)
+                        while_
+                          (v "sp" >! n 0
+                          &&! (idx (v "op_stack") (v "sp" -! n 1) <>! n 0)
+                          &&! (call "precedence" [ idx (v "op_stack") (v "sp" -! n 1) ]
+                              >=! call "precedence" [ v "op" ]))
+                          [
+                            decr_ "sp";
+                            set (idx (v "out_kind") (v "out")) (n t_op);
+                            set (idx (v "out_val") (v "out")) (idx (v "op_stack") (v "sp"));
+                            incr_ "out";
+                          ];
+                        when_ (v "sp" >=! n 16) [ ret (n (-2)) ];
+                        set (idx (v "op_stack") (v "sp")) (v "op");
+                        incr_ "sp";
+                        set (v "prev_operand") (n 0);
+                      ];
+                  ];
+              ];
+          ];
+        when_ (v "prev_operand" ==! n 0) [ ret (n (-1)) ]; (* trailing operator *)
+        while_ (v "sp" >! n 0)
+          [
+            decr_ "sp";
+            when_ (idx (v "op_stack") (v "sp") ==! n 0) [ ret (n (-1)) ]; (* unmatched '(' *)
+            set (idx (v "out_kind") (v "out")) (n t_op);
+            set (idx (v "out_val") (v "out")) (idx (v "op_stack") (v "sp"));
+            incr_ "out";
+          ];
+        ret (cast i32 (v "out"));
+      ];
+    (* evaluate the postfix program; variables read from the preset
+       environment.  returns the value; division by zero -> 0xDEAD. *)
+    fn "eval_postfix" [ ("nout", u32) ] (Some u32)
+      [
+        decl "sp" u32 (Some (n 0));
+        for_range "k" ~from:(n 0) ~below:(v "nout")
+          [
+            decl "kind" u32 (Some (idx (v "out_kind") (v "k")));
+            if_ (v "kind" ==! n t_num)
+              [
+                set (idx (v "val_stack") (v "sp")) (idx (v "out_val") (v "k"));
+                incr_ "sp";
+              ]
+              [
+                if_ (v "kind" ==! n t_var)
+                  [
+                    set (idx (v "val_stack") (v "sp"))
+                      (idx (v "var_env") (idx (v "out_val") (v "k") %! n 26));
+                    incr_ "sp";
+                  ]
+                  [
+                    (* operator: pop two, push one *)
+                    when_ (v "sp" <! n 2) [ ret (n 0xBAD) ];
+                    decl "b" u32 (Some (idx (v "val_stack") (v "sp" -! n 1)));
+                    decl "a" u32 (Some (idx (v "val_stack") (v "sp" -! n 2)));
+                    set (v "sp") (v "sp" -! n 2);
+                    decl "op" u32 (Some (idx (v "out_val") (v "k")));
+                    decl "r" u32 (Some (n 0));
+                    when_ (v "op" ==! cast u32 (chr '+')) [ set (v "r") (v "a" +! v "b") ];
+                    when_ (v "op" ==! cast u32 (chr '-')) [ set (v "r") (v "a" -! v "b") ];
+                    when_ (v "op" ==! cast u32 (chr '*')) [ set (v "r") (v "a" *! v "b") ];
+                    when_ (v "op" ==! cast u32 (chr '/'))
+                      [ if_ (v "b" ==! n 0) [ ret (n 0xDEAD) ] [ set (v "r") (v "a" /! v "b") ] ];
+                    when_ (v "op" ==! cast u32 (chr '%'))
+                      [ if_ (v "b" ==! n 0) [ ret (n 0xDEAD) ] [ set (v "r") (v "a" %! v "b") ] ];
+                    when_ (v "op" ==! cast u32 (chr '<'))
+                      [ set (v "r") (cond (v "a" <! v "b") (n 1) (n 0)) ];
+                    when_ (v "op" ==! cast u32 (chr '>'))
+                      [ set (v "r") (cond (v "a" >! v "b") (n 1) (n 0)) ];
+                    when_ (v "op" ==! cast u32 (chr '='))
+                      [ set (v "r") (cond (v "a" ==! v "b") (n 1) (n 0)) ];
+                    set (idx (v "val_stack") (v "sp")) (v "r");
+                    incr_ "sp";
+                  ];
+              ];
+          ];
+        when_ (v "sp" <>! n 1) [ ret (n 0xBAD) ];
+        ret (idx (v "val_stack") (n 0));
+      ];
+    (* the interpreter entry: returns 1000+value, or 1/2 for errors *)
+    fn "interpret" [ ("src", Ptr u8); ("len", u32) ] (Some u32)
+      [
+        decl "ntok" i32 (Some (call "tokenize" [ v "src"; v "len" ]));
+        when_ (v "ntok" <! n 0) [ ret (n 1) ]; (* lex error *)
+        when_ (v "ntok" ==! n 0) [ ret (n 2) ]; (* empty program *)
+        decl "nout" i32 (Some (call "to_postfix" [ cast u32 (v "ntok") ]));
+        when_ (v "nout" <! n 0) [ ret (n 2) ]; (* syntax error *)
+        ret (n 1000 +! call "eval_postfix" [ cast u32 (v "nout") ]);
+      ];
+  ]
+
+let globals =
+  [
+    global "tok_kind" (Arr (u32, 16));
+    global "tok_val" (Arr (u32, 16));
+    global "op_stack" (Arr (u32, 16));
+    global "out_kind" (Arr (u32, 32));
+    global "out_val" (Arr (u32, 32));
+    global "val_stack" (Arr (u32, 32));
+    global "var_env" (Arr (u32, 26));
+  ]
+
+let env_setup =
+  (* a..z preset to small primes so evaluation results discriminate *)
+  List.init 26 (fun i -> set (idx (v "var_env") (n i)) (n ((i * 7 mod 23) + 1)))
+
+let symbolic_unit ~src_len =
+  cunit ~entry:"main" ~globals
+    (funcs
+    @ [
+        fn "main" [] (Some u32)
+          (env_setup
+          @ [
+              decl_arr "src" u8 src_len;
+              expr (Api.make_symbolic (addr (idx (v "src") (n 0))) (n src_len) "src");
+              halt (call "interpret" [ addr (idx (v "src") (n 0)); n src_len ]);
+            ]);
+      ])
+
+let program ~src_len = compile (symbolic_unit ~src_len)
+
+let concrete_unit ~src =
+  let len = String.length src in
+  cunit ~entry:"main" ~globals
+    (funcs
+    @ [
+        fn "main" [] (Some u32)
+          (env_setup
+          @ [ decl_arr "buf" u8 (max len 1) ]
+          @ List.init len (fun i -> set (idx (v "buf") (n i)) (chr src.[i]))
+          @ [ halt (call "interpret" [ addr (idx (v "buf") (n 0)); n len ]) ]);
+      ])
+
+let concrete_program ~src = compile (concrete_unit ~src)

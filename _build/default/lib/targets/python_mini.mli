@@ -1,0 +1,13 @@
+(** A miniature language interpreter (paper Table 4's "Language
+    interpreter"): tokenizer, shunting-yard translation, and stack-machine
+    evaluation of integer expressions over single-letter variables.
+    Interpretation returns [1000 + value]; lex errors return 1, syntax
+    errors 2, division by zero [1000 + 0xDEAD] — never a crash, which the
+    symbolic harness proves for all inputs of the given length. *)
+
+val funcs : Lang.Ast.func list
+val globals : Lang.Ast.global list
+val symbolic_unit : src_len:int -> Lang.Ast.comp_unit
+val program : src_len:int -> Cvm.Program.t
+val concrete_unit : src:string -> Lang.Ast.comp_unit
+val concrete_program : src:string -> Cvm.Program.t

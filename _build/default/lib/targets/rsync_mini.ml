@@ -1,0 +1,160 @@
+(* A miniature of rsync's delta algorithm — the second "Network utility"
+   of paper Table 4.
+
+   The real algorithm: split the old file into fixed blocks, index them by
+   a rolling weak checksum, slide a window over the new data, and emit
+   COPY ops for checksum matches (verified byte-for-byte) and LITERAL ops
+   otherwise.  This miniature implements exactly that over small buffers:
+   an adler-style rolling checksum, a block table, the sliding-window
+   matcher, and an op-stream encoder — then replays the op stream to
+   verify it reconstructs the new data (the correctness assertion the
+   symbolic harness turns into a proof over all inputs of that length). *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+let block = 4
+let old_data = "the quick brown fox!"
+let old_len = String.length old_data
+let nblocks = old_len / block
+
+let funcs =
+  [
+    (* adler-ish weak checksum of [p, p+block); the modulus is a power of
+       two (a bit mask) so the symbolic formula stays a cheap circuit —
+       adler's 65521 would drag a 64-bit division into every window *)
+    fn "weak_sum" [ ("p", Ptr u8) ] (Some u32)
+      [
+        decl "a" u32 (Some (n 0));
+        decl "b" u32 (Some (n 0));
+        for_range "i" ~from:(n 0) ~below:(n block)
+          [
+            set (v "a") ((v "a" +! cast u32 (idx (v "p") (v "i"))) &! n 0xFFF);
+            set (v "b") ((v "b" +! v "a") &! n 0xFFF);
+          ];
+        ret ((v "b" <<! n 16) |! v "a");
+      ];
+    fn "blocks_equal" [ ("p", Ptr u8); ("q", Ptr u8) ] (Some u32)
+      [
+        for_range "i" ~from:(n 0) ~below:(n block)
+          [ when_ (idx (v "p") (v "i") <>! idx (v "q") (v "i")) [ ret (n 0) ] ];
+        ret (n 1);
+      ];
+    (* index the old file's blocks *)
+    fn "build_table" [] None
+      [
+        for_range "bi" ~from:(n 0) ~below:(n nblocks)
+          [
+            set (idx (v "table_sum") (v "bi"))
+              (call "weak_sum" [ addr (idx (v "old") (v "bi" *! n block)) ]);
+          ];
+      ];
+    (* delta(new, len): emit ops into op_kind/op_val; returns op count.
+       op_kind 1 = COPY block #op_val, 0 = LITERAL byte op_val *)
+    fn "delta" [ ("ndata", Ptr u8); ("len", u32) ] (Some u32)
+      [
+        decl "i" u32 (Some (n 0));
+        decl "nops" u32 (Some (n 0));
+        while_ (v "i" <! v "len")
+          [
+            decl "matched" u32 (Some (n 0));
+            when_ (v "i" +! n block <=! v "len")
+              [
+                decl "ws" u32 (Some (call "weak_sum" [ addr (idx (v "ndata") (v "i")) ]));
+                for_range "bi" ~from:(n 0) ~below:(n nblocks)
+                  [
+                    when_
+                      (v "matched" ==! n 0
+                      &&! (idx (v "table_sum") (v "bi") ==! v "ws")
+                      &&! (call "blocks_equal"
+                             [ addr (idx (v "ndata") (v "i")); addr (idx (v "old") (v "bi" *! n block)) ]
+                          ==! n 1))
+                      [
+                        set (idx (v "op_kind") (v "nops")) (n 1);
+                        set (idx (v "op_val") (v "nops")) (v "bi");
+                        incr_ "nops";
+                        set (v "i") (v "i" +! n block);
+                        set (v "matched") (n 1);
+                      ];
+                  ];
+              ];
+            when_ (v "matched" ==! n 0)
+              [
+                set (idx (v "op_kind") (v "nops")) (n 0);
+                set (idx (v "op_val") (v "nops")) (cast u32 (idx (v "ndata") (v "i")));
+                incr_ "nops";
+                incr_ "i";
+              ];
+          ];
+        ret (v "nops");
+      ];
+    (* apply the op stream; returns reconstructed length *)
+    fn "patch" [ ("nops", u32) ] (Some u32)
+      [
+        decl "w" u32 (Some (n 0));
+        for_range "k" ~from:(n 0) ~below:(v "nops")
+          [
+            if_ (idx (v "op_kind") (v "k") ==! n 1)
+              [
+                decl "base" u32 (Some (idx (v "op_val") (v "k") *! n block));
+                for_range "j" ~from:(n 0) ~below:(n block)
+                  [ set (idx (v "recon") (v "w" +! v "j")) (idx (v "old") (v "base" +! v "j")) ];
+                set (v "w") (v "w" +! n block);
+              ]
+              [
+                set (idx (v "recon") (v "w")) (cast u8 (idx (v "op_val") (v "k")));
+                incr_ "w";
+              ];
+          ];
+        ret (v "w");
+      ];
+    (* end-to-end: delta then patch must reproduce the input *)
+    fn "roundtrip" [ ("ndata", Ptr u8); ("len", u32) ] (Some u32)
+      [
+        call_void "build_table" [];
+        decl "nops" u32 (Some (call "delta" [ v "ndata"; v "len" ]));
+        decl "rl" u32 (Some (call "patch" [ v "nops" ]));
+        assert_ (v "rl" ==! v "len") "patch reconstructs the original length";
+        for_range "i" ~from:(n 0) ~below:(v "len")
+          [ assert_ (idx (v "recon") (v "i") ==! idx (v "ndata") (v "i")) "byte-exact reconstruction" ];
+        ret (v "nops");
+      ];
+  ]
+
+let globals =
+  [
+    { Lang.Ast.gname = "old"; gty = Arr (u8, old_len); ginit = Some old_data };
+    global "table_sum" (Arr (u32, nblocks));
+    global "op_kind" (Arr (u32, 32));
+    global "op_val" (Arr (u32, 32));
+    global "recon" (Arr (u8, 32));
+  ]
+
+(* Symbolic new-file contents: exhaustive exploration proves delta+patch
+   reconstruct every input of this length. *)
+let symbolic_unit ~new_len =
+  cunit ~entry:"main" ~globals
+    (funcs
+    @ [
+        fn "main" [] (Some u32)
+          [
+            decl_arr "ndata" u8 new_len;
+            expr (Api.make_symbolic (addr (idx (v "ndata") (n 0))) (n new_len) "new");
+            halt (call "roundtrip" [ addr (idx (v "ndata") (n 0)); n new_len ]);
+          ];
+      ])
+
+let program ~new_len = compile (symbolic_unit ~new_len)
+
+let concrete_unit ~data =
+  let len = String.length data in
+  cunit ~entry:"main" ~globals
+    (funcs
+    @ [
+        fn "main" [] (Some u32)
+          ([ decl_arr "buf" u8 (max len 1) ]
+          @ List.init len (fun i -> set (idx (v "buf") (n i)) (chr data.[i]))
+          @ [ halt (call "roundtrip" [ addr (idx (v "buf") (n 0)); n len ]) ]);
+      ])
+
+let concrete_program ~data = compile (concrete_unit ~data)

@@ -1,0 +1,15 @@
+(** A miniature of rsync's delta algorithm (paper Table 4's second
+    "Network utility"): rolling weak checksums, a block table, a
+    sliding-window matcher emitting COPY/LITERAL ops, and the patcher —
+    with assertions that patching the delta reconstructs the input
+    byte-for-byte, which the symbolic harness proves for every input of
+    the given length. *)
+
+val block : int
+val old_data : string
+val funcs : Lang.Ast.func list
+val globals : Lang.Ast.global list
+val symbolic_unit : new_len:int -> Lang.Ast.comp_unit
+val program : new_len:int -> Cvm.Program.t
+val concrete_unit : data:string -> Lang.Ast.comp_unit
+val concrete_program : data:string -> Cvm.Program.t

@@ -1,0 +1,198 @@
+(* A miniature of the UNIX [test] ('[') utility: evaluates a boolean
+   expression given as argv-style tokens (Fig. 10's second small-utility
+   workload).  Supported grammar, evaluated left to right:
+
+     expr    := clause (('-a' | '-o') clause)*
+     clause  := ['!'] primary
+     primary := '-z' WORD | '-n' WORD
+              | WORD '=' WORD | WORD '!=' WORD
+              | NUM '-eq' NUM | '-ne' | '-lt' | '-gt'
+              | WORD                        (nonempty test)
+
+   Tokens live in a fixed argv matrix of NUL-padded 4-byte cells; the
+   symbolic harness makes all cells symbolic. *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+let token_size = 4
+
+(* tok(k) = &argv[k * token_size] *)
+let funcs =
+  [
+    fn "tok" [ ("k", u32) ] (Some (Ptr u8)) [ ret (addr (idx (v "argv") (v "k" *! n token_size))) ];
+    fn "is_num" [ ("s", Ptr u8) ] (Some u32)
+      [
+        decl "i" u32 (Some (n 0));
+        when_ (idx (v "s") (n 0) ==! n 0) [ ret (n 0) ];
+        while_ (v "i" <! n token_size &&! (idx (v "s") (v "i") <>! n 0))
+          [
+            when_ (idx (v "s") (v "i") <! chr '0' ||! (idx (v "s") (v "i") >! chr '9')) [ ret (n 0) ];
+            incr_ "i";
+          ];
+        ret (n 1);
+      ];
+    fn "atoi" [ ("s", Ptr u8) ] (Some u32)
+      [
+        decl "acc" u32 (Some (n 0));
+        decl "i" u32 (Some (n 0));
+        while_ (v "i" <! n token_size &&! (idx (v "s") (v "i") >=! chr '0') &&! (idx (v "s") (v "i") <=! chr '9'))
+          [ set (v "acc") ((v "acc" *! n 10) +! cast u32 (idx (v "s") (v "i") -! chr '0')); incr_ "i" ];
+        ret (v "acc");
+      ];
+    (* bounded string equality over token cells *)
+    fn "tok_eq" [ ("a", Ptr u8); ("b", Ptr u8) ] (Some u32)
+      [
+        for_range "i" ~from:(n 0) ~below:(n token_size)
+          [
+            when_ (idx (v "a") (v "i") <>! idx (v "b") (v "i")) [ ret (n 0) ];
+            when_ (idx (v "a") (v "i") ==! n 0) [ ret (n 1) ];
+          ];
+        ret (n 1);
+      ];
+    (* primary(k, out_consumed) -> truth value; consumed written to global *)
+    fn "primary" [ ("k", u32); ("argc", u32) ] (Some u32)
+      [
+        decl "t" (Ptr u8) (Some (call "tok" [ v "k" ]));
+        (* unary operators *)
+        when_
+          (idx (v "t") (n 0) ==! chr '-' &&! (idx (v "t") (n 1) ==! chr 'z') &&! (idx (v "t") (n 2) ==! n 0)
+          &&! (v "k" +! n 1 <! v "argc"))
+          [
+            set (v "consumed") (n 2);
+            decl "wz" (Ptr u8) (Some (call "tok" [ v "k" +! n 1 ]));
+            ret (cond (idx (v "wz") (n 0) ==! n 0) (n 1) (n 0));
+          ];
+        when_
+          (idx (v "t") (n 0) ==! chr '-' &&! (idx (v "t") (n 1) ==! chr 'n') &&! (idx (v "t") (n 2) ==! n 0)
+          &&! (v "k" +! n 1 <! v "argc"))
+          [
+            set (v "consumed") (n 2);
+            decl "wn" (Ptr u8) (Some (call "tok" [ v "k" +! n 1 ]));
+            ret (cond (idx (v "wn") (n 0) <>! n 0) (n 1) (n 0));
+          ];
+        (* binary operators: need k+2 < argc *)
+        when_ (v "k" +! n 2 <=! v "argc" -! n 1)
+          [
+            decl "op" (Ptr u8) (Some (call "tok" [ v "k" +! n 1 ]));
+            decl "rhs" (Ptr u8) (Some (call "tok" [ v "k" +! n 2 ]));
+            (* string = and != *)
+            when_ (idx (v "op") (n 0) ==! chr '=' &&! (idx (v "op") (n 1) ==! n 0))
+              [ set (v "consumed") (n 3); ret (call "tok_eq" [ v "t"; v "rhs" ]) ];
+            when_
+              (idx (v "op") (n 0) ==! chr '!' &&! (idx (v "op") (n 1) ==! chr '=')
+              &&! (idx (v "op") (n 2) ==! n 0))
+              [
+                set (v "consumed") (n 3);
+                ret (cond (call "tok_eq" [ v "t"; v "rhs" ] ==! n 0) (n 1) (n 0));
+              ];
+            (* numeric comparisons *)
+            when_
+              (idx (v "op") (n 0) ==! chr '-' &&! (call "is_num" [ v "t" ] ==! n 1)
+              &&! (call "is_num" [ v "rhs" ] ==! n 1))
+              [
+                decl "a" u32 (Some (call "atoi" [ v "t" ]));
+                decl "b" u32 (Some (call "atoi" [ v "rhs" ]));
+                decl "o1" u8 (Some (idx (v "op") (n 1)));
+                decl "o2" u8 (Some (idx (v "op") (n 2)));
+                set (v "consumed") (n 3);
+                when_ (v "o1" ==! chr 'e' &&! (v "o2" ==! chr 'q'))
+                  [ ret (cond (v "a" ==! v "b") (n 1) (n 0)) ];
+                when_ (v "o1" ==! chr 'n' &&! (v "o2" ==! chr 'e'))
+                  [ ret (cond (v "a" <>! v "b") (n 1) (n 0)) ];
+                when_ (v "o1" ==! chr 'l' &&! (v "o2" ==! chr 't'))
+                  [ ret (cond (v "a" <! v "b") (n 1) (n 0)) ];
+                when_ (v "o1" ==! chr 'g' &&! (v "o2" ==! chr 't'))
+                  [ ret (cond (v "a" >! v "b") (n 1) (n 0)) ];
+                (* unknown numeric operator *)
+                set (v "consumed") (n 1);
+              ];
+          ];
+        (* bare word: true when nonempty *)
+        set (v "consumed") (n 1);
+        ret (cond (idx (v "t") (n 0) <>! n 0) (n 1) (n 0));
+      ];
+    fn "eval_expr" [ ("argc", u32) ] (Some u32)
+      [
+        decl "k" u32 (Some (n 0));
+        decl "result" u32 (Some (n 1));
+        decl "pending_op" u8 (Some (chr 'a')); (* 'a' = and, 'o' = or *)
+        decl "first" u32 (Some (n 1));
+        while_ (v "k" <! v "argc")
+          [
+            (* optional negation *)
+            decl "negate" u32 (Some (n 0));
+            decl "t0" (Ptr u8) (Some (call "tok" [ v "k" ]));
+            while_
+              (v "k" <! v "argc" &&! (idx (v "t0") (n 0) ==! chr '!') &&! (idx (v "t0") (n 1) ==! n 0))
+              [
+                set (v "negate") (cond (v "negate" ==! n 0) (n 1) (n 0));
+                incr_ "k";
+                when_ (v "k" >=! v "argc") [ halt (n 2) ]; (* syntax error *)
+                set (v "t0") (call "tok" [ v "k" ]);
+              ];
+            decl "val" u32 (Some (call "primary" [ v "k"; v "argc" ]));
+            set (v "k") (v "k" +! v "consumed");
+            when_ (v "negate" ==! n 1) [ set (v "val") (cond (v "val" ==! n 0) (n 1) (n 0)) ];
+            if_ (v "first" ==! n 1)
+              [ set (v "result") (v "val"); set (v "first") (n 0) ]
+              [
+                if_ (v "pending_op" ==! chr 'a')
+                  [ set (v "result") (cond (v "result" <>! n 0 &&! (v "val" <>! n 0)) (n 1) (n 0)) ]
+                  [ set (v "result") (cond (v "result" <>! n 0 ||! (v "val" <>! n 0)) (n 1) (n 0)) ];
+              ];
+            (* connective *)
+            when_ (v "k" <! v "argc")
+              [
+                decl "conn" (Ptr u8) (Some (call "tok" [ v "k" ]));
+                if_
+                  (idx (v "conn") (n 0) ==! chr '-' &&! (idx (v "conn") (n 1) ==! chr 'a')
+                  &&! (idx (v "conn") (n 2) ==! n 0))
+                  [ set (v "pending_op") (chr 'a'); incr_ "k" ]
+                  [
+                    if_
+                      (idx (v "conn") (n 0) ==! chr '-' &&! (idx (v "conn") (n 1) ==! chr 'o')
+                      &&! (idx (v "conn") (n 2) ==! n 0))
+                      [ set (v "pending_op") (chr 'o'); incr_ "k" ]
+                      [ halt (n 2) ]; (* syntax error *)
+                  ];
+              ];
+          ];
+        (* exit status: 0 = true, 1 = false, as the real utility *)
+        ret (cond (v "result" <>! n 0) (n 0) (n 1));
+      ];
+  ]
+
+let globals ~ntokens =
+  [ global "argv" (Arr (u8, ntokens * token_size)); global "consumed" u32 ]
+
+(* All argv cells symbolic. *)
+let symbolic_unit ~ntokens =
+  cunit ~entry:"main" ~globals:(globals ~ntokens)
+    (funcs
+    @ [
+        fn "main" [] (Some u32)
+          [
+            expr
+              (Api.make_symbolic (addr (idx (v "argv") (n 0))) (n (ntokens * token_size)) "argv");
+            halt (call "eval_expr" [ n ntokens ]);
+          ];
+      ])
+
+let program ~ntokens = compile (symbolic_unit ~ntokens)
+
+(* Concrete harness: tokens provided as a list of strings. *)
+let concrete_unit tokens =
+  let ntokens = List.length tokens in
+  let setup =
+    List.concat
+      (List.mapi
+         (fun k tok ->
+           List.init (String.length tok) (fun i ->
+               set (idx (v "argv") (n ((k * token_size) + i))) (chr tok.[i])))
+         tokens)
+  in
+  cunit ~entry:"main" ~globals:(globals ~ntokens)
+    (funcs @ [ fn "main" [] (Some u32) (setup @ [ halt (call "eval_expr" [ n ntokens ]) ]) ])
+
+let concrete_program tokens = compile (concrete_unit tokens)

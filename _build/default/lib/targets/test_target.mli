@@ -1,0 +1,17 @@
+(** A miniature of the UNIX [test] ('[') utility (Fig. 10's second small
+    workload): evaluates boolean expressions over argv-style tokens
+    ([-z]/[-n], [=]/[!=], [-eq]/[-ne]/[-lt]/[-gt], [!], [-a]/[-o]). *)
+
+val token_size : int
+val funcs : Lang.Ast.func list
+
+(** All argv cells symbolic. *)
+val symbolic_unit : ntokens:int -> Lang.Ast.comp_unit
+
+val program : ntokens:int -> Cvm.Program.t
+
+(** Concrete harness over the given tokens; exits 0 for true, 1 for
+    false, 2 on syntax errors, as the real utility. *)
+val concrete_unit : string list -> Lang.Ast.comp_unit
+
+val concrete_program : string list -> Cvm.Program.t

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Bytes Cluster Cvm Engine Lang Lazy List Printf Random Smt

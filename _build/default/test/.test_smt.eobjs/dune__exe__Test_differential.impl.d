@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Engine Int64 Lang List Printf QCheck2 QCheck_alcotest Random

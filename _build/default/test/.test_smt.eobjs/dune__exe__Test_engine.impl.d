@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Char Cvm Engine Lang List Random Smt String

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Cvm Engine Lang List Random

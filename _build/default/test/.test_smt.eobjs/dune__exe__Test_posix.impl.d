@@ -1,0 +1,1 @@
+test/test_posix.ml: Alcotest Char Cvm Engine Int64 Lang List Posix Random

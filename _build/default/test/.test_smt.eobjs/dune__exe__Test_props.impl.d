@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Cluster Cvm Engine Hashtbl Int64 Lang List Posix QCheck2 QCheck_alcotest Random Smt

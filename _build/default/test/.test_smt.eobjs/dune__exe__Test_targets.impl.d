@@ -1,0 +1,1 @@
+test/test_targets.ml: Alcotest Cvm Engine List Posix Printf Random Smt String Targets

@@ -1,0 +1,1 @@
+test/test_targets2.ml: Alcotest Cvm Engine Int64 List Posix Random Smt String Targets

@@ -1,0 +1,254 @@
+(* Tests for the cluster layer: completeness and disjointness of the
+   dynamic tree partitioning (the union of all workers' explorations must
+   equal exactly the single-node exploration), job transfer and lazy
+   replay, load balancing, and the trie/job-encoding utilities. *)
+
+open Lang.Builder
+module Path = Engine.Path
+
+let sys_make_symbolic = 11
+
+let mk_symbolic arr len name =
+  expr (syscall sys_make_symbolic [ addr (idx (v arr) (n 0)); n len; str name ])
+
+(* A parser-ish workload: classify 4 symbolic bytes into 3 classes each
+   (3^4 = 81 paths) with some extra work per byte. *)
+let workload =
+  compile
+    (cunit ~entry:"main"
+       [
+         fn "classify" [ ("c", u8) ] (Some u32)
+           [
+             if_ (v "c" <! chr 'a') [ ret (n 0) ] [];
+             if_ (v "c" <=! chr 'z') [ ret (n 1) ] [];
+             ret (n 2);
+           ];
+         fn "main" [] (Some u32)
+           [
+             decl_arr "x" u8 6;
+             mk_symbolic "x" 6 "x";
+             decl "acc" u32 (Some (n 0));
+             for_range "i" ~from:(n 0) ~below:(n 6)
+               [ set (v "acc") ((v "acc" *! n 3) +! call "classify" [ idx (v "x") (v "i") ]) ];
+             halt (v "acc");
+           ];
+       ])
+
+let reference_path_count =
+  lazy
+    (let rng = Random.State.make [| 3 |] in
+     let searcher = Engine.Searcher.of_name ~rng "dfs" in
+     let _cfg, result = Engine.Driver.run_pure ~searcher workload ~args:[] in
+     assert (result.Engine.Driver.exhausted);
+     result.Engine.Driver.paths_explored)
+
+let make_worker ?(global_alloc = None) ?(collect_tests = 0) program i =
+  let solver = Smt.Solver.create () in
+  let cfg =
+    Engine.Executor.make_config ~solver ~handler:Engine.Executor.no_env_handler
+      ~nlines:program.Cvm.Program.nlines ~global_alloc ()
+  in
+  let make_root () = Engine.State.init program ~env:() ~args:[] in
+  Cluster.Worker.create ~id:i ~cfg ~make_root ~seed:1234 ~collect_tests ()
+
+let run_cluster ?(nworkers = 4) ?lb_disable_at ?(speed = 500) program =
+  let cfg =
+    {
+      (Cluster.Driver.default_config ~nworkers ~make_worker:(make_worker program)
+         ~coverable_lines:(List.length (Cvm.Program.covered_lines program))
+         ())
+      with
+      Cluster.Driver.speed = (fun _ -> speed);
+      status_interval = 5;
+      lb_disable_at;
+      max_ticks = 200_000;
+    }
+  in
+  Cluster.Driver.run cfg
+
+(* --- completeness and disjointness ------------------------------------------------ *)
+
+let test_single_worker_exhausts () =
+  let result = run_cluster ~nworkers:1 workload in
+  Alcotest.(check bool) "reached goal" true result.Cluster.Driver.reached_goal;
+  Alcotest.(check int) "same path count as single-node engine"
+    (Lazy.force reference_path_count) result.Cluster.Driver.total_paths
+
+let test_multi_worker_exhausts_exactly () =
+  List.iter
+    (fun nworkers ->
+      let result = run_cluster ~nworkers workload in
+      Alcotest.(check bool) (Printf.sprintf "%d workers reach goal" nworkers) true
+        result.Cluster.Driver.reached_goal;
+      (* completeness (no lost subtree) and disjointness (no duplicated
+         subtree) together force exact equality *)
+      Alcotest.(check int)
+        (Printf.sprintf "%d workers: exact path count" nworkers)
+        (Lazy.force reference_path_count) result.Cluster.Driver.total_paths;
+      Alcotest.(check int)
+        (Printf.sprintf "%d workers: no broken replays" nworkers)
+        0 result.Cluster.Driver.broken_replays)
+    [ 2; 4; 8 ]
+
+let test_transfers_happen () =
+  let result = run_cluster ~nworkers:4 workload in
+  Alcotest.(check bool) "jobs were transferred" true (result.Cluster.Driver.transfers > 0)
+
+let test_all_workers_contribute () =
+  let result = run_cluster ~nworkers:4 workload in
+  List.iter
+    (fun (id, useful) ->
+      Alcotest.(check bool) (Printf.sprintf "worker %d did useful work" id) true (useful > 0))
+    result.Cluster.Driver.per_worker_useful
+
+let test_more_workers_faster () =
+  (* slow per-worker speed so parallelism matters *)
+  let r1 = run_cluster ~nworkers:1 ~speed:200 workload in
+  let r4 = run_cluster ~nworkers:4 ~speed:200 workload in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 workers (%d ticks) beat 1 worker (%d ticks)" r4.Cluster.Driver.ticks
+       r1.Cluster.Driver.ticks)
+    true
+    (r4.Cluster.Driver.ticks < r1.Cluster.Driver.ticks)
+
+let test_lb_disable_hurts () =
+  let on = run_cluster ~nworkers:8 ~speed:200 workload in
+  let off = run_cluster ~nworkers:8 ~speed:200 ~lb_disable_at:1 workload in
+  (* with balancing disabled immediately, only the seeded worker makes
+     progress, so exhaustion takes much longer *)
+  Alcotest.(check bool)
+    (Printf.sprintf "LB off (%d ticks) slower than LB on (%d ticks)" off.Cluster.Driver.ticks
+       on.Cluster.Driver.ticks)
+    true
+    (off.Cluster.Driver.ticks > on.Cluster.Driver.ticks)
+
+(* --- worker-level mechanics ----------------------------------------------------------- *)
+
+let test_worker_transfer_fences_source () =
+  let w = make_worker workload 0 in
+  Cluster.Worker.seed_root w;
+  (* run a bit to grow the frontier *)
+  ignore (Cluster.Worker.execute w ~budget:800);
+  let before = Cluster.Worker.queue_length w in
+  Alcotest.(check bool) "frontier grew" true (before > 2);
+  let jobs = Cluster.Worker.transfer_out w ~count:2 in
+  Alcotest.(check int) "two jobs out" 2 (List.length jobs);
+  Alcotest.(check int) "frontier shrank" (before - 2) (Cluster.Worker.queue_length w);
+  Alcotest.(check int) "fence nodes recorded" 2 (Cluster.Worker.fence_count w)
+
+let test_worker_replays_virtual_jobs () =
+  let src = make_worker workload 0 in
+  Cluster.Worker.seed_root src;
+  ignore (Cluster.Worker.execute src ~budget:800);
+  let jobs = Cluster.Worker.transfer_out src ~count:3 in
+  let dst = make_worker workload 1 in
+  Cluster.Worker.receive_jobs dst jobs;
+  Alcotest.(check int) "virtual nodes queued" 3 (Cluster.Worker.queue_length dst);
+  (* let the destination run: it must replay and then explore *)
+  let rec drain n = if n > 0 && not (Cluster.Worker.is_idle dst) then begin
+      ignore (Cluster.Worker.execute dst ~budget:5000);
+      drain (n - 1)
+    end
+  in
+  drain 100;
+  Alcotest.(check bool) "destination completed paths" true (dst.Cluster.Worker.paths_completed > 0);
+  Alcotest.(check int) "replays finished" 3 dst.Cluster.Worker.replays_done;
+  Alcotest.(check int) "no broken replays" 0 dst.Cluster.Worker.broken_replays;
+  Alcotest.(check bool) "replay instructions accounted" true
+    (dst.Cluster.Worker.cfg.Engine.Executor.stats.Engine.Executor.replay_instrs > 0)
+
+(* --- balancer ---------------------------------------------------------------------------- *)
+
+let test_balancer_classification () =
+  let lb = Cluster.Balancer.create ~coverage_bytes:4 () in
+  let cov = Bytes.make 4 '\000' in
+  ignore (Cluster.Balancer.report lb ~worker:0 ~queue_len:100 ~coverage:cov);
+  ignore (Cluster.Balancer.report lb ~worker:1 ~queue_len:0 ~coverage:cov);
+  (match Cluster.Balancer.rebalance lb with
+  | [ { Cluster.Balancer.src = 0; dst = 1; count } ] ->
+    (* half the difference, capped at a quarter of the source queue *)
+    Alcotest.(check int) "capped transfer" 25 count
+  | other -> Alcotest.failf "unexpected requests (%d)" (List.length other));
+  (* the optimistic ledger converges over a few rounds without oscillating *)
+  let rec settle n = if n > 0 && Cluster.Balancer.rebalance lb <> [] then settle (n - 1) in
+  settle 10;
+  Alcotest.(check int) "stable after settling" 0
+    (List.length (Cluster.Balancer.rebalance lb))
+
+let test_balancer_coverage_overlay () =
+  let lb = Cluster.Balancer.create ~coverage_bytes:2 () in
+  let c1 = Bytes.of_string "\x01\x00" in
+  let c2 = Bytes.of_string "\x00\x81" in
+  ignore (Cluster.Balancer.report lb ~worker:0 ~queue_len:1 ~coverage:c1);
+  let merged = Cluster.Balancer.report lb ~worker:1 ~queue_len:1 ~coverage:c2 in
+  Alcotest.(check string) "OR of vectors" "\x01\x81" (Bytes.to_string merged)
+
+let test_balancer_disabled () =
+  let lb = Cluster.Balancer.create ~coverage_bytes:1 () in
+  let cov = Bytes.make 1 '\000' in
+  ignore (Cluster.Balancer.report lb ~worker:0 ~queue_len:100 ~coverage:cov);
+  ignore (Cluster.Balancer.report lb ~worker:1 ~queue_len:0 ~coverage:cov);
+  Cluster.Balancer.disable lb;
+  Alcotest.(check int) "no requests when disabled" 0 (List.length (Cluster.Balancer.rebalance lb))
+
+(* --- job encoding --------------------------------------------------------------------------- *)
+
+let test_job_tree_prefix_sharing () =
+  let mk l = List.map (fun b -> Path.Branch b) l in
+  let prefix = List.init 40 (fun i -> i mod 2 = 0) in
+  let jobs =
+    [
+      mk (prefix @ [ true; true ]);
+      mk (prefix @ [ true; false ]);
+      mk (prefix @ [ false; true ]);
+    ]
+  in
+  let naive = Cluster.Job.naive_encoded_size jobs in
+  let tree = Cluster.Job.tree_encoded_size jobs in
+  Alcotest.(check int) "naive counts every path byte" (3 * 43) naive;
+  Alcotest.(check bool) (Printf.sprintf "tree (%d) < naive (%d)" tree naive) true (tree < naive)
+
+(* --- trie ------------------------------------------------------------------------------------ *)
+
+let test_trie_ops () =
+  let t = Cluster.Trie.create () in
+  let p1 = [ Path.Branch true ] and p2 = [ Path.Branch true; Path.Branch false ] in
+  Cluster.Trie.add t p1 "a";
+  Cluster.Trie.add t p2 "b";
+  Alcotest.(check int) "size 2" 2 (Cluster.Trie.size t);
+  Alcotest.(check (option string)) "find p2" (Some "b") (Cluster.Trie.find t p2);
+  Alcotest.(check bool) "remove p1" true (Cluster.Trie.remove t p1);
+  Alcotest.(check bool) "remove p1 again fails" false (Cluster.Trie.remove t p1);
+  Alcotest.(check int) "size 1" 1 (Cluster.Trie.size t);
+  let rng = Random.State.make [| 1 |] in
+  Alcotest.(check (option string)) "random pick finds b" (Some "b") (Cluster.Trie.random_pick rng t)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "partitioning",
+        [
+          Alcotest.test_case "single worker exhausts" `Quick test_single_worker_exhausts;
+          Alcotest.test_case "multi-worker exact" `Quick test_multi_worker_exhausts_exactly;
+          Alcotest.test_case "transfers happen" `Quick test_transfers_happen;
+          Alcotest.test_case "all workers contribute" `Quick test_all_workers_contribute;
+        ] );
+      ( "scalability",
+        [
+          Alcotest.test_case "more workers faster" `Quick test_more_workers_faster;
+          Alcotest.test_case "LB disable hurts" `Quick test_lb_disable_hurts;
+        ] );
+      ( "worker",
+        [
+          Alcotest.test_case "transfer fences source" `Quick test_worker_transfer_fences_source;
+          Alcotest.test_case "replay of virtual jobs" `Quick test_worker_replays_virtual_jobs;
+        ] );
+      ( "balancer",
+        [
+          Alcotest.test_case "classification" `Quick test_balancer_classification;
+          Alcotest.test_case "coverage overlay" `Quick test_balancer_coverage_overlay;
+          Alcotest.test_case "disabled" `Quick test_balancer_disabled;
+        ] );
+      ("job-encoding", [ Alcotest.test_case "prefix sharing" `Quick test_job_tree_prefix_sharing ]);
+      ("trie", [ Alcotest.test_case "basic operations" `Quick test_trie_ops ]);
+    ]

@@ -1,0 +1,207 @@
+(* Differential testing of the whole concrete pipeline: random well-typed
+   scalar programs are run through (a) the reference interpreter
+   (lib/lang/interp.ml — no shared code with the backend) and (b) the
+   compiler + bytecode engine.  Exit codes must agree.
+
+   Programs stay in the scalar fragment (ints of all widths and both
+   signednesses, casts, full arithmetic/comparison/logic, if/while/for,
+   break/continue, helper-function calls).  Cases where either side
+   legitimately bails (division by zero — an error path for the engine,
+   unsupported for the interpreter) are skipped, and the test asserts the
+   skip rate stays low. *)
+
+open Lang.Builder
+
+let int_types = [ u8; u16; u32; u64; i8; i16; i32; i64 ]
+
+(* --- random program generator ----------------------------------------------- *)
+
+type genv = {
+  vars : (string * Lang.Ast.ty) list;
+  depth : int;  (* expression depth bound *)
+  nest : int;   (* statement nesting bound: generators are built eagerly,
+                   so construction itself must be well-founded *)
+  in_loop : bool;
+  calls : bool; (* whether calls to the helper are allowed (not inside the
+                   helper itself: unbounded recursion never terminates) *)
+}
+
+let gen_const ty =
+  let open QCheck2.Gen in
+  let* v = int_bound 300 in
+  let* sign = bool in
+  return (cast ty (n (if sign then v else -v)))
+
+let rec gen_expr env =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      ((match env.vars with
+       | [] -> []
+       | vars -> [ map (fun (name, _) -> v name) (oneofl vars) ])
+      @ [ (let* ty = oneofl int_types in
+           gen_const ty) ])
+  in
+  if env.depth = 0 then leaf
+  else
+    let sub = gen_expr { env with depth = env.depth - 1 } in
+    frequency
+      ([
+        (2, leaf);
+        ( 5,
+          let* op =
+            oneofl
+              [ ( +! ); ( -! ); ( *! ); ( /! ); ( %! ); ( &! ); ( |! ); ( ^! ); ( <<! ); ( >>! ) ]
+          in
+          let* a = sub in
+          let* b = sub in
+          return (op a b) );
+        ( 2,
+          let* op = oneofl [ ( <! ); ( <=! ); ( >! ); ( >=! ); ( ==! ); ( <>! ); ( &&! ); ( ||! ) ] in
+          let* a = sub in
+          let* b = sub in
+          return (op a b) );
+        ( 1,
+          let* a = sub in
+          let* f = oneofl [ neg; bnot; not_ ] in
+          return (f a) );
+        ( 1,
+          let* c = sub in
+          let* a = sub in
+          let* b = sub in
+          let* ty = oneofl int_types in
+          return (cond c (cast ty a) (cast ty b)) );
+        ( 2,
+          let* a = sub in
+          let* ty = oneofl int_types in
+          return (cast ty a) );
+      ]
+      @
+      if env.calls then
+        [
+          ( 1,
+            let* a = sub in
+            let* b = sub in
+            return (call "helper" [ cast u32 a; cast u8 b ]) );
+        ]
+      else [])
+
+let rec gen_stmts env count =
+  let open QCheck2.Gen in
+  if count = 0 then return []
+  else
+    let simple =
+      [
+        ( 3,
+          let* name = return (Printf.sprintf "v%d" (List.length env.vars)) in
+          let* ty = oneofl int_types in
+          let* e = gen_expr env in
+          return (decl name ty (Some (cast ty e)), { env with vars = (name, ty) :: env.vars })
+        );
+        ( 3,
+          match env.vars with
+          | [] ->
+            let* e = gen_expr env in
+            return (expr e, env)
+          | vars ->
+            let* name, ty = oneofl vars in
+            let* e = gen_expr env in
+            return (set (v name) (cast ty e), env) );
+      ]
+    in
+    let nested =
+      if env.nest = 0 then []
+      else
+        let inner = { env with depth = 2; nest = env.nest - 1 } in
+        [
+          ( 2,
+            let* c = gen_expr env in
+            let* then_ = gen_stmts inner 2 in
+            let* else_ = gen_stmts inner 2 in
+            return (if_ c then_ else_, env) );
+          ( 1,
+            let* bound = int_range 1 5 in
+            let* body = gen_stmts { inner with in_loop = true } 2 in
+            let* extra =
+              if env.in_loop then return []
+              else
+                frequency
+                  [ (3, return []); (1, return [ break_ ]); (1, return [ continue_ ]) ]
+            in
+            let counter = Printf.sprintf "i%d" (List.length env.vars) in
+            return (for_range counter ~from:(n 0) ~below:(n bound) (body @ extra), env) );
+        ]
+    in
+    let* s, env = frequency (simple @ nested) in
+    let* rest = gen_stmts env (count - 1) in
+    return (s :: rest)
+
+let gen_unit =
+  let open QCheck2.Gen in
+  let* helper_body = gen_stmts { vars = [ ("a", u32); ("b", u8) ]; depth = 2; nest = 2; in_loop = false; calls = false } 3 in
+  let* helper_ret = gen_expr { vars = [ ("a", u32); ("b", u8) ]; depth = 2; nest = 0; in_loop = false; calls = false } in
+  let* main_body = gen_stmts { vars = []; depth = 3; nest = 2; in_loop = false; calls = true } 6 in
+  let* result = gen_expr { vars = []; depth = 2; nest = 0; in_loop = false; calls = true } in
+  (* the generated main ends by halting with a u8 digest of the result *)
+  return
+    (cunit ~entry:"main"
+       [
+         fn "helper" [ ("a", u32); ("b", u8) ] (Some u32) (helper_body @ [ ret (cast u32 helper_ret) ]);
+         fn "main" [] (Some u32) (main_body @ [ halt (cast u8 result) ]);
+       ])
+
+(* The generated [result] expression cannot see main's locals (gen_expr is
+   drawn with an empty variable environment for robustness), so digests
+   still exercise helper calls and constants; main's locals are exercised
+   through the statements. *)
+
+(* --- the differential property ------------------------------------------------ *)
+
+let engine_outcome cu =
+  match compile cu with
+  | exception Lang.Ast.Type_error msg -> `Type_error msg
+  | program -> (
+    let rng = Random.State.make [| 77 |] in
+    let searcher = Engine.Searcher.of_name ~rng "dfs" in
+    match
+      Engine.Driver.run_pure ~max_steps:60_000 ~collect_tests:2 ~searcher program ~args:[]
+    with
+    | _, { Engine.Driver.tests = [ tc ]; _ } -> (
+      match tc.Engine.Testcase.termination with
+      | Engine.Errors.Exit code -> `Exit code
+      | Engine.Errors.Error e -> `Error (Engine.Errors.error_to_string e)
+      | Engine.Errors.Pruned -> `Error "pruned")
+    | _, r -> `Error (Printf.sprintf "%d paths for a concrete program" r.Engine.Driver.paths_explored))
+
+let skipped = ref 0
+let compared = ref 0
+
+let prop_interpreter_matches_engine =
+  QCheck2.Test.make ~count:120 ~name:"reference interpreter matches compile+execute" gen_unit
+    (fun cu ->
+      match (Lang.Interp.run cu, engine_outcome cu) with
+      | Lang.Interp.Exit a, `Exit b ->
+        incr compared;
+        Int64.logand a 0xffL = Int64.logand b 0xffL
+      | Lang.Interp.Unsupported_feature _, (`Error _ | `Exit _) ->
+        (* divisions by zero / assert failures are error paths for the
+           engine and bail-outs for the interpreter: not comparable *)
+        incr skipped;
+        true
+      | Lang.Interp.Exit _, `Error msg ->
+        QCheck2.Test.fail_reportf "interpreter exits but engine errors: %s" msg
+      | _, `Type_error msg -> QCheck2.Test.fail_reportf "generator produced ill-typed unit: %s" msg)
+
+let test_skip_rate () =
+  Alcotest.(check bool)
+    (Printf.sprintf "compared %d, skipped %d: enough real comparisons" !compared !skipped)
+    true
+    (!compared > !skipped / 2 && !compared > 20)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "interp-vs-engine",
+        List.map QCheck_alcotest.to_alcotest [ prop_interpreter_matches_engine ]
+        @ [ Alcotest.test_case "skip rate" `Quick test_skip_rate ] );
+    ]

@@ -1,0 +1,509 @@
+(* Tests for the symbolic execution engine: forking at symbolic branches,
+   test-case generation, searchers, hang detection, threads, processes,
+   shared memory, and scheduling policies.
+
+   Programs introduce symbolic data through the engine's make_symbolic
+   primitive (syscall 11) directly; the friendlier wrappers live in the
+   core Cloud9 API and are tested in test_core.ml. *)
+
+open Lang.Builder
+
+(* engine primitive syscall numbers (Engine.Executor.Sysno) *)
+let sys_make_shared = 1
+let sys_thread_create = 2
+let sys_process_fork = 4
+let sys_process_terminate = 5
+let sys_get_context = 6
+let sys_preempt = 7
+let sys_sleep = 8
+let sys_notify = 9
+let sys_get_wlist = 10
+let sys_make_symbolic = 11
+let sys_set_scheduler = 13
+let sys_assume = 14
+
+let mk_symbolic arr len name = expr (syscall sys_make_symbolic [ addr (idx (v arr) (n 0)); n len; str name ])
+
+let run_program ?max_steps ?(strategy = "dfs") cu =
+  let program = compile cu in
+  let rng = Random.State.make [| 7 |] in
+  let searcher = Engine.Searcher.of_name ~rng strategy in
+  Engine.Driver.run_pure ?max_steps ~searcher program ~args:[]
+
+let terminations result =
+  List.map (fun tc -> tc.Engine.Testcase.termination) result.Engine.Driver.tests
+
+(* --- symbolic forking ---------------------------------------------------------- *)
+
+let sym_branch_unit =
+  cunit ~entry:"main"
+    [
+      fn "main" [] (Some u32)
+        [
+          decl_arr "x" u8 1;
+          mk_symbolic "x" 1 "x";
+          if_ (idx (v "x") (n 0) <! n 10) [ halt (n 1) ] [ halt (n 2) ];
+        ];
+    ]
+
+let test_symbolic_fork () =
+  let _cfg, result = run_program sym_branch_unit in
+  Alcotest.(check int) "two paths" 2 result.Engine.Driver.paths_explored;
+  let codes =
+    List.filter_map
+      (function Engine.Errors.Exit c -> Some c | _ -> None)
+      (terminations result)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int64)) "both sides reached" [ 1L; 2L ] codes
+
+let test_testcase_inputs_satisfy_path () =
+  let _cfg, result = run_program sym_branch_unit in
+  (* each test's input byte must drive the program down the recorded side *)
+  List.iter
+    (fun tc ->
+      let input = List.assoc "x" tc.Engine.Testcase.inputs in
+      let byte = Char.code input.[0] in
+      match tc.Engine.Testcase.termination with
+      | Engine.Errors.Exit 1L ->
+        Alcotest.(check bool) "exit 1 implies x < 10" true (byte < 10)
+      | Engine.Errors.Exit 2L ->
+        Alcotest.(check bool) "exit 2 implies x >= 10" true (byte >= 10)
+      | other -> Alcotest.failf "unexpected %s" (Engine.Errors.termination_to_string other))
+    result.Engine.Driver.tests
+
+let test_exhaustive_path_count () =
+  (* two symbolic bytes, each classified into 3 classes -> 9 paths *)
+  let cu =
+    cunit ~entry:"main"
+      [
+        fn "classify" [ ("c", u8) ] (Some u32)
+          [
+            if_ (v "c" <! chr '0') [ ret (n 0) ] [];
+            if_ (v "c" <=! chr '9') [ ret (n 1) ] [];
+            ret (n 2);
+          ];
+        fn "main" [] (Some u32)
+          [
+            decl_arr "x" u8 2;
+            mk_symbolic "x" 2 "x";
+            decl "a" u32 (Some (call "classify" [ idx (v "x") (n 0) ]));
+            decl "b" u32 (Some (call "classify" [ idx (v "x") (n 1) ]));
+            halt ((v "a" *! n 3) +! v "b");
+          ];
+      ]
+  in
+  let _cfg, result = run_program cu in
+  Alcotest.(check int) "9 paths" 9 result.Engine.Driver.paths_explored;
+  Alcotest.(check bool) "exhausted" true result.Engine.Driver.exhausted
+
+let test_symbolic_div_by_zero () =
+  let cu =
+    cunit ~entry:"main"
+      [
+        fn "main" [] (Some u32)
+          [
+            decl_arr "x" u8 1;
+            mk_symbolic "x" 1 "x";
+            halt (n 100 /! cast u32 (idx (v "x") (n 0)));
+          ];
+      ]
+  in
+  let _cfg, result = run_program cu in
+  let errors =
+    List.filter (function Engine.Errors.Error Engine.Errors.Division_by_zero -> true | _ -> false)
+      (terminations result)
+  in
+  Alcotest.(check int) "one division-by-zero path" 1 (List.length errors);
+  Alcotest.(check int) "two paths total" 2 result.Engine.Driver.paths_explored;
+  (* the error test case must have input 0 *)
+  let err_tc =
+    List.find
+      (fun tc -> tc.Engine.Testcase.termination = Engine.Errors.Error Engine.Errors.Division_by_zero)
+      result.Engine.Driver.tests
+  in
+  Alcotest.(check char) "divisor input is 0" '\000' (List.assoc "x" err_tc.Engine.Testcase.inputs).[0]
+
+let test_assert_finds_input () =
+  let cu =
+    cunit ~entry:"main"
+      [
+        fn "main" [] (Some u32)
+          [
+            decl_arr "x" u8 1;
+            mk_symbolic "x" 1 "x";
+            assert_ (idx (v "x") (n 0) <>! n 42) "x must not be 42";
+            halt (n 0);
+          ];
+      ]
+  in
+  let _cfg, result = run_program cu in
+  let failing =
+    List.find
+      (fun tc -> Engine.Errors.is_error tc.Engine.Testcase.termination)
+      result.Engine.Driver.tests
+  in
+  Alcotest.(check char) "counterexample is 42" '\042' (List.assoc "x" failing.Engine.Testcase.inputs).[0]
+
+let test_assume_prunes () =
+  let cu =
+    cunit ~entry:"main"
+      [
+        fn "main" [] (Some u32)
+          [
+            decl_arr "x" u8 1;
+            mk_symbolic "x" 1 "x";
+            expr (syscall sys_assume [ idx (v "x") (n 0) <! n 3 ]);
+            if_ (idx (v "x") (n 0) ==! n 200) [ halt (n 1) ] [ halt (n 0) ];
+          ];
+      ]
+  in
+  let _cfg, result = run_program cu in
+  (* x < 3 makes x == 200 infeasible: only one path remains *)
+  Alcotest.(check int) "one path" 1 result.Engine.Driver.paths_explored
+
+(* --- searchers ----------------------------------------------------------------- *)
+
+let test_searchers_agree_on_path_count () =
+  List.iter
+    (fun strategy ->
+      let _cfg, result = run_program ~strategy sym_branch_unit in
+      Alcotest.(check int) (strategy ^ " explores both paths") 2 result.Engine.Driver.paths_explored)
+    [ "dfs"; "bfs"; "random-path"; "cov-opt"; "interleaved" ]
+
+(* --- hang detection ------------------------------------------------------------- *)
+
+let test_instruction_limit_detects_infinite_loop () =
+  let cu =
+    cunit ~entry:"main"
+      [ fn "main" [] (Some u32) [ while_ (n 1) []; halt (n 0) ] ]
+  in
+  let _cfg, result = run_program ~max_steps:5000 cu in
+  match terminations result with
+  | [ Engine.Errors.Error Engine.Errors.Instruction_limit ] -> ()
+  | other ->
+    Alcotest.failf "expected instruction-limit, got %s"
+      (String.concat ","
+         (List.map Engine.Errors.termination_to_string other))
+
+let test_deadlock_detection () =
+  let cu =
+    cunit ~entry:"main"
+      [
+        fn "main" [] (Some u32)
+          [
+            decl "wl" i64 (Some (syscall sys_get_wlist []));
+            expr (syscall sys_sleep [ v "wl" ]);
+            halt (n 0);
+          ];
+      ]
+  in
+  let _cfg, result = run_program cu in
+  match terminations result with
+  | [ Engine.Errors.Error Engine.Errors.Deadlock ] -> ()
+  | other ->
+    Alcotest.failf "expected deadlock, got %s"
+      (String.concat "," (List.map Engine.Errors.termination_to_string other))
+
+(* --- threads and processes --------------------------------------------------------- *)
+
+let test_cooperative_threads () =
+  (* worker adds its argument to a global; cooperative round-robin makes
+     the interleaving deterministic *)
+  let cu =
+    cunit ~entry:"main"
+      ~globals:[ global "total" u32 ]
+      [
+        fn "worker" [ ("k", i64) ] None
+          [ set (v "total") (v "total" +! cast u32 (v "k")) ];
+        fn "main" [] (Some u32)
+          [
+            expr (syscall sys_thread_create [ str "worker"; n 5 ]);
+            expr (syscall sys_thread_create [ str "worker"; n 7 ]);
+            (* yield until both workers ran *)
+            expr (syscall sys_preempt []);
+            expr (syscall sys_preempt []);
+            expr (syscall sys_preempt []);
+            halt (v "total");
+          ];
+      ]
+  in
+  let _cfg, result = run_program cu in
+  match terminations result with
+  | [ Engine.Errors.Exit 12L ] -> ()
+  | other ->
+    Alcotest.failf "expected exit 12, got %s"
+      (String.concat "," (List.map Engine.Errors.termination_to_string other))
+
+let test_sleep_notify () =
+  let cu =
+    cunit ~entry:"main"
+      ~globals:[ global "flag" u32; global "wl" i64 ]
+      [
+        fn "producer" [ ("k", i64) ] None
+          [ set (v "flag") (n 99); expr (syscall sys_notify [ v "wl"; n 1 ]) ];
+        fn "main" [] (Some u32)
+          [
+            set (v "wl") (syscall sys_get_wlist []);
+            expr (syscall sys_thread_create [ str "producer"; n 0 ]);
+            while_ (v "flag" ==! n 0) [ expr (syscall sys_sleep [ v "wl" ]) ];
+            halt (v "flag");
+          ];
+      ]
+  in
+  let _cfg, result = run_program cu in
+  match terminations result with
+  | [ Engine.Errors.Exit 99L ] -> ()
+  | other ->
+    Alcotest.failf "expected exit 99, got %s"
+      (String.concat "," (List.map Engine.Errors.termination_to_string other))
+
+let test_process_fork_and_shared_memory () =
+  (* parent shares a buffer, forks; the child writes to it and exits; the
+     parent sees the write because the object is in the CoW domain's
+     shared pool *)
+  let cu =
+    cunit ~entry:"main"
+      [
+        fn "main" [] (Some u32)
+          [
+            decl_arr "buf" u32 1;
+            expr (syscall sys_make_shared [ addr (idx (v "buf") (n 0)) ]);
+            decl "pid" i64 (Some (syscall sys_process_fork []));
+            if_
+              (v "pid" ==! n 0)
+              [
+                set (idx (v "buf") (n 0)) (n 123);
+                expr (syscall sys_process_terminate [ n 0 ]);
+              ]
+              [];
+            (* cooperative: child runs when parent preempts *)
+            expr (syscall sys_preempt []);
+            halt (idx (v "buf") (n 0));
+          ];
+      ]
+  in
+  let _cfg, result = run_program cu in
+  match terminations result with
+  | [ Engine.Errors.Exit 123L ] -> ()
+  | other ->
+    Alcotest.failf "expected exit 123, got %s"
+      (String.concat "," (List.map Engine.Errors.termination_to_string other))
+
+let test_fork_isolated_address_spaces () =
+  (* without make_shared, the child's write must NOT be visible *)
+  let cu =
+    cunit ~entry:"main"
+      [
+        fn "main" [] (Some u32)
+          [
+            decl_arr "buf" u32 1;
+            set (idx (v "buf") (n 0)) (n 7);
+            decl "pid" i64 (Some (syscall sys_process_fork []));
+            if_
+              (v "pid" ==! n 0)
+              [
+                set (idx (v "buf") (n 0)) (n 123);
+                expr (syscall sys_process_terminate [ n 0 ]);
+              ]
+              [];
+            expr (syscall sys_preempt []);
+            halt (idx (v "buf") (n 0));
+          ];
+      ]
+  in
+  let _cfg, result = run_program cu in
+  match terminations result with
+  | [ Engine.Errors.Exit 7L ] -> ()
+  | other ->
+    Alcotest.failf "expected exit 7 (isolation), got %s"
+      (String.concat "," (List.map Engine.Errors.termination_to_string other))
+
+let test_get_context () =
+  let cu =
+    cunit ~entry:"main"
+      [
+        fn "main" [] (Some u32)
+          [
+            decl "ctx" i64 (Some (syscall sys_get_context []));
+            (* main thread: pid 0, tid 0 *)
+            halt (cast u32 (v "ctx"));
+          ];
+      ]
+  in
+  let _cfg, result = run_program cu in
+  match terminations result with
+  | [ Engine.Errors.Exit 0L ] -> ()
+  | other ->
+    Alcotest.failf "expected exit 0, got %s"
+      (String.concat "," (List.map Engine.Errors.termination_to_string other))
+
+(* --- scheduling policies --------------------------------------------------------------- *)
+
+let sched_unit =
+  (* two workers each append their id; under fork-all scheduling the
+     engine explores multiple interleavings *)
+  cunit ~entry:"main"
+    ~globals:[ global "order" u32 ]
+    [
+      fn "worker" [ ("k", i64) ] None
+        [ set (v "order") ((v "order" *! n 10) +! cast u32 (v "k")) ];
+      fn "main" [] (Some u32)
+        [
+          expr (syscall sys_set_scheduler [ n 1 ]); (* 1 = fork-all *)
+          expr (syscall sys_thread_create [ str "worker"; n 1 ]);
+          expr (syscall sys_thread_create [ str "worker"; n 2 ]);
+          expr (syscall sys_preempt []);
+          expr (syscall sys_preempt []);
+          expr (syscall sys_preempt []);
+          halt (v "order");
+        ];
+    ]
+
+let test_fork_all_scheduler_explores_interleavings () =
+  let _cfg, result = run_program sched_unit in
+  Alcotest.(check bool) "more than one interleaving" true (result.Engine.Driver.paths_explored > 1);
+  let codes =
+    List.filter_map (function Engine.Errors.Exit c -> Some c | _ -> None) (terminations result)
+    |> List.sort_uniq compare
+  in
+  (* both serialized orders of the two workers must appear *)
+  Alcotest.(check bool) "order 12 seen" true (List.mem 12L codes);
+  Alcotest.(check bool) "order 21 seen" true (List.mem 21L codes)
+
+(* --- instruction-level preemption: race detection ---------------------------------------- *)
+
+let race_unit =
+  (* the classic lost update: a worker thread and the main thread both do
+     an unlocked read-modify-write on a shared counter.  Cooperative
+     scheduling never interleaves inside the critical section, so the bug
+     needs instruction-level preemption (paper section 4.2). *)
+  cunit ~entry:"main"
+    ~globals:[ global "counter" u32; global "done_flag" u32; global "wl" i64 ]
+    [
+      fn "bump" [ ("k", i64) ] None
+        [
+          decl "tmp" u32 (Some (v "counter"));
+          set (v "tmp") (v "tmp" +! n 1);
+          set (v "counter") (v "tmp");
+        ];
+      fn "worker" [ ("k", i64) ] None
+        [
+          call_void "bump" [ n 0 ];
+          set (v "done_flag") (n 1);
+          expr (syscall sys_notify [ v "wl"; n 1 ]);
+        ];
+      fn "main" [] (Some u32)
+        [
+          set (v "wl") (syscall sys_get_wlist []);
+          (* iterative context bounding (two preemptions) keeps the
+             instruction-level interleaving space tractable *)
+          expr (syscall sys_set_scheduler [ n 102 ]);
+          expr (syscall sys_thread_create [ str "worker"; n 0 ]);
+          call_void "bump" [ n 0 ];
+          while_ (v "done_flag" ==! n 0) [ expr (syscall sys_sleep [ v "wl" ]) ];
+          assert_ (v "counter" ==! n 2) "no update lost";
+          halt (v "counter");
+        ];
+    ]
+
+let run_with_preemption ?preempt_interval cu =
+  let program = compile cu in
+  let solver = Smt.Solver.create () in
+  let cfg =
+    Engine.Executor.make_config ~solver ~handler:Engine.Executor.no_env_handler
+      ~nlines:program.Cvm.Program.nlines
+      ~preempt_interval ()
+  in
+  let rng = Random.State.make [| 7 |] in
+  let searcher = Engine.Searcher.of_name ~rng "dfs" in
+  let st0 = Engine.State.init program ~env:() ~args:[] in
+  Engine.Driver.run cfg searcher st0 ~collect_tests:1000
+
+let count_assert_failures r =
+  List.length
+    (List.filter
+       (fun tc ->
+         match tc.Engine.Testcase.termination with
+         | Engine.Errors.Error (Engine.Errors.Assert_failed _) -> true
+         | _ -> false)
+       r.Engine.Driver.tests)
+
+let test_race_needs_instruction_preemption () =
+  (* without instruction-level preemption the lost update is invisible *)
+  let coarse = run_with_preemption race_unit in
+  Alcotest.(check int) "cooperative scheduling misses the race" 0
+    (count_assert_failures coarse);
+  (* with it, some interleaving loses an update and the assert fires *)
+  let fine = run_with_preemption ~preempt_interval:1 race_unit in
+  Alcotest.(check bool) "instruction-level preemption finds the lost update" true
+    (count_assert_failures fine > 0);
+  Alcotest.(check bool) "many interleavings explored" true
+    (fine.Engine.Driver.paths_explored > coarse.Engine.Driver.paths_explored)
+
+(* --- coverage --------------------------------------------------------------------------- *)
+
+let test_coverage_accounting () =
+  let cfg, result = run_program sym_branch_unit in
+  Alcotest.(check bool) "full coverage on exhaustive run" true (result.Engine.Driver.coverage >= 0.99);
+  Alcotest.(check bool) "covered lines counted" true (Engine.Executor.coverage_count cfg > 0)
+
+let test_coverage_goal_stops_early () =
+  let program = compile sym_branch_unit in
+  let rng = Random.State.make [| 7 |] in
+  let searcher = Engine.Searcher.of_name ~rng "dfs" in
+  let _cfg, result =
+    Engine.Driver.run_pure ~goal:(Engine.Driver.Coverage 0.10) ~searcher program ~args:[]
+  in
+  Alcotest.(check bool) "stopped before exhausting" true (not result.Engine.Driver.exhausted || result.Engine.Driver.paths_explored <= 2)
+
+(* --- determinism -------------------------------------------------------------------------- *)
+
+let test_deterministic_runs () =
+  let run () =
+    let _cfg, r = run_program ~strategy:"interleaved" sym_branch_unit in
+    ( r.Engine.Driver.paths_explored,
+      List.map (fun tc -> tc.Engine.Testcase.path) r.Engine.Driver.tests )
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "identical runs" true (r1 = r2)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "forking",
+        [
+          Alcotest.test_case "symbolic fork" `Quick test_symbolic_fork;
+          Alcotest.test_case "test inputs satisfy path" `Quick test_testcase_inputs_satisfy_path;
+          Alcotest.test_case "exhaustive path count" `Quick test_exhaustive_path_count;
+          Alcotest.test_case "symbolic div by zero" `Quick test_symbolic_div_by_zero;
+          Alcotest.test_case "assert finds input" `Quick test_assert_finds_input;
+          Alcotest.test_case "assume prunes" `Quick test_assume_prunes;
+        ] );
+      ("searchers", [ Alcotest.test_case "all searchers complete" `Quick test_searchers_agree_on_path_count ]);
+      ( "hangs",
+        [
+          Alcotest.test_case "instruction limit" `Quick test_instruction_limit_detects_infinite_loop;
+          Alcotest.test_case "deadlock" `Quick test_deadlock_detection;
+        ] );
+      ( "threads",
+        [
+          Alcotest.test_case "cooperative threads" `Quick test_cooperative_threads;
+          Alcotest.test_case "sleep/notify" `Quick test_sleep_notify;
+          Alcotest.test_case "fork + shared memory" `Quick test_process_fork_and_shared_memory;
+          Alcotest.test_case "fork isolation" `Quick test_fork_isolated_address_spaces;
+          Alcotest.test_case "get_context" `Quick test_get_context;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "fork-all interleavings" `Quick
+            test_fork_all_scheduler_explores_interleavings;
+          Alcotest.test_case "race detection" `Quick test_race_needs_instruction_preemption;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "accounting" `Quick test_coverage_accounting;
+          Alcotest.test_case "goal stops early" `Quick test_coverage_goal_stops_early;
+        ] );
+      ("determinism", [ Alcotest.test_case "identical runs" `Quick test_deterministic_runs ]);
+    ]

@@ -1,0 +1,506 @@
+(* Tests for the POSIX environment model: files, pipes, TCP/UDP sockets,
+   select, the extended ioctls (symbolic sources, packet fragmentation,
+   fault injection), fork/waitpid, and the pthread-style runtime. *)
+
+open Lang.Builder
+module Api = Posix.Api
+
+let run_posix ?max_steps ?(strategy = "dfs") cu =
+  let program = compile cu in
+  let rng = Random.State.make [| 11 |] in
+  let searcher = Engine.Searcher.of_name ~rng strategy in
+  let cfg = Api.make_config ?max_steps ~nlines:program.Cvm.Program.nlines () in
+  let st0 = Api.initial_state program ~args:[] in
+  (cfg, Engine.Driver.run cfg searcher st0)
+
+let terminations result =
+  List.map (fun tc -> tc.Engine.Testcase.termination) result.Engine.Driver.tests
+
+let expect_exit_codes cu expected name =
+  let _cfg, result = run_posix cu in
+  let codes =
+    List.filter_map (function Engine.Errors.Exit c -> Some c | _ -> None) (terminations result)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int64)) name expected codes
+
+let posix_unit ?globals funcs main_body =
+  cunit ~entry:"main" ?globals (funcs @ Api.runtime @ [ fn "main" [] (Some u32) main_body ])
+
+(* --- files --------------------------------------------------------------------- *)
+
+let test_file_roundtrip () =
+  expect_exit_codes
+    (posix_unit []
+       [
+         (* write a file, read it back *)
+         decl "fd" i64 (Some (Api.openf (str "/tmp/t") (Api.o_creat |! Api.o_wronly)));
+         assert_ (v "fd" >=! n 0) "open for write";
+         decl_arr "wbuf" u8 4;
+         set (idx (v "wbuf") (n 0)) (chr 'a');
+         set (idx (v "wbuf") (n 1)) (chr 'b');
+         set (idx (v "wbuf") (n 2)) (chr 'c');
+         set (idx (v "wbuf") (n 3)) (chr 'd');
+         expr (Api.write (v "fd") (addr (idx (v "wbuf") (n 0))) (n 4));
+         expr (Api.close (v "fd"));
+         decl "fd2" i64 (Some (Api.openf (str "/tmp/t") Api.o_rdonly));
+         decl_arr "rbuf" u8 4;
+         decl "got" i64 (Some (Api.read (v "fd2") (addr (idx (v "rbuf") (n 0))) (n 4)));
+         assert_ (v "got" ==! n 4) "read back 4 bytes";
+         halt (cast u32 (idx (v "rbuf") (n 2))); (* 'c' = 99 *)
+       ])
+    [ 99L ] "file roundtrip"
+
+let test_open_missing_file () =
+  expect_exit_codes
+    (posix_unit []
+       [
+         decl "fd" i64 (Some (Api.openf (str "/does/not/exist") Api.o_rdonly));
+         if_ (v "fd" <! n 0) [ halt (n 1) ] [ halt (n 0) ];
+       ])
+    [ 1L ] "missing file yields error"
+
+let test_lseek_and_size () =
+  expect_exit_codes
+    (posix_unit []
+       [
+         decl_arr "content" u8 8;
+         call_void "mem_set" [ addr (idx (v "content") (n 0)); chr 'x'; n 8 ];
+         expr (Api.mkfile (str "/f") (addr (idx (v "content") (n 0))) (n 8));
+         decl "fd" i64 (Some (Api.openf (str "/f") Api.o_rdonly));
+         decl "size" i64 (Some (Api.fstat_size (v "fd")));
+         expr (Api.lseek (v "fd") (n 6) (n 0));
+         decl_arr "b" u8 4;
+         decl "got" i64 (Some (Api.read (v "fd") (addr (idx (v "b") (n 0))) (n 4)));
+         (* only 2 bytes remain after seeking to 6 *)
+         halt (cast u32 (v "size" *! n 10 +! v "got"));
+       ])
+    [ 82L ] "lseek and fstat_size"
+
+(* --- pipes ----------------------------------------------------------------------- *)
+
+let test_pipe_between_threads () =
+  expect_exit_codes
+    (posix_unit
+       ~globals:[ global "fds" (Arr (i32, 2)) ]
+       [
+         fn "writer" [ ("k", i64) ] None
+           [
+             decl_arr "b" u8 2;
+             set (idx (v "b") (n 0)) (chr 'O');
+             set (idx (v "b") (n 1)) (chr 'K');
+             expr (Api.write (cast i64 (idx (v "fds") (n 1))) (addr (idx (v "b") (n 0))) (n 2));
+           ];
+       ]
+       [
+         expr (Api.pipe (cast (Ptr u8) (addr (idx (v "fds") (n 0)))));
+         expr (Api.thread_create "writer" (n 0));
+         decl_arr "b" u8 2;
+         (* blocks until the writer runs *)
+         decl "got" i64 (Some (Api.read (cast i64 (idx (v "fds") (n 0))) (addr (idx (v "b") (n 0))) (n 2)));
+         assert_ (v "got" ==! n 2) "read two bytes";
+         halt (cast u32 (idx (v "b") (n 0)) +! cast u32 (idx (v "b") (n 1)));
+       ])
+    [ Int64.of_int (Char.code 'O' + Char.code 'K') ]
+    "pipe blocking read"
+
+let test_pipe_eof_on_close () =
+  expect_exit_codes
+    (posix_unit
+       ~globals:[ global "fds" (Arr (i32, 2)) ]
+       [
+         fn "closer" [ ("k", i64) ] None [ expr (Api.close (cast i64 (idx (v "fds") (n 1)))) ];
+       ]
+       [
+         expr (Api.pipe (cast (Ptr u8) (addr (idx (v "fds") (n 0)))));
+         expr (Api.thread_create "closer" (n 0));
+         decl_arr "b" u8 1;
+         decl "got" i64 (Some (Api.read (cast i64 (idx (v "fds") (n 0))) (addr (idx (v "b") (n 0))) (n 1)));
+         halt (cast u32 (v "got" +! n 5)); (* EOF = 0 -> 5 *)
+       ])
+    [ 5L ] "EOF after close"
+
+(* --- TCP sockets --------------------------------------------------------------------- *)
+
+let test_tcp_connection () =
+  let cu =
+    posix_unit
+      ~globals:[ global "ready" u32 ]
+      [
+        fn "server" [ ("k", i64) ] None
+          [
+            decl "s" i64 (Some (Api.socket Api.sock_stream));
+            assert_ (Api.bind (v "s") (n 8080) ==! n 0) "bind";
+            assert_ (Api.listen (v "s") ==! n 0) "listen";
+            set (v "ready") (n 1);
+            decl "c" i64 (Some (Api.accept (v "s")));
+            decl_arr "b" u8 8;
+            decl "got" i64 (Some (Api.read (v "c") (addr (idx (v "b") (n 0))) (n 8)));
+            set (idx (v "b") (n 0)) (idx (v "b") (n 0) *! n 2);
+            expr (Api.write (v "c") (addr (idx (v "b") (n 0))) (v "got"));
+          ];
+      ]
+      [
+        expr (Api.thread_create "server" (n 0));
+        while_ (v "ready" ==! n 0) [ expr (Api.thread_preempt ()) ];
+        decl "c" i64 (Some (Api.socket Api.sock_stream));
+        assert_ (Api.connect (v "c") (n 8080) ==! n 0) "connect";
+        decl_arr "msg" u8 1;
+        set (idx (v "msg") (n 0)) (n 21);
+        expr (Api.write (v "c") (addr (idx (v "msg") (n 0))) (n 1));
+        decl_arr "reply" u8 1;
+        decl "got" i64 (Some (Api.read (v "c") (addr (idx (v "reply") (n 0))) (n 1)));
+        assert_ (v "got" ==! n 1) "reply length";
+        halt (cast u32 (idx (v "reply") (n 0)));
+      ]
+  in
+  expect_exit_codes cu [ 42L ] "TCP echo doubles byte"
+
+let test_connect_refused () =
+  expect_exit_codes
+    (posix_unit []
+       [
+         decl "c" i64 (Some (Api.socket Api.sock_stream));
+         decl "r" i64 (Some (Api.connect (v "c") (n 9999)));
+         if_ (v "r" <! n 0) [ halt (n 7) ] [ halt (n 0) ];
+       ])
+    [ 7L ] "connect to unbound port refused"
+
+(* --- UDP ------------------------------------------------------------------------------- *)
+
+let test_udp_datagram_boundaries () =
+  (* two sendto's must arrive as two datagrams, not a byte stream *)
+  let cu =
+    posix_unit
+      ~globals:[ global "ready" u32 ]
+      [
+        fn "client" [ ("k", i64) ] None
+          [
+            decl "c" i64 (Some (Api.socket Api.sock_dgram));
+            decl_arr "b" u8 4;
+            call_void "mem_set" [ addr (idx (v "b") (n 0)); chr 'A'; n 4 ];
+            expr (Api.sendto (v "c") (addr (idx (v "b") (n 0))) (n 4) (n 5353));
+            call_void "mem_set" [ addr (idx (v "b") (n 0)); chr 'B'; n 2 ];
+            expr (Api.sendto (v "c") (addr (idx (v "b") (n 0))) (n 2) (n 5353));
+          ];
+      ]
+      [
+        decl "s" i64 (Some (Api.socket Api.sock_dgram));
+        assert_ (Api.bind (v "s") (n 5353) ==! n 0) "bind udp";
+        expr (Api.thread_create "client" (n 0));
+        decl_arr "b" u8 16;
+        decl "n1" i64 (Some (Api.recvfrom (v "s") (addr (idx (v "b") (n 0))) (n 16)));
+        decl "n2" i64 (Some (Api.recvfrom (v "s") (addr (idx (v "b") (n 0))) (n 16)));
+        (* 4 and 2: boundaries preserved *)
+        halt (cast u32 (v "n1" *! n 10 +! v "n2"));
+      ]
+  in
+  expect_exit_codes cu [ 42L ] "UDP datagram boundaries"
+
+(* --- select ------------------------------------------------------------------------------ *)
+
+let test_select_blocks_until_ready () =
+  let cu =
+    posix_unit
+      ~globals:[ global "fds" (Arr (i32, 2)) ]
+      [
+        fn "writer" [ ("k", i64) ] None
+          [
+            decl_arr "b" u8 1;
+            set (idx (v "b") (n 0)) (n 9);
+            expr (Api.write (cast i64 (idx (v "fds") (n 1))) (addr (idx (v "b") (n 0))) (n 1));
+          ];
+      ]
+      [
+        expr (Api.pipe (cast (Ptr u8) (addr (idx (v "fds") (n 0)))));
+        expr (Api.thread_create "writer" (n 0));
+        decl_arr "rds" u8 8;
+        call_void "mem_set" [ addr (idx (v "rds") (n 0)); n 0; n 8 ];
+        set (idx (v "rds") (cast u32 (idx (v "fds") (n 0)))) (n 1);
+        decl "nready" i64
+          (Some (Api.select (addr (idx (v "rds") (n 0))) (cast (Ptr u8) (n 0)) (n 8)));
+        assert_ (v "nready" ==! n 1) "one fd ready";
+        assert_ (idx (v "rds") (cast u32 (idx (v "fds") (n 0))) ==! n 1) "readable bit set";
+        halt (n 3);
+      ]
+  in
+  expect_exit_codes cu [ 3L ] "select wakes on data"
+
+(* --- symbolic sources and fragmentation ------------------------------------------------------ *)
+
+let test_symbolic_source_forks () =
+  (* reading from a SIO_SYMBOLIC fd yields symbolic bytes that fork at
+     branches *)
+  let cu =
+    posix_unit
+      ~globals:[ global "fds" (Arr (i32, 2)) ]
+      []
+      [
+        expr (Api.pipe (cast (Ptr u8) (addr (idx (v "fds") (n 0)))));
+        expr (Api.ioctl (cast i64 (idx (v "fds") (n 0))) Api.sio_symbolic (n 0));
+        decl_arr "b" u8 1;
+        expr (Api.read (cast i64 (idx (v "fds") (n 0))) (addr (idx (v "b") (n 0))) (n 1));
+        if_ (idx (v "b") (n 0) <! n 128) [ halt (n 1) ] [ halt (n 2) ];
+      ]
+  in
+  let _cfg, result = run_posix cu in
+  Alcotest.(check int) "two paths from symbolic read" 2 result.Engine.Driver.paths_explored
+
+let test_fragmentation_explores_patterns () =
+  (* a 3-byte message with SIO_PKT_FRAGMENT: read sizes fork; counting
+     reads of a 3-byte stream gives compositions of 3 = 4 paths *)
+  let cu =
+    posix_unit
+      ~globals:[ global "fds" (Arr (i32, 2)) ]
+      []
+      [
+        expr (Api.pipe (cast (Ptr u8) (addr (idx (v "fds") (n 0)))));
+        decl_arr "msg" u8 3;
+        call_void "mem_set" [ addr (idx (v "msg") (n 0)); chr 'x'; n 3 ];
+        expr (Api.write (cast i64 (idx (v "fds") (n 1))) (addr (idx (v "msg") (n 0))) (n 3));
+        expr (Api.close (cast i64 (idx (v "fds") (n 1))));
+        expr (Api.ioctl (cast i64 (idx (v "fds") (n 0))) Api.sio_pkt_fragment (n 0));
+        decl_arr "b" u8 3;
+        decl "reads" u32 (Some (n 0));
+        decl "total" u32 (Some (n 0));
+        while_ (v "total" <! n 3)
+          [
+            decl "got" i64 (Some (Api.read (cast i64 (idx (v "fds") (n 0))) (addr (idx (v "b") (n 0))) (n 3)));
+            when_ (v "got" <=! n 0) [ break_ ];
+            set (v "total") (v "total" +! cast u32 (v "got"));
+            incr_ "reads";
+          ];
+        halt (v "reads");
+      ]
+  in
+  let _cfg, result = run_posix cu in
+  (* compositions of 3: 3, 2+1, 1+2, 1+1+1 *)
+  Alcotest.(check int) "four fragmentation patterns" 4 result.Engine.Driver.paths_explored
+
+(* --- fault injection ---------------------------------------------------------------------------- *)
+
+let test_fault_injection_forks () =
+  let cu =
+    posix_unit
+      ~globals:[ global "fds" (Arr (i32, 2)) ]
+      []
+      [
+        expr (Api.pipe (cast (Ptr u8) (addr (idx (v "fds") (n 0)))));
+        expr (Api.ioctl (cast i64 (idx (v "fds") (n 1))) Api.sio_fault_inj Api.wr_flag);
+        expr (Api.fi_enable ());
+        decl_arr "b" u8 1;
+        set (idx (v "b") (n 0)) (n 1);
+        decl "r" i64 (Some (Api.write (cast i64 (idx (v "fds") (n 1))) (addr (idx (v "b") (n 0))) (n 1)));
+        if_ (v "r" <! n 0) [ halt (n 60) ] [ halt (n 61) ];
+      ]
+  in
+  let _cfg, result = run_posix cu in
+  Alcotest.(check int) "write forks into success and fault" 2 result.Engine.Driver.paths_explored;
+  let codes =
+    List.filter_map (function Engine.Errors.Exit c -> Some c | _ -> None) (terminations result)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int64)) "both outcomes observed" [ 60L; 61L ] codes
+
+let test_fi_disabled_no_fork () =
+  let cu =
+    posix_unit
+      ~globals:[ global "fds" (Arr (i32, 2)) ]
+      []
+      [
+        expr (Api.pipe (cast (Ptr u8) (addr (idx (v "fds") (n 0)))));
+        expr (Api.ioctl (cast i64 (idx (v "fds") (n 1))) Api.sio_fault_inj Api.wr_flag);
+        (* fi_enable NOT called: no fault fork *)
+        decl_arr "b" u8 1;
+        decl "r" i64 (Some (Api.write (cast i64 (idx (v "fds") (n 1))) (addr (idx (v "b") (n 0))) (n 1)));
+        halt (n 0);
+      ]
+  in
+  let _cfg, result = run_posix cu in
+  Alcotest.(check int) "single path without global enable" 1 result.Engine.Driver.paths_explored
+
+(* --- processes ------------------------------------------------------------------------------------- *)
+
+let test_fork_waitpid () =
+  let cu =
+    posix_unit []
+      [
+        decl "pid" i64 (Some (Api.fork ()));
+        if_ (v "pid" ==! n 0) [ expr (Api.exit_ (n 33)) ] [];
+        decl "status" i64 (Some (Api.waitpid (v "pid")));
+        halt (cast u32 (v "status"));
+      ]
+  in
+  expect_exit_codes cu [ 33L ] "fork + waitpid returns child status"
+
+let test_fork_inherits_fds () =
+  let cu =
+    posix_unit
+      ~globals:[ global "fds" (Arr (i32, 2)) ]
+      []
+      [
+        expr (Api.pipe (cast (Ptr u8) (addr (idx (v "fds") (n 0)))));
+        decl "pid" i64 (Some (Api.fork ()));
+        if_
+          (v "pid" ==! n 0)
+          [
+            decl_arr "b" u8 1;
+            set (idx (v "b") (n 0)) (n 77);
+            expr (Api.write (cast i64 (idx (v "fds") (n 1))) (addr (idx (v "b") (n 0))) (n 1));
+            expr (Api.exit_ (n 0));
+          ]
+          [];
+        decl_arr "b" u8 1;
+        decl "got" i64 (Some (Api.read (cast i64 (idx (v "fds") (n 0))) (addr (idx (v "b") (n 0))) (n 1)));
+        assert_ (v "got" ==! n 1) "read from child";
+        halt (cast u32 (idx (v "b") (n 0)));
+      ]
+  in
+  expect_exit_codes cu [ 77L ] "child inherits pipe descriptors"
+
+(* --- pthread runtime ----------------------------------------------------------------------------------- *)
+
+let test_mutex_mutual_exclusion () =
+  (* two threads increment a counter 100 times under a mutex; with
+     cooperative scheduling plus the lock, the final value is exact *)
+  let cu =
+    posix_unit
+      ~globals:[ global "m" (Arr (u64, 3)); global "counter" u32 ]
+      [
+        fn "incr_n" [ ("k", i64) ] None
+          [
+            for_range "i" ~from:(n 0) ~below:(n 100)
+              [
+                call_void "mutex_lock" [ addr (idx (v "m") (n 0)) ];
+                set (v "counter") (v "counter" +! n 1);
+                call_void "mutex_unlock" [ addr (idx (v "m") (n 0)) ];
+              ];
+          ];
+      ]
+      [
+        call_void "mutex_init" [ addr (idx (v "m") (n 0)) ];
+        expr (Api.thread_create "incr_n" (n 0));
+        expr (Api.thread_create "incr_n" (n 0));
+        (* give workers time to run (cooperative) *)
+        for_range "i" ~from:(n 0) ~below:(n 300) [ expr (Api.thread_preempt ()) ];
+        halt (v "counter");
+      ]
+  in
+  expect_exit_codes cu [ 200L ] "mutex-protected counter"
+
+let test_cond_wait_signal () =
+  let cu =
+    posix_unit
+      ~globals:
+        [ global "m" (Arr (u64, 3)); global "c" (Arr (u64, 1)); global "flag" u32 ]
+      [
+        fn "producer" [ ("k", i64) ] None
+          [
+            call_void "mutex_lock" [ addr (idx (v "m") (n 0)) ];
+            set (v "flag") (n 44);
+            call_void "cond_signal" [ addr (idx (v "c") (n 0)) ];
+            call_void "mutex_unlock" [ addr (idx (v "m") (n 0)) ];
+          ];
+      ]
+      [
+        call_void "mutex_init" [ addr (idx (v "m") (n 0)) ];
+        call_void "cond_init" [ addr (idx (v "c") (n 0)) ];
+        expr (Api.thread_create "producer" (n 0));
+        call_void "mutex_lock" [ addr (idx (v "m") (n 0)) ];
+        while_ (v "flag" ==! n 0)
+          [ call_void "cond_wait" [ addr (idx (v "c") (n 0)); addr (idx (v "m") (n 0)) ] ];
+        call_void "mutex_unlock" [ addr (idx (v "m") (n 0)) ];
+        halt (v "flag");
+      ]
+  in
+  expect_exit_codes cu [ 44L ] "condition variable"
+
+(* --- fcntl / O_NONBLOCK / dup2 ------------------------------------------------ *)
+
+let test_nonblocking_read () =
+  let cu =
+    posix_unit
+      ~globals:[ global "fds" (Arr (i32, 2)) ]
+      []
+      [
+        expr (Api.pipe (cast (Ptr u8) (addr (idx (v "fds") (n 0)))));
+        (* empty pipe + O_NONBLOCK: read returns EAGAIN instead of blocking *)
+        expr (Api.fcntl (cast i64 (idx (v "fds") (n 0))) Api.f_setfl Api.o_nonblock);
+        decl "flags" i64 (Some (Api.fcntl (cast i64 (idx (v "fds") (n 0))) Api.f_getfl (n 0)));
+        assert_ (v "flags" ==! n 1) "O_NONBLOCK reported by F_GETFL";
+        decl_arr "b" u8 1;
+        decl "r" i64 (Some (Api.read (cast i64 (idx (v "fds") (n 0))) (addr (idx (v "b") (n 0))) (n 1)));
+        if_ (v "r" ==! n (-11)) [ halt (n 42) ] [ halt (n 0) ];
+      ]
+  in
+  expect_exit_codes cu [ 42L ] "nonblocking read returns EAGAIN"
+
+let test_dup2 () =
+  let cu =
+    posix_unit
+      ~globals:[ global "fds" (Arr (i32, 2)) ]
+      []
+      [
+        expr (Api.pipe (cast (Ptr u8) (addr (idx (v "fds") (n 0)))));
+        (* duplicate the write end onto descriptor 9, write through it *)
+        decl "nine" i64 (Some (Api.dup2 (cast i64 (idx (v "fds") (n 1))) (n 9)));
+        assert_ (v "nine" ==! n 9) "dup2 returns the target";
+        decl_arr "b" u8 1;
+        set (idx (v "b") (n 0)) (n 77);
+        expr (Api.write (n 9) (addr (idx (v "b") (n 0))) (n 1));
+        decl_arr "r" u8 1;
+        decl "got" i64 (Some (Api.read (cast i64 (idx (v "fds") (n 0))) (addr (idx (v "r") (n 0))) (n 1)));
+        assert_ (v "got" ==! n 1) "read through original";
+        halt (cast u32 (idx (v "r") (n 0)));
+      ]
+  in
+  expect_exit_codes cu [ 77L ] "dup2 aliases the descriptor"
+
+
+let () =
+  Alcotest.run "posix"
+    [
+      ( "files",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_open_missing_file;
+          Alcotest.test_case "lseek/fstat" `Quick test_lseek_and_size;
+        ] );
+      ( "pipes",
+        [
+          Alcotest.test_case "blocking read" `Quick test_pipe_between_threads;
+          Alcotest.test_case "EOF on close" `Quick test_pipe_eof_on_close;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "echo" `Quick test_tcp_connection;
+          Alcotest.test_case "connect refused" `Quick test_connect_refused;
+        ] );
+      ("udp", [ Alcotest.test_case "datagram boundaries" `Quick test_udp_datagram_boundaries ]);
+      ("select", [ Alcotest.test_case "blocks until ready" `Quick test_select_blocks_until_ready ]);
+      ( "symbolic-io",
+        [
+          Alcotest.test_case "symbolic source" `Quick test_symbolic_source_forks;
+          Alcotest.test_case "fragmentation" `Quick test_fragmentation_explores_patterns;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "forks on write" `Quick test_fault_injection_forks;
+          Alcotest.test_case "disabled: no fork" `Quick test_fi_disabled_no_fork;
+        ] );
+      ( "processes",
+        [
+          Alcotest.test_case "fork + waitpid" `Quick test_fork_waitpid;
+          Alcotest.test_case "fd inheritance" `Quick test_fork_inherits_fds;
+        ] );
+      ( "fcntl",
+        [
+          Alcotest.test_case "O_NONBLOCK read" `Quick test_nonblocking_read;
+          Alcotest.test_case "dup2" `Quick test_dup2;
+        ] );
+      ( "pthread",
+        [
+          Alcotest.test_case "mutex" `Quick test_mutex_mutual_exclusion;
+          Alcotest.test_case "condvar" `Quick test_cond_wait_signal;
+        ] );
+    ]

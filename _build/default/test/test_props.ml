@@ -1,0 +1,256 @@
+(* Cross-cutting property tests: persistent queue semantics, the symbolic
+   memory's copy-on-write isolation and little-endian layout, path/trie
+   algebra, expression substitution, and solver determinism. *)
+
+module E = Smt.Expr
+module Path = Engine.Path
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* --- Fqueue: model-based against plain lists ------------------------------- *)
+
+type qop = Push of int | Pop | Pop_n of int
+
+let gen_qops =
+  let open QCheck2.Gen in
+  list_size (int_range 1 60)
+    (frequency
+       [
+         (3, map (fun x -> Push x) (int_bound 1000));
+         (2, return Pop);
+         (1, map (fun n -> Pop_n n) (int_bound 5));
+       ])
+
+let prop_fqueue_matches_list_model =
+  QCheck2.Test.make ~count:300 ~name:"Fqueue behaves like a list" gen_qops (fun ops ->
+      let q = ref Posix.Fqueue.empty in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Push x ->
+            q := Posix.Fqueue.push !q x;
+            model := !model @ [ x ];
+            true
+          | Pop -> (
+            match (Posix.Fqueue.pop !q, !model) with
+            | None, [] -> true
+            | Some (x, q'), y :: rest ->
+              q := q';
+              model := rest;
+              x = y
+            | _ -> false)
+          | Pop_n n ->
+            let xs, q' = Posix.Fqueue.pop_n !q n in
+            q := q';
+            let expect = List.filteri (fun i _ -> i < n) !model in
+            model := List.filteri (fun i _ -> i >= n) !model;
+            xs = expect)
+        ops
+      && Posix.Fqueue.to_list !q = !model
+      && Posix.Fqueue.length !q = List.length !model)
+
+(* --- Memory ------------------------------------------------------------------ *)
+
+let prop_memory_roundtrip =
+  let gen =
+    QCheck2.Gen.(pair (int_bound 20) (list_size (int_range 1 8) (int_bound 255)))
+  in
+  QCheck2.Test.make ~count:300 ~name:"memory store/load roundtrip (little-endian)" gen
+    (fun (off, bytes) ->
+      let mem = Cvm.Memory.empty in
+      let mem, base = Cvm.Memory.alloc mem ~pid:0 ~size:32 in
+      let addr = base + off in
+      let mem =
+        List.fold_left
+          (fun (mem, i) b ->
+            (Cvm.Memory.store mem ~pid:0 ~addr:(addr + i) (E.const ~width:8 (Int64.of_int b)), i + 1))
+          (mem, 0) bytes
+        |> fst
+      in
+      let loaded = Cvm.Memory.load mem ~pid:0 ~addr ~len:(List.length bytes) in
+      let expect =
+        List.rev bytes |> List.fold_left (fun acc b -> Int64.logor (Int64.shift_left acc 8) (Int64.of_int b)) 0L
+      in
+      E.const_value loaded = Some expect)
+
+let test_memory_cow_isolation () =
+  let mem = Cvm.Memory.empty in
+  let mem, base = Cvm.Memory.alloc mem ~pid:0 ~size:4 in
+  let mem = Cvm.Memory.store mem ~pid:0 ~addr:base (E.const ~width:8 7L) in
+  let mem = Cvm.Memory.clone_space mem ~parent:0 ~child:1 in
+  (* the child sees the parent's value... *)
+  Alcotest.(check bool) "child inherits" true
+    (E.const_value (Cvm.Memory.load mem ~pid:1 ~addr:base ~len:1) = Some 7L);
+  (* ...but writes diverge in both directions *)
+  let mem2 = Cvm.Memory.store mem ~pid:1 ~addr:base (E.const ~width:8 9L) in
+  Alcotest.(check bool) "parent unaffected by child write" true
+    (E.const_value (Cvm.Memory.load mem2 ~pid:0 ~addr:base ~len:1) = Some 7L);
+  let mem3 = Cvm.Memory.store mem2 ~pid:0 ~addr:base (E.const ~width:8 5L) in
+  Alcotest.(check bool) "child unaffected by parent write" true
+    (E.const_value (Cvm.Memory.load mem3 ~pid:1 ~addr:base ~len:1) = Some 9L)
+
+let test_memory_shared_objects () =
+  let mem = Cvm.Memory.empty in
+  let mem, base = Cvm.Memory.alloc ~shared:true mem ~pid:0 ~size:4 in
+  let mem = Cvm.Memory.clone_space mem ~parent:0 ~child:1 in
+  let mem = Cvm.Memory.store mem ~pid:1 ~addr:base (E.const ~width:8 3L) in
+  Alcotest.(check bool) "shared write visible across processes" true
+    (E.const_value (Cvm.Memory.load mem ~pid:0 ~addr:base ~len:1) = Some 3L)
+
+let test_memory_faults () =
+  let mem = Cvm.Memory.empty in
+  let mem, base = Cvm.Memory.alloc mem ~pid:0 ~size:4 in
+  Alcotest.check_raises "out of bounds"
+    (Cvm.Memory.Fault (Cvm.Memory.Out_of_bounds { addr = base + 3; size = 2 }))
+    (fun () -> ignore (Cvm.Memory.load mem ~pid:0 ~addr:(base + 3) ~len:2));
+  Alcotest.check_raises "unmapped" (Cvm.Memory.Fault (Cvm.Memory.Unmapped { addr = 4 }))
+    (fun () -> ignore (Cvm.Memory.load mem ~pid:0 ~addr:4 ~len:1));
+  let mem = Cvm.Memory.free mem ~pid:0 ~addr:base in
+  Alcotest.check_raises "use after free"
+    (Cvm.Memory.Fault (Cvm.Memory.Use_after_free { addr = base }))
+    (fun () -> ignore (Cvm.Memory.load mem ~pid:0 ~addr:base ~len:1))
+
+(* --- Path algebra ---------------------------------------------------------------- *)
+
+let gen_path =
+  QCheck2.Gen.(
+    list_size (int_bound 12)
+      (oneof
+         [
+           map (fun b -> Path.Branch b) bool;
+           map (fun i -> Path.Sched i) (int_bound 3);
+           map (fun i -> Path.Sys i) (int_bound 3);
+         ]))
+
+let prop_path_prefix =
+  QCheck2.Test.make ~count:300 ~name:"path prefix algebra" (QCheck2.Gen.pair gen_path gen_path)
+    (fun (p, q) ->
+      Path.is_prefix p (p @ q)
+      && Path.common_prefix_len p p = Path.length p
+      && Path.common_prefix_len p q <= min (Path.length p) (Path.length q)
+      && (Path.to_string p = Path.to_string q) = (p = q))
+
+(* --- Trie: model-based ---------------------------------------------------------- *)
+
+let prop_trie_matches_assoc_model =
+  let gen = QCheck2.Gen.(list_size (int_range 1 40) (pair gen_path (int_bound 100))) in
+  QCheck2.Test.make ~count:200 ~name:"trie add/remove/find vs assoc model" gen (fun ops ->
+      let t = Cluster.Trie.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (p, v) ->
+          Cluster.Trie.add t p v;
+          Hashtbl.replace model (Path.to_string p) (p, v))
+        ops;
+      let ok_finds =
+        Hashtbl.fold
+          (fun _ (p, v) acc -> acc && Cluster.Trie.find t p = Some v)
+          model true
+      in
+      let ok_size = Cluster.Trie.size t = Hashtbl.length model in
+      (* remove half the keys and re-check *)
+      let keys = Hashtbl.fold (fun _ (p, _) acc -> p :: acc) model [] in
+      let removed = List.filteri (fun i _ -> i mod 2 = 0) keys in
+      List.iter
+        (fun p ->
+          assert (Cluster.Trie.remove t p);
+          Hashtbl.remove model (Path.to_string p))
+        removed;
+      let ok_after =
+        Hashtbl.fold (fun _ (p, v) acc -> acc && Cluster.Trie.find t p = Some v) model true
+        && List.for_all (fun p -> Cluster.Trie.find t p = None) removed
+        && Cluster.Trie.size t = Hashtbl.length model
+      in
+      ok_finds && ok_size && ok_after)
+
+let prop_trie_random_pick_member =
+  let gen = QCheck2.Gen.(list_size (int_range 1 20) (pair gen_path (int_bound 100))) in
+  QCheck2.Test.make ~count:200 ~name:"trie random_pick returns a stored payload" gen
+    (fun ops ->
+      let t = Cluster.Trie.create () in
+      List.iter (fun (p, v) -> Cluster.Trie.add t p v) ops;
+      let rng = Random.State.make [| 9 |] in
+      match Cluster.Trie.random_pick rng t with
+      | None -> Cluster.Trie.size t = 0
+      | Some v -> List.exists (fun (_, v') -> v = v') ops)
+
+(* --- expression substitution -------------------------------------------------------- *)
+
+let sym_a = E.fresh_sym ~name:"pa" 8
+
+let prop_substitute_sound =
+  (* if the context forces a = c, then substituting a -> c preserves
+     evaluation under any model with a = c *)
+  let gen = QCheck2.Gen.(pair (int_bound 255) (int_bound 255)) in
+  QCheck2.Test.make ~count:300 ~name:"substitute preserves eval under the equality" gen
+    (fun (c, other) ->
+      let cst = E.const ~width:8 (Int64.of_int c) in
+      let e =
+        E.add (E.mul sym_a (E.const ~width:8 (Int64.of_int other))) (E.binop E.Xor sym_a cst)
+      in
+      let e' = E.substitute [ (sym_a, cst) ] e in
+      let lookup id = if Some id = (match sym_a with E.Sym { id; _ } -> Some id | _ -> None) then Some (Int64.of_int c) else None in
+      E.eval lookup e = E.eval lookup e' && E.syms e' = [])
+
+(* --- solver determinism ---------------------------------------------------------------- *)
+
+let test_check_deterministic_history_independent () =
+  let x = E.fresh_sym ~name:"dx" 8 in
+  let y = E.fresh_sym ~name:"dy" 8 in
+  let pc = [ E.ult x (E.const ~width:8 200L); E.ult (E.const ~width:8 3L) y ] in
+  let model_of solver =
+    match Smt.Solver.check_deterministic solver pc with
+    | Smt.Solver.Sat m -> Smt.Model.bindings m
+    | Smt.Solver.Unsat -> Alcotest.fail "pc must be sat"
+  in
+  (* solver 1: fresh *)
+  let s1 = Smt.Solver.create () in
+  let m1 = model_of s1 in
+  (* solver 2: polluted with unrelated query history first *)
+  let s2 = Smt.Solver.create () in
+  ignore (Smt.Solver.check s2 [ E.eq x (E.const ~width:8 123L) ]);
+  ignore (Smt.Solver.check s2 [ E.eq y (E.const ~width:8 45L) ]);
+  ignore (Smt.Solver.branch_feasible s2 ~pc (E.eq x (E.const ~width:8 7L)));
+  let m2 = model_of s2 in
+  Alcotest.(check bool) "same model regardless of history" true (m1 = m2)
+
+(* --- engine: replay determinism at the state level --------------------------------------- *)
+
+let test_fresh_input_ids_deterministic () =
+  let open Lang.Builder in
+  let program =
+    compile
+      (cunit ~entry:"main"
+         [ fn "main" [] (Some u32) [ halt (n 0) ] ])
+  in
+  let st1 = Engine.State.init program ~env:() ~args:[] in
+  let st1, syms1 = Engine.State.fresh_input st1 ~name:"x" ~count:3 in
+  let _, syms1b = Engine.State.fresh_input st1 ~name:"y" ~count:2 in
+  let st2 = Engine.State.init program ~env:() ~args:[] in
+  let st2, syms2 = Engine.State.fresh_input st2 ~name:"x" ~count:3 in
+  let _, syms2b = Engine.State.fresh_input st2 ~name:"y" ~count:2 in
+  Alcotest.(check bool) "identical symbol ids across replays" true
+    (syms1 = syms2 && syms1b = syms2b)
+
+let () =
+  Alcotest.run "props"
+    [
+      ("fqueue", qsuite [ prop_fqueue_matches_list_model ]);
+      ( "memory",
+        [
+          Alcotest.test_case "CoW isolation" `Quick test_memory_cow_isolation;
+          Alcotest.test_case "shared objects" `Quick test_memory_shared_objects;
+          Alcotest.test_case "faults" `Quick test_memory_faults;
+        ]
+        @ qsuite [ prop_memory_roundtrip ] );
+      ("path", qsuite [ prop_path_prefix ]);
+      ("trie", qsuite [ prop_trie_matches_assoc_model; prop_trie_random_pick_member ]);
+      ("substitution", qsuite [ prop_substitute_sound ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "solver history independence" `Quick
+            test_check_deterministic_history_independent;
+          Alcotest.test_case "symbol ids replay-stable" `Quick test_fresh_input_ids_deterministic;
+        ] );
+    ]

@@ -1,0 +1,412 @@
+(* Tests for the SMT substrate: expression evaluation, the simplifier, the
+   SAT core, bit blasting, and the query orchestrator.  The property tests
+   cross-check the symbolic pipeline against brute-force enumeration on
+   small widths. *)
+
+module E = Smt.Expr
+
+let i8 v = E.const ~width:8 (Int64.of_int v)
+let i32 v = E.const ~width:32 (Int64.of_int v)
+
+(* --- deterministic symbol pool for the generators --------------------- *)
+
+let sym_a = E.fresh_sym ~name:"a" 8
+let sym_b = E.fresh_sym ~name:"b" 8
+
+let sym_id = function E.Sym { id; _ } -> id | _ -> assert false
+
+let lookup_of_pair (va, vb) id =
+  if id = sym_id sym_a then Some va else if id = sym_id sym_b then Some vb else None
+
+(* --- random expression generator --------------------------------------- *)
+
+let gen_expr =
+  let open QCheck2.Gen in
+  let leaf w =
+    oneof
+      [
+        map (fun v -> E.const ~width:w (Int64.of_int v)) (int_bound 255);
+        (if w = 8 then oneofl [ sym_a; sym_b ] else map (fun v -> E.const ~width:w (Int64.of_int v)) (int_bound 255));
+      ]
+  in
+  let binops =
+    [
+      E.Add; E.Sub; E.Mul; E.Udiv; E.Urem; E.Sdiv; E.Srem; E.And; E.Or; E.Xor; E.Shl;
+      E.Lshr; E.Ashr;
+    ]
+  in
+  let cmpops = [ E.Ult; E.Ule; E.Slt; E.Sle; E.Eq ] in
+  (* Generates width-8 expressions over sym_a/sym_b. *)
+  let rec expr8 depth =
+    if depth = 0 then leaf 8
+    else
+      frequency
+        [
+          (2, leaf 8);
+          ( 6,
+            let* op = oneofl binops in
+            let* a = expr8 (depth - 1) in
+            let* b = expr8 (depth - 1) in
+            return (E.binop op a b) );
+          ( 1,
+            let* op = oneofl [ E.Not; E.Neg ] in
+            let* a = expr8 (depth - 1) in
+            return (E.unop op a) );
+          ( 1,
+            let* op = oneofl cmpops in
+            let* a = expr8 (depth - 1) in
+            let* b = expr8 (depth - 1) in
+            let* t = expr8 (depth - 1) in
+            let* e = expr8 (depth - 1) in
+            return (E.ite (E.binop op a b) t e) );
+          ( 1,
+            let* a = expr8 (depth - 1) in
+            let* off = int_bound 4 in
+            return (E.zext (E.extract a ~off ~len:4) 8) );
+          ( 1,
+            let* a = expr8 (depth - 1) in
+            return (E.sext (E.extract a ~off:0 ~len:4) 8) );
+        ]
+  in
+  expr8 3
+
+let gen_bool_expr =
+  let open QCheck2.Gen in
+  let* a = gen_expr in
+  let* b = gen_expr in
+  let* op = oneofl [ E.Ult; E.Ule; E.Slt; E.Sle; E.Eq ] in
+  return (E.binop op a b)
+
+let gen_byte = QCheck2.Gen.map Int64.of_int (QCheck2.Gen.int_bound 255)
+
+(* --- expression unit tests ---------------------------------------------- *)
+
+let test_eval_arith () =
+  let e = E.add (i8 200) (i8 100) in
+  Alcotest.(check int64) "wraparound add" 44L (E.eval (fun _ -> None) e);
+  let e = E.mul (i8 16) (i8 16) in
+  Alcotest.(check int64) "wraparound mul" 0L (E.eval (fun _ -> None) e);
+  let e = E.binop E.Udiv (i8 7) (i8 0) in
+  Alcotest.(check int64) "udiv by zero is all-ones" 255L (E.eval (fun _ -> None) e);
+  let e = E.binop E.Srem (i8 7) (i8 0) in
+  Alcotest.(check int64) "srem by zero is dividend" 7L (E.eval (fun _ -> None) e)
+
+let test_eval_signed () =
+  let m128 = i8 128 in
+  let e = E.binop E.Sdiv m128 (i8 255) in
+  (* INT_MIN / -1 wraps to INT_MIN *)
+  Alcotest.(check int64) "sdiv INT_MIN -1" 128L (E.eval (fun _ -> None) e);
+  let e = E.slt m128 (i8 0) in
+  Alcotest.(check int64) "-128 < 0 signed" 1L (E.eval (fun _ -> None) e);
+  let e = E.ult m128 (i8 0) in
+  Alcotest.(check int64) "128 < 0 unsigned is false" 0L (E.eval (fun _ -> None) e)
+
+let test_extract_concat () =
+  let e = E.concat (i8 0xAB) (i8 0xCD) in
+  Alcotest.(check int) "concat width" 16 (E.width e);
+  Alcotest.(check int64) "concat value" 0xABCDL (E.eval (fun _ -> None) e);
+  let hi = E.extract e ~off:8 ~len:8 in
+  Alcotest.(check int64) "extract hi" 0xABL (E.eval (fun _ -> None) hi);
+  let lo = E.extract e ~off:0 ~len:8 in
+  Alcotest.(check int64) "extract lo" 0xCDL (E.eval (fun _ -> None) lo)
+
+let test_width_errors () =
+  Alcotest.check_raises "mixed widths" (E.Width_error "binop operand widths differ: 8 vs 32")
+    (fun () -> ignore (E.add (i8 1) (i32 1)))
+
+let test_sext_zext () =
+  let e = E.sext (i8 0x80) 32 in
+  Alcotest.(check int64) "sext" 0xFFFFFF80L (E.eval (fun _ -> None) e);
+  let e = E.zext (i8 0x80) 32 in
+  Alcotest.(check int64) "zext" 0x80L (E.eval (fun _ -> None) e)
+
+(* --- simplifier --------------------------------------------------------- *)
+
+let test_simplify_identities () =
+  let s = Smt.Simplify.simplify in
+  Alcotest.(check bool) "x+0 = x" true (s (E.add sym_a (i8 0)) = sym_a);
+  Alcotest.(check bool) "x*1 = x" true (s (E.mul sym_a (i8 1)) = sym_a);
+  Alcotest.(check bool) "x-x = 0" true (s (E.sub sym_a sym_a) = i8 0);
+  Alcotest.(check bool) "x^x = 0" true (s (E.binop E.Xor sym_a sym_a) = i8 0);
+  Alcotest.(check bool) "x=x is true" true (E.is_true (s (E.eq sym_a sym_a)));
+  Alcotest.(check bool) "x<x is false" true (E.is_false (s (E.ult sym_a sym_a)));
+  (* commutative normalization puts the constant on the right *)
+  match s (E.add (i8 1) sym_a) with
+  | E.Binop (E.Add, E.Sym _, E.Const _) -> ()
+  | other -> Alcotest.failf "expected (add sym const), got %s" (E.to_string other)
+
+let prop_simplify_preserves_semantics =
+  QCheck2.Test.make ~count:500 ~name:"simplify preserves eval"
+    QCheck2.Gen.(triple gen_expr gen_byte gen_byte)
+    (fun (e, va, vb) ->
+      let lookup = lookup_of_pair (va, vb) in
+      E.eval lookup e = E.eval lookup (Smt.Simplify.simplify e))
+
+let prop_lower_preserves_semantics =
+  QCheck2.Test.make ~count:500 ~name:"signed lowering preserves eval"
+    QCheck2.Gen.(triple gen_expr gen_byte gen_byte)
+    (fun (e, va, vb) ->
+      let lookup = lookup_of_pair (va, vb) in
+      E.eval lookup e = E.eval lookup (Smt.Simplify.lower e))
+
+(* --- SAT core ------------------------------------------------------------- *)
+
+let test_sat_basic () =
+  let s = Smt.Sat.create () in
+  let v1 = Smt.Sat.new_var s and v2 = Smt.Sat.new_var s in
+  let p b v = Smt.Sat.lit ~positive:b v in
+  Smt.Sat.add_clause s [ p true v1; p true v2 ];
+  Smt.Sat.add_clause s [ p false v1; p true v2 ];
+  Smt.Sat.add_clause s [ p true v1; p false v2 ];
+  (match Smt.Sat.solve s with
+  | Smt.Sat.Satisfiable -> ()
+  | Smt.Sat.Unsatisfiable -> Alcotest.fail "expected sat");
+  Alcotest.(check bool) "v1 and v2 both true" true (Smt.Sat.value s v1 && Smt.Sat.value s v2)
+
+let test_sat_unsat () =
+  let s = Smt.Sat.create () in
+  let v1 = Smt.Sat.new_var s in
+  let p b v = Smt.Sat.lit ~positive:b v in
+  Smt.Sat.add_clause s [ p true v1 ];
+  Smt.Sat.add_clause s [ p false v1 ];
+  match Smt.Sat.solve s with
+  | Smt.Sat.Unsatisfiable -> ()
+  | Smt.Sat.Satisfiable -> Alcotest.fail "expected unsat"
+
+(* Pigeonhole: 3 pigeons, 2 holes — classically unsatisfiable and requires
+   actual search, not just unit propagation. *)
+let test_sat_pigeonhole () =
+  let s = Smt.Sat.create () in
+  let var = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Smt.Sat.new_var s)) in
+  let p b v = Smt.Sat.lit ~positive:b v in
+  for i = 0 to 2 do
+    Smt.Sat.add_clause s [ p true var.(i).(0); p true var.(i).(1) ]
+  done;
+  for h = 0 to 1 do
+    for i = 0 to 2 do
+      for j = i + 1 to 2 do
+        Smt.Sat.add_clause s [ p false var.(i).(h); p false var.(j).(h) ]
+      done
+    done
+  done;
+  match Smt.Sat.solve s with
+  | Smt.Sat.Unsatisfiable -> ()
+  | Smt.Sat.Satisfiable -> Alcotest.fail "pigeonhole must be unsat"
+
+(* Random 3-CNF instances cross-checked against brute force. *)
+let prop_sat_matches_bruteforce =
+  let gen =
+    let open QCheck2.Gen in
+    let* nvars = int_range 3 6 in
+    let* nclauses = int_range 3 24 in
+    let* clauses =
+      list_repeat nclauses
+        (list_repeat 3
+           (let* v = int_bound (nvars - 1) in
+            let* sign = bool in
+            return (v, sign)))
+    in
+    return (nvars, clauses)
+  in
+  QCheck2.Test.make ~count:300 ~name:"CDCL matches brute force on random 3-CNF" gen
+    (fun (nvars, clauses) ->
+      let brute =
+        let sat = ref false in
+        for m = 0 to (1 lsl nvars) - 1 do
+          if
+            (not !sat)
+            && List.for_all
+                 (List.exists (fun (v, sign) -> (m lsr v) land 1 = if sign then 1 else 0))
+                 clauses
+          then sat := true
+        done;
+        !sat
+      in
+      let s = Smt.Sat.create () in
+      let vars = Array.init nvars (fun _ -> Smt.Sat.new_var s) in
+      List.iter
+        (fun clause ->
+          Smt.Sat.add_clause s
+            (List.map (fun (v, sign) -> Smt.Sat.lit ~positive:sign vars.(v)) clause))
+        clauses;
+      let got = match Smt.Sat.solve s with Smt.Sat.Satisfiable -> true | Smt.Sat.Unsatisfiable -> false in
+      got = brute)
+
+(* --- bit blasting ----------------------------------------------------------- *)
+
+(* For a random expression [e] and full assignment [sigma]:
+   pinning the symbols to sigma and asserting [e = eval_sigma(e)] must be
+   SAT, and asserting [e <> eval_sigma(e)] must be UNSAT. *)
+let prop_cnf_agrees_with_eval =
+  QCheck2.Test.make ~count:200 ~name:"bit blasting agrees with concrete eval"
+    QCheck2.Gen.(triple gen_expr gen_byte gen_byte)
+    (fun (e, va, vb) ->
+      let lookup = lookup_of_pair (va, vb) in
+      let v = E.eval lookup e in
+      let pin = [ E.eq sym_a (E.const ~width:8 va); E.eq sym_b (E.const ~width:8 vb) ] in
+      let expected = E.const ~width:(E.width e) v in
+      let solver = Smt.Solver.create () in
+      let pos =
+        match Smt.Solver.check solver (E.eq e expected :: pin) with
+        | Smt.Solver.Sat _ -> true
+        | Smt.Solver.Unsat -> false
+      in
+      let negq =
+        match Smt.Solver.check solver (E.ne e expected :: pin) with
+        | Smt.Solver.Sat _ -> true
+        | Smt.Solver.Unsat -> false
+      in
+      pos && not negq)
+
+(* Satisfiability of a random boolean constraint agrees with brute-force
+   enumeration of the two 8-bit symbols. *)
+let prop_solver_matches_bruteforce =
+  QCheck2.Test.make ~count:60 ~name:"solver verdict matches brute force" gen_bool_expr
+    (fun c ->
+      let brute = ref false in
+      (try
+         for va = 0 to 255 do
+           for vb = 0 to 255 do
+             if E.eval (lookup_of_pair (Int64.of_int va, Int64.of_int vb)) c = 1L then begin
+               brute := true;
+               raise Exit
+             end
+           done
+         done
+       with Exit -> ());
+      let solver = Smt.Solver.create () in
+      match Smt.Solver.check solver [ c ] with
+      | Smt.Solver.Sat m -> !brute && Smt.Model.eval m c = 1L
+      | Smt.Solver.Unsat -> not !brute)
+
+(* --- solver orchestration --------------------------------------------------- *)
+
+let test_branch_feasible () =
+  let solver = Smt.Solver.create () in
+  let pc = [ E.ult sym_a (i8 10) ] in
+  Alcotest.(check bool) "a < 10 and a = 5 feasible" true
+    (Smt.Solver.branch_feasible solver ~pc (E.eq sym_a (i8 5)));
+  Alcotest.(check bool) "a < 10 and a = 20 infeasible" false
+    (Smt.Solver.branch_feasible solver ~pc (E.eq sym_a (i8 20)));
+  Alcotest.(check bool) "a < 10 implies a <= 9" true
+    (Smt.Solver.must_be_true solver ~pc (E.ule sym_a (i8 9)))
+
+let test_independence_slicing () =
+  (* b's constraints are irrelevant to a query about a *)
+  let solver = Smt.Solver.create () in
+  let pc = [ E.ult sym_a (i8 10); E.eq sym_b (i8 77) ] in
+  Alcotest.(check bool) "sliced query" true
+    (Smt.Solver.branch_feasible solver ~pc (E.eq sym_a (i8 3)))
+
+let test_cache_hits () =
+  let solver = Smt.Solver.create () in
+  let pc = [ E.ult sym_a (i8 10) ] in
+  let q () = ignore (Smt.Solver.branch_feasible solver ~pc (E.eq sym_a (i8 5))) in
+  q ();
+  q ();
+  q ();
+  let st = Smt.Solver.stats solver in
+  Alcotest.(check bool) "second and third queries hit a cache" true
+    (st.Smt.Solver.cache_hits + st.Smt.Solver.cex_hits >= 2);
+  Smt.Solver.clear_caches solver;
+  q ();
+  Alcotest.(check bool) "queries counted" true (st.Smt.Solver.queries = 4)
+
+let test_model_extraction () =
+  let solver = Smt.Solver.create () in
+  let c = [ E.eq (E.add sym_a sym_b) (i8 100); E.eq sym_a (i8 42) ] in
+  match Smt.Solver.check solver c with
+  | Smt.Solver.Unsat -> Alcotest.fail "expected sat"
+  | Smt.Solver.Sat m ->
+    Alcotest.(check int64) "a = 42" 42L (Smt.Model.eval m sym_a);
+    Alcotest.(check int64) "b = 58" 58L (Smt.Model.eval m sym_b)
+
+(* --- interval analysis --------------------------------------------------------- *)
+
+(* soundness: for any expression and any concrete assignment inside the
+   boxes, the concrete value lies inside the abstract result *)
+let prop_range_sound =
+  QCheck2.Test.make ~count:500 ~name:"interval analysis is conservative"
+    QCheck2.Gen.(triple gen_expr gen_byte gen_byte)
+    (fun (e, va, vb) ->
+      let box v = Smt.Range.make ~width:8 0L v in
+      let lookup id =
+        if id = sym_id sym_a then Some (box va)
+        else if id = sym_id sym_b then Some (box vb)
+        else None
+      in
+      let r = Smt.Range.eval lookup e in
+      (* pick assignments at the box corners and inside *)
+      List.for_all
+        (fun (x, y) ->
+          let lookup_conc id =
+            if id = sym_id sym_a then Some x else if id = sym_id sym_b then Some y else None
+          in
+          Smt.Range.contains r (E.eval lookup_conc e))
+        [ (0L, 0L); (va, vb); (Int64.div va 2L, Int64.div vb 2L); (0L, vb); (va, 0L) ])
+
+(* agreement: when the fast path gives a verdict, the SAT solver agrees *)
+let prop_range_agrees_with_sat =
+  QCheck2.Test.make ~count:200 ~name:"range fast path agrees with SAT"
+    QCheck2.Gen.(pair gen_bool_expr (int_bound 255))
+    (fun (cond, bound) ->
+      let pc = [ Smt.Simplify.simplify (E.ule sym_a (E.const ~width:8 (Int64.of_int bound))) ] in
+      let cond = Smt.Simplify.simplify cond in
+      match Smt.Range.quick_feasible ~pc cond with
+      | None -> true
+      | Some verdict ->
+        let solver = Smt.Solver.create ~use_range:false () in
+        Smt.Solver.branch_feasible solver ~pc cond = verdict)
+
+let test_range_basics () =
+  let box = Smt.Range.make ~width:8 10L 20L in
+  Alcotest.(check bool) "contains" true (Smt.Range.contains box 15L);
+  Alcotest.(check bool) "excludes" false (Smt.Range.contains box 21L);
+  (match Smt.Range.meet box (Smt.Range.make ~width:8 18L 30L) with
+  | Some m -> Alcotest.(check bool) "meet" true (m.Smt.Range.lo = 18L && m.Smt.Range.hi = 20L)
+  | None -> Alcotest.fail "meet must be nonempty");
+  Alcotest.(check bool) "empty meet" true
+    (Smt.Range.meet box (Smt.Range.make ~width:8 30L 40L) = None);
+  (* derived verdicts *)
+  let pc = [ Smt.Simplify.simplify (E.ult sym_a (i8 10)) ] in
+  Alcotest.(check (option bool)) "a<10 implies a<=20" (Some true)
+    (Smt.Range.quick_feasible ~pc (Smt.Simplify.simplify (E.ult sym_a (i8 20))));
+  Alcotest.(check (option bool)) "a<10 refutes a>=50" (Some false)
+    (Smt.Range.quick_feasible ~pc (Smt.Simplify.simplify (E.uge sym_a (i8 50))))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "smt"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "arith eval" `Quick test_eval_arith;
+          Alcotest.test_case "signed eval" `Quick test_eval_signed;
+          Alcotest.test_case "extract/concat" `Quick test_extract_concat;
+          Alcotest.test_case "width errors" `Quick test_width_errors;
+          Alcotest.test_case "sext/zext" `Quick test_sext_zext;
+        ] );
+      ( "simplify",
+        Alcotest.test_case "identities" `Quick test_simplify_identities
+        :: qsuite [ prop_simplify_preserves_semantics; prop_lower_preserves_semantics ] );
+      ( "sat",
+        [
+          Alcotest.test_case "basic sat" `Quick test_sat_basic;
+          Alcotest.test_case "basic unsat" `Quick test_sat_unsat;
+          Alcotest.test_case "pigeonhole" `Quick test_sat_pigeonhole;
+        ]
+        @ qsuite [ prop_sat_matches_bruteforce ] );
+      ("cnf", qsuite [ prop_cnf_agrees_with_eval ]);
+      ( "range",
+        Alcotest.test_case "basics" `Quick test_range_basics
+        :: qsuite [ prop_range_sound; prop_range_agrees_with_sat ] );
+      ( "solver",
+        [
+          Alcotest.test_case "branch feasibility" `Quick test_branch_feasible;
+          Alcotest.test_case "independence slicing" `Quick test_independence_slicing;
+          Alcotest.test_case "caches" `Quick test_cache_hits;
+          Alcotest.test_case "model extraction" `Quick test_model_extraction;
+        ]
+        @ qsuite [ prop_solver_matches_bruteforce ] );
+    ]

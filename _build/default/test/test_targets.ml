@@ -1,0 +1,242 @@
+(* Tests for the target programs: each paper case study must reproduce —
+   the curl unmatched-brace crash, the Bandicoot out-of-bounds read, the
+   lighttpd fragmentation matrix (Table 6), the memcached UDP hang and
+   test suite, plus the printf/test utilities and the producer-consumer
+   POSIX exerciser. *)
+
+module Errors = Engine.Errors
+
+let run ?max_steps ?(strategy = "dfs") ?goal program =
+  let rng = Random.State.make [| 5 |] in
+  let searcher = Engine.Searcher.of_name ~rng strategy in
+  let solver = Smt.Solver.create () in
+  let cfg = Posix.Api.make_config ~solver ?max_steps ~nlines:program.Cvm.Program.nlines () in
+  let st0 = Posix.Api.initial_state program ~args:[] in
+  Engine.Driver.run ?goal cfg searcher st0 ~collect_tests:1000
+
+let terminations r = List.map (fun tc -> tc.Engine.Testcase.termination) r.Engine.Driver.tests
+
+let single_exit r =
+  match terminations r with
+  | [ Errors.Exit c ] -> c
+  | other ->
+    Alcotest.failf "expected one exit, got [%s]"
+      (String.concat "; " (List.map Errors.termination_to_string other))
+
+let has_memory_fault r =
+  List.exists (function Errors.Error (Errors.Memory_fault _) -> true | _ -> false) (terminations r)
+
+(* --- printf ------------------------------------------------------------------ *)
+
+let test_printf_concrete () =
+  let cases =
+    [
+      ("abc", 3L);     (* literals *)
+      ("%d", 2L);      (* 42 *)
+      ("%05d", 5L);    (* 00042 *)
+      ("%x", 2L);      (* 2a *)
+      ("%s!", 4L);     (* str! *)
+      ("%%", 1L);
+      ("%q", 1L);      (* unknown conversion -> '?' *)
+      ("a%db", 4L);    (* a42b *)
+    ]
+  in
+  List.iter
+    (fun (fmt, expect) ->
+      let r = run (Targets.Printf_target.concrete_program ~fmt) in
+      Alcotest.(check int64) (Printf.sprintf "printf %S" fmt) expect (single_exit r))
+    cases
+
+let test_printf_symbolic_exhausts () =
+  let r = run (Targets.Printf_target.program ~fmt_len:3) in
+  Alcotest.(check bool) "exhausted" true r.Engine.Driver.exhausted;
+  Alcotest.(check bool) "many paths" true (r.Engine.Driver.paths_explored > 50);
+  Alcotest.(check int) "no errors" 0 r.Engine.Driver.errors
+
+(* --- test utility ----------------------------------------------------------------- *)
+
+let test_test_concrete () =
+  let cases =
+    [
+      ([ "5"; "-lt"; "7" ], 0L);
+      ([ "7"; "-lt"; "5" ], 1L);
+      ([ "12"; "-eq"; "12" ], 0L);
+      ([ "ab"; "="; "ab" ], 0L);
+      ([ "ab"; "!="; "ab" ], 1L);
+      ([ "!"; "x" ], 1L);
+      ([ "x"; "-a"; "y" ], 0L);
+      ([ "x"; "-o"; "" ], 0L);
+      ([ "-z"; "" ], 0L);
+      ([ "-n"; "" ], 1L);
+    ]
+  in
+  List.iter
+    (fun (tokens, expect) ->
+      let r = run (Targets.Test_target.concrete_program tokens) in
+      Alcotest.(check int64) (String.concat " " tokens) expect (single_exit r))
+    cases
+
+let test_test_symbolic () =
+  let r = run (Targets.Test_target.program ~ntokens:2) in
+  Alcotest.(check bool) "exhausted" true r.Engine.Driver.exhausted;
+  Alcotest.(check int) "no errors" 0 r.Engine.Driver.errors
+
+(* --- curl ------------------------------------------------------------------------------ *)
+
+let test_curl_crash_input () =
+  let r = run (Targets.Curl_glob.concrete_program ~buggy:true ~url:"s.{a,b}.com{") in
+  Alcotest.(check bool) "unmatched brace crashes pre-fix curl" true (has_memory_fault r);
+  let r = run (Targets.Curl_glob.concrete_program ~buggy:false ~url:"s.{a,b}.com{") in
+  Alcotest.(check bool) "fix survives the crash input" false (has_memory_fault r)
+
+let test_curl_expansion_counts () =
+  List.iter
+    (fun (url, expect) ->
+      let r = run (Targets.Curl_glob.concrete_program ~buggy:false ~url) in
+      Alcotest.(check int64) url expect (single_exit r))
+    [ ("plain.com", 1L); ("{a,b}.com", 2L); ("{a,b,c}x{d,e}", 6L); ("v[2-5].com", 4L) ]
+
+let test_curl_symbolic_finds_bug () =
+  let buggy = run (Targets.Curl_glob.program ~buggy:true ~url_len:5) in
+  Alcotest.(check bool) "symbolic run finds crashes" true (buggy.Engine.Driver.errors > 0);
+  let fixed = run (Targets.Curl_glob.program ~buggy:false ~url_len:5) in
+  Alcotest.(check int) "fixed version has no crashes" 0 fixed.Engine.Driver.errors
+
+(* --- bandicoot ---------------------------------------------------------------------------- *)
+
+let test_bandicoot_valid_request () =
+  let r = run (Targets.Bandicoot_mini.concrete_program ~req:"GET /users HTTP") in
+  Alcotest.(check int64) "valid GET" 200L (single_exit r);
+  let r = run (Targets.Bandicoot_mini.concrete_program ~req:"GET /nope HTTP ") in
+  Alcotest.(check int64) "missing relation" 404L (single_exit r);
+  let r = run (Targets.Bandicoot_mini.concrete_program ~req:"PUT /users HTTP") in
+  Alcotest.(check int64) "non-GET" 400L (single_exit r)
+
+let test_bandicoot_oob_found () =
+  let r = run (Targets.Bandicoot_mini.program ~req_len:8) in
+  Alcotest.(check bool) "symbolic run finds the OOB read" true (has_memory_fault r)
+
+(* --- lighttpd (Table 6) --------------------------------------------------------------------- *)
+
+let test_lighttpd_table6 () =
+  let module L = Targets.Lighttpd_mini in
+  let check version pattern pattern_name expect_crash =
+    let r = run (L.program version pattern) in
+    let crashed = has_memory_fault r in
+    let vname = match version with L.V12 -> "1.4.12" | L.V13 -> "1.4.13" in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s %s %s" vname pattern_name (if expect_crash then "crashes" else "is ok"))
+      expect_crash crashed;
+    if not expect_crash then
+      Alcotest.(check int64) (Printf.sprintf "%s %s serves 200" vname pattern_name) 200L (single_exit r)
+  in
+  check L.V12 L.pattern_whole "1x28" false;
+  check L.V12 L.pattern_split "26+2" true;
+  check L.V12 L.pattern_complex "complex" true;
+  check L.V13 L.pattern_whole "1x28" false;
+  check L.V13 L.pattern_split "26+2" false;
+  check L.V13 L.pattern_complex "complex" true
+
+(* --- memcached ---------------------------------------------------------------------------------- *)
+
+let test_memcached_suite_passes () =
+  List.iter
+    (fun (name, cmds, statuses) ->
+      let r = run (Targets.Memcached_mini.concrete_suite ~commands:cmds ~expected_statuses:statuses ()) in
+      Alcotest.(check int) (name ^ ": no errors") 0 r.Engine.Driver.errors;
+      Alcotest.(check int64) (name ^ ": clean exit") 0L (single_exit r))
+    Targets.Memcached_mini.test_suite
+
+let test_memcached_udp_hang_detected () =
+  let r = run ~max_steps:20000 (Targets.Memcached_mini.udp_program ~dgram_len:4) in
+  let hangs =
+    List.filter (function Errors.Error Errors.Instruction_limit -> true | _ -> false)
+      (terminations r)
+  in
+  Alcotest.(check bool) "instruction cap catches the fragment-train loop" true
+    (List.length hangs >= 1)
+
+let test_memcached_symbolic_packets () =
+  let r = run (Targets.Memcached_mini.symbolic_packets ~npackets:1 ~pkt_len:5) in
+  Alcotest.(check bool) "exhausted" true r.Engine.Driver.exhausted;
+  Alcotest.(check bool) "tens of paths" true (r.Engine.Driver.paths_explored >= 15)
+
+(* --- coreutils ------------------------------------------------------------------------------------- *)
+
+let test_coreutils_all_compile () =
+  for seed = 0 to Targets.Coreutils_gen.count - 1 do
+    ignore (Targets.Coreutils_gen.program seed)
+  done
+
+let test_coreutils_diversity () =
+  let counts =
+    List.map
+      (fun seed ->
+        let r = run ~goal:(Engine.Driver.Paths 2000) (Targets.Coreutils_gen.program seed) in
+        Alcotest.(check int)
+          (Printf.sprintf "cu%02d has no errors" seed)
+          0 r.Engine.Driver.errors;
+        r.Engine.Driver.paths_explored)
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool) "path counts differ across utilities" true
+    (List.length (List.sort_uniq compare counts) >= 4)
+
+(* --- prodcons ---------------------------------------------------------------------------------------- *)
+
+let test_prodcons_concrete () =
+  let r =
+    run (Targets.Prodcons.program ~nproducers:2 ~nconsumers:2 ~items_per_producer:2 ~symbolic:false)
+  in
+  Alcotest.(check int) "no errors" 0 r.Engine.Driver.errors;
+  Alcotest.(check int) "single deterministic path" 1 r.Engine.Driver.paths_explored
+
+let test_prodcons_symbolic () =
+  let r =
+    run (Targets.Prodcons.program ~nproducers:1 ~nconsumers:1 ~items_per_producer:2 ~symbolic:true)
+  in
+  Alcotest.(check bool) "multiple data-dependent paths" true (r.Engine.Driver.paths_explored > 3);
+  Alcotest.(check int) "no errors" 0 r.Engine.Driver.errors
+
+let () =
+  Alcotest.run "targets"
+    [
+      ( "printf",
+        [
+          Alcotest.test_case "concrete formats" `Quick test_printf_concrete;
+          Alcotest.test_case "symbolic exhausts" `Quick test_printf_symbolic_exhausts;
+        ] );
+      ( "test-utility",
+        [
+          Alcotest.test_case "concrete evaluations" `Quick test_test_concrete;
+          Alcotest.test_case "symbolic exhausts" `Quick test_test_symbolic;
+        ] );
+      ( "curl",
+        [
+          Alcotest.test_case "crash input" `Quick test_curl_crash_input;
+          Alcotest.test_case "expansion counts" `Quick test_curl_expansion_counts;
+          Alcotest.test_case "symbolic finds bug" `Quick test_curl_symbolic_finds_bug;
+        ] );
+      ( "bandicoot",
+        [
+          Alcotest.test_case "valid requests" `Quick test_bandicoot_valid_request;
+          Alcotest.test_case "OOB read found" `Quick test_bandicoot_oob_found;
+        ] );
+      ("lighttpd", [ Alcotest.test_case "Table 6 matrix" `Quick test_lighttpd_table6 ]);
+      ( "memcached",
+        [
+          Alcotest.test_case "test suite passes" `Quick test_memcached_suite_passes;
+          Alcotest.test_case "UDP hang detected" `Quick test_memcached_udp_hang_detected;
+          Alcotest.test_case "symbolic packets" `Quick test_memcached_symbolic_packets;
+        ] );
+      ( "coreutils",
+        [
+          Alcotest.test_case "all 96 compile" `Quick test_coreutils_all_compile;
+          Alcotest.test_case "structural diversity" `Quick test_coreutils_diversity;
+        ] );
+      ( "prodcons",
+        [
+          Alcotest.test_case "concrete" `Quick test_prodcons_concrete;
+          Alcotest.test_case "symbolic" `Quick test_prodcons_symbolic;
+        ] );
+    ]

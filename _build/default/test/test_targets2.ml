@@ -1,0 +1,188 @@
+(* Tests for the second wave of Table 4 targets: the Python-like
+   interpreter, Apache and Ghttpd miniatures, the rsync delta algorithm,
+   the pbzip parallel compressor, and the libevent event loop. *)
+
+module Errors = Engine.Errors
+
+let run ?(max_steps = 300_000) program =
+  let rng = Random.State.make [| 5 |] in
+  let searcher = Engine.Searcher.of_name ~rng "dfs" in
+  let solver = Smt.Solver.create () in
+  let cfg = Posix.Api.make_config ~solver ~max_steps ~nlines:program.Cvm.Program.nlines () in
+  let st0 = Posix.Api.initial_state program ~args:[] in
+  Engine.Driver.run cfg searcher st0 ~collect_tests:1000
+
+let single_exit program =
+  let r = run program in
+  match r.Engine.Driver.tests with
+  | [ { Engine.Testcase.termination = Errors.Exit c; _ } ] -> c
+  | [ { Engine.Testcase.termination = t; _ } ] ->
+    Alcotest.failf "expected exit, got %s" (Errors.termination_to_string t)
+  | l -> Alcotest.failf "expected one path, got %d" (List.length l)
+
+let has_memory_fault r =
+  List.exists
+    (fun tc ->
+      match tc.Engine.Testcase.termination with
+      | Errors.Error (Errors.Memory_fault _) -> true
+      | _ -> false)
+    r.Engine.Driver.tests
+
+(* --- python ------------------------------------------------------------------- *)
+
+let test_python_evaluation () =
+  (* var env: letter k has value (k*7 mod 23) + 1, so a=1, b=8, c=15 *)
+  List.iter
+    (fun (src, expect) ->
+      Alcotest.(check int64) src expect (single_exit (Targets.Python_mini.concrete_program ~src)))
+    [
+      ("1+2*3", 1007L);
+      ("(1+2)*3", 1009L);
+      ("2*(3+4)", 1014L);
+      ("a+b", 1009L);
+      ("10%4", 1002L);
+      ("7-2-1", 1004L);      (* left association *)
+      ("-4+6", 1002L);       (* unary minus *)
+      ("3<5", 1001L);
+      ("5<3", 1000L);
+      ("7=7", 1001L);
+      ("10/0", Int64.of_int (1000 + 0xDEAD));
+      ("1++2", 2L);          (* syntax error *)
+      ("(2", 2L);            (* unmatched paren *)
+      (")2(", 2L);
+      ("1 2", 2L);           (* two operands *)
+      ("$", 1L);             (* lex error *)
+      ("", 2L);              (* empty *)
+    ]
+
+let test_python_symbolic_robustness () =
+  let r = run (Targets.Python_mini.program ~src_len:3) in
+  Alcotest.(check bool) "exhausted" true r.Engine.Driver.exhausted;
+  Alcotest.(check bool) "interpreter-scale path count" true (r.Engine.Driver.paths_explored > 1000);
+  Alcotest.(check int) "no crashes on any 3-byte program" 0 r.Engine.Driver.errors
+
+(* --- apache --------------------------------------------------------------------- *)
+
+let test_apache_conformance () =
+  (* exit code = status*10 + keep_alive *)
+  List.iter
+    (fun (req, expect) ->
+      Alcotest.(check int64) (String.escaped req) expect
+        (single_exit (Targets.Apache_mini.concrete_program ~req)))
+    [
+      ("GET / HTTP/1.0\r\n\r\n", 2000L);
+      ("GET / HTTP/1.1\r\nHost: x\r\n\r\n", 2001L);               (* 1.1 keep-alive default *)
+      ("GET / HTTP/1.1\r\n\r\n", 4001L);                          (* 1.1 requires Host *)
+      ("GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n", 2000L);
+      ("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", 2001L);
+      ("GET /nope HTTP/1.0\r\n\r\n", 4040L);
+      ("GET /docs HTTP/1.0\r\n\r\n", 3010L);                      (* redirect *)
+      ("GET /cgi/x HTTP/1.0\r\n\r\n", 4050L);                     (* GET on CGI *)
+      ("POST /cgi/x HTTP/1.0\r\nContent-Length: 2\r\n\r\nhi", 2000L);
+      ("POST /cgi/x HTTP/1.0\r\nContent-Length: 9\r\n\r\nhi", 4000L); (* short body *)
+      ("PUT / HTTP/1.0\r\n\r\n", 5010L);                          (* unknown method *)
+      ("GET / HTTP/2.0\r\n\r\n", 5050L);                          (* bad version *)
+      ("GET /?q=1 HTTP/1.0\r\n\r\n", 2000L);                      (* query split *)
+    ]
+
+let test_apache_symbolic_robustness () =
+  let r = run (Targets.Apache_mini.program ~req_len:6) in
+  Alcotest.(check bool) "exhausted" true r.Engine.Driver.exhausted;
+  Alcotest.(check int) "no crashes" 0 r.Engine.Driver.errors
+
+(* --- ghttpd ----------------------------------------------------------------------- *)
+
+let test_ghttpd_overflow () =
+  let buggy = run (Targets.Ghttpd_mini.program ~buggy:true ~req_len:22) in
+  Alcotest.(check bool) "symbolic run finds the log overflow" true (has_memory_fault buggy);
+  let fixed = run (Targets.Ghttpd_mini.program ~buggy:false ~req_len:22) in
+  Alcotest.(check int) "fix removes all crashes" 0 fixed.Engine.Driver.errors
+
+let test_ghttpd_routing () =
+  List.iter
+    (fun (req, expect) ->
+      Alcotest.(check int64) req expect
+        (single_exit (Targets.Ghttpd_mini.concrete_program ~buggy:false ~req)))
+    [
+      ("GET / HTTP/1.0", 200L);
+      ("GET /index.html x", 200L);
+      ("GET /nope HTTP", 404L);
+      ("POST / HTTP/1.0", 501L);
+    ]
+
+(* --- rsync -------------------------------------------------------------------------- *)
+
+let test_rsync_delta_ops () =
+  (* identical data: all blocks match -> nblocks COPY ops *)
+  Alcotest.(check int64) "identical file is all copies" 5L
+    (single_exit (Targets.Rsync_mini.concrete_program ~data:"the quick brown fox!"));
+  (* one block modified: literals appear *)
+  Alcotest.(check bool) "modified file needs more ops" true
+    (single_exit (Targets.Rsync_mini.concrete_program ~data:"the quirk brown fox!") > 5L)
+
+let test_rsync_roundtrip_proof () =
+  (* exhaustive: delta+patch reconstructs EVERY 5-byte input *)
+  let r = run (Targets.Rsync_mini.program ~new_len:5) in
+  Alcotest.(check bool) "exhausted" true r.Engine.Driver.exhausted;
+  Alcotest.(check int) "reconstruction assertions never fail" 0 r.Engine.Driver.errors
+
+(* --- pbzip ---------------------------------------------------------------------------- *)
+
+let test_pbzip_concrete () =
+  let r = run (Targets.Pbzip_mini.program ~nblocks:3 ~nworkers:2 ~symbolic:false) in
+  Alcotest.(check int) "no errors" 0 r.Engine.Driver.errors;
+  Alcotest.(check int) "deterministic single path" 1 r.Engine.Driver.paths_explored
+
+let test_pbzip_symbolic_roundtrip () =
+  let r = run (Targets.Pbzip_mini.program ~nblocks:1 ~nworkers:2 ~symbolic:true) in
+  Alcotest.(check bool) "exhausted" true r.Engine.Driver.exhausted;
+  Alcotest.(check bool) "explores run-length structures" true (r.Engine.Driver.paths_explored >= 8);
+  Alcotest.(check int) "compress/decompress identity holds" 0 r.Engine.Driver.errors
+
+(* --- libevent ------------------------------------------------------------------------- *)
+
+let test_libevent_concrete () =
+  let r = run (Targets.Libevent_mini.program ~payload:"hello!" ~symbolic:false) in
+  Alcotest.(check int) "no errors" 0 r.Engine.Driver.errors;
+  Alcotest.(check int) "deterministic single path" 1 r.Engine.Driver.paths_explored
+
+let test_libevent_symbolic () =
+  let r = run (Targets.Libevent_mini.program ~payload:"xxxx" ~symbolic:true) in
+  Alcotest.(check bool) "exhausted" true r.Engine.Driver.exhausted;
+  Alcotest.(check bool) "handler branches explored" true (r.Engine.Driver.paths_explored > 1);
+  Alcotest.(check int) "no errors" 0 r.Engine.Driver.errors
+
+let () =
+  Alcotest.run "targets2"
+    [
+      ( "python",
+        [
+          Alcotest.test_case "evaluation" `Quick test_python_evaluation;
+          Alcotest.test_case "symbolic robustness" `Quick test_python_symbolic_robustness;
+        ] );
+      ( "apache",
+        [
+          Alcotest.test_case "protocol conformance" `Quick test_apache_conformance;
+          Alcotest.test_case "symbolic robustness" `Quick test_apache_symbolic_robustness;
+        ] );
+      ( "ghttpd",
+        [
+          Alcotest.test_case "log overflow" `Quick test_ghttpd_overflow;
+          Alcotest.test_case "routing" `Quick test_ghttpd_routing;
+        ] );
+      ( "rsync",
+        [
+          Alcotest.test_case "delta ops" `Quick test_rsync_delta_ops;
+          Alcotest.test_case "roundtrip proof" `Quick test_rsync_roundtrip_proof;
+        ] );
+      ( "pbzip",
+        [
+          Alcotest.test_case "concrete" `Quick test_pbzip_concrete;
+          Alcotest.test_case "symbolic roundtrip" `Quick test_pbzip_symbolic_roundtrip;
+        ] );
+      ( "libevent",
+        [
+          Alcotest.test_case "concrete" `Quick test_libevent_concrete;
+          Alcotest.test_case "symbolic" `Quick test_libevent_symbolic;
+        ] );
+    ]
