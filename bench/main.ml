@@ -36,7 +36,8 @@ let make_worker ?(max_steps = 2_000_000) ?global_alloc program id =
   Cluster.Worker.create ~id ~cfg ~make_root ~seed:42 ()
 
 let cluster ?(speed = 100) ?(status = 5) ?(latency = 1) ?lb_disable_at ?(goal = CD.Exhaust)
-    ?(max_ticks = 5_000_000) ?(bucket = vmin) ?max_steps ?global_alloc ~nworkers program =
+    ?(max_ticks = 5_000_000) ?(bucket = vmin) ?max_steps ?global_alloc
+    ?(faults = Cluster.Faultplan.none) ~nworkers program =
   let cfg =
     {
       CD.nworkers;
@@ -50,6 +51,7 @@ let cluster ?(speed = 100) ?(status = 5) ?(latency = 1) ?lb_disable_at ?(goal = 
       max_ticks;
       bucket_ticks = bucket;
       coverable_lines = List.length (Cvm.Program.covered_lines program);
+      faults;
     }
   in
   CD.run cfg
@@ -515,6 +517,7 @@ let ablation_allocator () =
         max_ticks = 2_000_000;
         bucket_ticks = vmin;
         coverable_lines = List.length (Cvm.Program.covered_lines program);
+        faults = Cluster.Faultplan.none;
       }
     in
     let r = CD.run cfg in
@@ -652,6 +655,62 @@ let ablation_join () =
   Printf.printf "arrival staggering cost: %.0f%%\n"
     (100.0 *. (float_of_int stag /. float_of_int all -. 1.0))
 
+let bench_faults () =
+  section "Fault tolerance: crashes + lossy links vs a fault-free run"
+    "8 workers exhaust the memcached test while the fault plan crashes two of\n\
+     them mid-run (one permanently, one rejoining) and drops 5% of messages.\n\
+     Expected: identical path and error totals, with the recovery overhead\n\
+     visible as extra ticks, recovered jobs and recovery replay instructions.";
+  let program = Lazy.force mc2_small in
+  let free = cluster ~nworkers:8 ~speed:50 program in
+  (* crash in the thick of the exploration: one victim is gone for good,
+     the other returns with a fresh engine and an empty frontier *)
+  let plan =
+    Cluster.Faultplan.create
+      ~crashes:
+        [
+          Cluster.Faultplan.crash 2 ~at_tick:(free.CD.ticks / 3);
+          Cluster.Faultplan.crash 5 ~at_tick:(free.CD.ticks / 2) ~rejoin_after:60;
+        ]
+      ~drop_prob:0.05 ~seed:7 ()
+  in
+  let faulty = cluster ~nworkers:8 ~speed:50 ~faults:plan program in
+  let row name (r : CD.result) =
+    Printf.printf
+      "%-12s time=%6.2f vmin  paths=%5d errors=%3d crashes=%d recovered=%4d \
+       retransmits=%3d recovery-replay=%d\n%!"
+      name (ticks_to_minutes r.CD.ticks) r.CD.total_paths r.CD.total_errors r.CD.crashes
+      r.CD.recovered_jobs r.CD.retransmits r.CD.recovery_replay_instrs
+  in
+  row "fault-free" free;
+  row "faulty" faulty;
+  let overhead =
+    100.0 *. (float_of_int faulty.CD.ticks /. float_of_int (max 1 free.CD.ticks) -. 1.0)
+  in
+  let exact =
+    faulty.CD.total_paths = free.CD.total_paths && faulty.CD.total_errors = free.CD.total_errors
+  in
+  Printf.printf "recovery time overhead: %.0f%%  result exactness: %s\n" overhead
+    (if exact then "EXACT" else "MISMATCH");
+  let oc = open_out "BENCH_faults.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"target\": \"memcached-mini 2x5\",\n\
+    \  \"nworkers\": 8,\n\
+    \  \"drop_prob\": 0.05,\n\
+    \  \"fault_free\": { \"ticks\": %d, \"paths\": %d, \"errors\": %d },\n\
+    \  \"faulty\": { \"ticks\": %d, \"paths\": %d, \"errors\": %d,\n\
+    \              \"crashes\": %d, \"recovered_jobs\": %d, \"retransmits\": %d,\n\
+    \              \"recovery_replay_instrs\": %d },\n\
+    \  \"tick_overhead_pct\": %.1f,\n\
+    \  \"exact\": %b\n\
+     }\n"
+    free.CD.ticks free.CD.total_paths free.CD.total_errors faulty.CD.ticks
+    faulty.CD.total_paths faulty.CD.total_errors faulty.CD.crashes faulty.CD.recovered_jobs
+    faulty.CD.retransmits faulty.CD.recovery_replay_instrs overhead exact;
+  close_out oc;
+  Printf.printf "wrote BENCH_faults.json\n"
+
 (* ====================================================================== *)
 (* Bechamel micro-benchmarks of the engine primitives                      *)
 (* ====================================================================== *)
@@ -782,6 +841,7 @@ let experiments =
     ("ablation-static", ablation_static);
     ("ablation-hetero", ablation_hetero);
     ("ablation-join", ablation_join);
+    ("faults", bench_faults);
     ("micro", micro);
   ]
 

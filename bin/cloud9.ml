@@ -74,6 +74,38 @@ let speed_arg =
     value & opt int 2000
     & info [ "speed" ] ~docv:"I" ~doc:"Cluster mode: instructions per worker per tick")
 
+(* a crash spec is WORKER@TICK, e.g. --crash 2@100,5@200 *)
+let crash_conv =
+  let parse s =
+    match String.split_on_char '@' s with
+    | [ w; t ] -> (
+      match (int_of_string_opt w, int_of_string_opt t) with
+      | Some w, Some t when w >= 0 && t >= 0 -> Ok (w, t)
+      | _ -> Error (`Msg (Printf.sprintf "bad crash spec %S (expected WORKER@TICK)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad crash spec %S (expected WORKER@TICK)" s))
+  in
+  let print fmt (w, t) = Format.fprintf fmt "%d@%d" w t in
+  Arg.conv (parse, print)
+
+let crash_arg =
+  Arg.(
+    value
+    & opt (list crash_conv) []
+    & info [ "crash" ] ~docv:"W@T,.."
+        ~doc:"Cluster mode: crash worker $(i,W) at tick $(i,T) (comma-separated list)")
+
+let rejoin_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "rejoin" ] ~docv:"D"
+        ~doc:"Cluster mode: crashed workers rejoin after $(i,D) ticks (0 = never)")
+
+let msg_loss_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "msg-loss" ] ~docv:"P"
+        ~doc:"Cluster mode: drop each cluster message with probability $(i,P)")
+
 let run_local target options =
   let report = C.run_local ~options target in
   Format.printf "%a" C.pp_report report;
@@ -82,7 +114,18 @@ let run_local target options =
     st.Smt.Solver.queries st.Smt.Solver.sat_calls st.Smt.Solver.cache_hits
     st.Smt.Solver.cex_hits
 
-let run_cluster target nworkers speed goal max_steps =
+let run_cluster target nworkers speed goal max_steps crashes rejoin msg_loss =
+  let fault_plan =
+    Cluster.Faultplan.create
+      ~crashes:
+        (List.map
+           (fun (w, t) ->
+             Cluster.Faultplan.crash
+               ?rejoin_after:(if rejoin > 0 then Some rejoin else None)
+               w ~at_tick:t)
+           crashes)
+      ~drop_prob:msg_loss ()
+  in
   let options =
     {
       C.default_cluster_options with
@@ -90,6 +133,7 @@ let run_cluster target nworkers speed goal max_steps =
       speed;
       cluster_goal = goal;
       cworker_max_steps = Some max_steps;
+      fault_plan;
     }
   in
   let r = C.run_cluster ~options target in
@@ -99,10 +143,16 @@ let run_cluster target nworkers speed goal max_steps =
     (100.0 *. r.Cluster.Driver.final_coverage);
   Printf.printf "work: %d useful + %d replay instructions, %d states transferred, %d broken replays\n"
     r.Cluster.Driver.useful_instrs r.Cluster.Driver.replay_instrs r.Cluster.Driver.transfers
-    r.Cluster.Driver.broken_replays
+    r.Cluster.Driver.broken_replays;
+  if not (Cluster.Faultplan.is_faultless fault_plan) then
+    Printf.printf
+      "faults: %d crashes, %d jobs recovered, %d retransmits, %d recovery replay instructions\n"
+      r.Cluster.Driver.crashes r.Cluster.Driver.recovered_jobs r.Cluster.Driver.retransmits
+      r.Cluster.Driver.recovery_replay_instrs
 
 let run_cmd =
-  let run name variant workers strategy max_steps max_paths coverage tests speed =
+  let run name variant workers strategy max_steps max_paths coverage tests speed crashes
+      rejoin msg_loss =
     match Core.Registry.resolve ~name ~variant with
     | None ->
       Printf.eprintf "unknown target %s%s (try: cloud9 list)\n" name
@@ -131,13 +181,14 @@ let run_cmd =
           | Some f -> Cluster.Driver.Coverage_target f
           | None -> Cluster.Driver.Exhaust
         in
-        run_cluster target workers speed goal max_steps
+        run_cluster target workers speed goal max_steps crashes rejoin msg_loss
       end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a symbolic test on a target")
     Term.(
       const run $ target_arg $ variant_arg $ workers_arg $ strategy_arg $ max_steps_arg
-      $ max_paths_arg $ coverage_arg $ tests_arg $ speed_arg)
+      $ max_paths_arg $ coverage_arg $ tests_arg $ speed_arg $ crash_arg $ rejoin_arg
+      $ msg_loss_arg)
 
 let () =
   let info =

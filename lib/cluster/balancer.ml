@@ -14,6 +14,7 @@ type request = { src : int; dst : int; count : int }
 type t = {
   delta : float; (* the delta constant of the classification rule *)
   queues : (int, int) Hashtbl.t; (* worker id -> last reported queue length *)
+  last_report : (int, int) Hashtbl.t; (* worker id -> tick of last report *)
   global_coverage : Bytes.t;
   mutable enabled : bool; (* Fig. 13 disables balancing mid-run *)
   mutable total_transfers_requested : int;
@@ -23,6 +24,7 @@ let create ?(delta = 0.5) ~coverage_bytes () =
   {
     delta;
     queues = Hashtbl.create 16;
+    last_report = Hashtbl.create 16;
     global_coverage = Bytes.make coverage_bytes '\000';
     enabled = true;
     total_transfers_requested = 0;
@@ -32,8 +34,9 @@ let disable t = t.enabled <- false
 
 (* A worker status update: merge coverage, remember the queue length, and
    return the current global coverage for the worker to merge back. *)
-let report t ~worker ~queue_len ~coverage =
+let report ?(tick = 0) t ~worker ~queue_len ~coverage =
   Hashtbl.replace t.queues worker queue_len;
+  Hashtbl.replace t.last_report worker tick;
   let n = min (Bytes.length coverage) (Bytes.length t.global_coverage) in
   for i = 0 to n - 1 do
     Bytes.set t.global_coverage i
@@ -41,15 +44,31 @@ let report t ~worker ~queue_len ~coverage =
   done;
   Bytes.copy t.global_coverage
 
-let forget t ~worker = Hashtbl.remove t.queues worker
+let forget t ~worker =
+  Hashtbl.remove t.queues worker;
+  Hashtbl.remove t.last_report worker
 
 (* Compute transfer requests from the last reported queue lengths.  Pairs
    are matched from the ends of the queue-length-sorted worker list; each
-   pair <Wi, Wj> with li < lj moves (lj - li) / 2 jobs (paper 3.3). *)
-let rebalance t =
+   pair <Wi, Wj> with li < lj moves (lj - li) / 2 jobs (paper 3.3).
+   When [now]/[staleness] are given, workers whose last report is older
+   than [staleness] ticks are skipped entirely: a departed or silent
+   worker's stale queue length must neither skew the mean/sigma
+   classification nor attract transfers it cannot acknowledge. *)
+let rebalance ?now ?(staleness = max_int) t =
   if not t.enabled then []
   else begin
-    let entries = Hashtbl.fold (fun w l acc -> (w, l) :: acc) t.queues [] in
+    let fresh w =
+      match now with
+      | None -> true
+      | Some now -> (
+        match Hashtbl.find_opt t.last_report w with
+        | Some at -> now - at <= staleness
+        | None -> false)
+    in
+    let entries =
+      Hashtbl.fold (fun w l acc -> if fresh w then (w, l) :: acc else acc) t.queues []
+    in
     let nworkers = List.length entries in
     if nworkers < 2 then []
     else begin

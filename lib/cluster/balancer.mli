@@ -15,16 +15,22 @@ val create : ?delta:float -> coverage_bytes:int -> unit -> t
 val disable : t -> unit
 
 (** Record a worker's status update: merge its coverage into the global
-    overlay, remember its queue length, and return the merged global
-    vector for the worker to fold back into its local strategy. *)
-val report : t -> worker:int -> queue_len:int -> coverage:Bytes.t -> Bytes.t
+    overlay, remember its queue length (and the report [tick]), and
+    return the merged global vector for the worker to fold back into its
+    local strategy. *)
+val report : ?tick:int -> t -> worker:int -> queue_len:int -> coverage:Bytes.t -> Bytes.t
 
+(** Drop a departed worker's entries so its stale queue length no longer
+    skews classification (called by the driver on a crash). *)
 val forget : t -> worker:int -> unit
 
 (** Compute transfer requests from the last reported queue lengths.  Each
     pair moves half the difference, capped at a quarter of the source's
     queue; the internal ledger is updated optimistically so consecutive
-    rounds do not re-issue the same transfers. *)
-val rebalance : t -> request list
+    rounds do not re-issue the same transfers.  When [now] is given,
+    workers whose last report is older than [staleness] ticks are
+    skipped — silent workers neither skew the mean/sigma classification
+    nor attract transfers. *)
+val rebalance : ?now:int -> ?staleness:int -> t -> request list
 
 val global_coverage : t -> Bytes.t

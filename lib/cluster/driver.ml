@@ -10,14 +10,37 @@
    goal, useful (non-replay) instructions, states transferred per
    interval, the effect of disabling the balancer — is preserved.
 
+   Failure semantics (paper sections 3.1-3.3, DESIGN.md "Failure
+   semantics"): the [faults] plan may crash workers (optionally rejoining
+   later with a fresh engine), drop / duplicate / delay messages, and
+   partition links.  The data plane — job transfers, their acks, and
+   transfer requests — is therefore at-least-once: every routed job batch
+   is leased in the {!Ledger} and retransmitted with exponential backoff
+   until acknowledged; receivers deduplicate by lease id.  Status reports
+   are the reliable control plane and double as each worker's durable
+   recovery point: on a crash the driver credits the victim's
+   last-reported counters, expires its leases, and re-seeds the orphaned
+   subtrees on live workers as virtual candidates — lazy replay
+   reconstructs the states, and the replay-instruction counters measure
+   the recovery cost.  A live worker that exhausts a lease's retransmit
+   budget is evicted through the same crash path, which is what keeps
+   re-routing from ever double-exploring a subtree.
+
    One tick nominally represents 10 ms of virtual time. *)
 
 module Path = Engine.Path
 module Executor = Engine.Executor
 
 type message =
-  | Jobs of { dst : int; jobs : Path.t list }
+  | Jobs of {
+      lease : int;
+      src : int; (* a worker id, or Faultplan.lb for ledger (re)sends *)
+      dst : int;
+      jobs : Path.t list;
+      recovery : bool;
+    }
   | Transfer_request of { src : int; dst : int; count : int }
+  | Ack of { lease : int; src : int }
 
 type goal =
   | Exhaust                (* stop when the global tree is fully explored *)
@@ -36,6 +59,7 @@ type 'env config = {
   max_ticks : int;
   bucket_ticks : int;       (* stats bucket size (Fig. 12 uses 10 s) *)
   coverable_lines : int;    (* denominator for global coverage fraction *)
+  faults : Faultplan.t;     (* crash / loss / partition schedule *)
 }
 
 type bucket = {
@@ -63,6 +87,10 @@ type result = {
   buckets : bucket list;     (* oldest first *)
   per_worker_useful : (int * int) list; (* worker id -> useful instructions *)
   final_coverage : float;
+  crashes : int;             (* crash-plan victims plus lease evictions *)
+  recovered_jobs : int;      (* orphaned jobs re-seeded from ledger copies *)
+  retransmits : int;         (* job batches resent after an ack timeout *)
+  recovery_replay_instrs : int; (* replay cost of reconstructing orphans *)
 }
 
 let popcount_bytes b =
@@ -73,54 +101,179 @@ let popcount_bytes b =
 
 let run (cfg : 'env config) =
   let workers : 'env Worker.t option array = Array.make cfg.nworkers None in
-  let coverage_bytes =
-    (* worker coverage vectors all have the same length; size the global
-       vector accordingly once the first worker exists *)
-    let w0 = cfg.make_worker 0 in
-    Bytes.length w0.Worker.cfg.Executor.coverage
-  in
-  let lb = Balancer.create ~coverage_bytes () in
+  let departed = Array.make cfg.nworkers false in (* crashed; blocks re-arrival *)
+  let frt = Faultplan.make cfg.faults in
+  let ledger = Ledger.create ~base_timeout:(6 * (cfg.latency + 1)) () in
+  (* the balancer is created when the first worker joins, sized from that
+     worker's coverage vector (all workers' vectors have the same length) *)
+  let lb = ref None in
+  let lb_pending_disable = ref false in
   let inbox : (int * message) list ref = ref [] in (* (deliver_tick, msg) *)
-  let send ~at msg = inbox := (at, msg) :: !inbox in
   let tick = ref 0 in
   let transfers_total = ref 0 in
   let buckets = ref [] in
   let cur_bucket = ref (fresh_bucket 0) in
   let stop = ref false in
   let reached = ref false in
+  let root_seeded = ref false in
+  (* fault-tolerance bookkeeping *)
+  let crashes_total = ref 0 in
+  let recovered_total = ref 0 in
+  let global_bans : Path.t list ref = ref [] in
+  let pending_recovery : Path.t list ref = ref [] in (* orphans awaiting a live worker *)
+  (* lease id -> worker that processed it: receiver-side dedup, and the
+     source of the cumulative acknowledgement piggybacked on reports *)
+  let processed_leases : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* counters of crashed workers, captured at crash time: [d_paths] and
+     [d_errors] hold only the *reported* counts (unreported completions
+     are redone by recovery and counted there — never twice), while the
+     instruction counters hold everything the dead engine physically
+     executed *)
+  let d_paths = ref 0 and d_errors = ref 0 in
+  let d_useful = ref 0 and d_replay = ref 0 and d_broken = ref 0 in
+  let d_recov_replay = ref 0 in
 
+  let send_net ~at ~src ~dst msg =
+    match Faultplan.fate frt ~tick:!tick ~src ~dst with
+    | Faultplan.Drop -> ()
+    | Faultplan.Deliver extra -> inbox := (at + extra, msg) :: !inbox
+    | Faultplan.Duplicate lag -> inbox := (at, msg) :: (at + lag, msg) :: !inbox
+  in
   let alive_workers () =
     Array.to_list workers |> List.filter_map (fun w -> w)
   in
+  let spawn i =
+    let w = cfg.make_worker i in
+    Worker.ban_paths w !global_bans;
+    (match !lb with
+    | Some _ -> ()
+    | None ->
+      let b =
+        Balancer.create ~coverage_bytes:(Bytes.length w.Worker.cfg.Executor.coverage) ()
+      in
+      if !lb_pending_disable then Balancer.disable b;
+      lb := Some b);
+    workers.(i) <- Some w;
+    w
+  in
+  let jobs_delay jobs =
+    (* transfer size adds latency: 1 tick per 4 KiB of encoding *)
+    cfg.latency + (Job.tree_encoded_size jobs / 4096)
+  in
+  (* Re-seed orphaned jobs as recovery leases, spread over the live
+     workers least-loaded first; parked until a worker is alive. *)
+  let route_recovery t orphans =
+    if orphans <> [] then begin
+      let live =
+        Array.to_list workers
+        |> List.mapi (fun i w -> Option.map (fun w -> (i, Worker.queue_length w)) w)
+        |> List.filter_map (fun x -> x)
+        |> List.sort (fun (_, a) (_, b) -> compare a b)
+      in
+      match live with
+      | [] -> pending_recovery := orphans @ !pending_recovery
+      | _ ->
+        let n = List.length live in
+        let chunks = Array.make n [] in
+        List.iteri (fun k job -> chunks.(k mod n) <- job :: chunks.(k mod n)) orphans;
+        List.iteri
+          (fun k (dst, _) ->
+            match chunks.(k) with
+            | [] -> ()
+            | jobs ->
+              let lease = Ledger.issue ledger ~dst ~jobs ~now:t ~recovery:true in
+              recovered_total := !recovered_total + List.length jobs;
+              send_net ~at:(t + jobs_delay jobs) ~src:Faultplan.lb ~dst
+                (Jobs { lease; src = Faultplan.lb; dst; jobs; recovery = true }))
+          live
+    end
+  in
+  (* Crash-stop a worker: credit its last-reported results, expire its
+     leases, return its orphaned subtrees to the recovery pool, and warn
+     live workers off the nodes it had already handed away. *)
+  let handle_crash t i =
+    if i < 0 || i >= cfg.nworkers then () (* fault plan names a worker outside the cluster *)
+    else match workers.(i) with
+    | None -> () (* scheduled crash of a worker not (yet, anymore) alive *)
+    | Some w ->
+      incr crashes_total;
+      departed.(i) <- true;
+      let { Ledger.credit_paths; credit_errors; orphans; bans } =
+        Ledger.on_crash ledger ~worker:i
+      in
+      d_paths := !d_paths + credit_paths;
+      d_errors := !d_errors + credit_errors;
+      let _, _, useful, replay = Worker.stats w in
+      d_useful := !d_useful + useful;
+      d_replay := !d_replay + replay;
+      d_broken := !d_broken + w.Worker.broken_replays;
+      d_recov_replay := !d_recov_replay + w.Worker.recovery_replay_instrs;
+      (* undeliverable traffic: jobs to the dead worker are already
+         re-routed through their leases; requests involving it are moot *)
+      inbox :=
+        List.filter
+          (fun (_, m) ->
+            match m with
+            | Jobs { dst; _ } -> dst <> i
+            | Transfer_request { src; dst; _ } -> src <> i && dst <> i
+            | Ack _ -> true (* stale acks are ignored by the ledger *))
+          !inbox;
+      (match !lb with Some b -> Balancer.forget b ~worker:i | None -> ());
+      workers.(i) <- None;
+      if bans <> [] then begin
+        global_bans := bans @ !global_bans;
+        List.iter (fun w -> Worker.ban_paths w bans) (alive_workers ())
+      end;
+      route_recovery t orphans
+  in
   let global_coverage_fraction () =
-    (* merge every live worker's vector into the LB's view *)
-    let g = Balancer.global_coverage lb in
-    List.iter
-      (fun w ->
-        let c = w.Worker.cfg.Executor.coverage in
-        for i = 0 to min (Bytes.length g) (Bytes.length c) - 1 do
-          Bytes.set g i (Char.chr (Char.code (Bytes.get g i) lor Char.code (Bytes.get c i)))
-        done)
-      (alive_workers ());
-    if cfg.coverable_lines = 0 then 1.0
-    else float_of_int (popcount_bytes g) /. float_of_int cfg.coverable_lines
+    match !lb with
+    | None -> 0.0
+    | Some b ->
+      (* merge every live worker's vector into the LB's view *)
+      let g = Balancer.global_coverage b in
+      List.iter
+        (fun w ->
+          let c = w.Worker.cfg.Executor.coverage in
+          for i = 0 to min (Bytes.length g) (Bytes.length c) - 1 do
+            Bytes.set g i (Char.chr (Char.code (Bytes.get g i) lor Char.code (Bytes.get c i)))
+          done)
+        (alive_workers ());
+      if cfg.coverable_lines = 0 then 1.0
+      else float_of_int (popcount_bytes g) /. float_of_int cfg.coverable_lines
   in
   let totals () =
     List.fold_left
       (fun (p, e, u, r, b) w ->
         let paths, errs, useful, replay = Worker.stats w in
         (p + paths, e + errs, u + useful, r + replay, b + w.Worker.broken_replays))
-      (0, 0, 0, 0, 0) (alive_workers ())
+      (!d_paths, !d_errors, !d_useful, !d_replay, !d_broken)
+      (alive_workers ())
   in
 
   while not !stop do
     let t = !tick in
+    (* scheduled faults: crash-stop, then fresh-engine rejoins *)
+    List.iter (handle_crash t) (Faultplan.crashes_at frt ~tick:t);
+    List.iter
+      (fun i ->
+        if i >= 0 && i < cfg.nworkers && workers.(i) = None then begin
+          departed.(i) <- false;
+          ignore (spawn i)
+        end)
+      (Faultplan.rejoins_at frt ~tick:t);
     (* worker arrivals *)
     for i = 0 to cfg.nworkers - 1 do
-      if workers.(i) = None && cfg.join_tick i <= t then begin
-        let w = cfg.make_worker i in
-        if i = 0 then Worker.seed_root w;
-        workers.(i) <- Some w
+      if workers.(i) = None && (not departed.(i)) && cfg.join_tick i <= t then begin
+        let w = spawn i in
+        if i = 0 && not !root_seeded then begin
+          Worker.seed_root w;
+          root_seeded := true;
+          (* the root job is leased like any routed job, so a crash of
+             worker 0 before its first status report re-seeds the tree *)
+          let lease = Ledger.issue ledger ~dst:0 ~jobs:[ [] ] ~now:t ~recovery:false in
+          Ledger.mark_delivered ledger ~lease ~now:t
+        end
       end
     done;
     (* deliver due messages *)
@@ -129,28 +282,37 @@ let run (cfg : 'env config) =
     List.iter
       (fun (_, msg) ->
         match msg with
-        | Jobs { dst; jobs } -> (
+        | Jobs { lease; dst; jobs; recovery; _ } -> (
           match workers.(dst) with
           | Some w ->
-            Worker.receive_jobs w jobs;
-            transfers_total := !transfers_total + List.length jobs;
-            !cur_bucket.transferred <- !cur_bucket.transferred + List.length jobs
+            (* always (re)acknowledge: the previous ack may have been
+               lost; deliver the payload only once per lease *)
+            send_net ~at:(t + cfg.latency) ~src:dst ~dst:Faultplan.lb
+              (Ack { lease; src = dst });
+            if not (Hashtbl.mem processed_leases lease) then begin
+              Hashtbl.replace processed_leases lease dst;
+              Worker.receive_jobs ~recovery w jobs;
+              transfers_total := !transfers_total + List.length jobs;
+              !cur_bucket.transferred <- !cur_bucket.transferred + List.length jobs
+            end
           | None -> ())
         | Transfer_request { src; dst; count } -> (
-          match workers.(src) with
-          | Some w ->
+          match (workers.(src), workers.(dst)) with
+          | Some w, Some _ ->
             let jobs = Worker.transfer_out w ~count in
             if jobs <> [] then begin
-              (* transfer size adds latency: 1 tick per 4 KiB of encoding *)
-              let size = Job.tree_encoded_size jobs in
-              let extra = size / 4096 in
-              send ~at:(t + cfg.latency + extra) (Jobs { dst; jobs })
+              Ledger.record_sent_out ledger ~src ~jobs;
+              let lease = Ledger.issue ledger ~dst ~jobs ~now:t ~recovery:false in
+              send_net ~at:(t + jobs_delay jobs) ~src ~dst
+                (Jobs { lease; src; dst; jobs; recovery = false })
             end
-          | None -> ()))
+          | _ -> ())
+        | Ack { lease; _ } -> Ledger.mark_delivered ledger ~lease ~now:t)
       due;
     (* balancer disable hook (Fig. 13) *)
     (match cfg.lb_disable_at with
-    | Some at when t = at -> Balancer.disable lb
+    | Some at when t = at -> (
+      match !lb with Some b -> Balancer.disable b | None -> lb_pending_disable := true)
     | Some _ | None -> ());
     (* each worker runs its per-tick instruction budget *)
     Array.iteri
@@ -159,20 +321,65 @@ let run (cfg : 'env config) =
         | Some w -> ignore (Worker.execute w ~budget:(cfg.speed i))
         | None -> ())
       workers;
-    (* periodic status reports and rebalancing *)
+    (* periodic status reports and rebalancing.  Reports are the reliable
+       control plane: each doubles as the worker's durable recovery point
+       in the ledger (frontier digest + cumulative counters). *)
     if t mod cfg.status_interval = 0 then begin
-      List.iter
-        (fun w ->
-          let cov = w.Worker.cfg.Executor.coverage in
-          let global = Balancer.report lb ~worker:w.Worker.id ~queue_len:(Worker.queue_length w) ~coverage:cov in
-          (* the worker merges the global vector into its own so its local
-             coverage-optimized strategy pursues the global goal *)
-          ignore (Executor.merge_coverage w.Worker.cfg global))
-        (alive_workers ());
-      List.iter
-        (fun { Balancer.src; dst; count } ->
-          send ~at:(t + cfg.latency) (Transfer_request { src; dst; count }))
-        (Balancer.rebalance lb)
+      match !lb with
+      | None -> ()
+      | Some b ->
+        Array.iteri
+          (fun i w ->
+            match w with
+            | None -> ()
+            | Some w ->
+              let paths, errs, _, _ = Worker.stats w in
+              let received =
+                Hashtbl.fold (fun id dst acc -> if dst = i then id :: acc else acc)
+                  processed_leases []
+              in
+              Ledger.record_report ~received ledger ~worker:i ~tick:t
+                ~digest:(Worker.digest_paths w) ~paths ~errors:errs;
+              let cov = w.Worker.cfg.Executor.coverage in
+              let global =
+                Balancer.report ~tick:t b ~worker:i ~queue_len:(Worker.queue_length w)
+                  ~coverage:cov
+              in
+              (* the worker merges the global vector into its own so its
+                 local coverage-optimized strategy pursues the global goal *)
+              ignore (Executor.merge_coverage w.Worker.cfg global))
+          workers;
+        List.iter
+          (fun { Balancer.src; dst; count } ->
+            send_net ~at:(t + cfg.latency) ~src:Faultplan.lb ~dst:src
+              (Transfer_request { src; dst; count }))
+          (Balancer.rebalance ~now:t ~staleness:(2 * cfg.status_interval) b)
+    end;
+    (* at-least-once delivery: resend leases past their backoff deadline;
+       a lease that exhausts its retransmit budget evicts its destination
+       (the crash path keeps the re-route exact) and re-routes the jobs *)
+    let resend, failed = Ledger.tick_timeouts ledger ~now:t in
+    List.iter
+      (fun (l : Ledger.lease) ->
+        send_net ~at:(t + jobs_delay l.Ledger.l_jobs) ~src:Faultplan.lb ~dst:l.Ledger.l_dst
+          (Jobs
+             {
+               lease = l.Ledger.lease_id;
+               src = Faultplan.lb;
+               dst = l.Ledger.l_dst;
+               jobs = l.Ledger.l_jobs;
+               recovery = l.Ledger.l_recovery;
+             }))
+      resend;
+    (* eviction re-seeds the failed lease too: [on_crash] collects every
+       lease to the victim, deduplicated against its reported digest (the
+       payload may have arrived with all its acks lost) *)
+    List.iter (fun (l : Ledger.lease) -> handle_crash t l.Ledger.l_dst) failed;
+    (* orphans parked while no worker was alive *)
+    if !pending_recovery <> [] && alive_workers () <> [] then begin
+      let orphans = !pending_recovery in
+      pending_recovery := [];
+      route_recovery t orphans
     end;
     (* bucket bookkeeping: sample the candidate population every tick so
        the bucket reports an average, not an end-of-bucket snapshot *)
@@ -188,11 +395,18 @@ let run (cfg : 'env config) =
       buckets := !cur_bucket :: !buckets;
       cur_bucket := fresh_bucket (t + 1)
     end;
-    (* goal checks *)
+    (* goal checks.  Exhaustion means the partitioned exploration really
+       is complete: the root was seeded, no job is in flight or awaiting
+       an ack or parked for recovery, and every live worker is idle.
+       Workers whose join tick never arrives cannot block it. *)
     let exhausted () =
-      !inbox = []
-      && List.for_all Worker.is_idle (alive_workers ())
-      && Array.for_all (fun w -> w <> None) workers
+      !root_seeded
+      && !inbox = []
+      && !pending_recovery = []
+      && Ledger.pending ledger = 0
+      && (match alive_workers () with
+         | [] -> false
+         | ws -> List.for_all Worker.is_idle ws)
     in
     (match cfg.goal with
     | Exhaust -> if exhausted () then begin reached := true; stop := true end
@@ -222,11 +436,18 @@ let run (cfg : 'env config) =
         (fun w -> (w.Worker.id, w.Worker.cfg.Executor.stats.Executor.useful_instrs))
         (alive_workers ());
     final_coverage = global_coverage_fraction ();
+    crashes = !crashes_total;
+    recovered_jobs = !recovered_total;
+    retransmits = Ledger.retransmits ledger;
+    recovery_replay_instrs =
+      List.fold_left
+        (fun acc w -> acc + w.Worker.recovery_replay_instrs)
+        !d_recov_replay (alive_workers ());
   }
 
 (* Convenience: a homogeneous cluster configuration with sensible
    defaults.  [make_worker] receives the worker id. *)
-let default_config ~nworkers ~make_worker ~coverable_lines () =
+let default_config ?(faults = Faultplan.none) ~nworkers ~make_worker ~coverable_lines () =
   {
     nworkers;
     make_worker;
@@ -239,4 +460,5 @@ let default_config ~nworkers ~make_worker ~coverable_lines () =
     max_ticks = 1_000_000;
     bucket_ticks = 1000;
     coverable_lines;
+    faults;
   }

@@ -7,7 +7,17 @@
     exchanges messages with simulated latency.  Everything the paper
     measures — time to goal, useful instructions, transfer rates, the
     effect of disabling the balancer — is preserved.  One tick nominally
-    represents 100 ms. *)
+    represents 100 ms.
+
+    The [faults] plan may crash workers (optionally rejoining with a
+    fresh engine), drop/duplicate/delay messages, and partition links.
+    Job transfers are leased in the {!Ledger} and delivered at least
+    once (ack + timeout + bounded retransmit with backoff, receiver-side
+    deduplication); status reports are the reliable control plane and
+    double as each worker's durable recovery point.  On a crash the
+    driver credits the victim's last-reported counters and re-seeds its
+    orphaned subtrees on live workers, so a faulty run completes with
+    exactly the fault-free path and error totals. *)
 
 type goal =
   | Exhaust                  (** stop when the global tree is explored *)
@@ -26,6 +36,7 @@ type 'env config = {
   max_ticks : int;
   bucket_ticks : int;       (** statistics bucket size *)
   coverable_lines : int;    (** denominator of global coverage *)
+  faults : Faultplan.t;     (** crash / loss / partition schedule *)
 }
 
 type bucket = {
@@ -50,13 +61,18 @@ type result = {
   buckets : bucket list;  (** oldest first *)
   per_worker_useful : (int * int) list;
   final_coverage : float;
+  crashes : int;  (** crash-plan victims plus lease evictions *)
+  recovered_jobs : int;  (** orphaned jobs re-seeded from ledger copies *)
+  retransmits : int;  (** job batches resent after an ack timeout *)
+  recovery_replay_instrs : int;  (** replay cost of reconstructing orphans *)
 }
 
 val run : 'env config -> result
 
 (** A homogeneous cluster with sensible defaults (speed 2000, status every
-    20 ticks, latency 2, exhaustive goal). *)
+    20 ticks, latency 2, exhaustive goal, no faults). *)
 val default_config :
+  ?faults:Faultplan.t ->
   nworkers:int ->
   make_worker:(int -> 'env Worker.t) ->
   coverable_lines:int ->

@@ -26,6 +26,7 @@ module Testcase = Engine.Testcase
 type 'env entry = {
   epath : Path.t; (* root-first *)
   estate : 'env State.t option; (* None = virtual *)
+  erecovery : bool; (* re-seeded by crash recovery (cost accounting) *)
 }
 
 type 'env mode =
@@ -34,6 +35,7 @@ type 'env mode =
       target : Path.t;
       remaining : Path.choice list;
       rstate : 'env State.t;
+      recov : bool; (* replaying a recovery job *)
     }
 
 type policy = Random_path_only | Interleaved
@@ -44,6 +46,12 @@ type 'env t = {
   make_root : unit -> 'env State.t;
   frontier : 'env entry Trie.t;
   fence : unit Trie.t;
+  banned : unit Trie.t;
+  (* exact node paths owned by another worker: a crashed worker had sent
+     them out after its last status report, so replaying its stale
+     frontier digest would re-create them.  Consulted (and consumed) only
+     when a fork produces the exact path; see DESIGN.md, "Failure
+     semantics". *)
   rng : Random.State.t;
   policy : policy;
   weight : ('env State.t -> float) option;
@@ -68,6 +76,8 @@ type 'env t = {
   mutable replays_done : int;
   mutable jobs_sent : int;
   mutable jobs_received : int;
+  mutable banned_drops : int;
+  mutable recovery_replay_instrs : int; (* replay cost of recovery jobs *)
 }
 
 let create ?(policy = Interleaved) ?weight ?(quantum = 50) ?(collect_tests = 0)
@@ -79,6 +89,7 @@ let create ?(policy = Interleaved) ?weight ?(quantum = 50) ?(collect_tests = 0)
       make_root;
       frontier = Trie.create ();
       fence = Trie.create ();
+      banned = Trie.create ();
       rng = Random.State.make [| seed; id |];
       policy;
       weight;
@@ -97,6 +108,8 @@ let create ?(policy = Interleaved) ?weight ?(quantum = 50) ?(collect_tests = 0)
       replays_done = 0;
       jobs_sent = 0;
       jobs_received = 0;
+      banned_drops = 0;
+      recovery_replay_instrs = 0;
     }
   in
   w
@@ -105,7 +118,7 @@ let create ?(policy = Interleaved) ?weight ?(quantum = 50) ?(collect_tests = 0)
    initial job, paper section 3.1). *)
 let seed_root w =
   let root = w.make_root () in
-  Trie.add w.frontier [] { epath = []; estate = Some root }
+  Trie.add w.frontier [] { epath = []; estate = Some root; erecovery = false }
 
 let queue_length w = Trie.size w.frontier
 
@@ -189,20 +202,40 @@ let add_running w states =
     (fun (st : 'env State.t) ->
       let p = State.path st in
       cache_snapshot w st;
-      Trie.add w.frontier p { epath = p; estate = Some st })
+      Trie.add w.frontier p { epath = p; estate = Some st; erecovery = false })
     states
+
+(* Drop fork products whose exact node another worker owns (it received
+   them from a worker that later crashed; we are re-exploring the crashed
+   worker's stale digest).  Each ban fires at most once — the fork that
+   re-creates the node is unique — so a hit consumes the entry. *)
+let filter_banned w states =
+  if Trie.size w.banned = 0 then states
+  else
+    List.filter
+      (fun (st : 'env State.t) ->
+        let p = State.path st in
+        match Trie.find w.banned p with
+        | None -> true
+        | Some () ->
+          ignore (Trie.remove w.banned p);
+          w.banned_drops <- w.banned_drops + 1;
+          false)
+      states
+
+let ban_paths w paths = List.iter (fun p -> Trie.add w.banned p ()) paths
 
 (* --- replay ---------------------------------------------------------------------------- *)
 
 (* One replay step.  Returns the instruction count consumed (always 1). *)
-let replay_step w ~target ~remaining ~rstate =
+let replay_step w ~target ~remaining ~rstate ~recov =
   let { Executor.running; finished } = Executor.step w.cfg ~replay:true rstate in
   let depth_before = List.length rstate.State.path in
   let forked st = List.length st.State.path > depth_before in
   match (running, remaining) with
   | [ st ], _ when not (forked st) ->
     (* deterministic step: stay on course *)
-    w.mode <- Replaying { target; remaining; rstate = st }
+    w.mode <- Replaying { target; remaining; rstate = st; recov }
   | _ -> (
     (* a fork (or termination) happened; consume the next expected choice *)
     match remaining with
@@ -210,7 +243,7 @@ let replay_step w ~target ~remaining ~rstate =
       (* we are already at the target but the step forked: this means the
          target node was the fork point itself; materialize all successors
          as our own candidates (they are our subtree) *)
-      add_running w running;
+      add_running w (filter_banned w running);
       List.iter (record_finished w) finished;
       w.replays_done <- w.replays_done + 1;
       w.mode <- Exploring
@@ -230,11 +263,11 @@ let replay_step w ~target ~remaining ~rstate =
         if rest = [] then begin
           (* arrived: the node is now materialized *)
           let p = State.path st in
-          Trie.add w.frontier p { epath = p; estate = Some st };
+          Trie.add w.frontier p { epath = p; estate = Some st; erecovery = false };
           w.replays_done <- w.replays_done + 1;
           w.mode <- Exploring
         end
-        else w.mode <- Replaying { target; remaining = rest; rstate = st }
+        else w.mode <- Replaying { target; remaining = rest; rstate = st; recov }
       | None ->
         (* the expected successor does not exist: broken replay *)
         w.broken_replays <- w.broken_replays + 1;
@@ -249,9 +282,10 @@ let execute w ~budget =
   let idle = ref false in
   while !used < budget && not !idle do
     match w.mode with
-    | Replaying { target; remaining; rstate } ->
+    | Replaying { target; remaining; rstate; recov } ->
       incr used;
-      replay_step w ~target ~remaining ~rstate
+      if recov then w.recovery_replay_instrs <- w.recovery_replay_instrs + 1;
+      replay_step w ~target ~remaining ~rstate ~recov
     | Exploring -> (
       match select w with
       | None -> idle := true
@@ -268,7 +302,8 @@ let execute w ~budget =
           end
           else begin
             let rstate, remaining = replay_start w entry.epath in
-            w.mode <- Replaying { target = entry.epath; remaining; rstate }
+            w.mode <-
+              Replaying { target = entry.epath; remaining; rstate; recov = entry.erecovery }
           end
         | Some st ->
           (* run this state for a quantum *)
@@ -285,7 +320,7 @@ let execute w ~budget =
               (match running with
               | [ one ] -> continue := Some one
               | _ ->
-                add_running w running;
+                add_running w (filter_banned w running);
                 continue := None)
           done;
           (match !continue with Some st -> add_running w [ st ] | None -> ())))
@@ -319,17 +354,28 @@ let transfer_out w ~count =
   done;
   !jobs
 
-(* Import a job tree: each path becomes a virtual candidate node. *)
-let receive_jobs w jobs =
+(* Import a job tree: each path becomes a virtual candidate node.
+   [recovery] tags re-seeded orphans of a crashed worker, so the replay
+   cost of reconstructing them is accounted separately. *)
+let receive_jobs ?(recovery = false) w jobs =
   List.iter
     (fun p ->
       w.jobs_received <- w.jobs_received + 1;
-      Trie.add w.frontier p { epath = p; estate = None })
+      Trie.add w.frontier p { epath = p; estate = None; erecovery = recovery })
     jobs
 
 (* --- introspection ------------------------------------------------------------------------------ *)
 
 let frontier_paths w = Trie.fold (fun e acc -> e.epath :: acc) w.frontier []
+
+(* What the worker reports to the load balancer as its recovery point:
+   every candidate node, *including* a job mid-replay — it left the
+   frontier when selected, but until the replay lands it is still
+   unexplored work that only this digest records. *)
+let digest_paths w =
+  let f = frontier_paths w in
+  match w.mode with Replaying { target; _ } -> target :: f | Exploring -> f
+
 let fence_count w = Trie.size w.fence
 
 let stats w =

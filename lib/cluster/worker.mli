@@ -10,6 +10,7 @@
 type 'env entry = {
   epath : Engine.Path.t;
   estate : 'env Engine.State.t option;  (** [None] = virtual *)
+  erecovery : bool;  (** re-seeded by crash recovery (cost accounting) *)
 }
 
 type 'env mode =
@@ -18,6 +19,7 @@ type 'env mode =
       target : Engine.Path.t;
       remaining : Engine.Path.choice list;
       rstate : 'env Engine.State.t;
+      recov : bool;  (** replaying a recovery job *)
     }
 
 type policy =
@@ -30,6 +32,10 @@ type 'env t = {
   make_root : unit -> 'env Engine.State.t;
   frontier : 'env entry Trie.t;
   fence : unit Trie.t;
+  banned : unit Trie.t;
+      (** exact node paths owned by another worker after a crash
+          recovery; fork products matching one are dropped (and the
+          entry consumed) *)
   rng : Random.State.t;
   policy : policy;
   weight : ('env Engine.State.t -> float) option;
@@ -48,6 +54,9 @@ type 'env t = {
   mutable replays_done : int;
   mutable jobs_sent : int;
   mutable jobs_received : int;
+  mutable banned_drops : int;
+  mutable recovery_replay_instrs : int;
+      (** replay instructions spent reconstructing recovery jobs *)
 }
 
 (** [weight] replaces the coverage-optimized weighting (used e.g. by a
@@ -84,10 +93,20 @@ val execute : 'env t -> budget:int -> int
     fence node locally.  Virtual candidates are forwarded first. *)
 val transfer_out : 'env t -> count:int -> Job.t list
 
-(** Import transferred jobs as virtual candidates. *)
-val receive_jobs : 'env t -> Job.t list -> unit
+(** Import transferred jobs as virtual candidates.  [recovery] tags
+    re-seeded orphans of a crashed worker for cost accounting. *)
+val receive_jobs : ?recovery:bool -> 'env t -> Job.t list -> unit
+
+(** Install node paths owned by another worker: fork products matching
+    one exactly are dropped instead of entering the frontier. *)
+val ban_paths : 'env t -> Engine.Path.t list -> unit
 
 val frontier_paths : 'env t -> Engine.Path.t list
+
+(** The worker's recovery point as reported to the load balancer: all
+    candidate paths plus the target of an in-progress replay. *)
+val digest_paths : 'env t -> Engine.Path.t list
+
 val fence_count : 'env t -> int
 
 (** [(paths_completed, errors, useful_instrs, replay_instrs)]. *)

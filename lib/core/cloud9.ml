@@ -132,6 +132,7 @@ type cluster_options = {
   cworker_max_steps : int option;
   cseed : int;
   use_global_alloc : bool;     (* ablation: shared allocator breaks replays *)
+  fault_plan : Cluster.Faultplan.t; (* crash / loss / partition schedule *)
 }
 
 let default_cluster_options =
@@ -149,6 +150,7 @@ let default_cluster_options =
     cworker_max_steps = Some 1_000_000;
     cseed = 42;
     use_global_alloc = false;
+    fault_plan = Cluster.Faultplan.none;
   }
 
 let make_worker ?(opts = default_cluster_options) (t : target) shared_alloc id =
@@ -183,6 +185,7 @@ let run_cluster ?(options = default_cluster_options) (t : target) =
       max_ticks = opts.max_ticks;
       bucket_ticks = opts.bucket_ticks;
       coverable_lines = List.length (Cvm.Program.covered_lines t.program);
+      faults = opts.fault_plan;
     }
   in
   Cluster.Driver.run cfg

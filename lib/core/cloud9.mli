@@ -66,6 +66,7 @@ type cluster_options = {
   cworker_max_steps : int option;
   cseed : int;
   use_global_alloc : bool;  (** broken-replay ablation *)
+  fault_plan : Cluster.Faultplan.t;  (** crash / loss / partition schedule *)
 }
 
 val default_cluster_options : cluster_options
