@@ -49,7 +49,7 @@ let strategy_arg =
     value
     & opt string "interleaved"
     & info [ "s"; "strategy" ] ~docv:"NAME"
-        ~doc:"Search strategy: dfs, bfs, random-path, cov-opt, interleaved")
+        ~doc:("Search strategy: " ^ String.concat ", " Engine.Searcher.names))
 
 let max_steps_arg =
   Arg.(
@@ -106,15 +106,50 @@ let msg_loss_arg =
     & info [ "msg-loss" ] ~docv:"P"
         ~doc:"Cluster mode: drop each cluster message with probability $(i,P)")
 
-let run_local target options =
-  let report = C.run_local ~options target in
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the run to $(docv) (load in \
+           chrome://tracing or ui.perfetto.dev)")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write run metrics as JSON lines to $(docv) (summarize with $(b,cloud9 report))")
+
+let write_obs_artifacts obs ~trace ~metrics =
+  match obs with
+  | None -> ()
+  | Some sink ->
+    let with_out path f =
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+    in
+    Option.iter
+      (fun path ->
+        with_out path (Obs.Sink.write_chrome_trace sink);
+        Printf.printf "trace: %s\n" path)
+      trace;
+    Option.iter
+      (fun path ->
+        with_out path (Obs.Sink.write_metrics_jsonl sink);
+        Printf.printf "metrics: %s\n" path)
+      metrics
+
+let run_local ?obs target options =
+  let report = C.run_local ?obs ~options target in
   Format.printf "%a" C.pp_report report;
   let st = report.C.solver_stats in
   Format.printf "solver: %d queries, %d SAT calls, %d cache hits, %d model-probe hits@."
     st.Smt.Solver.queries st.Smt.Solver.sat_calls st.Smt.Solver.cache_hits
     st.Smt.Solver.cex_hits
 
-let run_cluster target nworkers speed goal max_steps crashes rejoin msg_loss =
+let run_cluster ?obs target nworkers speed goal max_steps crashes rejoin msg_loss =
   let fault_plan =
     Cluster.Faultplan.create
       ~crashes:
@@ -136,7 +171,7 @@ let run_cluster target nworkers speed goal max_steps crashes rejoin msg_loss =
       fault_plan;
     }
   in
-  let r = C.run_cluster ~options target in
+  let r = C.run_cluster ?obs ~options target in
   Printf.printf
     "cluster: %d workers, %d virtual ticks, %d paths (%d errors), %.1f%% coverage\n"
     nworkers r.Cluster.Driver.ticks r.Cluster.Driver.total_paths r.Cluster.Driver.total_errors
@@ -152,13 +187,16 @@ let run_cluster target nworkers speed goal max_steps crashes rejoin msg_loss =
 
 let run_cmd =
   let run name variant workers strategy max_steps max_paths coverage tests speed crashes
-      rejoin msg_loss =
+      rejoin msg_loss trace metrics =
     match Core.Registry.resolve ~name ~variant with
     | None ->
       Printf.eprintf "unknown target %s%s (try: cloud9 list)\n" name
         (match variant with Some v -> "/" ^ v | None -> "");
       exit 1
     | Some target ->
+      let obs =
+        if trace <> None || metrics <> None then Some (Obs.Sink.create ()) else None
+      in
       if workers <= 1 then begin
         let goal =
           match (max_paths, coverage) with
@@ -166,7 +204,7 @@ let run_cmd =
           | None, Some f -> Engine.Driver.Coverage f
           | None, None -> Engine.Driver.Exhaust
         in
-        run_local target
+        run_local ?obs target
           {
             C.default_options with
             C.strategy;
@@ -181,18 +219,43 @@ let run_cmd =
           | Some f -> Cluster.Driver.Coverage_target f
           | None -> Cluster.Driver.Exhaust
         in
-        run_cluster target workers speed goal max_steps crashes rejoin msg_loss
-      end
+        run_cluster ?obs target workers speed goal max_steps crashes rejoin msg_loss
+      end;
+      write_obs_artifacts obs ~trace ~metrics
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a symbolic test on a target")
     Term.(
       const run $ target_arg $ variant_arg $ workers_arg $ strategy_arg $ max_steps_arg
       $ max_paths_arg $ coverage_arg $ tests_arg $ speed_arg $ crash_arg $ rejoin_arg
-      $ msg_loss_arg)
+      $ msg_loss_arg $ trace_arg $ metrics_arg)
+
+let report_cmd =
+  let metrics_file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"METRICS" ~doc:"Metrics JSONL file written by cloud9 run --metrics")
+  in
+  let run path =
+    let text =
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Obs.Report.parse_jsonl text with
+    | Ok snap -> print_string (Obs.Report.render_string snap)
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Summarize a metrics JSONL dump from a previous run")
+    Term.(const run $ metrics_file_arg)
 
 let () =
   let info =
     Cmd.info "cloud9" ~version:"1.0"
       ~doc:"Parallel symbolic execution for automated real-world software testing"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; table4_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; table4_cmd; run_cmd; report_cmd ]))

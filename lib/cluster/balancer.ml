@@ -18,9 +18,12 @@ type t = {
   global_coverage : Bytes.t;
   mutable enabled : bool; (* Fig. 13 disables balancing mid-run *)
   mutable total_transfers_requested : int;
+  obs : Obs.Sink.t option;
+  queue_mean : Obs.Metrics.gauge option;  (* resolved at create *)
+  queue_sigma : Obs.Metrics.gauge option;
 }
 
-let create ?(delta = 0.5) ~coverage_bytes () =
+let create ?(delta = 0.5) ?obs ~coverage_bytes () =
   {
     delta;
     queues = Hashtbl.create 16;
@@ -28,6 +31,10 @@ let create ?(delta = 0.5) ~coverage_bytes () =
     global_coverage = Bytes.make coverage_bytes '\000';
     enabled = true;
     total_transfers_requested = 0;
+    obs;
+    queue_mean = Option.map (fun s -> Obs.Metrics.gauge (Obs.Sink.metrics s) "lb_queue_mean") obs;
+    queue_sigma =
+      Option.map (fun s -> Obs.Metrics.gauge (Obs.Sink.metrics s) "lb_queue_sigma") obs;
   }
 
 let disable t = t.enabled <- false
@@ -79,6 +86,8 @@ let rebalance ?now ?(staleness = max_int) t =
         /. float_of_int nworkers
       in
       let sigma = sqrt var in
+      (match t.queue_mean with Some g -> Obs.Metrics.set g mean | None -> ());
+      (match t.queue_sigma with Some g -> Obs.Metrics.set g sigma | None -> ());
       let lo = Float.max (mean -. (t.delta *. sigma)) 0.0 in
       let hi = mean +. (t.delta *. sigma) in
       let sorted = List.sort (fun (_, a) (_, b) -> compare a b) entries in
@@ -104,7 +113,10 @@ let rebalance ?now ?(staleness = max_int) t =
         (fun { src; dst; count } ->
           Hashtbl.replace t.queues src (max 0 ((Hashtbl.find t.queues src) - count));
           Hashtbl.replace t.queues dst (Hashtbl.find t.queues dst + count);
-          t.total_transfers_requested <- t.total_transfers_requested + count)
+          t.total_transfers_requested <- t.total_transfers_requested + count;
+          match t.obs with
+          | Some s -> Obs.Sink.event s (Obs.Event.Transfer_request { src; dst; count })
+          | None -> ())
         reqs;
       reqs
     end

@@ -8,8 +8,9 @@ type request = { src : int; dst : int; count : int }
 type t
 
 (** [delta] is the classification constant (under if [l < mean - delta*sigma],
-    over if [l > mean + delta*sigma]). *)
-val create : ?delta:float -> coverage_bytes:int -> unit -> t
+    over if [l > mean + delta*sigma]).  [obs] traces issued transfer
+    requests and exports the queue mean/sigma gauges. *)
+val create : ?delta:float -> ?obs:Obs.Sink.t -> coverage_bytes:int -> unit -> t
 
 (** Stop issuing transfer requests (Fig. 13's mid-run disable). *)
 val disable : t -> unit

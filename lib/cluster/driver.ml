@@ -91,6 +91,8 @@ type result = {
   recovered_jobs : int;      (* orphaned jobs re-seeded from ledger copies *)
   retransmits : int;         (* job batches resent after an ack timeout *)
   recovery_replay_instrs : int; (* replay cost of reconstructing orphans *)
+  solver_stats : Smt.Solver.stats; (* cluster-wide aggregate, dead workers included *)
+  per_worker_solver : (int * Smt.Solver.stats) list; (* live workers at run end *)
 }
 
 let popcount_bytes b =
@@ -99,11 +101,34 @@ let popcount_bytes b =
   Bytes.iter (fun ch -> c := !c + pop (Char.code ch) 0) b;
   !c
 
-let run (cfg : 'env config) =
+let run ?obs (cfg : 'env config) =
   let workers : 'env Worker.t option array = Array.make cfg.nworkers None in
   let departed = Array.make cfg.nworkers false in (* crashed; blocks re-arrival *)
   let frt = Faultplan.make cfg.faults in
-  let ledger = Ledger.create ~base_timeout:(6 * (cfg.latency + 1)) () in
+  let ledger = Ledger.create ~base_timeout:(6 * (cfg.latency + 1)) ?obs () in
+  (* observability plumbing.  The driver owns virtual time: it advances
+     the sink's clock once per tick and takes one cumulative timeline
+     sample per live worker per tick (plus a final one at crash time, so
+     an evicted worker's same-tick instructions are not lost).  All of it
+     is skipped entirely when [obs] is [None]. *)
+  let emit ev = match obs with None -> () | Some s -> Obs.Sink.event s ev in
+  let wsinks =
+    match obs with
+    | None -> [||]
+    | Some s -> Array.init cfg.nworkers (Obs.Sink.for_worker s)
+  in
+  let idle_acc = Array.make cfg.nworkers 0 in (* cumulative unused budget *)
+  let d_solver = Smt.Solver.zero_stats () in  (* dead workers' solver counters *)
+  let sample_worker i (w : 'env Worker.t) =
+    if obs <> None then begin
+      let stats = w.Worker.cfg.Executor.stats in
+      let ss = Smt.Solver.stats w.Worker.cfg.Executor.solver in
+      Obs.Sink.observe wsinks.(i) ~useful:stats.Executor.useful_instrs
+        ~replay:stats.Executor.replay_instrs ~idle:idle_acc.(i)
+        ~depth:(Worker.queue_length w) ~queries:ss.Smt.Solver.queries
+        ~sat_calls:ss.Smt.Solver.sat_calls
+    end
+  in
   (* the balancer is created when the first worker joins, sized from that
      worker's coverage vector (all workers' vectors have the same length) *)
   let lb = ref None in
@@ -149,11 +174,17 @@ let run (cfg : 'env config) =
     | Some _ -> ()
     | None ->
       let b =
-        Balancer.create ~coverage_bytes:(Bytes.length w.Worker.cfg.Executor.coverage) ()
+        Balancer.create ~coverage_bytes:(Bytes.length w.Worker.cfg.Executor.coverage) ?obs ()
       in
       if !lb_pending_disable then Balancer.disable b;
       lb := Some b);
     workers.(i) <- Some w;
+    (* fresh engine: zero the timeline's cumulative cursors so the
+       rejoined worker's counters are not mistaken for a continuation *)
+    if obs <> None then begin
+      idle_acc.(i) <- 0;
+      Obs.Sink.observe wsinks.(i) ~useful:0 ~replay:0 ~idle:0 ~depth:0 ~queries:0 ~sat_calls:0
+    end;
     w
   in
   let jobs_delay jobs =
@@ -198,6 +229,9 @@ let run (cfg : 'env config) =
     | Some w ->
       incr crashes_total;
       departed.(i) <- true;
+      sample_worker i w; (* last timeline sample before the engine is dropped *)
+      emit (Obs.Event.Crash { worker = i });
+      Smt.Solver.accum_stats d_solver (Smt.Solver.stats w.Worker.cfg.Executor.solver);
       let { Ledger.credit_paths; credit_errors; orphans; bans } =
         Ledger.on_crash ledger ~worker:i
       in
@@ -253,18 +287,21 @@ let run (cfg : 'env config) =
 
   while not !stop do
     let t = !tick in
+    (match obs with Some s -> Obs.Sink.set_now s t | None -> ());
     (* scheduled faults: crash-stop, then fresh-engine rejoins *)
     List.iter (handle_crash t) (Faultplan.crashes_at frt ~tick:t);
     List.iter
       (fun i ->
         if i >= 0 && i < cfg.nworkers && workers.(i) = None then begin
           departed.(i) <- false;
+          emit (Obs.Event.Rejoin { worker = i });
           ignore (spawn i)
         end)
       (Faultplan.rejoins_at frt ~tick:t);
     (* worker arrivals *)
     for i = 0 to cfg.nworkers - 1 do
       if workers.(i) = None && (not departed.(i)) && cfg.join_tick i <= t then begin
+        emit (Obs.Event.Join { worker = i });
         let w = spawn i in
         if i = 0 && not !root_seeded then begin
           Worker.seed_root w;
@@ -282,7 +319,7 @@ let run (cfg : 'env config) =
     List.iter
       (fun (_, msg) ->
         match msg with
-        | Jobs { lease; dst; jobs; recovery; _ } -> (
+        | Jobs { lease; src; dst; jobs; recovery } -> (
           match workers.(dst) with
           | Some w ->
             (* always (re)acknowledge: the previous ack may have been
@@ -291,6 +328,9 @@ let run (cfg : 'env config) =
               (Ack { lease; src = dst });
             if not (Hashtbl.mem processed_leases lease) then begin
               Hashtbl.replace processed_leases lease dst;
+              emit
+                (Obs.Event.Job_transfer
+                   { lease; src; dst; count = List.length jobs; recovery });
               Worker.receive_jobs ~recovery w jobs;
               transfers_total := !transfers_total + List.length jobs;
               !cur_bucket.transferred <- !cur_bucket.transferred + List.length jobs
@@ -318,7 +358,12 @@ let run (cfg : 'env config) =
     Array.iteri
       (fun i w ->
         match w with
-        | Some w -> ignore (Worker.execute w ~budget:(cfg.speed i))
+        | Some w ->
+          let used = Worker.execute w ~budget:(cfg.speed i) in
+          if obs <> None then begin
+            idle_acc.(i) <- idle_acc.(i) + max 0 (cfg.speed i - used);
+            sample_worker i w
+          end
         | None -> ())
       workers;
     (* periodic status reports and rebalancing.  Reports are the reliable
@@ -421,6 +466,11 @@ let run (cfg : 'env config) =
     if !tick >= cfg.max_ticks then stop := true
   done;
   let total_paths, total_errors, useful, replay, broken = totals () in
+  let solver_agg = Smt.Solver.zero_stats () in
+  Smt.Solver.accum_stats solver_agg d_solver;
+  List.iter
+    (fun w -> Smt.Solver.accum_stats solver_agg (Smt.Solver.stats w.Worker.cfg.Executor.solver))
+    (alive_workers ());
   {
     ticks = !tick;
     reached_goal = !reached;
@@ -443,6 +493,11 @@ let run (cfg : 'env config) =
       List.fold_left
         (fun acc w -> acc + w.Worker.recovery_replay_instrs)
         !d_recov_replay (alive_workers ());
+    solver_stats = solver_agg;
+    per_worker_solver =
+      List.map
+        (fun w -> (w.Worker.id, Smt.Solver.copy_stats w.Worker.cfg.Executor.solver))
+        (alive_workers ());
   }
 
 (* Convenience: a homogeneous cluster configuration with sensible

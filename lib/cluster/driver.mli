@@ -65,9 +65,21 @@ type result = {
   recovered_jobs : int;  (** orphaned jobs re-seeded from ledger copies *)
   retransmits : int;  (** job batches resent after an ack timeout *)
   recovery_replay_instrs : int;  (** replay cost of reconstructing orphans *)
+  solver_stats : Smt.Solver.stats;
+      (** cluster-wide solver aggregate, dead workers included *)
+  per_worker_solver : (int * Smt.Solver.stats) list;
+      (** per-worker solver counters for workers alive at run end *)
 }
 
-val run : 'env config -> result
+(** [obs] enables observability for the run: the driver advances the
+    sink's virtual clock, samples one timeline point per live worker per
+    tick (utilization, frontier depth, solver activity), and traces
+    cluster control-plane events (joins, crashes, rejoins, job
+    transfers); the ledger and balancer trace through the same sink.
+    Workers built by [make_worker] are expected to carry
+    [Obs.Sink.for_worker obs i] in their engine config so engine and
+    solver events are attributed to them. *)
+val run : ?obs:Obs.Sink.t -> 'env config -> result
 
 (** A homogeneous cluster with sensible defaults (speed 2000, status every
     20 ticks, latency 2, exhaustive goal, no faults). *)

@@ -59,9 +59,11 @@ type t = {
   reports : (int, report) Hashtbl.t;       (* worker -> last status report *)
   sent_out : (int, Job.t list) Hashtbl.t;  (* worker -> paths sent since report *)
   mutable retransmits : int;
+  obs : Obs.Sink.t option;
+  retransmit_counter : Obs.Metrics.counter option; (* resolved at create *)
 }
 
-let create ?(base_timeout = 16) ?(max_attempts = 5) () =
+let create ?(base_timeout = 16) ?(max_attempts = 5) ?obs () =
   {
     base_timeout;
     max_attempts;
@@ -70,7 +72,12 @@ let create ?(base_timeout = 16) ?(max_attempts = 5) () =
     reports = Hashtbl.create 16;
     sent_out = Hashtbl.create 16;
     retransmits = 0;
+    obs;
+    retransmit_counter =
+      Option.map (fun s -> Obs.Metrics.counter (Obs.Sink.metrics s) "lease_retransmits") obs;
   }
+
+let emit t ev = match t.obs with None -> () | Some s -> Obs.Sink.event s ev
 
 let issue t ~dst ~jobs ~now ~recovery =
   let id = t.next_id in
@@ -78,13 +85,18 @@ let issue t ~dst ~jobs ~now ~recovery =
   Hashtbl.replace t.leases id
     { lease_id = id; l_dst = dst; l_jobs = jobs; l_recovery = recovery;
       delivered = None; last_send = now; attempts = 1 };
+  emit t (Obs.Event.Lease_grant { lease = id; dst; jobs = List.length jobs; recovery });
   id
 
 (* Unknown ids are ignored: acks may trail a crash that canceled the
    lease, or duplicate a previous ack. *)
 let mark_delivered t ~lease ~now =
   match Hashtbl.find_opt t.leases lease with
-  | Some l -> if l.delivered = None then l.delivered <- Some now
+  | Some l ->
+    if l.delivered = None then begin
+      l.delivered <- Some now;
+      emit t (Obs.Event.Lease_ack { lease })
+    end
   | None -> ()
 
 let record_sent_out t ~src ~jobs =
@@ -114,7 +126,11 @@ let record_report ?(received = []) t ~worker ~tick ~digest ~paths ~errors =
         else acc)
       t.leases []
   in
-  List.iter (Hashtbl.remove t.leases) released
+  List.iter
+    (fun id ->
+      emit t (Obs.Event.Lease_release { lease = id; dst = worker });
+      Hashtbl.remove t.leases id)
+    released
 
 (* Retransmission sweep.  A lease still awaiting its ack past the backoff
    deadline (base_timeout doubling per attempt) is either resent or, once
@@ -131,11 +147,18 @@ let tick_timeouts t ~now =
       if l.delivered = None then begin
         let deadline = l.last_send + (t.base_timeout lsl (l.attempts - 1)) in
         if now >= deadline then
-          if l.attempts >= t.max_attempts then failed := l :: !failed
+          if l.attempts >= t.max_attempts then begin
+            emit t (Obs.Event.Lease_evict { lease = l.lease_id; dst = l.l_dst });
+            failed := l :: !failed
+          end
           else begin
             l.attempts <- l.attempts + 1;
             l.last_send <- now;
             t.retransmits <- t.retransmits + 1;
+            (match t.retransmit_counter with Some c -> Obs.Metrics.incr c | None -> ());
+            emit t
+              (Obs.Event.Lease_retransmit
+                 { lease = l.lease_id; dst = l.l_dst; attempt = l.attempts });
             resend := l :: !resend
           end
       end)

@@ -20,8 +20,9 @@ type t
 
 (** [base_timeout] is the tick count before the first retransmission
     (doubling per attempt); after [max_attempts] sends the lease fails
-    and its jobs must be re-routed. *)
-val create : ?base_timeout:int -> ?max_attempts:int -> unit -> t
+    and its jobs must be re-routed.  [obs] traces the lease life cycle
+    (grant / ack / release / retransmit / evict) and counts retransmits. *)
+val create : ?base_timeout:int -> ?max_attempts:int -> ?obs:Obs.Sink.t -> unit -> t
 
 (** Lease a job batch routed to [dst]; returns the lease id carried by
     the transfer message and its acknowledgement. *)

@@ -114,6 +114,11 @@ let create ?(policy = Interleaved) ?weight ?(quantum = 50) ?(collect_tests = 0)
   in
   w
 
+(* Trace through the engine config's sink, which the constructor already
+   scoped to this worker's id; [None] = unobserved. *)
+let emit w ev =
+  match w.cfg.Executor.obs with None -> () | Some s -> Obs.Sink.event s ev
+
 (* Seed the worker with the whole execution tree (the first worker's
    initial job, paper section 3.1). *)
 let seed_root w =
@@ -202,6 +207,7 @@ let add_running w states =
     (fun (st : 'env State.t) ->
       let p = State.path st in
       cache_snapshot w st;
+      emit w (Obs.Event.Candidate_added { depth = List.length p; virt = false });
       Trie.add w.frontier p { epath = p; estate = Some st; erecovery = false })
     states
 
@@ -246,6 +252,7 @@ let replay_step w ~target ~remaining ~rstate ~recov =
       add_running w (filter_banned w running);
       List.iter (record_finished w) finished;
       w.replays_done <- w.replays_done + 1;
+      emit w (Obs.Event.Replay_end { outcome = Obs.Event.Landed; recovery = recov });
       w.mode <- Exploring
     | expected :: rest -> (
       let matches (st : 'env State.t) =
@@ -253,7 +260,12 @@ let replay_step w ~target ~remaining ~rstate ~recov =
       in
       (* off-path running siblings become fence nodes *)
       List.iter
-        (fun st -> if not (matches st) then Trie.add w.fence (State.path st) ())
+        (fun st ->
+          if not (matches st) then begin
+            let p = State.path st in
+            emit w (Obs.Event.Fence_created { depth = List.length p });
+            Trie.add w.fence p ()
+          end)
         running;
       (* off-path finished siblings were already completed by the source
          worker: fence them silently (no double counting) *)
@@ -265,12 +277,14 @@ let replay_step w ~target ~remaining ~rstate ~recov =
           let p = State.path st in
           Trie.add w.frontier p { epath = p; estate = Some st; erecovery = false };
           w.replays_done <- w.replays_done + 1;
+          emit w (Obs.Event.Replay_end { outcome = Obs.Event.Landed; recovery = recov });
           w.mode <- Exploring
         end
         else w.mode <- Replaying { target; remaining = rest; rstate = st; recov }
       | None ->
         (* the expected successor does not exist: broken replay *)
         w.broken_replays <- w.broken_replays + 1;
+        emit w (Obs.Event.Replay_end { outcome = Obs.Event.Broken; recovery = recov });
         w.mode <- Exploring))
 
 (* --- main execution loop ------------------------------------------------------------------ *)
@@ -298,9 +312,15 @@ let execute w ~budget =
             (* exact snapshot: materialize without any replay *)
             let st = Hashtbl.find w.snapshots (Path.to_string entry.epath) in
             Trie.add w.frontier entry.epath { entry with estate = Some st };
-            w.replays_done <- w.replays_done + 1
+            w.replays_done <- w.replays_done + 1;
+            emit w
+              (Obs.Event.Replay_end
+                 { outcome = Obs.Event.Snapshot_hit; recovery = entry.erecovery })
           end
           else begin
+            emit w
+              (Obs.Event.Replay_start
+                 { depth = List.length entry.epath; recovery = entry.erecovery });
             let rstate, remaining = replay_start w entry.epath in
             w.mode <-
               Replaying { target = entry.epath; remaining; rstate; recov = entry.erecovery }
@@ -338,6 +358,7 @@ let transfer_out w ~count =
   let n = ref 0 in
   let give entry =
     ignore (Trie.remove w.frontier entry.epath);
+    emit w (Obs.Event.Fence_created { depth = List.length entry.epath });
     Trie.add w.fence entry.epath ();
     jobs := entry.epath :: !jobs;
     incr n;
@@ -361,6 +382,7 @@ let receive_jobs ?(recovery = false) w jobs =
   List.iter
     (fun p ->
       w.jobs_received <- w.jobs_received + 1;
+      emit w (Obs.Event.Candidate_added { depth = List.length p; virt = true });
       Trie.add w.frontier p { epath = p; estate = None; erecovery = recovery })
     jobs
 

@@ -53,10 +53,10 @@ type report = {
 
 (* --- single-node runs --------------------------------------------------------- *)
 
-let run_local ?(options = default_options) (t : target) =
-  let solver = Smt.Solver.create () in
+let run_local ?obs ?(options = default_options) (t : target) =
+  let solver = Smt.Solver.create ?obs () in
   let cfg =
-    Posix.Api.make_config ~solver ?max_steps:options.max_steps
+    Posix.Api.make_config ~solver ?obs ?max_steps:options.max_steps
       ~check_div_zero:options.check_div_zero ~nlines:t.program.Cvm.Program.nlines ()
   in
   let rng = Random.State.make [| options.seed |] in
@@ -153,23 +153,25 @@ let default_cluster_options =
     fault_plan = Cluster.Faultplan.none;
   }
 
-let make_worker ?(opts = default_cluster_options) (t : target) shared_alloc id =
-  let solver = Smt.Solver.create () in
+let make_worker ?obs ?(opts = default_cluster_options) (t : target) shared_alloc id =
+  (* scope the sink to this worker so engine/solver events carry its id *)
+  let obs = Option.map (fun s -> Obs.Sink.for_worker s id) obs in
+  let solver = Smt.Solver.create ?obs () in
   let cfg =
-    Posix.Api.make_config ~solver ?max_steps:opts.cworker_max_steps
+    Posix.Api.make_config ~solver ?obs ?max_steps:opts.cworker_max_steps
       ~global_alloc:(if opts.use_global_alloc then Some shared_alloc else None)
       ~nlines:t.program.Cvm.Program.nlines ()
   in
   let make_root () = Posix.Api.initial_state t.program ~args:[] in
   Cluster.Worker.create ~id ~cfg ~make_root ~seed:opts.cseed ()
 
-let run_cluster ?(options = default_cluster_options) (t : target) =
+let run_cluster ?obs ?(options = default_cluster_options) (t : target) =
   let opts = options in
   let shared_alloc = ref 0x1000 in
   let cfg =
     {
       Cluster.Driver.nworkers = opts.nworkers;
-      make_worker = make_worker ~opts t shared_alloc;
+      make_worker = make_worker ?obs ~opts t shared_alloc;
       join_tick = (fun i -> i * opts.join_spread);
       speed =
         (fun i ->
@@ -188,7 +190,7 @@ let run_cluster ?(options = default_cluster_options) (t : target) =
       faults = opts.fault_plan;
     }
   in
-  Cluster.Driver.run cfg
+  Cluster.Driver.run ?obs cfg
 
 (* --- reporting ---------------------------------------------------------------------- *)
 

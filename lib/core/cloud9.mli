@@ -38,8 +38,10 @@ type report = {
   solver_stats : Smt.Solver.stats;
 }
 
-(** Run a symbolic test on one engine. *)
-val run_local : ?options:options -> target -> report
+(** Run a symbolic test on one engine.  [obs] attaches an observability
+    sink: fork and solver events are traced and a single-worker timeline
+    is sampled as virtual time advances. *)
+val run_local : ?obs:Obs.Sink.t -> ?options:options -> target -> report
 
 (** OR coverage vectors and return the covered fraction — the "cumulated
     coverage" arithmetic of Table 5. *)
@@ -71,8 +73,12 @@ type cluster_options = {
 
 val default_cluster_options : cluster_options
 
-(** Run the target on a simulated cluster. *)
-val run_cluster : ?options:cluster_options -> target -> Cluster.Driver.result
+(** Run the target on a simulated cluster.  [obs] attaches an
+    observability sink: every worker gets a scoped view
+    ([Obs.Sink.for_worker]), the driver samples per-worker timelines each
+    tick, and control-plane events (transfers, leases, crashes) are
+    traced alongside engine and solver activity. *)
+val run_cluster : ?obs:Obs.Sink.t -> ?options:cluster_options -> target -> Cluster.Driver.result
 
 val pp_report : Format.formatter -> report -> unit
 

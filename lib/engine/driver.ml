@@ -20,6 +20,7 @@ type 'env result = {
   coverage : float;           (* fraction of coverable lines covered *)
   instructions : int;
   errors : int;
+  solver_stats : Smt.Solver.stats; (* snapshot of this run's solver counters *)
 }
 
 let coverage_fraction cfg program =
@@ -36,6 +37,12 @@ let goal_met cfg program ~paths = function
 (* [run cfg searcher st0 ~goal] explores from [st0].  [collect_tests]
    bounds how many test cases are materialized (solving for inputs is the
    expensive part); path counting is unaffected. *)
+(* With a sink attached, the single-node driver advances virtual time
+   itself: 1 tick per [instrs_per_tick] retired instructions (the
+   cluster driver, which owns real virtual time, overrides this by
+   driving [Obs.Sink.set_now] directly). *)
+let instrs_per_tick = 1000
+
 let run ?(collect_tests = max_int) ?(goal = Exhaust) cfg searcher (st0 : 'env State.t) =
   let program = st0.State.program in
   searcher.Searcher.add st0;
@@ -45,14 +52,46 @@ let run ?(collect_tests = max_int) ?(goal = Exhaust) cfg searcher (st0 : 'env St
   let pruned = ref 0 in
   let errors = ref 0 in
   let stop = ref false in
+  let last_tick = ref (-1) in
+  let sample_obs () =
+    match cfg.Executor.obs with
+    | None -> ()
+    | Some s ->
+      let stats = cfg.Executor.stats in
+      let total = stats.Executor.useful_instrs + stats.Executor.replay_instrs in
+      let tick = total / instrs_per_tick in
+      if tick <> !last_tick then begin
+        last_tick := tick;
+        Obs.Sink.set_now s tick;
+        Obs.Sink.observe s ~useful:stats.Executor.useful_instrs
+          ~replay:stats.Executor.replay_instrs ~idle:0
+          ~depth:(searcher.Searcher.size ())
+          ~queries:(Smt.Solver.stats cfg.Executor.solver).Smt.Solver.queries
+          ~sat_calls:(Smt.Solver.stats cfg.Executor.solver).Smt.Solver.sat_calls
+      end
+  in
+  let note_done term =
+    match cfg.Executor.obs with
+    | None -> ()
+    | Some s ->
+      let verdict =
+        match term with
+        | Errors.Pruned -> "pruned"
+        | Errors.Exit _ -> "exit"
+        | Errors.Error _ -> "error"
+      in
+      Obs.Sink.event s (Obs.Event.Path_done { verdict })
+  in
   while (not !stop) && searcher.Searcher.size () > 0 do
     match searcher.Searcher.select () with
     | None -> stop := true
     | Some st ->
       let { Executor.running; finished } = Executor.step cfg st in
       List.iter searcher.Searcher.add running;
+      sample_obs ();
       List.iter
         (fun (st, term) ->
+          note_done term;
           match term with
           | Errors.Pruned -> incr pruned
           | Errors.Exit _ | Errors.Error _ ->
@@ -68,6 +107,16 @@ let run ?(collect_tests = max_int) ?(goal = Exhaust) cfg searcher (st0 : 'env St
         finished;
       if goal_met cfg program ~paths:!paths goal then stop := true
   done;
+  (match cfg.Executor.obs with
+  | None -> ()
+  | Some s ->
+    let stats = cfg.Executor.stats in
+    let total = stats.Executor.useful_instrs + stats.Executor.replay_instrs in
+    Obs.Sink.set_now s ((total / instrs_per_tick) + 1);
+    Obs.Sink.observe s ~useful:stats.Executor.useful_instrs ~replay:stats.Executor.replay_instrs
+      ~idle:0 ~depth:(searcher.Searcher.size ())
+      ~queries:(Smt.Solver.stats cfg.Executor.solver).Smt.Solver.queries
+      ~sat_calls:(Smt.Solver.stats cfg.Executor.solver).Smt.Solver.sat_calls);
   {
     tests = !tests;
     paths_explored = !paths;
@@ -76,6 +125,7 @@ let run ?(collect_tests = max_int) ?(goal = Exhaust) cfg searcher (st0 : 'env St
     coverage = coverage_fraction cfg program;
     instructions = cfg.Executor.stats.Executor.useful_instrs;
     errors = !errors;
+    solver_stats = Smt.Solver.copy_stats cfg.Executor.solver;
   }
 
 (* Convenience wrapper: run a program that needs no environment model. *)

@@ -16,6 +16,8 @@ type 'env result = {
   coverage : float;  (** fraction of coverable lines covered *)
   instructions : int;
   errors : int;
+  solver_stats : Smt.Solver.stats;
+      (** snapshot of this run's solver counters (see {!Smt.Solver.stats}) *)
 }
 
 val coverage_fraction : 'env Executor.config -> Cvm.Program.t -> float

@@ -73,13 +73,17 @@ type 'env config = {
      instead of fresh symbols, so a generated test case re-executes its
      exact path concretely *)
   mutable inputs_consumed : int;
+  obs : Obs.Sink.t option;
+  (* observability sink scoped to the owning worker; [None] (the
+     default) keeps the executor entirely unobserved — the only cost is
+     one branch per fork, never per instruction *)
 }
 
 and 'env handler =
   'env config -> 'env State.t -> num:int -> dst:int -> args:E.t list -> 'env sys_outcome
 
 let make_config ?(max_steps = None) ?(check_div_zero = true) ?(global_alloc = None)
-    ?(preempt_interval = None) ?(concrete_inputs = None) ~solver ~handler ~nlines () =
+    ?(preempt_interval = None) ?(concrete_inputs = None) ?obs ~solver ~handler ~nlines () =
   {
     solver;
     handler;
@@ -91,7 +95,13 @@ let make_config ?(max_steps = None) ?(check_div_zero = true) ?(global_alloc = No
     preempt_interval;
     concrete_inputs;
     inputs_consumed = 0;
+    obs;
   }
+
+let note_fork cfg (st : 'env State.t) ~arms =
+  match cfg.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.event s (Obs.Event.Fork { depth = st.State.depth; arms })
 
 (* A handler for programs that make no environment calls. *)
 let no_env_handler : unit handler =
@@ -188,6 +198,7 @@ let yield cfg (st : 'env State.t) : 'env stepped =
     | State.Round_robin -> continue { st with State.cur = round_robin () }
     | State.Fork_all ->
       cfg.stats.forks <- cfg.stats.forks + List.length tids - 1;
+      note_fork cfg st ~arms:(List.length tids);
       {
         running =
           List.mapi
@@ -200,6 +211,7 @@ let yield cfg (st : 'env State.t) : 'env stepped =
       else begin
         let default = round_robin () in
         cfg.stats.forks <- cfg.stats.forks + List.length tids - 1;
+        note_fork cfg st ~arms:(List.length tids);
         {
           running =
             List.mapi
@@ -311,6 +323,7 @@ let fork_on cfg (st : 'env State.t) cond ~on_true ~on_false : 'env stepped =
     | false, false -> finish st (Errors.Error (Errors.Invalid_op "infeasible path condition"))
     | true, true ->
       cfg.stats.forks <- cfg.stats.forks + 1;
+      note_fork cfg st ~arms:2;
       let st_t = State.push_choice (State.add_constraint st b) (Path.Branch true) in
       let st_f = State.push_choice (State.add_constraint st (E.not_ b)) (Path.Branch false) in
       let r1 = on_true st_t ~forked:true in
@@ -615,6 +628,7 @@ and step_syscall cfg (st : 'env State.t) ~dst ~num ~args : 'env stepped =
       yield cfg st
     | Sys_choices variants ->
       cfg.stats.forks <- cfg.stats.forks + List.length variants - 1;
+      if List.length variants > 1 then note_fork cfg st ~arms:(List.length variants);
       let stepped =
         List.mapi
           (fun i (st, v) ->

@@ -67,6 +67,9 @@ type 'env config = {
           instead of fresh symbols, so a generated test case re-executes
           its path concretely *)
   mutable inputs_consumed : int;
+  obs : Obs.Sink.t option;
+      (** observability sink scoped to the owning worker; [None] keeps
+          the executor unobserved at the cost of one branch per fork *)
 }
 
 and 'env handler =
@@ -78,6 +81,7 @@ val make_config :
   ?global_alloc:int ref option ->
   ?preempt_interval:int option ->
   ?concrete_inputs:(string * string) list option ->
+  ?obs:Obs.Sink.t ->
   solver:Smt.Solver.t ->
   handler:'env handler ->
   nlines:int ->

@@ -249,10 +249,15 @@ let interleave subs =
 (* The searcher used in the paper's evaluation. *)
 let default ~rng () = interleave [ random_path ~rng (); coverage_optimized ~rng () ]
 
+let names = [ "dfs"; "bfs"; "random-path"; "cov-opt"; "interleaved"; "default" ]
+
 let of_name ~rng = function
   | "dfs" -> dfs ()
   | "bfs" -> bfs ()
   | "random-path" -> random_path ~rng ()
   | "cov-opt" -> coverage_optimized ~rng ()
   | "default" | "interleaved" -> default ~rng ()
-  | other -> invalid_arg ("Searcher.of_name: unknown strategy " ^ other)
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Searcher.of_name: unknown strategy %s (expected one of: %s)" other
+         (String.concat ", " names))

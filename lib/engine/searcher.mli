@@ -29,7 +29,11 @@ val interleave : 'env t list -> 'env t
 (** The paper's evaluation default: random-path + coverage-optimized. *)
 val default : rng:Random.State.t -> unit -> 'env t
 
+(** The strategy names {!of_name} accepts, in documentation order. *)
+val names : string list
+
 (** By name: "dfs", "bfs", "random-path", "cov-opt",
     "interleaved"/"default".
-    @raise Invalid_argument on unknown names. *)
+    @raise Invalid_argument on unknown names (the message lists the
+    valid ones). *)
 val of_name : rng:Random.State.t -> string -> 'env t

@@ -1,0 +1,29 @@
+(** Minimal JSON writer/parser backing the observability exporters, the
+    [cloud9 report] reader, and the artifact-validating tests.  Not a
+    general-purpose JSON library: strings round-trip ASCII only. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Append the escaped, quoted form of a string. *)
+val escape_to : Buffer.t -> string -> unit
+
+val write : Buffer.t -> t -> unit
+val to_string : t -> string
+
+exception Malformed of string
+
+(** @raise Malformed on syntax errors. *)
+val parse_exn : string -> t
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

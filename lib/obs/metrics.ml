@@ -1,0 +1,186 @@
+(* The metrics registry: named counters, gauges and fixed-bucket
+   histograms, optionally labeled (a labeled family is the same name
+   registered under several label sets, e.g. solver_queries{tier=...}).
+
+   Hot-path cost is the design constraint: incrementing a counter is a
+   single mutable-field update on a handle resolved once at component
+   construction, so instrumented code never pays a lookup per event.
+   Registry lookups happen only at registration and export time.
+
+   Snapshots are immutable copies supporting [diff]: counters and
+   histogram buckets subtract (rate over an interval), gauges keep the
+   newer sample. *)
+
+type labels = (string * string) list
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  bounds : float array; (* upper bounds, ascending; implicit +inf last *)
+  counts : int array;   (* length = Array.length bounds + 1 *)
+  mutable hsum : float;
+  mutable hcount : int;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = {
+  tbl : (string, instrument) Hashtbl.t; (* key = name + rendered labels *)
+  mutable order : (string * labels * instrument) list; (* newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 64; order = [] }
+
+let render_key name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+    let ordered = List.sort compare labels in
+    name ^ "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ordered)
+    ^ "}"
+
+let register t name labels make match_existing =
+  let key = render_key name labels in
+  match Hashtbl.find_opt t.tbl key with
+  | Some existing -> (
+    match match_existing existing with
+    | Some x -> x
+    | None -> invalid_arg (Printf.sprintf "Metrics: %s re-registered with another type" key))
+  | None ->
+    let x, instr = make () in
+    Hashtbl.replace t.tbl key instr;
+    t.order <- (name, labels, instr) :: t.order;
+    x
+
+let counter t ?(labels = []) name =
+  register t name labels
+    (fun () ->
+      let c = { c = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t ?(labels = []) name =
+  register t name labels
+    (fun () ->
+      let g = { g = 0.0 } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let default_buckets = [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0 |]
+
+let histogram t ?(labels = []) ?(buckets = default_buckets) name =
+  register t name labels
+    (fun () ->
+      let h =
+        {
+          bounds = Array.copy buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          hsum = 0.0;
+          hcount = 0;
+        }
+      in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+(* --- hot-path updates -------------------------------------------------- *)
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let counter_value c = c.c
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let observe h v =
+  let rec slot i = if i >= Array.length h.bounds || v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.hsum <- h.hsum +. v;
+  h.hcount <- h.hcount + 1
+
+(* --- snapshots --------------------------------------------------------- *)
+
+type value =
+  | Vcounter of int
+  | Vgauge of float
+  | Vhistogram of { vbounds : float array; vcounts : int array; vsum : float; vcount : int }
+
+type sample = { s_name : string; s_labels : labels; s_value : value }
+
+type snapshot = sample list (* registration order *)
+
+let snapshot t =
+  List.rev_map
+    (fun (name, labels, instr) ->
+      let v =
+        match instr with
+        | Counter c -> Vcounter c.c
+        | Gauge g -> Vgauge g.g
+        | Histogram h ->
+          Vhistogram
+            {
+              vbounds = Array.copy h.bounds;
+              vcounts = Array.copy h.counts;
+              vsum = h.hsum;
+              vcount = h.hcount;
+            }
+      in
+      { s_name = name; s_labels = labels; s_value = v })
+    t.order
+
+(* [diff ~base cur]: counters and histograms report the delta since
+   [base]; gauges keep the current sample.  Samples missing from [base]
+   pass through unchanged. *)
+let diff ~base cur =
+  let key s = render_key s.s_name s.s_labels in
+  let base_tbl = Hashtbl.create 32 in
+  List.iter (fun s -> Hashtbl.replace base_tbl (key s) s.s_value) base;
+  List.map
+    (fun s ->
+      match (s.s_value, Hashtbl.find_opt base_tbl (key s)) with
+      | Vcounter cur_v, Some (Vcounter base_v) -> { s with s_value = Vcounter (cur_v - base_v) }
+      | Vhistogram h, Some (Vhistogram b) when Array.length h.vcounts = Array.length b.vcounts ->
+        {
+          s with
+          s_value =
+            Vhistogram
+              {
+                h with
+                vcounts = Array.mapi (fun i c -> c - b.vcounts.(i)) h.vcounts;
+                vsum = h.vsum -. b.vsum;
+                vcount = h.vcount - b.vcount;
+              };
+        }
+      | _ -> s)
+    cur
+
+let find snap name labels =
+  List.find_opt (fun s -> s.s_name = name && List.sort compare s.s_labels = List.sort compare labels) snap
+
+(* --- JSONL export ------------------------------------------------------ *)
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let sample_to_json s =
+  let base = [ ("metric", Json.Str s.s_name); ("labels", labels_json s.s_labels) ] in
+  match s.s_value with
+  | Vcounter c -> Json.Obj (base @ [ ("type", Json.Str "counter"); ("value", Json.Num (float_of_int c)) ])
+  | Vgauge g -> Json.Obj (base @ [ ("type", Json.Str "gauge"); ("value", Json.Num g) ])
+  | Vhistogram h ->
+    Json.Obj
+      (base
+      @ [
+          ("type", Json.Str "histogram");
+          ("value", Json.Num h.vsum);
+          ("count", Json.Num (float_of_int h.vcount));
+          ("bounds", Json.Arr (Array.to_list (Array.map (fun b -> Json.Num b) h.vbounds)));
+          ("buckets", Json.Arr (Array.to_list (Array.map (fun c -> Json.Num (float_of_int c)) h.vcounts)));
+        ])
+
+let write_jsonl buf snap =
+  List.iter
+    (fun s ->
+      Json.write buf (sample_to_json s);
+      Buffer.add_char buf '\n')
+    snap

@@ -1,0 +1,58 @@
+(** The metrics registry: named counters, gauges and fixed-bucket
+    histograms, optionally labeled.  Handles are resolved once at
+    component construction; updating one is a single mutable-field
+    write, so instrumented hot paths never pay a registry lookup. *)
+
+type labels = (string * string) list
+
+type counter
+type gauge
+type histogram
+type t
+
+val create : unit -> t
+
+(** Find-or-create.  Re-registering a name+labels pair with a different
+    instrument type raises [Invalid_argument]; re-registering with the
+    same type returns the existing handle (labeled families are built by
+    registering one name under several label sets). *)
+val counter : t -> ?labels:labels -> string -> counter
+
+val gauge : t -> ?labels:labels -> string -> gauge
+
+(** [buckets] are ascending upper bounds; an implicit +inf bucket is
+    appended. *)
+val histogram : t -> ?labels:labels -> ?buckets:float array -> string -> histogram
+
+val default_buckets : float array
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val observe : histogram -> float -> unit
+
+type value =
+  | Vcounter of int
+  | Vgauge of float
+  | Vhistogram of { vbounds : float array; vcounts : int array; vsum : float; vcount : int }
+
+type sample = { s_name : string; s_labels : labels; s_value : value }
+
+(** Samples in registration order. *)
+type snapshot = sample list
+
+val snapshot : t -> snapshot
+
+(** Counters and histograms report the delta since [base]; gauges keep
+    the newer sample. *)
+val diff : base:snapshot -> snapshot -> snapshot
+
+val find : snapshot -> string -> labels -> sample option
+
+val sample_to_json : sample -> Json.t
+
+(** One JSON object per line:
+    [{"metric":...,"labels":{...},"type":...,"value":...}]. *)
+val write_jsonl : Buffer.t -> snapshot -> unit

@@ -1,0 +1,155 @@
+(* Offline reader for the metrics JSONL artifact: parses the dump back
+   into {!Metrics.snapshot} samples and renders the summary behind the
+   [cloud9 report] subcommand — a per-worker utilization table, the
+   solver answer-tier breakdown, and the remaining counters/gauges. *)
+
+let sample_of_json j =
+  let open Json in
+  let str_member k = Option.bind (member k j) to_str in
+  let num_member k = Option.bind (member k j) to_float in
+  match (str_member "metric", str_member "type") with
+  | Some name, Some ty ->
+    let labels =
+      match member "labels" j with
+      | Some (Obj kvs) ->
+        List.filter_map (fun (k, v) -> Option.map (fun s -> (k, s)) (to_str v)) kvs
+      | _ -> []
+    in
+    let value =
+      match ty with
+      | "counter" ->
+        Option.map (fun v -> Metrics.Vcounter (int_of_float v)) (num_member "value")
+      | "gauge" -> Option.map (fun v -> Metrics.Vgauge v) (num_member "value")
+      | "histogram" ->
+        let floats k =
+          match Option.bind (member k j) to_list with
+          | Some l -> Some (Array.of_list (List.filter_map to_float l))
+          | None -> None
+        in
+        (match (num_member "value", num_member "count", floats "bounds", floats "buckets") with
+        | Some vsum, Some count, Some bounds, Some buckets ->
+          Some
+            (Metrics.Vhistogram
+               {
+                 vbounds = bounds;
+                 vcounts = Array.map int_of_float buckets;
+                 vsum;
+                 vcount = int_of_float count;
+               })
+        | _ -> None)
+      | _ -> None
+    in
+    Option.map (fun v -> { Metrics.s_name = name; s_labels = labels; s_value = v }) value
+  | _ -> None
+
+(* Parse a whole JSONL dump; blank lines are skipped, malformed lines
+   reported by 1-based number. *)
+let parse_jsonl content =
+  let lines = String.split_on_char '\n' content in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go (n + 1) acc rest
+      else (
+        match Json.parse line with
+        | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+        | Ok j -> (
+          match sample_of_json j with
+          | None -> Error (Printf.sprintf "line %d: not a metrics sample" n)
+          | Some s -> go (n + 1) (s :: acc) rest))
+  in
+  go 1 [] lines
+
+(* ---- rendering ---------------------------------------------------- *)
+
+let counter_of snap name labels =
+  match Metrics.find snap name labels with
+  | Some { s_value = Metrics.Vcounter c; _ } -> Some c
+  | _ -> None
+
+let worker_ids snap =
+  List.filter_map
+    (fun (s : Metrics.sample) ->
+      if s.s_name = "worker_useful_instrs" then
+        Option.map int_of_string_opt (List.assoc_opt "worker" s.s_labels) |> Option.join
+      else None)
+    snap
+  |> List.sort_uniq compare
+
+let pct num denom = if denom = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int denom
+
+let render buf snap =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  (* per-worker utilization *)
+  let wids = worker_ids snap in
+  if wids <> [] then begin
+    line "%-8s %12s %12s %12s %7s %10s %10s" "worker" "useful" "replay" "idle" "util%"
+      "queries" "sat_calls";
+    let tu = ref 0 and tr = ref 0 and ti = ref 0 and tq = ref 0 and ts = ref 0 in
+    List.iter
+      (fun w ->
+        let labels = [ ("worker", string_of_int w) ] in
+        let get name = Option.value ~default:0 (counter_of snap name labels) in
+        let useful = get "worker_useful_instrs" in
+        let replay = get "worker_replay_instrs" in
+        let idle = get "worker_idle_instrs" in
+        let queries = get "worker_solver_queries" in
+        let sat = get "worker_sat_calls" in
+        tu := !tu + useful;
+        tr := !tr + replay;
+        ti := !ti + idle;
+        tq := !tq + queries;
+        ts := !ts + sat;
+        line "%-8d %12d %12d %12d %6.1f%% %10d %10d" w useful replay idle
+          (pct useful (useful + replay + idle))
+          queries sat)
+      wids;
+    line "%-8s %12d %12d %12d %6.1f%% %10d %10d" "total" !tu !tr !ti
+      (pct !tu (!tu + !tr + !ti))
+      !tq !ts;
+    line ""
+  end;
+  (* solver answer-tier breakdown *)
+  let tiers =
+    List.filter_map
+      (fun (s : Metrics.sample) ->
+        match (s.s_name, s.s_value, List.assoc_opt "tier" s.s_labels) with
+        | "solver_queries", Metrics.Vcounter c, Some tier -> Some (tier, c)
+        | _ -> None)
+      snap
+  in
+  if tiers <> [] then begin
+    let total = List.fold_left (fun a (_, c) -> a + c) 0 tiers in
+    line "solver queries by answer tier (total %d):" total;
+    List.iter (fun (tier, c) -> line "  %-10s %10d  %5.1f%%" tier c (pct c total)) tiers;
+    line ""
+  end;
+  (* everything else *)
+  let shown (s : Metrics.sample) =
+    (not (String.length s.s_name >= 7 && String.sub s.s_name 0 7 = "worker_"))
+    && s.s_name <> "solver_queries"
+  in
+  let rest = List.filter shown snap in
+  if rest <> [] then begin
+    line "other metrics:";
+    List.iter
+      (fun (s : Metrics.sample) ->
+        let label_str =
+          match s.s_labels with
+          | [] -> ""
+          | kvs ->
+            "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs) ^ "}"
+        in
+        match s.s_value with
+        | Metrics.Vcounter c -> line "  %s%s = %d" s.s_name label_str c
+        | Metrics.Vgauge g -> line "  %s%s = %g" s.s_name label_str g
+        | Metrics.Vhistogram h ->
+          line "  %s%s: count=%d sum=%g mean=%g" s.s_name label_str h.vcount h.vsum
+            (if h.vcount = 0 then 0.0 else h.vsum /. float_of_int h.vcount))
+      rest
+  end
+
+let render_string snap =
+  let buf = Buffer.create 4096 in
+  render buf snap;
+  Buffer.contents buf

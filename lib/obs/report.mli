@@ -1,0 +1,16 @@
+(** Offline reader for the metrics JSONL artifact, backing the
+    [cloud9 report] subcommand. *)
+
+(** Parse one JSONL object back into a sample; [None] when the object
+    is not a metrics sample. *)
+val sample_of_json : Json.t -> Metrics.sample option
+
+(** Parse a whole dump (blank lines skipped); the error names the
+    offending 1-based line. *)
+val parse_jsonl : string -> (Metrics.snapshot, string) result
+
+(** Render the summary: per-worker utilization table, solver
+    answer-tier breakdown, remaining metrics. *)
+val render : Buffer.t -> Metrics.snapshot -> unit
+
+val render_string : Metrics.snapshot -> string

@@ -1,0 +1,154 @@
+(* The sink every instrumented component writes through.
+
+   One shared core (registry + trace ring + timeline + current virtual
+   tick) is created per run; [for_worker] wraps it with a worker id so
+   events and timeline samples are attributed without the component
+   threading its own id around.  The cluster driver advances [set_now]
+   once per tick, so hot-path emitters never pass a timestamp. *)
+
+type core = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+  timeline : Timeline.t;
+  mutable now : int;
+}
+
+type t = { core : core; wid : int }
+
+let create ?trace_capacity ?bucket_ticks () =
+  let core =
+    {
+      metrics = Metrics.create ();
+      trace = Trace.create ?capacity:trace_capacity ();
+      timeline = Timeline.create ?bucket_ticks ();
+      now = 0;
+    }
+  in
+  { core; wid = Event.lb }
+
+let for_worker t wid = { core = t.core; wid }
+
+let worker t = t.wid
+let set_now t tick = t.core.now <- tick
+let now t = t.core.now
+
+let metrics t = t.core.metrics
+let trace t = t.core.trace
+let timeline t = t.core.timeline
+
+let event t ev = Trace.record t.core.trace ~tick:t.core.now ~worker:t.wid ev
+
+let observe t ~useful ~replay ~idle ~depth ~queries ~sat_calls =
+  Timeline.observe t.core.timeline ~tick:t.core.now ~worker:t.wid ~useful ~replay ~idle ~depth
+    ~queries ~sat_calls
+
+let attach_spill t oc = Trace.attach_spill t.core.trace oc
+let detach_spill t = Trace.detach_spill t.core.trace
+
+(* ---- exporters ---------------------------------------------------- *)
+
+let us_of_tick tick = Json.Num (float_of_int tick *. 10_000.)
+let num n = Json.Num (float_of_int n)
+
+let thread_label wid = if wid = Event.lb then "lb" else Printf.sprintf "worker %d" wid
+
+(* Chrome trace_event JSON (chrome://tracing / Perfetto "JSON Array
+   Format").  Virtual ticks are mapped to microseconds at 1 tick = 10ms.
+   Timeline buckets become "C" counter series; ring events become "i"
+   instants on the emitting worker's thread track. *)
+let chrome_events t =
+  Timeline.flush t.core.timeline;
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", num 0);
+        ("args", Json.Obj [ ("name", Json.Str "cloud9") ]);
+      ]
+    :: List.map
+         (fun wid ->
+           Json.Obj
+             [
+               ("name", Json.Str "thread_name");
+               ("ph", Json.Str "M");
+               ("pid", num 0);
+               ("tid", num wid);
+               ("args", Json.Obj [ ("name", Json.Str (thread_label wid)) ]);
+             ])
+         (Event.lb :: Timeline.workers t.core.timeline)
+  in
+  let counter name wid start args =
+    Json.Obj
+      [
+        ("name", Json.Str (Printf.sprintf "%s/w%d" name wid));
+        ("ph", Json.Str "C");
+        ("pid", num 0);
+        ("ts", us_of_tick start);
+        ("args", Json.Obj args);
+      ]
+  in
+  let counters =
+    List.concat_map
+      (fun (r : Timeline.row) ->
+        [
+          counter "util" r.b_worker r.b_start
+            [
+              ("useful", num r.b_useful); ("replay", num r.b_replay); ("idle", num r.b_idle);
+            ];
+          counter "frontier" r.b_worker r.b_start [ ("depth", num r.b_depth) ];
+          counter "solver" r.b_worker r.b_start
+            [ ("queries", num r.b_queries); ("sat_calls", num r.b_sat_calls) ];
+        ])
+      (Timeline.rows t.core.timeline)
+  in
+  let instants =
+    List.map
+      (fun (r : Trace.record) ->
+        Json.Obj
+          [
+            ("name", Json.Str (Event.name r.r_event));
+            ("ph", Json.Str "i");
+            ("pid", num 0);
+            ("tid", num r.r_worker);
+            ("ts", us_of_tick r.r_tick);
+            ("s", Json.Str "t");
+            ("args", Json.Obj (Event.args r.r_event));
+          ])
+      (Trace.contents t.core.trace)
+  in
+  meta @ counters @ instants
+
+let write_chrome_trace t oc =
+  let buf = Buffer.create 65536 in
+  Json.write buf (Json.Arr (chrome_events t));
+  Buffer.add_char buf '\n';
+  Buffer.output_buffer oc buf
+
+(* Per-worker cumulative totals from the timeline, exported as synthetic
+   counter samples alongside the registry's own contents.  The useful and
+   replay totals reconcile exactly with the run result's instruction
+   counters. *)
+let totals_samples t =
+  Timeline.flush t.core.timeline;
+  List.concat_map
+    (fun (wid, (tot : Timeline.totals)) ->
+      let labels = [ ("worker", string_of_int wid) ] in
+      List.map
+        (fun (name, v) ->
+          { Metrics.s_name = name; s_labels = labels; s_value = Metrics.Vcounter v })
+        [
+          ("worker_useful_instrs", tot.t_useful);
+          ("worker_replay_instrs", tot.t_replay);
+          ("worker_idle_instrs", tot.t_idle);
+          ("worker_solver_queries", tot.t_queries);
+          ("worker_sat_calls", tot.t_sat_calls);
+        ])
+    (Timeline.totals t.core.timeline)
+
+let metrics_samples t = Metrics.snapshot t.core.metrics @ totals_samples t
+
+let write_metrics_jsonl t oc =
+  let buf = Buffer.create 4096 in
+  Metrics.write_jsonl buf (metrics_samples t);
+  Buffer.output_buffer oc buf

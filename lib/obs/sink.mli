@@ -1,0 +1,55 @@
+(** The sink instrumented components write through: a shared metrics
+    registry, trace ring and per-worker timeline, scoped to a worker id.
+
+    A run creates one sink ([create], attributed to the load balancer)
+    and derives per-worker views with [for_worker]; all views share the
+    same core, so exports see the whole run.  The driver advances
+    [set_now] once per virtual tick; emitters never pass timestamps.
+
+    Components hold a [Sink.t option] and do nothing when it is [None],
+    so disabled observability costs one branch per already-rare event. *)
+
+type t
+
+val create : ?trace_capacity:int -> ?bucket_ticks:int -> unit -> t
+
+(** A view of the same core attributed to worker [wid]. *)
+val for_worker : t -> int -> t
+
+val worker : t -> int
+val set_now : t -> int -> unit
+val now : t -> int
+
+val metrics : t -> Metrics.t
+val trace : t -> Trace.t
+val timeline : t -> Timeline.t
+
+(** Record [ev] at the current tick, attributed to this view's worker. *)
+val event : t -> Event.t -> unit
+
+(** Feed the timeline one sample of *cumulative* per-worker counters
+    (see {!Timeline.observe}) at the current tick. *)
+val observe :
+  t ->
+  useful:int ->
+  replay:int ->
+  idle:int ->
+  depth:int ->
+  queries:int ->
+  sat_calls:int ->
+  unit
+
+val attach_spill : t -> out_channel -> unit
+val detach_spill : t -> unit
+
+(** Chrome [trace_event] JSON (one array; load in chrome://tracing or
+    Perfetto): timeline buckets as "C" counter series, ring events as
+    "i" instants, 1 tick = 10ms of trace time. *)
+val write_chrome_trace : t -> out_channel -> unit
+
+(** Registry snapshot plus per-worker timeline totals
+    ([worker_useful_instrs] etc.), one JSON object per line. *)
+val write_metrics_jsonl : t -> out_channel -> unit
+
+(** The samples behind [write_metrics_jsonl]. *)
+val metrics_samples : t -> Metrics.snapshot

@@ -1,0 +1,159 @@
+(* Per-worker timelines: utilization and solver activity aggregated into
+   fixed-width tick buckets — the data behind the paper's Fig. 6/7-style
+   load-balance plots.
+
+   Callers feed *cumulative* counters ([observe] computes deltas
+   internally, treating a decrease as a counter reset — a rejoined worker
+   starts a fresh engine at zero) plus a frontier-depth gauge sample.
+   Buckets are flushed when a sample crosses a bucket boundary and on
+   [flush]; per-worker cumulative totals are maintained independently so
+   exports can reconcile against a run's final counters exactly, however
+   the run's length relates to the bucket width. *)
+
+type row = {
+  b_worker : int;
+  b_start : int;       (* bucket start tick *)
+  b_useful : int;      (* instruction deltas within the bucket *)
+  b_replay : int;
+  b_idle : int;
+  b_depth : int;       (* mean frontier depth over the bucket's samples *)
+  b_queries : int;     (* solver-query delta *)
+  b_sat_calls : int;
+}
+
+type totals = {
+  t_useful : int;
+  t_replay : int;
+  t_idle : int;
+  t_queries : int;
+  t_sat_calls : int;
+}
+
+(* per-worker accumulator: previous cumulative sample + current bucket *)
+type cell = {
+  mutable p_useful : int;
+  mutable p_replay : int;
+  mutable p_idle : int;
+  mutable p_queries : int;
+  mutable p_sat : int;
+  mutable c_useful : int;
+  mutable c_replay : int;
+  mutable c_idle : int;
+  mutable c_queries : int;
+  mutable c_sat : int;
+  mutable c_depth_sum : int;
+  mutable c_samples : int;
+  mutable tot : totals;
+}
+
+type t = {
+  bucket_ticks : int;
+  cells : (int, cell) Hashtbl.t;
+  mutable cur_bucket : int;  (* start tick of the open bucket *)
+  mutable rows : row list;   (* flushed rows, newest first *)
+}
+
+let create ?(bucket_ticks = 100) () =
+  { bucket_ticks = max 1 bucket_ticks; cells = Hashtbl.create 16; cur_bucket = 0; rows = [] }
+
+let zero_totals = { t_useful = 0; t_replay = 0; t_idle = 0; t_queries = 0; t_sat_calls = 0 }
+
+let cell t worker =
+  match Hashtbl.find_opt t.cells worker with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        p_useful = 0;
+        p_replay = 0;
+        p_idle = 0;
+        p_queries = 0;
+        p_sat = 0;
+        c_useful = 0;
+        c_replay = 0;
+        c_idle = 0;
+        c_queries = 0;
+        c_sat = 0;
+        c_depth_sum = 0;
+        c_samples = 0;
+        tot = zero_totals;
+      }
+    in
+    Hashtbl.replace t.cells worker c;
+    c
+
+let flush_cells t =
+  Hashtbl.iter
+    (fun worker c ->
+      if c.c_samples > 0 || c.c_useful + c.c_replay + c.c_idle > 0 then begin
+        t.rows <-
+          {
+            b_worker = worker;
+            b_start = t.cur_bucket;
+            b_useful = c.c_useful;
+            b_replay = c.c_replay;
+            b_idle = c.c_idle;
+            b_depth = (if c.c_samples = 0 then 0 else c.c_depth_sum / c.c_samples);
+            b_queries = c.c_queries;
+            b_sat_calls = c.c_sat;
+          }
+          :: t.rows;
+        c.c_useful <- 0;
+        c.c_replay <- 0;
+        c.c_idle <- 0;
+        c.c_queries <- 0;
+        c.c_sat <- 0;
+        c.c_depth_sum <- 0;
+        c.c_samples <- 0
+      end)
+    t.cells
+
+(* cumulative counter delta with reset detection *)
+let delta prev cur = if cur >= prev then cur - prev else cur
+
+let observe t ~tick ~worker ~useful ~replay ~idle ~depth ~queries ~sat_calls =
+  if tick >= t.cur_bucket + t.bucket_ticks then begin
+    flush_cells t;
+    t.cur_bucket <- tick - (tick mod t.bucket_ticks)
+  end;
+  let c = cell t worker in
+  let du = delta c.p_useful useful in
+  let dr = delta c.p_replay replay in
+  let di = delta c.p_idle idle in
+  let dq = delta c.p_queries queries in
+  let ds = delta c.p_sat sat_calls in
+  c.p_useful <- useful;
+  c.p_replay <- replay;
+  c.p_idle <- idle;
+  c.p_queries <- queries;
+  c.p_sat <- sat_calls;
+  c.c_useful <- c.c_useful + du;
+  c.c_replay <- c.c_replay + dr;
+  c.c_idle <- c.c_idle + di;
+  c.c_queries <- c.c_queries + dq;
+  c.c_sat <- c.c_sat + ds;
+  c.c_depth_sum <- c.c_depth_sum + depth;
+  c.c_samples <- c.c_samples + 1;
+  c.tot <-
+    {
+      t_useful = c.tot.t_useful + du;
+      t_replay = c.tot.t_replay + dr;
+      t_idle = c.tot.t_idle + di;
+      t_queries = c.tot.t_queries + dq;
+      t_sat_calls = c.tot.t_sat_calls + ds;
+    }
+
+let flush t = flush_cells t
+
+(* Flushed rows, oldest bucket first, workers ascending within a bucket. *)
+let rows t =
+  List.sort
+    (fun a b ->
+      match compare a.b_start b.b_start with 0 -> compare a.b_worker b.b_worker | c -> c)
+    (List.rev t.rows)
+
+let totals t =
+  Hashtbl.fold (fun worker c acc -> (worker, c.tot) :: acc) t.cells []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let workers t = List.map fst (totals t)

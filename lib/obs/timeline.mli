@@ -1,0 +1,55 @@
+(** Per-worker timelines: utilization (useful / replay / idle
+    instructions), frontier depth and solver activity, aggregated into
+    fixed-width tick buckets.
+
+    [observe] takes *cumulative* counters and computes deltas
+    internally; a decrease is treated as a counter reset (a rejoined
+    worker restarts its engine from zero), so totals stay exact across
+    crash/rejoin cycles. *)
+
+type row = {
+  b_worker : int;
+  b_start : int;       (** bucket start tick *)
+  b_useful : int;
+  b_replay : int;
+  b_idle : int;
+  b_depth : int;       (** mean frontier depth over the bucket's samples *)
+  b_queries : int;
+  b_sat_calls : int;
+}
+
+type totals = {
+  t_useful : int;
+  t_replay : int;
+  t_idle : int;
+  t_queries : int;
+  t_sat_calls : int;
+}
+
+type t
+
+val create : ?bucket_ticks:int -> unit -> t
+
+val observe :
+  t ->
+  tick:int ->
+  worker:int ->
+  useful:int ->
+  replay:int ->
+  idle:int ->
+  depth:int ->
+  queries:int ->
+  sat_calls:int ->
+  unit
+
+(** Close the open bucket so its data appears in [rows]. *)
+val flush : t -> unit
+
+(** Flushed rows, oldest bucket first, workers ascending within a
+    bucket. *)
+val rows : t -> row list
+
+(** Per-worker cumulative totals, worker id ascending. *)
+val totals : t -> (int * totals) list
+
+val workers : t -> int list

@@ -1,0 +1,29 @@
+(** Tick-stamped trace events in a bounded ring buffer, with an optional
+    JSONL spill channel that receives every record before any
+    overwriting. *)
+
+type record = { r_tick : int; r_worker : int; r_event : Event.t }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** Total records ever appended (including overwritten ones). *)
+val appended : t -> int
+
+(** Records lost to ring overwriting. *)
+val dropped : t -> int
+
+val attach_spill : t -> out_channel -> unit
+val detach_spill : t -> unit
+
+val record : t -> tick:int -> worker:int -> Event.t -> unit
+
+(** Buffered records, oldest first. *)
+val contents : t -> record list
+
+val iter : (record -> unit) -> t -> unit
+
+val record_to_json : record -> Json.t

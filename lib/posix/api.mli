@@ -96,7 +96,9 @@ val runtime : func list
 
 val handle : Handler.env Engine.Executor.handler
 
-(** An engine configuration wired to the POSIX model. *)
+(** An engine configuration wired to the POSIX model.  [obs] is handed
+    to both the engine config and (when no [solver] is supplied) the
+    freshly created solver, so fork and query events share one sink. *)
 val make_config :
   ?max_steps:int ->
   ?check_div_zero:bool ->
@@ -104,6 +106,7 @@ val make_config :
   ?preempt_interval:int ->
   ?concrete_inputs:(string * string) list ->
   ?solver:Smt.Solver.t ->
+  ?obs:Obs.Sink.t ->
   nlines:int ->
   unit ->
   Handler.env Engine.Executor.config

@@ -21,8 +21,17 @@ type stats = {
   mutable sat_calls : int;     (* full bit-blast + SAT runs *)
 }
 
+(* Observability handles, resolved once at [create]: the per-tier query
+   counters are plain mutable cells, so the instrumented hot path pays a
+   single field write plus the trace append. *)
+type obs = {
+  sink : Obs.Sink.t;
+  tier_counters : (Obs.Event.solver_tier * Obs.Metrics.counter) list;
+}
+
 type t = {
   stats : stats;
+  obs : obs option;
   use_sat_cache : bool;
   use_cex_cache : bool;
   use_independence : bool;
@@ -33,11 +42,24 @@ type t = {
   cex_limit : int;
 }
 
+let make_obs sink =
+  let tier_counters =
+    List.map
+      (fun tier ->
+        ( tier,
+          Obs.Metrics.counter (Obs.Sink.metrics sink)
+            ~labels:[ ("tier", Obs.Event.tier_to_string tier) ]
+            "solver_queries" ))
+      Obs.Event.[ Trivial; Range; Sat_cache; Cex_cache; Det_cache; Sat_call ]
+  in
+  { sink; tier_counters }
+
 let create ?(use_sat_cache = true) ?(use_cex_cache = true) ?(use_independence = true)
-    ?(use_range = true) () =
+    ?(use_range = true) ?obs () =
   {
     stats =
       { queries = 0; trivial = 0; range_hits = 0; cache_hits = 0; cex_hits = 0; sat_calls = 0 };
+    obs = Option.map make_obs obs;
     use_sat_cache;
     use_cex_cache;
     use_independence;
@@ -49,6 +71,39 @@ let create ?(use_sat_cache = true) ?(use_cex_cache = true) ?(use_independence = 
   }
 
 let stats t = t.stats
+
+let copy_stats t =
+  let s = t.stats in
+  {
+    queries = s.queries;
+    trivial = s.trivial;
+    range_hits = s.range_hits;
+    cache_hits = s.cache_hits;
+    cex_hits = s.cex_hits;
+    sat_calls = s.sat_calls;
+  }
+
+let zero_stats () =
+  { queries = 0; trivial = 0; range_hits = 0; cache_hits = 0; cex_hits = 0; sat_calls = 0 }
+
+(* Accumulate [src] into [acc] (for per-worker aggregation). *)
+let accum_stats acc src =
+  acc.queries <- acc.queries + src.queries;
+  acc.trivial <- acc.trivial + src.trivial;
+  acc.range_hits <- acc.range_hits + src.range_hits;
+  acc.cache_hits <- acc.cache_hits + src.cache_hits;
+  acc.cex_hits <- acc.cex_hits + src.cex_hits;
+  acc.sat_calls <- acc.sat_calls + src.sat_calls
+
+(* One query answered: bump the tier counter and trace the outcome. *)
+let note t kind tier sat =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    (match List.assq_opt tier o.tier_counters with
+    | Some c -> Obs.Metrics.incr c
+    | None -> ());
+    Obs.Sink.event o.sink (Obs.Event.Solver_query { kind; tier; sat })
 
 (* Drop the satisfiability cache (used when measuring cache reconstruction
    after a job transfer, see paper section 6 "Constraint Caches"). *)
@@ -124,14 +179,17 @@ let remember_model t m =
   end
 
 (* Core satisfiability check with caching; constraints are already
-   normalized and non-empty. *)
-let check_normalized t constraints =
+   normalized and non-empty.  [kind] labels the trace event with the
+   querying entry point. *)
+let check_normalized t ~kind constraints =
+  let is_sat = function Sat _ -> true | Unsat -> false in
   let cached =
     if t.use_sat_cache then Hashtbl.find_opt t.sat_cache constraints else None
   in
   match cached with
   | Some r ->
     t.stats.cache_hits <- t.stats.cache_hits + 1;
+    note t kind Obs.Event.Sat_cache (is_sat r);
     r
   | None ->
     let probe =
@@ -143,9 +201,11 @@ let check_normalized t constraints =
       match probe with
       | Some m ->
         t.stats.cex_hits <- t.stats.cex_hits + 1;
+        note t kind Obs.Event.Cex_cache true;
         Sat m
       | None ->
         let r = solve_raw t constraints in
+        note t kind Obs.Event.Sat_call (is_sat r);
         (match r with Sat m -> remember_model t m | Unsat -> ());
         r
     in
@@ -160,11 +220,13 @@ let check t constraints =
   match normalize constraints with
   | None ->
     t.stats.trivial <- t.stats.trivial + 1;
+    note t "check" Obs.Event.Trivial false;
     Unsat
   | Some [] ->
     t.stats.trivial <- t.stats.trivial + 1;
+    note t "check" Obs.Event.Trivial true;
     Sat Model.empty
-  | Some cs -> check_normalized t cs
+  | Some cs -> check_normalized t ~kind:"check" cs
 
 (* Branch-feasibility query: is [pc /\ cond] satisfiable?  Uses
    independence slicing seeded by the symbols of [cond]; this is sound for
@@ -173,18 +235,24 @@ let check t constraints =
 let branch_feasible t ~pc cond =
   t.stats.queries <- t.stats.queries + 1;
   let cond = Simplify.simplify cond in
-  if Expr.is_true cond then true
+  if Expr.is_true cond then begin
+    note t "branch" Obs.Event.Trivial true;
+    true
+  end
   else if Expr.is_false cond then begin
     t.stats.trivial <- t.stats.trivial + 1;
+    note t "branch" Obs.Event.Trivial false;
     false
   end
   else
     match normalize (cond :: pc) with
     | None ->
       t.stats.trivial <- t.stats.trivial + 1;
+      note t "branch" Obs.Event.Trivial false;
       false
     | Some [] ->
       t.stats.trivial <- t.stats.trivial + 1;
+      note t "branch" Obs.Event.Trivial true;
       true
     | Some cs -> (
       (* interval fast path: many branch conditions are decided by the
@@ -195,6 +263,7 @@ let branch_feasible t ~pc cond =
       match quick with
       | Some verdict ->
         t.stats.range_hits <- t.stats.range_hits + 1;
+        note t "branch" Obs.Event.Range verdict;
         verdict
       | None ->
         let cs =
@@ -204,7 +273,7 @@ let branch_feasible t ~pc cond =
             | sliced -> List.sort_uniq compare sliced
           else cs
         in
-        (match check_normalized t cs with Sat _ -> true | Unsat -> false))
+        (match check_normalized t ~kind:"branch" cs with Sat _ -> true | Unsat -> false))
 
 (* [must_be_true t ~pc cond] holds when [pc -> cond] is valid, i.e.
    [pc /\ not cond] is unsatisfiable. *)
@@ -222,19 +291,24 @@ let get_model t constraints = check t constraints
    deterministic. *)
 let check_deterministic t constraints =
   t.stats.queries <- t.stats.queries + 1;
+  let is_sat = function Sat _ -> true | Unsat -> false in
   match normalize constraints with
   | None ->
     t.stats.trivial <- t.stats.trivial + 1;
+    note t "det" Obs.Event.Trivial false;
     Unsat
   | Some [] ->
     t.stats.trivial <- t.stats.trivial + 1;
+    note t "det" Obs.Event.Trivial true;
     Sat Model.empty
   | Some cs -> (
     match Hashtbl.find_opt t.det_cache cs with
     | Some r ->
       t.stats.cache_hits <- t.stats.cache_hits + 1;
+      note t "det" Obs.Event.Det_cache (is_sat r);
       r
     | None ->
       let r = solve_raw t cs in
+      note t "det" Obs.Event.Sat_call (is_sat r);
       Hashtbl.replace t.det_cache cs r;
       r)

@@ -17,15 +17,28 @@ type stats = {
 
 type t
 
+(** [obs] attaches an observability sink: every answered query bumps a
+    per-tier [solver_queries] counter (handles resolved here, once) and
+    emits a {!Obs.Event.Solver_query} trace event. *)
 val create :
   ?use_sat_cache:bool ->
   ?use_cex_cache:bool ->
   ?use_independence:bool ->
   ?use_range:bool ->
+  ?obs:Obs.Sink.t ->
   unit ->
   t
 
 val stats : t -> stats
+
+(** Immutable snapshot of the live counters. *)
+val copy_stats : t -> stats
+
+val zero_stats : unit -> stats
+
+(** [accum_stats acc src] adds [src]'s counters into [acc] (for
+    aggregating per-worker solvers into a cluster total). *)
+val accum_stats : stats -> stats -> unit
 
 (** Drop all caches; models transferred to another worker lose their
     source's caches (paper section 6, "Constraint Caches"). *)

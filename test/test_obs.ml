@@ -1,0 +1,327 @@
+(* Tests for the observability subsystem: the JSON codec, the metrics
+   registry, the trace ring, timeline delta arithmetic, and — end to
+   end — the artifacts exported from instrumented local and faulty
+   cluster runs, reconciled against the drivers' own result counters. *)
+
+module J = Obs.Json
+module M = Obs.Metrics
+module C = Core.Cloud9
+module CD = Cluster.Driver
+
+(* --- json codec --------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("a", J.Num 1.5);
+        ("b", J.Arr [ J.Str "x\"y\n"; J.Bool true; J.Null ]);
+        ("empty", J.Obj []);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip" true (J.parse_exn (J.to_string v) = v);
+  match J.parse "{oops" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+(* --- metrics registry ----------------------------------------------------- *)
+
+let test_metrics_instruments () =
+  let reg = M.create () in
+  let c = M.counter reg "steps" in
+  M.incr c;
+  M.add c 4;
+  Alcotest.(check int) "counter" 5 (M.counter_value c);
+  (* find-or-create returns the same handle *)
+  M.incr (M.counter reg "steps");
+  Alcotest.(check int) "shared handle" 6 (M.counter_value c);
+  let g = M.gauge reg "depth" in
+  M.set g 3.5;
+  Alcotest.(check (float 0.0)) "gauge" 3.5 (M.gauge_value g);
+  let h = M.histogram reg ~buckets:[| 1.0; 10.0 |] "latency" in
+  List.iter (M.observe h) [ 0.5; 5.0; 50.0 ];
+  match M.find (M.snapshot reg) "latency" [] with
+  | Some { M.s_value = M.Vhistogram { vcounts; vcount; vsum; _ }; _ } ->
+    Alcotest.(check (list int)) "bucket counts" [ 1; 1; 1 ] (Array.to_list vcounts);
+    Alcotest.(check int) "observation count" 3 vcount;
+    Alcotest.(check (float 0.001)) "sum" 55.5 vsum
+  | _ -> Alcotest.fail "histogram sample missing"
+
+let test_metrics_families_and_mismatch () =
+  let reg = M.create () in
+  let sat = M.counter reg ~labels:[ ("tier", "sat_cache") ] "solver_queries" in
+  let cex = M.counter reg ~labels:[ ("tier", "cex_cache") ] "solver_queries" in
+  M.add sat 3;
+  M.incr cex;
+  let snap = M.snapshot reg in
+  let value name labels =
+    match M.find snap name labels with
+    | Some { M.s_value = M.Vcounter v; _ } -> v
+    | _ -> Alcotest.fail "missing counter sample"
+  in
+  Alcotest.(check int) "labeled family member 1" 3
+    (value "solver_queries" [ ("tier", "sat_cache") ]);
+  Alcotest.(check int) "labeled family member 2" 1
+    (value "solver_queries" [ ("tier", "cex_cache") ]);
+  (* same name+labels under a different instrument type must be rejected *)
+  match M.gauge reg ~labels:[ ("tier", "sat_cache") ] "solver_queries" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on type mismatch"
+
+let test_metrics_diff () =
+  let reg = M.create () in
+  let c = M.counter reg "paths" in
+  let g = M.gauge reg "queue" in
+  M.add c 10;
+  M.set g 1.0;
+  let base = M.snapshot reg in
+  M.add c 7;
+  M.set g 9.0;
+  let d = M.diff ~base (M.snapshot reg) in
+  (match M.find d "paths" [] with
+  | Some { M.s_value = M.Vcounter v; _ } -> Alcotest.(check int) "counter delta" 7 v
+  | _ -> Alcotest.fail "missing counter");
+  match M.find d "queue" [] with
+  | Some { M.s_value = M.Vgauge v; _ } -> Alcotest.(check (float 0.0)) "gauge keeps newer" 9.0 v
+  | _ -> Alcotest.fail "missing gauge"
+
+(* --- trace ring ------------------------------------------------------------- *)
+
+let test_trace_ring_bound () =
+  let tr = Obs.Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Obs.Trace.record tr ~tick:i ~worker:0 (Obs.Event.Mark (string_of_int i))
+  done;
+  Alcotest.(check int) "appended" 10 (Obs.Trace.appended tr);
+  Alcotest.(check int) "dropped" 6 (Obs.Trace.dropped tr);
+  Alcotest.(check (list int)) "bounded, oldest first" [ 7; 8; 9; 10 ]
+    (List.map (fun r -> r.Obs.Trace.r_tick) (Obs.Trace.contents tr))
+
+let test_trace_spill () =
+  let path = Filename.temp_file "c9spill" ".jsonl" in
+  let tr = Obs.Trace.create ~capacity:2 () in
+  let oc = open_out path in
+  Obs.Trace.attach_spill tr oc;
+  for i = 1 to 6 do
+    Obs.Trace.record tr ~tick:i ~worker:(i mod 3)
+      (Obs.Event.Lease_grant { lease = i; dst = 1; jobs = 2; recovery = false })
+  done;
+  Obs.Trace.detach_spill tr;
+  close_out oc;
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (* the spill keeps every record, including the four the ring dropped *)
+  let lines = List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text) in
+  Alcotest.(check int) "spill keeps overwritten records" 6 (List.length lines);
+  List.iteri
+    (fun i line ->
+      let j = J.parse_exn line in
+      Alcotest.(check (option string)) "event name" (Some "lease_grant")
+        (Option.bind (J.member "event" j) J.to_str);
+      Alcotest.(check (option (float 0.0))) "tick stamp" (Some (float_of_int (i + 1)))
+        (Option.bind (J.member "tick" j) J.to_float))
+    lines
+
+(* --- timeline ------------------------------------------------------------------ *)
+
+let test_timeline_deltas_and_reset () =
+  let tl = Obs.Timeline.create ~bucket_ticks:10 () in
+  let ob ~tick ~useful ~replay =
+    Obs.Timeline.observe tl ~tick ~worker:0 ~useful ~replay ~idle:0 ~depth:2 ~queries:0
+      ~sat_calls:0
+  in
+  ob ~tick:1 ~useful:100 ~replay:0;
+  ob ~tick:5 ~useful:250 ~replay:20;
+  ob ~tick:12 ~useful:400 ~replay:30;
+  (* counter reset: a rejoined worker restarts its engine from zero *)
+  ob ~tick:15 ~useful:50 ~replay:0;
+  Obs.Timeline.flush tl;
+  (match Obs.Timeline.rows tl with
+  | [ b0; b1 ] ->
+    Alcotest.(check int) "bucket 0 start" 0 b0.Obs.Timeline.b_start;
+    Alcotest.(check int) "bucket 0 useful" 250 b0.Obs.Timeline.b_useful;
+    Alcotest.(check int) "bucket 0 replay" 20 b0.Obs.Timeline.b_replay;
+    Alcotest.(check int) "bucket 1 start" 10 b1.Obs.Timeline.b_start;
+    Alcotest.(check int) "bucket 1 useful" 200 b1.Obs.Timeline.b_useful;
+    Alcotest.(check int) "bucket 1 replay" 10 b1.Obs.Timeline.b_replay
+  | rows -> Alcotest.failf "expected 2 buckets, got %d" (List.length rows));
+  match Obs.Timeline.totals tl with
+  | [ (0, t) ] ->
+    Alcotest.(check int) "useful total spans the reset" 450 t.Obs.Timeline.t_useful;
+    Alcotest.(check int) "replay total" 30 t.Obs.Timeline.t_replay
+  | _ -> Alcotest.fail "expected one worker"
+
+(* --- exported samples helper --------------------------------------------------- *)
+
+let sum_counter samples name =
+  List.fold_left
+    (fun acc (s : M.sample) ->
+      match s.M.s_value with
+      | M.Vcounter v when s.M.s_name = name -> acc + v
+      | _ -> acc)
+    0 samples
+
+(* --- instrumented local run ------------------------------------------------------ *)
+
+let test_local_run_reconciles () =
+  let program = Targets.Printf_target.program ~fmt_len:3 in
+  let target = C.target "printf3" program in
+  let obs = Obs.Sink.create () in
+  let r = C.run_local ~obs target in
+  let samples = Obs.Sink.metrics_samples obs in
+  Alcotest.(check int) "timeline total equals result instructions" r.C.instructions
+    (sum_counter samples "worker_useful_instrs");
+  Alcotest.(check bool) "solver stats surfaced" true (r.C.solver_stats.Smt.Solver.queries > 0);
+  let names =
+    List.map (fun rc -> Obs.Event.name rc.Obs.Trace.r_event)
+      (Obs.Trace.contents (Obs.Sink.trace obs))
+  in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " traced") true (List.mem expected names))
+    [ "fork"; "solver_query"; "path_done" ]
+
+(* --- instrumented faulty cluster run ---------------------------------------------- *)
+
+let run_faulty_cluster () =
+  let program = Targets.Printf_target.program ~fmt_len:4 in
+  let target = C.target "printf4" program in
+  let plan =
+    Cluster.Faultplan.create
+      ~crashes:[ Cluster.Faultplan.crash 1 ~at_tick:10 ~rejoin_after:20 ]
+      ~drop_prob:0.05 ~seed:7 ()
+  in
+  let options =
+    { C.default_cluster_options with C.nworkers = 4; speed = 200; fault_plan = plan }
+  in
+  let obs = Obs.Sink.create () in
+  let r = C.run_cluster ~obs ~options target in
+  (obs, r)
+
+let test_cluster_run_reconciles () =
+  let obs, r = run_faulty_cluster () in
+  Alcotest.(check bool) "the crash actually happened" true (r.CD.crashes >= 1);
+  let samples = Obs.Sink.metrics_samples obs in
+  Alcotest.(check int) "per-worker useful totals equal the result's"
+    r.CD.useful_instrs
+    (sum_counter samples "worker_useful_instrs");
+  Alcotest.(check int) "per-worker replay totals equal the result's"
+    r.CD.replay_instrs
+    (sum_counter samples "worker_replay_instrs");
+  (* the per-worker solver aggregation covers at least every live worker *)
+  Alcotest.(check bool) "per-worker solver stats present" true
+    (List.length r.CD.per_worker_solver >= 3);
+  let live_queries =
+    List.fold_left (fun a (_, st) -> a + st.Smt.Solver.queries) 0 r.CD.per_worker_solver
+  in
+  Alcotest.(check bool) "aggregate includes dead workers" true
+    (r.CD.solver_stats.Smt.Solver.queries >= live_queries && live_queries > 0)
+
+let test_chrome_trace_artifact () =
+  let obs, _ = run_faulty_cluster () in
+  let path = Filename.temp_file "c9trace" ".json" in
+  let oc = open_out path in
+  Obs.Sink.write_chrome_trace obs oc;
+  close_out oc;
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let events =
+    match J.parse_exn text with
+    | J.Arr l -> l
+    | _ -> Alcotest.fail "trace must be one JSON array"
+  in
+  let phases = List.filter_map (fun e -> Option.bind (J.member "ph" e) J.to_str) events in
+  Alcotest.(check int) "every event carries a phase" (List.length events)
+    (List.length phases);
+  List.iter
+    (fun ph ->
+      Alcotest.(check bool) ("has phase " ^ ph) true (List.mem ph phases))
+    [ "M"; "C"; "i" ];
+  let names = List.filter_map (fun e -> Option.bind (J.member "name" e) J.to_str) events in
+  List.iter
+    (fun n -> Alcotest.(check bool) ("event " ^ n ^ " present") true (List.mem n names))
+    [ "crash"; "rejoin"; "job_transfer"; "lease_grant"; "solver_query"; "util/w0" ]
+
+let test_metrics_jsonl_roundtrip () =
+  let obs, _ = run_faulty_cluster () in
+  let samples = Obs.Sink.metrics_samples obs in
+  let buf = Buffer.create 4096 in
+  M.write_jsonl buf samples;
+  match Obs.Report.parse_jsonl (Buffer.contents buf) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    Alcotest.(check int) "sample cardinality survives" (List.length samples)
+      (List.length parsed);
+    Alcotest.(check int) "counter values survive"
+      (sum_counter samples "worker_useful_instrs")
+      (sum_counter parsed "worker_useful_instrs");
+    let rendered = Obs.Report.render_string parsed in
+    List.iter
+      (fun needle ->
+        let present =
+          let n = String.length needle and m = String.length rendered in
+          let rec scan i = i + n <= m && (String.sub rendered i n = needle || scan (i + 1)) in
+          scan 0
+        in
+        Alcotest.(check bool) ("report mentions " ^ needle) true present)
+      [ "worker"; "sat_cache"; "total" ]
+
+let test_report_parse_errors () =
+  (match Obs.Report.parse_jsonl "" with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty dump parses to an empty snapshot");
+  match Obs.Report.parse_jsonl "{\"metric\":\"x\",\"type\":\"counter\",\"value\":1}\n???\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed line must be reported"
+
+(* --- searcher names satellite ------------------------------------------------------- *)
+
+let test_searcher_names_in_error () =
+  let rng = Random.State.make [| 1 |] in
+  (match Engine.Searcher.of_name ~rng "nope" with
+  | exception Invalid_argument msg ->
+    List.iter
+      (fun name ->
+        let present =
+          let n = String.length name and m = String.length msg in
+          let rec scan i = i + n <= m && (String.sub msg i n = name || scan (i + 1)) in
+          scan 0
+        in
+        Alcotest.(check bool) ("error lists " ^ name) true present)
+      Engine.Searcher.names
+  | _ -> Alcotest.fail "unknown strategy must raise");
+  (* every advertised name resolves *)
+  List.iter
+    (fun name -> ignore (Engine.Searcher.of_name ~rng name))
+    Engine.Searcher.names
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("json", [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "instruments" `Quick test_metrics_instruments;
+          Alcotest.test_case "families + type mismatch" `Quick test_metrics_families_and_mismatch;
+          Alcotest.test_case "diff" `Quick test_metrics_diff;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring bound" `Quick test_trace_ring_bound;
+          Alcotest.test_case "spill" `Quick test_trace_spill;
+        ] );
+      ("timeline", [ Alcotest.test_case "deltas + reset" `Quick test_timeline_deltas_and_reset ]);
+      ( "integration",
+        [
+          Alcotest.test_case "local run reconciles" `Quick test_local_run_reconciles;
+          Alcotest.test_case "cluster run reconciles" `Quick test_cluster_run_reconciles;
+          Alcotest.test_case "chrome trace artifact" `Quick test_chrome_trace_artifact;
+          Alcotest.test_case "metrics jsonl roundtrip" `Quick test_metrics_jsonl_roundtrip;
+          Alcotest.test_case "report parse errors" `Quick test_report_parse_errors;
+        ] );
+      ("searcher", [ Alcotest.test_case "names in error" `Quick test_searcher_names_in_error ]);
+    ]

@@ -312,6 +312,28 @@ let test_cache_hits () =
   q ();
   Alcotest.(check bool) "queries counted" true (st.Smt.Solver.queries = 4)
 
+let test_deterministic_models () =
+  (* the paper's replay-stable concretization (section 6): the model for a
+     path condition must depend only on the constraint set, never on the
+     solver's query history or cache contents *)
+  let c = [ E.ult sym_a sym_b; E.ult (E.add sym_a sym_b) (i8 200) ] in
+  let model_of solver =
+    match Smt.Solver.check_deterministic solver c with
+    | Smt.Solver.Sat m -> (Smt.Model.eval m sym_a, Smt.Model.eval m sym_b)
+    | Smt.Solver.Unsat -> Alcotest.fail "expected sat"
+  in
+  (* two solvers with different query histories *)
+  let s1 = Smt.Solver.create () in
+  ignore (Smt.Solver.check s1 [ E.eq sym_a (i8 7) ]);
+  ignore (Smt.Solver.branch_feasible s1 ~pc:[ E.ult sym_b (i8 100) ] (E.eq sym_b (i8 3)));
+  let s2 = Smt.Solver.create () in
+  ignore (Smt.Solver.check s2 [ E.ult sym_b (i8 5); E.ult sym_a (i8 9) ]);
+  let m1 = model_of s1 and m2 = model_of s2 in
+  Alcotest.(check (pair int64 int64)) "history-independent model" m1 m2;
+  (* and one queried again after dropping its caches *)
+  Smt.Solver.clear_caches s1;
+  Alcotest.(check (pair int64 int64)) "cache-independent model" m1 (model_of s1)
+
 let test_model_extraction () =
   let solver = Smt.Solver.create () in
   let c = [ E.eq (E.add sym_a sym_b) (i8 100); E.eq sym_a (i8 42) ] in
@@ -406,6 +428,7 @@ let () =
           Alcotest.test_case "branch feasibility" `Quick test_branch_feasible;
           Alcotest.test_case "independence slicing" `Quick test_independence_slicing;
           Alcotest.test_case "caches" `Quick test_cache_hits;
+          Alcotest.test_case "deterministic models" `Quick test_deterministic_models;
           Alcotest.test_case "model extraction" `Quick test_model_extraction;
         ]
         @ qsuite [ prop_solver_matches_bruteforce ] );
