@@ -894,6 +894,130 @@ let micro () =
     results
 
 (* ====================================================================== *)
+(* Solver hot-path microbenchmark: hash-consing + memoized simplify +     *)
+(* incremental pc vs the re-normalizing baseline                          *)
+(* ====================================================================== *)
+
+let bench_solver () =
+  section "Solver microbenchmark"
+    "Exhaustive single-worker runs, baseline (per-call re-simplification,\n\
+     whole-pc normalization) vs optimized (memoized simplify, incremental\n\
+     State.npc/boxes, fused fork queries).  Verdicts, path counts and test\n\
+     cases must be identical; the optimized legs must do strictly fewer\n\
+     simplify rewrites.  Writes BENCH_solver.json.";
+  let scenarios =
+    [
+      ("printf5", Lazy.force printf5);
+      ("test3", Lazy.force test3);
+      ("memcached2", Lazy.force mc2_small);
+    ]
+  in
+  let run_leg ~optimized program =
+    Smt.Simplify.set_memo optimized;
+    Smt.Simplify.clear_memo ();
+    Smt.Simplify.reset_stats ();
+    let solver = Smt.Solver.create () in
+    let cfg =
+      Posix.Api.make_config ~solver ~use_incremental_pc:optimized ~max_steps:2_000_000
+        ~nlines:program.Cvm.Program.nlines ()
+    in
+    let rng = Random.State.make [| 42 |] in
+    let searcher = Engine.Searcher.of_name ~rng "dfs" in
+    let st0 = Posix.Api.initial_state program ~args:[] in
+    let t0 = Unix.gettimeofday () in
+    let r = ED.run ~collect_tests:10_000 cfg searcher st0 in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let ss = Smt.Solver.copy_stats solver in
+    let rw = Smt.Simplify.stats () in
+    Smt.Simplify.set_memo true;
+    (cfg, r, ss, rw, elapsed)
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let tier_sum (ss : Smt.Solver.stats) =
+    ss.Smt.Solver.trivial + ss.Smt.Solver.range_hits + ss.Smt.Solver.cache_hits
+    + ss.Smt.Solver.cex_hits + ss.Smt.Solver.sat_calls
+  in
+  let totals = ref [] in
+  Printf.printf "%-12s %-10s %8s %6s %10s %9s %9s %9s %11s\n" "scenario" "leg" "paths"
+    "tests" "instrs" "queries" "visits" "rewrites" "ns/query";
+  let rows =
+    List.map
+      (fun (name, program) ->
+        let report leg (cfg, (r : _ ED.result), (ss : Smt.Solver.stats), (rw : Smt.Simplify.rw_stats), elapsed) =
+          let nsq =
+            if ss.Smt.Solver.queries = 0 then 0.0
+            else elapsed *. 1e9 /. float_of_int ss.Smt.Solver.queries
+          in
+          Printf.printf "%-12s %-10s %8d %6d %10d %9d %9d %9d %11.0f\n" name leg
+            r.ED.paths_explored (List.length r.ED.tests) r.ED.instructions
+            ss.Smt.Solver.queries rw.Smt.Simplify.visits rw.Smt.Simplify.rewrites nsq;
+          (* reconciliation: the driver's instruction count is the executor's
+             useful-work counter, and every query landed in exactly one tier *)
+          if r.ED.instructions <> cfg.Engine.Executor.stats.Engine.Executor.useful_instrs then
+            fail "%s/%s: driver instructions %d <> executor useful %d" name leg
+              r.ED.instructions cfg.Engine.Executor.stats.Engine.Executor.useful_instrs;
+          if tier_sum ss <> ss.Smt.Solver.queries then
+            fail "%s/%s: solver tiers %d <> queries %d" name leg (tier_sum ss)
+              ss.Smt.Solver.queries;
+          nsq
+        in
+        let base = run_leg ~optimized:false program in
+        let opt = run_leg ~optimized:true program in
+        let nsq_b = report "baseline" base in
+        let nsq_o = report "optimized" opt in
+        let _, rb, sb, wb, eb = base and _, ro, so, wo, eo = opt in
+        (* identical results: same paths, test cases, errors, instructions *)
+        if rb.ED.paths_explored <> ro.ED.paths_explored then
+          fail "%s: paths differ (%d vs %d)" name rb.ED.paths_explored ro.ED.paths_explored;
+        if List.length rb.ED.tests <> List.length ro.ED.tests then
+          fail "%s: test counts differ (%d vs %d)" name (List.length rb.ED.tests)
+            (List.length ro.ED.tests);
+        if rb.ED.errors <> ro.ED.errors then
+          fail "%s: error counts differ (%d vs %d)" name rb.ED.errors ro.ED.errors;
+        if wo.Smt.Simplify.rewrites >= wb.Smt.Simplify.rewrites then
+          fail "%s: optimized leg must do strictly fewer rewrites (%d vs %d)" name
+            wo.Smt.Simplify.rewrites wb.Smt.Simplify.rewrites;
+        totals := (wb.Smt.Simplify.rewrites, wo.Smt.Simplify.rewrites) :: !totals;
+        (name, (rb, sb, wb, eb, nsq_b), (ro, so, wo, eo, nsq_o)))
+      scenarios
+  in
+  let rw_b = List.fold_left (fun a (b, _) -> a + b) 0 !totals in
+  let rw_o = List.fold_left (fun a (_, o) -> a + o) 0 !totals in
+  let ratio = if rw_o = 0 then infinity else float_of_int rw_b /. float_of_int rw_o in
+  Printf.printf "total rewrites: baseline %d, optimized %d (%.1fx fewer)\n" rw_b rw_o ratio;
+  if ratio < 2.0 then
+    fail "aggregate rewrite reduction %.2fx below the 2x target" ratio;
+  let oc = open_out "BENCH_solver.json" in
+  Printf.fprintf oc "{ \"scenarios\": [";
+  let leg (r : _ ED.result) (ss : Smt.Solver.stats) (rw : Smt.Simplify.rw_stats) el nsq =
+    Printf.sprintf
+      "{ \"paths\": %d, \"tests\": %d, \"errors\": %d, \"instructions\": %d, \
+       \"queries\": %d, \"trivial\": %d, \"range_hits\": %d, \"cache_hits\": %d, \
+       \"cex_hits\": %d, \"sat_calls\": %d, \"simplify_visits\": %d, \
+       \"simplify_rewrites\": %d, \"memo_hits\": %d, \"elapsed_s\": %.4f, \
+       \"ns_per_query\": %.0f }"
+      r.ED.paths_explored (List.length r.ED.tests) r.ED.errors r.ED.instructions
+      ss.Smt.Solver.queries ss.Smt.Solver.trivial ss.Smt.Solver.range_hits
+      ss.Smt.Solver.cache_hits ss.Smt.Solver.cex_hits ss.Smt.Solver.sat_calls
+      rw.Smt.Simplify.visits rw.Smt.Simplify.rewrites rw.Smt.Simplify.memo_hits el nsq
+  in
+  List.iteri
+    (fun i (name, (rb, sb, wb, eb, nsq_b), (ro, so, wo, eo, nsq_o)) ->
+      Printf.fprintf oc "%s\n  { \"name\": %S, \"baseline\": %s, \"optimized\": %s }"
+        (if i = 0 then "" else ",")
+        name (leg rb sb wb eb nsq_b) (leg ro so wo eo nsq_o))
+    rows;
+  Printf.fprintf oc " ],\n  \"total_rewrites_baseline\": %d, \"total_rewrites_optimized\": %d, \"rewrite_reduction\": %.2f,\n  \"ok\": %b }\n"
+    rw_b rw_o ratio (!failures = []);
+  close_out oc;
+  Printf.printf "wrote BENCH_solver.json\n";
+  if !failures <> [] then begin
+    List.iter (fun m -> Printf.printf "INVARIANT VIOLATION: %s\n" m) (List.rev !failures);
+    exit 1
+  end
+
+(* ====================================================================== *)
 
 let experiments =
   [
@@ -915,6 +1039,7 @@ let experiments =
     ("ablation-hetero", ablation_hetero);
     ("ablation-join", ablation_join);
     ("faults", bench_faults);
+    ("solver", bench_solver);
     ("smoke", smoke);
     ("obs-overhead", obs_overhead);
     ("micro", micro);

@@ -13,6 +13,7 @@
    per-path encoding and against simulated state serialization. *)
 
 module Path = Engine.Path
+module Trie = Engine.Trie
 
 type t = Path.t (* root-first choice list *)
 

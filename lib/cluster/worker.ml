@@ -18,6 +18,7 @@
    the fewest-faults-first strategy of section 7.3.3). *)
 
 module Path = Engine.Path
+module Trie = Engine.Trie
 module State = Engine.State
 module Executor = Engine.Executor
 module Errors = Engine.Errors

@@ -7,6 +7,8 @@
     cached ancestor; off-path siblings revealed by the replay become
     fence nodes (Fig. 3's node life cycle). *)
 
+module Trie = Engine.Trie
+
 type 'env entry = {
   epath : Engine.Path.t;
   estate : 'env Engine.State.t option;  (** [None] = virtual *)

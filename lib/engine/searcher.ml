@@ -13,155 +13,131 @@ type 'env t = {
   select : unit -> 'env State.t option; (* removes the state *)
   remove : Path.t -> unit;
   size : unit -> int;
+  pending : unit -> int;
+  (* diagnostic: entries in the internal ordering structure, including
+     stale ones awaiting compaction; equals [size] for searchers without
+     lazy deletion.  Lets tests assert stale entries stay bounded. *)
 }
 
 let key st = Path.to_string (State.path st)
 let key_of_path p = Path.to_string p
 
-(* --- depth-first ------------------------------------------------------------ *)
+(* --- depth-first / breadth-first -------------------------------------------- *)
+
+(* Both keep an ordering of keys next to the key -> state table.  Keys are
+   deduplicated through a membership set: re-adding a stepped (unforked)
+   state — which the driver does on every step — replaces the table
+   binding without pushing a second copy of the key, so the ordering
+   stays O(live states), not O(steps).  Stale keys (left by [remove],
+   e.g. job transfers or interleaving) are skipped lazily on pop and
+   compacted away once they outnumber the live population. *)
+
+let stale_bound live = (2 * live) + 64
 
 let dfs () =
   let table : (string, 'env State.t) Hashtbl.t = Hashtbl.create 64 in
+  let queued : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   let stack = ref [] in
   let rec pop () =
     match !stack with
     | [] -> None
     | k :: rest -> (
       stack := rest;
+      Hashtbl.remove queued k;
       match Hashtbl.find_opt table k with
       | Some st ->
         Hashtbl.remove table k;
         Some st
       | None -> pop () (* removed earlier: skip the stale key *))
   in
+  let compact () =
+    if Hashtbl.length queued > stale_bound (Hashtbl.length table) then begin
+      stack := List.filter (Hashtbl.mem table) !stack;
+      Hashtbl.reset queued;
+      List.iter (fun k -> Hashtbl.replace queued k ()) !stack
+    end
+  in
   {
     add =
       (fun st ->
         let k = key st in
         Hashtbl.replace table k st;
-        stack := k :: !stack);
+        if not (Hashtbl.mem queued k) then begin
+          Hashtbl.replace queued k ();
+          stack := k :: !stack
+        end);
     select = pop;
-    remove = (fun p -> Hashtbl.remove table (key_of_path p));
+    remove =
+      (fun p ->
+        Hashtbl.remove table (key_of_path p);
+        compact ());
     size = (fun () -> Hashtbl.length table);
+    pending = (fun () -> Hashtbl.length queued);
   }
-
-(* --- breadth-first ------------------------------------------------------------ *)
 
 let bfs () =
   let table : (string, 'env State.t) Hashtbl.t = Hashtbl.create 64 in
+  let queued : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   let q = Queue.create () in
   let rec pop () =
     match Queue.take_opt q with
     | None -> None
     | Some k -> (
+      Hashtbl.remove queued k;
       match Hashtbl.find_opt table k with
       | Some st ->
         Hashtbl.remove table k;
         Some st
       | None -> pop ())
   in
+  let compact () =
+    if Hashtbl.length queued > stale_bound (Hashtbl.length table) then begin
+      let live = Queue.create () in
+      Queue.iter (fun k -> if Hashtbl.mem table k then Queue.add k live) q;
+      Queue.clear q;
+      Queue.transfer live q;
+      Hashtbl.reset queued;
+      Queue.iter (fun k -> Hashtbl.replace queued k ()) q
+    end
+  in
   {
     add =
       (fun st ->
         let k = key st in
         Hashtbl.replace table k st;
-        Queue.add k q);
+        if not (Hashtbl.mem queued k) then begin
+          Hashtbl.replace queued k ();
+          Queue.add k q
+        end);
     select = pop;
-    remove = (fun p -> Hashtbl.remove table (key_of_path p));
+    remove =
+      (fun p ->
+        Hashtbl.remove table (key_of_path p);
+        compact ());
     size = (fun () -> Hashtbl.length table);
+    pending = (fun () -> Hashtbl.length queued);
   }
 
 (* --- random-path ----------------------------------------------------------------- *)
 
 (* KLEE's random-path searcher: walk the execution tree from the root,
    picking a uniformly random child at each internal node, until reaching
-   a leaf state.  Deep subtrees thus do not dominate selection.  We keep a
-   trie of the alive states' paths. *)
-
-module Trie = struct
-  type 'env node = {
-    mutable state : 'env State.t option;
-    mutable children : (Path.choice * 'env node) list;
-    mutable count : int; (* alive states in this subtree *)
-  }
-
-  let make () = { state = None; children = []; count = 0 }
-
-  (* Returns true when a new payload was created: re-adding a state at an
-     existing path (a state stepped without forking keeps its path) must
-     not inflate ancestor counts. *)
-  let rec add_fresh node path st =
-    match path with
-    | [] ->
-      let fresh = node.state = None in
-      node.state <- Some st;
-      if fresh then node.count <- node.count + 1;
-      fresh
-    | c :: rest ->
-      let child =
-        match List.assoc_opt c node.children with
-        | Some n -> n
-        | None ->
-          let n = make () in
-          node.children <- (c, n) :: node.children;
-          n
-      in
-      let fresh = add_fresh child rest st in
-      if fresh then node.count <- node.count + 1;
-      fresh
-
-  let add node path st = ignore (add_fresh node path st)
-
-  (* Returns true when a state was removed. *)
-  let rec remove node path =
-    match path with
-    | [] ->
-      if node.state = None then false
-      else begin
-        node.state <- None;
-        node.count <- node.count - 1;
-        true
-      end
-    | c :: rest -> (
-      match List.assoc_opt c node.children with
-      | None -> false
-      | Some child ->
-        let removed = remove child rest in
-        if removed then begin
-          node.count <- node.count - 1;
-          if child.count = 0 then node.children <- List.remove_assoc c node.children
-        end;
-        removed)
-
-  let rec pick rng node =
-    (* candidates: the state at this node, plus each nonempty child *)
-    let options =
-      (match node.state with Some _ -> [ `Here ] | None -> [])
-      @ List.filter_map (fun (_, n) -> if n.count > 0 then Some (`Child n) else None)
-          (List.map (fun x -> x) node.children)
-    in
-    match options with
-    | [] -> None
-    | _ -> (
-      match List.nth options (Random.State.int rng (List.length options)) with
-      | `Here -> node.state
-      | `Child n -> pick rng n)
-end
+   a leaf state.  Deep subtrees thus do not dominate selection.  The
+   alive states' paths live in the shared count-annotated {!Trie}. *)
 
 let random_path ~rng () =
-  let root = Trie.make () in
+  let root : 'env State.t Trie.t = Trie.create () in
   let rec select () =
-    match Trie.pick rng root with
+    match Trie.random_pick rng root with
     | None -> None
-    | Some st ->
-      if Trie.remove root (State.path st) then Some st
-      else select ()
+    | Some st -> if Trie.remove root (State.path st) then Some st else select ()
   in
   {
     add = (fun st -> Trie.add root (State.path st) st);
     select;
     remove = (fun p -> ignore (Trie.remove root p));
-    size = (fun () -> root.Trie.count);
+    size = (fun () -> Trie.size root);
+    pending = (fun () -> Trie.size root);
   }
 
 (* --- coverage-optimized -------------------------------------------------------------- *)
@@ -212,6 +188,7 @@ let coverage_optimized ~rng () =
     select;
     remove = (fun p -> Hashtbl.remove table (key_of_path p));
     size = (fun () -> Hashtbl.length table);
+    pending = (fun () -> Hashtbl.length table);
   }
 
 (* --- interleaved ------------------------------------------------------------------------ *)
@@ -244,6 +221,7 @@ let interleave subs =
       select;
       remove = (fun p -> Array.iter (fun s -> s.remove p) subs);
       size = (fun () -> subs.(0).size ());
+      pending = (fun () -> Array.fold_left (fun acc s -> acc + s.pending ()) 0 subs);
     }
 
 (* The searcher used in the paper's evaluation. *)

@@ -9,6 +9,11 @@ type 'env t = {
   select : unit -> 'env State.t option;  (** removes the selected state *)
   remove : Path.t -> unit;
   size : unit -> int;
+  pending : unit -> int;
+      (** Diagnostic: entries in the internal ordering structure, including
+          stale ones awaiting compaction; equals [size] for searchers
+          without lazy deletion.  Tests assert stale entries stay bounded
+          relative to the live population. *)
 }
 
 val dfs : unit -> 'env t

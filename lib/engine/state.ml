@@ -54,6 +54,15 @@ type 'env t = {
   next_wlist : int;
   next_sym : int;
   pc : Smt.Expr.t list; (* path condition, newest first *)
+  npc : Smt.Expr.t list;
+  (* normalized path condition, newest first: each member simplified,
+     trivially-true members dropped — maintained incrementally by
+     [add_constraint] so branch queries never re-simplify the whole pc *)
+  boxes : Smt.Range.boxes option;
+  (* interval facts learned from [npc], also maintained incrementally
+     (learning is a commutative meet, so one-at-a-time = from-scratch);
+     [None] only if learning ever contradicted, which cannot happen while
+     the pc stays satisfiable — treated as "recompute on demand" *)
   subst : (Smt.Expr.t * Smt.Expr.t) list;
   (* equalities implied by the pc ([e = const]); applied when reading
      operands so expressions stay small (KLEE-style constraint-based
@@ -155,7 +164,7 @@ let apply_subst t e =
   match t.subst with
   | [] -> e
   | pairs -> (
-    match e with Smt.Expr.Const _ -> e | _ -> Smt.Expr.substitute pairs e)
+    match e.Smt.Expr.node with Smt.Expr.Const _ -> e | _ -> Smt.Expr.substitute pairs e)
 
 let eval_operand t = function
   | Instr.Reg r -> apply_subst t (get_reg t r)
@@ -175,7 +184,15 @@ let fresh_input t ~name ~count =
     {
       t with
       next_sym = t.next_sym + count;
-      sym_inputs = t.sym_inputs @ [ (name, List.map (function Smt.Expr.Sym { id; _ } -> id | _ -> assert false) syms) ];
+      sym_inputs =
+        t.sym_inputs
+        @ [
+            ( name,
+              List.map
+                (fun (s : Smt.Expr.t) ->
+                  match s.node with Smt.Expr.Sym { id; _ } -> id | _ -> assert false)
+                syms );
+          ];
     }
   in
   (t, syms)
@@ -188,13 +205,20 @@ let fresh_sym t ~name ~width =
 let add_constraint t e =
   let e = Smt.Simplify.simplify (apply_subst t e) in
   let subst =
-    match e with
-    | Smt.Expr.Binop (Smt.Expr.Eq, lhs, (Smt.Expr.Const _ as c)) when not (Smt.Expr.is_const lhs)
-      ->
+    match e.Smt.Expr.node with
+    | Smt.Expr.Binop (Smt.Expr.Eq, lhs, ({ node = Smt.Expr.Const _; _ } as c))
+      when not (Smt.Expr.is_const lhs) ->
       (lhs, c) :: t.subst
     | _ -> t.subst
   in
-  { t with pc = e :: t.pc; subst }
+  (* [e] is already simplified: extending npc costs O(1), and the boxes
+     absorb the new constraint with a single meet *)
+  let npc = if Smt.Expr.is_true e then t.npc else e :: t.npc in
+  let boxes =
+    if Smt.Expr.is_true e then t.boxes
+    else match t.boxes with None -> None | Some bx -> Smt.Range.learn_boxes bx e
+  in
+  { t with pc = e :: t.pc; npc; boxes; subst }
 
 let push_choice t c = { t with path = c :: t.path; depth = t.depth + 1 }
 
@@ -243,6 +267,8 @@ let init program ~env ~args =
     next_wlist = 1;
     next_sym = 1;
     pc = [];
+    npc = [];
+    boxes = Some Smt.Range.empty_boxes;
     subst = [];
     path = [];
     sym_inputs = [];

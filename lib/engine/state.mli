@@ -46,6 +46,13 @@ type 'env t = {
   next_wlist : int;
   next_sym : int;
   pc : Smt.Expr.t list;  (** path condition, newest first *)
+  npc : Smt.Expr.t list;
+      (** normalized pc (members simplified, trivial truths dropped),
+          maintained incrementally by {!add_constraint}; feeds
+          {!Smt.Solver.fork_feasible}/{!Smt.Solver.branch_feasible_norm} *)
+  boxes : Smt.Range.boxes option;
+      (** interval facts of [npc], maintained by the same increments;
+          [None] means "recompute on demand" *)
   subst : (Smt.Expr.t * Smt.Expr.t) list;
       (** pc-implied equalities applied when reading operands *)
   path : Path.choice list;  (** choices from the root, newest first *)

@@ -1,13 +1,13 @@
 (* A trie over execution-tree paths with subtree counts, supporting
-   uniform random-path descent.  Workers keep their exploration frontier
-   in one of these: payloads are frontier entries (materialized states or
-   virtual nodes), keyed by the node's root path. *)
-
-module E = Engine.Path
+   uniform random-path descent.  The one shared implementation behind the
+   random-path searcher's state population and the cluster worker's
+   frontier/fence containers: payloads are whatever the client stores
+   (alive states, frontier entries, virtual nodes), keyed by the node's
+   root path. *)
 
 type 'a t = {
   mutable payload : 'a option;
-  mutable children : (E.choice * 'a t) list;
+  mutable children : (Path.choice * 'a t) list;
   mutable count : int; (* payloads in this subtree *)
 }
 
@@ -81,7 +81,10 @@ let rec random_pick rng t =
     | `Child n -> random_pick rng n)
 
 let iter f t =
-  let rec go t = Option.iter f t.payload; List.iter (fun (_, n) -> go n) t.children in
+  let rec go t =
+    Option.iter f t.payload;
+    List.iter (fun (_, n) -> go n) t.children
+  in
   go t
 
 let fold f t acc =

@@ -1,5 +1,6 @@
 (** A trie over execution-tree paths with subtree counts and uniform
-    random-path descent; the worker's frontier container. *)
+    random-path descent — shared by the random-path searcher (alive-state
+    population) and the cluster worker (frontier/fence containers). *)
 
 type 'a t
 
@@ -9,12 +10,16 @@ val create : unit -> 'a t
 val size : 'a t -> int
 
 (** Insert (or replace) the payload at a path. *)
-val add : 'a t -> Engine.Path.t -> 'a -> unit
+val add : 'a t -> Path.t -> 'a -> unit
 
-val find : 'a t -> Engine.Path.t -> 'a option
+(** Like {!add}, but returns [true] when a {e new} payload was created
+    (replacing an existing one must not inflate ancestor counts). *)
+val add_fresh : 'a t -> Path.t -> 'a -> bool
+
+val find : 'a t -> Path.t -> 'a option
 
 (** Returns [true] when a payload was removed. *)
-val remove : 'a t -> Engine.Path.t -> bool
+val remove : 'a t -> Path.t -> bool
 
 (** Random-path descent (KLEE's strategy): from the root, choose uniformly
     among the payload here and each nonempty child subtree. *)

@@ -9,9 +9,9 @@
 type ctx = {
   sat : Sat.t;
   true_lit : int;
-  cache : (Expr.t, int array) Hashtbl.t;
+  cache : (int, int array) Hashtbl.t; (* hashcons id -> literal per bit *)
   sym_bits : (int, int array) Hashtbl.t; (* sym id -> SAT var per bit *)
-  divmod_cache : (Expr.t * Expr.t, int array * int array) Hashtbl.t;
+  divmod_cache : (int * int, int array * int array) Hashtbl.t; (* (a id, b id) *)
 }
 
 let create () =
@@ -208,15 +208,15 @@ let imply_vec_eq ctx cond a b =
     a
 
 let rec translate ctx (e : Expr.t) : int array =
-  match Hashtbl.find_opt ctx.cache e with
+  match Hashtbl.find_opt ctx.cache (Expr.id e) with
   | Some bits -> bits
   | None ->
     let bits = translate_uncached ctx e in
-    Hashtbl.replace ctx.cache e bits;
+    Hashtbl.replace ctx.cache (Expr.id e) bits;
     bits
 
 and divmod ctx a b =
-  match Hashtbl.find_opt ctx.divmod_cache (a, b) with
+  match Hashtbl.find_opt ctx.divmod_cache (Expr.id a, Expr.id b) with
   | Some qr -> qr
   | None ->
     let w = Expr.width a in
@@ -234,11 +234,11 @@ and divmod ctx a b =
     imply_vec_eq ctx bnz sum (pad av);
     let rlt = vec_ult ctx r bv in
     Sat.add_clause ctx.sat [ neg bnz; rlt ];
-    Hashtbl.replace ctx.divmod_cache (a, b) (q, r);
+    Hashtbl.replace ctx.divmod_cache (Expr.id a, Expr.id b) (q, r);
     (q, r)
 
 and translate_uncached ctx (e : Expr.t) : int array =
-  match e with
+  match e.Expr.node with
   | Expr.Const { width; value } -> vec_const ctx ~width value
   | Expr.Sym { id; width; _ } -> sym_vector ctx id width
   | Expr.Unop (Expr.Not, e1) -> vec_not ctx (translate ctx e1)

@@ -1,10 +1,18 @@
-(* Bit-vector expression terms.
+(* Bit-vector expression terms, hash-consed.
 
    All values are fixed-width bit vectors with 1 <= width <= 64, stored in
    an [int64] with bits above the width cleared.  Boolean expressions are
    width-1 bit vectors (0 = false, 1 = true).  Smart constructors perform
    constant folding and cheap local rewrites; deeper canonicalization lives
-   in {!Simplify}. *)
+   in {!Simplify}.
+
+   Every term is interned in a global weak hashcons table, so structurally
+   equal terms are physically equal and each carries a unique [id].  That
+   makes [equal] O(1), [compare] an int comparison, [width] a field read,
+   and lets caches downstream (simplify memo, solver caches, CNF bit maps)
+   key on ids instead of walking structures. *)
+
+module Iset = Set.Make (Int)
 
 type unop =
   | Not  (* bitwise complement *)
@@ -31,7 +39,17 @@ type binop =
   | Eq
   | Concat
 
-type t =
+(* [id] is deliberately the first field: the polymorphic comparison of two
+   distinct interned terms decides on the id alone, so even leftover
+   structural [compare]/[=] uses are O(1). *)
+type t = {
+  id : int;
+  node : node;
+  width : int;
+  mutable syms_memo : Iset.t option;
+}
+
+and node =
   | Const of { width : int; value : int64 }
   | Sym of { id : int; name : string; width : int }
   | Unop of unop * t
@@ -54,26 +72,92 @@ let to_signed width v =
     let shift = 64 - width in
     Int64.shift_right (Int64.shift_left v shift) shift
 
-let rec width = function
+let check_width w =
+  if w < 1 || w > 64 then raise (Width_error (Printf.sprintf "width %d out of [1,64]" w))
+
+(* Width is computed once per node at interning time, reading only the
+   children's cached widths. *)
+let node_width = function
   | Const { width; _ } -> width
   | Sym { width; _ } -> width
-  | Unop (_, e) -> width e
+  | Unop (_, e) -> e.width
   | Binop ((Ult | Ule | Slt | Sle | Eq), _, _) -> 1
-  | Binop (Concat, a, b) -> width a + width b
-  | Binop (_, a, _) -> width a
-  | Ite (_, a, _) -> width a
+  | Binop (Concat, a, b) -> a.width + b.width
+  | Binop (_, a, _) -> a.width
+  | Ite (_, a, _) -> a.width
   | Extract { len; _ } -> len
   | Zext (_, w) -> w
   | Sext (_, w) -> w
 
-let check_width w =
-  if w < 1 || w > 64 then raise (Width_error (Printf.sprintf "width %d out of [1,64]" w))
+(* --- The global hashcons table ------------------------------------- *)
+
+(* Shallow equality/hash: children are compared by physical identity and
+   hashed by id, which is sound because they are already interned. *)
+module Hashed_node = struct
+  type nonrec t = t
+
+  let equal a b =
+    match (a.node, b.node) with
+    | Const { width = w1; value = v1 }, Const { width = w2; value = v2 } ->
+      w1 = w2 && Int64.equal v1 v2
+    | Sym { id = i1; name = n1; width = w1 }, Sym { id = i2; name = n2; width = w2 } ->
+      i1 = i2 && w1 = w2 && String.equal n1 n2
+    | Unop (o1, e1), Unop (o2, e2) -> o1 = o2 && e1 == e2
+    | Binop (o1, a1, b1), Binop (o2, a2, b2) -> o1 = o2 && a1 == a2 && b1 == b2
+    | Ite (c1, a1, b1), Ite (c2, a2, b2) -> c1 == c2 && a1 == a2 && b1 == b2
+    | Extract { e = e1; off = o1; len = l1 }, Extract { e = e2; off = o2; len = l2 } ->
+      e1 == e2 && o1 = o2 && l1 = l2
+    | Zext (e1, w1), Zext (e2, w2) -> e1 == e2 && w1 = w2
+    | Sext (e1, w1), Sext (e2, w2) -> e1 == e2 && w1 = w2
+    | _ -> false
+
+  let comb h v = ((h * 1000003) + v) land max_int
+
+  let hash t =
+    match t.node with
+    | Const { width; value } ->
+      comb (comb 1 width) (Int64.to_int (Int64.logxor value (Int64.shift_right_logical value 32)))
+    | Sym { id; name; width } -> comb (comb (comb 2 id) width) (Hashtbl.hash name)
+    | Unop (op, e) -> comb (comb 3 (Hashtbl.hash op)) e.id
+    | Binop (op, a, b) -> comb (comb (comb 4 (Hashtbl.hash op)) a.id) b.id
+    | Ite (c, a, b) -> comb (comb (comb 5 c.id) a.id) b.id
+    | Extract { e; off; len } -> comb (comb (comb 6 e.id) off) len
+    | Zext (e, w) -> comb (comb 7 e.id) w
+    | Sext (e, w) -> comb (comb 8 e.id) w
+end
+
+module Wtbl = Weak.Make (Hashed_node)
+
+let table = Wtbl.create 8192
+let next_id = ref 0
+let hc_hits = ref 0
+let hc_misses = ref 0
+
+type hc_stats = { table_size : int; hits : int; misses : int; next_id : int }
+
+let hashcons_stats () =
+  { table_size = Wtbl.count table; hits = !hc_hits; misses = !hc_misses; next_id = !next_id }
+
+let hashcons node =
+  let cand = { id = !next_id; node; width = node_width node; syms_memo = None } in
+  let r = Wtbl.merge table cand in
+  if r == cand then begin
+    incr next_id;
+    incr hc_misses
+  end
+  else incr hc_hits;
+  r
+
+(* --- Accessors ------------------------------------------------------ *)
+
+let width e = e.width
+let id e = e.id
 
 let const ~width:w value =
   check_width w;
-  Const { width = w; value = truncate w value }
+  hashcons (Const { width = w; value = truncate w value })
 
-let of_bool b = Const { width = 1; value = (if b then 1L else 0L) }
+let of_bool b = const ~width:1 (if b then 1L else 0L)
 let true_ = of_bool true
 let false_ = of_bool false
 let of_int ~width:w v = const ~width:w (Int64.of_int v)
@@ -83,19 +167,21 @@ let sym_counter = ref 0
 let fresh_sym ?(name = "v") w =
   check_width w;
   incr sym_counter;
-  Sym { id = !sym_counter; name; width = w }
+  hashcons (Sym { id = !sym_counter; name; width = w })
 
 (* Deterministic symbol creation for replay: the caller supplies the id. *)
 let sym_with_id ~id ~name w =
   check_width w;
   if id > !sym_counter then sym_counter := id;
-  Sym { id; name; width = w }
+  hashcons (Sym { id; name; width = w })
 
-let is_const = function Const _ -> true | _ -> false
-let const_value = function Const { value; _ } -> Some value | _ -> None
+let is_const e = match e.node with Const _ -> true | _ -> false
+let const_value e = match e.node with Const { value; _ } -> Some value | _ -> None
 
-let is_true = function Const { width = 1; value = 1L } -> true | _ -> false
-let is_false = function Const { width = 1; value = 0L } -> true | _ -> false
+(* [true_]/[false_] are module-level roots, so any structurally equal
+   constant interns to the same object: identity check suffices. *)
+let is_true e = e == true_
+let is_false e = e == false_
 
 (* Unsigned comparison of int64 values. *)
 let ucompare a b = Int64.unsigned_compare a b
@@ -144,69 +230,68 @@ let eval_binop op w a b =
   | Concat -> assert false (* needs both widths; handled in [binop] *)
 
 let unop op e =
-  match e with
-  | Const { width = w; value } -> Const { width = w; value = eval_unop op w value }
+  match e.node with
+  | Const { width = w; value } -> const ~width:w (eval_unop op w value)
   | Unop (Not, inner) when op = Not -> inner
   | Unop (Neg, inner) when op = Neg -> inner
-  | _ -> Unop (op, e)
+  | _ -> hashcons (Unop (op, e))
 
 let binop op a b =
   (match op with
-  | Concat -> check_width (width a + width b)
+  | Concat -> check_width (a.width + b.width)
   | Eq | Ult | Ule | Slt | Sle | Add | Sub | Mul | Udiv | Urem | Sdiv | Srem | And | Or | Xor
   | Shl | Lshr | Ashr ->
-    if width a <> width b then
+    if a.width <> b.width then
       raise
-        (Width_error
-           (Printf.sprintf "binop operand widths differ: %d vs %d" (width a) (width b))));
-  match (a, b) with
+        (Width_error (Printf.sprintf "binop operand widths differ: %d vs %d" a.width b.width)));
+  match (a.node, b.node) with
   | Const { width = wa; value = va }, Const { value = vb; _ } -> (
     match op with
     | Concat ->
-      let wb = width b in
-      Const { width = wa + wb; value = Int64.logor (Int64.shift_left va wb) vb }
-    | Eq | Ult | Ule | Slt | Sle -> Const { width = 1; value = eval_binop op wa va vb }
-    | _ -> Const { width = wa; value = eval_binop op wa va vb })
-  | _ -> Binop (op, a, b)
+      let wb = b.width in
+      const ~width:(wa + wb) (Int64.logor (Int64.shift_left va wb) vb)
+    | Eq | Ult | Ule | Slt | Sle -> const ~width:1 (eval_binop op wa va vb)
+    | _ -> const ~width:wa (eval_binop op wa va vb))
+  | _ -> hashcons (Binop (op, a, b))
 
 let ite c a b =
-  if width c <> 1 then raise (Width_error "ite condition must have width 1");
-  if width a <> width b then raise (Width_error "ite branches must have equal widths");
-  match c with
+  if c.width <> 1 then raise (Width_error "ite condition must have width 1");
+  if a.width <> b.width then raise (Width_error "ite branches must have equal widths");
+  match c.node with
   | Const { value = 1L; _ } -> a
   | Const { value = 0L; _ } -> b
-  | _ -> if a = b then a else Ite (c, a, b)
+  | _ -> if a == b then a else hashcons (Ite (c, a, b))
 
 let extract e ~off ~len =
-  let w = width e in
+  let w = e.width in
   if off < 0 || len < 1 || off + len > w then
     raise (Width_error (Printf.sprintf "extract [%d,%d) out of width %d" off (off + len) w));
   if off = 0 && len = w then e
   else
-    match e with
-    | Const { value; _ } -> Const { width = len; value = truncate len (Int64.shift_right_logical value off) }
-    | Extract { e = inner; off = off'; _ } -> Extract { e = inner; off = off + off'; len }
-    | _ -> Extract { e; off; len }
+    match e.node with
+    | Const { value; _ } -> const ~width:len (Int64.shift_right_logical value off)
+    | Extract { e = inner; off = off'; _ } -> hashcons (Extract { e = inner; off = off + off'; len })
+    | _ -> hashcons (Extract { e; off; len })
 
 let zext e w =
   check_width w;
-  let we = width e in
+  let we = e.width in
   if w < we then raise (Width_error "zext target narrower than operand")
   else if w = we then e
   else
-    match e with
-    | Const { value; _ } -> Const { width = w; value }
-    | _ -> Zext (e, w)
+    match e.node with
+    | Const { value; _ } -> const ~width:w value
+    | _ -> hashcons (Zext (e, w))
 
 let sext e w =
   check_width w;
-  let we = width e in
+  let we = e.width in
   if w < we then raise (Width_error "sext target narrower than operand")
   else if w = we then e
   else
-    match e with
-    | Const { value; _ } -> Const { width = w; value = truncate w (to_signed we value) }
-    | _ -> Sext (e, w)
+    match e.node with
+    | Const { value; _ } -> const ~width:w (to_signed we value)
+    | _ -> hashcons (Sext (e, w))
 
 (* Convenience boolean connectives over width-1 vectors. *)
 let not_ e = unop Not e
@@ -227,26 +312,95 @@ let sub a b = binop Sub a b
 let mul a b = binop Mul a b
 let concat a b = binop Concat a b
 
-(* Support set: ids of symbols occurring in the expression. *)
-let rec collect_syms acc = function
-  | Const _ -> acc
-  | Sym { id; _ } -> if List.mem id acc then acc else id :: acc
-  | Unop (_, e) -> collect_syms acc e
-  | Binop (_, a, b) -> collect_syms (collect_syms acc a) b
-  | Ite (c, a, b) -> collect_syms (collect_syms (collect_syms acc c) a) b
-  | Extract { e; _ } -> collect_syms acc e
-  | Zext (e, _) -> collect_syms acc e
-  | Sext (e, _) -> collect_syms acc e
+(* --- Identity, ordering, hashing ------------------------------------ *)
 
-let syms e = collect_syms [] e
+let equal (a : t) (b : t) = a == b
+let compare (a : t) (b : t) = Int.compare a.id b.id
+let hash (e : t) = e.id
+
+(* Structural ordering that depends only on the term's shape, never on
+   interning order.  Needed wherever an ordering must agree across
+   processes (or across weak-table evictions that reassign ids), e.g.
+   sorting constraints before a deterministic solve. *)
+let rec compare_structural a b =
+  if a == b then 0
+  else
+    let rank = function
+      | Const _ -> 0
+      | Sym _ -> 1
+      | Unop _ -> 2
+      | Binop _ -> 3
+      | Ite _ -> 4
+      | Extract _ -> 5
+      | Zext _ -> 6
+      | Sext _ -> 7
+    in
+    match (a.node, b.node) with
+    | Const { width = w1; value = v1 }, Const { width = w2; value = v2 } ->
+      let c = Int.compare w1 w2 in
+      if c <> 0 then c else Int64.unsigned_compare v1 v2
+    | Sym { id = i1; name = n1; width = w1 }, Sym { id = i2; name = n2; width = w2 } ->
+      let c = Int.compare i1 i2 in
+      if c <> 0 then c
+      else
+        let c = String.compare n1 n2 in
+        if c <> 0 then c else Int.compare w1 w2
+    | Unop (o1, e1), Unop (o2, e2) ->
+      let c = Stdlib.compare o1 o2 in
+      if c <> 0 then c else compare_structural e1 e2
+    | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+      let c = Stdlib.compare o1 o2 in
+      if c <> 0 then c
+      else
+        let c = compare_structural a1 a2 in
+        if c <> 0 then c else compare_structural b1 b2
+    | Ite (c1, a1, b1), Ite (c2, a2, b2) ->
+      let c = compare_structural c1 c2 in
+      if c <> 0 then c
+      else
+        let c = compare_structural a1 a2 in
+        if c <> 0 then c else compare_structural b1 b2
+    | Extract { e = e1; off = o1; len = l1 }, Extract { e = e2; off = o2; len = l2 } ->
+      let c = compare_structural e1 e2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare o1 o2 in
+        if c <> 0 then c else Int.compare l1 l2
+    | Zext (e1, w1), Zext (e2, w2) | Sext (e1, w1), Sext (e2, w2) ->
+      let c = compare_structural e1 e2 in
+      if c <> 0 then c else Int.compare w1 w2
+    | n1, n2 -> Int.compare (rank n1) (rank n2)
+
+(* --- Support set ----------------------------------------------------- *)
+
+(* Symbol sets are memoized per node; sharing means each distinct subterm
+   is computed once per lifetime, so [sym_set] is amortized O(1) on the
+   solver hot path. *)
+let rec sym_set e =
+  match e.syms_memo with
+  | Some s -> s
+  | None ->
+    let s =
+      match e.node with
+      | Const _ -> Iset.empty
+      | Sym { id; _ } -> Iset.singleton id
+      | Unop (_, a) | Extract { e = a; _ } | Zext (a, _) | Sext (a, _) -> sym_set a
+      | Binop (_, a, b) -> Iset.union (sym_set a) (sym_set b)
+      | Ite (c, a, b) -> Iset.union (sym_set c) (Iset.union (sym_set a) (sym_set b))
+    in
+    e.syms_memo <- Some s;
+    s
+
+let syms e = Iset.elements (sym_set e)
 
 (* Replace every occurrence of the given subterms (bottom-up, so nested
    matches rewrite first).  Used for path-condition-implied equalities:
    when the path condition contains [e = c], any occurrence of [e] may be
-   replaced by [c]. *)
+   replaced by [c].  Lookup is by physical identity — sound because
+   interning makes structural equality coincide with it. *)
 let rec substitute pairs e =
   let e' =
-    match e with
+    match e.node with
     | Const _ | Sym _ -> e
     | Unop (op, a) -> unop op (substitute pairs a)
     | Binop (op, a, b) -> binop op (substitute pairs a) (substitute pairs b)
@@ -255,9 +409,10 @@ let rec substitute pairs e =
     | Zext (a, w) -> zext (substitute pairs a) w
     | Sext (a, w) -> sext (substitute pairs a) w
   in
-  match List.assoc_opt e' pairs with Some r -> r | None -> e'
+  match List.assq_opt e' pairs with Some r -> r | None -> e'
 
-let rec size = function
+let rec size e =
+  match e.node with
   | Const _ | Sym _ -> 1
   | Unop (_, e) -> 1 + size e
   | Binop (_, a, b) -> 1 + size a + size b
@@ -289,7 +444,8 @@ let binop_name = function
   | Eq -> "eq"
   | Concat -> "concat"
 
-let rec pp fmt = function
+let rec pp fmt e =
+  match e.node with
   | Const { width; value } -> Format.fprintf fmt "%Lu:%d" value width
   | Sym { name; id; width } -> Format.fprintf fmt "%s%d:%d" name id width
   | Unop (op, e) -> Format.fprintf fmt "(%s %a)" (unop_name op) pp e
@@ -305,19 +461,18 @@ let to_string e = Format.asprintf "%a" pp e
    Unbound symbols evaluate to [default] (0 by default), which matches the
    "counterexample cache" usage where partial models are probed. *)
 let rec eval ?(default = 0L) lookup e =
-  match e with
+  match e.node with
   | Const { value; _ } -> value
   | Sym { id; width = w; _ } -> (
     match lookup id with Some v -> truncate w v | None -> truncate w default)
-  | Unop (op, e1) -> eval_unop op (width e1) (eval ~default lookup e1)
+  | Unop (op, e1) -> eval_unop op e1.width (eval ~default lookup e1)
   | Binop (Concat, a, b) ->
-    let wb = width b in
+    let wb = b.width in
     Int64.logor (Int64.shift_left (eval ~default lookup a) wb) (eval ~default lookup b)
-  | Binop (op, a, b) ->
-    eval_binop op (width a) (eval ~default lookup a) (eval ~default lookup b)
+  | Binop (op, a, b) -> eval_binop op a.width (eval ~default lookup a) (eval ~default lookup b)
   | Ite (c, a, b) ->
     if eval ~default lookup c = 1L then eval ~default lookup a else eval ~default lookup b
   | Extract { e = e1; off; len } ->
     truncate len (Int64.shift_right_logical (eval ~default lookup e1) off)
   | Zext (e1, _) -> eval ~default lookup e1
-  | Sext (e1, w) -> truncate w (to_signed (width e1) (eval ~default lookup e1))
+  | Sext (e1, w) -> truncate w (to_signed e1.width (eval ~default lookup e1))

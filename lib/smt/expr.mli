@@ -1,10 +1,20 @@
-(** Bit-vector expression terms.
+(** Bit-vector expression terms, hash-consed.
 
     All values are fixed-width bit vectors with [1 <= width <= 64], stored
     in an [int64] with bits above the width cleared.  Boolean expressions
     are width-1 bit vectors ([0] = false, [1] = true).  The constructors
     below are smart: they perform constant folding and cheap local
-    rewrites.  Deeper canonicalization lives in {!Simplify}. *)
+    rewrites.  Deeper canonicalization lives in {!Simplify}.
+
+    Every term is interned in a global weak hashcons table: structurally
+    equal terms are physically equal and each carries a unique [id].
+    Consequently {!equal} is physical identity, {!compare} compares ids,
+    {!width} is a field read, and {!sym_set} is memoized per node.  Terms
+    can only be built through the smart constructors ([t] is a private
+    record), which is what keeps the interning invariant. *)
+
+(** Integer sets, used for symbol-support sets. *)
+module Iset : Set.S with type elt = int
 
 type unop =
   | Not  (** bitwise complement *)
@@ -31,7 +41,18 @@ type binop =
   | Eq
   | Concat  (** [concat a b] puts [a] in the high bits *)
 
-type t =
+(** A term: the unique hashcons [id], the structural [node], the cached
+    bit [width], and a lazily computed symbol-support set.  Pattern-match
+    via the [node] field, e.g.
+    [match e.node with Binop (Eq, a, b) -> ...]. *)
+type t = private {
+  id : int;  (** unique per live structurally-distinct term *)
+  node : node;
+  width : int;
+  mutable syms_memo : Iset.t option;  (** internal: use {!sym_set} *)
+}
+
+and node =
   | Const of { width : int; value : int64 }
   | Sym of { id : int; name : string; width : int }
   | Unop of unop * t
@@ -56,8 +77,11 @@ val to_signed : int -> int64 -> int64
 (** Unsigned comparison of two int64 values. *)
 val ucompare : int64 -> int64 -> int
 
-(** Bit width of an expression. *)
+(** Bit width of an expression — O(1), cached at interning time. *)
 val width : t -> int
+
+(** The term's unique hashcons id — stable for the term's lifetime. *)
+val id : t -> int
 
 (** [const ~width v] builds a constant, truncating [v] to [width] bits. *)
 val const : width:int -> int64 -> t
@@ -114,8 +138,29 @@ val sub : t -> t -> t
 val mul : t -> t -> t
 val concat : t -> t -> t
 
-(** Ids of the symbolic variables occurring in the expression. *)
+(** Physical identity; equivalent to structural equality on interned
+    terms. O(1). *)
+val equal : t -> t -> bool
+
+(** Total order by hashcons id.  Fast and stable within a process, but
+    {e not} stable across processes or weak-table evictions — use
+    {!compare_structural} when the order itself must be reproducible. *)
+val compare : t -> t -> int
+
+(** The term's id; suitable for [Hashtbl.hash]-style use. *)
+val hash : t -> int
+
+(** Structural total order depending only on term shape (and symbol ids),
+    never on interning order.  O(size), with a physical-equality fast
+    path.  Used to order constraint sets deterministically across
+    workers. *)
+val compare_structural : t -> t -> int
+
+(** Ids of the symbolic variables occurring in the expression (sorted). *)
 val syms : t -> int list
+
+(** Symbol-support set, memoized per node: amortized O(1). *)
+val sym_set : t -> Iset.t
 
 (** [substitute pairs e] replaces every occurrence of each [fst] subterm
     with its [snd], bottom-up.  Sound when each pair is an equality
@@ -134,3 +179,9 @@ val to_string : t -> string
     for which [lookup] returns [None] take the value [default]
     (default [0L]).  The result is truncated to [width e] bits. *)
 val eval : ?default:int64 -> (int -> int64 option) -> t -> int64
+
+(** Hashcons table statistics: live entry count, intern hits/misses since
+    start, and the next id to be assigned. *)
+type hc_stats = { table_size : int; hits : int; misses : int; next_id : int }
+
+val hashcons_stats : unit -> hc_stats

@@ -81,7 +81,7 @@ let cmp_result definite_true definite_false =
 
 (* Abstract evaluation.  [lookup] gives symbol intervals (absent = top). *)
 let rec eval lookup (e : Expr.t) : t =
-  match e with
+  match e.Expr.node with
   | Expr.Const { width; value } -> of_const ~width value
   | Expr.Sym { id; width; _ } -> (
     match lookup id with Some r when r.width = width -> r | Some _ | None -> top width)
@@ -182,7 +182,7 @@ module Imap = Map.Make (Int)
 
 (* Patterns that directly bound one symbol (possibly through zext). *)
 let rec as_sym (e : Expr.t) =
-  match e with
+  match e.Expr.node with
   | Expr.Sym { id; width; _ } -> Some (id, width)
   | Expr.Zext (inner, _) -> as_sym inner
   | _ -> None
@@ -196,40 +196,49 @@ let refine boxes id width r =
 (* Extract interval facts from one (simplified) constraint; [None] on
    contradiction. *)
 let learn boxes (c : Expr.t) =
-  match c with
-  | Expr.Binop (Expr.Eq, lhs, Expr.Const { value; _ }) -> (
+  match c.Expr.node with
+  | Expr.Binop (Expr.Eq, lhs, { Expr.node = Expr.Const { value; _ }; _ }) -> (
     match as_sym lhs with
     | Some (id, w) when Expr.ucompare value (Expr.mask w) <= 0 ->
       refine boxes id w (of_const ~width:w value)
     | _ -> Some boxes)
-  | Expr.Binop (Expr.Ult, lhs, Expr.Const { value; _ }) -> (
+  | Expr.Binop (Expr.Ult, lhs, { Expr.node = Expr.Const { value; _ }; _ }) -> (
     match as_sym lhs with
     | Some (id, w) ->
       if value = 0L then None (* x < 0 is unsatisfiable *)
       else refine boxes id w (make ~width:w 0L (Int64.sub value 1L))
     | None -> Some boxes)
-  | Expr.Binop (Expr.Ule, lhs, Expr.Const { value; _ }) -> (
+  | Expr.Binop (Expr.Ule, lhs, { Expr.node = Expr.Const { value; _ }; _ }) -> (
     match as_sym lhs with
     | Some (id, w) -> refine boxes id w (make ~width:w 0L (Expr.truncate w value))
     | None -> Some boxes)
-  | Expr.Binop (Expr.Ult, Expr.Const { value; _ }, rhs) -> (
+  | Expr.Binop (Expr.Ult, { Expr.node = Expr.Const { value; _ }; _ }, rhs) -> (
     match as_sym rhs with
     | Some (id, w) ->
       if Expr.ucompare value (Expr.mask w) >= 0 then None
       else refine boxes id w (make ~width:w (Int64.add value 1L) (Expr.mask w))
     | None -> Some boxes)
-  | Expr.Binop (Expr.Ule, Expr.Const { value; _ }, rhs) -> (
+  | Expr.Binop (Expr.Ule, { Expr.node = Expr.Const { value; _ }; _ }, rhs) -> (
     match as_sym rhs with
     | Some (id, w) -> refine boxes id w (make ~width:w (Expr.truncate w value) (Expr.mask w))
     | None -> Some boxes)
   | _ -> Some boxes
+
+(* A set of symbol boxes.  [learn] is a meet per constraint, and meet is
+   commutative and associative, so learning constraints one at a time (the
+   incremental path-condition maintenance in [State]) yields exactly the
+   same boxes as folding over the whole pc. *)
+type boxes = t Imap.t
+
+let empty_boxes : boxes = Imap.empty
+let learn_boxes = learn
 
 (* Symbol intervals implied (conservatively) by a path condition; [None]
    when the learned facts alone are contradictory. *)
 let boxes_of_pc pc =
   List.fold_left
     (fun acc c -> match acc with None -> None | Some boxes -> learn boxes c)
-    (Some Imap.empty) pc
+    (Some empty_boxes) pc
 
 let lookup_of_boxes boxes id = Imap.find_opt id boxes
 
@@ -241,14 +250,13 @@ let lookup_of_boxes boxes id = Imap.find_opt id boxes
    - Otherwise, learn [cond]'s own facts into the boxes: a contradiction
      proves the conjunction UNSAT (all facts are implied by it).
    [None]: undecided, fall through to the SAT solver. *)
+let quick_feasible_with boxes cond =
+  let r = eval (lookup_of_boxes boxes) cond in
+  if r.lo = 1L then Some true
+  else if r.hi = 0L then Some false
+  else match learn boxes cond with None -> Some false | Some _ -> None
+
 let quick_feasible ~pc cond =
   match boxes_of_pc pc with
   | None -> None (* would mean pc unsat, violating the invariant: punt *)
-  | Some boxes -> (
-    let r = eval (lookup_of_boxes boxes) cond in
-    if r.lo = 1L then Some true
-    else if r.hi = 0L then Some false
-    else
-      match learn boxes cond with
-      | None -> Some false
-      | Some _ -> None)
+  | Some boxes -> quick_feasible_with boxes cond

@@ -20,12 +20,29 @@ val eval : (int -> t option) -> Expr.t -> t
 
 module Imap : Map.S with type key = int
 
+(** Symbol boxes learned from a conjunction of constraints.  Learning is a
+    per-symbol interval meet — commutative and associative — so boxes can
+    be maintained incrementally, one constraint at a time, with the same
+    result as recomputing from the whole path condition. *)
+type boxes = t Imap.t
+
+val empty_boxes : boxes
+
+(** Fold one (simplified) constraint into the boxes; [None] when the
+    learned facts alone are contradictory (the conjunction is UNSAT). *)
+val learn_boxes : boxes -> Expr.t -> boxes option
+
 (** Symbol intervals implied by a (simplified) path condition; [None] when
     the learned facts alone are contradictory. *)
-val boxes_of_pc : Expr.t list -> t Imap.t option
+val boxes_of_pc : Expr.t list -> boxes option
 
-val lookup_of_boxes : t Imap.t -> int -> t option
+val lookup_of_boxes : boxes -> int -> t option
 
 (** Fast verdict for "is [pc /\ cond] satisfiable?" given that [pc] is
     satisfiable; [None] means undecided (fall through to SAT). *)
 val quick_feasible : pc:Expr.t list -> Expr.t -> bool option
+
+(** Same, but over pre-computed boxes for the path condition — lets one
+    set of boxes answer both polarities of a fork and be carried
+    incrementally in the execution state. *)
+val quick_feasible_with : boxes -> Expr.t -> bool option

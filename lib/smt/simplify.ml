@@ -5,15 +5,17 @@
    to the right), and lowers signed division/remainder to unsigned
    operations so the bit blaster only handles unsigned arithmetic.
 
-   The rewriter is bottom-up and memoized; rules are applied to a fixpoint
-   at each node (each rule strictly decreases a well-founded measure, so
-   this terminates). *)
+   The rewriter is bottom-up; rules are applied to a fixpoint at each node
+   (each rule strictly decreases a well-founded measure, so this
+   terminates).  Results are memoized globally by hashcons id: because
+   terms are interned, each distinct subterm in the whole process is
+   rewritten at most once, no matter how many path conditions share it. *)
 
 open Expr
 
-let is_zero e = match e with Const { value = 0L; _ } -> true | _ -> false
-let is_ones e = match e with Const { width; value } -> value = mask width | _ -> false
-let is_one e = match e with Const { value = 1L; _ } -> true | _ -> false
+let is_zero e = match e.node with Const { value = 0L; _ } -> true | _ -> false
+let is_ones e = match e.node with Const { width; value } -> value = mask width | _ -> false
+let is_one e = match e.node with Const { value = 1L; _ } -> true | _ -> false
 
 let commutative = function
   | Add | Mul | And | Or | Xor | Eq -> true
@@ -21,57 +23,75 @@ let commutative = function
     false
 
 (* Total order used to canonicalize commutative operands: constants sort
-   last so that the constant ends up on the right. *)
-let rank = function
+   last so that the constant ends up on the right.  Ties break on the
+   structural order, not hashcons ids: ids depend on interning history,
+   and the canonical form must be identical across workers for replayed
+   paths to concretize identically. *)
+let rank e =
+  match e.node with
   | Const _ -> 2
   | Sym _ -> 0
   | Unop _ | Binop _ | Ite _ | Extract _ | Zext _ | Sext _ -> 1
 
 let operand_order a b =
-  let c = compare (rank a) (rank b) in
-  if c <> 0 then c else compare a b
+  let c = Int.compare (rank a) (rank b) in
+  if c <> 0 then c else Expr.compare_structural a b
+
+(* Rewrite statistics, for the solver microbenchmark: [visits] counts
+   rewriter entries into un-memoized nodes, [rewrites] counts rule
+   applications, [memo_hits] counts simplifications answered from the
+   memo table. *)
+type rw_stats = { mutable visits : int; mutable rewrites : int; mutable memo_hits : int }
+
+let stats_live = { visits = 0; rewrites = 0; memo_hits = 0 }
+let stats () = { stats_live with visits = stats_live.visits }
+
+let reset_stats () =
+  stats_live.visits <- 0;
+  stats_live.rewrites <- 0;
+  stats_live.memo_hits <- 0
 
 let rewrite_binop op a b =
   let w = Expr.width a in
-  match (op, a, b) with
+  match (op, a.node, b.node) with
   (* additive identities *)
-  | Add, e, z when is_zero z -> Some e
-  | Sub, e, z when is_zero z -> Some e
-  | Sub, a, b when a = b -> Some (const ~width:w 0L)
+  | Add, _, _ when is_zero b -> Some a
+  | Sub, _, _ when is_zero b -> Some a
+  | Sub, _, _ when a == b -> Some (const ~width:w 0L)
   (* multiplicative identities *)
-  | Mul, _, z when is_zero z -> Some (const ~width:w 0L)
-  | Mul, e, o when is_one o -> Some e
-  | Udiv, e, o when is_one o -> Some e
-  | Urem, _, o when is_one o -> Some (const ~width:w 0L)
+  | Mul, _, _ when is_zero b -> Some (const ~width:w 0L)
+  | Mul, _, _ when is_one b -> Some a
+  | Udiv, _, _ when is_one b -> Some a
+  | Urem, _, _ when is_one b -> Some (const ~width:w 0L)
   (* bitwise identities *)
-  | And, _, z when is_zero z -> Some (const ~width:w 0L)
-  | And, e, o when is_ones o -> Some e
-  | And, a, b when a = b -> Some a
-  | Or, e, z when is_zero z -> Some e
-  | Or, _, o when is_ones o -> Some (const ~width:w (mask w))
-  | Or, a, b when a = b -> Some a
-  | Xor, e, z when is_zero z -> Some e
-  | Xor, a, b when a = b -> Some (const ~width:w 0L)
-  | Xor, e, o when is_ones o -> Some (unop Not e)
+  | And, _, _ when is_zero b -> Some (const ~width:w 0L)
+  | And, _, _ when is_ones b -> Some a
+  | And, _, _ when a == b -> Some a
+  | Or, _, _ when is_zero b -> Some a
+  | Or, _, _ when is_ones b -> Some (const ~width:w (mask w))
+  | Or, _, _ when a == b -> Some a
+  | Xor, _, _ when is_zero b -> Some a
+  | Xor, _, _ when a == b -> Some (const ~width:w 0L)
+  | Xor, _, _ when is_ones b -> Some (unop Not a)
   (* shifts by zero *)
-  | (Shl | Lshr | Ashr), e, z when is_zero z -> Some e
+  | (Shl | Lshr | Ashr), _, _ when is_zero b -> Some a
   (* reflexive comparisons *)
-  | Eq, a, b when a = b -> Some true_
-  | Ult, a, b when a = b -> Some false_
-  | Ule, a, b when a = b -> Some true_
-  | Slt, a, b when a = b -> Some false_
-  | Sle, a, b when a = b -> Some true_
+  | Eq, _, _ when a == b -> Some true_
+  | Ult, _, _ when a == b -> Some false_
+  | Ule, _, _ when a == b -> Some true_
+  | Slt, _, _ when a == b -> Some false_
+  | Sle, _, _ when a == b -> Some true_
   (* unsigned bounds *)
-  | Ult, _, z when is_zero z -> Some false_
-  | Ule, z, _ when is_zero z -> Some true_
-  | Ule, _, o when is_ones o -> Some true_
-  | Ult, z, b when is_zero z -> Some (ne b (const ~width:(Expr.width b) 0L))
+  | Ult, _, _ when is_zero b -> Some false_
+  | Ule, _, _ when is_zero a -> Some true_
+  | Ule, _, _ when is_ones b -> Some true_
+  | Ult, _, _ when is_zero a -> Some (ne b (const ~width:(Expr.width b) 0L))
   (* canonical equality forms feed path-condition substitution *)
-  | Ule, e, z when is_zero z -> Some (eq e z)
-  | Ult, e, o when is_one o -> Some (eq e (const ~width:w 0L))
+  | Ule, _, _ when is_zero b -> Some (eq a b)
+  | Ult, _, _ when is_one b -> Some (eq a (const ~width:w 0L))
   (* eq against boolean constants collapses to the operand or its negation *)
-  | Eq, e, o when Expr.width e = 1 && is_one o -> Some e
-  | Eq, e, z when Expr.width e = 1 && is_zero z -> Some (unop Not e)
+  | Eq, _, _ when Expr.width a = 1 && is_one b -> Some a
+  | Eq, _, _ when Expr.width a = 1 && is_zero b -> Some (unop Not a)
   (* push equalities and unsigned comparisons through zero-extension:
      keeps formulas narrow and exposes [sym = const] equalities for
      path-condition substitution *)
@@ -85,14 +105,13 @@ let rewrite_binop op a b =
     else Some false_
   | Eq, Unop (Not, e), Const { width = wc; value } ->
     Some (eq e (const ~width:wc (Int64.lognot value)))
-  | Eq, Binop (Add, x, Const { width = wc; value = k }), Const { value = c; _ } ->
+  | Eq, Binop (Add, x, { node = Const { width = wc; value = k }; _ }), Const { value = c; _ } ->
     Some (eq x (const ~width:wc (Int64.sub c k)))
-  | Eq, Binop (Sub, x, Const { width = wc; value = k }), Const { value = c; _ } ->
+  | Eq, Binop (Sub, x, { node = Const { width = wc; value = k }; _ }), Const { value = c; _ } ->
     Some (eq x (const ~width:wc (Int64.add c k)))
   | Ult, Zext (e, _), Const { value; _ } ->
     let we = Expr.width e in
-    if ucompare value (mask we) > 0 then Some true_
-    else Some (ult e (const ~width:we value))
+    if ucompare value (mask we) > 0 then Some true_ else Some (ult e (const ~width:we value))
   | Ult, Const { value; _ }, Zext (e, _) ->
     let we = Expr.width e in
     if ucompare value (mask we) >= 0 then Some false_
@@ -105,18 +124,18 @@ let rewrite_binop op a b =
     let we = Expr.width e in
     if ucompare value (mask we) > 0 then Some false_
     else Some (ule (const ~width:we value) e)
-  | Eq, Zext (a, _), Zext (b, _) when Expr.width a = Expr.width b -> Some (eq a b)
-  | Ult, Zext (a, _), Zext (b, _) when Expr.width a = Expr.width b -> Some (ult a b)
-  | Ule, Zext (a, _), Zext (b, _) when Expr.width a = Expr.width b -> Some (ule a b)
+  | Eq, Zext (x, _), Zext (y, _) when Expr.width x = Expr.width y -> Some (eq x y)
+  | Ult, Zext (x, _), Zext (y, _) when Expr.width x = Expr.width y -> Some (ult x y)
+  | Ule, Zext (x, _), Zext (y, _) when Expr.width x = Expr.width y -> Some (ule x y)
   (* x + x = 2x is not smaller; skip.  (x - c) etc. left to folding. *)
   | _ -> None
 
 let rewrite_ite c a b =
-  match (c, a, b) with
+  match (c.node, a, b) with
   | Unop (Not, c'), a, b -> Some (ite c' b a)
   (* ite c 1 0 = c ; ite c 0 1 = !c  (width-1 only) *)
-  | c, o, z when Expr.width a = 1 && is_one o && is_zero z -> Some c
-  | c, z, o when Expr.width a = 1 && is_zero z && is_one o -> Some (unop Not c)
+  | _, o, z when Expr.width a = 1 && is_one o && is_zero z -> Some c
+  | _, z, o when Expr.width a = 1 && is_zero z && is_one o -> Some (unop Not c)
   | _ -> None
 
 (* Lower signed division and remainder to unsigned equivalents so that the
@@ -138,25 +157,64 @@ let lower_srem a b =
   let r = binop Urem (abs a) (abs b) in
   ite (eq b zero) a (ite (slt a zero) (unop Neg r) r)
 
+(* Global memo: hashcons id -> simplified form.  Safe to share across
+   solvers because simplification is deterministic and context-free; the
+   table is weak-free (it pins results), so it is capped and dropped
+   wholesale when it outgrows the cap. *)
+let memo : (int, Expr.t) Hashtbl.t = Hashtbl.create 4096
+let memo_cap = 1 lsl 20
+let memo_enabled = ref true
+let memo_size () = Hashtbl.length memo
+let clear_memo () = Hashtbl.reset memo
+
+let set_memo enabled =
+  memo_enabled := enabled;
+  if not enabled then clear_memo ()
+
 let rec simplify e =
-  match e with
+  if not !memo_enabled then simplify_node e
+  else
+    match Hashtbl.find_opt memo (Expr.id e) with
+    | Some r ->
+      stats_live.memo_hits <- stats_live.memo_hits + 1;
+      r
+    | None ->
+      let r = simplify_node e in
+      if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
+      Hashtbl.replace memo (Expr.id e) r;
+      (* simplify is idempotent: record the result as its own fixpoint so
+         re-simplifying an already-canonical term is a single lookup *)
+      if not (Expr.equal r e) then Hashtbl.replace memo (Expr.id r) r;
+      r
+
+and simplify_node e =
+  stats_live.visits <- stats_live.visits + 1;
+  match e.node with
   | Const _ | Sym _ -> e
   | Unop (op, e1) -> unop op (simplify e1)
   | Binop (op, a, b) ->
     let a = simplify a and b = simplify b in
     let a, b = if commutative op && operand_order a b > 0 then (b, a) else (a, b) in
     let folded = binop op a b in
-    (match folded with
+    (match folded.node with
     | Binop (op', a', b') -> (
-      match rewrite_binop op' a' b' with Some e' -> simplify e' | None -> folded)
-    | other -> other)
+      match rewrite_binop op' a' b' with
+      | Some e' ->
+        stats_live.rewrites <- stats_live.rewrites + 1;
+        simplify e'
+      | None -> folded)
+    | _ -> folded)
   | Ite (c, a, b) ->
     let c = simplify c and a = simplify a and b = simplify b in
     let folded = ite c a b in
-    (match folded with
+    (match folded.node with
     | Ite (c', a', b') -> (
-      match rewrite_ite c' a' b' with Some e' -> simplify e' | None -> folded)
-    | other -> other)
+      match rewrite_ite c' a' b' with
+      | Some e' ->
+        stats_live.rewrites <- stats_live.rewrites + 1;
+        simplify e'
+      | None -> folded)
+    | _ -> folded)
   | Extract { e = e1; off; len } -> extract (simplify e1) ~off ~len
   | Zext (e1, w) -> zext (simplify e1) w
   | Sext (e1, w) -> sext (simplify e1) w
@@ -164,7 +222,7 @@ let rec simplify e =
 (* Recursively replace Sdiv/Srem with their unsigned lowering; used by the
    CNF translation. *)
 let rec lower e =
-  match e with
+  match e.node with
   | Const _ | Sym _ -> e
   | Unop (op, e1) -> unop op (lower e1)
   | Binop (Sdiv, a, b) -> lower_sdiv (lower a) (lower b)

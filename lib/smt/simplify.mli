@@ -2,7 +2,9 @@
 
 (** [simplify e] applies constant folding, algebraic identities, and
     commutative-operand normalization bottom-up, preserving the concrete
-    semantics of {!Expr.eval} exactly. *)
+    semantics of {!Expr.eval} exactly.  Results are memoized globally by
+    hashcons id (see {!set_memo}), so each distinct subterm is rewritten
+    at most once per process. *)
 val simplify : Expr.t -> Expr.t
 
 (** [lower e] recursively replaces signed division and remainder with an
@@ -10,3 +12,23 @@ val simplify : Expr.t -> Expr.t
     division-by-zero cases) so downstream bit blasting only needs unsigned
     circuits. *)
 val lower : Expr.t -> Expr.t
+
+(** Rewriter counters: [visits] = un-memoized nodes entered, [rewrites] =
+    rule applications, [memo_hits] = calls answered from the memo. *)
+type rw_stats = { mutable visits : int; mutable rewrites : int; mutable memo_hits : int }
+
+(** Snapshot of the process-wide counters. *)
+val stats : unit -> rw_stats
+
+val reset_stats : unit -> unit
+
+(** Enable/disable the global memo (default enabled).  Disabling also
+    clears it; used by benchmarks to A/B the memoized rewriter against
+    the plain fixpoint walk. *)
+val set_memo : bool -> unit
+
+(** Number of entries currently memoized. *)
+val memo_size : unit -> int
+
+(** Drop all memoized results (e.g. alongside {!Solver.clear_caches}). *)
+val clear_memo : unit -> unit

@@ -8,6 +8,10 @@
    - a counterexample (model) cache: recent models are probed by concrete
      evaluation before invoking the SAT solver.
 
+   Expressions are hash-consed ({!Expr}), so the hot path is id
+   arithmetic: cache keys are id lists, canonical ordering is id order,
+   and symbol-support sets are memoized per term.
+
    Each feature can be disabled at construction for ablation benchmarks. *)
 
 type result = Sat of Model.t | Unsat
@@ -23,11 +27,23 @@ type stats = {
 
 (* Observability handles, resolved once at [create]: the per-tier query
    counters are plain mutable cells, so the instrumented hot path pays a
-   single field write plus the trace append. *)
+   single field write plus the trace append.  Cache/hashcons size gauges
+   are refreshed every [gauge_period] answered queries, because counting
+   the weak hashcons table is O(table). *)
 type obs = {
   sink : Obs.Sink.t;
   tier_counters : (Obs.Event.solver_tier * Obs.Metrics.counter) list;
+  g_sat_cache : Obs.Metrics.gauge;
+  g_det_cache : Obs.Metrics.gauge;
+  g_cex_models : Obs.Metrics.gauge;
+  g_simplify_memo : Obs.Metrics.gauge;
+  g_hc_entries : Obs.Metrics.gauge;
+  g_hc_hits : Obs.Metrics.gauge;
+  g_hc_misses : Obs.Metrics.gauge;
+  mutable noted : int;
 }
+
+let gauge_period = 256
 
 type t = {
   stats : stats;
@@ -36,23 +52,32 @@ type t = {
   use_cex_cache : bool;
   use_independence : bool;
   use_range : bool;
-  sat_cache : (Expr.t list, result) Hashtbl.t;
-  det_cache : (Expr.t list, result) Hashtbl.t;
+  sat_cache : (int list, result) Hashtbl.t; (* key: ids of id-sorted constraints *)
+  det_cache : (int list, result) Hashtbl.t;
   mutable cex_models : Model.t list;
   cex_limit : int;
 }
 
 let make_obs sink =
+  let m = Obs.Sink.metrics sink in
   let tier_counters =
     List.map
       (fun tier ->
-        ( tier,
-          Obs.Metrics.counter (Obs.Sink.metrics sink)
-            ~labels:[ ("tier", Obs.Event.tier_to_string tier) ]
-            "solver_queries" ))
+        (tier, Obs.Metrics.counter m ~labels:[ ("tier", Obs.Event.tier_to_string tier) ] "solver_queries"))
       Obs.Event.[ Trivial; Range; Sat_cache; Cex_cache; Det_cache; Sat_call ]
   in
-  { sink; tier_counters }
+  {
+    sink;
+    tier_counters;
+    g_sat_cache = Obs.Metrics.gauge m "solver_sat_cache_entries";
+    g_det_cache = Obs.Metrics.gauge m "solver_det_cache_entries";
+    g_cex_models = Obs.Metrics.gauge m "solver_cex_models";
+    g_simplify_memo = Obs.Metrics.gauge m "simplify_memo_entries";
+    g_hc_entries = Obs.Metrics.gauge m "hashcons_entries";
+    g_hc_hits = Obs.Metrics.gauge m "hashcons_hits";
+    g_hc_misses = Obs.Metrics.gauge m "hashcons_misses";
+    noted = 0;
+  }
 
 let create ?(use_sat_cache = true) ?(use_cex_cache = true) ?(use_independence = true)
     ?(use_range = true) ?obs () =
@@ -95,6 +120,19 @@ let accum_stats acc src =
   acc.cex_hits <- acc.cex_hits + src.cex_hits;
   acc.sat_calls <- acc.sat_calls + src.sat_calls
 
+let sample_gauges t =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    Obs.Metrics.set o.g_sat_cache (float_of_int (Hashtbl.length t.sat_cache));
+    Obs.Metrics.set o.g_det_cache (float_of_int (Hashtbl.length t.det_cache));
+    Obs.Metrics.set o.g_cex_models (float_of_int (List.length t.cex_models));
+    Obs.Metrics.set o.g_simplify_memo (float_of_int (Simplify.memo_size ()));
+    let hc = Expr.hashcons_stats () in
+    Obs.Metrics.set o.g_hc_entries (float_of_int hc.Expr.table_size);
+    Obs.Metrics.set o.g_hc_hits (float_of_int hc.Expr.hits);
+    Obs.Metrics.set o.g_hc_misses (float_of_int hc.Expr.misses)
+
 (* One query answered: bump the tier counter and trace the outcome. *)
 let note t kind tier sat =
   match t.obs with
@@ -103,7 +141,9 @@ let note t kind tier sat =
     (match List.assq_opt tier o.tier_counters with
     | Some c -> Obs.Metrics.incr c
     | None -> ());
-    Obs.Sink.event o.sink (Obs.Event.Solver_query { kind; tier; sat })
+    Obs.Sink.event o.sink (Obs.Event.Solver_query { kind; tier; sat });
+    o.noted <- o.noted + 1;
+    if o.noted mod gauge_period = 0 then sample_gauges t
 
 (* Drop the satisfiability cache (used when measuring cache reconstruction
    after a job transfer, see paper section 6 "Constraint Caches"). *)
@@ -113,11 +153,11 @@ let clear_caches t =
   t.cex_models <- []
 
 (* Normalize a constraint set: simplify, drop trivially-true constraints,
-   and sort for a canonical cache key.  Returns [None] when some constraint
-   is trivially false. *)
+   and sort by hashcons id for a canonical in-process ordering.  Returns
+   [None] when some constraint is trivially false. *)
 let normalize constraints =
   let rec go acc = function
-    | [] -> Some (List.sort_uniq compare acc)
+    | [] -> Some (List.sort_uniq Expr.compare acc)
     | c :: rest ->
       let c = Simplify.simplify c in
       if Expr.is_true c then go acc rest
@@ -126,28 +166,29 @@ let normalize constraints =
   in
   go [] constraints
 
-(* Transitive closure of constraints connected to [seed_syms] through
-   shared symbols. *)
-let slice ~seed_syms constraints =
-  let module Iset = Set.Make (Int) in
-  let tagged = List.map (fun c -> (c, Expr.syms c)) constraints in
-  let closure = ref (Iset.of_list seed_syms) in
+(* The cache key of an id-sorted constraint list. *)
+let key_of = List.map Expr.id
+
+(* Transitive closure of constraints connected to [seed] through shared
+   symbols.  Symbol-support sets are memoized per term ({!Expr.sym_set}),
+   so this walks no expression structure. *)
+let slice ~seed constraints =
+  let tagged = List.map (fun c -> (c, Expr.sym_set c)) constraints in
+  let closure = ref seed in
   let selected = ref [] in
   let remaining = ref tagged in
   let changed = ref true in
   while !changed do
     changed := false;
     let rem, sel =
-      List.partition
-        (fun (_, syms) -> not (List.exists (fun s -> Iset.mem s !closure) syms))
-        !remaining
+      List.partition (fun (_, syms) -> Expr.Iset.disjoint syms !closure) !remaining
     in
     if sel <> [] then begin
       changed := true;
       List.iter
         (fun (c, syms) ->
           selected := c :: !selected;
-          List.iter (fun s -> closure := Iset.add s !closure) syms)
+          closure := Expr.Iset.union syms !closure)
         sel;
       remaining := rem
     end
@@ -179,13 +220,12 @@ let remember_model t m =
   end
 
 (* Core satisfiability check with caching; constraints are already
-   normalized and non-empty.  [kind] labels the trace event with the
-   querying entry point. *)
+   normalized (id-sorted) and non-empty.  [kind] labels the trace event
+   with the querying entry point. *)
 let check_normalized t ~kind constraints =
   let is_sat = function Sat _ -> true | Unsat -> false in
-  let cached =
-    if t.use_sat_cache then Hashtbl.find_opt t.sat_cache constraints else None
-  in
+  let k = if t.use_sat_cache then key_of constraints else [] in
+  let cached = if t.use_sat_cache then Hashtbl.find_opt t.sat_cache k else None in
   match cached with
   | Some r ->
     t.stats.cache_hits <- t.stats.cache_hits + 1;
@@ -209,7 +249,7 @@ let check_normalized t ~kind constraints =
         (match r with Sat m -> remember_model t m | Unsat -> ());
         r
     in
-    if t.use_sat_cache then Hashtbl.replace t.sat_cache constraints r;
+    if t.use_sat_cache then Hashtbl.replace t.sat_cache k r;
     r
 
 (* Full check: is the conjunction of [constraints] satisfiable?  The model
@@ -228,14 +268,88 @@ let check t constraints =
     Sat Model.empty
   | Some cs -> check_normalized t ~kind:"check" cs
 
+(* Answer one fork polarity.  [cond] is already simplified, [sliced] is
+   the subset of the (already-normalized) path condition relevant to it,
+   and [boxes] are the pc's interval facts (shared across polarities).
+   Bumps [queries] and exactly one tier, preserving the reconciliation
+   invariant that tiers sum to queries. *)
+let answer_polarity t ~kind ~boxes ~sliced cond =
+  t.stats.queries <- t.stats.queries + 1;
+  if Expr.is_true cond then begin
+    t.stats.trivial <- t.stats.trivial + 1;
+    note t kind Obs.Event.Trivial true;
+    true
+  end
+  else if Expr.is_false cond then begin
+    t.stats.trivial <- t.stats.trivial + 1;
+    note t kind Obs.Event.Trivial false;
+    false
+  end
+  else
+    let quick =
+      match boxes with
+      | Some bx when t.use_range -> Range.quick_feasible_with bx cond
+      | _ -> None
+    in
+    match quick with
+    | Some verdict ->
+      t.stats.range_hits <- t.stats.range_hits + 1;
+      note t kind Obs.Event.Range verdict;
+      verdict
+    | None -> (
+      let cs = List.sort_uniq Expr.compare (cond :: sliced) in
+      match check_normalized t ~kind cs with Sat _ -> true | Unsat -> false)
+
+(* Interval boxes for an already-normalized pc: the caller's
+   incrementally-maintained boxes when available, else recomputed. *)
+let effective_boxes t ~npc boxes =
+  if not t.use_range then None
+  else match boxes with Some _ -> boxes | None -> Range.boxes_of_pc npc
+
+(* Branch-feasibility query over a pre-normalized path condition [npc]
+   (each member simplified, no trivially-true members — e.g.
+   {!State.t}'s incrementally-maintained [npc]).  Skips the O(|pc|)
+   re-simplification that {!branch_feasible} pays. *)
+let branch_feasible_norm t ~npc ?boxes cond =
+  let cond = Simplify.simplify cond in
+  let boxes = effective_boxes t ~npc boxes in
+  let sliced =
+    if t.use_independence && not (Expr.is_const cond) then
+      slice ~seed:(Expr.sym_set cond) npc
+    else npc
+  in
+  answer_polarity t ~kind:"branch" ~boxes ~sliced cond
+
+(* Fused fork query: answers feasibility of both [cond] and [not cond]
+   against the same normalized pc, sharing the interval boxes and the
+   independence slice.  Seeding the slice with the union of both
+   polarities' symbols is sound: a larger seed only enlarges the closure,
+   and the excluded remainder stays disjoint from both queries (and is
+   satisfiable because the pc is).  Each polarity counts as one query. *)
+let fork_feasible t ~npc ?boxes cond =
+  let cond_t = Simplify.simplify cond in
+  let cond_f = Simplify.simplify (Expr.not_ cond_t) in
+  let boxes = effective_boxes t ~npc boxes in
+  let sliced =
+    if t.use_independence && not (Expr.is_const cond_t) then
+      slice ~seed:(Expr.Iset.union (Expr.sym_set cond_t) (Expr.sym_set cond_f)) npc
+    else npc
+  in
+  let ok_t = answer_polarity t ~kind:"branch" ~boxes ~sliced cond_t in
+  let ok_f = answer_polarity t ~kind:"branch" ~boxes ~sliced cond_f in
+  (ok_t, ok_f)
+
 (* Branch-feasibility query: is [pc /\ cond] satisfiable?  Uses
    independence slicing seeded by the symbols of [cond]; this is sound for
    satisfiability because [pc] alone is satisfiable by invariant (every
-   state's path condition is feasible). *)
+   state's path condition is feasible).  Normalizes the whole [pc] on
+   every call; kept as the entry point for raw (un-normalized) pcs and as
+   the baseline for the incremental-pc benchmark. *)
 let branch_feasible t ~pc cond =
   t.stats.queries <- t.stats.queries + 1;
   let cond = Simplify.simplify cond in
   if Expr.is_true cond then begin
+    t.stats.trivial <- t.stats.trivial + 1;
     note t "branch" Obs.Event.Trivial true;
     true
   end
@@ -268,9 +382,9 @@ let branch_feasible t ~pc cond =
       | None ->
         let cs =
           if t.use_independence then
-            match slice ~seed_syms:(Expr.syms cond) cs with
+            match slice ~seed:(Expr.sym_set cond) cs with
             | [] -> [ cond ] (* cond itself is always in its own slice *)
-            | sliced -> List.sort_uniq compare sliced
+            | sliced -> List.sort_uniq Expr.compare sliced
           else cs
         in
         (match check_normalized t ~kind:"branch" cs with Sat _ -> true | Unsat -> false))
@@ -284,11 +398,15 @@ let get_model t constraints = check t constraints
 (* Deterministic model construction: always solves from scratch on the
    canonical constraint set, never reusing history-dependent caches (the
    counterexample cache returns whichever cached model happens to satisfy
-   the query, which depends on query order).  Two workers replaying the
-   same path therefore obtain the same model — the solver-side requirement
-   for replay determinism (paper section 6, "Broken Replays").  Results
-   are memoized in a dedicated cache whose entries are themselves
-   deterministic. *)
+   the query, which depends on query order).  The constraints are handed
+   to the SAT core in *structural* order: hashcons ids depend on interning
+   history (and weak-table evictions), so id order is not reproducible
+   across workers, but the structural order depends only on the constraint
+   set itself.  Two workers replaying the same path therefore obtain the
+   same model — the solver-side requirement for replay determinism (paper
+   section 6, "Broken Replays").  Results are memoized in a dedicated
+   cache whose entries are themselves deterministic, keyed by id for O(1)
+   hashing (a key miss just means a deterministic recompute). *)
 let check_deterministic t constraints =
   t.stats.queries <- t.stats.queries + 1;
   let is_sat = function Sat _ -> true | Unsat -> false in
@@ -302,13 +420,14 @@ let check_deterministic t constraints =
     note t "det" Obs.Event.Trivial true;
     Sat Model.empty
   | Some cs -> (
-    match Hashtbl.find_opt t.det_cache cs with
+    let k = key_of cs in
+    match Hashtbl.find_opt t.det_cache k with
     | Some r ->
       t.stats.cache_hits <- t.stats.cache_hits + 1;
       note t "det" Obs.Event.Det_cache (is_sat r);
       r
     | None ->
-      let r = solve_raw t cs in
+      let r = solve_raw t (List.sort Expr.compare_structural cs) in
       note t "det" Obs.Event.Sat_call (is_sat r);
-      Hashtbl.replace t.det_cache cs r;
+      Hashtbl.replace t.det_cache k r;
       r)

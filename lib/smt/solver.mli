@@ -51,8 +51,27 @@ val check : t -> Expr.t list -> result
 (** [branch_feasible t ~pc cond]: is [pc /\ cond] satisfiable?  Requires
     the invariant that [pc] alone is satisfiable (true for every live
     execution state); under it, independence slicing seeded by [cond] is
-    sound. *)
+    sound.  Re-normalizes the whole [pc] per call — prefer
+    {!branch_feasible_norm}/{!fork_feasible} when a normalized pc is
+    already at hand (e.g. [State.npc]). *)
 val branch_feasible : t -> pc:Expr.t list -> Expr.t -> bool
+
+(** Same query over a pre-normalized path condition [npc] (each member
+    simplified, no trivially-true members, e.g. the incrementally
+    maintained [State.npc]); only [cond] is normalized.  [boxes] are the
+    pc's interval facts if the caller carries them; omitted, they are
+    recomputed from [npc]. *)
+val branch_feasible_norm :
+  t -> npc:Expr.t list -> ?boxes:Range.boxes -> Expr.t -> bool
+
+(** [fork_feasible t ~npc ?boxes cond] answers
+    [(branch_feasible cond, branch_feasible (not cond))] in one entry
+    point: the condition is simplified once and the interval boxes and
+    independence slice are shared between the two polarities.  Each
+    polarity still counts as one query in {!stats} (with exactly one tier
+    hit), so reconciliation invariants are unchanged. *)
+val fork_feasible :
+  t -> npc:Expr.t list -> ?boxes:Range.boxes -> Expr.t -> bool * bool
 
 (** [must_be_true t ~pc cond] holds when [pc -> cond] is valid. *)
 val must_be_true : t -> pc:Expr.t list -> Expr.t -> bool
@@ -65,3 +84,8 @@ val get_model : t -> Expr.t list -> result
     same model for the same path condition.  Required for replay-stable
     concretization (paper section 6). *)
 val check_deterministic : t -> Expr.t list -> result
+
+(** Refresh the cache-size / hashcons gauges on the attached obs sink (a
+    no-op without one).  Also runs automatically every few hundred
+    answered queries. *)
+val sample_gauges : t -> unit

@@ -211,17 +211,17 @@ let test_job_tree_prefix_sharing () =
 (* --- trie ------------------------------------------------------------------------------------ *)
 
 let test_trie_ops () =
-  let t = Cluster.Trie.create () in
+  let t = Engine.Trie.create () in
   let p1 = [ Path.Branch true ] and p2 = [ Path.Branch true; Path.Branch false ] in
-  Cluster.Trie.add t p1 "a";
-  Cluster.Trie.add t p2 "b";
-  Alcotest.(check int) "size 2" 2 (Cluster.Trie.size t);
-  Alcotest.(check (option string)) "find p2" (Some "b") (Cluster.Trie.find t p2);
-  Alcotest.(check bool) "remove p1" true (Cluster.Trie.remove t p1);
-  Alcotest.(check bool) "remove p1 again fails" false (Cluster.Trie.remove t p1);
-  Alcotest.(check int) "size 1" 1 (Cluster.Trie.size t);
+  Engine.Trie.add t p1 "a";
+  Engine.Trie.add t p2 "b";
+  Alcotest.(check int) "size 2" 2 (Engine.Trie.size t);
+  Alcotest.(check (option string)) "find p2" (Some "b") (Engine.Trie.find t p2);
+  Alcotest.(check bool) "remove p1" true (Engine.Trie.remove t p1);
+  Alcotest.(check bool) "remove p1 again fails" false (Engine.Trie.remove t p1);
+  Alcotest.(check int) "size 1" 1 (Engine.Trie.size t);
   let rng = Random.State.make [| 1 |] in
-  Alcotest.(check (option string)) "random pick finds b" (Some "b") (Cluster.Trie.random_pick rng t)
+  Alcotest.(check (option string)) "random pick finds b" (Some "b") (Engine.Trie.random_pick rng t)
 
 let () =
   Alcotest.run "cluster"

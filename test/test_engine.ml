@@ -171,6 +171,48 @@ let test_searchers_agree_on_path_count () =
       Alcotest.(check int) (strategy ^ " explores both paths") 2 result.Engine.Driver.paths_explored)
     [ "dfs"; "bfs"; "random-path"; "cov-opt"; "interleaved" ]
 
+(* Regression for the dfs/bfs stale-key leak: the driver re-adds the
+   stepped state every step under the same path key, and interleaving /
+   job transfers remove states behind the ordering structure's back.
+   Neither pattern may grow the internal queue beyond O(live states). *)
+let test_searcher_no_stale_key_leak () =
+  let program = compile sym_branch_unit in
+  let st0 = Engine.State.init program ~env:() ~args:[] in
+  let state_at path = { st0 with Engine.State.path = List.rev path } in
+  List.iter
+    (fun name ->
+      let s = Engine.Searcher.of_name ~rng:(Random.State.make [| 3 |]) name in
+      (* driver pattern: select, step (same path), re-add — 1000 times *)
+      s.Engine.Searcher.add st0;
+      for _ = 1 to 1000 do
+        match s.Engine.Searcher.select () with
+        | Some st -> s.Engine.Searcher.add st
+        | None -> Alcotest.failf "%s lost the only state" name
+      done;
+      Alcotest.(check int) (name ^ ": one live state") 1 (s.Engine.Searcher.size ());
+      Alcotest.(check bool)
+        (name ^ ": no duplicate keys queued")
+        true
+        (s.Engine.Searcher.pending () <= 2);
+      (* transfer pattern: add a distinct path, then remove it — 1000 times *)
+      for i = 1 to 1000 do
+        let st = state_at [ Engine.Path.Sys i ] in
+        s.Engine.Searcher.add st;
+        s.Engine.Searcher.remove (Engine.State.path st)
+      done;
+      Alcotest.(check int) (name ^ ": removed states gone") 1 (s.Engine.Searcher.size ());
+      Alcotest.(check bool)
+        (name ^ ": stale keys compacted (pending "
+        ^ string_of_int (s.Engine.Searcher.pending ())
+        ^ ")")
+        true
+        (s.Engine.Searcher.pending () <= 70);
+      (* the surviving state is still selectable *)
+      match s.Engine.Searcher.select () with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s lost the live state after churn" name)
+    [ "dfs"; "bfs"; "random-path"; "cov-opt"; "interleaved" ]
+
 (* --- hang detection ------------------------------------------------------------- *)
 
 let test_instruction_limit_detects_infinite_loop () =
@@ -480,7 +522,11 @@ let () =
           Alcotest.test_case "assert finds input" `Quick test_assert_finds_input;
           Alcotest.test_case "assume prunes" `Quick test_assume_prunes;
         ] );
-      ("searchers", [ Alcotest.test_case "all searchers complete" `Quick test_searchers_agree_on_path_count ]);
+      ( "searchers",
+        [
+          Alcotest.test_case "all searchers complete" `Quick test_searchers_agree_on_path_count;
+          Alcotest.test_case "no stale-key leak" `Quick test_searcher_no_stale_key_leak;
+        ] );
       ( "hangs",
         [
           Alcotest.test_case "instruction limit" `Quick test_instruction_limit_detects_infinite_loop;

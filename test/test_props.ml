@@ -136,31 +136,31 @@ let prop_path_prefix =
 let prop_trie_matches_assoc_model =
   let gen = QCheck2.Gen.(list_size (int_range 1 40) (pair gen_path (int_bound 100))) in
   QCheck2.Test.make ~count:200 ~name:"trie add/remove/find vs assoc model" gen (fun ops ->
-      let t = Cluster.Trie.create () in
+      let t = Engine.Trie.create () in
       let model = Hashtbl.create 16 in
       List.iter
         (fun (p, v) ->
-          Cluster.Trie.add t p v;
+          Engine.Trie.add t p v;
           Hashtbl.replace model (Path.to_string p) (p, v))
         ops;
       let ok_finds =
         Hashtbl.fold
-          (fun _ (p, v) acc -> acc && Cluster.Trie.find t p = Some v)
+          (fun _ (p, v) acc -> acc && Engine.Trie.find t p = Some v)
           model true
       in
-      let ok_size = Cluster.Trie.size t = Hashtbl.length model in
+      let ok_size = Engine.Trie.size t = Hashtbl.length model in
       (* remove half the keys and re-check *)
       let keys = Hashtbl.fold (fun _ (p, _) acc -> p :: acc) model [] in
       let removed = List.filteri (fun i _ -> i mod 2 = 0) keys in
       List.iter
         (fun p ->
-          assert (Cluster.Trie.remove t p);
+          assert (Engine.Trie.remove t p);
           Hashtbl.remove model (Path.to_string p))
         removed;
       let ok_after =
-        Hashtbl.fold (fun _ (p, v) acc -> acc && Cluster.Trie.find t p = Some v) model true
-        && List.for_all (fun p -> Cluster.Trie.find t p = None) removed
-        && Cluster.Trie.size t = Hashtbl.length model
+        Hashtbl.fold (fun _ (p, v) acc -> acc && Engine.Trie.find t p = Some v) model true
+        && List.for_all (fun p -> Engine.Trie.find t p = None) removed
+        && Engine.Trie.size t = Hashtbl.length model
       in
       ok_finds && ok_size && ok_after)
 
@@ -168,11 +168,11 @@ let prop_trie_random_pick_member =
   let gen = QCheck2.Gen.(list_size (int_range 1 20) (pair gen_path (int_bound 100))) in
   QCheck2.Test.make ~count:200 ~name:"trie random_pick returns a stored payload" gen
     (fun ops ->
-      let t = Cluster.Trie.create () in
-      List.iter (fun (p, v) -> Cluster.Trie.add t p v) ops;
+      let t = Engine.Trie.create () in
+      List.iter (fun (p, v) -> Engine.Trie.add t p v) ops;
       let rng = Random.State.make [| 9 |] in
-      match Cluster.Trie.random_pick rng t with
-      | None -> Cluster.Trie.size t = 0
+      match Engine.Trie.random_pick rng t with
+      | None -> Engine.Trie.size t = 0
       | Some v -> List.exists (fun (_, v') -> v = v') ops)
 
 (* --- expression substitution -------------------------------------------------------- *)
@@ -190,7 +190,7 @@ let prop_substitute_sound =
         E.add (E.mul sym_a (E.const ~width:8 (Int64.of_int other))) (E.binop E.Xor sym_a cst)
       in
       let e' = E.substitute [ (sym_a, cst) ] e in
-      let lookup id = if Some id = (match sym_a with E.Sym { id; _ } -> Some id | _ -> None) then Some (Int64.of_int c) else None in
+      let lookup id = if Some id = (match sym_a.E.node with E.Sym { id; _ } -> Some id | _ -> None) then Some (Int64.of_int c) else None in
       E.eval lookup e = E.eval lookup e' && E.syms e' = [])
 
 (* --- solver determinism ---------------------------------------------------------------- *)

@@ -13,7 +13,7 @@ let i32 v = E.const ~width:32 (Int64.of_int v)
 let sym_a = E.fresh_sym ~name:"a" 8
 let sym_b = E.fresh_sym ~name:"b" 8
 
-let sym_id = function E.Sym { id; _ } -> id | _ -> assert false
+let sym_id (e : E.t) = match e.node with E.Sym { id; _ } -> id | _ -> assert false
 
 let lookup_of_pair (va, vb) id =
   if id = sym_id sym_a then Some va else if id = sym_id sym_b then Some vb else None
@@ -131,9 +131,9 @@ let test_simplify_identities () =
   Alcotest.(check bool) "x=x is true" true (E.is_true (s (E.eq sym_a sym_a)));
   Alcotest.(check bool) "x<x is false" true (E.is_false (s (E.ult sym_a sym_a)));
   (* commutative normalization puts the constant on the right *)
-  match s (E.add (i8 1) sym_a) with
-  | E.Binop (E.Add, E.Sym _, E.Const _) -> ()
-  | other -> Alcotest.failf "expected (add sym const), got %s" (E.to_string other)
+  match (s (E.add (i8 1) sym_a)).E.node with
+  | E.Binop (E.Add, { node = E.Sym _; _ }, { node = E.Const _; _ }) -> ()
+  | _ -> Alcotest.failf "expected (add sym const), got %s" (E.to_string (s (E.add (i8 1) sym_a)))
 
 let prop_simplify_preserves_semantics =
   QCheck2.Test.make ~count:500 ~name:"simplify preserves eval"
@@ -343,6 +343,109 @@ let test_model_extraction () =
     Alcotest.(check int64) "a = 42" 42L (Smt.Model.eval m sym_a);
     Alcotest.(check int64) "b = 58" 58L (Smt.Model.eval m sym_b)
 
+(* --- hash consing ------------------------------------------------------------- *)
+
+let test_hashcons_sharing () =
+  let e1 = E.add (E.mul sym_a (i8 3)) sym_b in
+  let e2 = E.add (E.mul sym_a (i8 3)) sym_b in
+  Alcotest.(check bool) "identical constructions share one node" true (e1 == e2);
+  Alcotest.(check int) "ids equal" (E.id e1) (E.id e2);
+  Alcotest.(check bool) "equal is physical" true (E.equal e1 e2);
+  Alcotest.(check int) "compare by id" 0 (E.compare e1 e2);
+  Alcotest.(check int) "structural compare agrees" 0 (E.compare_structural e1 e2);
+  let st = E.hashcons_stats () in
+  Alcotest.(check bool) "table populated" true (st.E.table_size > 0);
+  Alcotest.(check bool) "sharing recorded as hits" true (st.E.hits > 0);
+  (* widths and symbol sets come from the node, not a traversal *)
+  Alcotest.(check int) "cached width" 8 (E.width e1);
+  Alcotest.(check int) "two symbols" 2 (E.Iset.cardinal (E.sym_set e1))
+
+let test_simplify_memo () =
+  let e = E.add (E.mul sym_a (i8 2)) (E.sub sym_b sym_b) in
+  ignore (Smt.Simplify.simplify e);
+  Smt.Simplify.reset_stats ();
+  let r1 = Smt.Simplify.simplify e in
+  let st = Smt.Simplify.stats () in
+  Alcotest.(check bool) "repeat simplify is a memo hit" true
+    (st.Smt.Simplify.memo_hits >= 1 && st.Smt.Simplify.visits = 0);
+  let r2 = Smt.Simplify.simplify r1 in
+  Alcotest.(check bool) "simplify is idempotent (shared node)" true (r1 == r2)
+
+(* --- solver stats reconciliation ---------------------------------------------- *)
+
+let tier_sum st =
+  st.Smt.Solver.trivial + st.Smt.Solver.range_hits + st.Smt.Solver.cache_hits
+  + st.Smt.Solver.cex_hits + st.Smt.Solver.sat_calls
+
+(* Regression: a trivially-true condition must count as one query answered
+   by the [trivial] tier — in every entry point. *)
+let test_trivial_true_counted () =
+  let check_entry name run =
+    let solver = Smt.Solver.create () in
+    run solver;
+    let st = Smt.Solver.stats solver in
+    Alcotest.(check bool)
+      (name ^ ": trivial tier counted")
+      true
+      (st.Smt.Solver.queries >= 1 && st.Smt.Solver.trivial >= 1
+      && tier_sum st = st.Smt.Solver.queries)
+  in
+  let taut = E.eq sym_a sym_a in
+  let pc = [ E.ult sym_a (i8 10) ] in
+  check_entry "branch_feasible" (fun s ->
+      Alcotest.(check bool) "feasible" true (Smt.Solver.branch_feasible s ~pc taut));
+  check_entry "branch_feasible_norm" (fun s ->
+      Alcotest.(check bool) "feasible" true
+        (Smt.Solver.branch_feasible_norm s ~npc:[ Smt.Simplify.simplify (List.hd pc) ] taut));
+  check_entry "fork_feasible" (fun s ->
+      let t, f = Smt.Solver.fork_feasible s ~npc:[ Smt.Simplify.simplify (List.hd pc) ] taut in
+      Alcotest.(check (pair bool bool)) "true branch only" (true, false) (t, f));
+  check_entry "must_be_true" (fun s ->
+      Alcotest.(check bool) "valid" true (Smt.Solver.must_be_true s ~pc taut))
+
+(* Invariant: every answered query lands in exactly one tier, across all
+   entry points, on randomized query mixes. *)
+let prop_stats_reconcile =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 1 20) (pair (int_bound 5) gen_bool_expr))
+  in
+  QCheck2.Test.make ~count:100 ~name:"trivial+range+cache+cex+sat = queries" gen
+    (fun ops ->
+      let solver = Smt.Solver.create () in
+      let pc = [ E.ult sym_a (i8 200) ] in
+      let npc = List.map Smt.Simplify.simplify pc in
+      List.iter
+        (fun (op, c) ->
+          match op with
+          | 0 -> ignore (Smt.Solver.check solver (c :: pc))
+          | 1 -> ignore (Smt.Solver.branch_feasible solver ~pc c)
+          | 2 -> ignore (Smt.Solver.must_be_true solver ~pc c)
+          | 3 -> ignore (Smt.Solver.check_deterministic solver (c :: pc))
+          | 4 -> ignore (Smt.Solver.branch_feasible_norm solver ~npc c)
+          | _ -> ignore (Smt.Solver.fork_feasible solver ~npc c))
+        ops;
+      let st = Smt.Solver.stats solver in
+      st.Smt.Solver.queries > 0 && tier_sum st = st.Smt.Solver.queries)
+
+(* The fused fork entry point answers exactly what two independent
+   branch_feasible calls would. *)
+let prop_fork_matches_branch =
+  QCheck2.Test.make ~count:100 ~name:"fork_feasible = branch_feasible on both polarities"
+    QCheck2.Gen.(pair gen_bool_expr (int_bound 254))
+    (fun (c, bound) ->
+      let pc = [ E.ule sym_a (E.const ~width:8 (Int64.of_int bound)) ] in
+      let npc =
+        List.filter (fun e -> not (E.is_true e)) (List.map Smt.Simplify.simplify pc)
+      in
+      let s1 = Smt.Solver.create () in
+      let fused = Smt.Solver.fork_feasible s1 ~npc c in
+      let s2 = Smt.Solver.create () in
+      let plain =
+        ( Smt.Solver.branch_feasible s2 ~pc c,
+          Smt.Solver.branch_feasible s2 ~pc (E.not_ c) )
+      in
+      fused = plain)
+
 (* --- interval analysis --------------------------------------------------------- *)
 
 (* soundness: for any expression and any concrete assignment inside the
@@ -408,9 +511,11 @@ let () =
           Alcotest.test_case "extract/concat" `Quick test_extract_concat;
           Alcotest.test_case "width errors" `Quick test_width_errors;
           Alcotest.test_case "sext/zext" `Quick test_sext_zext;
+          Alcotest.test_case "hashcons sharing" `Quick test_hashcons_sharing;
         ] );
       ( "simplify",
         Alcotest.test_case "identities" `Quick test_simplify_identities
+        :: Alcotest.test_case "memoization" `Quick test_simplify_memo
         :: qsuite [ prop_simplify_preserves_semantics; prop_lower_preserves_semantics ] );
       ( "sat",
         [
@@ -430,6 +535,7 @@ let () =
           Alcotest.test_case "caches" `Quick test_cache_hits;
           Alcotest.test_case "deterministic models" `Quick test_deterministic_models;
           Alcotest.test_case "model extraction" `Quick test_model_extraction;
+          Alcotest.test_case "trivial-true tier counted" `Quick test_trivial_true_counted;
         ]
-        @ qsuite [ prop_solver_matches_bruteforce ] );
+        @ qsuite [ prop_solver_matches_bruteforce; prop_stats_reconcile; prop_fork_matches_branch ] );
     ]
