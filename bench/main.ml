@@ -112,8 +112,12 @@ let fig7 () =
       let r = cluster ~nworkers ~speed:60 program in
       let t = ticks_to_minutes r.CD.ticks in
       if nworkers = 1 then base := t;
-      Printf.printf "%8d %14.2f %10d %12d %12d   (speedup %5.1fx)\n%!" nworkers t
-        r.CD.total_paths r.CD.useful_instrs r.CD.replay_instrs (!base /. t))
+      (* degenerate runs (goal met in ~0 ticks) would print inf/nan *)
+      let speedup =
+        if !base > 1e-9 && t > 1e-9 then Printf.sprintf "%5.1fx" (!base /. t) else "  n/a"
+      in
+      Printf.printf "%8d %14.2f %10d %12d %12d   (speedup %s)\n%!" nworkers t
+        r.CD.total_paths r.CD.useful_instrs r.CD.replay_instrs speedup)
     [ 1; 2; 4; 6; 12; 24; 48 ]
 
 (* ====================================================================== *)
@@ -781,8 +785,10 @@ let obs_overhead () =
   let t_off, r_off = run None in
   let t_on, r_on = run (Some (Obs.Sink.create ())) in
   assert (r_off.CD.total_paths = r_on.CD.total_paths);
-  Printf.printf "disabled: %6.2fs   enabled: %6.2fs   overhead %+.1f%%\n" t_off t_on
-    (100.0 *. ((t_on /. t_off) -. 1.0))
+  if t_off > 1e-9 then
+    Printf.printf "disabled: %6.2fs   enabled: %6.2fs   overhead %+.1f%%\n" t_off t_on
+      (100.0 *. ((t_on /. t_off) -. 1.0))
+  else Printf.printf "disabled: %6.2fs   enabled: %6.2fs   overhead n/a\n" t_off t_on
 
 (* ====================================================================== *)
 (* Bechamel micro-benchmarks of the engine primitives                      *)
@@ -1018,6 +1024,121 @@ let bench_solver () =
   end
 
 (* ====================================================================== *)
+(* Scaling: true-multicore wall-clock speedup (the real-time counterpart  *)
+(* of Figs. 7-8, on Cluster.Parallel instead of the virtual-time driver)  *)
+(* ====================================================================== *)
+
+let bench_scaling ?(quick = false) () =
+  section "Scaling"
+    "Wall-clock time to exhaust a workload on 1..N real OCaml domains\n\
+     (Cluster.Parallel).  Expected shape on a multicore host: ~1.6x at 2\n\
+     domains, ~2.5x+ at 4.  Speedups are reported as measured; the hard\n\
+     gate is count agreement: every parallel run must finish with exactly\n\
+     the simulated driver's path and error totals (exit non-zero if not).";
+  let host_cores = Domain.recommended_domain_count () in
+  Printf.printf "host: %d recommended domain(s)%s\n" host_cores
+    (if host_cores < 4 then " -- wall-clock speedup targets need >= 4 hardware threads" else "");
+  let domain_counts = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let workloads =
+    if quick then
+      [
+        ("memcached-2pkt4", Targets.Memcached_mini.symbolic_packets ~npackets:2 ~pkt_len:4);
+        ("printf-fmt4", Targets.Printf_target.program ~fmt_len:4);
+      ]
+    else [ ("memcached-2pkt5", Lazy.force mc2_small); ("printf-fmt5", Lazy.force printf5) ]
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let check_tiers what (ss : Smt.Solver.stats) =
+    let sum =
+      ss.Smt.Solver.trivial + ss.Smt.Solver.range_hits + ss.Smt.Solver.cache_hits
+      + ss.Smt.Solver.cex_hits + ss.Smt.Solver.sat_calls
+    in
+    if sum <> ss.Smt.Solver.queries then
+      fail "%s: solver tiers sum to %d but %d queries were asked" what sum ss.Smt.Solver.queries
+  in
+  let results =
+    List.map
+      (fun (name, program) ->
+        (* the simulated driver is the deterministic reference *)
+        let sim = cluster ~nworkers:4 ~speed:200 program in
+        Printf.printf "%s: reference %d paths (%d errors)\n%!" name sim.CD.total_paths
+          sim.CD.total_errors;
+        Printf.printf "%8s %10s %10s %8s %10s %10s\n" "domains" "time [s]" "paths" "errors"
+          "transfers" "speedup";
+        let base = ref 0.0 in
+        let runs =
+          List.map
+            (fun ndomains ->
+              let make_worker i =
+                let solver = Smt.Solver.create () in
+                let cfg =
+                  Posix.Api.make_config ~solver ~max_steps:2_000_000
+                    ~nlines:program.Cvm.Program.nlines ()
+                in
+                let make_root () = Posix.Api.initial_state program ~args:[] in
+                Cluster.Worker.create ~id:i ~cfg ~make_root ~seed:42 ()
+              in
+              let cfg = Cluster.Parallel.default_config ~ndomains ~make_worker () in
+              let coverable = List.length (Cvm.Program.covered_lines program) in
+              let t0 = Unix.gettimeofday () in
+              let r = Cluster.Parallel.run ~coverable_lines:coverable cfg in
+              let t = Unix.gettimeofday () -. t0 in
+              if ndomains = 1 then base := t;
+              let speedup = if !base > 1e-9 && t > 1e-9 then !base /. t else 1.0 in
+              Printf.printf "%8d %10.3f %10d %8d %10d %9.2fx\n%!" ndomains t
+                r.Cluster.Parallel.total_paths r.Cluster.Parallel.total_errors
+                r.Cluster.Parallel.transfers speedup;
+              if r.Cluster.Parallel.total_paths <> sim.CD.total_paths then
+                fail "%s @ %d domains: %d paths, simulated found %d" name ndomains
+                  r.Cluster.Parallel.total_paths sim.CD.total_paths;
+              if r.Cluster.Parallel.total_errors <> sim.CD.total_errors then
+                fail "%s @ %d domains: %d errors, simulated found %d" name ndomains
+                  r.Cluster.Parallel.total_errors sim.CD.total_errors;
+              check_tiers (Printf.sprintf "%s @ %d domains" name ndomains)
+                r.Cluster.Parallel.solver_stats;
+              if r.Cluster.Parallel.jobs_sent <> r.Cluster.Parallel.jobs_received then
+                fail "%s @ %d domains: %d jobs sent but %d received" name ndomains
+                  r.Cluster.Parallel.jobs_sent r.Cluster.Parallel.jobs_received;
+              (ndomains, t, speedup, r))
+            domain_counts
+        in
+        (name, sim, runs))
+      workloads
+  in
+  let oc = open_out "BENCH_scaling.json" in
+  Printf.fprintf oc "{ \"bench\": \"scaling\", \"host_cores\": %d, \"quick\": %b,\n" host_cores
+    quick;
+  Printf.fprintf oc "  \"speedup_target_2\": 1.6, \"speedup_target_4\": 2.5,\n";
+  Printf.fprintf oc "  \"workloads\": [";
+  List.iteri
+    (fun i (name, sim, runs) ->
+      Printf.fprintf oc "%s\n  { \"name\": %S, \"simulated_paths\": %d, \"simulated_errors\": %d,\n"
+        (if i = 0 then "" else ",")
+        name sim.CD.total_paths sim.CD.total_errors;
+      Printf.fprintf oc "    \"runs\": [";
+      List.iteri
+        (fun j (nd, t, speedup, (r : Cluster.Parallel.result)) ->
+          Printf.fprintf oc
+            "%s\n    { \"ndomains\": %d, \"seconds\": %.4f, \"speedup\": %.3f, \"paths\": %d, \
+             \"errors\": %d, \"transfers\": %d, \"steals\": %d, \"useful_instrs\": %d, \
+             \"replay_instrs\": %d }"
+            (if j = 0 then "" else ",")
+            nd t speedup r.Cluster.Parallel.total_paths r.Cluster.Parallel.total_errors
+            r.Cluster.Parallel.transfers r.Cluster.Parallel.steals
+            r.Cluster.Parallel.useful_instrs r.Cluster.Parallel.replay_instrs)
+        runs;
+      Printf.fprintf oc " ] }")
+    results;
+  Printf.fprintf oc " ],\n  \"ok\": %b }\n" (!failures = []);
+  close_out oc;
+  Printf.printf "wrote BENCH_scaling.json\n";
+  if !failures <> [] then begin
+    List.iter (fun m -> Printf.printf "COUNT DISAGREEMENT: %s\n" m) (List.rev !failures);
+    exit 1
+  end
+
+(* ====================================================================== *)
 
 let experiments =
   [
@@ -1040,6 +1161,8 @@ let experiments =
     ("ablation-join", ablation_join);
     ("faults", bench_faults);
     ("solver", bench_solver);
+    ("scaling", fun () -> bench_scaling ());
+    ("scaling-quick", fun () -> bench_scaling ~quick:true ());
     ("smoke", smoke);
     ("obs-overhead", obs_overhead);
     ("micro", micro);

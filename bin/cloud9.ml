@@ -44,6 +44,15 @@ let variant_arg =
 let workers_arg =
   Arg.(value & opt int 1 & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker count (1 = local engine)")
 
+let parallel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "p"; "parallel" ] ~docv:"N"
+        ~doc:
+          "Run on $(docv) real OCaml domains (true multicore) instead of the virtual-time \
+           simulation; explores to exhaustion")
+
 let strategy_arg =
   Arg.(
     value
@@ -185,9 +194,25 @@ let run_cluster ?obs target nworkers speed goal max_steps crashes rejoin msg_los
       r.Cluster.Driver.crashes r.Cluster.Driver.recovered_jobs r.Cluster.Driver.retransmits
       r.Cluster.Driver.recovery_replay_instrs
 
+let run_parallel ?obs target ndomains max_steps =
+  let options = { C.default_cluster_options with C.cworker_max_steps = Some max_steps } in
+  let r = C.run_parallel ?obs ~ndomains ~options target in
+  Printf.printf "parallel: %d domains, %d paths (%d errors), %.1f%% coverage\n"
+    r.Cluster.Parallel.ndomains r.Cluster.Parallel.total_paths r.Cluster.Parallel.total_errors
+    (100.0 *. r.Cluster.Parallel.final_coverage);
+  Printf.printf
+    "work: %d useful + %d replay instructions, %d jobs transferred (%d steals), %d broken \
+     replays\n"
+    r.Cluster.Parallel.useful_instrs r.Cluster.Parallel.replay_instrs
+    r.Cluster.Parallel.transfers r.Cluster.Parallel.steals r.Cluster.Parallel.broken_replays;
+  let st = r.Cluster.Parallel.solver_stats in
+  Printf.printf "solver: %d queries, %d SAT calls, %d cache hits, %d model-probe hits\n"
+    st.Smt.Solver.queries st.Smt.Solver.sat_calls st.Smt.Solver.cache_hits
+    st.Smt.Solver.cex_hits
+
 let run_cmd =
-  let run name variant workers strategy max_steps max_paths coverage tests speed crashes
-      rejoin msg_loss trace metrics =
+  let run name variant workers parallel strategy max_steps max_paths coverage tests speed
+      crashes rejoin msg_loss trace metrics =
     match Core.Registry.resolve ~name ~variant with
     | None ->
       Printf.eprintf "unknown target %s%s (try: cloud9 list)\n" name
@@ -197,6 +222,9 @@ let run_cmd =
       let obs =
         if trace <> None || metrics <> None then Some (Obs.Sink.create ()) else None
       in
+      (match parallel with
+      | Some ndomains when ndomains >= 1 -> run_parallel ?obs target ndomains max_steps
+      | _ ->
       if workers <= 1 then begin
         let goal =
           match (max_paths, coverage) with
@@ -220,14 +248,14 @@ let run_cmd =
           | None -> Cluster.Driver.Exhaust
         in
         run_cluster ?obs target workers speed goal max_steps crashes rejoin msg_loss
-      end;
+      end);
       write_obs_artifacts obs ~trace ~metrics
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a symbolic test on a target")
     Term.(
-      const run $ target_arg $ variant_arg $ workers_arg $ strategy_arg $ max_steps_arg
-      $ max_paths_arg $ coverage_arg $ tests_arg $ speed_arg $ crash_arg $ rejoin_arg
-      $ msg_loss_arg $ trace_arg $ metrics_arg)
+      const run $ target_arg $ variant_arg $ workers_arg $ parallel_arg $ strategy_arg
+      $ max_steps_arg $ max_paths_arg $ coverage_arg $ tests_arg $ speed_arg $ crash_arg
+      $ rejoin_arg $ msg_loss_arg $ trace_arg $ metrics_arg)
 
 let report_cmd =
   let metrics_file_arg =

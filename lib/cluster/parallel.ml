@@ -1,0 +1,366 @@
+(* True-multicore cluster runtime: one OCaml domain per worker.
+
+   The simulated [Driver] remains the deterministic reference; this
+   runtime trades its virtual clock for real [Domain.t]s so wall-clock
+   scaling (paper Figs. 7-8) is measurable.  The moving parts:
+
+   - Each worker domain owns a real [Worker.t] (created *inside* the
+     domain by [make_worker], so domain-local solver state lands on the
+     right domain) and a bounded mutex+condition mailbox.  Worker-bound
+     messages: job batches, transfer (steal) requests, merged-coverage
+     feedback, and stop.
+
+   - The coordinator runs on the calling domain.  It owns a mailbox of
+     status reports, feeds them to the existing [Balancer] (queue-length
+     mean/sigma classification) and forwards the resulting transfer
+     requests to source workers, which ship path-encoded jobs directly
+     to the destination's mailbox.
+
+   - Quiescence: a worker that runs out of work sets its idle flag
+     *while holding its own mailbox lock* (so no job can slip in
+     unseen), sends a final status report, and sleeps on its condition
+     variable.  A job batch is counted in the atomic [in_flight] credit
+     *before* it is enqueued and released only *after* the receiver has
+     imported it (having first cleared its idle flag), so the predicate
+     "all idle flags set and in_flight = 0" can never be true while work
+     exists anywhere: a worker holding work keeps its flag clear, and
+     work in transit keeps the credit positive.  Every flag-set is
+     followed by a status message, so the coordinator may block on its
+     mailbox and still observe quiescence.
+
+   Deadlock-freedom: workers block only on (a) their own empty mailbox
+   when idle and (b) pushing into the coordinator's mailbox; the
+   coordinator never blocks pushing to workers (steal and coverage
+   messages are dropped when a mailbox is full — a lossy control plane,
+   like the paper's UDP status channel; dropped steals are re-issued by
+   a later rebalance round).  Job batches are pushed blocking, but at
+   most one batch exists per steal request and steals are issued only by
+   the coordinator, so worker mailboxes stay far below capacity. *)
+
+module Executor = Engine.Executor
+
+(* ---- mailbox ------------------------------------------------------ *)
+
+module Mailbox = struct
+  type 'a t = {
+    lock : Mutex.t;
+    nonempty : Condition.t;
+    nonfull : Condition.t;
+    q : 'a Queue.t;
+    cap : int;
+  }
+
+  let create ~cap () =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      nonfull = Condition.create ();
+      q = Queue.create ();
+      cap;
+    }
+
+  let push t x =
+    Mutex.lock t.lock;
+    while Queue.length t.q >= t.cap do
+      Condition.wait t.nonfull t.lock
+    done;
+    Queue.add x t.q;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.lock
+
+  (* Non-blocking push; [false] when the mailbox is full. *)
+  let try_push t x =
+    Mutex.lock t.lock;
+    let ok = Queue.length t.q < t.cap in
+    if ok then begin
+      Queue.add x t.q;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.lock;
+    ok
+
+  let drain_locked t =
+    let xs = ref [] in
+    while not (Queue.is_empty t.q) do
+      xs := Queue.pop t.q :: !xs
+    done;
+    Condition.broadcast t.nonfull;
+    List.rev !xs
+
+  (* Non-blocking drain: everything queued right now, oldest first. *)
+  let drain t =
+    Mutex.lock t.lock;
+    let xs = drain_locked t in
+    Mutex.unlock t.lock;
+    xs
+
+  (* Blocking drain: waits until at least one message is queued. *)
+  let drain_wait t =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.q do
+      Condition.wait t.nonempty t.lock
+    done;
+    let xs = drain_locked t in
+    Mutex.unlock t.lock;
+    xs
+end
+
+(* ---- messages ----------------------------------------------------- *)
+
+type wmsg =
+  | Jobs of Job.t list  (** transferred candidates, counted in [in_flight] *)
+  | Steal of { dst : int; count : int }  (** balancer transfer request *)
+  | Coverage of Bytes.t  (** merged global coverage overlay *)
+  | Stop
+
+type cmsg =
+  | Status of { worker : int; queue_len : int; idle : bool; coverage : Bytes.t }
+
+(* ---- configuration ------------------------------------------------ *)
+
+type 'env config = {
+  ndomains : int;
+  make_worker : int -> 'env Worker.t;
+  slice : int;
+  status_every : int;
+  mailbox_capacity : int;
+}
+
+let default_config ~ndomains ~make_worker () =
+  { ndomains; make_worker; slice = 2_000; status_every = 4; mailbox_capacity = 4_096 }
+
+type result = {
+  ndomains : int;
+  total_paths : int;
+  total_errors : int;
+  useful_instrs : int;
+  replay_instrs : int;
+  broken_replays : int;
+  transfers : int;
+  steals : int;
+  status_reports : int;
+  jobs_sent : int;
+  jobs_received : int;
+  coverage_vector : Bytes.t;
+  final_coverage : float;
+  per_worker_useful : (int * int) list;
+  solver_stats : Smt.Solver.stats;
+  per_worker_solver : (int * Smt.Solver.stats) list;
+}
+
+(* What a worker domain returns through [Domain.join]. *)
+type summary = {
+  sm_id : int;
+  sm_paths : int;
+  sm_errors : int;
+  sm_useful : int;
+  sm_replay : int;
+  sm_broken : int;
+  sm_sent : int;
+  sm_received : int;
+  sm_solver : Smt.Solver.stats;
+  sm_coverage : Bytes.t;
+}
+
+type shared = {
+  inboxes : wmsg Mailbox.t array;
+  coord : cmsg Mailbox.t;
+  idle_flags : bool Atomic.t array;
+  in_flight : int Atomic.t;  (* job batches enqueued but not yet imported *)
+  transfers : int Atomic.t;  (* jobs moved between workers *)
+}
+
+(* ---- worker domain ------------------------------------------------ *)
+
+let worker_body sh (cfg : 'env config) i =
+  let w = cfg.make_worker i in
+  if i = 0 then Worker.seed_root w;
+  let inbox = sh.inboxes.(i) in
+  let stop = ref false in
+  let send_status ~idle =
+    Mailbox.push sh.coord
+      (Status
+         {
+           worker = i;
+           queue_len = Worker.queue_length w;
+           idle;
+           coverage = Bytes.copy w.Worker.cfg.Executor.coverage;
+         })
+  in
+  let process = function
+    | Jobs jobs ->
+      Worker.receive_jobs w jobs;
+      Atomic.decr sh.in_flight
+    | Steal { dst; count } ->
+      let jobs = Worker.transfer_out w ~count in
+      if jobs <> [] then begin
+        (* Credit before enqueue: the batch is visible to the quiescence
+           predicate before it can be consumed. *)
+        Atomic.incr sh.in_flight;
+        ignore (Atomic.fetch_and_add sh.transfers (List.length jobs));
+        Mailbox.push sh.inboxes.(dst) (Jobs jobs)
+      end
+    | Coverage global -> ignore (Executor.merge_coverage w.Worker.cfg global)
+    | Stop -> stop := true
+  in
+  let slices = ref 0 in
+  while not !stop do
+    if Worker.is_idle w then begin
+      (* Declare idleness with the mailbox lock held, so a concurrent
+         push either lands before the emptiness check (we consume it
+         without sleeping) or signals us awake. *)
+      Mutex.lock inbox.Mailbox.lock;
+      if Queue.is_empty inbox.Mailbox.q then begin
+        Atomic.set sh.idle_flags.(i) true;
+        Mutex.unlock inbox.Mailbox.lock;
+        send_status ~idle:true;
+        Mutex.lock inbox.Mailbox.lock;
+        while Queue.is_empty inbox.Mailbox.q do
+          Condition.wait inbox.Mailbox.nonempty inbox.Mailbox.lock
+        done
+      end;
+      (* Clear the flag before importing, so flag-clear precedes the
+         in_flight decrement in [process]. *)
+      Atomic.set sh.idle_flags.(i) false;
+      let msgs = Mailbox.drain_locked inbox in
+      Mutex.unlock inbox.Mailbox.lock;
+      List.iter process msgs
+    end
+    else begin
+      List.iter process (Mailbox.drain inbox);
+      if not !stop && not (Worker.is_idle w) then begin
+        ignore (Worker.execute w ~budget:cfg.slice);
+        incr slices;
+        if !slices mod cfg.status_every = 0 then send_status ~idle:false
+      end
+    end
+  done;
+  (* Flush this domain's buffered observability view before exiting. *)
+  Option.iter Obs.Sink.flush w.Worker.cfg.Executor.obs;
+  let paths, errors, useful, replay = Worker.stats w in
+  {
+    sm_id = i;
+    sm_paths = paths;
+    sm_errors = errors;
+    sm_useful = useful;
+    sm_replay = replay;
+    sm_broken = w.Worker.broken_replays;
+    sm_sent = w.Worker.jobs_sent;
+    sm_received = w.Worker.jobs_received;
+    sm_solver = Smt.Solver.copy_stats w.Worker.cfg.Executor.solver;
+    sm_coverage = Bytes.copy w.Worker.cfg.Executor.coverage;
+  }
+
+(* ---- coordinator -------------------------------------------------- *)
+
+let popcount_bytes bv =
+  let n = ref 0 in
+  Bytes.iter
+    (fun c ->
+      let b = ref (Char.code c) in
+      while !b <> 0 do
+        b := !b land (!b - 1);
+        incr n
+      done)
+    bv;
+  !n
+
+let run ~coverable_lines (cfg : 'env config) =
+  if cfg.ndomains < 1 then invalid_arg "Parallel.run: ndomains must be >= 1";
+  let n = cfg.ndomains in
+  let sh =
+    {
+      inboxes = Array.init n (fun _ -> Mailbox.create ~cap:cfg.mailbox_capacity ());
+      coord = Mailbox.create ~cap:(cfg.mailbox_capacity * n) ();
+      idle_flags = Array.init n (fun _ -> Atomic.make false);
+      in_flight = Atomic.make 0;
+      transfers = Atomic.make 0;
+    }
+  in
+  let domains = Array.init n (fun i -> Domain.spawn (fun () -> worker_body sh cfg i)) in
+  (* The balancer needs the coverage-vector width, which only a worker
+     knows; create it from the first status report. *)
+  let balancer = ref None in
+  let steals = ref 0 in
+  let status_reports = ref 0 in
+  let quiescent () =
+    (* Order matters: read the credit first.  If a batch was imported
+       after this read, the importer cleared its flag beforehand, so a
+       later flag read cannot show it idle unless it genuinely drained
+       the work and re-declared idleness. *)
+    Atomic.get sh.in_flight = 0
+    && Array.for_all Atomic.get sh.idle_flags
+    && Atomic.get sh.in_flight = 0
+  in
+  let handle (Status { worker; queue_len; idle; coverage }) =
+    incr status_reports;
+    let b =
+      match !balancer with
+      | Some b -> b
+      | None ->
+        let b = Balancer.create ~coverage_bytes:(Bytes.length coverage) () in
+        balancer := Some b;
+        b
+    in
+    let global = Balancer.report b ~worker ~queue_len ~coverage in
+    (* Coverage feedback only to busy workers: echoing it to an idle
+       reporter would wake it for nothing, and the wake-report cycle
+       would never quiesce. *)
+    if not idle then ignore (Mailbox.try_push sh.inboxes.(worker) (Coverage global))
+  in
+  let rec loop () =
+    if quiescent () then ()
+    else begin
+      List.iter handle (Mailbox.drain_wait sh.coord);
+      (match !balancer with
+      | None -> ()
+      | Some b ->
+        List.iter
+          (fun { Balancer.src; dst; count } ->
+            if src < n && dst < n then begin
+              incr steals;
+              ignore (Mailbox.try_push sh.inboxes.(src) (Steal { dst; count }))
+            end)
+          (Balancer.rebalance b));
+      loop ()
+    end
+  in
+  loop ();
+  Array.iter (fun inbox -> Mailbox.push inbox Stop) sh.inboxes;
+  let summaries = Array.map Domain.join domains in
+  (* Drain any status messages that raced with the stop broadcast. *)
+  List.iter (fun (Status _) -> incr status_reports) (Mailbox.drain sh.coord);
+  let agg = Smt.Solver.zero_stats () in
+  Array.iter (fun s -> Smt.Solver.accum_stats agg s.sm_solver) summaries;
+  let coverage_vector =
+    let bv = Bytes.copy summaries.(0).sm_coverage in
+    Array.iter
+      (fun s ->
+        Bytes.iteri
+          (fun k c -> Bytes.set bv k (Char.chr (Char.code (Bytes.get bv k) lor Char.code c)))
+          s.sm_coverage)
+      summaries;
+    bv
+  in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 summaries in
+  {
+    ndomains = n;
+    total_paths = sum (fun s -> s.sm_paths);
+    total_errors = sum (fun s -> s.sm_errors);
+    useful_instrs = sum (fun s -> s.sm_useful);
+    replay_instrs = sum (fun s -> s.sm_replay);
+    broken_replays = sum (fun s -> s.sm_broken);
+    transfers = Atomic.get sh.transfers;
+    steals = !steals;
+    status_reports = !status_reports;
+    jobs_sent = sum (fun s -> s.sm_sent);
+    jobs_received = sum (fun s -> s.sm_received);
+    coverage_vector;
+    final_coverage =
+      (if coverable_lines <= 0 then 0.0
+       else float_of_int (popcount_bytes coverage_vector) /. float_of_int coverable_lines);
+    per_worker_useful = Array.to_list (Array.map (fun s -> (s.sm_id, s.sm_useful)) summaries);
+    solver_stats = agg;
+    per_worker_solver =
+      Array.to_list (Array.map (fun s -> (s.sm_id, s.sm_solver)) summaries);
+  }

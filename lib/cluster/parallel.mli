@@ -1,0 +1,57 @@
+(** True-multicore cluster runtime: one OCaml domain per worker.
+
+    Where {!Driver} simulates a Cloud9 deployment in virtual time (the
+    deterministic reference), this runtime actually runs each
+    {!Worker.t} — a real {!Engine.Executor} instance — on its own
+    [Domain.t] and measures wall-clock scaling, the paper's headline
+    result (Figs. 7–8).
+
+    Workers exchange path-encoded jobs, transfer requests, and
+    queue-length status reports through mutex+condition-protected
+    bounded mailboxes.  The coordinator (the calling domain) feeds
+    status reports to the existing {!Balancer}, forwards its transfer
+    requests, and detects global quiescence: every worker idle with an
+    empty mailbox and no job batches in flight (an atomic credit
+    counter, incremented before a batch is enqueued and decremented
+    after the receiver imports it, makes the check race-free).
+
+    The runtime explores exhaustively ({!Driver.Exhaust}); because
+    per-path execution is deterministic and transferred subtrees are
+    fenced at the source, a parallel run completes with exactly the
+    simulated (and single-engine) path and error totals, whatever the
+    interleaving — the differential gate [bench scaling] enforces. *)
+
+type 'env config = {
+  ndomains : int;  (** worker domains (the coordinator runs on the caller) *)
+  make_worker : int -> 'env Worker.t;
+      (** called {e inside} worker [i]'s domain, so domain-local solver
+          state (simplify memo, caches) is created where it is used *)
+  slice : int;  (** instructions executed between mailbox polls *)
+  status_every : int;  (** slices between status reports while busy *)
+  mailbox_capacity : int;  (** bound on each mailbox, in messages *)
+}
+
+val default_config : ndomains:int -> make_worker:(int -> 'env Worker.t) -> unit -> 'env config
+
+type result = {
+  ndomains : int;
+  total_paths : int;
+  total_errors : int;
+  useful_instrs : int;
+  replay_instrs : int;
+  broken_replays : int;
+  transfers : int;  (** jobs moved between workers *)
+  steals : int;  (** transfer requests issued by the balancer *)
+  status_reports : int;
+  jobs_sent : int;
+  jobs_received : int;
+  coverage_vector : Bytes.t;  (** union of the workers' line bit vectors *)
+  final_coverage : float;  (** covered fraction of [coverable_lines] *)
+  per_worker_useful : (int * int) list;
+  solver_stats : Smt.Solver.stats;  (** aggregate over all workers *)
+  per_worker_solver : (int * Smt.Solver.stats) list;
+}
+
+(** Run to exhaustion on [ndomains] worker domains.  [coverable_lines]
+    is the denominator of [final_coverage]. *)
+val run : coverable_lines:int -> 'env config -> result

@@ -192,6 +192,32 @@ let run_cluster ?obs ?(options = default_cluster_options) (t : target) =
   in
   Cluster.Driver.run ?obs cfg
 
+(* --- true-multicore runs ------------------------------------------------------------ *)
+
+(* Run the target on [ndomains] real domains (Cluster.Parallel).  The
+   worker factory runs *inside* each spawned domain, so the solver, its
+   caches, and the simplify memo are domain-local by construction; the
+   observability sink is a buffered per-domain view flushed through the
+   core's lock.  Simulation-only options (speed, latency, faults, the
+   shared-allocator ablation) do not apply here — only the engine knobs
+   [cworker_max_steps] and [cseed] are read. *)
+let run_parallel ?obs ?(ndomains = 2) ?(options = default_cluster_options) (t : target) =
+  let opts = options in
+  let make_worker i =
+    let obs = Option.map (fun s -> Obs.Sink.buffered s i) obs in
+    let solver = Smt.Solver.create ?obs () in
+    let cfg =
+      Posix.Api.make_config ~solver ?obs ?max_steps:opts.cworker_max_steps
+        ~nlines:t.program.Cvm.Program.nlines ()
+    in
+    let make_root () = Posix.Api.initial_state t.program ~args:[] in
+    Cluster.Worker.create ~id:i ~cfg ~make_root ~seed:opts.cseed ()
+  in
+  let cfg = Cluster.Parallel.default_config ~ndomains ~make_worker () in
+  Cluster.Parallel.run
+    ~coverable_lines:(List.length (Cvm.Program.covered_lines t.program))
+    cfg
+
 (* --- reporting ---------------------------------------------------------------------- *)
 
 let pp_report fmt (r : report) =

@@ -80,6 +80,17 @@ val default_cluster_options : cluster_options
     traced alongside engine and solver activity. *)
 val run_cluster : ?obs:Obs.Sink.t -> ?options:cluster_options -> target -> Cluster.Driver.result
 
+(** Run the target on [ndomains] real OCaml domains ({!Cluster.Parallel})
+    — true multicore, for wall-clock scaling measurements.  Worker
+    construction happens inside each spawned domain so solver caches and
+    the simplify memo are domain-local; [obs], when given, is exposed to
+    each domain as a buffered view ({!Obs.Sink.buffered}) flushed before
+    the domain exits.  Only [cworker_max_steps] and [cseed] are read from
+    [options]; the simulation knobs (speed, latency, faults, the
+    shared-allocator ablation) do not apply. *)
+val run_parallel :
+  ?obs:Obs.Sink.t -> ?ndomains:int -> ?options:cluster_options -> target -> Cluster.Parallel.result
+
 val pp_report : Format.formatter -> report -> unit
 
 (** The collected test cases whose termination is an error. *)

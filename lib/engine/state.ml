@@ -231,7 +231,6 @@ let make_frame (f : Program.func) ~frame_base ~args ~ret_reg ~ret_block ~ret_ind
       (0, Imap.empty) args
     |> snd
   in
-  ignore f;
   { fname = f.Program.name; regs; frame_base; ret_reg; ret_block; ret_index }
 
 (* Initial state: globals allocated in process 0's space, one thread

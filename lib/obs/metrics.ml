@@ -99,6 +99,25 @@ let observe h v =
   h.hsum <- h.hsum +. v;
   h.hcount <- h.hcount + 1
 
+(* Merge [src]'s instruments into [into]: counters and histogram buckets
+   add, gauges take [src]'s sample.  Instruments missing from [into] are
+   registered on the fly (in [src]'s registration order), so a private
+   per-domain registry folds losslessly into the shared one. *)
+let merge_into ~into src =
+  List.iter
+    (fun (name, labels, instr) ->
+      match instr with
+      | Counter c -> add (counter into ~labels name) c.c
+      | Gauge g -> set (gauge into ~labels name) g.g
+      | Histogram h ->
+        let dh = histogram into ~labels ~buckets:h.bounds name in
+        if Array.length dh.counts = Array.length h.counts then begin
+          Array.iteri (fun i c -> dh.counts.(i) <- dh.counts.(i) + c) h.counts;
+          dh.hsum <- dh.hsum +. h.hsum;
+          dh.hcount <- dh.hcount + h.hcount
+        end)
+    (List.rev src.order)
+
 (* --- snapshots --------------------------------------------------------- *)
 
 type value =

@@ -33,6 +33,11 @@ val set : gauge -> float -> unit
 val gauge_value : gauge -> float
 val observe : histogram -> float -> unit
 
+(** Fold [src] into [into]: counters and histogram buckets add, gauges
+    take [src]'s value, missing instruments are registered on the fly.
+    Used to flush a per-domain registry into the shared one. *)
+val merge_into : into:t -> t -> unit
+
 type value =
   | Vcounter of int
   | Vgauge of float

@@ -11,9 +11,39 @@ type core = {
   trace : Trace.t;
   timeline : Timeline.t;
   mutable now : int;
+  lock : Mutex.t;  (* serializes buffered-view flushes into the core *)
 }
 
-type t = { core : core; wid : int }
+(* A buffered view's domain-private staging area: events and timeline
+   samples accumulate here (with a private metrics registry and clock)
+   and reach the shared core only in [flush], under [core.lock].  The
+   hot path of a worker domain therefore never touches shared state. *)
+type pending =
+  | P_event of { tick : int; worker : int; ev : Event.t }
+  | P_sample of {
+      tick : int;
+      worker : int;
+      useful : int;
+      replay : int;
+      idle : int;
+      depth : int;
+      queries : int;
+      sat_calls : int;
+    }
+
+type buf = {
+  mutable items : pending list;  (* newest first *)
+  mutable nitems : int;
+  bmetrics : Metrics.t;
+  mutable bnow : int;
+  mutable merged : bool;  (* metrics already folded into the core *)
+}
+
+type t = { core : core; wid : int; buf : buf option }
+
+(* Auto-flush threshold: bounds a buffered view's memory while amortizing
+   the lock over many events. *)
+let buf_cap = 8192
 
 let create ?trace_capacity ?bucket_ticks () =
   let core =
@@ -22,25 +52,87 @@ let create ?trace_capacity ?bucket_ticks () =
       trace = Trace.create ?capacity:trace_capacity ();
       timeline = Timeline.create ?bucket_ticks ();
       now = 0;
+      lock = Mutex.create ();
     }
   in
-  { core; wid = Event.lb }
+  { core; wid = Event.lb; buf = None }
 
-let for_worker t wid = { core = t.core; wid }
+(* Re-scoping preserves the buffer: views derived from a buffered view
+   stage through the same domain-private buffer. *)
+let for_worker t wid = { t with wid }
+
+let buffered t wid =
+  {
+    core = t.core;
+    wid;
+    buf = Some { items = []; nitems = 0; bmetrics = Metrics.create (); bnow = 0; merged = false };
+  }
+
+let is_buffered t = t.buf <> None
 
 let worker t = t.wid
-let set_now t tick = t.core.now <- tick
-let now t = t.core.now
 
-let metrics t = t.core.metrics
+let set_now t tick = match t.buf with Some b -> b.bnow <- tick | None -> t.core.now <- tick
+let now t = match t.buf with Some b -> b.bnow | None -> t.core.now
+
+let metrics t = match t.buf with Some b -> b.bmetrics | None -> t.core.metrics
 let trace t = t.core.trace
 let timeline t = t.core.timeline
 
-let event t ev = Trace.record t.core.trace ~tick:t.core.now ~worker:t.wid ev
+(* Drain a buffer's staged records into the core, oldest first.  The
+   private metrics registry is folded in exactly once (its handles stay
+   live in the owning domain, so later increments would double-count if
+   merged again); [flush] is meant to be called when the owning domain is
+   done, with threshold flushes covering only events and samples. *)
+let flush_items core b =
+  let items = List.rev b.items in
+  b.items <- [];
+  b.nitems <- 0;
+  Mutex.lock core.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock core.lock)
+    (fun () ->
+      List.iter
+        (function
+          | P_event { tick; worker; ev } -> Trace.record core.trace ~tick ~worker ev
+          | P_sample { tick; worker; useful; replay; idle; depth; queries; sat_calls } ->
+            Timeline.observe core.timeline ~tick ~worker ~useful ~replay ~idle ~depth ~queries
+              ~sat_calls)
+        items)
+
+let flush t =
+  match t.buf with
+  | None -> ()
+  | Some b ->
+    flush_items t.core b;
+    if not b.merged then begin
+      b.merged <- true;
+      Mutex.lock t.core.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.core.lock)
+        (fun () -> Metrics.merge_into ~into:t.core.metrics b.bmetrics)
+    end
+
+let push b p =
+  b.items <- p :: b.items;
+  b.nitems <- b.nitems + 1
+
+let event t ev =
+  match t.buf with
+  | None -> Trace.record t.core.trace ~tick:t.core.now ~worker:t.wid ev
+  | Some b ->
+    push b (P_event { tick = b.bnow; worker = t.wid; ev });
+    if b.nitems >= buf_cap then flush_items t.core b
 
 let observe t ~useful ~replay ~idle ~depth ~queries ~sat_calls =
-  Timeline.observe t.core.timeline ~tick:t.core.now ~worker:t.wid ~useful ~replay ~idle ~depth
-    ~queries ~sat_calls
+  match t.buf with
+  | None ->
+    Timeline.observe t.core.timeline ~tick:t.core.now ~worker:t.wid ~useful ~replay ~idle ~depth
+      ~queries ~sat_calls
+  | Some b ->
+    push b
+      (P_sample { tick = b.bnow; worker = t.wid; useful; replay; idle; depth; queries; sat_calls });
+    if b.nitems >= buf_cap then flush_items t.core b
 
 let attach_spill t oc = Trace.attach_spill t.core.trace oc
 let detach_spill t = Trace.detach_spill t.core.trace

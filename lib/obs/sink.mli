@@ -13,8 +13,22 @@ type t
 
 val create : ?trace_capacity:int -> ?bucket_ticks:int -> unit -> t
 
-(** A view of the same core attributed to worker [wid]. *)
+(** A view of the same core attributed to worker [wid].  Derived from a
+    buffered view, the result shares that view's buffer. *)
 val for_worker : t -> int -> t
+
+(** A *buffered* view for worker [wid], safe to hand to another domain:
+    events and timeline samples stage in a domain-private buffer (with a
+    private metrics registry and clock) and reach the shared core only
+    under the core's single lock — automatically when the buffer fills,
+    and in {!flush}.  Call {!flush} once when the owning domain finishes;
+    the private metrics registry is folded into the core exactly once. *)
+val buffered : t -> int -> t
+
+val is_buffered : t -> bool
+
+(** Drain a buffered view into the core (no-op on unbuffered views). *)
+val flush : t -> unit
 
 val worker : t -> int
 val set_now : t -> int -> unit

@@ -89,7 +89,7 @@ let node_width = function
   | Zext (_, w) -> w
   | Sext (_, w) -> w
 
-(* --- The global hashcons table ------------------------------------- *)
+(* --- The global hashcons table (sharded for domain parallelism) ----- *)
 
 (* Shallow equality/hash: children are compared by physical identity and
    hashed by id, which is sound because they are already interned. *)
@@ -128,25 +128,57 @@ end
 
 module Wtbl = Weak.Make (Hashed_node)
 
-let table = Wtbl.create 8192
-let next_id = ref 0
-let hc_hits = ref 0
-let hc_misses = ref 0
+(* The table is sharded by node hash, one weak table + mutex per shard, so
+   worker domains intern concurrently with contention only on hash
+   collisions modulo the shard count.  Ids come from one atomic counter
+   (globally unique, never reused); note that id *order* therefore depends
+   on cross-domain interning interleavings — anything needing a
+   reproducible order must use [compare_structural], exactly as for
+   weak-table evictions within one domain. *)
+let shard_bits = 8
+let nshards = 1 lsl shard_bits
+
+type shard = { tbl : Wtbl.t; lock : Mutex.t }
+
+let shards = Array.init nshards (fun _ -> { tbl = Wtbl.create 256; lock = Mutex.create () })
+let next_id = Atomic.make 0
+let hc_hits = Atomic.make 0
+let hc_misses = Atomic.make 0
 
 type hc_stats = { table_size : int; hits : int; misses : int; next_id : int }
 
 let hashcons_stats () =
-  { table_size = Wtbl.count table; hits = !hc_hits; misses = !hc_misses; next_id = !next_id }
+  let size = ref 0 in
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      size := !size + Wtbl.count s.tbl;
+      Mutex.unlock s.lock)
+    shards;
+  {
+    table_size = !size;
+    hits = Atomic.get hc_hits;
+    misses = Atomic.get hc_misses;
+    next_id = Atomic.get next_id;
+  }
 
 let hashcons node =
-  let cand = { id = !next_id; node; width = node_width node; syms_memo = None } in
-  let r = Wtbl.merge table cand in
-  if r == cand then begin
-    incr next_id;
-    incr hc_misses
-  end
-  else incr hc_hits;
-  r
+  (* the probe's id is never read: [Hashed_node] hashes and compares on the
+     node alone, so an id of -1 finds any interned equal *)
+  let probe = { id = -1; node; width = node_width node; syms_memo = None } in
+  let s = shards.(Hashed_node.hash probe land (nshards - 1)) in
+  Mutex.lock s.lock;
+  match Wtbl.find_opt s.tbl probe with
+  | Some r ->
+    Mutex.unlock s.lock;
+    Atomic.incr hc_hits;
+    r
+  | None ->
+    let t = { probe with id = Atomic.fetch_and_add next_id 1 } in
+    Wtbl.add s.tbl t;
+    Mutex.unlock s.lock;
+    Atomic.incr hc_misses;
+    t
 
 (* --- Accessors ------------------------------------------------------ *)
 
@@ -162,17 +194,22 @@ let true_ = of_bool true
 let false_ = of_bool false
 let of_int ~width:w v = const ~width:w (Int64.of_int v)
 
-let sym_counter = ref 0
+let sym_counter = Atomic.make 0
 
 let fresh_sym ?(name = "v") w =
   check_width w;
-  incr sym_counter;
-  hashcons (Sym { id = !sym_counter; name; width = w })
+  hashcons (Sym { id = 1 + Atomic.fetch_and_add sym_counter 1; name; width = w })
 
-(* Deterministic symbol creation for replay: the caller supplies the id. *)
+(* Deterministic symbol creation for replay: the caller supplies the id.
+   The counter is raised to at least [id] (CAS loop: another domain may be
+   raising it concurrently) so fresh symbols never collide with it. *)
 let sym_with_id ~id ~name w =
   check_width w;
-  if id > !sym_counter then sym_counter := id;
+  let rec raise_to () =
+    let cur = Atomic.get sym_counter in
+    if id > cur && not (Atomic.compare_and_set sym_counter cur id) then raise_to ()
+  in
+  raise_to ();
   hashcons (Sym { id; name; width = w })
 
 let is_const e = match e.node with Const _ -> true | _ -> false
@@ -375,7 +412,11 @@ let rec compare_structural a b =
 
 (* Symbol sets are memoized per node; sharing means each distinct subterm
    is computed once per lifetime, so [sym_set] is amortized O(1) on the
-   solver hot path. *)
+   solver hot path.  The memo write is a benign race under domains: the
+   computed set is a pure function of the (immutable) node, so concurrent
+   writers store structurally equal values and readers see either [None]
+   (recompute) or one of them — both correct, no tearing on a single
+   pointer-sized field. *)
 let rec sym_set e =
   match e.syms_memo with
   | Some s -> s

@@ -8,6 +8,9 @@
 
     Every term is interned in a global weak hashcons table: structurally
     equal terms are physically equal and each carries a unique [id].
+    The table is sharded by node hash with one mutex per shard, and the
+    id/symbol counters are atomic, so terms may be built and shared
+    freely across domains.
     Consequently {!equal} is physical identity, {!compare} compares ids,
     {!width} is a field read, and {!sym_set} is memoized per node.  Terms
     can only be built through the smart constructors ([t] is a private
@@ -180,8 +183,8 @@ val to_string : t -> string
     (default [0L]).  The result is truncated to [width e] bits. *)
 val eval : ?default:int64 -> (int -> int64 option) -> t -> int64
 
-(** Hashcons table statistics: live entry count, intern hits/misses since
-    start, and the next id to be assigned. *)
+(** Hashcons table statistics: live entry count (summed across shards),
+    intern hits/misses since start, and the next id to be assigned. *)
 type hc_stats = { table_size : int; hits : int; misses : int; next_id : int }
 
 val hashcons_stats : unit -> hc_stats

@@ -32,7 +32,6 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
-  seen_buf : Buffer.t;                (* placeholder to keep record non-empty-safe *)
 }
 
 let create () =
@@ -59,7 +58,6 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
-    seen_buf = Buffer.create 1;
   }
 
 let grow_array a n default =

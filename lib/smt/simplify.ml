@@ -40,16 +40,21 @@ let operand_order a b =
 (* Rewrite statistics, for the solver microbenchmark: [visits] counts
    rewriter entries into un-memoized nodes, [rewrites] counts rule
    applications, [memo_hits] counts simplifications answered from the
-   memo table. *)
+   memo table.  Domain-local, like the memo itself: each domain counts
+   its own rewriting work, with no cross-domain write contention. *)
 type rw_stats = { mutable visits : int; mutable rewrites : int; mutable memo_hits : int }
 
-let stats_live = { visits = 0; rewrites = 0; memo_hits = 0 }
-let stats () = { stats_live with visits = stats_live.visits }
+let stats_key =
+  Domain.DLS.new_key (fun () -> { visits = 0; rewrites = 0; memo_hits = 0 })
+
+let stats_live () = Domain.DLS.get stats_key
+let stats () = { (stats_live ()) with visits = (stats_live ()).visits }
 
 let reset_stats () =
-  stats_live.visits <- 0;
-  stats_live.rewrites <- 0;
-  stats_live.memo_hits <- 0
+  let s = stats_live () in
+  s.visits <- 0;
+  s.rewrites <- 0;
+  s.memo_hits <- 0
 
 let rewrite_binop op a b =
   let w = Expr.width a in
@@ -157,26 +162,38 @@ let lower_srem a b =
   let r = binop Urem (abs a) (abs b) in
   ite (eq b zero) a (ite (slt a zero) (unop Neg r) r)
 
-(* Global memo: hashcons id -> simplified form.  Safe to share across
-   solvers because simplification is deterministic and context-free; the
-   table is weak-free (it pins results), so it is capped and dropped
-   wholesale when it outgrows the cap. *)
-let memo : (int, Expr.t) Hashtbl.t = Hashtbl.create 4096
+(* Domain-local memo: hashcons id -> simplified form.  Safe to share
+   across solvers within a domain because simplification is deterministic
+   and context-free; domain-local (rather than shared + locked) because
+   the memo is queried on every constraint of every query — the hottest
+   lookup in the solver — and a per-domain table keeps that lookup
+   lock-free.  Worker domains redundantly re-simplify terms another
+   domain already canonicalized; they compute identical results (the
+   rewriter is deterministic), so the duplication costs time only, never
+   correctness.  The table is weak-free (it pins results), so it is
+   capped and dropped wholesale when it outgrows the cap. *)
 let memo_cap = 1 lsl 20
-let memo_enabled = ref true
-let memo_size () = Hashtbl.length memo
-let clear_memo () = Hashtbl.reset memo
+
+let memo_key : (int, Expr.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+let memo () = Domain.DLS.get memo_key
+let memo_enabled = Atomic.make true
+let memo_size () = Hashtbl.length (memo ())
+let clear_memo () = Hashtbl.reset (memo ())
 
 let set_memo enabled =
-  memo_enabled := enabled;
+  Atomic.set memo_enabled enabled;
   if not enabled then clear_memo ()
 
 let rec simplify e =
-  if not !memo_enabled then simplify_node e
+  if not (Atomic.get memo_enabled) then simplify_node e
   else
+    let memo = memo () in
     match Hashtbl.find_opt memo (Expr.id e) with
     | Some r ->
-      stats_live.memo_hits <- stats_live.memo_hits + 1;
+      let s = stats_live () in
+      s.memo_hits <- s.memo_hits + 1;
       r
     | None ->
       let r = simplify_node e in
@@ -188,7 +205,8 @@ let rec simplify e =
       r
 
 and simplify_node e =
-  stats_live.visits <- stats_live.visits + 1;
+  let s = stats_live () in
+  s.visits <- s.visits + 1;
   match e.node with
   | Const _ | Sym _ -> e
   | Unop (op, e1) -> unop op (simplify e1)
@@ -200,7 +218,7 @@ and simplify_node e =
     | Binop (op', a', b') -> (
       match rewrite_binop op' a' b' with
       | Some e' ->
-        stats_live.rewrites <- stats_live.rewrites + 1;
+        s.rewrites <- s.rewrites + 1;
         simplify e'
       | None -> folded)
     | _ -> folded)
@@ -211,7 +229,7 @@ and simplify_node e =
     | Ite (c', a', b') -> (
       match rewrite_ite c' a' b' with
       | Some e' ->
-        stats_live.rewrites <- stats_live.rewrites + 1;
+        s.rewrites <- s.rewrites + 1;
         simplify e'
       | None -> folded)
     | _ -> folded)

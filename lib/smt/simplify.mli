@@ -2,9 +2,10 @@
 
 (** [simplify e] applies constant folding, algebraic identities, and
     commutative-operand normalization bottom-up, preserving the concrete
-    semantics of {!Expr.eval} exactly.  Results are memoized globally by
-    hashcons id (see {!set_memo}), so each distinct subterm is rewritten
-    at most once per process. *)
+    semantics of {!Expr.eval} exactly.  Results are memoized per domain
+    by hashcons id (see {!set_memo}), so each distinct subterm is
+    rewritten at most once per domain — the memo is domain-local storage,
+    keeping the solver's hottest lookup lock-free under parallelism. *)
 val simplify : Expr.t -> Expr.t
 
 (** [lower e] recursively replaces signed division and remainder with an
@@ -17,18 +18,20 @@ val lower : Expr.t -> Expr.t
     rule applications, [memo_hits] = calls answered from the memo. *)
 type rw_stats = { mutable visits : int; mutable rewrites : int; mutable memo_hits : int }
 
-(** Snapshot of the process-wide counters. *)
+(** Snapshot of the calling domain's counters. *)
 val stats : unit -> rw_stats
 
 val reset_stats : unit -> unit
 
-(** Enable/disable the global memo (default enabled).  Disabling also
-    clears it; used by benchmarks to A/B the memoized rewriter against
-    the plain fixpoint walk. *)
+(** Enable/disable memoization (default enabled; the flag is global, the
+    tables are domain-local).  Disabling also clears the calling domain's
+    table; used by benchmarks to A/B the memoized rewriter against the
+    plain fixpoint walk. *)
 val set_memo : bool -> unit
 
-(** Number of entries currently memoized. *)
+(** Number of entries memoized in the calling domain. *)
 val memo_size : unit -> int
 
-(** Drop all memoized results (e.g. alongside {!Solver.clear_caches}). *)
+(** Drop the calling domain's memoized results (e.g. alongside
+    {!Solver.clear_caches}). *)
 val clear_memo : unit -> unit

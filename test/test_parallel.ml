@@ -1,0 +1,124 @@
+(* Tests for the true-multicore runtime (Cluster.Parallel) and the
+   domain-safety of the solver infrastructure under it.
+
+   The stress test hammers the sharded hashcons table from four domains
+   at once: interning must still be canonical (same structure -> same
+   physical term, across domains) with globally unique ids.  The
+   differential tests are the runtime's correctness gate: a parallel
+   exhaustive run must complete with exactly the path/error totals of
+   the simulated driver and the single-engine reference, whatever the
+   domain interleaving. *)
+
+module Expr = Smt.Expr
+module C = Core.Cloud9
+
+(* --- 4-domain expression-forking stress -------------------------------- *)
+
+(* Each domain builds the same [per] structures (from deterministic
+   symbol ids) plus a salted one of its own; all four race the intern
+   table. *)
+let test_hashcons_stress () =
+  let nd = 4 and per = 2_000 in
+  (* deterministic symbol ids, so every domain builds the *same* terms *)
+  let build () =
+    Array.init per (fun i ->
+        let x = Expr.sym_with_id ~id:(1_000_000 + (i mod 97)) ~name:"x" 32 in
+        let e =
+          Expr.add (Expr.mul x (Expr.of_int ~width:32 (i mod 251))) (Expr.of_int ~width:32 i)
+        in
+        Expr.ite (Expr.ult x (Expr.of_int ~width:32 128)) e (Expr.sub e x))
+  in
+  let arrs = Array.map Domain.join (Array.init nd (fun _ -> Domain.spawn build)) in
+  (* Canonical interning: structurally equal terms built concurrently on
+     different domains are the same physical term ([Expr.equal] is
+     physical equality on interned terms). *)
+  for d = 1 to nd - 1 do
+    for i = 0 to per - 1 do
+      if not (Expr.equal arrs.(0).(i) arrs.(d).(i)) then
+        Alcotest.failf "domains 0 and %d interned term %d differently" d i;
+      if Expr.compare_structural arrs.(0).(i) arrs.(d).(i) <> 0 then
+        Alcotest.failf "structural order disagrees at term %d" i
+    done
+  done;
+  (* Distinct structures got distinct ids. *)
+  let module IS = Set.Make (Int) in
+  let ids =
+    Array.fold_left
+      (fun acc arr -> Array.fold_left (fun acc e -> IS.add (Expr.id e) acc) acc arr)
+      IS.empty arrs
+  in
+  Alcotest.(check bool) "ids plausible" true (IS.cardinal ids >= per);
+  let st = Expr.hashcons_stats () in
+  Alcotest.(check bool) "table non-empty" true (st.Expr.table_size > 0);
+  Alcotest.(check bool) "ids monotone" true (st.Expr.next_id >= IS.max_elt ids);
+  Alcotest.(check bool) "interning hit the table" true (st.Expr.hits > 0)
+
+(* Fresh symbols minted concurrently must never collide. *)
+let test_fresh_sym_unique () =
+  let nd = 4 and per = 1_000 in
+  let mint () = Array.init per (fun _ -> Expr.id (Expr.fresh_sym 8)) in
+  let arrs = Array.map Domain.join (Array.init nd (fun _ -> Domain.spawn mint)) in
+  let module IS = Set.Make (Int) in
+  let ids =
+    Array.fold_left
+      (fun acc arr -> Array.fold_left (fun acc i -> IS.add i acc) acc arr)
+      IS.empty arrs
+  in
+  Alcotest.(check int) "all fresh symbols distinct" (nd * per) (IS.cardinal ids)
+
+(* --- parallel == simulated == local ------------------------------------ *)
+
+let check_tier_sum what (st : Smt.Solver.stats) =
+  Alcotest.(check int)
+    (what ^ ": solver tiers reconcile")
+    st.Smt.Solver.queries
+    (st.Smt.Solver.trivial + st.Smt.Solver.range_hits + st.Smt.Solver.cache_hits
+   + st.Smt.Solver.cex_hits + st.Smt.Solver.sat_calls)
+
+let differential ~name ~variant () =
+  let target =
+    match Core.Registry.resolve ~name ~variant:(Some variant) with
+    | Some t -> t
+    | None -> Alcotest.failf "registry target %s/%s missing" name variant
+  in
+  let local = C.run_local target in
+  let sim = C.run_cluster target in
+  let par = C.run_parallel ~ndomains:4 target in
+  Alcotest.(check int) "paths: parallel = local" local.C.paths par.Cluster.Parallel.total_paths;
+  Alcotest.(check int)
+    "paths: parallel = simulated" sim.Cluster.Driver.total_paths
+    par.Cluster.Parallel.total_paths;
+  Alcotest.(check int) "errors: parallel = local" local.C.errors par.Cluster.Parallel.total_errors;
+  Alcotest.(check int)
+    "errors: parallel = simulated" sim.Cluster.Driver.total_errors
+    par.Cluster.Parallel.total_errors;
+  Alcotest.(check bool)
+    "coverage agrees with local" true
+    (abs_float (local.C.coverage -. par.Cluster.Parallel.final_coverage) < 1e-9);
+  check_tier_sum "parallel" par.Cluster.Parallel.solver_stats;
+  List.iter
+    (fun (w, st) -> check_tier_sum (Printf.sprintf "parallel worker %d" w) st)
+    par.Cluster.Parallel.per_worker_solver;
+  (* every transferred job was sent by someone and received by someone *)
+  Alcotest.(check int)
+    "jobs sent = jobs received" par.Cluster.Parallel.jobs_sent
+    par.Cluster.Parallel.jobs_received;
+  Alcotest.(check int)
+    "transfers = jobs moved" par.Cluster.Parallel.transfers par.Cluster.Parallel.jobs_sent
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "domain-safety",
+        [
+          Alcotest.test_case "hashcons 4-domain stress" `Quick test_hashcons_stress;
+          Alcotest.test_case "fresh_sym unique across domains" `Quick test_fresh_sym_unique;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "test/sym-3: parallel = simulated = local" `Quick
+            (differential ~name:"test" ~variant:"sym-3");
+          Alcotest.test_case "printf/sym-4: parallel = simulated = local" `Slow
+            (differential ~name:"printf" ~variant:"sym-4");
+        ] );
+    ]
