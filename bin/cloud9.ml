@@ -264,7 +264,16 @@ let report_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"METRICS" ~doc:"Metrics JSONL file written by cloud9 run --metrics")
   in
-  let run path =
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Also print the wall-clock profile: p50/p90/p99 latency table over every \
+             latency_ns histogram (mailbox waits, steal round-trips, job replays, solver \
+             queries by tier, shard lock waits, obs flushes) and the most contended locks")
+  in
+  let run path profile =
     let text =
       let ic = open_in path in
       Fun.protect
@@ -272,14 +281,19 @@ let report_cmd =
         (fun () -> really_input_string ic (in_channel_length ic))
     in
     match Obs.Report.parse_jsonl text with
-    | Ok snap -> print_string (Obs.Report.render_string snap)
+    | Ok snap ->
+      print_string (Obs.Report.render_string snap);
+      if profile then begin
+        print_newline ();
+        print_string (Obs.Report.render_profile_string snap)
+      end
     | Error msg ->
       Printf.eprintf "%s: %s\n" path msg;
       exit 1
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Summarize a metrics JSONL dump from a previous run")
-    Term.(const run $ metrics_file_arg)
+    Term.(const run $ metrics_file_arg $ profile_arg)
 
 let () =
   let info =

@@ -107,9 +107,15 @@ end
 
 (* ---- messages ----------------------------------------------------- *)
 
+(* [issued_ns] carries the wall-clock stamp of the Steal that caused a
+   job batch (0 when unprofiled): the coordinator stamps the request,
+   the victim copies the stamp onto the batch it ships, and the thief
+   closes the span on import — a full steal round-trip. *)
 type wmsg =
-  | Jobs of Job.t list  (** transferred candidates, counted in [in_flight] *)
-  | Steal of { dst : int; count : int }  (** balancer transfer request *)
+  | Jobs of { jobs : Job.t list; issued_ns : int }
+      (** transferred candidates, counted in [in_flight] *)
+  | Steal of { dst : int; count : int; issued_ns : int }
+      (** balancer transfer request *)
   | Coverage of Bytes.t  (** merged global coverage overlay *)
   | Stop
 
@@ -124,10 +130,14 @@ type 'env config = {
   slice : int;
   status_every : int;
   mailbox_capacity : int;
+  obs : Obs.Sink.t option;
+      (* when set, the runtime itself is profiled: mailbox waits and
+         steal round-trips per worker domain, quiescence rounds on the
+         coordinator (through a buffered lb-attributed view) *)
 }
 
-let default_config ~ndomains ~make_worker () =
-  { ndomains; make_worker; slice = 2_000; status_every = 4; mailbox_capacity = 4_096 }
+let default_config ?obs ~ndomains ~make_worker () =
+  { ndomains; make_worker; slice = 2_000; status_every = 4; mailbox_capacity = 4_096; obs }
 
 type result = {
   ndomains : int;
@@ -174,6 +184,9 @@ type shared = {
 
 let worker_body sh (cfg : 'env config) i =
   let w = cfg.make_worker i in
+  (* Runtime spans go through the worker's own (buffered) view when it
+     has one, so they merge on the same flush path as everything else. *)
+  let prof = Option.map Obs.Profile.create w.Worker.cfg.Executor.obs in
   if i = 0 then Worker.seed_root w;
   let inbox = sh.inboxes.(i) in
   let stop = ref false in
@@ -188,17 +201,19 @@ let worker_body sh (cfg : 'env config) i =
          })
   in
   let process = function
-    | Jobs jobs ->
+    | Jobs { jobs; issued_ns } ->
       Worker.receive_jobs w jobs;
-      Atomic.decr sh.in_flight
-    | Steal { dst; count } ->
+      Atomic.decr sh.in_flight;
+      if issued_ns > 0 then
+        ignore (Obs.Profile.record prof Obs.Profile.Steal_rtt ~start_ns:issued_ns)
+    | Steal { dst; count; issued_ns } ->
       let jobs = Worker.transfer_out w ~count in
       if jobs <> [] then begin
         (* Credit before enqueue: the batch is visible to the quiescence
            predicate before it can be consumed. *)
         Atomic.incr sh.in_flight;
         ignore (Atomic.fetch_and_add sh.transfers (List.length jobs));
-        Mailbox.push sh.inboxes.(dst) (Jobs jobs)
+        Mailbox.push sh.inboxes.(dst) (Jobs { jobs; issued_ns })
       end
     | Coverage global -> ignore (Executor.merge_coverage w.Worker.cfg global)
     | Stop -> stop := true
@@ -210,20 +225,29 @@ let worker_body sh (cfg : 'env config) i =
          push either lands before the emptiness check (we consume it
          without sleeping) or signals us awake. *)
       Mutex.lock inbox.Mailbox.lock;
-      if Queue.is_empty inbox.Mailbox.q then begin
-        Atomic.set sh.idle_flags.(i) true;
-        Mutex.unlock inbox.Mailbox.lock;
-        send_status ~idle:true;
-        Mutex.lock inbox.Mailbox.lock;
-        while Queue.is_empty inbox.Mailbox.q do
-          Condition.wait inbox.Mailbox.nonempty inbox.Mailbox.lock
-        done
-      end;
+      let wait_t0 =
+        if Queue.is_empty inbox.Mailbox.q then begin
+          Atomic.set sh.idle_flags.(i) true;
+          Mutex.unlock inbox.Mailbox.lock;
+          send_status ~idle:true;
+          let t0 = Obs.Profile.start prof in
+          Mutex.lock inbox.Mailbox.lock;
+          while Queue.is_empty inbox.Mailbox.q do
+            Condition.wait inbox.Mailbox.nonempty inbox.Mailbox.lock
+          done;
+          t0
+        end
+        else 0
+      in
       (* Clear the flag before importing, so flag-clear precedes the
          in_flight decrement in [process]. *)
       Atomic.set sh.idle_flags.(i) false;
       let msgs = Mailbox.drain_locked inbox in
       Mutex.unlock inbox.Mailbox.lock;
+      (* Record after releasing the inbox lock: staging the span may
+         trigger a threshold flush, which takes the obs core lock. *)
+      if wait_t0 > 0 then
+        ignore (Obs.Profile.record prof Obs.Profile.Mailbox_wait ~start_ns:wait_t0);
       List.iter process msgs
     end
     else begin
@@ -278,6 +302,12 @@ let run ~coverable_lines (cfg : 'env config) =
     }
   in
   let domains = Array.init n (fun i -> Domain.spawn (fun () -> worker_body sh cfg i)) in
+  (* The coordinator profiles through its own buffered lb-attributed
+     view: it must never write the shared core while domains run, and
+     the view is flushed after they have all joined. *)
+  let cobs = Option.map (fun s -> Obs.Sink.buffered s Obs.Event.lb) cfg.obs in
+  let cprof = Option.map Obs.Profile.create cobs in
+  let stamp () = match cprof with Some _ -> Obs.Clock.now_ns () | None -> 0 in
   (* The balancer needs the coverage-vector width, which only a worker
      knows; create it from the first status report. *)
   let balancer = ref None in
@@ -311,6 +341,9 @@ let run ~coverable_lines (cfg : 'env config) =
   let rec loop () =
     if quiescent () then ()
     else begin
+      (* One quiescence round = status drain (including the block on an
+         empty coordinator mailbox) + rebalance. *)
+      let round_t0 = Obs.Profile.start cprof in
       List.iter handle (Mailbox.drain_wait sh.coord);
       (match !balancer with
       | None -> ()
@@ -319,15 +352,18 @@ let run ~coverable_lines (cfg : 'env config) =
           (fun { Balancer.src; dst; count } ->
             if src < n && dst < n then begin
               incr steals;
-              ignore (Mailbox.try_push sh.inboxes.(src) (Steal { dst; count }))
+              ignore
+                (Mailbox.try_push sh.inboxes.(src) (Steal { dst; count; issued_ns = stamp () }))
             end)
           (Balancer.rebalance b));
+      ignore (Obs.Profile.record cprof Obs.Profile.Quiesce_round ~start_ns:round_t0);
       loop ()
     end
   in
   loop ();
   Array.iter (fun inbox -> Mailbox.push inbox Stop) sh.inboxes;
   let summaries = Array.map Domain.join domains in
+  Option.iter Obs.Sink.flush cobs;
   (* Drain any status messages that raced with the stop broadcast. *)
   List.iter (fun (Status _) -> incr status_reports) (Mailbox.drain sh.coord);
   let agg = Smt.Solver.zero_stats () in

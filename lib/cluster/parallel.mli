@@ -29,9 +29,16 @@ type 'env config = {
   slice : int;  (** instructions executed between mailbox polls *)
   status_every : int;  (** slices between status reports while busy *)
   mailbox_capacity : int;  (** bound on each mailbox, in messages *)
+  obs : Obs.Sink.t option;
+      (** when set, the runtime profiles itself with wall-clock spans:
+          mailbox waits and steal round-trips per worker domain (through
+          each worker's buffered view), quiescence rounds on the
+          coordinator (through a buffered lb-attributed view, flushed
+          after all domains join) *)
 }
 
-val default_config : ndomains:int -> make_worker:(int -> 'env Worker.t) -> unit -> 'env config
+val default_config :
+  ?obs:Obs.Sink.t -> ndomains:int -> make_worker:(int -> 'env Worker.t) -> unit -> 'env config
 
 type result = {
   ndomains : int;

@@ -79,10 +79,12 @@ type 'env t = {
   mutable jobs_received : int;
   mutable banned_drops : int;
   mutable recovery_replay_instrs : int; (* replay cost of recovery jobs *)
+  prof : Obs.Profile.t option;
+  mutable replay_t0 : int; (* wall-clock start of the replay in flight (profiling only) *)
 }
 
 let create ?(policy = Interleaved) ?weight ?(quantum = 50) ?(collect_tests = 0)
-    ?(snap_limit = 512) ~id ~cfg ~make_root ~seed () =
+    ?(snap_limit = 512) ?prof ~id ~cfg ~make_root ~seed () =
   let w =
     {
       id;
@@ -111,6 +113,8 @@ let create ?(policy = Interleaved) ?weight ?(quantum = 50) ?(collect_tests = 0)
       jobs_received = 0;
       banned_drops = 0;
       recovery_replay_instrs = 0;
+      prof;
+      replay_t0 = 0;
     }
   in
   w
@@ -253,6 +257,7 @@ let replay_step w ~target ~remaining ~rstate ~recov =
       add_running w (filter_banned w running);
       List.iter (record_finished w) finished;
       w.replays_done <- w.replays_done + 1;
+      ignore (Obs.Profile.record w.prof Obs.Profile.Job_replay ~start_ns:w.replay_t0);
       emit w (Obs.Event.Replay_end { outcome = Obs.Event.Landed; recovery = recov });
       w.mode <- Exploring
     | expected :: rest -> (
@@ -278,6 +283,7 @@ let replay_step w ~target ~remaining ~rstate ~recov =
           let p = State.path st in
           Trie.add w.frontier p { epath = p; estate = Some st; erecovery = false };
           w.replays_done <- w.replays_done + 1;
+          ignore (Obs.Profile.record w.prof Obs.Profile.Job_replay ~start_ns:w.replay_t0);
           emit w (Obs.Event.Replay_end { outcome = Obs.Event.Landed; recovery = recov });
           w.mode <- Exploring
         end
@@ -285,6 +291,7 @@ let replay_step w ~target ~remaining ~rstate ~recov =
       | None ->
         (* the expected successor does not exist: broken replay *)
         w.broken_replays <- w.broken_replays + 1;
+        ignore (Obs.Profile.record w.prof Obs.Profile.Job_replay ~start_ns:w.replay_t0);
         emit w (Obs.Event.Replay_end { outcome = Obs.Event.Broken; recovery = recov });
         w.mode <- Exploring))
 
@@ -319,6 +326,7 @@ let execute w ~budget =
                  { outcome = Obs.Event.Snapshot_hit; recovery = entry.erecovery })
           end
           else begin
+            w.replay_t0 <- Obs.Profile.start w.prof;
             emit w
               (Obs.Event.Replay_start
                  { depth = List.length entry.epath; recovery = entry.erecovery });

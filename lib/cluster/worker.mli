@@ -59,18 +59,25 @@ type 'env t = {
   mutable banned_drops : int;
   mutable recovery_replay_instrs : int;
       (** replay instructions spent reconstructing recovery jobs *)
+  prof : Obs.Profile.t option;
+  mutable replay_t0 : int;
+      (** wall-clock start of the replay in flight (profiling only) *)
 }
 
 (** [weight] replaces the coverage-optimized weighting (used e.g. by a
     fewest-faults-first strategy); [quantum] is how many instructions a
     selected state runs before reselection; [snap_limit] bounds the
-    replay snapshot cache (0 disables it, forcing replay from the root). *)
+    replay snapshot cache (0 disables it, forcing replay from the root);
+    [prof] records each from-path replay as a wall-clock [job_replay]
+    span (snapshot-exact materializations are skipped — there is no
+    replay to time). *)
 val create :
   ?policy:policy ->
   ?weight:('env Engine.State.t -> float) ->
   ?quantum:int ->
   ?collect_tests:int ->
   ?snap_limit:int ->
+  ?prof:Obs.Profile.t ->
   id:int ->
   cfg:'env Engine.Executor.config ->
   make_root:(unit -> 'env Engine.State.t) ->

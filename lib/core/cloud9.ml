@@ -203,20 +203,34 @@ let run_cluster ?obs ?(options = default_cluster_options) (t : target) =
    [cworker_max_steps] and [cseed] are read. *)
 let run_parallel ?obs ?(ndomains = 2) ?(options = default_cluster_options) (t : target) =
   let opts = options in
+  (* Profiling rides on the sink: a parallel run with observability gets
+     wall-clock spans (real-nanosecond time base), while the simulated
+     drivers stay purely on virtual ticks.  The hashcons shard-lock
+     probe is global state, so it is reset here and contended-wait
+     timing enabled only for profiled runs. *)
+  (match obs with
+  | Some _ ->
+    Smt.Expr.reset_lock_stats ();
+    Smt.Expr.set_lock_profiling true
+  | None -> Smt.Expr.set_lock_profiling false);
   let make_worker i =
     let obs = Option.map (fun s -> Obs.Sink.buffered s i) obs in
-    let solver = Smt.Solver.create ?obs () in
+    let prof = Option.map Obs.Profile.create obs in
+    let solver = Smt.Solver.create ?obs ?prof () in
     let cfg =
       Posix.Api.make_config ~solver ?obs ?max_steps:opts.cworker_max_steps
         ~nlines:t.program.Cvm.Program.nlines ()
     in
     let make_root () = Posix.Api.initial_state t.program ~args:[] in
-    Cluster.Worker.create ~id:i ~cfg ~make_root ~seed:opts.cseed ()
+    Cluster.Worker.create ?prof ~id:i ~cfg ~make_root ~seed:opts.cseed ()
   in
-  let cfg = Cluster.Parallel.default_config ~ndomains ~make_worker () in
-  Cluster.Parallel.run
-    ~coverable_lines:(List.length (Cvm.Program.covered_lines t.program))
-    cfg
+  let cfg = Cluster.Parallel.default_config ?obs ~ndomains ~make_worker () in
+  Fun.protect
+    ~finally:(fun () -> Smt.Expr.set_lock_profiling false)
+    (fun () ->
+      Cluster.Parallel.run
+        ~coverable_lines:(List.length (Cvm.Program.covered_lines t.program))
+        cfg)
 
 (* --- reporting ---------------------------------------------------------------------- *)
 

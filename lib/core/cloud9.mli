@@ -85,7 +85,10 @@ val run_cluster : ?obs:Obs.Sink.t -> ?options:cluster_options -> target -> Clust
     construction happens inside each spawned domain so solver caches and
     the simplify memo are domain-local; [obs], when given, is exposed to
     each domain as a buffered view ({!Obs.Sink.buffered}) flushed before
-    the domain exits.  Only [cworker_max_steps] and [cseed] are read from
+    the domain exits, and additionally enables the wall-clock profiler
+    (solver query / mailbox wait / steal round-trip / replay spans and
+    the hashcons shard-lock contention probe, reset at run start).  Only
+    [cworker_max_steps] and [cseed] are read from
     [options]; the simulation knobs (speed, latency, faults, the
     shared-allocator ablation) do not apply. *)
 val run_parallel :

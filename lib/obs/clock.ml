@@ -1,0 +1,24 @@
+(* The wall clock behind the profiling layer.
+
+   This is the only place in lib/ that reads the host's time: everything
+   else (Profile, Sink, the cluster runtime) calls [now_ns], so the
+   simulated driver can keep its virtual tick clock and only the true
+   multicore runtime pays for real timestamps.
+
+   [now_ns] is gettimeofday scaled to integer nanoseconds.  Nanoseconds
+   since the epoch fit comfortably in OCaml's 63-bit int (~1.8e18 ns
+   capacity vs ~1.8e18 ns elapsed around year 2026 — headroom until
+   2262 with Int64-width ints, and we only ever subtract nearby
+   timestamps).  We deliberately do NOT funnel reads through a shared
+   Atomic to enforce monotonicity: that would put a contended cache line
+   on every probe from every domain — a profiler-induced scalability
+   bug worse than the clock skew it hides.  Instead, consumers clamp
+   negative durations to zero at record time (see Profile.record). *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* The simulated driver's time base: one virtual tick is 10ms of trace
+   time.  Shared by the tick-mapped and real-nanosecond halves of the
+   Chrome trace exporter (Sink.chrome_events), so both land on the same
+   microsecond axis. *)
+let tick_ns = 10_000_000

@@ -1,0 +1,13 @@
+(** The wall clock behind the profiling layer — the only module in lib/
+    that reads host time.  Lib code takes timestamps through here so the
+    simulated driver can stay on its virtual tick clock. *)
+
+(** Wall-clock nanoseconds since the Unix epoch.  Reads are not forced
+    monotonic (no shared Atomic — that would serialize every probe on
+    one cache line); consumers must clamp negative differences to 0. *)
+val now_ns : unit -> int
+
+(** The simulated driver's time base: nanoseconds of trace time per
+    virtual tick (1 tick = 10ms).  Both halves of the dual time-base
+    Chrome exporter derive their microsecond axis from this. *)
+val tick_ns : int

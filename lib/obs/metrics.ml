@@ -70,6 +70,13 @@ let gauge t ?(labels = []) name =
 
 let default_buckets = [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0 |]
 
+(* Exponential (x2) bounds for wall-clock latencies in nanoseconds:
+   100ns .. ~6.7s in 27 buckets.  Every latency_ns histogram in the
+   profiling layer uses these, so cross-registry merges and the
+   hand-rolled Atomic bucket array in Smt.Expr line up bucket-for-
+   bucket. *)
+let latency_ns_buckets = Array.init 27 (fun i -> 100.0 *. Float.of_int (1 lsl i))
+
 let histogram t ?(labels = []) ?(buckets = default_buckets) name =
   register t name labels
     (fun () ->
@@ -176,6 +183,36 @@ let diff ~base cur =
 
 let find snap name labels =
   List.find_opt (fun s -> s.s_name = name && List.sort compare s.s_labels = List.sort compare labels) snap
+
+(* Estimate the [q]-quantile of a histogram sample by linear
+   interpolation inside the bucket holding the target rank (the standard
+   Prometheus histogram_quantile estimator).  The first bucket's lower
+   edge is taken as 0; a target landing in the +inf overflow bucket is
+   clamped to the last finite bound (we cannot interpolate past it).
+   [None] for non-histograms and empty histograms. *)
+let percentile v q =
+  match v with
+  | Vhistogram { vbounds; vcounts; vcount; _ } when vcount > 0 ->
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let target = q *. float_of_int vcount in
+    let nfinite = Array.length vbounds in
+    let last_bound = if nfinite = 0 then 0.0 else vbounds.(nfinite - 1) in
+    let rec go i cum =
+      if i >= Array.length vcounts then Some last_bound
+      else
+        let cum' = cum + vcounts.(i) in
+        if float_of_int cum' >= target && vcounts.(i) > 0 then
+          if i >= nfinite then Some last_bound
+          else begin
+            let lower = if i = 0 then 0.0 else vbounds.(i - 1) in
+            let upper = vbounds.(i) in
+            let frac = (target -. float_of_int cum) /. float_of_int vcounts.(i) in
+            Some (lower +. ((upper -. lower) *. frac))
+          end
+        else go (i + 1) cum'
+    in
+    go 0 0
+  | _ -> None
 
 (* --- JSONL export ------------------------------------------------------ *)
 

@@ -26,6 +26,11 @@ val histogram : t -> ?labels:labels -> ?buckets:float array -> string -> histogr
 
 val default_buckets : float array
 
+(** Exponential (x2) bucket bounds for wall-clock latencies in
+    nanoseconds, 100ns .. ~6.7s.  All [latency_ns] histograms in the
+    profiling layer share these so merges line up bucket-for-bucket. *)
+val latency_ns_buckets : float array
+
 val incr : counter -> unit
 val add : counter -> int -> unit
 val counter_value : counter -> int
@@ -55,6 +60,13 @@ val snapshot : t -> snapshot
 val diff : base:snapshot -> snapshot -> snapshot
 
 val find : snapshot -> string -> labels -> sample option
+
+(** [percentile v q] estimates the [q]-quantile ([0. <= q <= 1.]) of a
+    histogram sample by linear interpolation within the bucket holding
+    the target rank (lower edge of the first bucket is 0; ranks landing
+    in the +inf overflow bucket clamp to the last finite bound).
+    [None] for non-histograms and empty histograms. *)
+val percentile : value -> float -> float option
 
 val sample_to_json : sample -> Json.t
 

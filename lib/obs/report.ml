@@ -153,3 +153,87 @@ let render_string snap =
   let buf = Buffer.create 4096 in
   render buf snap;
   Buffer.contents buf
+
+(* ---- profile rendering (report --profile) -------------------------- *)
+
+(* Adaptive duration formatting for nanosecond quantities. *)
+let fmt_ns ns =
+  if ns < 1e3 then Printf.sprintf "%.0fns" ns
+  else if ns < 1e6 then Printf.sprintf "%.2fus" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else Printf.sprintf "%.2fs" (ns /. 1e9)
+
+(* The percentile table covers every latency_ns{kind=...} histogram
+   (mailbox waits, steal RTTs, replays, solver queries by tier, shard
+   lock waits, obs flushes); the contention section pairs the try-lock
+   outcome counters with the per-shard top list exported by the
+   hashcons provider. *)
+let render_profile buf snap =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let lat =
+    List.filter_map
+      (fun (s : Metrics.sample) ->
+        match (s.s_name, s.s_value) with
+        | "latency_ns", (Metrics.Vhistogram h as v) ->
+          let kind = Option.value ~default:"?" (List.assoc_opt "kind" s.s_labels) in
+          let tier = List.assoc_opt "tier" s.s_labels in
+          let label = match tier with Some t -> kind ^ "/" ^ t | None -> kind in
+          Some (label, v, h.vcount, h.vsum)
+        | _ -> None)
+      snap
+  in
+  if lat <> [] then begin
+    line "wall-clock latency percentiles:";
+    line "  %-22s %10s %10s %10s %10s %10s" "span" "count" "p50" "p90" "p99" "mean";
+    List.iter
+      (fun (label, v, count, sum) ->
+        let p q = match Metrics.percentile v q with Some x -> fmt_ns x | None -> "-" in
+        let mean = if count = 0 then "-" else fmt_ns (sum /. float_of_int count) in
+        line "  %-22s %10d %10s %10s %10s %10s" label count (p 0.5) (p 0.9) (p 0.99) mean)
+      lat;
+    line ""
+  end;
+  (* try-lock contention probes *)
+  let acq name =
+    let get outcome =
+      match Metrics.find snap name [ ("outcome", outcome) ] with
+      | Some { s_value = Metrics.Vcounter c; _ } -> c
+      | _ -> 0
+    in
+    (get "uncontended", get "contended")
+  in
+  let probes =
+    List.filter
+      (fun (_, (u, c)) -> u + c > 0)
+      [
+        ("hashcons shards", acq "hashcons_lock_acquisitions");
+        ("obs core lock", acq "obs_core_lock_acquisitions");
+      ]
+  in
+  if probes <> [] then begin
+    line "lock contention (try-lock probes):";
+    List.iter
+      (fun (name, (u, c)) ->
+        line "  %-16s %12d uncontended %10d contended  (%.3f%% contended)" name u c
+          (pct c (u + c)))
+      probes;
+    line ""
+  end;
+  let top_shards =
+    List.filter_map
+      (fun (s : Metrics.sample) ->
+        match (s.s_name, s.s_value, List.assoc_opt "shard" s.s_labels) with
+        | "hashcons_shard_contended", Metrics.Vcounter c, Some sh -> Some (sh, c)
+        | _ -> None)
+      snap
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  if top_shards <> [] then begin
+    line "most contended hashcons shards:";
+    List.iter (fun (sh, c) -> line "  shard %-4s %10d contended acquisitions" sh c) top_shards
+  end
+
+let render_profile_string snap =
+  let buf = Buffer.create 4096 in
+  render_profile buf snap;
+  Buffer.contents buf

@@ -14,3 +14,11 @@ val parse_jsonl : string -> (Metrics.snapshot, string) result
 val render : Buffer.t -> Metrics.snapshot -> unit
 
 val render_string : Metrics.snapshot -> string
+
+(** Render the profiling view ([cloud9 report --profile]): a p50/p90/p99
+    table over every [latency_ns] histogram, the try-lock contention
+    probes (hashcons shards, obs core lock), and the most contended
+    hashcons shards. *)
+val render_profile : Buffer.t -> Metrics.snapshot -> unit
+
+val render_profile_string : Metrics.snapshot -> string

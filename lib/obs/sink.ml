@@ -6,12 +6,52 @@
    threading its own id around.  The cluster driver advances [set_now]
    once per tick, so hot-path emitters never pass a timestamp. *)
 
+(* A completed wall-clock span, in real nanoseconds (Clock.now_ns).
+   Spans come from the profiling layer (Profile.record) on true
+   multicore runs; the simulated driver never emits them, so its traces
+   stay purely tick-based. *)
+type span = { sp_worker : int; sp_name : string; sp_start_ns : int; sp_stop_ns : int }
+
+(* Bounded ring of spans: old spans are overwritten, like the trace
+   ring, so a long run cannot grow the core without bound. *)
+type span_ring = { sarr : span option array; mutable snext : int; mutable stotal : int }
+
+let span_cap = 32_768
+
+let span_ring_create () = { sarr = Array.make span_cap None; snext = 0; stotal = 0 }
+
+let span_ring_add r sp =
+  r.sarr.(r.snext) <- Some sp;
+  r.snext <- (r.snext + 1) mod span_cap;
+  r.stotal <- r.stotal + 1
+
+(* Oldest first. *)
+let span_ring_contents r =
+  let out = ref [] in
+  for i = span_cap - 1 downto 0 do
+    match r.sarr.((r.snext + i) mod span_cap) with
+    | Some sp -> out := sp :: !out
+    | None -> ()
+  done;
+  List.rev !out
+
 type core = {
   metrics : Metrics.t;
   trace : Trace.t;
   timeline : Timeline.t;
+  spans : span_ring;
+  epoch_ns : int;  (* Clock.now_ns at [create]; real-ns spans export relative to this *)
   mutable now : int;
   lock : Mutex.t;  (* serializes buffered-view flushes into the core *)
+  (* Contention probe on [lock] itself: flushes try-lock first and count
+     which way it went, so the overhead of observability is observable. *)
+  lk_uncontended : int Atomic.t;
+  lk_contended : int Atomic.t;
+  h_flush : Metrics.histogram;  (* latency_ns{kind=obs_flush}: time spent in flush_items *)
+  (* Named sample providers appended to [metrics_samples] at export time
+     (e.g. the hashcons shard-lock stats, which live in global Atomics
+     inside Smt.Expr and belong to no single registry). *)
+  mutable providers : (string * (unit -> Metrics.sample list)) list;
 }
 
 (* A buffered view's domain-private staging area: events and timeline
@@ -19,6 +59,7 @@ type core = {
    and reach the shared core only in [flush], under [core.lock].  The
    hot path of a worker domain therefore never touches shared state. *)
 type pending =
+  | P_span of span
   | P_event of { tick : int; worker : int; ev : Event.t }
   | P_sample of {
       tick : int;
@@ -46,13 +87,23 @@ type t = { core : core; wid : int; buf : buf option }
 let buf_cap = 8192
 
 let create ?trace_capacity ?bucket_ticks () =
+  let metrics = Metrics.create () in
   let core =
     {
-      metrics = Metrics.create ();
+      metrics;
       trace = Trace.create ?capacity:trace_capacity ();
       timeline = Timeline.create ?bucket_ticks ();
+      spans = span_ring_create ();
+      epoch_ns = Clock.now_ns ();
       now = 0;
       lock = Mutex.create ();
+      lk_uncontended = Atomic.make 0;
+      lk_contended = Atomic.make 0;
+      h_flush =
+        Metrics.histogram metrics
+          ~labels:[ ("kind", "obs_flush") ]
+          ~buckets:Metrics.latency_ns_buckets "latency_ns";
+      providers = [];
     }
   in
   { core; wid = Event.lb; buf = None }
@@ -84,21 +135,34 @@ let timeline t = t.core.timeline
    live in the owning domain, so later increments would double-count if
    merged again); [flush] is meant to be called when the owning domain is
    done, with threshold flushes covering only events and samples. *)
+(* Take the core lock, try-lock first so contention on it is counted:
+   the obs layer's own serialization point shows up in the same report
+   as everyone else's locks. *)
+let lock_core core =
+  if Mutex.try_lock core.lock then Atomic.incr core.lk_uncontended
+  else begin
+    Atomic.incr core.lk_contended;
+    Mutex.lock core.lock
+  end
+
 let flush_items core b =
   let items = List.rev b.items in
   b.items <- [];
   b.nitems <- 0;
-  Mutex.lock core.lock;
+  let t0 = Clock.now_ns () in
+  lock_core core;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock core.lock)
     (fun () ->
       List.iter
         (function
+          | P_span sp -> span_ring_add core.spans sp
           | P_event { tick; worker; ev } -> Trace.record core.trace ~tick ~worker ev
           | P_sample { tick; worker; useful; replay; idle; depth; queries; sat_calls } ->
             Timeline.observe core.timeline ~tick ~worker ~useful ~replay ~idle ~depth ~queries
               ~sat_calls)
-        items)
+        items;
+      Metrics.observe core.h_flush (float_of_int (max 0 (Clock.now_ns () - t0))))
 
 let flush t =
   match t.buf with
@@ -107,7 +171,7 @@ let flush t =
     flush_items t.core b;
     if not b.merged then begin
       b.merged <- true;
-      Mutex.lock t.core.lock;
+      lock_core t.core;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.core.lock)
         (fun () -> Metrics.merge_into ~into:t.core.metrics b.bmetrics)
@@ -134,22 +198,57 @@ let observe t ~useful ~replay ~idle ~depth ~queries ~sat_calls =
       (P_sample { tick = b.bnow; worker = t.wid; useful; replay; idle; depth; queries; sat_calls });
     if b.nitems >= buf_cap then flush_items t.core b
 
+(* Record a completed real-nanosecond span attributed to this view's
+   worker.  Buffered views stage it like any other pending item (the
+   domain hot path touches no shared state); unbuffered views write the
+   ring directly, matching the single-domain convention of [event]. *)
+let span t ~name ~start_ns ~stop_ns =
+  let sp = { sp_worker = t.wid; sp_name = name; sp_start_ns = start_ns; sp_stop_ns = stop_ns } in
+  match t.buf with
+  | None -> span_ring_add t.core.spans sp
+  | Some b ->
+    push b (P_span sp);
+    if b.nitems >= buf_cap then flush_items t.core b
+
+let epoch_ns t = t.core.epoch_ns
+
+(* Replace-by-name, so a provider registered by every per-domain solver
+   (they all see the same global Expr stats) stays idempotent. *)
+let set_provider t ~name f =
+  let core = t.core in
+  lock_core core;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock core.lock)
+    (fun () -> core.providers <- (name, f) :: List.remove_assoc name core.providers)
+
 let attach_spill t oc = Trace.attach_spill t.core.trace oc
 let detach_spill t = Trace.detach_spill t.core.trace
 
 (* ---- exporters ---------------------------------------------------- *)
 
-let us_of_tick tick = Json.Num (float_of_int tick *. 10_000.)
+(* The virtual-tick half of the dual time base: 1 tick = Clock.tick_ns
+   of trace time, expressed in the microseconds Chrome expects. *)
+let us_per_tick = float_of_int Clock.tick_ns /. 1_000.
+let us_of_tick tick = Json.Num (float_of_int tick *. us_per_tick)
 let num n = Json.Num (float_of_int n)
 
 let thread_label wid = if wid = Event.lb then "lb" else Printf.sprintf "worker %d" wid
 
 (* Chrome trace_event JSON (chrome://tracing / Perfetto "JSON Array
-   Format").  Virtual ticks are mapped to microseconds at 1 tick = 10ms.
-   Timeline buckets become "C" counter series; ring events become "i"
-   instants on the emitting worker's thread track. *)
+   Format"), on a dual time base.  Virtual ticks map to microseconds at
+   1 tick = Clock.tick_ns: timeline buckets become "C" counter series
+   and ring events "i" instants.  Real-nanosecond spans (true multicore
+   runs) become "X" complete events at microseconds relative to the
+   sink's creation [epoch_ns] — both halves land on the same axis near
+   t=0, so a merged trace loads coherently either way. *)
 let chrome_events t =
   Timeline.flush t.core.timeline;
+  let spans = span_ring_contents t.core.spans in
+  let wids =
+    List.sort_uniq compare
+      ((Event.lb :: Timeline.workers t.core.timeline)
+      @ List.map (fun sp -> sp.sp_worker) spans)
+  in
   let meta =
     Json.Obj
       [
@@ -168,7 +267,7 @@ let chrome_events t =
                ("tid", num wid);
                ("args", Json.Obj [ ("name", Json.Str (thread_label wid)) ]);
              ])
-         (Event.lb :: Timeline.workers t.core.timeline)
+         wids
   in
   let counter name wid start args =
     Json.Obj
@@ -209,7 +308,22 @@ let chrome_events t =
           ])
       (Trace.contents t.core.trace)
   in
-  meta @ counters @ instants
+  let completes =
+    List.map
+      (fun sp ->
+        Json.Obj
+          [
+            ("name", Json.Str sp.sp_name);
+            ("ph", Json.Str "X");
+            ("pid", num 0);
+            ("tid", num sp.sp_worker);
+            ("ts", Json.Num (float_of_int (sp.sp_start_ns - t.core.epoch_ns) /. 1_000.));
+            ("dur", Json.Num (float_of_int (max 0 (sp.sp_stop_ns - sp.sp_start_ns)) /. 1_000.));
+            ("args", Json.Obj []);
+          ])
+      spans
+  in
+  meta @ counters @ instants @ completes
 
 let write_chrome_trace t oc =
   let buf = Buffer.create 65536 in
@@ -238,7 +352,25 @@ let totals_samples t =
         ])
     (Timeline.totals t.core.timeline)
 
-let metrics_samples t = Metrics.snapshot t.core.metrics @ totals_samples t
+(* The core lock's own try-lock probe, as synthetic counter samples. *)
+let core_lock_samples t =
+  List.map
+    (fun (outcome, v) ->
+      {
+        Metrics.s_name = "obs_core_lock_acquisitions";
+        s_labels = [ ("outcome", outcome) ];
+        s_value = Metrics.Vcounter v;
+      })
+    [
+      ("uncontended", Atomic.get t.core.lk_uncontended);
+      ("contended", Atomic.get t.core.lk_contended);
+    ]
+
+let provider_samples t =
+  List.concat_map (fun (_, f) -> f ()) (List.rev t.core.providers)
+
+let metrics_samples t =
+  Metrics.snapshot t.core.metrics @ totals_samples t @ core_lock_samples t @ provider_samples t
 
 let write_metrics_jsonl t oc =
   let buf = Buffer.create 4096 in

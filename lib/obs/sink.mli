@@ -53,16 +53,37 @@ val observe :
   sat_calls:int ->
   unit
 
+(** Record a completed wall-clock span (real nanoseconds from
+    {!Clock.now_ns}), attributed to this view's worker.  Buffered views
+    stage it domain-privately; spans land in a bounded ring in the core
+    and export as Chrome "X" complete events.  Used by {!Profile} on
+    true multicore runs; the simulated driver never calls this. *)
+val span : t -> name:string -> start_ns:int -> stop_ns:int -> unit
+
+(** {!Clock.now_ns} at [create]; real-ns spans export relative to it. *)
+val epoch_ns : t -> int
+
+(** Register a named export-time sample provider, appended to
+    {!metrics_samples}.  Replaces any provider with the same name, so
+    registering from every per-domain component is idempotent.  Used for
+    stats that live in global state outside any registry (e.g. the
+    hashcons shard-lock probe in [Smt.Expr]). *)
+val set_provider : t -> name:string -> (unit -> Metrics.sample list) -> unit
+
 val attach_spill : t -> out_channel -> unit
 val detach_spill : t -> unit
 
 (** Chrome [trace_event] JSON (one array; load in chrome://tracing or
-    Perfetto): timeline buckets as "C" counter series, ring events as
-    "i" instants, 1 tick = 10ms of trace time. *)
+    Perfetto), on a dual time base: timeline buckets as "C" counter
+    series and ring events as "i" instants at 1 tick = {!Clock.tick_ns}
+    of trace time; real-nanosecond spans as "X" complete events relative
+    to {!epoch_ns}.  Both halves share one microsecond axis. *)
 val write_chrome_trace : t -> out_channel -> unit
 
 (** Registry snapshot plus per-worker timeline totals
-    ([worker_useful_instrs] etc.), one JSON object per line. *)
+    ([worker_useful_instrs] etc.), the core-lock contention probe
+    ([obs_core_lock_acquisitions{outcome=...}]) and any registered
+    provider samples, one JSON object per line. *)
 val write_metrics_jsonl : t -> out_channel -> unit
 
 (** The samples behind [write_metrics_jsonl]. *)

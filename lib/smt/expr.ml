@@ -46,7 +46,7 @@ type t = {
   id : int;
   node : node;
   width : int;
-  mutable syms_memo : Iset.t option;
+  syms_memo : Iset.t option Atomic.t;
 }
 
 and node =
@@ -138,12 +138,91 @@ module Wtbl = Weak.Make (Hashed_node)
 let shard_bits = 8
 let nshards = 1 lsl shard_bits
 
-type shard = { tbl : Wtbl.t; lock : Mutex.t }
+type shard = {
+  tbl : Wtbl.t;
+  lock : Mutex.t;
+  mutable contended : int;  (* try_lock misses; written under [lock] *)
+}
 
-let shards = Array.init nshards (fun _ -> { tbl = Wtbl.create 256; lock = Mutex.create () })
+let shards =
+  Array.init nshards (fun _ -> { tbl = Wtbl.create 256; lock = Mutex.create (); contended = 0 })
+
 let next_id = Atomic.make 0
 let hc_hits = Atomic.make 0
 let hc_misses = Atomic.make 0
+
+(* Contention probe on the shard locks: interning try-locks first and
+   counts which way it went.  Contended acquisitions are additionally
+   timed (gated on [lock_profiling], enabled by the multicore facade)
+   into a hand-rolled Atomic bucket array sharing the obs latency_ns
+   bounds — uncontended ones are never timed, since two clock reads
+   would cost more than the lock itself and swamp the <5% profiling
+   overhead budget. *)
+let lk_uncontended = Atomic.make 0
+let lk_contended = Atomic.make 0
+let lock_profiling = Atomic.make false
+let wait_counts = Array.init (Array.length Obs.Metrics.latency_ns_buckets + 1) (fun _ -> Atomic.make 0)
+let wait_sum_ns = Atomic.make 0
+
+let wait_bucket ns =
+  let bounds = Obs.Metrics.latency_ns_buckets in
+  let n = Array.length bounds in
+  let rec slot i = if i >= n || float_of_int ns <= bounds.(i) then i else slot (i + 1) in
+  slot 0
+
+let lock_shard s =
+  if Mutex.try_lock s.lock then Atomic.incr lk_uncontended
+  else begin
+    Atomic.incr lk_contended;
+    if Atomic.get lock_profiling then begin
+      let t0 = Obs.Clock.now_ns () in
+      Mutex.lock s.lock;
+      let dt = max 0 (Obs.Clock.now_ns () - t0) in
+      Atomic.incr wait_counts.(wait_bucket dt);
+      ignore (Atomic.fetch_and_add wait_sum_ns dt)
+    end
+    else Mutex.lock s.lock;
+    s.contended <- s.contended + 1
+  end
+
+type lock_stats = {
+  lk_uncontended : int;
+  lk_contended : int;
+  lk_wait_counts : int array;  (* length = latency_ns_buckets + 1 (+inf) *)
+  lk_wait_sum_ns : int;
+  lk_top_shards : (int * int) list;  (* (shard index, contended), most contended first *)
+}
+
+let lock_stats () =
+  (* per-shard reads are unsynchronized — stats, not invariants *)
+  let per = Array.mapi (fun i s -> (i, s.contended)) shards in
+  let tops =
+    Array.to_list per
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.filteri (fun i _ -> i < 8)
+  in
+  {
+    lk_uncontended = Atomic.get lk_uncontended;
+    lk_contended = Atomic.get lk_contended;
+    lk_wait_counts = Array.map Atomic.get wait_counts;
+    lk_wait_sum_ns = Atomic.get wait_sum_ns;
+    lk_top_shards = tops;
+  }
+
+let reset_lock_stats () =
+  Atomic.set lk_uncontended 0;
+  Atomic.set lk_contended 0;
+  Array.iter (fun a -> Atomic.set a 0) wait_counts;
+  Atomic.set wait_sum_ns 0;
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      s.contended <- 0;
+      Mutex.unlock s.lock)
+    shards
+
+let set_lock_profiling on = Atomic.set lock_profiling on
 
 type hc_stats = { table_size : int; hits : int; misses : int; next_id : int }
 
@@ -165,9 +244,9 @@ let hashcons_stats () =
 let hashcons node =
   (* the probe's id is never read: [Hashed_node] hashes and compares on the
      node alone, so an id of -1 finds any interned equal *)
-  let probe = { id = -1; node; width = node_width node; syms_memo = None } in
+  let probe = { id = -1; node; width = node_width node; syms_memo = Atomic.make None } in
   let s = shards.(Hashed_node.hash probe land (nshards - 1)) in
-  Mutex.lock s.lock;
+  lock_shard s;
   match Wtbl.find_opt s.tbl probe with
   | Some r ->
     Mutex.unlock s.lock;
@@ -412,13 +491,14 @@ let rec compare_structural a b =
 
 (* Symbol sets are memoized per node; sharing means each distinct subterm
    is computed once per lifetime, so [sym_set] is amortized O(1) on the
-   solver hot path.  The memo write is a benign race under domains: the
-   computed set is a pure function of the (immutable) node, so concurrent
-   writers store structurally equal values and readers see either [None]
-   (recompute) or one of them — both correct, no tearing on a single
-   pointer-sized field. *)
+   solver hot path.  The memo is published through an [Atomic]: the
+   computed set is a pure function of the (immutable) node, so racing
+   writers store structurally equal values and losing one [set] costs a
+   recompute, never correctness — but the Atomic makes the publication
+   well-defined under the OCaml memory model (no relying on "benign"
+   plain-field races). *)
 let rec sym_set e =
-  match e.syms_memo with
+  match Atomic.get e.syms_memo with
   | Some s -> s
   | None ->
     let s =
@@ -429,7 +509,7 @@ let rec sym_set e =
       | Binop (_, a, b) -> Iset.union (sym_set a) (sym_set b)
       | Ite (c, a, b) -> Iset.union (sym_set c) (Iset.union (sym_set a) (sym_set b))
     in
-    e.syms_memo <- Some s;
+    Atomic.set e.syms_memo (Some s);
     s
 
 let syms e = Iset.elements (sym_set e)

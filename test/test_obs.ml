@@ -85,6 +85,169 @@ let test_metrics_diff () =
   | Some { M.s_value = M.Vgauge v; _ } -> Alcotest.(check (float 0.0)) "gauge keeps newer" 9.0 v
   | _ -> Alcotest.fail "missing gauge"
 
+(* --- merge_into: split stream == one stream ----------------------------------- *)
+
+(* Apply one generated operation to a registry.  Instruments are keyed so
+   a stream touches a few counters, gauges and histograms repeatedly. *)
+let apply_op reg (kind, key, amt) =
+  let name prefix = prefix ^ string_of_int key in
+  match kind with
+  | 0 -> M.add (M.counter reg (name "c")) amt
+  | 1 -> M.set (M.gauge reg (name "g")) (float_of_int amt)
+  | _ -> M.observe (M.histogram reg ~buckets:[| 8.0; 32.0; 128.0 |] (name "h")) (float_of_int amt)
+
+let norm_snapshot snap =
+  List.sort compare (List.map (fun s -> (s.M.s_name, s.M.s_labels, s.M.s_value)) snap)
+
+(* The flush path folds each domain's private registry into the shared
+   one with [merge_into]; the property that makes that sound: splitting
+   an operation stream across registries and merging is indistinguishable
+   from applying the whole stream to one registry.  Counters and
+   histograms add, so they can round-robin freely; gauges take the
+   source's value on merge, so all sets of one gauge must route to the
+   same registry (per-key) to keep last-write-wins — exactly how real
+   use splits them (each gauge is owned by one domain). *)
+let prop_merge_into =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_bound 200)
+        (triple (int_bound 2) (int_bound 3) (int_bound 100)))
+  in
+  QCheck2.Test.make ~count:100 ~name:"merge_into: split + merge == one registry" gen (fun ops ->
+      let direct = M.create () in
+      List.iter (apply_op direct) ops;
+      let a = M.create () in
+      let b = M.create () in
+      List.iteri
+        (fun i ((kind, key, _) as op) ->
+          let dst =
+            if kind = 1 then if key mod 2 = 0 then a else b
+            else if i mod 2 = 0 then a
+            else b
+          in
+          apply_op dst op)
+        ops;
+      let merged = M.create () in
+      M.merge_into ~into:merged a;
+      M.merge_into ~into:merged b;
+      norm_snapshot (M.snapshot merged) = norm_snapshot (M.snapshot direct))
+
+(* --- percentile estimation -------------------------------------------------- *)
+
+let test_percentile () =
+  let h vcounts vsum vcount =
+    M.Vhistogram { vbounds = [| 10.0; 20.0; 40.0 |]; vcounts; vsum; vcount }
+  in
+  let v = h [| 1; 2; 1; 0 |] 70.0 4 in
+  Alcotest.(check (option (float 1e-9))) "p0 is the distribution floor" (Some 0.0)
+    (M.percentile v 0.0);
+  Alcotest.(check (option (float 1e-9))) "p50 interpolates within its bucket" (Some 15.0)
+    (M.percentile v 0.5);
+  Alcotest.(check (option (float 1e-9))) "p100 is the top of the last occupied bucket"
+    (Some 40.0) (M.percentile v 1.0);
+  (* ranks landing in the +inf overflow bucket clamp to the last finite bound *)
+  let overflow = h [| 0; 0; 0; 2 |] 1000.0 2 in
+  Alcotest.(check (option (float 1e-9))) "overflow clamps to last finite bound" (Some 40.0)
+    (M.percentile overflow 0.5);
+  Alcotest.(check (option (float 1e-9))) "empty histogram" None
+    (M.percentile (h [| 0; 0; 0; 0 |] 0.0 0) 0.5);
+  Alcotest.(check (option (float 1e-9))) "non-histogram" None (M.percentile (M.Vcounter 3) 0.5)
+
+(* --- buffered view flush edges ------------------------------------------------ *)
+
+let test_buffered_threshold_flush () =
+  let s = Obs.Sink.create ~trace_capacity:100_000 () in
+  let v = Obs.Sink.buffered s 3 in
+  let appended () = Obs.Trace.appended (Obs.Sink.trace s) in
+  let pushed = ref 0 in
+  (* stage events until the auto-flush fires: the core must receive the
+     staged batch exactly when the buffer reaches its threshold, in one
+     go, never a partial prefix *)
+  while appended () = 0 && !pushed < 100_000 do
+    Obs.Sink.event v (Obs.Event.Mark "m");
+    incr pushed
+  done;
+  Alcotest.(check bool) "auto-flush fired" true (appended () > 0);
+  Alcotest.(check int) "flush hands over exactly the staged batch" !pushed (appended ());
+  (* the buffer restarts empty: the next event stages privately again *)
+  Obs.Sink.event v (Obs.Event.Mark "m");
+  Alcotest.(check int) "buffer restarts empty after the flush" !pushed (appended ())
+
+let test_buffered_flush_merges_once () =
+  let s = Obs.Sink.create () in
+  let v = Obs.Sink.buffered s 1 in
+  let c = M.counter (Obs.Sink.metrics v) "probe" in
+  M.add c 5;
+  let core_value () =
+    match M.find (Obs.Sink.metrics_samples s) "probe" [] with
+    | Some { M.s_value = M.Vcounter n; _ } -> Some n
+    | _ -> None
+  in
+  Alcotest.(check (option int)) "metrics stay private before flush" None (core_value ());
+  Obs.Sink.flush v;
+  Alcotest.(check (option int)) "flush folds the private registry in" (Some 5) (core_value ());
+  M.add c 3;
+  Obs.Sink.flush v;
+  Alcotest.(check (option int)) "a second flush must not double-merge" (Some 5) (core_value ())
+
+let test_buffered_flush_empty () =
+  let s = Obs.Sink.create () in
+  let v = Obs.Sink.buffered s 2 in
+  (* flushing a view that never staged anything must be a clean no-op on
+     the ring (the exit path always flushes, even idle workers) *)
+  Obs.Sink.flush v;
+  Obs.Sink.flush v;
+  Alcotest.(check int) "no events reached the ring" 0 (Obs.Trace.appended (Obs.Sink.trace s));
+  ignore (Obs.Sink.metrics_samples s)
+
+(* --- chrome exporter: dual time base ------------------------------------------ *)
+
+let test_chrome_trace_dual_timebase () =
+  let s = Obs.Sink.create () in
+  let epoch = Obs.Sink.epoch_ns s in
+  Obs.Sink.set_now s 3;
+  Obs.Sink.event s (Obs.Event.Mark "tickside");
+  Obs.Sink.span s ~name:"work" ~start_ns:(epoch + 5_000) ~stop_ns:(epoch + 25_000);
+  (* a span whose clock went backwards must clamp, not go negative *)
+  Obs.Sink.span s ~name:"backwards" ~start_ns:(epoch + 9_000) ~stop_ns:(epoch + 4_000);
+  let path = Filename.temp_file "c9dual" ".json" in
+  let oc = open_out path in
+  Obs.Sink.write_chrome_trace s oc;
+  close_out oc;
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let events =
+    match J.parse_exn text with J.Arr l -> l | _ -> Alcotest.fail "trace must be one JSON array"
+  in
+  let find name =
+    match
+      List.filter
+        (fun e -> Option.bind (J.member "name" e) J.to_str = Some name)
+        events
+    with
+    | [ e ] -> e
+    | l -> Alcotest.failf "expected exactly one %S event, got %d" name (List.length l)
+  in
+  let field e k = Option.bind (J.member k e) J.to_float in
+  let phase e = Option.bind (J.member "ph" e) J.to_str in
+  let work = find "work" in
+  Alcotest.(check (option string)) "span is a complete event" (Some "X") (phase work);
+  Alcotest.(check (option (float 1e-9))) "span ts is epoch-relative us" (Some 5.0)
+    (field work "ts");
+  Alcotest.(check (option (float 1e-9))) "span dur in us" (Some 20.0) (field work "dur");
+  Alcotest.(check (option (float 1e-9))) "backwards span clamps to zero" (Some 0.0)
+    (field (find "backwards") "dur");
+  (* the tick-mapped instant coexists in the same file, on the same
+     microsecond axis, at 1 tick = Clock.tick_ns (instants export under
+     the event's kind name; the mark text lives in args) *)
+  let inst = find "mark" in
+  Alcotest.(check (option string)) "instant keeps its phase" (Some "i") (phase inst);
+  Alcotest.(check (option (float 1e-9))) "instant ts maps ticks to us"
+    (Some (3.0 *. float_of_int Obs.Clock.tick_ns /. 1_000.0))
+    (field inst "ts")
+
 (* --- trace ring ------------------------------------------------------------- *)
 
 let test_trace_ring_bound () =
@@ -308,6 +471,15 @@ let () =
           Alcotest.test_case "instruments" `Quick test_metrics_instruments;
           Alcotest.test_case "families + type mismatch" `Quick test_metrics_families_and_mismatch;
           Alcotest.test_case "diff" `Quick test_metrics_diff;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_merge_into ] );
+      ( "buffered sink",
+        [
+          Alcotest.test_case "threshold flush" `Quick test_buffered_threshold_flush;
+          Alcotest.test_case "flush merges metrics once" `Quick test_buffered_flush_merges_once;
+          Alcotest.test_case "flush with empty buffer" `Quick test_buffered_flush_empty;
+          Alcotest.test_case "chrome dual time base" `Quick test_chrome_trace_dual_timebase;
         ] );
       ( "trace",
         [

@@ -53,6 +53,57 @@ let test_hashcons_stress () =
   Alcotest.(check bool) "ids monotone" true (st.Expr.next_id >= IS.max_elt ids);
   Alcotest.(check bool) "interning hit the table" true (st.Expr.hits > 0)
 
+(* The sym_set memo is published through an Atomic on each node: domains
+   racing to memoize the same shared term must all read either None or a
+   fully built set, never a torn value.  Build a deep shared expression,
+   then have 4 domains walk it concurrently and compare every answer to
+   the sequentially computed reference. *)
+let test_syms_memo_race () =
+  let nd = 4 in
+  (* deep chain over many symbols so the memo race has real surface *)
+  let terms =
+    Array.init 64 (fun i ->
+        let rec build depth acc =
+          if depth = 0 then acc
+          else
+            let x = Expr.sym_with_id ~id:(2_000_000 + (i * 40) + depth) ~name:"s" 32 in
+            build (depth - 1) (Expr.add (Expr.mul acc x) (Expr.of_int ~width:32 depth))
+        in
+        build 32 (Expr.sym_with_id ~id:(2_000_000 + (i * 40)) ~name:"s" 32))
+  in
+  let reference = Array.map Expr.sym_set terms in
+  (* fresh structurally-equal terms intern to the same memoized nodes, so
+     the reference walk above already primed some memos; rebuild a second
+     batch that no one has walked yet to race on cold memos too *)
+  let cold =
+    Array.init 64 (fun i ->
+        let rec build depth acc =
+          if depth = 0 then acc
+          else
+            let x = Expr.sym_with_id ~id:(3_000_000 + (i * 40) + depth) ~name:"s" 32 in
+            build (depth - 1) (Expr.add (Expr.mul acc x) (Expr.of_int ~width:32 depth))
+        in
+        build 32 (Expr.sym_with_id ~id:(3_000_000 + (i * 40)) ~name:"s" 32))
+  in
+  let walk () = Array.map Expr.sym_set cold in
+  let results = Array.map Domain.join (Array.init nd (fun _ -> Domain.spawn walk)) in
+  let cold_reference = Array.map Expr.sym_set cold in
+  Array.iter
+    (fun per_domain ->
+      Array.iteri
+        (fun i s ->
+          if not (Expr.Iset.equal s cold_reference.(i)) then
+            Alcotest.failf "concurrent sym_set disagrees with sequential at term %d" i)
+        per_domain)
+    results;
+  (* warm memos stay correct after the stampede *)
+  Array.iteri
+    (fun i t ->
+      if not (Expr.Iset.equal (Expr.sym_set t) reference.(i)) then
+        Alcotest.failf "memoized sym_set changed at term %d" i)
+    terms;
+  Alcotest.(check int) "reference cardinality sane" 33 (Expr.Iset.cardinal reference.(0))
+
 (* Fresh symbols minted concurrently must never collide. *)
 let test_fresh_sym_unique () =
   let nd = 4 and per = 1_000 in
@@ -106,14 +157,78 @@ let differential ~name ~variant () =
   Alcotest.(check int)
     "transfers = jobs moved" par.Cluster.Parallel.transfers par.Cluster.Parallel.jobs_sent
 
+(* --- wall-clock profiling smoke ----------------------------------------- *)
+
+(* A profiled 4-domain run must reconcile: every answered solver query
+   closes exactly one latency span, the workers that started without
+   jobs must have recorded mailbox waits, the shard-lock probe must have
+   counted the run's interning, and the exported trace must carry
+   real-nanosecond "X" spans next to the tick-based instants. *)
+let test_profiled_run_reconciles () =
+  let target =
+    match Core.Registry.resolve ~name:"test" ~variant:(Some "sym-3") with
+    | Some t -> t
+    | None -> Alcotest.fail "registry target test/sym-3 missing"
+  in
+  let obs = Obs.Sink.create () in
+  let r = C.run_parallel ~obs ~ndomains:4 target in
+  let samples = Obs.Sink.metrics_samples obs in
+  let hist_count name want_kind =
+    List.fold_left
+      (fun acc (s : Obs.Metrics.sample) ->
+        match s.Obs.Metrics.s_value with
+        | Obs.Metrics.Vhistogram h
+          when s.Obs.Metrics.s_name = name
+               && List.assoc_opt "kind" s.Obs.Metrics.s_labels = Some want_kind ->
+          acc + h.vcount
+        | _ -> acc)
+      0 samples
+  in
+  Alcotest.(check int) "every query closed exactly one span"
+    r.Cluster.Parallel.solver_stats.Smt.Solver.queries
+    (hist_count "latency_ns" "solver_query");
+  (* workers 1-3 start with empty queues, so someone must have waited *)
+  Alcotest.(check bool) "mailbox waits recorded" true
+    (hist_count "latency_ns" "mailbox_wait" >= 1);
+  let lock_counter outcome =
+    match
+      Obs.Metrics.find samples "hashcons_lock_acquisitions" [ ("outcome", outcome) ]
+    with
+    | Some { Obs.Metrics.s_value = Obs.Metrics.Vcounter n; _ } -> n
+    | _ -> Alcotest.failf "hashcons_lock_acquisitions{outcome=%s} missing" outcome
+  in
+  Alcotest.(check bool) "shard-lock probe counted the run" true
+    (lock_counter "uncontended" + lock_counter "contended" > 0);
+  let path = Filename.temp_file "c9par" ".json" in
+  let oc = open_out path in
+  Obs.Sink.write_chrome_trace obs oc;
+  close_out oc;
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let events =
+    match Obs.Json.parse_exn text with
+    | Obs.Json.Arr l -> l
+    | _ -> Alcotest.fail "trace must be one JSON array"
+  in
+  let phases =
+    List.filter_map (fun e -> Option.bind (Obs.Json.member "ph" e) Obs.Json.to_str) events
+  in
+  Alcotest.(check bool) "real-ns X spans exported" true (List.mem "X" phases);
+  Alcotest.(check bool) "tick-based instants exported alongside" true (List.mem "i" phases)
+
 let () =
   Alcotest.run "parallel"
     [
       ( "domain-safety",
         [
           Alcotest.test_case "hashcons 4-domain stress" `Quick test_hashcons_stress;
+          Alcotest.test_case "sym_set memo 4-domain race" `Quick test_syms_memo_race;
           Alcotest.test_case "fresh_sym unique across domains" `Quick test_fresh_sym_unique;
         ] );
+      ( "profiling",
+        [ Alcotest.test_case "profiled run reconciles" `Quick test_profiled_run_reconciles ] );
       ( "differential",
         [
           Alcotest.test_case "test/sym-3: parallel = simulated = local" `Quick
