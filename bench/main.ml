@@ -1139,6 +1139,107 @@ let bench_scaling ?(quick = false) () =
   end
 
 (* ====================================================================== *)
+(* Faults on real domains: the differential gate for the fault-tolerant  *)
+(* multicore runtime -- crashes, rejoins and message loss on real        *)
+(* Domain.t's must not change a single path or error count               *)
+(* ====================================================================== *)
+
+let bench_faults_parallel ?(quick = false) () =
+  section "Fault tolerance on real domains"
+    "Faulty Cluster.Parallel runs (real OCaml domains) against the fault-free\n\
+     simulated reference: one scenario crashes a domain permanently, one\n\
+     crashes and rejoins it, both with seeded message loss on the leased job\n\
+     wire.  Hard gate: every faulty run must terminate (no watchdog) with\n\
+     exactly the reference path and error totals (exit non-zero if not).";
+  let module CP = Cluster.Parallel in
+  let wname, program =
+    if quick then ("printf-fmt4", Targets.Printf_target.program ~fmt_len:4)
+    else ("memcached-2pkt4", Targets.Memcached_mini.symbolic_packets ~npackets:2 ~pkt_len:4)
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  (* the deterministic virtual-time driver is the fault-free reference *)
+  let sim = cluster ~nworkers:4 ~speed:200 program in
+  Printf.printf "%s: fault-free simulated reference %d paths (%d errors)\n%!" wname
+    sim.CD.total_paths sim.CD.total_errors;
+  let ndomains = 3 in
+  let coverable = List.length (Cvm.Program.covered_lines program) in
+  let run_faulty name plan ~min_crashes =
+    let make_worker i =
+      let solver = Smt.Solver.create () in
+      let cfg =
+        Posix.Api.make_config ~solver ~max_steps:2_000_000 ~nlines:program.Cvm.Program.nlines ()
+      in
+      let make_root () = Posix.Api.initial_state program ~args:[] in
+      Cluster.Worker.create ~id:i ~cfg ~make_root ~seed:42 ()
+    in
+    let cfg = CP.default_config ~faults:plan ~ndomains ~make_worker () in
+    let cfg = { cfg with CP.heartbeat_ticks = 1_000; watchdog = 120.0 } in
+    let t0 = Unix.gettimeofday () in
+    let r = CP.run ~coverable_lines:coverable cfg in
+    let t = Unix.gettimeofday () -. t0 in
+    Printf.printf
+      "%-16s %6.2fs  paths=%5d errors=%3d crashes=%d recovered=%4d retransmits=%3d \
+       recovery-replay=%d\n\
+       %!"
+      name t r.CP.total_paths r.CP.total_errors r.CP.crashes r.CP.recovered_jobs
+      r.CP.retransmits r.CP.recovery_replay_instrs;
+    if r.CP.total_paths <> sim.CD.total_paths then
+      fail "%s: %d paths, the fault-free reference found %d" name r.CP.total_paths
+        sim.CD.total_paths;
+    if r.CP.total_errors <> sim.CD.total_errors then
+      fail "%s: %d errors, the fault-free reference found %d" name r.CP.total_errors
+        sim.CD.total_errors;
+    if r.CP.crashes < min_crashes then
+      fail "%s: only %d crash(es) happened, the plan scheduled %d (run over before the tick?)"
+        name r.CP.crashes min_crashes;
+    (name, t, r)
+  in
+  (* coordinator ticks are ~1 ms: crash early enough to always fire, late
+     enough that the victim usually holds stolen work to orphan *)
+  let t1 = if quick then 40 else 80 in
+  let scenarios =
+    [
+      ( "crash-no-rejoin",
+        Cluster.Faultplan.create
+          ~crashes:[ Cluster.Faultplan.crash 1 ~at_tick:t1 ]
+          ~drop_prob:0.1 ~seed:11 (),
+        1 );
+      ( "crash-rejoin",
+        Cluster.Faultplan.create
+          ~crashes:[ Cluster.Faultplan.crash 2 ~at_tick:(t1 / 2) ~rejoin_after:40 ]
+          ~drop_prob:0.05 ~seed:13 (),
+        1 );
+    ]
+  in
+  let rows = List.map (fun (nm, plan, mc) -> run_faulty nm plan ~min_crashes:mc) scenarios in
+  Printf.printf "result exactness: %s\n" (if !failures = [] then "EXACT" else "MISMATCH");
+  let oc = open_out "BENCH_faults_parallel.json" in
+  Printf.fprintf oc
+    "{ \"bench\": \"faults-parallel\", \"quick\": %b, \"workload\": %S, \"ndomains\": %d,\n\
+    \  \"reference\": { \"paths\": %d, \"errors\": %d },\n\
+    \  \"scenarios\": ["
+    quick wname ndomains sim.CD.total_paths sim.CD.total_errors;
+  List.iteri
+    (fun i (name, t, (r : CP.result)) ->
+      Printf.fprintf oc
+        "%s\n\
+        \  { \"name\": %S, \"seconds\": %.4f, \"paths\": %d, \"errors\": %d, \"crashes\": %d,\n\
+        \    \"recovered_jobs\": %d, \"retransmits\": %d, \"recovery_replay_instrs\": %d,\n\
+        \    \"transfers\": %d, \"steals\": %d }"
+        (if i = 0 then "" else ",")
+        name t r.CP.total_paths r.CP.total_errors r.CP.crashes r.CP.recovered_jobs
+        r.CP.retransmits r.CP.recovery_replay_instrs r.CP.transfers r.CP.steals)
+    rows;
+  Printf.fprintf oc " ],\n  \"ok\": %b }\n" (!failures = []);
+  close_out oc;
+  Printf.printf "wrote BENCH_faults_parallel.json\n";
+  if !failures <> [] then begin
+    List.iter (fun m -> Printf.printf "FAULT GATE: %s\n" m) (List.rev !failures);
+    exit 1
+  end
+
+(* ====================================================================== *)
 (* Profile: wall-clock profiling of the multicore runtime -- latency     *)
 (* percentiles, shard-lock contention, and the A/B overhead gate         *)
 (* ====================================================================== *)
@@ -1375,6 +1476,8 @@ let experiments =
     ("solver", bench_solver);
     ("scaling", fun () -> bench_scaling ());
     ("scaling-quick", fun () -> bench_scaling ~quick:true ());
+    ("faults-parallel", fun () -> bench_faults_parallel ());
+    ("faults-parallel-quick", fun () -> bench_faults_parallel ~quick:true ());
     ("profile", bench_profile);
     ("smoke", smoke);
     ("obs-overhead", obs_overhead);

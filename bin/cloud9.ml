@@ -194,8 +194,28 @@ let run_cluster ?obs target nworkers speed goal max_steps crashes rejoin msg_los
       r.Cluster.Driver.crashes r.Cluster.Driver.recovered_jobs r.Cluster.Driver.retransmits
       r.Cluster.Driver.recovery_replay_instrs
 
-let run_parallel ?obs target ndomains max_steps =
-  let options = { C.default_cluster_options with C.cworker_max_steps = Some max_steps } in
+let run_parallel ?obs target ndomains max_steps crashes rejoin msg_loss =
+  (* the same --crash/--rejoin/--msg-loss flags compose with --parallel;
+     ticks are coordinator ticks (~1 ms each) on real domains *)
+  let fault_plan =
+    Cluster.Faultplan.create
+      ~crashes:
+        (List.map
+           (fun (w, t) ->
+             Cluster.Faultplan.crash
+               ?rejoin_after:(if rejoin > 0 then Some rejoin else None)
+               w ~at_tick:t)
+           crashes)
+      ~drop_prob:msg_loss ()
+  in
+  (match Cluster.Faultplan.validate fault_plan ~nworkers:ndomains with
+  | Ok () -> ()
+  | Error m ->
+    Printf.eprintf "cloud9: %s\n" m;
+    exit 1);
+  let options =
+    { C.default_cluster_options with C.cworker_max_steps = Some max_steps; fault_plan }
+  in
   let r = C.run_parallel ?obs ~ndomains ~options target in
   Printf.printf "parallel: %d domains, %d paths (%d errors), %.1f%% coverage\n"
     r.Cluster.Parallel.ndomains r.Cluster.Parallel.total_paths r.Cluster.Parallel.total_errors
@@ -205,6 +225,11 @@ let run_parallel ?obs target ndomains max_steps =
      replays\n"
     r.Cluster.Parallel.useful_instrs r.Cluster.Parallel.replay_instrs
     r.Cluster.Parallel.transfers r.Cluster.Parallel.steals r.Cluster.Parallel.broken_replays;
+  if not (Cluster.Faultplan.is_faultless fault_plan) then
+    Printf.printf
+      "faults: %d crashes, %d jobs recovered, %d retransmits, %d recovery replay instructions\n"
+      r.Cluster.Parallel.crashes r.Cluster.Parallel.recovered_jobs
+      r.Cluster.Parallel.retransmits r.Cluster.Parallel.recovery_replay_instrs;
   let st = r.Cluster.Parallel.solver_stats in
   Printf.printf "solver: %d queries, %d SAT calls, %d cache hits, %d model-probe hits\n"
     st.Smt.Solver.queries st.Smt.Solver.sat_calls st.Smt.Solver.cache_hits
@@ -223,7 +248,8 @@ let run_cmd =
         if trace <> None || metrics <> None then Some (Obs.Sink.create ()) else None
       in
       (match parallel with
-      | Some ndomains when ndomains >= 1 -> run_parallel ?obs target ndomains max_steps
+      | Some ndomains when ndomains >= 1 ->
+        run_parallel ?obs target ndomains max_steps crashes rejoin msg_loss
       | _ ->
       if workers <= 1 then begin
         let goal =

@@ -15,14 +15,15 @@
    later with a fresh engine), drop / duplicate / delay messages, and
    partition links.  The data plane — job transfers, their acks, and
    transfer requests — is therefore at-least-once: every routed job batch
-   is leased in the {!Ledger} and retransmitted with exponential backoff
-   until acknowledged; receivers deduplicate by lease id.  Status reports
-   are the reliable control plane and double as each worker's durable
-   recovery point: on a crash the driver credits the victim's
-   last-reported counters, expires its leases, and re-seeds the orphaned
-   subtrees on live workers as virtual candidates — lazy replay
-   reconstructs the states, and the replay-instruction counters measure
-   the recovery cost.  A live worker that exhausts a lease's retransmit
+   is leased and retransmitted with exponential backoff until
+   acknowledged; receivers deduplicate by lease id.  Status reports are
+   the reliable control plane and double as each worker's durable
+   recovery point.  The lease/crash-recovery state machine itself lives
+   in {!Transport}, shared with the real-domain {!Parallel} runtime;
+   this driver supplies the virtual-time backend: a latency-stamped
+   inbox lossy per {!Faultplan.fate}, and a [begin_crash] that drops the
+   simulated engine, filters undeliverable traffic, and forgets the
+   balancer entry.  A live worker that exhausts a lease's retransmit
    budget is evicted through the same crash path, which is what keeps
    re-routing from ever double-exploring a subtree.
 
@@ -102,10 +103,12 @@ let popcount_bytes b =
   !c
 
 let run ?obs (cfg : 'env config) =
+  (match Faultplan.validate cfg.faults ~nworkers:cfg.nworkers with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Driver.run: " ^ m));
   let workers : 'env Worker.t option array = Array.make cfg.nworkers None in
   let departed = Array.make cfg.nworkers false in (* crashed; blocks re-arrival *)
   let frt = Faultplan.make cfg.faults in
-  let ledger = Ledger.create ~base_timeout:(6 * (cfg.latency + 1)) ?obs () in
   (* observability plumbing.  The driver owns virtual time: it advances
      the sink's clock once per tick and takes one cumulative timeline
      sample per live worker per tick (plus a final one at crash time, so
@@ -141,20 +144,11 @@ let run ?obs (cfg : 'env config) =
   let stop = ref false in
   let reached = ref false in
   let root_seeded = ref false in
-  (* fault-tolerance bookkeeping *)
-  let crashes_total = ref 0 in
-  let recovered_total = ref 0 in
-  let global_bans : Path.t list ref = ref [] in
-  let pending_recovery : Path.t list ref = ref [] in (* orphans awaiting a live worker *)
-  (* lease id -> worker that processed it: receiver-side dedup, and the
-     source of the cumulative acknowledgement piggybacked on reports *)
-  let processed_leases : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  (* counters of crashed workers, captured at crash time: [d_paths] and
-     [d_errors] hold only the *reported* counts (unreported completions
-     are redone by recovery and counted there — never twice), while the
-     instruction counters hold everything the dead engine physically
-     executed *)
-  let d_paths = ref 0 and d_errors = ref 0 in
+  (* counters of crashed workers, captured at crash time: the reported
+     path/error counts live in the transport's credits (unreported
+     completions are redone by recovery and counted there — never
+     twice), while these instruction counters hold everything the dead
+     engine physically executed *)
   let d_useful = ref 0 and d_replay = ref 0 and d_broken = ref 0 in
   let d_recov_replay = ref 0 in
 
@@ -167,9 +161,64 @@ let run ?obs (cfg : 'env config) =
   let alive_workers () =
     Array.to_list workers |> List.filter_map (fun w -> w)
   in
+  let jobs_delay jobs =
+    (* transfer size adds latency: 1 tick per 4 KiB of encoding *)
+    cfg.latency + (Job.tree_encoded_size jobs / 4096)
+  in
+  (* The shared fault-tolerance core, driving this simulation's wire:
+     leased sends enter the lossy latency-stamped inbox, and a
+     crash-stop tears the simulated worker down before the transport
+     reconstructs its unexplored region from the ledger. *)
+  let transport =
+    Transport.create ~base_timeout:(6 * (cfg.latency + 1)) ?obs
+      {
+        Transport.nworkers = cfg.nworkers;
+        send_jobs =
+          (fun ~src ~lease ~dst ~jobs ~recovery ~resend:_ ->
+            send_net ~at:(!tick + jobs_delay jobs) ~src ~dst
+              (Jobs { lease; src; dst; jobs; recovery }));
+        install_bans =
+          (fun bans -> List.iter (fun w -> Worker.ban_paths w bans) (alive_workers ()));
+        live_workers =
+          (fun () ->
+            Array.to_list workers
+            |> List.mapi (fun i w -> Option.map (fun w -> (i, Worker.queue_length w)) w)
+            |> List.filter_map (fun x -> x));
+        begin_crash =
+          (fun ~worker:i ->
+            if i < 0 || i >= cfg.nworkers then false (* out-of-range victim *)
+            else
+              match workers.(i) with
+              | None -> false (* scheduled crash of a worker not (yet, anymore) alive *)
+              | Some w ->
+                departed.(i) <- true;
+                sample_worker i w; (* last timeline sample before the engine is dropped *)
+                emit (Obs.Event.Crash { worker = i });
+                Smt.Solver.accum_stats d_solver (Smt.Solver.stats w.Worker.cfg.Executor.solver);
+                let _, _, useful, replay = Worker.stats w in
+                d_useful := !d_useful + useful;
+                d_replay := !d_replay + replay;
+                d_broken := !d_broken + w.Worker.broken_replays;
+                d_recov_replay := !d_recov_replay + w.Worker.recovery_replay_instrs;
+                (* undeliverable traffic: jobs to the dead worker are already
+                   re-routed through their leases; requests involving it are moot *)
+                inbox :=
+                  List.filter
+                    (fun (_, m) ->
+                      match m with
+                      | Jobs { dst; _ } -> dst <> i
+                      | Transfer_request { src; dst; _ } -> src <> i && dst <> i
+                      | Ack _ -> true (* stale acks are ignored by the ledger *))
+                    !inbox;
+                (match !lb with Some b -> Balancer.forget b ~worker:i | None -> ());
+                workers.(i) <- None;
+                true);
+      }
+  in
+  let ledger = Transport.ledger transport in
   let spawn i =
     let w = cfg.make_worker i in
-    Worker.ban_paths w !global_bans;
+    Worker.ban_paths w (Transport.bans transport);
     (match !lb with
     | Some _ -> ()
     | None ->
@@ -187,79 +236,9 @@ let run ?obs (cfg : 'env config) =
     end;
     w
   in
-  let jobs_delay jobs =
-    (* transfer size adds latency: 1 tick per 4 KiB of encoding *)
-    cfg.latency + (Job.tree_encoded_size jobs / 4096)
-  in
-  (* Re-seed orphaned jobs as recovery leases, spread over the live
-     workers least-loaded first; parked until a worker is alive. *)
-  let route_recovery t orphans =
-    if orphans <> [] then begin
-      let live =
-        Array.to_list workers
-        |> List.mapi (fun i w -> Option.map (fun w -> (i, Worker.queue_length w)) w)
-        |> List.filter_map (fun x -> x)
-        |> List.sort (fun (_, a) (_, b) -> compare a b)
-      in
-      match live with
-      | [] -> pending_recovery := orphans @ !pending_recovery
-      | _ ->
-        let n = List.length live in
-        let chunks = Array.make n [] in
-        List.iteri (fun k job -> chunks.(k mod n) <- job :: chunks.(k mod n)) orphans;
-        List.iteri
-          (fun k (dst, _) ->
-            match chunks.(k) with
-            | [] -> ()
-            | jobs ->
-              let lease = Ledger.issue ledger ~dst ~jobs ~now:t ~recovery:true in
-              recovered_total := !recovered_total + List.length jobs;
-              send_net ~at:(t + jobs_delay jobs) ~src:Faultplan.lb ~dst
-                (Jobs { lease; src = Faultplan.lb; dst; jobs; recovery = true }))
-          live
-    end
-  in
-  (* Crash-stop a worker: credit its last-reported results, expire its
-     leases, return its orphaned subtrees to the recovery pool, and warn
-     live workers off the nodes it had already handed away. *)
-  let handle_crash t i =
-    if i < 0 || i >= cfg.nworkers then () (* fault plan names a worker outside the cluster *)
-    else match workers.(i) with
-    | None -> () (* scheduled crash of a worker not (yet, anymore) alive *)
-    | Some w ->
-      incr crashes_total;
-      departed.(i) <- true;
-      sample_worker i w; (* last timeline sample before the engine is dropped *)
-      emit (Obs.Event.Crash { worker = i });
-      Smt.Solver.accum_stats d_solver (Smt.Solver.stats w.Worker.cfg.Executor.solver);
-      let { Ledger.credit_paths; credit_errors; orphans; bans } =
-        Ledger.on_crash ledger ~worker:i
-      in
-      d_paths := !d_paths + credit_paths;
-      d_errors := !d_errors + credit_errors;
-      let _, _, useful, replay = Worker.stats w in
-      d_useful := !d_useful + useful;
-      d_replay := !d_replay + replay;
-      d_broken := !d_broken + w.Worker.broken_replays;
-      d_recov_replay := !d_recov_replay + w.Worker.recovery_replay_instrs;
-      (* undeliverable traffic: jobs to the dead worker are already
-         re-routed through their leases; requests involving it are moot *)
-      inbox :=
-        List.filter
-          (fun (_, m) ->
-            match m with
-            | Jobs { dst; _ } -> dst <> i
-            | Transfer_request { src; dst; _ } -> src <> i && dst <> i
-            | Ack _ -> true (* stale acks are ignored by the ledger *))
-          !inbox;
-      (match !lb with Some b -> Balancer.forget b ~worker:i | None -> ());
-      workers.(i) <- None;
-      if bans <> [] then begin
-        global_bans := bans @ !global_bans;
-        List.iter (fun w -> Worker.ban_paths w bans) (alive_workers ())
-      end;
-      route_recovery t orphans
-  in
+  (* lease id -> worker that processed it: receiver-side dedup, and the
+     source of the cumulative acknowledgement piggybacked on reports *)
+  let processed_leases : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let global_coverage_fraction () =
     match !lb with
     | None -> 0.0
@@ -281,7 +260,11 @@ let run ?obs (cfg : 'env config) =
       (fun (p, e, u, r, b) w ->
         let paths, errs, useful, replay = Worker.stats w in
         (p + paths, e + errs, u + useful, r + replay, b + w.Worker.broken_replays))
-      (!d_paths, !d_errors, !d_useful, !d_replay, !d_broken)
+      ( Transport.credit_paths transport,
+        Transport.credit_errors transport,
+        !d_useful,
+        !d_replay,
+        !d_broken )
       (alive_workers ())
   in
 
@@ -289,7 +272,9 @@ let run ?obs (cfg : 'env config) =
     let t = !tick in
     (match obs with Some s -> Obs.Sink.set_now s t | None -> ());
     (* scheduled faults: crash-stop, then fresh-engine rejoins *)
-    List.iter (handle_crash t) (Faultplan.crashes_at frt ~tick:t);
+    List.iter
+      (fun i -> Transport.handle_crash transport ~now:t ~worker:i)
+      (Faultplan.crashes_at frt ~tick:t);
     List.iter
       (fun i ->
         if i >= 0 && i < cfg.nworkers && workers.(i) = None then begin
@@ -306,10 +291,7 @@ let run ?obs (cfg : 'env config) =
         if i = 0 && not !root_seeded then begin
           Worker.seed_root w;
           root_seeded := true;
-          (* the root job is leased like any routed job, so a crash of
-             worker 0 before its first status report re-seeds the tree *)
-          let lease = Ledger.issue ledger ~dst:0 ~jobs:[ [] ] ~now:t ~recovery:false in
-          Ledger.mark_delivered ledger ~lease ~now:t
+          Transport.seed_root transport ~dst:0 ~now:t
         end
       end
     done;
@@ -340,12 +322,8 @@ let run ?obs (cfg : 'env config) =
           match (workers.(src), workers.(dst)) with
           | Some w, Some _ ->
             let jobs = Worker.transfer_out w ~count in
-            if jobs <> [] then begin
-              Ledger.record_sent_out ledger ~src ~jobs;
-              let lease = Ledger.issue ledger ~dst ~jobs ~now:t ~recovery:false in
-              send_net ~at:(t + jobs_delay jobs) ~src ~dst
-                (Jobs { lease; src; dst; jobs; recovery = false })
-            end
+            if jobs <> [] then
+              ignore (Transport.issue_transfer transport ~src ~dst ~jobs ~now:t)
           | _ -> ())
         | Ack { lease; _ } -> Ledger.mark_delivered ledger ~lease ~now:t)
       due;
@@ -400,32 +378,11 @@ let run ?obs (cfg : 'env config) =
               (Transfer_request { src; dst; count }))
           (Balancer.rebalance ~now:t ~staleness:(2 * cfg.status_interval) b)
     end;
-    (* at-least-once delivery: resend leases past their backoff deadline;
-       a lease that exhausts its retransmit budget evicts its destination
-       (the crash path keeps the re-route exact) and re-routes the jobs *)
-    let resend, failed = Ledger.tick_timeouts ledger ~now:t in
-    List.iter
-      (fun (l : Ledger.lease) ->
-        send_net ~at:(t + jobs_delay l.Ledger.l_jobs) ~src:Faultplan.lb ~dst:l.Ledger.l_dst
-          (Jobs
-             {
-               lease = l.Ledger.lease_id;
-               src = Faultplan.lb;
-               dst = l.Ledger.l_dst;
-               jobs = l.Ledger.l_jobs;
-               recovery = l.Ledger.l_recovery;
-             }))
-      resend;
-    (* eviction re-seeds the failed lease too: [on_crash] collects every
-       lease to the victim, deduplicated against its reported digest (the
-       payload may have arrived with all its acks lost) *)
-    List.iter (fun (l : Ledger.lease) -> handle_crash t l.Ledger.l_dst) failed;
-    (* orphans parked while no worker was alive *)
-    if !pending_recovery <> [] && alive_workers () <> [] then begin
-      let orphans = !pending_recovery in
-      pending_recovery := [];
-      route_recovery t orphans
-    end;
+    (* at-least-once delivery: the transport resends leases past their
+       backoff deadline, evicts destinations that exhaust the retransmit
+       budget (the crash path keeps the re-route exact), and re-routes
+       orphans parked while no worker was alive *)
+    Transport.tick transport ~now:t;
     (* bucket bookkeeping: sample the candidate population every tick so
        the bucket reports an average, not an end-of-bucket snapshot *)
     !cur_bucket.cand_sum <-
@@ -447,8 +404,7 @@ let run ?obs (cfg : 'env config) =
     let exhausted () =
       !root_seeded
       && !inbox = []
-      && !pending_recovery = []
-      && Ledger.pending ledger = 0
+      && Transport.quiesced transport
       && (match alive_workers () with
          | [] -> false
          | ws -> List.for_all Worker.is_idle ws)
@@ -486,9 +442,9 @@ let run ?obs (cfg : 'env config) =
         (fun w -> (w.Worker.id, w.Worker.cfg.Executor.stats.Executor.useful_instrs))
         (alive_workers ());
     final_coverage = global_coverage_fraction ();
-    crashes = !crashes_total;
-    recovered_jobs = !recovered_total;
-    retransmits = Ledger.retransmits ledger;
+    crashes = Transport.crashes transport;
+    recovered_jobs = Transport.recovered_jobs transport;
+    retransmits = Transport.retransmits transport;
     recovery_replay_instrs =
       List.fold_left
         (fun acc w -> acc + w.Worker.recovery_replay_instrs)

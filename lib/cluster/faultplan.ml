@@ -57,6 +57,38 @@ let is_faultless p =
   p.crashes = [] && p.partitions = []
   && p.drop_prob = 0.0 && p.dup_prob = 0.0 && p.delay_prob = 0.0
 
+(* A schedule entry that references a worker slot outside the cluster, or
+   a rejoin delay that cannot elapse, would silently never fire — the run
+   would look fault-tolerant while testing nothing.  Reject such plans
+   loudly before the run starts. *)
+let validate p ~nworkers =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec check = function
+    | [] ->
+      let bad_pair pt = pt.p_a < 0 || pt.p_a >= nworkers || pt.p_b < 0 || pt.p_b >= nworkers in
+      (match List.find_opt bad_pair p.partitions with
+      | Some pt ->
+        err "fault plan partitions link %d<->%d, but worker ids range over 0..%d" pt.p_a pt.p_b
+          (nworkers - 1)
+      | None -> Ok ())
+    | c :: rest ->
+      if c.victim < 0 || c.victim >= nworkers then
+        err "fault plan crashes worker %d, but the cluster has %d worker slots (ids 0..%d)"
+          c.victim nworkers (nworkers - 1)
+      else if c.at_tick < 0 then
+        err "fault plan crashes worker %d at negative tick %d" c.victim c.at_tick
+      else begin
+        match c.rejoin_after with
+        | Some d when d <= 0 ->
+          err
+            "fault plan rejoins worker %d %d tick(s) after its crash; the rejoin must come \
+             strictly after the crash (delay >= 1)"
+            c.victim d
+        | Some _ | None -> check rest
+      end
+  in
+  check p.crashes
+
 (* --- runtime ------------------------------------------------------------- *)
 
 type fate =

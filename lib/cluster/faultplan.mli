@@ -50,6 +50,13 @@ val crash : ?rejoin_after:int -> int -> at_tick:int -> crash
 
 val is_faultless : t -> bool
 
+(** Check the plan against a cluster of [nworkers] slots: every crash and
+    partition must reference a worker id in [0, nworkers), crash ticks
+    must be non-negative, and rejoin delays strictly positive (a rejoin
+    at or before its own crash would silently never fire).  Runtimes call
+    this before starting a faulty run and refuse invalid plans. *)
+val validate : t -> nworkers:int -> (unit, string) result
+
 (** Fate of one message entering the network. *)
 type fate =
   | Deliver of int    (** extra delay in ticks (0 = on time) *)

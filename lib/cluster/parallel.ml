@@ -2,40 +2,60 @@
 
    The simulated [Driver] remains the deterministic reference; this
    runtime trades its virtual clock for real [Domain.t]s so wall-clock
-   scaling (paper Figs. 7-8) is measurable.  The moving parts:
+   scaling (paper Figs. 7-8) is measurable — and, since the fault
+   tolerance core moved into the shared {!Transport}, it now survives
+   the same fault model: Faultplan-driven domain crashes (crash-stop
+   with amnesia, observed at slice poll points), mid-run rejoins on a
+   fresh domain, and seeded loss / delay / duplication on the job wire,
+   all recovered exactly through the same {!Ledger} lease protocol the
+   simulation uses.  The moving parts:
 
    - Each worker domain owns a real [Worker.t] (created *inside* the
      domain by [make_worker], so domain-local solver state lands on the
      right domain) and a bounded mutex+condition mailbox.  Worker-bound
-     messages: job batches, transfer (steal) requests, merged-coverage
-     feedback, and stop.
+     messages: leased job batches, transfer (steal) requests, ban lists,
+     merged-coverage feedback, a wake-up poke, and stop.
 
-   - The coordinator runs on the calling domain.  It owns a mailbox of
-     status reports, feeds them to the existing [Balancer] (queue-length
-     mean/sigma classification) and forwards the resulting transfer
-     requests to source workers, which ship path-encoded jobs directly
-     to the destination's mailbox.
+   - The coordinator runs on the calling domain and is the only thread
+     that touches the transport/ledger.  Workers never ship jobs to each
+     other directly any more: a steal victim *offers* its batch back to
+     the coordinator, which leases it ({!Transport.issue_transfer}) and
+     forwards it — so every batch in flight is covered by a lease and a
+     crash anywhere loses nothing.  Receivers deduplicate by lease id
+     and acknowledge every delivery (at-least-once, exactly-once
+     import).
 
-   - Quiescence: a worker that runs out of work sets its idle flag
-     *while holding its own mailbox lock* (so no job can slip in
-     unseen), sends a final status report, and sleeps on its condition
-     variable.  A job batch is counted in the atomic [in_flight] credit
-     *before* it is enqueued and released only *after* the receiver has
-     imported it (having first cleared its idle flag), so the predicate
-     "all idle flags set and in_flight = 0" can never be true while work
-     exists anywhere: a worker holding work keeps its flag clear, and
-     work in transit keeps the credit positive.  Every flag-set is
-     followed by a status message, so the coordinator may block on its
-     mailbox and still observe quiescence.
+   - Time: a ticker domain pushes [Tick] into the coordinator mailbox
+     every [tick_period] seconds.  Ticks drive the fault schedule,
+     delayed-message delivery, lease retransmission/eviction sweeps
+     ({!Transport.tick}), heartbeat failure detection, and the progress
+     watchdog.  Ticks also bound every coordinator block: even with all
+     workers dead, the loop keeps waking.
+
+   - Crash-stop: a crash is *declared* first (slot marked dead, its
+     later messages filtered, its leases orphaned and re-seeded via
+     {!Transport.handle_crash}) and only then observed by the victim,
+     which polls an atomic crash flag between slices and exits with
+     amnesia.  Declare-then-kill makes even a false-positive detection
+     exact: everything the victim did after its last status report is
+     discarded and replayed elsewhere.
+
+   - Quiescence: the coordinator tracks per-slot idleness from status
+     reports.  Mailboxes are FIFO per sender, so an [Offer] always
+     precedes the idle report that follows giving work away, and an
+     [Ack] (which clears the receiver's idle bit) always precedes the
+     receiver's next idle report.  "Every live slot idle with no steal
+     outstanding, no delayed message, and the transport quiesced" can
+     therefore never hold while work exists anywhere.  Dead slots are
+     exempt, so a run whose crashed workers never rejoin still
+     terminates — with exactly the fault-free totals.
 
    Deadlock-freedom: workers block only on (a) their own empty mailbox
-   when idle and (b) pushing into the coordinator's mailbox; the
-   coordinator never blocks pushing to workers (steal and coverage
-   messages are dropped when a mailbox is full — a lossy control plane,
-   like the paper's UDP status channel; dropped steals are re-issued by
-   a later rebalance round).  Job batches are pushed blocking, but at
-   most one batch exists per steal request and steals are issued only by
-   the coordinator, so worker mailboxes stay far below capacity. *)
+   when idle — any push, including the crash-time [Poke], wakes them —
+   and (b) bounded pushes.  The coordinator never blocks forever on a
+   full mailbox of a dead worker: every coordinator->worker push is
+   [push_timeout]-bounded, and a timed-out job push is simply a lost
+   message for the lease layer to retransmit. *)
 
 module Executor = Engine.Executor
 
@@ -59,15 +79,6 @@ module Mailbox = struct
       cap;
     }
 
-  let push t x =
-    Mutex.lock t.lock;
-    while Queue.length t.q >= t.cap do
-      Condition.wait t.nonfull t.lock
-    done;
-    Queue.add x t.q;
-    Condition.signal t.nonempty;
-    Mutex.unlock t.lock
-
   (* Non-blocking push; [false] when the mailbox is full. *)
   let try_push t x =
     Mutex.lock t.lock;
@@ -78,6 +89,26 @@ module Mailbox = struct
     end;
     Mutex.unlock t.lock;
     ok
+
+  (* Bounded blocking push: retry for at most [timeout] seconds, then
+     give up.  The stdlib [Condition] has no timed wait, so this polls —
+     acceptable because the slow path only runs when the receiver is
+     wedged or dead, which is exactly when we must not block forever.
+     [false] = the message was not enqueued. *)
+  let push_timeout t x ~timeout =
+    if try_push t x then true
+    else begin
+      let deadline = Unix.gettimeofday () +. timeout in
+      let rec go () =
+        if try_push t x then true
+        else if Unix.gettimeofday () >= deadline then false
+        else begin
+          Unix.sleepf 0.0005;
+          go ()
+        end
+      in
+      go ()
+    end
 
   let drain_locked t =
     let xs = ref [] in
@@ -108,19 +139,37 @@ end
 (* ---- messages ----------------------------------------------------- *)
 
 (* [issued_ns] carries the wall-clock stamp of the Steal that caused a
-   job batch (0 when unprofiled): the coordinator stamps the request,
-   the victim copies the stamp onto the batch it ships, and the thief
-   closes the span on import — a full steal round-trip. *)
+   job batch (0 when unprofiled or on retransmit): the coordinator
+   stamps the request, the victim copies the stamp onto its offer, and
+   the thief closes the span on import — a full steal round-trip. *)
 type wmsg =
-  | Jobs of { jobs : Job.t list; issued_ns : int }
-      (** transferred candidates, counted in [in_flight] *)
+  | Jobs of { lease : int; jobs : Job.t list; recovery : bool; issued_ns : int }
+      (** a leased batch; receivers dedup by lease id and always ack *)
   | Steal of { dst : int; count : int; issued_ns : int }
-      (** balancer transfer request *)
+      (** balancer transfer request; always answered with an [Offer] *)
+  | Bans of Job.t list  (** nodes a crashed worker had handed away *)
   | Coverage of Bytes.t  (** merged global coverage overlay *)
+  | Poke  (** contentless wake-up, so a blocked idle worker re-polls its crash flag *)
   | Stop
 
 type cmsg =
-  | Status of { worker : int; queue_len : int; idle : bool; coverage : Bytes.t }
+  | Status of {
+      worker : int;
+      incarnation : int;
+      queue_len : int;
+      idle : bool;
+      coverage : Bytes.t;
+      digest : Job.t list;  (** frontier digest: the worker's durable recovery point *)
+      paths : int;
+      errors : int;
+      received : int list;  (** cumulative lease ids imported (ack piggyback) *)
+    }
+  | Offer of { worker : int; incarnation : int; dst : int; jobs : Job.t list; issued_ns : int }
+      (** a steal victim returning the batch for leasing; empty = nothing to give *)
+  | Ack of { worker : int; incarnation : int; lease : int }
+  | Failed of { worker : int; incarnation : int; error : string }
+      (** the worker's domain died on an exception (reported, then joined) *)
+  | Tick  (** from the ticker domain: advance coordinator time *)
 
 (* ---- configuration ------------------------------------------------ *)
 
@@ -130,14 +179,31 @@ type 'env config = {
   slice : int;
   status_every : int;
   mailbox_capacity : int;
+  faults : Faultplan.t;
+  tick_period : float;
+  heartbeat_ticks : int;
+  push_timeout : float;
+  watchdog : float;
   obs : Obs.Sink.t option;
-      (* when set, the runtime itself is profiled: mailbox waits and
-         steal round-trips per worker domain, quiescence rounds on the
-         coordinator (through a buffered lb-attributed view) *)
+      (* when set, the runtime itself is profiled: mailbox waits, steal
+         round-trips and (recovery) replays per worker domain, quiescence
+         rounds on the coordinator (through a buffered lb-attributed view) *)
 }
 
-let default_config ?obs ~ndomains ~make_worker () =
-  { ndomains; make_worker; slice = 2_000; status_every = 4; mailbox_capacity = 4_096; obs }
+let default_config ?obs ?(faults = Faultplan.none) ~ndomains ~make_worker () =
+  {
+    ndomains;
+    make_worker;
+    slice = 2_000;
+    status_every = 4;
+    mailbox_capacity = 4_096;
+    faults;
+    tick_period = 0.001;
+    heartbeat_ticks = 0;
+    push_timeout = 1.0;
+    watchdog = 120.0;
+    obs;
+  }
 
 type result = {
   ndomains : int;
@@ -151,6 +217,10 @@ type result = {
   status_reports : int;
   jobs_sent : int;
   jobs_received : int;
+  crashes : int;
+  recovered_jobs : int;
+  retransmits : int;
+  recovery_replay_instrs : int;
   coverage_vector : Bytes.t;
   final_coverage : float;
   per_worker_useful : (int * int) list;
@@ -158,7 +228,11 @@ type result = {
   per_worker_solver : (int * Smt.Solver.stats) list;
 }
 
-(* What a worker domain returns through [Domain.join]. *)
+(* What a worker domain returns through [Domain.join].  Summaries of
+   incarnations that were declared crashed contribute instruction /
+   solver / coverage counters only: their path and error counts are
+   credited from the ledger's last report, and everything after that
+   report is replayed elsewhere (amnesia). *)
 type summary = {
   sm_id : int;
   sm_paths : int;
@@ -166,114 +240,166 @@ type summary = {
   sm_useful : int;
   sm_replay : int;
   sm_broken : int;
+  sm_recovery_replay : int;
   sm_sent : int;
   sm_received : int;
   sm_solver : Smt.Solver.stats;
   sm_coverage : Bytes.t;
 }
 
-type shared = {
-  inboxes : wmsg Mailbox.t array;
-  coord : cmsg Mailbox.t;
-  idle_flags : bool Atomic.t array;
-  in_flight : int Atomic.t;  (* job batches enqueued but not yet imported *)
-  transfers : int Atomic.t;  (* jobs moved between workers *)
-}
-
 (* ---- worker domain ------------------------------------------------ *)
 
-let worker_body sh (cfg : 'env config) i =
-  let w = cfg.make_worker i in
-  (* Runtime spans go through the worker's own (buffered) view when it
-     has one, so they merge on the same flush path as everything else. *)
-  let prof = Option.map Obs.Profile.create w.Worker.cfg.Executor.obs in
-  if i = 0 then Worker.seed_root w;
-  let inbox = sh.inboxes.(i) in
-  let stop = ref false in
-  let send_status ~idle =
-    Mailbox.push sh.coord
-      (Status
-         {
-           worker = i;
-           queue_len = Worker.queue_length w;
-           idle;
-           coverage = Bytes.copy w.Worker.cfg.Executor.coverage;
-         })
-  in
-  let process = function
-    | Jobs { jobs; issued_ns } ->
-      Worker.receive_jobs w jobs;
-      Atomic.decr sh.in_flight;
-      if issued_ns > 0 then
-        ignore (Obs.Profile.record prof Obs.Profile.Steal_rtt ~start_ns:issued_ns)
-    | Steal { dst; count; issued_ns } ->
-      let jobs = Worker.transfer_out w ~count in
-      if jobs <> [] then begin
-        (* Credit before enqueue: the batch is visible to the quiescence
-           predicate before it can be consumed. *)
-        Atomic.incr sh.in_flight;
-        ignore (Atomic.fetch_and_add sh.transfers (List.length jobs));
-        Mailbox.push sh.inboxes.(dst) (Jobs { jobs; issued_ns })
-      end
-    | Coverage global -> ignore (Executor.merge_coverage w.Worker.cfg global)
-    | Stop -> stop := true
-  in
-  let slices = ref 0 in
-  while not !stop do
-    if Worker.is_idle w then begin
-      (* Declare idleness with the mailbox lock held, so a concurrent
-         push either lands before the emptiness check (we consume it
-         without sleeping) or signals us awake. *)
-      Mutex.lock inbox.Mailbox.lock;
-      let wait_t0 =
-        if Queue.is_empty inbox.Mailbox.q then begin
-          Atomic.set sh.idle_flags.(i) true;
-          Mutex.unlock inbox.Mailbox.lock;
-          send_status ~idle:true;
-          let t0 = Obs.Profile.start prof in
-          Mutex.lock inbox.Mailbox.lock;
-          while Queue.is_empty inbox.Mailbox.q do
-            Condition.wait inbox.Mailbox.nonempty inbox.Mailbox.lock
-          done;
-          t0
-        end
-        else 0
-      in
-      (* Clear the flag before importing, so flag-clear precedes the
-         in_flight decrement in [process]. *)
-      Atomic.set sh.idle_flags.(i) false;
-      let msgs = Mailbox.drain_locked inbox in
-      Mutex.unlock inbox.Mailbox.lock;
-      (* Record after releasing the inbox lock: staging the span may
-         trigger a threshold flush, which takes the obs core lock. *)
-      if wait_t0 > 0 then
-        ignore (Obs.Profile.record prof Obs.Profile.Mailbox_wait ~start_ns:wait_t0);
-      List.iter process msgs
-    end
-    else begin
-      List.iter process (Mailbox.drain inbox);
-      if not !stop && not (Worker.is_idle w) then begin
-        ignore (Worker.execute w ~budget:cfg.slice);
-        incr slices;
-        if !slices mod cfg.status_every = 0 then send_status ~idle:false
-      end
-    end
-  done;
-  (* Flush this domain's buffered observability view before exiting. *)
-  Option.iter Obs.Sink.flush w.Worker.cfg.Executor.obs;
-  let paths, errors, useful, replay = Worker.stats w in
-  {
-    sm_id = i;
-    sm_paths = paths;
-    sm_errors = errors;
-    sm_useful = useful;
-    sm_replay = replay;
-    sm_broken = w.Worker.broken_replays;
-    sm_sent = w.Worker.jobs_sent;
-    sm_received = w.Worker.jobs_received;
-    sm_solver = Smt.Solver.copy_stats w.Worker.cfg.Executor.solver;
-    sm_coverage = Bytes.copy w.Worker.cfg.Executor.coverage;
-  }
+(* How long a worker will wait to push into the coordinator's mailbox
+   before concluding the coordinator has stopped draining (shutdown).
+   During a run the coordinator drains continuously, so this never
+   fires; at shutdown it prevents a worker from wedging [Domain.join]. *)
+let ctl_timeout = 5.0
+
+let worker_body (cfg : 'env config) ~coord ~inbox ~crash ~id:i ~incarnation ~initial_bans ~seed
+    =
+  try
+    let w = cfg.make_worker i in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Obs.Sink.flush w.Worker.cfg.Executor.obs)
+      (fun () ->
+        (* Runtime spans go through the worker's own (buffered) view when
+           it has one, so they merge on the same flush path as everything
+           else. *)
+        let prof = Option.map Obs.Profile.create w.Worker.cfg.Executor.obs in
+        if initial_bans <> [] then Worker.ban_paths w initial_bans;
+        if seed then Worker.seed_root w;
+        (* lease ids already imported: dedup for at-least-once delivery,
+           and the cumulative ack piggybacked on every status report *)
+        let imported : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+        let imported_list = ref [] in
+        let stop = ref false in
+        let crashed () = Atomic.get crash in
+        let send_ctl msg = ignore (Mailbox.push_timeout coord msg ~timeout:ctl_timeout) in
+        let send_status ~idle =
+          let paths, errors, _, _ = Worker.stats w in
+          send_ctl
+            (Status
+               {
+                 worker = i;
+                 incarnation;
+                 queue_len = Worker.queue_length w;
+                 idle;
+                 coverage = Bytes.copy w.Worker.cfg.Executor.coverage;
+                 digest = Worker.digest_paths w;
+                 paths;
+                 errors;
+                 received = !imported_list;
+               })
+        in
+        let process = function
+          | Jobs { lease; jobs; recovery; issued_ns } ->
+            if not (Hashtbl.mem imported lease) then begin
+              Hashtbl.replace imported lease ();
+              imported_list := lease :: !imported_list;
+              Worker.receive_jobs ~recovery w jobs;
+              if issued_ns > 0 then
+                ignore (Obs.Profile.record prof Obs.Profile.Steal_rtt ~start_ns:issued_ns)
+            end;
+            (* always (re)acknowledge: the previous ack may have been lost *)
+            send_ctl (Ack { worker = i; incarnation; lease })
+          | Steal { dst; count; issued_ns } ->
+            let jobs = Worker.transfer_out w ~count in
+            (* even an empty offer must go back: it settles the
+               coordinator's outstanding-steal accounting.  If the push
+               times out (coordinator gone: shutdown), take the batch
+               back — the nodes are fenced here, so re-importing replays
+               them exactly like a transfer would. *)
+            if
+              not
+                (Mailbox.push_timeout coord
+                   (Offer { worker = i; incarnation; dst; jobs; issued_ns })
+                   ~timeout:ctl_timeout)
+            then if jobs <> [] then Worker.receive_jobs ~recovery:false w jobs
+          | Bans paths -> Worker.ban_paths w paths
+          | Coverage global -> ignore (Executor.merge_coverage w.Worker.cfg global)
+          | Poke -> ()
+          | Stop -> stop := true
+        in
+        let slices = ref 0 in
+        while (not !stop) && not (crashed ()) do
+          if Worker.is_idle w then begin
+            (* Declare idleness with the mailbox lock held, so a
+               concurrent push either lands before the emptiness check
+               (we consume it without sleeping) or signals us awake. *)
+            Mutex.lock inbox.Mailbox.lock;
+            let wait_t0 =
+              if Queue.is_empty inbox.Mailbox.q then begin
+                Mutex.unlock inbox.Mailbox.lock;
+                send_status ~idle:true;
+                let t0 = Obs.Profile.start prof in
+                Mutex.lock inbox.Mailbox.lock;
+                while Queue.is_empty inbox.Mailbox.q do
+                  Condition.wait inbox.Mailbox.nonempty inbox.Mailbox.lock
+                done;
+                t0
+              end
+              else 0
+            in
+            let msgs = Mailbox.drain_locked inbox in
+            Mutex.unlock inbox.Mailbox.lock;
+            (* Record after releasing the inbox lock: staging the span may
+               trigger a threshold flush, which takes the obs core lock. *)
+            if wait_t0 > 0 then
+              ignore (Obs.Profile.record prof Obs.Profile.Mailbox_wait ~start_ns:wait_t0);
+            (* crash-stop with amnesia: a declared victim processes
+               nothing more — its unimported messages are already covered
+               by leases or recovery *)
+            if not (crashed ()) then List.iter process msgs
+          end
+          else begin
+            List.iter process (Mailbox.drain inbox);
+            if (not !stop) && (not (crashed ())) && not (Worker.is_idle w) then begin
+              ignore (Worker.execute w ~budget:cfg.slice);
+              incr slices;
+              if !slices mod cfg.status_every = 0 then send_status ~idle:false
+            end
+          end
+        done;
+        let paths, errors, useful, replay = Worker.stats w in
+        {
+          sm_id = i;
+          sm_paths = paths;
+          sm_errors = errors;
+          sm_useful = useful;
+          sm_replay = replay;
+          sm_broken = w.Worker.broken_replays;
+          sm_recovery_replay = w.Worker.recovery_replay_instrs;
+          sm_sent = w.Worker.jobs_sent;
+          sm_received = w.Worker.jobs_received;
+          sm_solver = Smt.Solver.copy_stats w.Worker.cfg.Executor.solver;
+          sm_coverage = Bytes.copy w.Worker.cfg.Executor.coverage;
+        })
+  with e ->
+    (* A worker that dies mid-run (e.g. raising during replay) must still
+       let [Domain.join] complete and the coordinator learn of the death:
+       report the exception through the control mailbox and return an
+       empty summary.  The coordinator treats [Failed] as a crash
+       declaration, so the slot's leases recover exactly as if the
+       fault plan had killed it. *)
+    (try
+       ignore
+         (Mailbox.push_timeout coord
+            (Failed { worker = i; incarnation; error = Printexc.to_string e })
+            ~timeout:ctl_timeout)
+     with _ -> ());
+    {
+      sm_id = i;
+      sm_paths = 0;
+      sm_errors = 0;
+      sm_useful = 0;
+      sm_replay = 0;
+      sm_broken = 0;
+      sm_recovery_replay = 0;
+      sm_sent = 0;
+      sm_received = 0;
+      sm_solver = Smt.Solver.zero_stats ();
+      sm_coverage = Bytes.create 0;
+    }
 
 (* ---- coordinator -------------------------------------------------- *)
 
@@ -289,114 +415,456 @@ let popcount_bytes bv =
     bv;
   !n
 
+(* Coordinator-side view of one worker slot.  The inbox and crash flag
+   are per-incarnation: a rejoin replaces both, so late messages from
+   (and deliveries to) a dead incarnation can never reach the fresh
+   one. *)
+type slot = {
+  s_id : int;
+  mutable s_inbox : wmsg Mailbox.t;
+  mutable s_crash : bool Atomic.t;
+  mutable s_incarnation : int;
+  mutable s_dead : bool;  (* declared crashed and not (yet) rejoined *)
+  mutable s_idle : bool;  (* from the last processed status / ack *)
+  mutable s_queue_len : int;
+  mutable s_pending_steals : int;  (* steals pushed, offers not yet back *)
+  mutable s_last_heard : int;  (* tick of the last message from this incarnation *)
+  mutable s_suspect : bool;  (* failure detector: one heartbeat interval silent *)
+}
+
 let run ~coverable_lines (cfg : 'env config) =
   if cfg.ndomains < 1 then invalid_arg "Parallel.run: ndomains must be >= 1";
+  (match Faultplan.validate cfg.faults ~nworkers:cfg.ndomains with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Parallel.run: " ^ m));
   let n = cfg.ndomains in
-  let sh =
-    {
-      inboxes = Array.init n (fun _ -> Mailbox.create ~cap:cfg.mailbox_capacity ());
-      coord = Mailbox.create ~cap:(cfg.mailbox_capacity * n) ();
-      idle_flags = Array.init n (fun _ -> Atomic.make false);
-      in_flight = Atomic.make 0;
-      transfers = Atomic.make 0;
-    }
+  let faulty = not (Faultplan.is_faultless cfg.faults) in
+  let frt = Faultplan.make cfg.faults in
+  let coord = Mailbox.create ~cap:(cfg.mailbox_capacity * (n + 1)) () in
+  let slots =
+    Array.init n (fun i ->
+        {
+          s_id = i;
+          s_inbox = Mailbox.create ~cap:cfg.mailbox_capacity ();
+          s_crash = Atomic.make false;
+          s_incarnation = 0;
+          s_dead = false;
+          s_idle = false;
+          s_queue_len = 0;
+          s_pending_steals = 0;
+          s_last_heard = 0;
+          s_suspect = false;
+        })
   in
-  let domains = Array.init n (fun i -> Domain.spawn (fun () -> worker_body sh cfg i)) in
-  (* The coordinator profiles through its own buffered lb-attributed
-     view: it must never write the shared core while domains run, and
-     the view is flushed after they have all joined. *)
+  let spawned = ref [] in (* (slot id, incarnation, domain), newest first *)
+  let declared : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* The coordinator profiles and emits through its own buffered
+     lb-attributed view: it must never write the shared core while
+     domains run, and the view is flushed after they have all joined. *)
   let cobs = Option.map (fun s -> Obs.Sink.buffered s Obs.Event.lb) cfg.obs in
   let cprof = Option.map Obs.Profile.create cobs in
+  let emit ev = match cobs with None -> () | Some s -> Obs.Sink.event s ev in
   let stamp () = match cprof with Some _ -> Obs.Clock.now_ns () | None -> 0 in
-  (* The balancer needs the coverage-vector width, which only a worker
-     knows; create it from the first status report. *)
-  let balancer = ref None in
+  let now = ref 0 in
+  let delayed = ref [] in (* (due_tick, dst, incarnation, wmsg) *)
+  let transfers = ref 0 in
   let steals = ref 0 in
   let status_reports = ref 0 in
-  let quiescent () =
-    (* Order matters: read the credit first.  If a batch was imported
-       after this read, the importer cleared its flag beforehand, so a
-       later flag read cannot show it idle unless it genuinely drained
-       the work and re-declared idleness. *)
-    Atomic.get sh.in_flight = 0
-    && Array.for_all Atomic.get sh.idle_flags
-    && Atomic.get sh.in_flight = 0
+  let balancer = ref None in
+  let issued_ns_hint = ref 0 in
+  let transport_ref = ref None in
+  (* last crash-or-rejoin tick in the plan: after it, an all-dead cluster
+     can never revive, so the run may stop (graceful degradation) *)
+  let horizon =
+    List.fold_left
+      (fun acc c ->
+        let last =
+          match c.Faultplan.rejoin_after with
+          | Some d -> c.Faultplan.at_tick + d
+          | None -> c.Faultplan.at_tick
+        in
+        max acc last)
+      0 cfg.faults.Faultplan.crashes
   in
-  let handle (Status { worker; queue_len; idle; coverage }) =
-    incr status_reports;
-    let b =
-      match !balancer with
-      | Some b -> b
-      | None ->
-        let b = Balancer.create ~coverage_bytes:(Bytes.length coverage) () in
-        balancer := Some b;
-        b
+  let push_wire sl msg =
+    (* a full mailbox on a wedged or dead worker must never block the
+       coordinator: bounded push, overflow = the wire dropped it (the
+       lease layer retransmits) *)
+    ignore (Mailbox.push_timeout sl.s_inbox msg ~timeout:cfg.push_timeout)
+  in
+  let send_jobs ~src ~lease ~dst ~jobs ~recovery ~resend =
+    let sl = slots.(dst) in
+    if not sl.s_dead then begin
+      let issued_ns = if resend then 0 else !issued_ns_hint in
+      issued_ns_hint := 0;
+      if not resend then
+        emit (Obs.Event.Job_transfer { lease; src; dst; count = List.length jobs; recovery });
+      let msg = Jobs { lease; jobs; recovery; issued_ns } in
+      if not faulty then push_wire sl msg
+      else
+        match Faultplan.fate frt ~tick:!now ~src ~dst with
+        | Faultplan.Drop -> ()
+        | Faultplan.Deliver 0 -> push_wire sl msg
+        | Faultplan.Deliver extra ->
+          delayed := (!now + extra, dst, sl.s_incarnation, msg) :: !delayed
+        | Faultplan.Duplicate lag ->
+          push_wire sl msg;
+          delayed := (!now + lag, dst, sl.s_incarnation, msg) :: !delayed
+    end
+  in
+  let live_workers () =
+    Array.to_list slots
+    |> List.filter_map (fun sl -> if sl.s_dead then None else Some (sl.s_id, sl.s_queue_len))
+  in
+  let install_bans bans =
+    (* bans are the one worker-bound message that must not be silently
+       lost (a live worker missing one could re-explore a transferred
+       subtree), so a worker wedged enough to time the push out is
+       declared crashed — which is itself exact *)
+    let wedged = ref [] in
+    Array.iter
+      (fun sl ->
+        if
+          (not sl.s_dead)
+          && not (Mailbox.push_timeout sl.s_inbox (Bans bans) ~timeout:cfg.push_timeout)
+        then wedged := sl.s_id :: !wedged)
+      slots;
+    List.iter
+      (fun i ->
+        match !transport_ref with
+        | Some tr -> Transport.handle_crash tr ~now:!now ~worker:i
+        | None -> ())
+      !wedged
+  in
+  let begin_crash ~worker:i =
+    if i < 0 || i >= n then false
+    else
+      let sl = slots.(i) in
+      if sl.s_dead then false
+      else begin
+        (* declare-then-kill: mark the slot dead (filtering everything
+           this incarnation still sends), then raise the crash flag the
+           victim polls between slices.  A Poke wakes it if it is
+           blocked in its idle wait. *)
+        sl.s_dead <- true;
+        Hashtbl.replace declared (i, sl.s_incarnation) ();
+        Atomic.set sl.s_crash true;
+        ignore (Mailbox.try_push sl.s_inbox Poke);
+        sl.s_pending_steals <- 0;
+        sl.s_suspect <- false;
+        (match !balancer with Some b -> Balancer.forget b ~worker:i | None -> ());
+        emit (Obs.Event.Crash { worker = i });
+        true
+      end
+  in
+  let transport =
+    Transport.create ?obs:cobs
+      ~base_timeout:64 (* ticks: ~64 ms before the first retransmit *)
+      { Transport.nworkers = n; send_jobs; install_bans; live_workers; begin_crash }
+  in
+  transport_ref := Some transport;
+  let ledger = Transport.ledger transport in
+  let spawn sl ~seed =
+    let inbox = sl.s_inbox and crash = sl.s_crash in
+    let incarnation = sl.s_incarnation in
+    let initial_bans = Transport.bans transport in
+    let d =
+      Domain.spawn (fun () ->
+          worker_body cfg ~coord ~inbox ~crash ~id:sl.s_id ~incarnation ~initial_bans ~seed)
     in
-    let global = Balancer.report b ~worker ~queue_len ~coverage in
-    (* Coverage feedback only to busy workers: echoing it to an idle
-       reporter would wake it for nothing, and the wake-report cycle
-       would never quiesce. *)
-    if not idle then ignore (Mailbox.try_push sh.inboxes.(worker) (Coverage global))
+    spawned := (sl.s_id, incarnation, d) :: !spawned
+  in
+  Array.iter
+    (fun sl ->
+      emit (Obs.Event.Join { worker = sl.s_id });
+      spawn sl ~seed:(sl.s_id = 0))
+    slots;
+  (* cover the root with a delivered lease, so a crash of worker 0
+     before its first report re-seeds the whole tree *)
+  Transport.seed_root transport ~dst:0 ~now:0;
+  let ticker_stop = Atomic.make false in
+  let ticker =
+    Domain.spawn (fun () ->
+        while not (Atomic.get ticker_stop) do
+          ignore (Mailbox.try_push coord Tick);
+          Unix.sleepf cfg.tick_period
+        done)
+  in
+  let watchdog_fired = ref false in
+  let last_progress = ref (Unix.gettimeofday ()) in
+  let touch sl =
+    sl.s_last_heard <- !now;
+    sl.s_suspect <- false
+  in
+  let fate_drops ~src ~dst =
+    faulty
+    && match Faultplan.fate frt ~tick:!now ~src ~dst with Faultplan.Drop -> true | _ -> false
+  in
+  let get_balancer coverage =
+    match !balancer with
+    | Some b -> b
+    | None ->
+      let b = Balancer.create ~coverage_bytes:(Bytes.length coverage) ?obs:cobs () in
+      balancer := Some b;
+      b
+  in
+  let on_tick () =
+    incr now;
+    let t = !now in
+    if faulty then begin
+      List.iter
+        (fun v -> Transport.handle_crash transport ~now:t ~worker:v)
+        (Faultplan.crashes_at frt ~tick:t);
+      List.iter
+        (fun v ->
+          if v >= 0 && v < n && slots.(v).s_dead then begin
+            let sl = slots.(v) in
+            (* fresh incarnation: new mailbox and crash flag, so nothing
+               addressed to (or signed by) the dead one can cross over *)
+            sl.s_inbox <- Mailbox.create ~cap:cfg.mailbox_capacity ();
+            sl.s_crash <- Atomic.make false;
+            sl.s_incarnation <- sl.s_incarnation + 1;
+            sl.s_dead <- false;
+            sl.s_idle <- false;
+            sl.s_queue_len <- 0;
+            sl.s_pending_steals <- 0;
+            sl.s_last_heard <- t;
+            sl.s_suspect <- false;
+            emit (Obs.Event.Rejoin { worker = v });
+            spawn sl ~seed:false
+          end)
+        (Faultplan.rejoins_at frt ~tick:t);
+      let due, later = List.partition (fun (at, _, _, _) -> at <= t) !delayed in
+      delayed := later;
+      List.iter
+        (fun (_, dst, inc, msg) ->
+          let sl = slots.(dst) in
+          if (not sl.s_dead) && sl.s_incarnation = inc then push_wire sl msg)
+        due
+    end;
+    Transport.tick transport ~now:t;
+    (* heartbeat failure detection: a busy worker that stops reporting is
+       suspected after one interval and declared crashed after two.
+       Idle workers are silent by design and exempt — jobs routed to a
+       truly dead idle worker are caught by lease eviction instead. *)
+    if cfg.heartbeat_ticks > 0 then
+      Array.iter
+        (fun sl ->
+          if (not sl.s_dead) && not sl.s_idle then begin
+            let silent = t - sl.s_last_heard in
+            if silent > 2 * cfg.heartbeat_ticks then
+              Transport.handle_crash transport ~now:t ~worker:sl.s_id
+            else if silent > cfg.heartbeat_ticks then sl.s_suspect <- true
+          end)
+        slots;
+    if
+      cfg.watchdog > 0.0
+      && (not !watchdog_fired)
+      && Unix.gettimeofday () -. !last_progress > cfg.watchdog
+    then begin
+      watchdog_fired := true;
+      Printf.eprintf
+        "parallel: watchdog after %.0fs without progress: pending=%d parked=%d delayed=%d\n%!"
+        cfg.watchdog (Ledger.pending ledger)
+        (Transport.parked_orphans transport)
+        (List.length !delayed);
+      Array.iter
+        (fun sl ->
+          Printf.eprintf
+            "  worker %d: inc=%d dead=%b idle=%b queue=%d pending_steals=%d last_heard=%d\n%!"
+            sl.s_id sl.s_incarnation sl.s_dead sl.s_idle sl.s_queue_len sl.s_pending_steals
+            sl.s_last_heard)
+        slots
+    end
+  in
+  let handle msg =
+    (match msg with Tick -> () | _ -> last_progress := Unix.gettimeofday ());
+    match msg with
+    | Tick -> on_tick ()
+    | Status { worker; incarnation; queue_len; idle; coverage; digest; paths; errors; received }
+      ->
+      let sl = slots.(worker) in
+      if incarnation = sl.s_incarnation && not sl.s_dead then begin
+        incr status_reports;
+        touch sl;
+        sl.s_idle <- idle;
+        sl.s_queue_len <- queue_len;
+        (* the report is the worker's durable recovery point: digest +
+           counters were snapshotted in-domain, so they are consistent *)
+        Ledger.record_report ~received ledger ~worker ~tick:!now ~digest ~paths ~errors;
+        let b = get_balancer coverage in
+        let global = Balancer.report ~tick:!now b ~worker ~queue_len ~coverage in
+        (* Coverage feedback only to busy workers: echoing it to an idle
+           reporter would wake it for nothing, and the wake-report cycle
+           would never quiesce. *)
+        if not idle then ignore (Mailbox.try_push sl.s_inbox (Coverage global))
+      end
+    | Offer { worker; incarnation; dst; jobs; issued_ns } ->
+      let sl = slots.(worker) in
+      if incarnation = sl.s_incarnation && not sl.s_dead then begin
+        touch sl;
+        if sl.s_pending_steals > 0 then sl.s_pending_steals <- sl.s_pending_steals - 1;
+        if jobs <> [] then begin
+          (* the original thief may have died since the steal was issued:
+             re-route to the least-loaded live worker (falling back to
+             the victim itself — the nodes are fenced there, so going
+             home is just another transfer) *)
+          let dst =
+            if dst >= 0 && dst < n && not slots.(dst).s_dead then dst
+            else begin
+              let best = ref worker and best_q = ref max_int in
+              Array.iter
+                (fun s2 ->
+                  if (not s2.s_dead) && s2.s_id <> worker && s2.s_queue_len < !best_q then begin
+                    best := s2.s_id;
+                    best_q := s2.s_queue_len
+                  end)
+                slots;
+              !best
+            end
+          in
+          issued_ns_hint := issued_ns;
+          ignore (Transport.issue_transfer transport ~src:worker ~dst ~jobs ~now:!now);
+          issued_ns_hint := 0;
+          transfers := !transfers + List.length jobs
+        end
+      end
+    | Ack { worker; incarnation; lease } ->
+      let sl = slots.(worker) in
+      if incarnation = sl.s_incarnation && not sl.s_dead then begin
+        touch sl;
+        (* the fault plan may lose the ack in "transit": the lease then
+           retransmits and the receiver's dedup re-acks *)
+        if not (fate_drops ~src:worker ~dst:Faultplan.lb) then begin
+          Ledger.mark_delivered ledger ~lease ~now:!now;
+          (* the acking worker just imported work (or re-acked a dup; a
+             still-idle worker re-reports idleness on its next wake) *)
+          sl.s_idle <- false
+        end
+      end
+    | Failed { worker; incarnation; error } ->
+      let sl = slots.(worker) in
+      if incarnation = sl.s_incarnation && not sl.s_dead then begin
+        Printf.eprintf "parallel: worker %d died: %s\n%!" worker error;
+        Transport.handle_crash transport ~now:!now ~worker
+      end
+  in
+  let rebalance () =
+    match !balancer with
+    | None -> ()
+    | Some b ->
+      List.iter
+        (fun { Balancer.src; dst; count } ->
+          if
+            src >= 0 && src < n && dst >= 0 && dst < n
+            && (not slots.(src).s_dead)
+            && not slots.(dst).s_dead
+          then
+            if not (fate_drops ~src:Faultplan.lb ~dst:src) then begin
+              incr steals;
+              if
+                Mailbox.try_push slots.(src).s_inbox
+                  (Steal { dst; count; issued_ns = stamp () })
+              then slots.(src).s_pending_steals <- slots.(src).s_pending_steals + 1
+            end)
+        (Balancer.rebalance b)
+  in
+  let quiescent () =
+    !delayed = []
+    && Transport.quiesced transport
+    && Array.exists (fun sl -> not sl.s_dead) slots
+    && Array.for_all (fun sl -> sl.s_dead || (sl.s_idle && sl.s_pending_steals = 0)) slots
+  in
+  let all_dead_done () =
+    (* every slot dead and no rejoin can revive the cluster: stop rather
+       than spin forever (parked orphans are reported, not explored) *)
+    Array.for_all (fun sl -> sl.s_dead) slots && !now > horizon
   in
   let rec loop () =
-    if quiescent () then ()
+    if quiescent () || all_dead_done () || !watchdog_fired then ()
     else begin
-      (* One quiescence round = status drain (including the block on an
-         empty coordinator mailbox) + rebalance. *)
+      (* One quiescence round = message drain (including the block on an
+         empty coordinator mailbox — bounded by the next Tick) +
+         rebalance. *)
       let round_t0 = Obs.Profile.start cprof in
-      List.iter handle (Mailbox.drain_wait sh.coord);
-      (match !balancer with
-      | None -> ()
-      | Some b ->
-        List.iter
-          (fun { Balancer.src; dst; count } ->
-            if src < n && dst < n then begin
-              incr steals;
-              ignore
-                (Mailbox.try_push sh.inboxes.(src) (Steal { dst; count; issued_ns = stamp () }))
-            end)
-          (Balancer.rebalance b));
+      List.iter handle (Mailbox.drain_wait coord);
+      rebalance ();
       ignore (Obs.Profile.record cprof Obs.Profile.Quiesce_round ~start_ns:round_t0);
       loop ()
     end
   in
   loop ();
-  Array.iter (fun inbox -> Mailbox.push inbox Stop) sh.inboxes;
-  let summaries = Array.map Domain.join domains in
+  Atomic.set ticker_stop true;
+  (* stop the workers: live ones by message (falling back to the crash
+     flag if their mailbox is wedged), dead ones are already
+     crash-flagged — a Poke covers one blocked in its idle wait *)
+  Array.iter
+    (fun sl ->
+      if sl.s_dead || !watchdog_fired then begin
+        Atomic.set sl.s_crash true;
+        ignore (Mailbox.try_push sl.s_inbox Poke)
+      end
+      else if not (Mailbox.push_timeout sl.s_inbox Stop ~timeout:(max 1.0 cfg.push_timeout))
+      then begin
+        Atomic.set sl.s_crash true;
+        ignore (Mailbox.try_push sl.s_inbox Poke)
+      end)
+    slots;
+  Domain.join ticker;
+  let joined = List.rev_map (fun (i, inc, d) -> (i, inc, Domain.join d)) !spawned in
   Option.iter Obs.Sink.flush cobs;
-  (* Drain any status messages that raced with the stop broadcast. *)
-  List.iter (fun (Status _) -> incr status_reports) (Mailbox.drain sh.coord);
+  (* Drain any messages that raced with the stop broadcast. *)
+  List.iter
+    (fun m -> match m with Status _ -> incr status_reports | _ -> ())
+    (Mailbox.drain coord);
+  if !watchdog_fired then
+    failwith "Parallel.run: watchdog fired — no coordinator progress; state dumped to stderr";
+  let live i inc = not (Hashtbl.mem declared (i, inc)) in
   let agg = Smt.Solver.zero_stats () in
-  Array.iter (fun s -> Smt.Solver.accum_stats agg s.sm_solver) summaries;
+  List.iter (fun (_, _, s) -> Smt.Solver.accum_stats agg s.sm_solver) joined;
   let coverage_vector =
-    let bv = Bytes.copy summaries.(0).sm_coverage in
-    Array.iter
-      (fun s ->
+    let len =
+      List.fold_left (fun acc (_, _, s) -> max acc (Bytes.length s.sm_coverage)) 0 joined
+    in
+    let bv = Bytes.make len '\000' in
+    List.iter
+      (fun (_, _, s) ->
         Bytes.iteri
           (fun k c -> Bytes.set bv k (Char.chr (Char.code (Bytes.get bv k) lor Char.code c)))
           s.sm_coverage)
-      summaries;
+      joined;
     bv
   in
-  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 summaries in
+  let sum f = List.fold_left (fun acc (_, _, s) -> acc + f s) 0 joined in
+  let sum_live f =
+    List.fold_left (fun acc (i, inc, s) -> if live i inc then acc + f s else acc) 0 joined
+  in
   {
     ndomains = n;
-    total_paths = sum (fun s -> s.sm_paths);
-    total_errors = sum (fun s -> s.sm_errors);
+    (* paths/errors: live incarnations report themselves; declared ones
+       are credited from their last ledger report, with everything after
+       it redone (and counted) by whoever ran the recovery leases *)
+    total_paths = Transport.credit_paths transport + sum_live (fun s -> s.sm_paths);
+    total_errors = Transport.credit_errors transport + sum_live (fun s -> s.sm_errors);
     useful_instrs = sum (fun s -> s.sm_useful);
     replay_instrs = sum (fun s -> s.sm_replay);
     broken_replays = sum (fun s -> s.sm_broken);
-    transfers = Atomic.get sh.transfers;
+    transfers = !transfers;
     steals = !steals;
     status_reports = !status_reports;
     jobs_sent = sum (fun s -> s.sm_sent);
     jobs_received = sum (fun s -> s.sm_received);
+    crashes = Transport.crashes transport;
+    recovered_jobs = Transport.recovered_jobs transport;
+    retransmits = Transport.retransmits transport;
+    recovery_replay_instrs = sum (fun s -> s.sm_recovery_replay);
     coverage_vector;
     final_coverage =
       (if coverable_lines <= 0 then 0.0
        else float_of_int (popcount_bytes coverage_vector) /. float_of_int coverable_lines);
-    per_worker_useful = Array.to_list (Array.map (fun s -> (s.sm_id, s.sm_useful)) summaries);
+    per_worker_useful =
+      List.filter_map (fun (i, inc, s) -> if live i inc then Some (i, s.sm_useful) else None) joined;
     solver_stats = agg;
     per_worker_solver =
-      Array.to_list (Array.map (fun s -> (s.sm_id, s.sm_solver)) summaries);
+      List.filter_map (fun (i, inc, s) -> if live i inc then Some (i, s.sm_solver) else None) joined;
   }

@@ -6,20 +6,29 @@
     [Domain.t] and measures wall-clock scaling, the paper's headline
     result (Figs. 7–8).
 
-    Workers exchange path-encoded jobs, transfer requests, and
-    queue-length status reports through mutex+condition-protected
-    bounded mailboxes.  The coordinator (the calling domain) feeds
-    status reports to the existing {!Balancer}, forwards its transfer
-    requests, and detects global quiescence: every worker idle with an
-    empty mailbox and no job batches in flight (an atomic credit
-    counter, incremented before a batch is enqueued and decremented
-    after the receiver imports it, makes the check race-free).
+    Workers exchange path-encoded jobs, transfer requests, and status
+    reports through mutex+condition-protected bounded mailboxes.  The
+    coordinator (the calling domain) feeds status reports to the
+    existing {!Balancer} and owns the shared fault-tolerance core
+    ({!Transport}): every job batch in flight is covered by a {!Ledger}
+    lease, retransmitted until acknowledged and deduplicated by the
+    receiver, so the runtime survives the same fault model as the
+    simulation — Faultplan-driven domain crashes (crash-stop with
+    amnesia, the victim observing an atomic crash flag at slice poll
+    points), mid-run rejoins on a fresh domain, and seeded message
+    loss / delay / duplication on the job wire.  Crashes recover
+    exactly: the victim's last status report is its durable recovery
+    point, orphaned leases are re-seeded on live workers, and handed-
+    away nodes are banned, so a faulty run terminates with exactly the
+    fault-free path and error totals — the differential gates
+    [bench scaling] (fault-free) and [bench faults-parallel] (faulty)
+    enforce.  A heartbeat failure detector (off by default) declares
+    busy workers that stop reporting, and a watchdog aborts the run
+    with a state dump rather than hang.
 
-    The runtime explores exhaustively ({!Driver.Exhaust}); because
-    per-path execution is deterministic and transferred subtrees are
-    fenced at the source, a parallel run completes with exactly the
-    simulated (and single-engine) path and error totals, whatever the
-    interleaving — the differential gate [bench scaling] enforces. *)
+    The runtime explores exhaustively ({!Driver.Exhaust}); dead slots
+    are exempt from the quiescence predicate, so a run whose crashed
+    workers never rejoin still terminates. *)
 
 type 'env config = {
   ndomains : int;  (** worker domains (the coordinator runs on the caller) *)
@@ -29,16 +38,36 @@ type 'env config = {
   slice : int;  (** instructions executed between mailbox polls *)
   status_every : int;  (** slices between status reports while busy *)
   mailbox_capacity : int;  (** bound on each mailbox, in messages *)
+  faults : Faultplan.t;
+      (** crash / rejoin / loss schedule, in coordinator ticks.  The
+          plan is validated against [ndomains] before the run starts. *)
+  tick_period : float;
+      (** seconds between coordinator ticks (the unit of the fault
+          schedule, lease timeouts, and heartbeat intervals) *)
+  heartbeat_ticks : int;
+      (** failure detector: a busy worker silent for one interval is
+          suspected, for two is declared crashed.  0 disables. *)
+  push_timeout : float;
+      (** seconds the coordinator will wait on a full worker mailbox
+          before treating the push as a lost message *)
+  watchdog : float;
+      (** seconds without coordinator progress before the run aborts
+          with a state dump (0 disables) *)
   obs : Obs.Sink.t option;
       (** when set, the runtime profiles itself with wall-clock spans:
-          mailbox waits and steal round-trips per worker domain (through
-          each worker's buffered view), quiescence rounds on the
-          coordinator (through a buffered lb-attributed view, flushed
-          after all domains join) *)
+          mailbox waits, steal round-trips and (recovery) replays per
+          worker domain, quiescence rounds on the coordinator (through
+          a buffered lb-attributed view, flushed after all domains
+          join); crash/rejoin/lease events are emitted the same way *)
 }
 
 val default_config :
-  ?obs:Obs.Sink.t -> ndomains:int -> make_worker:(int -> 'env Worker.t) -> unit -> 'env config
+  ?obs:Obs.Sink.t ->
+  ?faults:Faultplan.t ->
+  ndomains:int ->
+  make_worker:(int -> 'env Worker.t) ->
+  unit ->
+  'env config
 
 type result = {
   ndomains : int;
@@ -47,18 +76,27 @@ type result = {
   useful_instrs : int;
   replay_instrs : int;
   broken_replays : int;
-  transfers : int;  (** jobs moved between workers *)
+  transfers : int;  (** jobs moved between workers (leased batches) *)
   steals : int;  (** transfer requests issued by the balancer *)
   status_reports : int;
   jobs_sent : int;
   jobs_received : int;
+  crashes : int;  (** plan victims, heartbeat declarations, and evictions *)
+  recovered_jobs : int;  (** orphaned jobs re-seeded from ledger copies *)
+  retransmits : int;  (** job batches resent after an ack timeout *)
+  recovery_replay_instrs : int;  (** replay cost of reconstructing orphans *)
   coverage_vector : Bytes.t;  (** union of the workers' line bit vectors *)
   final_coverage : float;  (** covered fraction of [coverable_lines] *)
-  per_worker_useful : (int * int) list;
-  solver_stats : Smt.Solver.stats;  (** aggregate over all workers *)
-  per_worker_solver : (int * Smt.Solver.stats) list;
+  per_worker_useful : (int * int) list;  (** live incarnations only *)
+  solver_stats : Smt.Solver.stats;  (** aggregate over all incarnations *)
+  per_worker_solver : (int * Smt.Solver.stats) list;  (** live incarnations *)
 }
 
 (** Run to exhaustion on [ndomains] worker domains.  [coverable_lines]
-    is the denominator of [final_coverage]. *)
+    is the denominator of [final_coverage].
+
+    @raise Invalid_argument when [ndomains < 1] or the fault plan fails
+      {!Faultplan.validate}.
+    @raise Failure when the watchdog fires (workers are crash-stopped
+      and joined first, so the exception is clean). *)
 val run : coverable_lines:int -> 'env config -> result

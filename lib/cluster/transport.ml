@@ -1,0 +1,144 @@
+(* The shared scheduler/transport core: coordinator-side fault tolerance
+   logic common to both cluster runtimes.
+
+   The virtual-time {!Driver} and the real-domain {!Parallel} runtime
+   move messages very differently (a simulated latency queue vs. real
+   mutex+condition mailboxes), but the recovery protocol on top is the
+   same state machine: every routed job batch is leased in the
+   {!Ledger}, unacknowledged leases are retransmitted with exponential
+   backoff, a destination that exhausts the retransmit budget is evicted
+   through the crash path, and a crash credits the victim's last
+   reported counters, re-seeds its orphaned subtrees on live workers
+   (parking them while none is alive), and bans the exact nodes the
+   victim had already handed away.
+
+   This module owns that state machine; each backend supplies the moving
+   parts it alone understands through an {!ops} record: how to put a
+   leased batch on its (lossy) wire, how to install bans on live
+   workers, which workers can accept recovery jobs, and how to
+   crash-stop one of them.  [begin_crash] runs the backend's teardown
+   (drop the engine, forget the balancer entry, filter undeliverable
+   traffic) and the transport completes the ledger half, so neither
+   backend can get the ordering wrong. *)
+
+type ops = {
+  nworkers : int;
+  send_jobs :
+    src:int -> lease:int -> dst:int -> jobs:Job.t list -> recovery:bool -> resend:bool -> unit;
+  install_bans : Job.t list -> unit;
+  live_workers : unit -> (int * int) list;
+  begin_crash : worker:int -> bool;
+}
+
+type t = {
+  ops : ops;
+  ledger : Ledger.t;
+  mutable crashes : int;
+  mutable recovered : int;
+  mutable credit_paths : int;
+  mutable credit_errors : int;
+  mutable global_bans : Job.t list;
+  mutable parked : Job.t list; (* orphans awaiting a live worker *)
+}
+
+let create ?base_timeout ?max_attempts ?obs ops =
+  {
+    ops;
+    ledger = Ledger.create ?base_timeout ?max_attempts ?obs ();
+    crashes = 0;
+    recovered = 0;
+    credit_paths = 0;
+    credit_errors = 0;
+    global_bans = [];
+    parked = [];
+  }
+
+let ledger t = t.ledger
+
+(* Re-seed orphaned jobs as recovery leases, spread over the live
+   workers least-loaded first; parked until a worker is alive. *)
+let route_recovery t ~now orphans =
+  if orphans <> [] then begin
+    let live =
+      List.sort (fun (_, a) (_, b) -> compare a b) (t.ops.live_workers ())
+    in
+    match live with
+    | [] -> t.parked <- orphans @ t.parked
+    | _ ->
+      let n = List.length live in
+      let chunks = Array.make n [] in
+      List.iteri (fun k job -> chunks.(k mod n) <- job :: chunks.(k mod n)) orphans;
+      List.iteri
+        (fun k (dst, _) ->
+          match chunks.(k) with
+          | [] -> ()
+          | jobs ->
+            let lease = Ledger.issue t.ledger ~dst ~jobs ~now ~recovery:true in
+            t.recovered <- t.recovered + List.length jobs;
+            t.ops.send_jobs ~src:Faultplan.lb ~lease ~dst ~jobs ~recovery:true ~resend:false)
+        live
+  end
+
+(* Crash-stop a worker: the backend tears down its half ([begin_crash]
+   returns [false] when the slot is not crashable — already dead, never
+   alive, or out of range), then the ledger computes the recovery set:
+   credit the victim's last-reported counters, warn live workers off the
+   nodes it had handed away, and re-seed its orphaned subtrees. *)
+let rec handle_crash t ~now ~worker =
+  if t.ops.begin_crash ~worker then begin
+    t.crashes <- t.crashes + 1;
+    let { Ledger.credit_paths; credit_errors; orphans; bans } =
+      Ledger.on_crash t.ledger ~worker
+    in
+    t.credit_paths <- t.credit_paths + credit_paths;
+    t.credit_errors <- t.credit_errors + credit_errors;
+    if bans <> [] then begin
+      t.global_bans <- bans @ t.global_bans;
+      t.ops.install_bans bans
+    end;
+    route_recovery t ~now orphans
+  end
+
+(* At-least-once delivery sweep: resend leases past their backoff
+   deadline; a lease that exhausts its retransmit budget evicts its
+   destination (the crash path keeps the re-route exact).  Orphans
+   parked while no worker was alive are re-routed once one is. *)
+and tick t ~now =
+  let resend, failed = Ledger.tick_timeouts t.ledger ~now in
+  List.iter
+    (fun (l : Ledger.lease) ->
+      t.ops.send_jobs ~src:Faultplan.lb ~lease:l.Ledger.lease_id ~dst:l.Ledger.l_dst
+        ~jobs:l.Ledger.l_jobs ~recovery:l.Ledger.l_recovery ~resend:true)
+    resend;
+  List.iter (fun (l : Ledger.lease) -> handle_crash t ~now ~worker:l.Ledger.l_dst) failed;
+  if t.parked <> [] && t.ops.live_workers () <> [] then begin
+    let orphans = t.parked in
+    t.parked <- [];
+    route_recovery t ~now orphans
+  end
+
+(* Lease and send a rebalancing transfer.  The sent-out record must be
+   updated first: if [src] crashes before its next report, recovery must
+   not re-seed (and live workers must drop) the nodes it just gave
+   away. *)
+let issue_transfer t ~src ~dst ~jobs ~now =
+  Ledger.record_sent_out t.ledger ~src ~jobs;
+  let lease = Ledger.issue t.ledger ~dst ~jobs ~now ~recovery:false in
+  t.ops.send_jobs ~src ~lease ~dst ~jobs ~recovery:false ~resend:false;
+  lease
+
+(* The root job is leased like any routed job (and marked delivered on
+   the spot — the worker holds it by construction), so a crash of the
+   seed worker before its first status report re-seeds the whole tree. *)
+let seed_root t ~dst ~now =
+  let lease = Ledger.issue t.ledger ~dst ~jobs:[ [] ] ~now ~recovery:false in
+  Ledger.mark_delivered t.ledger ~lease ~now
+
+let quiesced t = t.parked = [] && Ledger.pending t.ledger = 0
+let bans t = t.global_bans
+let parked_orphans t = List.length t.parked
+let crashes t = t.crashes
+let recovered_jobs t = t.recovered
+let retransmits t = Ledger.retransmits t.ledger
+let credit_paths t = t.credit_paths
+let credit_errors t = t.credit_errors

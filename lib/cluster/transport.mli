@@ -1,0 +1,74 @@
+(** The shared scheduler/transport core: the coordinator-side fault
+    tolerance state machine common to the virtual-time {!Driver} and the
+    real-domain {!Parallel} runtime.
+
+    Both backends route job batches as {!Ledger} leases; this module
+    owns the protocol on top — at-least-once retransmission with
+    exponential backoff, eviction of destinations that exhaust the
+    retransmit budget, and exact crash recovery (credit the victim's
+    last-reported counters, ban the nodes it handed away, re-seed its
+    orphans on live workers, parking them while none is alive).  A
+    backend plugs in the parts only it understands via {!ops}. *)
+
+type ops = {
+  nworkers : int;
+  send_jobs :
+    src:int -> lease:int -> dst:int -> jobs:Job.t list -> recovery:bool -> resend:bool -> unit;
+      (** put a leased batch on the backend's (lossy) wire.  [src] is
+          {!Faultplan.lb} for ledger (re)sends and recovery seeds;
+          [resend] marks retransmissions of an existing lease *)
+  install_bans : Job.t list -> unit;
+      (** warn every live worker off these exact nodes (a crashed worker
+          had sent them out after its last report) *)
+  live_workers : unit -> (int * int) list;
+      (** [(id, queue_len)] of workers able to accept recovery jobs *)
+  begin_crash : worker:int -> bool;
+      (** backend teardown for a crash-stop: drop the engine, forget the
+          balancer entry, filter undeliverable traffic.  Returns [false]
+          when the slot is not crashable (already dead, never alive, or
+          out of range) — the transport then does nothing. *)
+}
+
+type t
+
+val create : ?base_timeout:int -> ?max_attempts:int -> ?obs:Obs.Sink.t -> ops -> t
+
+(** The underlying lease ledger, for the per-message bookkeeping the
+    backend drives directly: {!Ledger.mark_delivered} on acks and
+    {!Ledger.record_report} on status reports. *)
+val ledger : t -> Ledger.t
+
+(** Crash-stop [worker]: runs [ops.begin_crash], then credits its last
+    reported counters, installs bans, and re-seeds its orphans. *)
+val handle_crash : t -> now:int -> worker:int -> unit
+
+(** Periodic sweep: retransmit overdue leases, evict destinations that
+    exhausted the budget (through {!handle_crash}), and re-route parked
+    orphans once a worker is alive again. *)
+val tick : t -> now:int -> unit
+
+(** Lease and send a rebalancing transfer from [src]; records the jobs
+    as sent-out first so a crash of [src] stays exact.  Returns the
+    lease id. *)
+val issue_transfer : t -> src:int -> dst:int -> jobs:Job.t list -> now:int -> int
+
+(** Cover the root job with a delivered lease on [dst], so a crash of
+    the seed worker before its first report re-seeds the whole tree. *)
+val seed_root : t -> dst:int -> now:int -> unit
+
+(** No lease awaiting an ack and no orphan parked: the transport holds
+    no in-flight work.  One conjunct of global exhaustion. *)
+val quiesced : t -> bool
+
+(** Cumulative ban list, for installing on freshly (re)joined workers. *)
+val bans : t -> Job.t list
+
+val parked_orphans : t -> int
+val crashes : t -> int
+val recovered_jobs : t -> int
+val retransmits : t -> int
+
+(** Paths / errors credited from crashed workers' last reports. *)
+val credit_paths : t -> int
+
+val credit_errors : t -> int

@@ -238,6 +238,10 @@ let ban_paths w paths = List.iter (fun p -> Trie.add w.banned p ()) paths
 
 (* --- replay ---------------------------------------------------------------------------- *)
 
+(* Recovery replays profile under their own span kind so the wall-clock
+   cost of reconstructing a crashed worker's orphans is visible. *)
+let replay_kind recov = if recov then Obs.Profile.Recovery_replay else Obs.Profile.Job_replay
+
 (* One replay step.  Returns the instruction count consumed (always 1). *)
 let replay_step w ~target ~remaining ~rstate ~recov =
   let { Executor.running; finished } = Executor.step w.cfg ~replay:true rstate in
@@ -257,7 +261,7 @@ let replay_step w ~target ~remaining ~rstate ~recov =
       add_running w (filter_banned w running);
       List.iter (record_finished w) finished;
       w.replays_done <- w.replays_done + 1;
-      ignore (Obs.Profile.record w.prof Obs.Profile.Job_replay ~start_ns:w.replay_t0);
+      ignore (Obs.Profile.record w.prof (replay_kind recov) ~start_ns:w.replay_t0);
       emit w (Obs.Event.Replay_end { outcome = Obs.Event.Landed; recovery = recov });
       w.mode <- Exploring
     | expected :: rest -> (
@@ -283,7 +287,7 @@ let replay_step w ~target ~remaining ~rstate ~recov =
           let p = State.path st in
           Trie.add w.frontier p { epath = p; estate = Some st; erecovery = false };
           w.replays_done <- w.replays_done + 1;
-          ignore (Obs.Profile.record w.prof Obs.Profile.Job_replay ~start_ns:w.replay_t0);
+          ignore (Obs.Profile.record w.prof (replay_kind recov) ~start_ns:w.replay_t0);
           emit w (Obs.Event.Replay_end { outcome = Obs.Event.Landed; recovery = recov });
           w.mode <- Exploring
         end
@@ -291,7 +295,7 @@ let replay_step w ~target ~remaining ~rstate ~recov =
       | None ->
         (* the expected successor does not exist: broken replay *)
         w.broken_replays <- w.broken_replays + 1;
-        ignore (Obs.Profile.record w.prof Obs.Profile.Job_replay ~start_ns:w.replay_t0);
+        ignore (Obs.Profile.record w.prof (replay_kind recov) ~start_ns:w.replay_t0);
         emit w (Obs.Event.Replay_end { outcome = Obs.Event.Broken; recovery = recov });
         w.mode <- Exploring))
 

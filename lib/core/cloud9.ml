@@ -198,9 +198,11 @@ let run_cluster ?obs ?(options = default_cluster_options) (t : target) =
    worker factory runs *inside* each spawned domain, so the solver, its
    caches, and the simplify memo are domain-local by construction; the
    observability sink is a buffered per-domain view flushed through the
-   core's lock.  Simulation-only options (speed, latency, faults, the
-   shared-allocator ablation) do not apply here — only the engine knobs
-   [cworker_max_steps] and [cseed] are read. *)
+   core's lock.  The [fault_plan] applies here too — crash ticks are
+   coordinator ticks (~1 ms each) rather than simulation ticks — and a
+   faulty run enables the heartbeat failure detector.  Simulation-only
+   options (speed, latency, the shared-allocator ablation) do not apply;
+   beyond the plan, only [cworker_max_steps] and [cseed] are read. *)
 let run_parallel ?obs ?(ndomains = 2) ?(options = default_cluster_options) (t : target) =
   let opts = options in
   (* Profiling rides on the sink: a parallel run with observability gets
@@ -224,7 +226,16 @@ let run_parallel ?obs ?(ndomains = 2) ?(options = default_cluster_options) (t : 
     let make_root () = Posix.Api.initial_state t.program ~args:[] in
     Cluster.Worker.create ?prof ~id:i ~cfg ~make_root ~seed:opts.cseed ()
   in
-  let cfg = Cluster.Parallel.default_config ?obs ~ndomains ~make_worker () in
+  let cfg =
+    Cluster.Parallel.default_config ?obs ~faults:opts.fault_plan ~ndomains ~make_worker ()
+  in
+  (* a faulty run turns the heartbeat failure detector on (1 s suspect
+     interval at the default 1 ms tick); fault-free runs leave it off so
+     a detector false positive can never perturb the scaling gates *)
+  let cfg =
+    if Cluster.Faultplan.is_faultless opts.fault_plan then cfg
+    else { cfg with Cluster.Parallel.heartbeat_ticks = 1_000 }
+  in
   Fun.protect
     ~finally:(fun () -> Smt.Expr.set_lock_profiling false)
     (fun () ->

@@ -87,10 +87,16 @@ val run_cluster : ?obs:Obs.Sink.t -> ?options:cluster_options -> target -> Clust
     each domain as a buffered view ({!Obs.Sink.buffered}) flushed before
     the domain exits, and additionally enables the wall-clock profiler
     (solver query / mailbox wait / steal round-trip / replay spans and
-    the hashcons shard-lock contention probe, reset at run start).  Only
-    [cworker_max_steps] and [cseed] are read from
-    [options]; the simulation knobs (speed, latency, faults, the
-    shared-allocator ablation) do not apply. *)
+    the hashcons shard-lock contention probe, reset at run start).  The
+    [fault_plan] applies here too: crashes kill real domains (crash-stop
+    with amnesia, observed at slice poll points), rejoins spawn fresh
+    ones, and seeded loss/delay perturbs the leased job wire — recovery
+    through the shared {!Cluster.Transport} keeps the totals exactly
+    fault-free, and a faulty plan enables the heartbeat failure
+    detector.  Crash ticks are coordinator ticks (~1 ms), not simulation
+    ticks.  Beyond the plan, only [cworker_max_steps] and [cseed] are
+    read from [options]; the remaining simulation knobs (speed, latency,
+    the shared-allocator ablation) do not apply. *)
 val run_parallel :
   ?obs:Obs.Sink.t -> ?ndomains:int -> ?options:cluster_options -> target -> Cluster.Parallel.result
 

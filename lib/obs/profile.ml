@@ -18,6 +18,7 @@ type kind =
   | Mailbox_wait  (* worker domain blocked on its empty inbox *)
   | Steal_rtt  (* coordinator issued Steal -> victim's Jobs arrived at thief *)
   | Job_replay  (* replaying a transferred job from its path encoding *)
+  | Recovery_replay  (* replaying an orphaned job recovered from the ledger *)
   | Quiesce_round  (* one coordinator loop: status drain + rebalance *)
   | Solver_query of Event.solver_tier
 
@@ -26,6 +27,7 @@ type t = {
   h_mailbox : Metrics.histogram;
   h_steal : Metrics.histogram;
   h_replay : Metrics.histogram;
+  h_recovery : Metrics.histogram;
   h_quiesce : Metrics.histogram;
   h_tiers : (Event.solver_tier * Metrics.histogram) list;
 }
@@ -34,6 +36,7 @@ let kind_name = function
   | Mailbox_wait -> "mailbox_wait"
   | Steal_rtt -> "steal_rtt"
   | Job_replay -> "job_replay"
+  | Recovery_replay -> "recovery_replay"
   | Quiesce_round -> "quiesce_round"
   | Solver_query _ -> "solver_query"
 
@@ -54,6 +57,7 @@ let create sink =
     h_mailbox = h "mailbox_wait";
     h_steal = h "steal_rtt";
     h_replay = h "job_replay";
+    h_recovery = h "recovery_replay";
     h_quiesce = h "quiesce_round";
     h_tiers =
       List.map
@@ -65,6 +69,7 @@ let hist p = function
   | Mailbox_wait -> p.h_mailbox
   | Steal_rtt -> p.h_steal
   | Job_replay -> p.h_replay
+  | Recovery_replay -> p.h_recovery
   | Quiesce_round -> p.h_quiesce
   | Solver_query tier -> (
     match List.assq_opt tier p.h_tiers with Some h -> h | None -> assert false)

@@ -11,6 +11,10 @@ type kind =
   | Mailbox_wait  (** worker domain blocked on its empty inbox *)
   | Steal_rtt  (** coordinator issued Steal → stolen Jobs arrived at thief *)
   | Job_replay  (** replaying a transferred job from its path encoding *)
+  | Recovery_replay
+      (** replaying an orphaned job recovered from the ledger after a
+          crash — same mechanics as [Job_replay], reported separately so
+          recovery cost is visible in the profile *)
   | Quiesce_round  (** one coordinator loop: status drain + rebalance *)
   | Solver_query of Event.solver_tier
       (** one answered solver query, by answer tier (histogram only — no

@@ -202,6 +202,44 @@ let test_faultplan_partition () =
   Alcotest.(check bool) "other links unaffected" true
     (FP.fate rt ~tick:15 ~src:0 ~dst:2 = FP.Deliver 0)
 
+(* validate: runtimes refuse plans that reference workers outside the
+   cluster or schedule a rejoin that could never fire *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let expect_rejected name plan ~nworkers ~mentioning =
+  match FP.validate plan ~nworkers with
+  | Ok () -> Alcotest.failf "%s: invalid plan accepted" name
+  | Error m ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: message %S mentions %S" name m mentioning)
+      true (contains m mentioning)
+
+let test_validate_worker_range () =
+  expect_rejected "victim out of range"
+    (FP.create ~crashes:[ FP.crash 7 ~at_tick:10 ] ())
+    ~nworkers:4 ~mentioning:"worker 7";
+  expect_rejected "negative victim"
+    (FP.create ~crashes:[ FP.crash (-1) ~at_tick:10 ] ())
+    ~nworkers:4 ~mentioning:"worker -1";
+  (* the same plan is fine on a cluster that actually has the slot *)
+  Alcotest.(check bool) "victim in range accepted" true
+    (FP.validate (FP.create ~crashes:[ FP.crash 7 ~at_tick:10 ] ()) ~nworkers:8 = Ok ())
+
+let test_validate_rejoin_delay () =
+  expect_rejected "zero rejoin delay"
+    (FP.create ~crashes:[ FP.crash 1 ~at_tick:10 ~rejoin_after:0 ] ())
+    ~nworkers:4 ~mentioning:"rejoin";
+  expect_rejected "negative rejoin delay"
+    (FP.create ~crashes:[ FP.crash 1 ~at_tick:10 ~rejoin_after:(-3) ] ())
+    ~nworkers:4 ~mentioning:"rejoin";
+  Alcotest.(check bool) "strictly-later rejoin accepted" true
+    (FP.validate (FP.create ~crashes:[ FP.crash 1 ~at_tick:10 ~rejoin_after:1 ] ()) ~nworkers:4
+    = Ok ())
+
 let () =
   Alcotest.run "faults"
     [
@@ -225,5 +263,7 @@ let () =
           Alcotest.test_case "determinism" `Quick test_faultplan_determinism;
           Alcotest.test_case "crash schedule" `Quick test_faultplan_schedule;
           Alcotest.test_case "partitions" `Quick test_faultplan_partition;
+          Alcotest.test_case "validate: worker range" `Quick test_validate_worker_range;
+          Alcotest.test_case "validate: rejoin delay" `Quick test_validate_rejoin_delay;
         ] );
     ]

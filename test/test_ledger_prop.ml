@@ -1,0 +1,132 @@
+(* Property test for the lease ledger's recovery arithmetic (DESIGN.md
+   "Failure semantics").
+
+   The exactness claim behind crash recovery is a partition: when a
+   worker dies, every job ever routed to it lands in exactly one of
+   - the completed side of its last status report (credited counters),
+   - the hand-off record covered by that report (a live worker owns it),
+   - the recovery bans (handed away after the report — the new owner
+     keeps it, recovery workers must drop the node), or
+   - the orphans re-seeded on live workers,
+   with orphans and bans disjoint.  Anything double-counted would inflate
+   the totals; anything dropped would lose a subtree.
+
+   We drive a random but *modeled* worker life against the real ledger:
+   leases issued and delivered, jobs completed, jobs transferred out,
+   status reports at arbitrary points — then crash it and compare
+   [Ledger.on_crash] against the model's ground truth. *)
+
+module Ledger = Cluster.Ledger
+module Path = Engine.Path
+
+(* distinct path per job id: ten Branch choices spelling the id in binary *)
+let job i = List.init 10 (fun b -> Path.Branch ((i lsr b) land 1 = 1))
+
+let key = Path.to_string
+let set jobs = List.sort_uniq compare (List.map key jobs)
+
+(* One random worker life, crash at the end.  Returns [None] when the
+   ledger agrees with the model on every component of the recovery set,
+   or [Some msg] naming the first disagreement. *)
+let run_model ~seed ~njobs ~nops =
+  let rng = Random.State.make [| seed |] in
+  let led = Ledger.create ~base_timeout:1_000_000 () in
+  let jobs = Array.init njobs job in
+  let next = ref 0 in                 (* next job not yet routed to the victim *)
+  let now = ref 0 in
+  let pending = ref [] in             (* issued, not yet delivered: (lease, batch) *)
+  let held = ref [] in                (* delivered, not completed or handed away *)
+  let completed_unrep = ref [] and completed_rep = ref [] in
+  let sent_since = ref [] and sent_rep = ref [] in
+  let delivered_ids = ref [] in       (* cumulative, piggybacked on each report *)
+  let reported_paths = ref 0 in
+  for _ = 1 to nops do
+    incr now;
+    match Random.State.int rng 5 with
+    | 0 ->
+      (* lease the next small batch to the victim *)
+      if !next < njobs then begin
+        let n = 1 + Random.State.int rng (min 3 (njobs - !next)) in
+        let batch = List.init n (fun k -> jobs.(!next + k)) in
+        next := !next + n;
+        let id = Ledger.issue led ~dst:0 ~jobs:batch ~now:!now ~recovery:false in
+        pending := (id, batch) :: !pending
+      end
+    | 1 -> (
+      (* the network delivers one outstanding lease *)
+      match !pending with
+      | [] -> ()
+      | (id, batch) :: rest ->
+        pending := rest;
+        Ledger.mark_delivered led ~lease:id ~now:!now;
+        delivered_ids := id :: !delivered_ids;
+        held := batch @ !held)
+    | 2 -> (
+      (* the victim finishes exploring one held subtree *)
+      match !held with
+      | [] -> ()
+      | j :: rest ->
+        held := rest;
+        completed_unrep := j :: !completed_unrep)
+    | 3 -> (
+      (* the victim hands one held subtree to a live worker *)
+      match !held with
+      | [] -> ()
+      | j :: rest ->
+        held := rest;
+        Ledger.record_sent_out led ~src:0 ~jobs:[ j ];
+        sent_since := j :: !sent_since)
+    | _ ->
+      (* status report: frontier digest + cumulative counters *)
+      let paths = List.length !completed_unrep + List.length !completed_rep in
+      Ledger.record_report ~received:!delivered_ids led ~worker:0 ~tick:!now ~digest:!held
+        ~paths ~errors:0;
+      reported_paths := paths;
+      completed_rep := !completed_unrep @ !completed_rep;
+      completed_unrep := [];
+      sent_rep := !sent_since @ !sent_rep;
+      sent_since := []
+  done;
+  let r = Ledger.on_crash led ~worker:0 in
+  let routed = set (Array.to_list (Array.sub jobs 0 !next)) in
+  let excluded = set (!completed_rep @ !sent_rep) in
+  let expected = List.filter (fun k -> not (List.mem k excluded)) routed in
+  let orphans = set r.Ledger.orphans and bans = set r.Ledger.bans in
+  let recovered = List.sort compare (orphans @ bans) in
+  if List.exists (fun k -> List.mem k bans) orphans then
+    Some "orphans and bans overlap"
+  else if List.length orphans <> List.length r.Ledger.orphans then
+    Some "orphans re-seed a path twice"
+  else if bans <> set !sent_since then
+    Some
+      (Printf.sprintf "bans: got %d, expected the %d jobs handed away since the last report"
+         (List.length bans)
+         (List.length (set !sent_since)))
+  else if recovered <> expected then
+    Some
+      (Printf.sprintf
+         "orphans+bans cover %d jobs, the model expects %d (routed %d, reported-complete %d, \
+          reported-sent %d)"
+         (List.length recovered) (List.length expected) (List.length routed)
+         (List.length !completed_rep) (List.length !sent_rep))
+  else if r.Ledger.credit_paths <> !reported_paths then
+    Some
+      (Printf.sprintf "credited %d paths, the last report said %d" r.Ledger.credit_paths
+         !reported_paths)
+  else None
+
+let gen_life =
+  QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 1 24) (int_range 0 80))
+
+let prop_recovery_partition =
+  QCheck2.Test.make ~count:500
+    ~name:"on_crash: orphans + bans + reported work partition the routed jobs"
+    gen_life
+    (fun (seed, njobs, nops) ->
+      match run_model ~seed ~njobs ~nops with
+      | None -> true
+      | Some msg -> QCheck2.Test.fail_report msg)
+
+let () =
+  Alcotest.run "ledger-prop"
+    [ ("recovery", [ QCheck_alcotest.to_alcotest prop_recovery_partition ]) ]
