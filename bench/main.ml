@@ -53,6 +53,9 @@ let cluster ?(speed = 100) ?(status = 5) ?(latency = 1) ?lb_disable_at ?(goal = 
       bucket_ticks = bucket;
       coverable_lines = List.length (Cvm.Program.covered_lines program);
       faults;
+      init_frontier = None;
+      init_bans = [];
+      stop_after_instrs = None;
     }
   in
   CD.run ?obs cfg
@@ -532,6 +535,9 @@ let ablation_allocator () =
         bucket_ticks = vmin;
         coverable_lines = List.length (Cvm.Program.covered_lines program);
         faults = Cluster.Faultplan.none;
+        init_frontier = None;
+        init_bans = [];
+        stop_after_instrs = None;
       }
     in
     let r = CD.run cfg in
@@ -1452,6 +1458,202 @@ let bench_profile () =
   end
 
 (* ====================================================================== *)
+(* Campaign service: checkpoint / kill / restore exactness + fairness      *)
+(* ====================================================================== *)
+
+(* The campaign-service gate (lib/service).  A multi-tenant population of
+   coreutils campaigns runs under the daemon's round-robin scheduler; the
+   daemon is killed mid-campaign (dropped on the floor, last checkpoint on
+   disk), restored from its snapshot, and driven to completion.  Hard
+   gates, each exiting non-zero on breach:
+     - every restored campaign reaches the EXACT fault-free path and
+       error totals of an uninterrupted [run_cluster] on the same target
+       and options (the restore≡uninterrupted argument of DESIGN.md);
+     - strict round-robin fairness: between two slices granted to a
+       campaign, every other runnable campaign is granted at most once
+       (starvation bound K-1);
+     - restore latency (snapshot load + daemon reconstruction) is
+       recorded in BENCH_service.json. *)
+let bench_service ?(quick = false) () =
+  let module SC = Service.Campaign in
+  let module SD = Service.Daemon in
+  section "service"
+    "Multi-tenant campaign daemon: checkpoint mid-campaign, kill, restore from\n\
+     the snapshot, finish.  Expected: every campaign reaches the exact paths and\n\
+     errors of its uninterrupted run, no tenant waits more than K-1 slices, and\n\
+     restore latency stays in the milliseconds.";
+  let tenants =
+    (* even-seeded utilities exhaust quickly; odd ones are the deep half
+       of the suite and belong to the overnight sweep (EXPERIMENTS.md) *)
+    if quick then [ "cu04"; "cu20"; "cu74" ]
+    else [ "cu02"; "cu04"; "cu14"; "cu18"; "cu20"; "cu74" ]
+  in
+  let k = List.length tenants in
+  let slice_instrs = 1000 in
+  let options =
+    {
+      C.default_cluster_options with
+      C.nworkers = 4;
+      speed = 80;
+      cworker_max_steps = Some 2000;
+    }
+  in
+  let resolve v =
+    match Core.Registry.resolve ~name:"coreutils" ~variant:(Some v) with
+    | Some t -> t
+    | None -> failwith ("unknown coreutils variant " ^ v)
+  in
+  (* reference: uninterrupted runs, same options the daemon slices use *)
+  let direct =
+    List.map
+      (fun v ->
+        let r = C.run_cluster ~options (resolve v) in
+        Printf.printf "direct   %-6s paths=%5d errors=%3d useful=%7d\n%!" v
+          r.CD.total_paths r.CD.total_errors r.CD.useful_instrs;
+        (v, r))
+      tenants
+  in
+  let state = Filename.temp_file "bench_service_state" ".json" in
+  Sys.remove state;
+  let cfg =
+    {
+      (SD.default_config ~state_file:state) with
+      SD.slice_instrs;
+      checkpoint_every = 1; (* every slice lands a checkpoint: kill anywhere *)
+    }
+  in
+  let spec v =
+    {
+      SC.sp_name = v;
+      sp_target = "coreutils";
+      sp_variant = Some v;
+      sp_runtime = SC.Sim;
+      sp_workers = 4;
+      sp_speed = 80;
+      sp_max_steps = 2000;
+      sp_seed = 42;
+      sp_slice_instrs = None;
+    }
+  in
+  let failures = ref [] in
+  let gate cond msg = if not cond then failures := msg :: !failures in
+  (* grants: (campaign, runnable tenant count when granted), oldest first *)
+  let grants = ref [] in
+  let step_once d =
+    let runnable =
+      List.length (List.filter (fun c -> SC.runnable c) (SD.campaigns d))
+    in
+    match SD.step d with
+    | `Sliced name ->
+      grants := (name, runnable) :: !grants;
+      true
+    | `Idle | `Stopped -> false
+  in
+  (* phase 1: all tenants admitted, killed after 3 rounds of slices *)
+  let d1 = match SD.create cfg with Ok d -> d | Error m -> failwith m in
+  List.iter (fun v -> SD.submit d1 (spec v)) tenants;
+  for _ = 1 to 3 * k do
+    ignore (step_once d1)
+  done;
+  let mid_running =
+    List.exists (fun c -> c.SC.status = SC.Running) (SD.campaigns d1)
+  in
+  gate mid_running "daemon killed after the campaigns already finished; nothing was restored";
+  (* the "kill": d1 is dropped with only its checkpoint surviving *)
+  let t0 = Unix.gettimeofday () in
+  let d2 = match SD.create cfg with Ok d -> d | Error m -> failwith m in
+  let restore_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+  let rec drive n = if n > 100_000 then failwith "service bench did not converge"
+    else if step_once d2 then drive (n + 1) in
+  drive 0;
+  (* gate 1: exact totals per tenant *)
+  List.iter
+    (fun (v, (dr : CD.result)) ->
+      match SD.find d2 v with
+      | None -> gate false (v ^ ": campaign lost across restore")
+      | Some c ->
+        Printf.printf "restored %-6s paths=%5d errors=%3d slices=%3d status=%s\n%!" v
+          c.SC.paths c.SC.errors c.SC.slices (SC.status_to_string c.SC.status);
+        gate (c.SC.status = SC.Done) (v ^ ": campaign did not finish");
+        gate
+          (c.SC.paths = dr.CD.total_paths && c.SC.errors = dr.CD.total_errors)
+          (Printf.sprintf "%s: restored totals %d/%d != uninterrupted %d/%d" v c.SC.paths
+             c.SC.errors dr.CD.total_paths dr.CD.total_errors))
+    direct;
+  (* gate 2: starvation bound.  For consecutive grants to one tenant, the
+     number of intervening grants is at most (max runnable over the
+     window) - 1 under strict round-robin. *)
+  let grants = List.rev !grants in
+  let max_gap = ref 0 in
+  let bound_ok = ref true in
+  List.iter
+    (fun v ->
+      let positions =
+        List.filteri (fun _ _ -> true) grants
+        |> List.mapi (fun i (n, k) -> (i, n, k))
+        |> List.filter (fun (_, n, _) -> n = v)
+      in
+      let rec pairs = function
+        | (i1, _, _) :: ((i2, _, _) :: _ as rest) ->
+          let window = List.filteri (fun i _ -> i > i1 && i <= i2) grants in
+          let kmax = List.fold_left (fun acc (_, k) -> max acc k) 1 window in
+          let gap = i2 - i1 - 1 in
+          max_gap := max !max_gap gap;
+          if gap > kmax - 1 then bound_ok := false;
+          pairs rest
+        | _ -> ()
+      in
+      pairs positions)
+    tenants;
+  gate !bound_ok "starvation bound K-1 violated";
+  Printf.printf "fairness: %d grants, max inter-grant gap %d (bound %d)\n%!"
+    (List.length grants) !max_gap (k - 1);
+  Printf.printf "restore latency: %.2f ms\n%!" restore_ms;
+  (* artifact *)
+  let module J = Obs.Json in
+  let ok = !failures = [] in
+  let row (v, (dr : CD.result)) =
+    let c = SD.find d2 v in
+    J.Obj
+      [
+        ("tenant", J.Str v);
+        ("direct_paths", J.Num (float_of_int dr.CD.total_paths));
+        ("direct_errors", J.Num (float_of_int dr.CD.total_errors));
+        ( "restored_paths",
+          J.Num (float_of_int (match c with Some c -> c.SC.paths | None -> -1)) );
+        ( "restored_errors",
+          J.Num (float_of_int (match c with Some c -> c.SC.errors | None -> -1)) );
+        ( "slices",
+          J.Num (float_of_int (match c with Some c -> c.SC.slices | None -> 0)) );
+      ]
+  in
+  let doc =
+    J.Obj
+      [
+        ("bench", J.Str "service");
+        ("quick", J.Bool quick);
+        ("tenants", J.Num (float_of_int k));
+        ("slice_instrs", J.Num (float_of_int slice_instrs));
+        ("campaigns", J.Arr (List.map row direct));
+        ("grants", J.Num (float_of_int (List.length grants)));
+        ("max_gap", J.Num (float_of_int !max_gap));
+        ("starvation_bound", J.Num (float_of_int (k - 1)));
+        ("restore_ms", J.Num restore_ms);
+        ("ok", J.Bool ok);
+      ]
+  in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_service.json\n";
+  if Sys.file_exists state then Sys.remove state;
+  if not ok then begin
+    List.iter (fun m -> Printf.printf "SERVICE GATE: %s\n" m) (List.rev !failures);
+    exit 1
+  end
+
+(* ====================================================================== *)
 
 let experiments =
   [
@@ -1479,6 +1681,8 @@ let experiments =
     ("faults-parallel", fun () -> bench_faults_parallel ());
     ("faults-parallel-quick", fun () -> bench_faults_parallel ~quick:true ());
     ("profile", bench_profile);
+    ("service", fun () -> bench_service ());
+    ("service-quick", fun () -> bench_service ~quick:true ());
     ("smoke", smoke);
     ("obs-overhead", obs_overhead);
     ("micro", micro);

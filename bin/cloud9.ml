@@ -4,14 +4,43 @@
      cloud9 table4                       print the Table 4 inventory
      cloud9 run TARGET [-v HARNESS] ...  run a symbolic test, locally or
                                          on a simulated cluster (-w N)
+     cloud9 serve --state FILE ...       campaign daemon: JSONL control
+                                         plane, checkpoint/restore
 
    Examples:
      cloud9 run curl
      cloud9 run memcached -v udp-hang --max-steps 20000
-     cloud9 run printf -v sym-4 -w 12 *)
+     cloud9 run printf -v sym-4 -w 12
+     cloud9 serve --state st.json --control cmds.jsonl --events ev.jsonl *)
 
 open Cmdliner
 module C = Core.Cloud9
+
+(* Integer flags that must be strictly positive (worker counts, budgets,
+   domain counts) share one Arg converter over {!Service.Validate}, so
+   the CLI and the daemon's control plane reject with the same message —
+   and the unit tests exercise the exact rejection. *)
+let pos_int ~flag =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "%s: expected an integer (got %S)" flag s))
+    | Some v -> (
+      match Service.Validate.positive_int ~flag v with
+      | Ok v -> Ok v
+      | Error m -> Error (`Msg m))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let non_neg_int ~flag =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "%s: expected an integer (got %S)" flag s))
+    | Some v -> (
+      match Service.Validate.non_negative_int ~flag v with
+      | Ok v -> Ok v
+      | Error m -> Error (`Msg m))
+  in
+  Arg.conv (parse, Format.pp_print_int)
 
 let list_cmd =
   let run () =
@@ -42,12 +71,15 @@ let variant_arg =
   Arg.(value & opt (some string) None & info [ "v"; "variant" ] ~docv:"HARNESS" ~doc:"Harness variant")
 
 let workers_arg =
-  Arg.(value & opt int 1 & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker count (1 = local engine)")
+  Arg.(
+    value
+    & opt (pos_int ~flag:"--workers") 1
+    & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker count (1 = local engine)")
 
 let parallel_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some (pos_int ~flag:"--parallel")) None
     & info [ "p"; "parallel" ] ~docv:"N"
         ~doc:
           "Run on $(docv) real OCaml domains (true multicore) instead of the virtual-time \
@@ -63,7 +95,7 @@ let strategy_arg =
 let max_steps_arg =
   Arg.(
     value
-    & opt int 1_000_000
+    & opt (pos_int ~flag:"--max-steps") 1_000_000
     & info [ "max-steps" ] ~docv:"K" ~doc:"Per-path instruction cap (hang detector)")
 
 let max_paths_arg =
@@ -80,7 +112,8 @@ let tests_arg =
 
 let speed_arg =
   Arg.(
-    value & opt int 2000
+    value
+    & opt (pos_int ~flag:"--speed") 2000
     & info [ "speed" ] ~docv:"I" ~doc:"Cluster mode: instructions per worker per tick")
 
 (* a crash spec is WORKER@TICK, e.g. --crash 2@100,5@200 *)
@@ -248,9 +281,11 @@ let run_cmd =
         if trace <> None || metrics <> None then Some (Obs.Sink.create ()) else None
       in
       (match parallel with
-      | Some ndomains when ndomains >= 1 ->
+      | Some ndomains ->
+        (* the pos_int converter already rejected n < 1 with a proper
+           Cmdliner error, so no silent fallthrough remains here *)
         run_parallel ?obs target ndomains max_steps crashes rejoin msg_loss
-      | _ ->
+      | None ->
       if workers <= 1 then begin
         let goal =
           match (max_paths, coverage) with
@@ -321,9 +356,86 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Summarize a metrics JSONL dump from a previous run")
     Term.(const run $ metrics_file_arg $ profile_arg)
 
+let serve_cmd =
+  let state_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state" ] ~docv:"FILE"
+          ~doc:"Snapshot file: checkpointed to atomically, restored from when present")
+  in
+  let control_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "control" ] ~docv:"FILE"
+          ~doc:
+            "JSONL command file or pipe (submit/status/pause/resume/cancel/checkpoint/\
+             shutdown), polled for complete lines")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE" ~doc:"Append JSONL event responses to $(docv)")
+  in
+  let slice_arg =
+    Arg.(
+      value
+      & opt (pos_int ~flag:"--slice") 20_000
+      & info [ "slice" ] ~docv:"I"
+          ~doc:"Per-slice instruction budget (the fair-scheduling quantum)")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value
+      & opt (non_neg_int ~flag:"--checkpoint-every") 4
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint after every $(docv) slices (0 = only on demand and shutdown)")
+  in
+  let poll_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "poll" ] ~docv:"S" ~doc:"Seconds between control-plane polls when idle")
+  in
+  let idle_exit_arg =
+    Arg.(
+      value & flag
+      & info [ "idle-exit" ]
+          ~doc:"Exit (with a final checkpoint) once no campaign is runnable — batch mode")
+  in
+  let run state control events slice checkpoint_every poll idle_exit metrics =
+    let obs = if metrics <> None then Some (Obs.Sink.create ()) else None in
+    let cfg =
+      {
+        Service.Daemon.state_file = state;
+        control_file = control;
+        events_file = events;
+        slice_instrs = slice;
+        checkpoint_every;
+        obs;
+      }
+    in
+    match Service.Daemon.create cfg with
+    | Error m ->
+      Printf.eprintf "cloud9 serve: %s\n" m;
+      exit 1
+    | Ok daemon ->
+      Service.Daemon.run ~poll_s:poll ~idle_exit daemon;
+      write_obs_artifacts obs ~trace:None ~metrics
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign service: a persistent, checkpointable, multi-tenant testing \
+          daemon driven by a JSONL control plane")
+    Term.(
+      const run $ state_arg $ control_arg $ events_arg $ slice_arg $ checkpoint_every_arg
+      $ poll_arg $ idle_exit_arg $ metrics_arg)
+
 let () =
   let info =
     Cmd.info "cloud9" ~version:"1.0"
       ~doc:"Parallel symbolic execution for automated real-world software testing"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; table4_cmd; run_cmd; report_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; table4_cmd; run_cmd; report_cmd; serve_cmd ]))

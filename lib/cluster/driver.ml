@@ -61,6 +61,15 @@ type 'env config = {
   bucket_ticks : int;       (* stats bucket size (Fig. 12 uses 10 s) *)
   coverable_lines : int;    (* denominator for global coverage fraction *)
   faults : Faultplan.t;     (* crash / loss / partition schedule *)
+  (* Campaign-service hooks (see lib/service): a run may start from a
+     checkpointed frontier instead of the root, and may be preempted
+     after an instruction budget.  Preemption drains the cluster to a
+     barrier — no execution budgets granted, in-flight leases allowed to
+     settle — at which point the union of worker digests partitions the
+     unexplored region exactly and is exported for a later resume. *)
+  init_frontier : Job.t list option; (* [Some jobs]: seed these, not the root *)
+  init_bans : Job.t list;   (* checkpointed ban set to re-install *)
+  stop_after_instrs : int option; (* drain + export once useful instrs reach this *)
 }
 
 type bucket = {
@@ -75,6 +84,19 @@ type bucket = {
 
 let fresh_bucket t =
   { b_start_tick = t; transferred = 0; candidates = 0; cand_sum = 0; cand_samples = 0; useful = 0; coverage = 0.0 }
+
+(* Everything a campaign must persist to resume this run later and reach
+   the exact totals of an uninterrupted one: the unexplored frontier as
+   job-tree path encodings (each node exactly once, taken at a drained
+   barrier), the cumulative ban set, this run's counters, and the union
+   coverage bit vector. *)
+type frontier_export = {
+  fx_jobs : Job.t list;      (* every unexplored candidate, exactly once *)
+  fx_bans : Job.t list;      (* cumulative ban set (crash recoveries) *)
+  fx_paths : int;            (* this run's completed-path total *)
+  fx_errors : int;
+  fx_coverage : Bytes.t;     (* union line bit vector of this run *)
+}
 
 type result = {
   ticks : int;               (* virtual time consumed *)
@@ -94,6 +116,10 @@ type result = {
   recovery_replay_instrs : int; (* replay cost of reconstructing orphans *)
   solver_stats : Smt.Solver.stats; (* cluster-wide aggregate, dead workers included *)
   per_worker_solver : (int * Smt.Solver.stats) list; (* live workers at run end *)
+  export : frontier_export option;
+      (* present iff [stop_after_instrs] was set and the run reached a
+         drained barrier (budget preemption or natural exhaustion); a
+         [max_ticks] bailout mid-flight yields [None] *)
 }
 
 let popcount_bytes b =
@@ -144,6 +170,11 @@ let run ?obs (cfg : 'env config) =
   let stop = ref false in
   let reached = ref false in
   let root_seeded = ref false in
+  (* drain mode (budget preemption): no execution budgets are granted and
+     no new transfers are issued, but message delivery, acks, reports and
+     retransmission sweeps continue until no lease is in flight — the
+     barrier at which worker digests partition the unexplored region. *)
+  let draining = ref false in
   (* counters of crashed workers, captured at crash time: the reported
      path/error counts live in the transport's credits (unreported
      completions are redone by recovery and counted there — never
@@ -170,7 +201,7 @@ let run ?obs (cfg : 'env config) =
      crash-stop tears the simulated worker down before the transport
      reconstructs its unexplored region from the ledger. *)
   let transport =
-    Transport.create ~base_timeout:(6 * (cfg.latency + 1)) ?obs
+    Transport.create ~base_timeout:(6 * (cfg.latency + 1)) ~initial_bans:cfg.init_bans ?obs
       {
         Transport.nworkers = cfg.nworkers;
         send_jobs =
@@ -255,6 +286,23 @@ let run ?obs (cfg : 'env config) =
       if cfg.coverable_lines = 0 then 1.0
       else float_of_int (popcount_bytes g) /. float_of_int cfg.coverable_lines
   in
+  (* the same union, as raw bytes — exported so a resumed campaign can OR
+     slices together (lines covered only by completed paths are not
+     re-covered by frontier replays) *)
+  let global_coverage_bytes () =
+    match !lb with
+    | None -> Bytes.create 0
+    | Some b ->
+      let g = Balancer.global_coverage b in
+      List.iter
+        (fun w ->
+          let c = w.Worker.cfg.Executor.coverage in
+          for i = 0 to min (Bytes.length g) (Bytes.length c) - 1 do
+            Bytes.set g i (Char.chr (Char.code (Bytes.get g i) lor Char.code (Bytes.get c i)))
+          done)
+        (alive_workers ());
+      Bytes.copy g
+  in
   let totals () =
     List.fold_left
       (fun (p, e, u, r, b) w ->
@@ -289,9 +337,18 @@ let run ?obs (cfg : 'env config) =
         emit (Obs.Event.Join { worker = i });
         let w = spawn i in
         if i = 0 && not !root_seeded then begin
-          Worker.seed_root w;
-          root_seeded := true;
-          Transport.seed_root transport ~dst:0 ~now:t
+          (match cfg.init_frontier with
+          | None ->
+            Worker.seed_root w;
+            Transport.seed_root transport ~dst:0 ~now:t
+          | Some jobs ->
+            (* resume: the checkpointed frontier becomes virtual
+               candidates on the first worker (the balancer spreads them
+               like any load imbalance), leased as a delivered seed so a
+               crash before the first report re-seeds it *)
+            Worker.receive_jobs w jobs;
+            Transport.seed_jobs transport ~dst:0 ~jobs ~now:t);
+          root_seeded := true
         end
       end
     done;
@@ -319,12 +376,15 @@ let run ?obs (cfg : 'env config) =
             end
           | None -> ())
         | Transfer_request { src; dst; count } -> (
-          match (workers.(src), workers.(dst)) with
-          | Some w, Some _ ->
-            let jobs = Worker.transfer_out w ~count in
-            if jobs <> [] then
-              ignore (Transport.issue_transfer transport ~src ~dst ~jobs ~now:t)
-          | _ -> ())
+          (* during a drain no new leases may be created: the jobs stay
+             in the source's digest, which is what the export records *)
+          if not !draining then
+            match (workers.(src), workers.(dst)) with
+            | Some w, Some _ ->
+              let jobs = Worker.transfer_out w ~count in
+              if jobs <> [] then
+                ignore (Transport.issue_transfer transport ~src ~dst ~jobs ~now:t)
+            | _ -> ())
         | Ack { lease; _ } -> Ledger.mark_delivered ledger ~lease ~now:t)
       due;
     (* balancer disable hook (Fig. 13) *)
@@ -332,18 +392,20 @@ let run ?obs (cfg : 'env config) =
     | Some at when t = at -> (
       match !lb with Some b -> Balancer.disable b | None -> lb_pending_disable := true)
     | Some _ | None -> ());
-    (* each worker runs its per-tick instruction budget *)
-    Array.iteri
-      (fun i w ->
-        match w with
-        | Some w ->
-          let used = Worker.execute w ~budget:(cfg.speed i) in
-          if obs <> None then begin
-            idle_acc.(i) <- idle_acc.(i) + max 0 (cfg.speed i - used);
-            sample_worker i w
-          end
-        | None -> ())
-      workers;
+    (* each worker runs its per-tick instruction budget (suspended while
+       draining to a preemption barrier) *)
+    if not !draining then
+      Array.iteri
+        (fun i w ->
+          match w with
+          | Some w ->
+            let used = Worker.execute w ~budget:(cfg.speed i) in
+            if obs <> None then begin
+              idle_acc.(i) <- idle_acc.(i) + max 0 (cfg.speed i - used);
+              sample_worker i w
+            end
+          | None -> ())
+        workers;
     (* periodic status reports and rebalancing.  Reports are the reliable
        control plane: each doubles as the worker's durable recovery point
        in the ledger (frontier digest + cumulative counters). *)
@@ -372,11 +434,12 @@ let run ?obs (cfg : 'env config) =
                  local coverage-optimized strategy pursues the global goal *)
               ignore (Executor.merge_coverage w.Worker.cfg global))
           workers;
-        List.iter
-          (fun { Balancer.src; dst; count } ->
-            send_net ~at:(t + cfg.latency) ~src:Faultplan.lb ~dst:src
-              (Transfer_request { src; dst; count }))
-          (Balancer.rebalance ~now:t ~staleness:(2 * cfg.status_interval) b)
+        if not !draining then
+          List.iter
+            (fun { Balancer.src; dst; count } ->
+              send_net ~at:(t + cfg.latency) ~src:Faultplan.lb ~dst:src
+                (Transfer_request { src; dst; count }))
+            (Balancer.rebalance ~now:t ~staleness:(2 * cfg.status_interval) b)
     end;
     (* at-least-once delivery: the transport resends leases past their
        backoff deadline, evicts destinations that exhaust the retransmit
@@ -418,10 +481,41 @@ let run ?obs (cfg : 'env config) =
       end
       else if exhausted () then stop := true
     | Time_limit -> if exhausted () then begin reached := true; stop := true end);
+    (* budget preemption: once the cluster has retired the instruction
+       budget, drain to a barrier and stop there with an export.  Only
+       *useful* instructions count: replaying a resumed frontier is
+       restoration cost, and charging it to the budget would let a slice
+       whose replay bill exceeds the budget drain with zero progress —
+       a campaign restored behind a deep frontier would then spin
+       forever.  Counting useful work alone guarantees every slice
+       advances exploration, so chained slices terminate. *)
+    (match cfg.stop_after_instrs with
+    | Some budget when not !draining ->
+      let _, _, useful, _, _ = totals () in
+      if useful >= budget then draining := true
+    | Some _ | None -> ());
+    if !draining && !inbox = [] && Transport.quiesced transport then stop := true;
     incr tick;
     if !tick >= cfg.max_ticks then stop := true
   done;
   let total_paths, total_errors, useful, replay, broken = totals () in
+  (* the frontier export: only meaningful at a drained barrier (budget
+     preemption, or natural exhaustion under a budget — where the digests
+     are empty and the export records just counters, bans and coverage) *)
+  let export =
+    match cfg.stop_after_instrs with
+    | None -> None
+    | Some _ when not (!inbox = [] && Transport.quiesced transport) -> None
+    | Some _ ->
+      Some
+        {
+          fx_jobs = List.concat_map Worker.digest_paths (alive_workers ());
+          fx_bans = Transport.bans transport;
+          fx_paths = total_paths;
+          fx_errors = total_errors;
+          fx_coverage = global_coverage_bytes ();
+        }
+  in
   let solver_agg = Smt.Solver.zero_stats () in
   Smt.Solver.accum_stats solver_agg d_solver;
   List.iter
@@ -454,6 +548,7 @@ let run ?obs (cfg : 'env config) =
       List.map
         (fun w -> (w.Worker.id, Smt.Solver.copy_stats w.Worker.cfg.Executor.solver))
         (alive_workers ());
+    export;
   }
 
 (* Convenience: a homogeneous cluster configuration with sensible
@@ -472,4 +567,7 @@ let default_config ?(faults = Faultplan.none) ~nworkers ~make_worker ~coverable_
     bucket_ticks = 1000;
     coverable_lines;
     faults;
+    init_frontier = None;
+    init_bans = [];
+    stop_after_instrs = None;
   }

@@ -37,6 +37,31 @@ type 'env config = {
   bucket_ticks : int;       (** statistics bucket size *)
   coverable_lines : int;    (** denominator of global coverage *)
   faults : Faultplan.t;     (** crash / loss / partition schedule *)
+  init_frontier : Job.t list option;
+      (** campaign resume: seed these checkpointed frontier nodes on the
+          first worker instead of the root job *)
+  init_bans : Job.t list;   (** checkpointed ban set to re-install *)
+  stop_after_instrs : int option;
+      (** campaign preemption: once the cluster retires this many
+          {e useful} instructions, stop granting execution budgets, let
+          in-flight leases settle, and stop at the drained barrier with
+          [result.export] filled.  Replay instructions (restoring a
+          resumed frontier) are not charged, so every slice is
+          guaranteed to advance exploration and chained slices
+          terminate even when the replay bill exceeds the budget *)
+}
+
+(** Everything a campaign persists to resume a run and reach the exact
+    totals of an uninterrupted one: the unexplored frontier as job path
+    encodings (each node exactly once, captured at a drained barrier),
+    the cumulative ban set, this run's counters, and the union coverage
+    bit vector. *)
+type frontier_export = {
+  fx_jobs : Job.t list;
+  fx_bans : Job.t list;
+  fx_paths : int;
+  fx_errors : int;
+  fx_coverage : Bytes.t;
 }
 
 type bucket = {
@@ -69,6 +94,10 @@ type result = {
       (** cluster-wide solver aggregate, dead workers included *)
   per_worker_solver : (int * Smt.Solver.stats) list;
       (** per-worker solver counters for workers alive at run end *)
+  export : frontier_export option;
+      (** present iff [stop_after_instrs] was set and the run reached a
+          drained barrier (budget preemption or natural exhaustion); a
+          [max_ticks] bailout mid-flight yields [None] *)
 }
 
 (** [obs] enables observability for the run: the driver advances the

@@ -41,7 +41,7 @@ type t = {
   mutable parked : Job.t list; (* orphans awaiting a live worker *)
 }
 
-let create ?base_timeout ?max_attempts ?obs ops =
+let create ?base_timeout ?max_attempts ?(initial_bans = []) ?obs ops =
   {
     ops;
     ledger = Ledger.create ?base_timeout ?max_attempts ?obs ();
@@ -49,7 +49,7 @@ let create ?base_timeout ?max_attempts ?obs ops =
     recovered = 0;
     credit_paths = 0;
     credit_errors = 0;
-    global_bans = [];
+    global_bans = initial_bans;
     parked = [];
   }
 
@@ -127,12 +127,18 @@ let issue_transfer t ~src ~dst ~jobs ~now =
   t.ops.send_jobs ~src ~lease ~dst ~jobs ~recovery:false ~resend:false;
   lease
 
-(* The root job is leased like any routed job (and marked delivered on
-   the spot — the worker holds it by construction), so a crash of the
-   seed worker before its first status report re-seeds the whole tree. *)
-let seed_root t ~dst ~now =
-  let lease = Ledger.issue t.ledger ~dst ~jobs:[ [] ] ~now ~recovery:false in
-  Ledger.mark_delivered t.ledger ~lease ~now
+(* Seed jobs are leased like any routed batch (and marked delivered on
+   the spot — the receiving worker holds them by construction), so a
+   crash of the seed worker before its first status report re-seeds the
+   whole batch.  The root job is the classic case; a campaign restore
+   seeds a whole checkpointed frontier the same way. *)
+let seed_jobs t ~dst ~jobs ~now =
+  if jobs <> [] then begin
+    let lease = Ledger.issue t.ledger ~dst ~jobs ~now ~recovery:false in
+    Ledger.mark_delivered t.ledger ~lease ~now
+  end
+
+let seed_root t ~dst ~now = seed_jobs t ~dst ~jobs:[ [] ] ~now
 
 let quiesced t = t.parked = [] && Ledger.pending t.ledger = 0
 let bans t = t.global_bans

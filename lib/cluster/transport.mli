@@ -31,7 +31,11 @@ type ops = {
 
 type t
 
-val create : ?base_timeout:int -> ?max_attempts:int -> ?obs:Obs.Sink.t -> ops -> t
+(** [initial_bans] pre-loads the cumulative ban list — a campaign restore
+    imports the checkpointed set so freshly spawned workers inherit it
+    through {!bans} exactly as rejoining workers do. *)
+val create :
+  ?base_timeout:int -> ?max_attempts:int -> ?initial_bans:Job.t list -> ?obs:Obs.Sink.t -> ops -> t
 
 (** The underlying lease ledger, for the per-message bookkeeping the
     backend drives directly: {!Ledger.mark_delivered} on acks and
@@ -52,8 +56,12 @@ val tick : t -> now:int -> unit
     lease id. *)
 val issue_transfer : t -> src:int -> dst:int -> jobs:Job.t list -> now:int -> int
 
-(** Cover the root job with a delivered lease on [dst], so a crash of
-    the seed worker before its first report re-seeds the whole tree. *)
+(** Cover a seed batch with a delivered lease on [dst] (which already
+    holds the jobs by construction), so a crash of the seed worker before
+    its first report re-seeds the batch.  No-op on the empty list. *)
+val seed_jobs : t -> dst:int -> jobs:Job.t list -> now:int -> unit
+
+(** [seed_jobs] of the root job — the whole execution tree. *)
 val seed_root : t -> dst:int -> now:int -> unit
 
 (** No lease awaiting an ack and no orphan parked: the transport holds

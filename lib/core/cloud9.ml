@@ -165,32 +165,52 @@ let make_worker ?obs ?(opts = default_cluster_options) (t : target) shared_alloc
   let make_root () = Posix.Api.initial_state t.program ~args:[] in
   Cluster.Worker.create ~id ~cfg ~make_root ~seed:opts.cseed ()
 
-let run_cluster ?obs ?(options = default_cluster_options) (t : target) =
+let cluster_config ?obs ?(options = default_cluster_options) ?init_frontier ?(init_bans = [])
+    ?stop_after_instrs (t : target) =
   let opts = options in
   let shared_alloc = ref 0x1000 in
-  let cfg =
-    {
-      Cluster.Driver.nworkers = opts.nworkers;
-      make_worker = make_worker ?obs ~opts t shared_alloc;
-      join_tick = (fun i -> i * opts.join_spread);
-      speed =
-        (fun i ->
-          if opts.heterogeneous then
-            (* deterministic spread around the base speed, like the
-               paper's 2.3-2.6 GHz heterogeneous cluster *)
-            opts.speed * (85 + ((i * 7) mod 31)) / 100
-          else opts.speed);
-      status_interval = opts.status_interval;
-      latency = opts.latency;
-      lb_disable_at = opts.lb_disable_at;
-      goal = opts.cluster_goal;
-      max_ticks = opts.max_ticks;
-      bucket_ticks = opts.bucket_ticks;
-      coverable_lines = List.length (Cvm.Program.covered_lines t.program);
-      faults = opts.fault_plan;
-    }
+  {
+    Cluster.Driver.nworkers = opts.nworkers;
+    make_worker = make_worker ?obs ~opts t shared_alloc;
+    join_tick = (fun i -> i * opts.join_spread);
+    speed =
+      (fun i ->
+        if opts.heterogeneous then
+          (* deterministic spread around the base speed, like the
+             paper's 2.3-2.6 GHz heterogeneous cluster *)
+          opts.speed * (85 + ((i * 7) mod 31)) / 100
+        else opts.speed);
+    status_interval = opts.status_interval;
+    latency = opts.latency;
+    lb_disable_at = opts.lb_disable_at;
+    goal = opts.cluster_goal;
+    max_ticks = opts.max_ticks;
+    bucket_ticks = opts.bucket_ticks;
+    coverable_lines = List.length (Cvm.Program.covered_lines t.program);
+    faults = opts.fault_plan;
+    init_frontier;
+    init_bans;
+    stop_after_instrs;
+  }
+
+let run_cluster ?obs ?options (t : target) =
+  Cluster.Driver.run ?obs (cluster_config ?obs ?options t)
+
+(* One campaign slice (the service's unit of scheduling): run the target
+   on the simulated cluster for at most [budget] instructions, starting
+   from a checkpointed frontier when [resume] is given, and drain to a
+   barrier whose frontier export the caller persists.  Chaining slices
+   until the export is empty reaches the exact path/error totals of one
+   uninterrupted exhaustive run. *)
+let run_cluster_slice ?obs ?options ?resume ~budget (t : target) =
+  let init_frontier, init_bans =
+    match resume with
+    | None -> (None, [])
+    | Some (fx : Cluster.Driver.frontier_export) ->
+      (Some fx.Cluster.Driver.fx_jobs, fx.Cluster.Driver.fx_bans)
   in
-  Cluster.Driver.run ?obs cfg
+  Cluster.Driver.run ?obs
+    (cluster_config ?obs ?options ?init_frontier ~init_bans ~stop_after_instrs:budget t)
 
 (* --- true-multicore runs ------------------------------------------------------------ *)
 

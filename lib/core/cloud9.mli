@@ -80,6 +80,24 @@ val default_cluster_options : cluster_options
     traced alongside engine and solver activity. *)
 val run_cluster : ?obs:Obs.Sink.t -> ?options:cluster_options -> target -> Cluster.Driver.result
 
+(** One campaign slice — the campaign service's unit of scheduling.  Runs
+    the target on the simulated cluster until [budget] {e useful}
+    instructions have executed (replay spent restoring a resumed frontier
+    is not charged, so every slice makes exploration progress), starting
+    from a checkpointed frontier when [resume] is given, then drains
+    in-flight transfers to a barrier and
+    returns with [result.export] holding the frontier/bans/coverage to
+    persist.  Chaining slices until the export's job list is empty
+    reaches the exact path/error totals of one uninterrupted exhaustive
+    run (the restore≡uninterrupted argument in DESIGN.md). *)
+val run_cluster_slice :
+  ?obs:Obs.Sink.t ->
+  ?options:cluster_options ->
+  ?resume:Cluster.Driver.frontier_export ->
+  budget:int ->
+  target ->
+  Cluster.Driver.result
+
 (** Run the target on [ndomains] real OCaml domains ({!Cluster.Parallel})
     — true multicore, for wall-clock scaling measurements.  Worker
     construction happens inside each spawned domain so solver caches and

@@ -23,6 +23,32 @@ let choice_to_string = function
 
 let to_string p = String.concat "" (List.map choice_to_string p)
 
+(* Inverse of [to_string]: the compact form is self-delimiting ('T'/'F'
+   are single choices; 's'/'y' are followed by a decimal index), so a
+   single left-to-right scan suffices.  This is the parsing half of the
+   job/snapshot wire format: campaign checkpoints persist frontier nodes
+   as these strings and restore must replay them exactly. *)
+let of_string s =
+  let n = String.length s in
+  let rec digits i = if i < n && s.[i] >= '0' && s.[i] <= '9' then digits (i + 1) else i in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | 'T' -> go (i + 1) (Branch true :: acc)
+      | 'F' -> go (i + 1) (Branch false :: acc)
+      | ('s' | 'y') as c ->
+        let stop = digits (i + 1) in
+        if stop = i + 1 then
+          Error (Printf.sprintf "path %S: '%c' at %d lacks its index" s c i)
+        else (
+          match int_of_string_opt (String.sub s (i + 1) (stop - i - 1)) with
+          | None -> Error (Printf.sprintf "path %S: bad index at %d" s (i + 1))
+          | Some k -> go stop ((if c = 's' then Sched k else Sys k) :: acc))
+      | c -> Error (Printf.sprintf "path %S: unexpected %C at %d" s c i)
+  in
+  go 0 []
+
 let compare_choice (a : choice) (b : choice) = compare a b
 
 let compare (a : t) (b : t) = compare a b

@@ -15,6 +15,11 @@ val choice_to_string : choice -> string
 (** Compact textual form, e.g. ["TFy2sT"]; unique per node. *)
 val to_string : t -> string
 
+(** Inverse of {!to_string} — the parsing half of the job/snapshot wire
+    format used by campaign checkpoints.  [Error] names the offending
+    offset. *)
+val of_string : string -> (t, string) result
+
 val compare_choice : choice -> choice -> int
 val compare : t -> t -> int
 

@@ -1,0 +1,33 @@
+(** JSONL control plane: newline-delimited command objects in, newline-
+    delimited event objects out.  Parsing is total — malformed input
+    becomes [Error], answered with a [Rejected] event. *)
+
+type command =
+  | Submit of Campaign.spec
+  | Status of string option  (** [None] = report every campaign *)
+  | Pause of string
+  | Resume of string
+  | Cancel of string
+  | Checkpoint
+  | Shutdown
+
+(** Parse one JSONL line, e.g.
+    [{"cmd":"submit","name":"c1","target":"coreutils","variant":"cu07"}].
+    Submit fields are validated with {!Validate} (positive budgets,
+    snapshot-safe names); optional fields get daemon defaults. *)
+val parse_command : string -> (command, string) result
+
+type event =
+  | Accepted of string
+  | Rejected of { line : string; reason : string }
+  | Status_report of Obs.Json.t list
+  | Progress of { name : string; summary : Obs.Json.t }
+  | Campaign_done of { name : string; summary : Obs.Json.t }
+  | Checkpointed of { file : string; campaigns : int }
+  | Service_error of string
+  | Shutting_down
+
+val event_to_json : event -> Obs.Json.t
+
+(** One newline-terminated JSONL line per event. *)
+val event_to_line : event -> string

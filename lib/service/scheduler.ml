@@ -1,0 +1,37 @@
+(* Multi-tenant fair scheduling: strict round-robin over the runnable
+   campaigns.  The rotation is a queue of campaign names; [next] scans
+   from the front for the first runnable one and moves *only that name*
+   to the back, so paused campaigns keep their place in line and resume
+   with the priority they had.
+
+   Starvation bound (documented in DESIGN.md and gated by the service
+   bench): between two consecutive slices granted to a runnable campaign,
+   every other runnable campaign receives at most one slice — a campaign
+   among K runnable ones waits at most K-1 slices for its turn.  The
+   bound is structural: a name moves to the back only when it is granted
+   a slice, so it cannot be overtaken twice. *)
+
+type t = { mutable rotation : string list }
+
+let create () = { rotation = [] }
+
+let add t name = if not (List.mem name t.rotation) then t.rotation <- t.rotation @ [ name ]
+
+let remove t name = t.rotation <- List.filter (fun n -> n <> name) t.rotation
+
+let rotation t = t.rotation
+
+let restore t names = t.rotation <- names
+
+(* First runnable name in rotation order; rotates it to the back. *)
+let next t ~runnable =
+  let rec scan acc = function
+    | [] -> None
+    | name :: rest ->
+      if runnable name then begin
+        t.rotation <- List.rev_append acc rest @ [ name ];
+        Some name
+      end
+      else scan (name :: acc) rest
+  in
+  scan [] t.rotation

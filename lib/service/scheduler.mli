@@ -1,0 +1,22 @@
+(** Strict round-robin over runnable campaigns.  Starvation bound: a
+    campaign among K runnable ones waits at most K-1 slices between
+    turns — a name moves to the back of the rotation only when granted a
+    slice, so it cannot be overtaken twice. *)
+
+type t
+
+val create : unit -> t
+
+(** Append to the rotation (idempotent). *)
+val add : t -> string -> unit
+
+val remove : t -> string -> unit
+
+(** Current rotation, front first — persisted by {!Snapshot}. *)
+val rotation : t -> string list
+
+val restore : t -> string list -> unit
+
+(** First runnable name in rotation order, rotated to the back; [None]
+    when no campaign is runnable.  Non-runnable names keep their place. *)
+val next : t -> runnable:(string -> bool) -> string option

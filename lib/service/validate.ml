@@ -1,0 +1,24 @@
+(* Shared validation for the knobs that cross a trust boundary: CLI flags
+   (bin/cloud9.ml wires these through Cmdliner's [term_result]) and
+   control-plane submissions (the daemon re-validates every field of a
+   submitted campaign).  Keeping them here — not inline in the binary —
+   lets the unit tests exercise the exact rejections the CLI produces. *)
+
+let positive_int ~flag v =
+  if v > 0 then Ok v
+  else Error (Printf.sprintf "%s must be strictly positive (got %d)" flag v)
+
+let non_negative_int ~flag v =
+  if v >= 0 then Ok v else Error (Printf.sprintf "%s must be non-negative (got %d)" flag v)
+
+(* A campaign/registry name fit for snapshots, events and file names:
+   non-empty, and no whitespace or JSONL-hostile control characters. *)
+let name ~flag s =
+  if s = "" then Error (Printf.sprintf "%s must not be empty" flag)
+  else if
+    String.exists (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r' || Char.code c < 0x20) s
+  then Error (Printf.sprintf "%s must not contain whitespace or control characters" flag)
+  else Ok s
+
+(* Applicative-ish chaining for validating a record field by field. *)
+let ( let* ) r f = Result.bind r f

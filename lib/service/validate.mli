@@ -1,0 +1,12 @@
+(** Validation shared by the CLI ([cloud9 serve], [--max-steps],
+    [--parallel]) and the daemon's control plane.  [flag] names the
+    offending knob in the error message. *)
+
+val positive_int : flag:string -> int -> (int, string) result
+val non_negative_int : flag:string -> int -> (int, string) result
+
+(** Non-empty, no whitespace/control characters (snapshot- and
+    JSONL-safe). *)
+val name : flag:string -> string -> (string, string) result
+
+val ( let* ) : ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result

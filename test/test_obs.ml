@@ -24,6 +24,40 @@ let test_json_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected a parse error"
 
+(* Printer/parser agreement as a property over arbitrary documents.
+   Numbers stay integer-valued: the printer's %g fallback keeps only 6
+   significant digits for non-integers, so exact round-trip is the
+   integer contract (the one the snapshot and metrics codecs rely on). *)
+let gen_json =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun n -> J.Num (float_of_int n)) (int_range (-1_000_000_000) 1_000_000_000);
+        map (fun s -> J.Str s) (string_size ~gen:printable (int_bound 16));
+      ]
+  in
+  let node self n =
+    if n = 0 then leaf
+    else
+      oneof
+        [
+          leaf;
+          map (fun l -> J.Arr l) (list_size (int_bound 5) (self (n / 2)));
+          map
+            (fun l -> J.Obj l)
+            (list_size (int_bound 5)
+               (pair (string_size ~gen:printable (int_bound 10)) (self (n / 2))));
+        ]
+  in
+  sized_size (int_bound 10) (fix node)
+
+let prop_json_print_parse =
+  QCheck2.Test.make ~count:1000 ~name:"Json.parse inverts Json.to_string" gen_json (fun v ->
+      J.parse (J.to_string v) = Ok v)
+
 (* --- metrics registry ----------------------------------------------------- *)
 
 let test_metrics_instruments () =
@@ -465,7 +499,9 @@ let test_searcher_names_in_error () =
 let () =
   Alcotest.run "obs"
     [
-      ("json", [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip ]);
+      ( "json",
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip
+        :: List.map QCheck_alcotest.to_alcotest [ prop_json_print_parse ] );
       ( "metrics",
         [
           Alcotest.test_case "instruments" `Quick test_metrics_instruments;

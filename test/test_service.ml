@@ -1,0 +1,551 @@
+(* Tests for the campaign service: snapshot codec round-trips, atomic
+   save/load, path-encoding parse/print properties, the checkpointed
+   frontier differential (sliced and restored runs reach the exact
+   totals of an uninterrupted one), round-robin fairness, CLI-shared
+   validation rejections, and the JSONL control plane end to end. *)
+
+module J = Obs.Json
+module Path = Engine.Path
+module C = Core.Cloud9
+module S = Service.Snapshot
+module V = Service.Validate
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let tmp_file =
+  let n = ref 0 in
+  fun suffix ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cloud9_svc_test_%d_%d%s" (Unix.getpid ()) !n suffix)
+
+let printf_target () =
+  match Core.Registry.resolve ~name:"printf" ~variant:(Some "sym-4") with
+  | Some t -> t
+  | None -> Alcotest.fail "printf/sym-4 target missing"
+
+let small_options =
+  {
+    C.default_cluster_options with
+    C.nworkers = 3;
+    speed = 60;
+    cworker_max_steps = Some 3000;
+  }
+
+(* --- path encoding ------------------------------------------------------ *)
+
+let gen_path =
+  QCheck2.Gen.(
+    list_size (int_bound 16)
+      (oneof
+         [
+           map (fun b -> Path.Branch b) bool;
+           map (fun i -> Path.Sched i) (int_bound 12);
+           map (fun i -> Path.Sys i) (int_bound 12);
+         ]))
+
+let prop_path_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"Path.of_string inverts to_string" gen_path (fun p ->
+      Path.of_string (Path.to_string p) = Ok p)
+
+let test_path_parse_errors () =
+  (match Path.of_string "TFx" with
+  | Error e -> Alcotest.(check bool) "names offset" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "expected parse error on 'x'");
+  (match Path.of_string "Ts" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error on dangling 's'");
+  Alcotest.(check bool) "empty path" true (Path.of_string "" = Ok [])
+
+(* --- json printer/parser property (satellite a lives in test_obs too) -- *)
+
+let gen_json =
+  (* integer-valued numbers only: the printer's %g fallback is lossy for
+     non-integers, so exact round-trip is the integer contract *)
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun n -> J.Num (float_of_int n)) (int_range (-1_000_000) 1_000_000);
+        map (fun s -> J.Str s) (string_size ~gen:printable (int_bound 12));
+      ]
+  in
+  let node self n =
+    if n = 0 then leaf
+    else
+      oneof
+        [
+          leaf;
+          map (fun l -> J.Arr l) (list_size (int_bound 4) (self (n / 2)));
+          map
+            (fun l -> J.Obj l)
+            (list_size (int_bound 4)
+               (pair (string_size ~gen:printable (int_bound 8)) (self (n / 2))));
+        ]
+  in
+  sized_size (QCheck2.Gen.int_bound 8) (fix node)
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"Json.parse inverts to_string" gen_json (fun v ->
+      J.parse (J.to_string v) = Ok v)
+
+(* --- validation --------------------------------------------------------- *)
+
+let test_validate_rejections () =
+  (match V.positive_int ~flag:"--max-steps" 0 with
+  | Error m ->
+    Alcotest.(check bool) "names the flag" true (String.length m > 0 && m.[0] = '-')
+  | Ok _ -> Alcotest.fail "0 must be rejected");
+  (match V.positive_int ~flag:"--parallel" (-3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "-3 must be rejected");
+  Alcotest.(check bool) "1 accepted" true (V.positive_int ~flag:"x" 1 = Ok 1);
+  Alcotest.(check bool) "0 non-negative" true (V.non_negative_int ~flag:"x" 0 = Ok 0);
+  (match V.non_negative_int ~flag:"x" (-1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "-1 must be rejected");
+  (match V.name ~flag:"name" "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty name must be rejected");
+  (match V.name ~flag:"name" "has space" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "whitespace name must be rejected");
+  Alcotest.(check bool) "plain name ok" true (V.name ~flag:"name" "c1" = Ok "c1")
+
+(* the CLI rejects the same values through the shared converter *)
+let test_cli_flag_rejections () =
+  let exe = "../bin/cloud9.exe" in
+  if Sys.file_exists exe then begin
+    let run args =
+      Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" exe (String.concat " " args))
+    in
+    Alcotest.(check bool) "--max-steps 0 rejected" true (run [ "run"; "printf"; "--max-steps"; "0" ] <> 0);
+    Alcotest.(check bool) "--parallel 0 rejected" true (run [ "run"; "printf"; "-p"; "0" ] <> 0);
+    Alcotest.(check bool) "--workers -1 rejected" true (run [ "run"; "printf"; "-w"; "-1" ] <> 0);
+    Alcotest.(check bool) "serve --slice 0 rejected" true
+      (run [ "serve"; "--state"; "/dev/null"; "--slice"; "0" ] <> 0)
+  end
+
+(* --- scheduler ---------------------------------------------------------- *)
+
+let test_scheduler_round_robin () =
+  let s = Service.Scheduler.create () in
+  List.iter (Service.Scheduler.add s) [ "a"; "b"; "c" ];
+  Service.Scheduler.add s "a" (* idempotent *);
+  Alcotest.(check (list string)) "rotation" [ "a"; "b"; "c" ] (Service.Scheduler.rotation s);
+  let always = fun _ -> true in
+  let picks = List.init 7 (fun _ -> Option.get (Service.Scheduler.next s ~runnable:always)) in
+  Alcotest.(check (list string))
+    "strict rotation" [ "a"; "b"; "c"; "a"; "b"; "c"; "a" ] picks;
+  (* starvation bound: between two grants to any name, every other name
+     is granted at most once — check over a longer window *)
+  let picks = List.init 30 (fun _ -> Option.get (Service.Scheduler.next s ~runnable:always)) in
+  let rec gaps = function
+    | [] -> ()
+    | x :: rest -> (
+      match List.find_index (fun y -> y = x) rest with
+      | Some i -> Alcotest.(check bool) "gap <= K-1" true (i <= 2); gaps rest
+      | None -> gaps rest)
+  in
+  gaps picks;
+  (* a non-runnable name keeps its place and is skipped *)
+  let skip_b = fun n -> n <> "b" in
+  let p1 = Option.get (Service.Scheduler.next s ~runnable:skip_b) in
+  let p2 = Option.get (Service.Scheduler.next s ~runnable:skip_b) in
+  Alcotest.(check bool) "b skipped" true (p1 <> "b" && p2 <> "b");
+  Service.Scheduler.remove s "b";
+  Alcotest.(check int) "removed" 2 (List.length (Service.Scheduler.rotation s));
+  Alcotest.(check bool) "none runnable" true
+    (Service.Scheduler.next s ~runnable:(fun _ -> false) = None)
+
+(* --- snapshot codec ----------------------------------------------------- *)
+
+let sample_campaign () =
+  let spec =
+    {
+      Service.Campaign.sp_name = "c1";
+      sp_target = "printf";
+      sp_variant = Some "sym-4";
+      sp_runtime = Service.Campaign.Sim;
+      sp_workers = 3;
+      sp_speed = 60;
+      sp_max_steps = 3000;
+      sp_seed = 7;
+      sp_slice_instrs = Some 2500;
+    }
+  in
+  let c = Service.Campaign.create spec in
+  c.Service.Campaign.status <- Service.Campaign.Running;
+  c.Service.Campaign.paths <- 41;
+  c.Service.Campaign.errors <- 2;
+  c.Service.Campaign.useful <- 9000;
+  c.Service.Campaign.replay <- 1200;
+  c.Service.Campaign.transfers <- 17;
+  c.Service.Campaign.slices <- 4;
+  c.Service.Campaign.started <- true;
+  c.Service.Campaign.frontier <-
+    [ [ Path.Branch true; Path.Sched 2; Path.Branch false ]; [ Path.Sys 11 ] ];
+  c.Service.Campaign.bans <- [ [ Path.Branch false; Path.Branch false ] ];
+  c.Service.Campaign.coverage <- Bytes.of_string "\x0f\xa0\x03";
+  c.Service.Campaign.coverable <- 20;
+  Service.Campaign.recompute_coverage_frac c;
+  c
+
+let campaign_equal (a : Service.Campaign.t) (b : Service.Campaign.t) =
+  a.Service.Campaign.spec = b.Service.Campaign.spec
+  && a.Service.Campaign.status = b.Service.Campaign.status
+  && a.Service.Campaign.paths = b.Service.Campaign.paths
+  && a.Service.Campaign.errors = b.Service.Campaign.errors
+  && a.Service.Campaign.useful = b.Service.Campaign.useful
+  && a.Service.Campaign.replay = b.Service.Campaign.replay
+  && a.Service.Campaign.transfers = b.Service.Campaign.transfers
+  && a.Service.Campaign.slices = b.Service.Campaign.slices
+  && a.Service.Campaign.started = b.Service.Campaign.started
+  && a.Service.Campaign.frontier = b.Service.Campaign.frontier
+  && a.Service.Campaign.bans = b.Service.Campaign.bans
+  && Bytes.equal a.Service.Campaign.coverage b.Service.Campaign.coverage
+  && a.Service.Campaign.coverable = b.Service.Campaign.coverable
+
+let test_snapshot_roundtrip () =
+  let st = { S.st_rotation = [ "c1"; "c9" ]; st_campaigns = [ sample_campaign () ] } in
+  let text = J.to_string (S.state_to_json st) in
+  match Result.bind (J.parse text) S.state_of_json with
+  | Error e -> Alcotest.fail e
+  | Ok st' ->
+    Alcotest.(check (list string)) "rotation" st.S.st_rotation st'.S.st_rotation;
+    Alcotest.(check int) "count" 1 (List.length st'.S.st_campaigns);
+    Alcotest.(check bool) "campaign round-trips" true
+      (campaign_equal (List.hd st.S.st_campaigns) (List.hd st'.S.st_campaigns))
+
+let test_snapshot_save_load () =
+  let path = tmp_file ".json" in
+  let st = { S.st_rotation = [ "c1" ]; st_campaigns = [ sample_campaign () ] } in
+  S.save path st;
+  Alcotest.(check bool) "no tmp leftover" false (Sys.file_exists (path ^ ".tmp"));
+  (match S.load path with
+  | Error e -> Alcotest.fail e
+  | Ok st' ->
+    Alcotest.(check bool) "persisted campaign" true
+      (campaign_equal (List.hd st.S.st_campaigns) (List.hd st'.S.st_campaigns)));
+  (* corrupt file: refused, not crashed *)
+  let oc = open_out path in
+  output_string oc "{not json";
+  close_out oc;
+  (match S.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt snapshot must be refused");
+  (* version gate *)
+  let oc = open_out path in
+  output_string oc {|{"version":99,"rotation":[],"campaigns":[]}|};
+  close_out oc;
+  (match S.load path with
+  | Error m -> Alcotest.(check bool) "names version" true (String.length m > 0)
+  | Ok _ -> Alcotest.fail "future snapshot version must be refused");
+  Sys.remove path
+
+let test_hex_roundtrip () =
+  let b = Bytes.init 64 (fun i -> Char.chr ((i * 37) land 0xff)) in
+  (match S.bytes_of_hex (S.hex_of_bytes b) with
+  | Ok b' -> Alcotest.(check bool) "hex roundtrip" true (Bytes.equal b b')
+  | Error e -> Alcotest.fail e);
+  (match S.bytes_of_hex "abc" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "odd-length hex must be refused");
+  match S.bytes_of_hex "zz" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-hex must be refused"
+
+(* --- frontier export: serialize -> parse -> replay differential --------- *)
+
+(* An interrupted run whose frontier crosses the textual wire format must
+   reach the exact totals of an uninterrupted one. *)
+let test_export_serialize_reimport_differential () =
+  let t = printf_target () in
+  let full = C.run_cluster ~options:small_options t in
+  (* slice 1: preempt after a small budget, frontier captured at barrier *)
+  let r1 = C.run_cluster_slice ~options:small_options ~budget:4000 t in
+  let fx = Option.get r1.Cluster.Driver.export in
+  Alcotest.(check bool) "mid-run frontier nonempty" true (fx.Cluster.Driver.fx_jobs <> []);
+  (* round-trip every frontier/ban path through the snapshot wire format *)
+  let reparse p =
+    match Path.of_string (Path.to_string p) with
+    | Ok p' -> p'
+    | Error e -> Alcotest.fail e
+  in
+  let fx =
+    {
+      fx with
+      Cluster.Driver.fx_jobs = List.map reparse fx.Cluster.Driver.fx_jobs;
+      fx_bans = List.map reparse fx.Cluster.Driver.fx_bans;
+    }
+  in
+  (* slice 2: resume from the reparsed frontier, run to exhaustion *)
+  let r2 = C.run_cluster_slice ~options:small_options ~resume:fx ~budget:max_int t in
+  let fx2 = Option.get r2.Cluster.Driver.export in
+  Alcotest.(check (list pass)) "exhausted" [] fx2.Cluster.Driver.fx_jobs;
+  Alcotest.(check int) "paths match uninterrupted"
+    full.Cluster.Driver.total_paths
+    (r1.Cluster.Driver.total_paths + r2.Cluster.Driver.total_paths);
+  Alcotest.(check int) "errors match uninterrupted"
+    full.Cluster.Driver.total_errors
+    (r1.Cluster.Driver.total_errors + r2.Cluster.Driver.total_errors);
+  (* coverage: OR of the slices' exported vectors equals the full run's *)
+  let coverable = List.length (Cvm.Program.covered_lines t.C.program) in
+  let union =
+    C.union_coverage ~coverable
+      [ fx.Cluster.Driver.fx_coverage; fx2.Cluster.Driver.fx_coverage ]
+  in
+  Alcotest.(check (float 1e-9)) "coverage matches" full.Cluster.Driver.final_coverage union
+
+(* --- control plane ------------------------------------------------------ *)
+
+let test_control_parse () =
+  (match
+     Service.Control.parse_command
+       {|{"cmd":"submit","name":"c1","target":"printf","variant":"sym-4","workers":2,"slice_instrs":500}|}
+   with
+  | Ok (Service.Control.Submit s) ->
+    Alcotest.(check string) "name" "c1" s.Service.Campaign.sp_name;
+    Alcotest.(check string) "target" "printf" s.Service.Campaign.sp_target;
+    Alcotest.(check bool) "variant" true (s.Service.Campaign.sp_variant = Some "sym-4");
+    Alcotest.(check int) "workers" 2 s.Service.Campaign.sp_workers;
+    Alcotest.(check bool) "slice" true (s.Service.Campaign.sp_slice_instrs = Some 500)
+  | Ok _ -> Alcotest.fail "expected Submit"
+  | Error e -> Alcotest.fail e);
+  (match Service.Control.parse_command {|{"cmd":"submit","name":"c1","target":"x","workers":0}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "workers 0 must be rejected");
+  (match Service.Control.parse_command {|{"cmd":"submit","name":"a b","target":"x"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "name with space must be rejected");
+  (match Service.Control.parse_command {|{"cmd":"pause","name":"c1"}|} with
+  | Ok (Service.Control.Pause "c1") -> ()
+  | _ -> Alcotest.fail "expected Pause c1");
+  (match Service.Control.parse_command {|{"cmd":"status"}|} with
+  | Ok (Service.Control.Status None) -> ()
+  | _ -> Alcotest.fail "expected Status None");
+  (match Service.Control.parse_command {|{"cmd":"shutdown"}|} with
+  | Ok Service.Control.Shutdown -> ()
+  | _ -> Alcotest.fail "expected Shutdown");
+  (match Service.Control.parse_command "not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk must be rejected");
+  match Service.Control.parse_command {|{"cmd":"frobnicate"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown command must be rejected"
+
+let read_events path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l ->
+           match J.parse l with
+           | Ok v -> v
+           | Error e -> Alcotest.fail (Printf.sprintf "bad event line %S: %s" l e))
+  end
+
+let event_kinds evs =
+  List.filter_map (fun v -> Option.bind (J.member "event" v) J.to_str) evs
+
+let submit_spec ?(slice = 2000) name =
+  {
+    Service.Campaign.sp_name = name;
+    sp_target = "printf";
+    sp_variant = Some "sym-4";
+    sp_runtime = Service.Campaign.Sim;
+    sp_workers = 3;
+    sp_speed = 60;
+    sp_max_steps = 3000;
+    sp_seed = 42;
+    sp_slice_instrs = Some slice;
+  }
+
+let test_daemon_control_integration () =
+  let state = tmp_file "_state.json" in
+  let control = tmp_file "_cmds.jsonl" in
+  let events = tmp_file "_events.jsonl" in
+  let oc = open_out control in
+  output_string oc
+    {|{"cmd":"submit","name":"c1","target":"printf","variant":"sym-4","workers":3,"speed":60,"max_steps":3000,"slice_instrs":2000}|};
+  output_string oc "\n";
+  output_string oc {|{"cmd":"submit","name":"c1","target":"printf"}|};
+  output_string oc "\n";
+  output_string oc {|{"cmd":"submit","name":"bad","target":"no-such-target"}|};
+  output_string oc "\n";
+  output_string oc {|{"cmd":"status"}|};
+  output_string oc "\n";
+  output_string oc {|{"cmd":"bogus"}|};
+  output_string oc "\n";
+  (* a partial line must stay unconsumed *)
+  output_string oc {|{"cmd":"shutdown"|};
+  close_out oc;
+  let cfg =
+    {
+      (Service.Daemon.default_config ~state_file:state) with
+      Service.Daemon.control_file = Some control;
+      events_file = Some events;
+      slice_instrs = 2000;
+      checkpoint_every = 0;
+    }
+  in
+  let d = Result.get_ok (Service.Daemon.create cfg) in
+  (match Service.Daemon.step d with
+  | `Sliced "c1" -> ()
+  | _ -> Alcotest.fail "expected a slice for c1");
+  let kinds = event_kinds (read_events events) in
+  Alcotest.(check bool) "accepted" true (List.mem "accepted" kinds);
+  Alcotest.(check int) "rejections (dup, bad target, bogus cmd)" 3
+    (List.length (List.filter (fun k -> k = "rejected") kinds));
+  Alcotest.(check bool) "status report" true (List.mem "status" kinds);
+  Alcotest.(check bool) "progress" true (List.mem "progress" kinds);
+  Alcotest.(check bool) "partial line not consumed" true
+    (not (List.mem "shutdown" kinds));
+  (* complete the partial shutdown line: it must now be picked up *)
+  let oc = open_out_gen [ Open_append ] 0o644 control in
+  output_string oc "}\n";
+  close_out oc;
+  (match Service.Daemon.step d with
+  | `Stopped -> ()
+  | _ -> Alcotest.fail "expected Stopped after shutdown");
+  let kinds = event_kinds (read_events events) in
+  Alcotest.(check bool) "shutdown event" true (List.mem "shutdown" kinds);
+  Alcotest.(check bool) "shutdown checkpointed" true (List.mem "checkpointed" kinds);
+  Alcotest.(check bool) "state file exists" true (Sys.file_exists state);
+  (* pause/resume/cancel through a fresh daemon restored from the snapshot *)
+  let control2 = tmp_file "_cmds2.jsonl" in
+  let oc = open_out control2 in
+  output_string oc "{\"cmd\":\"pause\",\"name\":\"c1\"}\n";
+  close_out oc;
+  let d2 =
+    Result.get_ok
+      (Service.Daemon.create
+         { cfg with Service.Daemon.control_file = Some control2; events_file = None })
+  in
+  (match Service.Daemon.step d2 with
+  | `Idle -> () (* paused campaign: nothing runnable *)
+  | _ -> Alcotest.fail "paused campaign must not be sliced");
+  let c = Option.get (Service.Daemon.find d2 "c1") in
+  Alcotest.(check bool) "paused" true (c.Service.Campaign.status = Service.Campaign.Paused);
+  List.iter (fun f -> if Sys.file_exists f then Sys.remove f) [ state; control; control2; events ]
+
+(* --- checkpoint / kill / restore differential --------------------------- *)
+
+let drive_to_completion d =
+  let rec go n =
+    if n > 2000 then Alcotest.fail "daemon did not converge"
+    else
+      match Service.Daemon.step d with
+      | `Sliced _ -> go (n + 1)
+      | `Idle | `Stopped -> ()
+  in
+  go 0
+
+let test_checkpoint_kill_restore_differential () =
+  let t = printf_target () in
+  let full = C.run_cluster ~options:small_options t in
+  let state = tmp_file "_state.json" in
+  let cfg =
+    {
+      (Service.Daemon.default_config ~state_file:state) with
+      Service.Daemon.slice_instrs = 2000;
+      checkpoint_every = 1; (* checkpoint after every slice *)
+    }
+  in
+  let d = Result.get_ok (Service.Daemon.create cfg) in
+  Service.Daemon.submit d (submit_spec "c1");
+  (* run a handful of slices mid-campaign, then "kill" the daemon: drop
+     it on the floor with the last checkpoint on disk *)
+  for _ = 1 to 5 do
+    ignore (Service.Daemon.step d)
+  done;
+  let mid = Option.get (Service.Daemon.find d "c1") in
+  Alcotest.(check bool) "killed mid-campaign" true
+    (mid.Service.Campaign.status = Service.Campaign.Running);
+  (* restore from the snapshot and drive the campaign to completion *)
+  let d2 = Result.get_ok (Service.Daemon.create cfg) in
+  let c = Option.get (Service.Daemon.find d2 "c1") in
+  Alcotest.(check int) "counters restored" mid.Service.Campaign.paths c.Service.Campaign.paths;
+  drive_to_completion d2;
+  let c = Option.get (Service.Daemon.find d2 "c1") in
+  Alcotest.(check bool) "done" true (c.Service.Campaign.status = Service.Campaign.Done);
+  Alcotest.(check int) "paths == uninterrupted" full.Cluster.Driver.total_paths
+    c.Service.Campaign.paths;
+  Alcotest.(check int) "errors == uninterrupted" full.Cluster.Driver.total_errors
+    c.Service.Campaign.errors;
+  Sys.remove state
+
+(* --- multi-tenant fairness ---------------------------------------------- *)
+
+let test_multi_tenant_progress () =
+  let state = tmp_file "_state.json" in
+  let cfg =
+    {
+      (Service.Daemon.default_config ~state_file:state) with
+      Service.Daemon.slice_instrs = 1500;
+      checkpoint_every = 0;
+    }
+  in
+  let d = Result.get_ok (Service.Daemon.create cfg) in
+  List.iter (fun n -> Service.Daemon.submit d (submit_spec ~slice:1500 n)) [ "a"; "b"; "c" ];
+  (* 9 slices: strict round-robin means every campaign gets exactly 3 *)
+  let grants = Hashtbl.create 4 in
+  for _ = 1 to 9 do
+    match Service.Daemon.step d with
+    | `Sliced n -> Hashtbl.replace grants n (1 + Option.value ~default:0 (Hashtbl.find_opt grants n))
+    | _ -> Alcotest.fail "expected a slice"
+  done;
+  List.iter
+    (fun n -> Alcotest.(check int) (n ^ " granted fairly") 3 (Hashtbl.find grants n))
+    [ "a"; "b"; "c" ];
+  List.iter
+    (fun n ->
+      let c = Option.get (Service.Daemon.find d n) in
+      Alcotest.(check bool) (n ^ " made progress") true (c.Service.Campaign.paths > 0))
+    [ "a"; "b"; "c" ];
+  if Sys.file_exists state then Sys.remove state
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "path codec",
+        Alcotest.test_case "parse errors" `Quick test_path_parse_errors
+        :: qsuite [ prop_path_roundtrip ] );
+      ("json codec", qsuite [ prop_json_roundtrip ]);
+      ( "validate",
+        [
+          Alcotest.test_case "rejections" `Quick test_validate_rejections;
+          Alcotest.test_case "cli flags" `Quick test_cli_flag_rejections;
+        ] );
+      ("scheduler", [ Alcotest.test_case "round robin" `Quick test_scheduler_round_robin ]);
+      ( "snapshot",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "save/load/corrupt/version" `Quick test_snapshot_save_load;
+          Alcotest.test_case "hex" `Quick test_hex_roundtrip;
+        ] );
+      ( "frontier",
+        [
+          Alcotest.test_case "serialize/reimport differential" `Quick
+            test_export_serialize_reimport_differential;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "command parsing" `Quick test_control_parse;
+          Alcotest.test_case "daemon integration" `Quick test_daemon_control_integration;
+        ] );
+      ( "restore",
+        [
+          Alcotest.test_case "checkpoint/kill/restore differential" `Quick
+            test_checkpoint_kill_restore_differential;
+        ] );
+      ("fairness", [ Alcotest.test_case "multi-tenant progress" `Quick test_multi_tenant_progress ]);
+    ]
