@@ -97,12 +97,43 @@ let rebalance ?now ?(staleness = max_int) t =
       in
       let rec pair acc under over =
         match (under, over) with
-        | (wi, li) :: under', (wj, lj) :: over' when wi <> wj && lj > li + 1 ->
-          (* half the difference, capped at a quarter of the source's
-             queue: uncapped moves churn states between workers faster
-             than they can be explored *)
-          let count = min ((lj - li) / 2) (max 1 (lj / 4)) in
-          pair ({ src = wj; dst = wi; count } :: acc) under' over'
+        | (wi, li) :: under', (wj, lj) :: over'
+          when wi <> wj && lj > li + 1 && (li = 0 || lj >= (2 * li) + 8) ->
+          (* Deadband: a queue length measures *future* work, not
+             starvation — a worker with 10 candidates against a peer's
+             100 is still fully busy, and moving jobs between busy
+             workers only converts useful exploration into replay.  So a
+             non-empty destination must trail the source by at least 2x
+             plus a constant before any transfer fires; with small
+             clusters the mean±δσ rule alone degenerates (any imbalance
+             classifies both ends) and dribbles jobs every round.
+
+             Batched steal sizing.  A *starved* destination (empty queue)
+             receives half the source's deque in one request — eager
+             splitting: one steal round-trip moves a coherent subtree
+             whose prefix-factored batch replays its shared prefix once,
+             instead of dribbling jobs over many round-trips.  A merely
+             underloaded destination gets half the difference, capped at
+             a quarter of the source's queue: uncapped moves between
+             busy workers churn states faster than they can be
+             explored. *)
+          let count =
+            let raw =
+              if li = 0 then max 1 (lj / 2)
+              else min ((lj - li) / 2) (max 1 (lj / 4))
+            in
+            (* Absolute cap: each transferred candidate is a whole
+               subtree, so a starved worker is saturated by a dozen
+               nodes; moving half of a 150-node queue pre-pays replay
+               for work the thief will never get to before re-export. *)
+            min raw 8
+          in
+          (* A rich source can serve several starved destinations in one
+             round (initial work spread must not take O(nworkers)
+             rounds): keep it in the over list with its remaining queue
+             until the deadband stops qualifying it. *)
+          let over'' = if lj - count > 1 then (wj, lj - count) :: over' else over' in
+          pair ({ src = wj; dst = wi; count } :: acc) under' over''
         | _ :: under', over -> pair acc under' over
         | [], _ -> acc
       in

@@ -37,7 +37,7 @@ type message =
       lease : int;
       src : int; (* a worker id, or Faultplan.lb for ledger (re)sends *)
       dst : int;
-      jobs : Path.t list;
+      encoded : string; (* Job.encode_batch form — prefix handoff codec *)
       recovery : bool;
     }
   | Transfer_request of { src : int; dst : int; count : int }
@@ -192,9 +192,9 @@ let run ?obs (cfg : 'env config) =
   let alive_workers () =
     Array.to_list workers |> List.filter_map (fun w -> w)
   in
-  let jobs_delay jobs =
-    (* transfer size adds latency: 1 tick per 4 KiB of encoding *)
-    cfg.latency + (Job.tree_encoded_size jobs / 4096)
+  let jobs_delay encoded =
+    (* transfer size adds latency: 1 tick per 4 KiB of wire encoding *)
+    cfg.latency + (String.length encoded / 4096)
   in
   (* The shared fault-tolerance core, driving this simulation's wire:
      leased sends enter the lossy latency-stamped inbox, and a
@@ -205,9 +205,10 @@ let run ?obs (cfg : 'env config) =
       {
         Transport.nworkers = cfg.nworkers;
         send_jobs =
-          (fun ~src ~lease ~dst ~jobs ~recovery ~resend:_ ->
-            send_net ~at:(!tick + jobs_delay jobs) ~src ~dst
-              (Jobs { lease; src; dst; jobs; recovery }));
+          (fun ~src ~lease ~dst ~batch ~recovery ~resend:_ ->
+            let encoded = Job.encode_batch batch in
+            send_net ~at:(!tick + jobs_delay encoded) ~src ~dst
+              (Jobs { lease; src; dst; encoded; recovery }));
         install_bans =
           (fun bans -> List.iter (fun w -> Worker.ban_paths w bans) (alive_workers ()));
         live_workers =
@@ -345,8 +346,14 @@ let run ?obs (cfg : 'env config) =
             (* resume: the checkpointed frontier becomes virtual
                candidates on the first worker (the balancer spreads them
                like any load imbalance), leased as a delivered seed so a
-               crash before the first report re-seeds it *)
-            Worker.receive_jobs w jobs;
+               crash before the first report re-seeds it.  Replaying a
+               restored frontier is restoration cost, not ordinary
+               rebalancing replay: it books as recovery, consistent with
+               the other failure-path re-imports (see DESIGN.md, "Prefix
+               handoff").  The slice budget already counts only useful
+               instructions, so the classification changes accounting,
+               not behavior. *)
+            Worker.receive_jobs ~recovery:true w jobs;
             Transport.seed_jobs transport ~dst:0 ~jobs ~now:t);
           root_seeded := true
         end
@@ -358,7 +365,7 @@ let run ?obs (cfg : 'env config) =
     List.iter
       (fun (_, msg) ->
         match msg with
-        | Jobs { lease; src; dst; jobs; recovery } -> (
+        | Jobs { lease; src; dst; encoded; recovery } -> (
           match workers.(dst) with
           | Some w ->
             (* always (re)acknowledge: the previous ack may have been
@@ -367,12 +374,16 @@ let run ?obs (cfg : 'env config) =
               (Ack { lease; src = dst });
             if not (Hashtbl.mem processed_leases lease) then begin
               Hashtbl.replace processed_leases lease dst;
-              emit
-                (Obs.Event.Job_transfer
-                   { lease; src; dst; count = List.length jobs; recovery });
-              Worker.receive_jobs ~recovery w jobs;
-              transfers_total := !transfers_total + List.length jobs;
-              !cur_bucket.transferred <- !cur_bucket.transferred + List.length jobs
+              let batch =
+                match Job.decode_batch encoded with
+                | Ok b -> b
+                | Error e -> failwith ("Driver: corrupt job batch: " ^ e)
+              in
+              let count = Job.batch_size batch in
+              emit (Obs.Event.Job_transfer { lease; src; dst; count; recovery });
+              Worker.receive_batch ~recovery w batch;
+              transfers_total := !transfers_total + count;
+              !cur_bucket.transferred <- !cur_bucket.transferred + count
             end
           | None -> ())
         | Transfer_request { src; dst; count } -> (

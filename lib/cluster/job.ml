@@ -37,3 +37,29 @@ let tree_encoded_size jobs =
    miniatures are smaller, so we model it as a fixed header plus the
    state's live memory footprint. *)
 let state_encoded_size ~memory_bytes = 256 + memory_bytes
+
+(* Prefix handoff: the unit of transfer is no longer N independent root
+   paths but their longest common prefix plus per-job suffixes.  The
+   thief replays the prefix once and forks each suffix from the cached
+   prefix state, so replay cost drops from O(N·depth) to
+   O(depth + Σ|suffix|).  Both cluster backends ship the same compact
+   string codec through Cluster.Transport, which keeps the simulated
+   driver and the real-domain runtime bit-identical on counts: leases,
+   bans and digests still account in full root paths ([expand]). *)
+type batch = { prefix : Path.t; suffixes : Path.t list }
+
+let batch_of_jobs jobs =
+  let prefix, suffixes = Path.factor jobs in
+  { prefix; suffixes }
+
+let jobs_of_batch { prefix; suffixes } = Path.expand (prefix, suffixes)
+let batch_size { suffixes; _ } = List.length suffixes
+let encode_batch { prefix; suffixes } = Path.encode_batch (prefix, suffixes)
+
+let decode_batch s =
+  match Path.decode_batch s with
+  | Ok (prefix, suffixes) -> Ok { prefix; suffixes }
+  | Error _ as e -> e
+
+(* Wire size of the factored batch: the codec string itself. *)
+let batch_encoded_size b = String.length (encode_batch b)

@@ -16,3 +16,24 @@ val tree_encoded_size : t list -> int
 (** Simulated size of shipping the serialized program state instead of
     the path (the alternative the paper rejects for bandwidth reasons). *)
 val state_encoded_size : memory_bytes:int -> int
+
+(** A factored transfer batch: the longest common prefix of the jobs
+    plus per-job suffixes.  The thief replays [prefix] once and forks
+    each suffix from the cached prefix state — O(depth + Σ|suffix|)
+    instead of O(N·depth).  Leases/bans/digests still account in full
+    root paths via {!jobs_of_batch}. *)
+type batch = { prefix : Engine.Path.t; suffixes : Engine.Path.t list }
+
+val batch_of_jobs : t list -> batch
+
+(** Order-preserving re-expansion to full root paths. *)
+val jobs_of_batch : batch -> t list
+
+val batch_size : batch -> int
+
+(** Compact wire form (["prefix|s1|...|sN"]) shared by both cluster
+    backends through [Cluster.Transport]. *)
+val encode_batch : batch -> string
+
+val decode_batch : string -> (batch, string) result
+val batch_encoded_size : batch -> int

@@ -143,8 +143,10 @@ end
    stamps the request, the victim copies the stamp onto its offer, and
    the thief closes the span on import — a full steal round-trip. *)
 type wmsg =
-  | Jobs of { lease : int; jobs : Job.t list; recovery : bool; issued_ns : int }
-      (** a leased batch; receivers dedup by lease id and always ack *)
+  | Jobs of { lease : int; encoded : string; recovery : bool; issued_ns : int }
+      (** a leased batch in {!Job.encode_batch} form (prefix handoff):
+          the receiver decodes, replays the shared prefix once and forks
+          the suffixes.  Receivers dedup by lease id and always ack *)
   | Steal of { dst : int; count : int; issued_ns : int }
       (** balancer transfer request; always answered with an [Offer] *)
   | Bans of Job.t list  (** nodes a crashed worker had handed away *)
@@ -292,11 +294,13 @@ let worker_body (cfg : 'env config) ~coord ~inbox ~crash ~id:i ~incarnation ~ini
                })
         in
         let process = function
-          | Jobs { lease; jobs; recovery; issued_ns } ->
+          | Jobs { lease; encoded; recovery; issued_ns } ->
             if not (Hashtbl.mem imported lease) then begin
               Hashtbl.replace imported lease ();
               imported_list := lease :: !imported_list;
-              Worker.receive_jobs ~recovery w jobs;
+              (match Job.decode_batch encoded with
+              | Ok b -> Worker.receive_batch ~recovery w b
+              | Error e -> failwith ("Parallel: corrupt job batch: " ^ e));
               if issued_ns > 0 then
                 ignore (Obs.Profile.record prof Obs.Profile.Steal_rtt ~start_ns:issued_ns)
             end;
@@ -308,13 +312,15 @@ let worker_body (cfg : 'env config) ~coord ~inbox ~crash ~id:i ~incarnation ~ini
                coordinator's outstanding-steal accounting.  If the push
                times out (coordinator gone: shutdown), take the batch
                back — the nodes are fenced here, so re-importing replays
-               them exactly like a transfer would. *)
+               them.  That replay is failure-path cost, not ordinary
+               rebalancing, so it books as recovery — the same class as
+               reconstructing a crashed worker's orphans. *)
             if
               not
                 (Mailbox.push_timeout coord
                    (Offer { worker = i; incarnation; dst; jobs; issued_ns })
                    ~timeout:ctl_timeout)
-            then if jobs <> [] then Worker.receive_jobs ~recovery:false w jobs
+            then if jobs <> [] then Worker.receive_jobs ~recovery:true w jobs
           | Bans paths -> Worker.ban_paths w paths
           | Coverage global -> ignore (Executor.merge_coverage w.Worker.cfg global)
           | Poke -> ()
@@ -428,6 +434,10 @@ type slot = {
   mutable s_idle : bool;  (* from the last processed status / ack *)
   mutable s_queue_len : int;
   mutable s_pending_steals : int;  (* steals pushed, offers not yet back *)
+  mutable s_pending_jobs : int;
+      (* jobs leased to this worker and not yet acknowledged: its idle
+         reports meanwhile must not read as starvation, or the balancer
+         raids another victim for a worker already being fed *)
   mutable s_last_heard : int;  (* tick of the last message from this incarnation *)
   mutable s_suspect : bool;  (* failure detector: one heartbeat interval silent *)
 }
@@ -452,6 +462,7 @@ let run ~coverable_lines (cfg : 'env config) =
           s_idle = false;
           s_queue_len = 0;
           s_pending_steals = 0;
+          s_pending_jobs = 0;
           s_last_heard = 0;
           s_suspect = false;
         })
@@ -492,14 +503,28 @@ let run ~coverable_lines (cfg : 'env config) =
        lease layer retransmits) *)
     ignore (Mailbox.push_timeout sl.s_inbox msg ~timeout:cfg.push_timeout)
   in
-  let send_jobs ~src ~lease ~dst ~jobs ~recovery ~resend =
+  (* in-flight lease sizes, to unwind s_pending_jobs when a lease is
+     acknowledged (directly or via a report's piggybacked ack list) *)
+  let pending_of_lease : (int, int * int) Hashtbl.t = Hashtbl.create 32 in
+  let lease_settled lease =
+    match Hashtbl.find_opt pending_of_lease lease with
+    | None -> ()
+    | Some (dst, count) ->
+      Hashtbl.remove pending_of_lease lease;
+      let sl = slots.(dst) in
+      if not sl.s_dead then sl.s_pending_jobs <- max 0 (sl.s_pending_jobs - count)
+  in
+  let send_jobs ~src ~lease ~dst ~batch ~recovery ~resend =
     let sl = slots.(dst) in
     if not sl.s_dead then begin
       let issued_ns = if resend then 0 else !issued_ns_hint in
       issued_ns_hint := 0;
-      if not resend then
-        emit (Obs.Event.Job_transfer { lease; src; dst; count = List.length jobs; recovery });
-      let msg = Jobs { lease; jobs; recovery; issued_ns } in
+      if not resend then begin
+        emit (Obs.Event.Job_transfer { lease; src; dst; count = Job.batch_size batch; recovery });
+        Hashtbl.replace pending_of_lease lease (dst, Job.batch_size batch);
+        sl.s_pending_jobs <- sl.s_pending_jobs + Job.batch_size batch
+      end;
+      let msg = Jobs { lease; encoded = Job.encode_batch batch; recovery; issued_ns } in
       if not faulty then push_wire sl msg
       else
         match Faultplan.fate frt ~tick:!now ~src ~dst with
@@ -551,6 +576,7 @@ let run ~coverable_lines (cfg : 'env config) =
         Atomic.set sl.s_crash true;
         ignore (Mailbox.try_push sl.s_inbox Poke);
         sl.s_pending_steals <- 0;
+        sl.s_pending_jobs <- 0;
         sl.s_suspect <- false;
         (match !balancer with Some b -> Balancer.forget b ~worker:i | None -> ());
         emit (Obs.Event.Crash { worker = i });
@@ -628,6 +654,7 @@ let run ~coverable_lines (cfg : 'env config) =
             sl.s_idle <- false;
             sl.s_queue_len <- 0;
             sl.s_pending_steals <- 0;
+            sl.s_pending_jobs <- 0;
             sl.s_last_heard <- t;
             sl.s_suspect <- false;
             emit (Obs.Event.Rejoin { worker = v });
@@ -692,8 +719,15 @@ let run ~coverable_lines (cfg : 'env config) =
         (* the report is the worker's durable recovery point: digest +
            counters were snapshotted in-domain, so they are consistent *)
         Ledger.record_report ~received ledger ~worker ~tick:!now ~digest ~paths ~errors;
+        List.iter lease_settled received;
         let b = get_balancer coverage in
-        let global = Balancer.report ~tick:!now b ~worker ~queue_len ~coverage in
+        (* report queue + in-flight jobs: a worker already being fed must
+           not classify as starved while the batch crosses the wire *)
+        let global =
+          Balancer.report ~tick:!now b ~worker
+            ~queue_len:(queue_len + sl.s_pending_jobs)
+            ~coverage
+        in
         (* Coverage feedback only to busy workers: echoing it to an idle
            reporter would wake it for nothing, and the wake-report cycle
            would never quiesce. *)
@@ -708,9 +742,13 @@ let run ~coverable_lines (cfg : 'env config) =
           (* the original thief may have died since the steal was issued:
              re-route to the least-loaded live worker (falling back to
              the victim itself — the nodes are fenced there, so going
-             home is just another transfer) *)
+             home is just another transfer).  A re-route is failure-path
+             work: its replay books as recovery, like the timed-out
+             Offer take-back and orphan re-seeding, so ordinary replay
+             measures only the cost of successful rebalancing. *)
+          let rerouted = not (dst >= 0 && dst < n && not slots.(dst).s_dead) in
           let dst =
-            if dst >= 0 && dst < n && not slots.(dst).s_dead then dst
+            if not rerouted then dst
             else begin
               let best = ref worker and best_q = ref max_int in
               Array.iter
@@ -724,7 +762,9 @@ let run ~coverable_lines (cfg : 'env config) =
             end
           in
           issued_ns_hint := issued_ns;
-          ignore (Transport.issue_transfer transport ~src:worker ~dst ~jobs ~now:!now);
+          ignore
+            (Transport.issue_transfer transport ~recovery:rerouted ~src:worker ~dst ~jobs
+               ~now:!now);
           issued_ns_hint := 0;
           transfers := !transfers + List.length jobs
         end
@@ -737,6 +777,7 @@ let run ~coverable_lines (cfg : 'env config) =
            retransmits and the receiver's dedup re-acks *)
         if not (fate_drops ~src:worker ~dst:Faultplan.lb) then begin
           Ledger.mark_delivered ledger ~lease ~now:!now;
+          lease_settled lease;
           (* the acking worker just imported work (or re-acked a dup; a
              still-idle worker re-reports idleness on its next wake) *)
           sl.s_idle <- false
@@ -758,7 +799,14 @@ let run ~coverable_lines (cfg : 'env config) =
           if
             src >= 0 && src < n && dst >= 0 && dst < n
             && (not slots.(src).s_dead)
-            && not slots.(dst).s_dead
+            && (not slots.(dst).s_dead)
+            (* one raid per victim at a time: until the Offer returns,
+               another Steal would re-export the same queue estimate *)
+            && slots.(src).s_pending_steals = 0
+            (* and one feed per thief at a time: a destination with a
+               lease still crossing the wire is not starving, whatever
+               its last report said *)
+            && slots.(dst).s_pending_jobs = 0
           then
             if not (fate_drops ~src:Faultplan.lb ~dst:src) then begin
               incr steals;
@@ -780,6 +828,11 @@ let run ~coverable_lines (cfg : 'env config) =
        than spin forever (parked orphans are reported, not explored) *)
     Array.for_all (fun sl -> sl.s_dead) slots && !now > horizon
   in
+  (* Rebalancing is throttled to a fixed tick cadence rather than run on
+     every drain round: between two status reports the balancer's queue
+     estimates cannot improve, so extra rounds only manufacture duplicate
+     raids from the same stale numbers (each a future replay bill). *)
+  let last_rebalance = ref 0 in
   let rec loop () =
     if quiescent () || all_dead_done () || !watchdog_fired then ()
     else begin
@@ -788,7 +841,10 @@ let run ~coverable_lines (cfg : 'env config) =
          rebalance. *)
       let round_t0 = Obs.Profile.start cprof in
       List.iter handle (Mailbox.drain_wait coord);
-      rebalance ();
+      if !now - !last_rebalance >= 32 then begin
+        last_rebalance := !now;
+        rebalance ()
+      end;
       ignore (Obs.Profile.record cprof Obs.Profile.Quiesce_round ~start_ns:round_t0);
       loop ()
     end

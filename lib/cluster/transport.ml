@@ -24,11 +24,18 @@
 type ops = {
   nworkers : int;
   send_jobs :
-    src:int -> lease:int -> dst:int -> jobs:Job.t list -> recovery:bool -> resend:bool -> unit;
+    src:int -> lease:int -> dst:int -> batch:Job.batch -> recovery:bool -> resend:bool -> unit;
   install_bans : Job.t list -> unit;
   live_workers : unit -> (int * int) list;
   begin_crash : worker:int -> bool;
 }
+
+(* Every batch leaving the coordinator is factored here — prefix handoff
+   is a transport property, not a backend one, so the simulated driver
+   and the real-domain runtime ship (and their receivers decode) the
+   exact same codec.  The ledger keeps accounting in full root paths;
+   only the wire carries the factored form. *)
+let to_batch jobs = Job.batch_of_jobs jobs
 
 type t = {
   ops : ops;
@@ -75,7 +82,8 @@ let route_recovery t ~now orphans =
           | jobs ->
             let lease = Ledger.issue t.ledger ~dst ~jobs ~now ~recovery:true in
             t.recovered <- t.recovered + List.length jobs;
-            t.ops.send_jobs ~src:Faultplan.lb ~lease ~dst ~jobs ~recovery:true ~resend:false)
+            t.ops.send_jobs ~src:Faultplan.lb ~lease ~dst ~batch:(to_batch jobs) ~recovery:true
+              ~resend:false)
         live
   end
 
@@ -108,7 +116,7 @@ and tick t ~now =
   List.iter
     (fun (l : Ledger.lease) ->
       t.ops.send_jobs ~src:Faultplan.lb ~lease:l.Ledger.lease_id ~dst:l.Ledger.l_dst
-        ~jobs:l.Ledger.l_jobs ~recovery:l.Ledger.l_recovery ~resend:true)
+        ~batch:(to_batch l.Ledger.l_jobs) ~recovery:l.Ledger.l_recovery ~resend:true)
     resend;
   List.iter (fun (l : Ledger.lease) -> handle_crash t ~now ~worker:l.Ledger.l_dst) failed;
   if t.parked <> [] && t.ops.live_workers () <> [] then begin
@@ -120,11 +128,13 @@ and tick t ~now =
 (* Lease and send a rebalancing transfer.  The sent-out record must be
    updated first: if [src] crashes before its next report, recovery must
    not re-seed (and live workers must drop) the nodes it just gave
-   away. *)
-let issue_transfer t ~src ~dst ~jobs ~now =
+   away.  [recovery] marks failure-path transfers (e.g. a batch
+   re-routed around a dead thief) so the destination books their replay
+   with the recovery cost, not ordinary rebalancing. *)
+let issue_transfer ?(recovery = false) t ~src ~dst ~jobs ~now =
   Ledger.record_sent_out t.ledger ~src ~jobs;
-  let lease = Ledger.issue t.ledger ~dst ~jobs ~now ~recovery:false in
-  t.ops.send_jobs ~src ~lease ~dst ~jobs ~recovery:false ~resend:false;
+  let lease = Ledger.issue t.ledger ~dst ~jobs ~now ~recovery in
+  t.ops.send_jobs ~src ~lease ~dst ~batch:(to_batch jobs) ~recovery ~resend:false;
   lease
 
 (* Seed jobs are leased like any routed batch (and marked delivered on

@@ -13,8 +13,10 @@
 type ops = {
   nworkers : int;
   send_jobs :
-    src:int -> lease:int -> dst:int -> jobs:Job.t list -> recovery:bool -> resend:bool -> unit;
-      (** put a leased batch on the backend's (lossy) wire.  [src] is
+    src:int -> lease:int -> dst:int -> batch:Job.batch -> recovery:bool -> resend:bool -> unit;
+      (** put a leased, prefix-factored batch on the backend's (lossy)
+          wire — the transport factors every outgoing batch so both
+          backends ship the same {!Job.encode_batch} codec.  [src] is
           {!Faultplan.lb} for ledger (re)sends and recovery seeds;
           [resend] marks retransmissions of an existing lease *)
   install_bans : Job.t list -> unit;
@@ -52,9 +54,11 @@ val handle_crash : t -> now:int -> worker:int -> unit
 val tick : t -> now:int -> unit
 
 (** Lease and send a rebalancing transfer from [src]; records the jobs
-    as sent-out first so a crash of [src] stays exact.  Returns the
-    lease id. *)
-val issue_transfer : t -> src:int -> dst:int -> jobs:Job.t list -> now:int -> int
+    as sent-out first so a crash of [src] stays exact.  [recovery]
+    marks failure-path transfers (a batch re-routed around a dead
+    thief): the destination then books their replay as recovery cost.
+    Returns the lease id. *)
+val issue_transfer : ?recovery:bool -> t -> src:int -> dst:int -> jobs:Job.t list -> now:int -> int
 
 (** Cover a seed batch with a delivered lease on [dst] (which already
     holds the jobs by construction), so a crash of the seed worker before

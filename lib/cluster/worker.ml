@@ -67,6 +67,22 @@ type 'env t = {
   snapshots : (string, 'env State.t) Hashtbl.t;
   snap_queue : string Queue.t; (* FIFO eviction *)
   snap_limit : int;
+  (* prefix pins: while a received batch has members outstanding, every
+     on-path snapshot cached by a member's replay is pinned against FIFO
+     eviction.  The first member's replay thus leaves the whole chain of
+     its ancestors in the cache, and each later member restarts from its
+     pairwise common prefix with the nearest already-replayed member —
+     the batch replays the distinct edges of its spanning trie once,
+     not k full root paths. *)
+  pins : (string, int) Hashtbl.t; (* snapshot key -> pin refcount *)
+  pin_of_target : (string, string) Hashtbl.t; (* member job key -> batch key *)
+  batch_members : (string, int) Hashtbl.t; (* batch key -> outstanding members *)
+  batch_keys : (string, string) Hashtbl.t; (* batch key -> pinned keys (multi-bound) *)
+  (* received batch members not yet selected, in transfer order (tree
+     adjacent): draining them consecutively replays each member from its
+     neighbour's freshly pinned chain instead of scattering the replays
+     across the run, when the pins are long gone *)
+  mutable batch_fifo : Path.t list;
   mutable mode : 'env mode;
   mutable cov_turn : bool;
   mutable paths_completed : int;
@@ -101,6 +117,11 @@ let create ?(policy = Interleaved) ?weight ?(quantum = 50) ?(collect_tests = 0)
       snapshots = Hashtbl.create 256;
       snap_queue = Queue.create ();
       snap_limit;
+      pins = Hashtbl.create 16;
+      pin_of_target = Hashtbl.create 64;
+      batch_members = Hashtbl.create 16;
+      batch_keys = Hashtbl.create 64;
+      batch_fifo = [];
       mode = Exploring;
       cov_turn = false;
       paths_completed = 0;
@@ -158,14 +179,31 @@ let pick_weighted w =
     in
     scan 0.0 entries
 
+(* Pending batch members drain first, in their transfer (tree-adjacent)
+   order: each replay then restarts from the chain its neighbour's replay
+   just pinned, so a batch walks every edge of its spanning trie once.
+   Members that already left the frontier (re-stolen or materialized by
+   an exact snapshot) are skipped. *)
+let rec next_batch_member w =
+  match w.batch_fifo with
+  | [] -> None
+  | p :: rest -> (
+    w.batch_fifo <- rest;
+    match Trie.find w.frontier p with
+    | Some e when e.estate = None -> Some e
+    | _ -> next_batch_member w)
+
 let select w =
-  match w.policy with
-  | Random_path_only -> Trie.random_pick w.rng w.frontier
-  | Interleaved ->
-    w.cov_turn <- not w.cov_turn;
-    if w.cov_turn then
-      match pick_weighted w with Some e -> Some e | None -> Trie.random_pick w.rng w.frontier
-    else Trie.random_pick w.rng w.frontier
+  match next_batch_member w with
+  | Some e -> Some e
+  | None -> (
+    match w.policy with
+    | Random_path_only -> Trie.random_pick w.rng w.frontier
+    | Interleaved ->
+      w.cov_turn <- not w.cov_turn;
+      if w.cov_turn then
+        match pick_weighted w with Some e -> Some e | None -> Trie.random_pick w.rng w.frontier
+      else Trie.random_pick w.rng w.frontier)
 
 (* --- terminations ----------------------------------------------------------------- *)
 
@@ -181,15 +219,67 @@ let record_finished w (st, term) =
       | None -> ()
     end
 
-(* Remember a state at a fork point for future replays. *)
-let cache_snapshot w (st : 'env State.t) =
+(* Pin [key] on behalf of batch [pkey]: the snapshot survives FIFO
+   eviction until the batch's last member lands. *)
+let pin_key w pkey key =
+  Hashtbl.replace w.pins key
+    (match Hashtbl.find_opt w.pins key with Some n -> n + 1 | None -> 1);
+  Hashtbl.add w.batch_keys pkey key
+
+(* All members of batch [pkey] have landed: release every snapshot it
+   pinned. *)
+let release_batch w pkey =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt w.pins key with
+      | Some n when n > 1 -> Hashtbl.replace w.pins key (n - 1)
+      | Some _ -> Hashtbl.remove w.pins key
+      | None -> ())
+    (Hashtbl.find_all w.batch_keys pkey);
+  while Hashtbl.mem w.batch_keys pkey do
+    Hashtbl.remove w.batch_keys pkey
+  done;
+  Hashtbl.remove w.batch_members pkey
+
+(* Remember a state at a fork point for future replays.  Eviction takes
+   the oldest *unpinned* key: a pinned prefix snapshot rotates to the
+   back of the queue instead, because batch members still outstanding
+   replay from it.  [pin_for] pins the key on behalf of a batch (set
+   when the replay in flight reconstructs a batch member). *)
+let cache_snapshot ?pin_for w (st : 'env State.t) =
   let key = Path.to_string (State.path st) in
+  (match pin_for with Some pkey -> pin_key w pkey key | None -> ());
   if not (Hashtbl.mem w.snapshots key) then begin
     Hashtbl.replace w.snapshots key st;
     Queue.add key w.snap_queue;
-    if Queue.length w.snap_queue > w.snap_limit then
-      Hashtbl.remove w.snapshots (Queue.take w.snap_queue)
+    if Queue.length w.snap_queue > w.snap_limit then begin
+      let rec evict tries =
+        if tries > 0 then begin
+          let k = Queue.take w.snap_queue in
+          if Hashtbl.mem w.pins k then begin
+            Queue.add k w.snap_queue;
+            evict (tries - 1)
+          end
+          else Hashtbl.remove w.snapshots k
+        end
+      in
+      evict (Queue.length w.snap_queue)
+    end
   end
+
+(* A batch member is done (replay landed, broke, hit an exact snapshot,
+   or the job left this worker again): drop its membership, and release
+   the batch's pinned snapshots once no member is outstanding. *)
+let unpin_target w (target : Path.t) =
+  let tkey = Path.to_string target in
+  match Hashtbl.find_opt w.pin_of_target tkey with
+  | None -> ()
+  | Some pkey -> (
+    Hashtbl.remove w.pin_of_target tkey;
+    match Hashtbl.find_opt w.batch_members pkey with
+    | Some n when n > 1 -> Hashtbl.replace w.batch_members pkey (n - 1)
+    | Some _ -> release_batch w pkey
+    | None -> ())
 
 (* Deepest cached ancestor of [target] (root-first path): returns the
    starting state plus the choices still to replay. *)
@@ -261,6 +351,7 @@ let replay_step w ~target ~remaining ~rstate ~recov =
       add_running w (filter_banned w running);
       List.iter (record_finished w) finished;
       w.replays_done <- w.replays_done + 1;
+      unpin_target w target;
       ignore (Obs.Profile.record w.prof (replay_kind recov) ~start_ns:w.replay_t0);
       emit w (Obs.Event.Replay_end { outcome = Obs.Event.Landed; recovery = recov });
       w.mode <- Exploring
@@ -281,12 +372,13 @@ let replay_step w ~target ~remaining ~rstate ~recov =
          worker: fence them silently (no double counting) *)
       match List.find_opt matches running with
       | Some st ->
-        cache_snapshot w st;
+        cache_snapshot ?pin_for:(Hashtbl.find_opt w.pin_of_target (Path.to_string target)) w st;
         if rest = [] then begin
           (* arrived: the node is now materialized *)
           let p = State.path st in
           Trie.add w.frontier p { epath = p; estate = Some st; erecovery = false };
           w.replays_done <- w.replays_done + 1;
+          unpin_target w target;
           ignore (Obs.Profile.record w.prof (replay_kind recov) ~start_ns:w.replay_t0);
           emit w (Obs.Event.Replay_end { outcome = Obs.Event.Landed; recovery = recov });
           w.mode <- Exploring
@@ -295,6 +387,7 @@ let replay_step w ~target ~remaining ~rstate ~recov =
       | None ->
         (* the expected successor does not exist: broken replay *)
         w.broken_replays <- w.broken_replays + 1;
+        unpin_target w target;
         ignore (Obs.Profile.record w.prof (replay_kind recov) ~start_ns:w.replay_t0);
         emit w (Obs.Event.Replay_end { outcome = Obs.Event.Broken; recovery = recov });
         w.mode <- Exploring))
@@ -325,6 +418,7 @@ let execute w ~budget =
             let st = Hashtbl.find w.snapshots (Path.to_string entry.epath) in
             Trie.add w.frontier entry.epath { entry with estate = Some st };
             w.replays_done <- w.replays_done + 1;
+            unpin_target w entry.epath;
             emit w
               (Obs.Event.Replay_end
                  { outcome = Obs.Event.Snapshot_hit; recovery = entry.erecovery })
@@ -362,30 +456,54 @@ let execute w ~budget =
 
 (* --- job transfer --------------------------------------------------------------------------- *)
 
+(* A lexicographically contiguous run of [count] entries anchored on the
+   deepest one.  Sorting by path puts tree-adjacent nodes next to each
+   other, so a contiguous window maximizes the batch's common prefix —
+   the whole point of prefix handoff — and anchoring on the deepest
+   entry implements victim-side eager splitting: the victim gives away
+   the deep half of its deque, a coherent subtree, rather than a random
+   scatter with a near-empty shared prefix. *)
+let cluster_pick entries count =
+  let arr = Array.of_list entries in
+  Array.sort (fun a b -> Path.compare a.epath b.epath) arr;
+  let n = Array.length arr in
+  if n <= count then Array.to_list arr
+  else begin
+    let anchor = ref 0 in
+    Array.iteri
+      (fun i e -> if List.length e.epath > List.length arr.(!anchor).epath then anchor := i)
+      arr;
+    let lo = min (max 0 (!anchor - (count / 2))) (n - count) in
+    Array.to_list (Array.sub arr lo count)
+  end
+
 (* Package up to [count] candidate nodes for another worker; each becomes
    a fence node here (paper: "this conversion prevents redundant work").
    Virtual nodes are forwarded first: they carry no local progress, so
-   giving them away wastes nothing. *)
+   giving them away wastes nothing.  Within each class the batch is a
+   clustered window (see [cluster_pick]), not a random sample. *)
 let transfer_out w ~count =
   let jobs = ref [] in
-  let n = ref 0 in
   let give entry =
     ignore (Trie.remove w.frontier entry.epath);
+    if entry.estate = None then unpin_target w entry.epath;
     emit w (Obs.Event.Fence_created { depth = List.length entry.epath });
     Trie.add w.fence entry.epath ();
     jobs := entry.epath :: !jobs;
-    incr n;
     w.jobs_sent <- w.jobs_sent + 1
   in
   let virtuals =
     Trie.fold (fun e acc -> if e.estate = None then e :: acc else acc) w.frontier []
   in
-  List.iter (fun e -> if !n < count then give e) virtuals;
-  while !n < count && Trie.size w.frontier > 0 do
-    match Trie.random_pick w.rng w.frontier with
-    | None -> n := count
-    | Some entry -> give entry
-  done;
+  let nv = List.length virtuals in
+  if nv >= count then List.iter give (cluster_pick virtuals count)
+  else begin
+    List.iter give virtuals;
+    let materialized =
+      Trie.fold (fun e acc -> if e.estate <> None then e :: acc else acc) w.frontier []
+    in
+    List.iter give (cluster_pick materialized (count - nv))
+  end;
   !jobs
 
 (* Import a job tree: each path becomes a virtual candidate node.
@@ -398,6 +516,28 @@ let receive_jobs ?(recovery = false) w jobs =
       emit w (Obs.Event.Candidate_added { depth = List.length p; virt = true });
       Trie.add w.frontier p { epath = p; estate = None; erecovery = recovery })
     jobs
+
+(* Import a factored batch: the members enter the frontier as full root
+   paths (leases, digests and bans keep accounting in paths), and the
+   shared prefix is pinned in the snapshot cache for as long as any
+   member is outstanding.  The first member replayed caches the prefix
+   state on its way through (every on-path fork state is cached), so
+   the remaining members replay only their suffixes — O(depth + Σ|s_i|)
+   for the whole batch instead of O(N·depth). *)
+let receive_batch ?(recovery = false) w (b : Job.batch) =
+  let jobs = Job.jobs_of_batch b in
+  if List.length b.Job.suffixes > 1 then begin
+    let pkey = Path.to_string b.Job.prefix in
+    List.iter
+      (fun p ->
+        unpin_target w p (* a stale membership from an earlier batch, if any *);
+        Hashtbl.replace w.pin_of_target (Path.to_string p) pkey;
+        Hashtbl.replace w.batch_members pkey
+          (match Hashtbl.find_opt w.batch_members pkey with Some n -> n + 1 | None -> 1))
+      jobs;
+    w.batch_fifo <- w.batch_fifo @ jobs
+  end;
+  receive_jobs ~recovery w jobs
 
 (* --- introspection ------------------------------------------------------------------------------ *)
 

@@ -46,6 +46,21 @@ type 'env t = {
   snapshots : (string, 'env Engine.State.t) Hashtbl.t;
   snap_queue : string Queue.t;
   snap_limit : int;
+  pins : (string, int) Hashtbl.t;
+      (** snapshot key → pin refcount; pinned snapshots survive FIFO
+          eviction while a received batch still has members outstanding *)
+  pin_of_target : (string, string) Hashtbl.t;  (** member job key → batch key *)
+  batch_members : (string, int) Hashtbl.t;  (** batch key → outstanding members *)
+  batch_keys : (string, string) Hashtbl.t;
+      (** batch key → snapshot keys pinned on its behalf (multi-bound):
+          every on-path state cached while replaying a member, so later
+          members restart from their pairwise common prefix with the
+          nearest already-replayed member *)
+  mutable batch_fifo : Engine.Path.t list;
+      (** received batch members not yet selected, in transfer
+          (tree-adjacent) order — drained before the exploration
+          strategy so each member replays from its neighbour's freshly
+          pinned chain *)
   mutable mode : 'env mode;
   mutable cov_turn : bool;
   mutable paths_completed : int;
@@ -99,12 +114,21 @@ val is_idle : 'env t -> bool
 val execute : 'env t -> budget:int -> int
 
 (** Package up to [count] candidates for another worker; each becomes a
-    fence node locally.  Virtual candidates are forwarded first. *)
+    fence node locally.  Virtual candidates are forwarded first; within
+    each class the batch is a lexicographically contiguous window
+    anchored on the deepest node (victim-side eager splitting), so the
+    offered nodes share the longest possible prefix. *)
 val transfer_out : 'env t -> count:int -> Job.t list
 
 (** Import transferred jobs as virtual candidates.  [recovery] tags
     re-seeded orphans of a crashed worker for cost accounting. *)
 val receive_jobs : ?recovery:bool -> 'env t -> Job.t list -> unit
+
+(** Import a factored batch (prefix handoff): members enter the frontier
+    as full root paths, and the shared prefix is pinned in the snapshot
+    cache while any member is outstanding, so after the first member's
+    replay the rest replay suffix-only. *)
+val receive_batch : ?recovery:bool -> 'env t -> Job.batch -> unit
 
 (** Install node paths owned by another worker: fork products matching
     one exactly are dropped instead of entering the frontier. *)

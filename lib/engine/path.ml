@@ -71,3 +71,75 @@ let rec common_prefix_len p q =
 (* Serialized size in bytes of a path when encoded one byte per choice
    (used by the transfer-encoding ablation bench). *)
 let encoded_size p = List.length p
+
+(* Longest common prefix of two paths, root-first. *)
+let rec common_prefix p q =
+  match (p, q) with
+  | c1 :: p', c2 :: q' when c1 = c2 -> c1 :: common_prefix p' q'
+  | _ -> []
+
+(* [strip_prefix pre p]: the suffix of [p] after [pre]; [None] when [pre]
+   is not actually a prefix of [p]. *)
+let rec strip_prefix pre p =
+  match (pre, p) with
+  | [], rest -> Some rest
+  | c1 :: pre', c2 :: p' when c1 = c2 -> strip_prefix pre' p'
+  | _ -> None
+
+(* Factor a batch of paths into the longest common prefix of ALL of them
+   plus per-path suffixes, order-preserving:
+     factor [p1; ...; pN] = (prefix, [s1; ...; sN])
+   with pi = prefix @ si for every i.  The empty batch factors as
+   ([], []); a singleton factors as (p, [[]]) — the whole path is the
+   prefix and the suffix is empty. *)
+let factor = function
+  | [] -> ([], [])
+  | [ p ] -> (p, [ [] ])
+  | first :: rest ->
+    let prefix = List.fold_left common_prefix first rest in
+    let suffixes =
+      List.map
+        (fun p ->
+          match strip_prefix prefix p with
+          | Some s -> s
+          | None -> assert false (* prefix is a common prefix by construction *))
+        (first :: rest)
+    in
+    (prefix, suffixes)
+
+(* Batch codec: prefix and suffixes in the self-delimiting compact form,
+   '|'-separated ("prefix|s1|s2|...|sN").  '|' never appears inside
+   [to_string] output, so the split is unambiguous; an empty suffix
+   (the prefix node itself is in the batch) encodes as an empty field.
+   This string is what the Jobs wire message carries under prefix
+   handoff: both cluster backends ship it through Cluster.Transport and
+   the receiver decodes and replays the prefix once. *)
+let encode_batch (prefix, suffixes) =
+  String.concat "|" (to_string prefix :: List.map to_string suffixes)
+
+let decode_batch s =
+  match String.split_on_char '|' s with
+  | [] | [ _ ] -> Error (Printf.sprintf "batch %S: missing suffix fields" s)
+  | pre :: sufs -> (
+    match of_string pre with
+    | Error e -> Error e
+    | Ok prefix ->
+      let rec go acc = function
+        | [] -> Ok (prefix, List.rev acc)
+        | x :: rest -> (
+          match of_string x with
+          | Error e -> Error e
+          | Ok suf -> go (suf :: acc) rest)
+      in
+      go [] sufs)
+
+(* Re-expand a factored batch to full root paths, order-preserving. *)
+let expand (prefix, suffixes) = List.map (fun s -> prefix @ s) suffixes
+
+(* Analytic replay bound for a factored batch: the shared prefix is
+   replayed once, each suffix once on top of it.  In choice-steps; the
+   instruction-level cost is proportional when every choice costs the
+   same number of instructions (exact for the straight-line targets the
+   codec property tests use). *)
+let replay_bound (prefix, suffixes) =
+  List.fold_left (fun acc s -> acc + List.length s) (List.length prefix) suffixes

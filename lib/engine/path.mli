@@ -33,3 +33,33 @@ val common_prefix_len : t -> t -> int
 
 (** Serialized size in bytes at one byte per choice. *)
 val encoded_size : t -> int
+
+(** Longest common prefix of two paths. *)
+val common_prefix : t -> t -> t
+
+(** [strip_prefix pre p] is [Some suffix] with [p = pre @ suffix], or
+    [None] when [pre] is not a prefix of [p]. *)
+val strip_prefix : t -> t -> t option
+
+(** Factor a batch into the longest common prefix of all members plus
+    order-preserving per-member suffixes: [factor ps = (prefix, sufs)]
+    with [List.map (fun s -> prefix @ s) sufs = ps].  [[]] factors as
+    [([], [])]; a singleton as [(p, [[]])]. *)
+val factor : t list -> t * t list
+
+(** Compact wire form of a factored batch: ["prefix|s1|...|sN"], each
+    field in {!to_string} form.  The unit of job transfer under prefix
+    handoff — the thief replays [prefix] once and forks each suffix
+    from the cached prefix state. *)
+val encode_batch : t * t list -> string
+
+(** Inverse of {!encode_batch}; [Error] names the malformed field. *)
+val decode_batch : string -> (t * t list, string) result
+
+(** Re-expand a factored batch to full root paths, order-preserving. *)
+val expand : t * t list -> t list
+
+(** Analytic replay cost of a factored batch in choice-steps: the prefix
+    once plus each suffix once ([|prefix| + Σ|si|]); the codec property
+    suite checks replayed instruction counts against it. *)
+val replay_bound : t * t list -> int

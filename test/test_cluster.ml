@@ -157,19 +157,162 @@ let test_worker_replays_virtual_jobs () =
   Alcotest.(check bool) "replay instructions accounted" true
     (dst.Cluster.Worker.cfg.Engine.Executor.stats.Engine.Executor.replay_instrs > 0)
 
+(* --- prefix handoff: properties at the worker level --------------------------------- *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let drain w =
+  let rec go n =
+    if n > 0 && not (Cluster.Worker.is_idle w) then begin
+      ignore (Cluster.Worker.execute w ~budget:5000);
+      go (n - 1)
+    end
+  in
+  go 500
+
+(* Full-path replay cost of [job] on a worker with a cold snapshot cache:
+   the per-job baseline a factored batch must beat. *)
+let replay_cost_alone job =
+  let w = make_worker workload 99 in
+  Cluster.Worker.receive_jobs w [ job ];
+  let rec go n =
+    if
+      n > 0
+      && w.Cluster.Worker.replays_done = 0
+      && w.Cluster.Worker.broken_replays = 0
+    then begin
+      ignore (Cluster.Worker.execute w ~budget:5000);
+      go (n - 1)
+    end
+  in
+  go 100;
+  w.Cluster.Worker.cfg.Engine.Executor.stats.Engine.Executor.replay_instrs
+
+let gen_steal = QCheck2.Gen.(pair (int_range 600 2000) (int_range 2 5))
+
+(* Steal a batch, ship it through the wire codec, replay it on a fresh
+   thief: no node lost or duplicated, and the whole batch replays for at
+   most the sum of independent full-path replays minus the shared prefix
+   re-walked once per extra member — the analytic prefix+suffix bound
+   (each avoided prefix walk costs at least one instruction per choice). *)
+let prop_batch_replay_bound =
+  QCheck2.Test.make ~count:8 ~name:"factored batch meets the prefix+suffix replay bound" gen_steal
+    (fun (budget, count) ->
+      let src = make_worker workload 0 in
+      Cluster.Worker.seed_root src;
+      ignore (Cluster.Worker.execute src ~budget);
+      let count = min count (Cluster.Worker.queue_length src - 1) in
+      QCheck2.assume (count >= 2);
+      let jobs = Cluster.Worker.transfer_out src ~count in
+      let batch =
+        match Cluster.Job.decode_batch (Cluster.Job.encode_batch (Cluster.Job.batch_of_jobs jobs)) with
+        | Ok b -> b
+        | Error e -> Alcotest.failf "batch codec roundtrip: %s" e
+      in
+      (* the wire form re-expands to exactly the stolen nodes, in order *)
+      if Cluster.Job.jobs_of_batch batch <> jobs then
+        Alcotest.fail "batch expansion lost or reordered nodes";
+      let thief = make_worker workload 1 in
+      Cluster.Worker.receive_batch thief batch;
+      drain thief;
+      let k = List.length jobs in
+      let batch_cost =
+        thief.Cluster.Worker.cfg.Engine.Executor.stats.Engine.Executor.replay_instrs
+      in
+      let indep = List.fold_left (fun acc j -> acc + replay_cost_alone j) 0 jobs in
+      thief.Cluster.Worker.broken_replays = 0
+      && thief.Cluster.Worker.replays_done = k
+      && batch_cost <= indep - ((k - 1) * List.length batch.Cluster.Job.prefix))
+
+(* A batch imported with [~recovery:true] books every replay instruction
+   as recovery cost — the classification the fault-tolerance differential
+   audits (a fresh thief does no other replay, so the two counters must
+   coincide exactly). *)
+let prop_recovery_replay_accounted =
+  QCheck2.Test.make ~count:6 ~name:"recovery batch books all replay as recovery" gen_steal
+    (fun (budget, count) ->
+      let src = make_worker workload 0 in
+      Cluster.Worker.seed_root src;
+      ignore (Cluster.Worker.execute src ~budget);
+      let count = min count (Cluster.Worker.queue_length src - 1) in
+      QCheck2.assume (count >= 1);
+      let jobs = Cluster.Worker.transfer_out src ~count in
+      let thief = make_worker workload 1 in
+      Cluster.Worker.receive_batch ~recovery:true thief (Cluster.Job.batch_of_jobs jobs);
+      drain thief;
+      let replay =
+        thief.Cluster.Worker.cfg.Engine.Executor.stats.Engine.Executor.replay_instrs
+      in
+      replay > 0
+      && thief.Cluster.Worker.recovery_replay_instrs = replay
+      && thief.Cluster.Worker.broken_replays = 0)
+
+(* The timed-out steal take-back (parallel runtime: an Offer expires and
+   the victim re-imports its own batch as recovery work): exploration
+   totals stay exact, and the recovery cost stays within total replay. *)
+let prop_takeback_roundtrip_exact =
+  QCheck2.Test.make ~count:6 ~name:"steal/timeout/re-import round trip stays exact" gen_steal
+    (fun (budget, count) ->
+      let w = make_worker workload 0 in
+      Cluster.Worker.seed_root w;
+      ignore (Cluster.Worker.execute w ~budget);
+      let count = min count (Cluster.Worker.queue_length w) in
+      QCheck2.assume (count >= 1);
+      let jobs = Cluster.Worker.transfer_out w ~count in
+      Cluster.Worker.receive_jobs ~recovery:true w jobs;
+      drain w;
+      let stats = w.Cluster.Worker.cfg.Engine.Executor.stats in
+      w.Cluster.Worker.paths_completed = Lazy.force reference_path_count
+      && w.Cluster.Worker.errors = 0
+      && w.Cluster.Worker.broken_replays = 0
+      && w.Cluster.Worker.recovery_replay_instrs <= stats.Engine.Executor.replay_instrs)
+
 (* --- balancer ---------------------------------------------------------------------------- *)
 
 let test_balancer_classification () =
-  let lb = Cluster.Balancer.create ~coverage_bytes:4 () in
   let cov = Bytes.make 4 '\000' in
-  ignore (Cluster.Balancer.report lb ~worker:0 ~queue_len:100 ~coverage:cov);
-  ignore (Cluster.Balancer.report lb ~worker:1 ~queue_len:0 ~coverage:cov);
+  let fresh reports =
+    let lb = Cluster.Balancer.create ~coverage_bytes:4 () in
+    List.iter
+      (fun (worker, queue_len) ->
+        ignore (Cluster.Balancer.report lb ~worker ~queue_len ~coverage:cov))
+      reports;
+    lb
+  in
+  (* a starved destination triggers eager splitting: half the source's
+     deque in one batched steal *)
+  let lb = fresh [ (0, 12); (1, 0) ] in
   (match Cluster.Balancer.rebalance lb with
   | [ { Cluster.Balancer.src = 0; dst = 1; count } ] ->
-    (* half the difference, capped at a quarter of the source queue *)
-    Alcotest.(check int) "capped transfer" 25 count
+    Alcotest.(check int) "eager split for starved destination" 6 count
   | other -> Alcotest.failf "unexpected requests (%d)" (List.length other));
+  (* a merely underloaded destination gets half the difference, capped at
+     a quarter of the source's queue: min ((20-2)/2) (20/4) = 5 *)
+  let lb = fresh [ (0, 20); (1, 2); (2, 11) ] in
+  (match Cluster.Balancer.rebalance lb with
+  | [ { Cluster.Balancer.src = 0; dst = 1; count } ] ->
+    Alcotest.(check int) "capped transfer" 5 count
+  | other -> Alcotest.failf "unexpected requests (%d)" (List.length other));
+  (* the absolute per-steal cap: even an eager split of a huge queue
+     moves at most a batch worth of subtrees *)
+  let lb = fresh [ (0, 100); (1, 0) ] in
+  (match Cluster.Balancer.rebalance lb with
+  | [ { Cluster.Balancer.src = 0; dst = 1; count } ] ->
+    Alcotest.(check int) "absolute batch cap" 8 count
+  | other -> Alcotest.failf "unexpected requests (%d)" (List.length other));
+  (* one rich source feeds every starved destination in a single round:
+     initial work spread must not take O(nworkers) rebalance rounds *)
+  let lb = fresh [ (0, 40); (1, 0); (2, 0); (3, 0) ] in
+  let reqs = Cluster.Balancer.rebalance lb in
+  Alcotest.(check int) "one request per starved worker" 3 (List.length reqs);
+  List.iter
+    (fun { Cluster.Balancer.src; dst; count } ->
+      Alcotest.(check int) "rich source" 0 src;
+      Alcotest.(check bool) "fed a starved worker" true (List.mem dst [ 1; 2; 3 ]);
+      Alcotest.(check int) "full batch each" 8 count)
+    reqs;
   (* the optimistic ledger converges over a few rounds without oscillating *)
+  let lb = fresh [ (0, 100); (1, 10); (2, 55) ] in
   let rec settle n = if n > 0 && Cluster.Balancer.rebalance lb <> [] then settle (n - 1) in
   settle 10;
   Alcotest.(check int) "stable after settling" 0
@@ -243,6 +386,13 @@ let () =
           Alcotest.test_case "transfer fences source" `Quick test_worker_transfer_fences_source;
           Alcotest.test_case "replay of virtual jobs" `Quick test_worker_replays_virtual_jobs;
         ] );
+      ( "prefix-handoff",
+        qsuite
+          [
+            prop_batch_replay_bound;
+            prop_recovery_replay_accounted;
+            prop_takeback_roundtrip_exact;
+          ] );
       ( "balancer",
         [
           Alcotest.test_case "classification" `Quick test_balancer_classification;

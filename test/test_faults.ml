@@ -65,10 +65,25 @@ let differential name program () =
   Alcotest.(check bool)
     (name ^ ": recovery replay cost accounted")
     true
-    (faulty.CD.recovered_jobs = 0 || faulty.CD.recovery_replay_instrs > 0)
+    (faulty.CD.recovered_jobs = 0 || faulty.CD.recovery_replay_instrs > 0);
+  (* accounting consistency: recovery replay is a subset of total replay,
+     and a fault-free fresh run never books any replay as recovery — the
+     failure-path re-imports (timed-out offers, dead-thief re-routes,
+     restored frontiers) are the only other sources of the counter *)
+  Alcotest.(check bool)
+    (name ^ ": recovery replay within total replay")
+    true
+    (faulty.CD.recovery_replay_instrs <= faulty.CD.replay_instrs);
+  Alcotest.(check int) (name ^ ": fault-free run books no recovery replay") 0
+    free.CD.recovery_replay_instrs;
+  Alcotest.(check int) (name ^ ": fault-free run re-seeds nothing") 0 free.CD.recovered_jobs
 
+(* ntokens:3 keeps the run long enough (~300 ticks) that both scheduled
+   crashes land while the victims still hold leased or digested work —
+   prefix handoff spreads the tree fast enough that the ntokens:2 tree
+   is exhausted before the mid-run crash ticks. *)
 let test_differential_test_target () =
-  differential "test" (Targets.Test_target.program ~ntokens:2) ()
+  differential "test" (Targets.Test_target.program ~ntokens:3) ()
 
 let test_differential_memcached () =
   differential "memcached"

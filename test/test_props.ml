@@ -131,6 +131,54 @@ let prop_path_prefix =
       && Path.common_prefix_len p q <= min (Path.length p) (Path.length q)
       && (Path.to_string p = Path.to_string q) = (p = q))
 
+(* The prefix-handoff batch codec: factoring a batch of root paths into
+   longest-common-prefix + suffixes, shipping it through the wire form,
+   and re-expanding must lose no node, duplicate no node, and preserve
+   order; the analytic replay bound is prefix + sum-of-suffixes. *)
+let gen_batch =
+  (* bias toward genuinely shared prefixes: a common stem plus per-member
+     tails, mixed with fully independent paths *)
+  QCheck2.Gen.(
+    let clustered =
+      map2 (fun stem tails -> List.map (fun t -> stem @ t) tails) gen_path
+        (list_size (int_range 1 6) gen_path)
+    in
+    let scattered = list_size (int_range 1 6) gen_path in
+    oneof [ clustered; scattered ])
+
+let prop_prefix_codec =
+  QCheck2.Test.make ~count:500 ~name:"prefix batch codec roundtrip" gen_batch (fun ps ->
+      let ((prefix, sufs) as b) = Path.factor ps in
+      (* no loss, no duplication, order preserved *)
+      Path.expand b = ps
+      (* every member really extends the prefix *)
+      && List.for_all (fun p -> Path.is_prefix prefix p) ps
+      (* maximality: with >= 2 members the suffix heads cannot all agree *)
+      && (match sufs with
+         | [] | [ _ ] -> true
+         | s0 :: rest -> (
+           match s0 with
+           | [] -> true
+           | h :: _ ->
+             List.exists (function [] -> true | h' :: _ -> h' <> h) rest))
+      (* wire roundtrip is exact *)
+      && Path.decode_batch (Path.encode_batch b) = Ok b
+      (* analytic replay cost: shared prefix once, then each suffix *)
+      && Path.replay_bound b
+         = Path.length prefix + List.fold_left (fun a s -> a + Path.length s) 0 sufs
+      && Path.replay_bound b
+         <= List.fold_left (fun a p -> a + Path.length p) 0 ps
+            + (if ps = [] then 0 else Path.length prefix))
+
+let prop_prefix_codec_rejects_garbage =
+  QCheck2.Test.make ~count:300 ~name:"batch codec rejects corrupt wire strings"
+    QCheck2.Gen.(string_size ~gen:printable (int_bound 20))
+    (fun s ->
+      (* decode never raises; any Ok result re-encodes to the same bytes *)
+      match Path.decode_batch s with
+      | Error _ -> true
+      | Ok b -> Path.encode_batch b = s)
+
 (* --- Trie: model-based ---------------------------------------------------------- *)
 
 let prop_trie_matches_assoc_model =
@@ -244,7 +292,7 @@ let () =
           Alcotest.test_case "faults" `Quick test_memory_faults;
         ]
         @ qsuite [ prop_memory_roundtrip ] );
-      ("path", qsuite [ prop_path_prefix ]);
+      ("path", qsuite [ prop_path_prefix; prop_prefix_codec; prop_prefix_codec_rejects_garbage ]);
       ("trie", qsuite [ prop_trie_matches_assoc_model; prop_trie_random_pick_member ]);
       ("substitution", qsuite [ prop_substitute_sound ]);
       ( "determinism",
