@@ -910,13 +910,31 @@ let micro () =
 (* incremental pc vs the re-normalizing baseline                          *)
 (* ====================================================================== *)
 
+(* One leg's worth of measurements. *)
+type solver_leg = {
+  sl_cfg : Posix.Env.t Engine.Executor.config;
+  sl_r : Posix.Env.t ED.result;
+  sl_ss : Smt.Solver.stats;
+  sl_rw : Smt.Simplify.rw_stats;
+  sl_inc : Smt.Solver.inc_stats;
+  sl_sat : Smt.Sat.stats option; (* live persistent instance, if any *)
+  sl_elapsed : float;
+  sl_spans : int;        (* solver_query spans recorded *)
+  sl_p50 : float option; (* per-query latency percentiles, ns *)
+  sl_p99 : float option;
+  sl_nsq : float;
+}
+
 let bench_solver () =
   section "Solver microbenchmark"
-    "Exhaustive single-worker runs, baseline (per-call re-simplification,\n\
+    "Exhaustive single-worker runs: baseline (per-call re-simplification,\n\
      whole-pc normalization) vs optimized (memoized simplify, incremental\n\
-     State.npc/boxes, fused fork queries).  Verdicts, path counts and test\n\
-     cases must be identical; the optimized legs must do strictly fewer\n\
-     simplify rewrites.  Writes BENCH_solver.json.";
+     State.npc/boxes, fused fork queries) vs incremental (optimized plus a\n\
+     persistent assumption-queried SAT instance with cross-fork clause\n\
+     reuse).  Verdicts, path counts and test cases must be identical on\n\
+     all legs; optimized must do strictly fewer simplify rewrites than\n\
+     baseline; incremental must beat optimized on ns/query everywhere\n\
+     (>= 1.5x on memcached2).  Writes BENCH_solver.json.";
   let scenarios =
     [
       ("printf5", Lazy.force printf5);
@@ -924,11 +942,47 @@ let bench_solver () =
       ("memcached2", Lazy.force mc2_small);
     ]
   in
-  let run_leg ~optimized program =
+  (* aggregate the per-tier solver_query histograms of one leg's sink
+     (identical buckets, so counts line up index-for-index) *)
+  let solver_hist samples =
+    let n = Array.length Obs.Metrics.latency_ns_buckets + 1 in
+    let counts = Array.make n 0 in
+    let sum = ref 0.0 in
+    let total = ref 0 in
+    List.iter
+      (fun (s : Obs.Metrics.sample) ->
+        if
+          s.Obs.Metrics.s_name = "latency_ns"
+          && List.assoc_opt "kind" s.Obs.Metrics.s_labels = Some "solver_query"
+        then
+          match s.Obs.Metrics.s_value with
+          | Obs.Metrics.Vhistogram h when Array.length h.vcounts = n ->
+            Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) h.vcounts;
+            sum := !sum +. h.vsum;
+            total := !total + h.vcount
+          | _ -> ())
+      samples;
+    if !total = 0 then None
+    else
+      Some
+        (Obs.Metrics.Vhistogram
+           {
+             vbounds = Array.copy Obs.Metrics.latency_ns_buckets;
+             vcounts = counts;
+             vsum = !sum;
+             vcount = !total;
+           })
+  in
+  let hcount = function Some (Obs.Metrics.Vhistogram h) -> h.vcount | _ -> 0 in
+  let run_leg ~optimized ~incremental program =
     Smt.Simplify.set_memo optimized;
     Smt.Simplify.clear_memo ();
     Smt.Simplify.reset_stats ();
-    let solver = Smt.Solver.create () in
+    (* every leg carries the same sink + profiler so the per-query spans
+       (and their overhead) are identical across the comparison *)
+    let sink = Obs.Sink.create () in
+    let prof = Obs.Profile.create sink in
+    let solver = Smt.Solver.create ~use_incremental:incremental ~obs:sink ~prof () in
     let cfg =
       Posix.Api.make_config ~solver ~use_incremental_pc:optimized ~max_steps:2_000_000
         ~nlines:program.Cvm.Program.nlines ()
@@ -941,8 +995,24 @@ let bench_solver () =
     let elapsed = Unix.gettimeofday () -. t0 in
     let ss = Smt.Solver.copy_stats solver in
     let rw = Smt.Simplify.stats () in
+    let hist = solver_hist (Obs.Sink.metrics_samples sink) in
+    let pct q = Option.bind hist (fun v -> Obs.Metrics.percentile v q) in
     Smt.Simplify.set_memo true;
-    (cfg, r, ss, rw, elapsed)
+    {
+      sl_cfg = cfg;
+      sl_r = r;
+      sl_ss = ss;
+      sl_rw = rw;
+      sl_inc = Smt.Solver.copy_inc_stats solver;
+      sl_sat = Smt.Solver.inc_sat_stats solver;
+      sl_elapsed = elapsed;
+      sl_spans = hcount hist;
+      sl_p50 = pct 0.50;
+      sl_p99 = pct 0.99;
+      sl_nsq =
+        (if ss.Smt.Solver.queries = 0 then 0.0
+         else elapsed *. 1e9 /. float_of_int ss.Smt.Solver.queries);
+    }
   in
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
@@ -951,47 +1021,62 @@ let bench_solver () =
     + ss.Smt.Solver.cex_hits + ss.Smt.Solver.sat_calls
   in
   let totals = ref [] in
-  Printf.printf "%-12s %-10s %8s %6s %10s %9s %9s %9s %11s\n" "scenario" "leg" "paths"
-    "tests" "instrs" "queries" "visits" "rewrites" "ns/query";
+  let fop = function Some x -> Printf.sprintf "%.0f" x | None -> "n/a" in
+  Printf.printf "%-12s %-12s %7s %6s %9s %8s %8s %8s %8s %8s %10s\n" "scenario" "leg" "paths"
+    "tests" "instrs" "queries" "satcall" "rewrite" "p50ns" "p99ns" "ns/query";
   let rows =
     List.map
       (fun (name, program) ->
-        let report leg (cfg, (r : _ ED.result), (ss : Smt.Solver.stats), (rw : Smt.Simplify.rw_stats), elapsed) =
-          let nsq =
-            if ss.Smt.Solver.queries = 0 then 0.0
-            else elapsed *. 1e9 /. float_of_int ss.Smt.Solver.queries
-          in
-          Printf.printf "%-12s %-10s %8d %6d %10d %9d %9d %9d %11.0f\n" name leg
-            r.ED.paths_explored (List.length r.ED.tests) r.ED.instructions
-            ss.Smt.Solver.queries rw.Smt.Simplify.visits rw.Smt.Simplify.rewrites nsq;
+        let report leg (l : solver_leg) =
+          Printf.printf "%-12s %-12s %7d %6d %9d %8d %8d %8d %8s %8s %10.0f\n" name leg
+            l.sl_r.ED.paths_explored (List.length l.sl_r.ED.tests) l.sl_r.ED.instructions
+            l.sl_ss.Smt.Solver.queries l.sl_ss.Smt.Solver.sat_calls
+            l.sl_rw.Smt.Simplify.rewrites (fop l.sl_p50) (fop l.sl_p99) l.sl_nsq;
           (* reconciliation: the driver's instruction count is the executor's
-             useful-work counter, and every query landed in exactly one tier *)
-          if r.ED.instructions <> cfg.Engine.Executor.stats.Engine.Executor.useful_instrs then
+             useful-work counter, every query landed in exactly one tier, and
+             every query closed exactly one wall-clock span *)
+          if l.sl_r.ED.instructions <> l.sl_cfg.Engine.Executor.stats.Engine.Executor.useful_instrs
+          then
             fail "%s/%s: driver instructions %d <> executor useful %d" name leg
-              r.ED.instructions cfg.Engine.Executor.stats.Engine.Executor.useful_instrs;
-          if tier_sum ss <> ss.Smt.Solver.queries then
-            fail "%s/%s: solver tiers %d <> queries %d" name leg (tier_sum ss)
-              ss.Smt.Solver.queries;
-          nsq
+              l.sl_r.ED.instructions l.sl_cfg.Engine.Executor.stats.Engine.Executor.useful_instrs;
+          if tier_sum l.sl_ss <> l.sl_ss.Smt.Solver.queries then
+            fail "%s/%s: solver tiers %d <> queries %d" name leg (tier_sum l.sl_ss)
+              l.sl_ss.Smt.Solver.queries;
+          if l.sl_spans <> l.sl_ss.Smt.Solver.queries then
+            fail "%s/%s: solver_query spans %d <> queries %d" name leg l.sl_spans
+              l.sl_ss.Smt.Solver.queries
         in
-        let base = run_leg ~optimized:false program in
-        let opt = run_leg ~optimized:true program in
-        let nsq_b = report "baseline" base in
-        let nsq_o = report "optimized" opt in
-        let _, rb, sb, wb, eb = base and _, ro, so, wo, eo = opt in
-        (* identical results: same paths, test cases, errors, instructions *)
-        if rb.ED.paths_explored <> ro.ED.paths_explored then
-          fail "%s: paths differ (%d vs %d)" name rb.ED.paths_explored ro.ED.paths_explored;
-        if List.length rb.ED.tests <> List.length ro.ED.tests then
-          fail "%s: test counts differ (%d vs %d)" name (List.length rb.ED.tests)
-            (List.length ro.ED.tests);
-        if rb.ED.errors <> ro.ED.errors then
-          fail "%s: error counts differ (%d vs %d)" name rb.ED.errors ro.ED.errors;
-        if wo.Smt.Simplify.rewrites >= wb.Smt.Simplify.rewrites then
+        let base = run_leg ~optimized:false ~incremental:false program in
+        let opt = run_leg ~optimized:true ~incremental:false program in
+        let inc = run_leg ~optimized:true ~incremental:true program in
+        report "baseline" base;
+        report "optimized" opt;
+        report "incremental" inc;
+        (* identical results on every leg: same paths, tests, errors *)
+        let same what f (a : solver_leg) (b : solver_leg) lb =
+          if f a <> f b then fail "%s: %s differ on %s (%d vs %d)" name what lb (f a) (f b)
+        in
+        List.iter
+          (fun (l, lb) ->
+            same "paths" (fun l -> l.sl_r.ED.paths_explored) base l lb;
+            same "test counts" (fun l -> List.length l.sl_r.ED.tests) base l lb;
+            same "error counts" (fun l -> l.sl_r.ED.errors) base l lb)
+          [ (opt, "optimized"); (inc, "incremental") ];
+        if opt.sl_rw.Smt.Simplify.rewrites >= base.sl_rw.Smt.Simplify.rewrites then
           fail "%s: optimized leg must do strictly fewer rewrites (%d vs %d)" name
-            wo.Smt.Simplify.rewrites wb.Smt.Simplify.rewrites;
-        totals := (wb.Smt.Simplify.rewrites, wo.Smt.Simplify.rewrites) :: !totals;
-        (name, (rb, sb, wb, eb, nsq_b), (ro, so, wo, eo, nsq_o)))
+            opt.sl_rw.Smt.Simplify.rewrites base.sl_rw.Smt.Simplify.rewrites;
+        (* the incremental leg must actually reuse clause groups and win
+           on raw per-query latency *)
+        if inc.sl_inc.Smt.Solver.group_hits = 0 && inc.sl_ss.Smt.Solver.sat_calls > 1 then
+          fail "%s: incremental leg recorded no clause-group reuse" name;
+        if inc.sl_nsq >= opt.sl_nsq then
+          fail "%s: incremental ns/query (%.0f) not better than optimized (%.0f)" name
+            inc.sl_nsq opt.sl_nsq;
+        if name = "memcached2" && inc.sl_nsq > 0.0 && opt.sl_nsq /. inc.sl_nsq < 1.5 then
+          fail "memcached2: incremental speedup %.2fx below the 1.5x target"
+            (opt.sl_nsq /. inc.sl_nsq);
+        totals := (base.sl_rw.Smt.Simplify.rewrites, opt.sl_rw.Smt.Simplify.rewrites) :: !totals;
+        (name, base, opt, inc))
       scenarios
   in
   let rw_b = List.fold_left (fun a (b, _) -> a + b) 0 !totals in
@@ -1000,25 +1085,58 @@ let bench_solver () =
   Printf.printf "total rewrites: baseline %d, optimized %d (%.1fx fewer)\n" rw_b rw_o ratio;
   if ratio < 2.0 then
     fail "aggregate rewrite reduction %.2fx below the 2x target" ratio;
+  List.iter
+    (fun (name, _, (opt : solver_leg), (inc : solver_leg)) ->
+      if inc.sl_nsq > 0.0 then begin
+        Printf.printf
+          "%s: incremental %.2fx vs optimized; %d group hits / %d misses, %d retirements\n" name
+          (opt.sl_nsq /. inc.sl_nsq) inc.sl_inc.Smt.Solver.group_hits
+          inc.sl_inc.Smt.Solver.group_misses inc.sl_inc.Smt.Solver.retirements;
+        match inc.sl_sat with
+        | Some st ->
+          Printf.printf
+            "  live instance: %d conflicts, %d decisions, %d propagations, %d learned\n"
+            st.Smt.Sat.conflicts st.Smt.Sat.decisions st.Smt.Sat.propagations
+            st.Smt.Sat.learned
+        | None -> ()
+      end)
+    rows;
   let oc = open_out "BENCH_solver.json" in
   Printf.fprintf oc "{ \"scenarios\": [";
-  let leg (r : _ ED.result) (ss : Smt.Solver.stats) (rw : Smt.Simplify.rw_stats) el nsq =
+  let jop = function Some x -> Printf.sprintf "%.0f" x | None -> "null" in
+  let leg (l : solver_leg) =
+    let inc_part =
+      if l.sl_inc.Smt.Solver.assumption_solves = 0 then ""
+      else
+        let learned, deleted =
+          match l.sl_sat with
+          | Some st -> (st.Smt.Sat.learned, st.Smt.Sat.deleted)
+          | None -> (0, 0)
+        in
+        Printf.sprintf
+          ", \"assumption_solves\": %d, \"group_hits\": %d, \"group_misses\": %d, \
+           \"retirements\": %d, \"learned\": %d, \"deleted\": %d"
+          l.sl_inc.Smt.Solver.assumption_solves l.sl_inc.Smt.Solver.group_hits
+          l.sl_inc.Smt.Solver.group_misses l.sl_inc.Smt.Solver.retirements learned deleted
+    in
     Printf.sprintf
       "{ \"paths\": %d, \"tests\": %d, \"errors\": %d, \"instructions\": %d, \
        \"queries\": %d, \"trivial\": %d, \"range_hits\": %d, \"cache_hits\": %d, \
        \"cex_hits\": %d, \"sat_calls\": %d, \"simplify_visits\": %d, \
        \"simplify_rewrites\": %d, \"memo_hits\": %d, \"elapsed_s\": %.4f, \
-       \"ns_per_query\": %.0f }"
-      r.ED.paths_explored (List.length r.ED.tests) r.ED.errors r.ED.instructions
-      ss.Smt.Solver.queries ss.Smt.Solver.trivial ss.Smt.Solver.range_hits
-      ss.Smt.Solver.cache_hits ss.Smt.Solver.cex_hits ss.Smt.Solver.sat_calls
-      rw.Smt.Simplify.visits rw.Smt.Simplify.rewrites rw.Smt.Simplify.memo_hits el nsq
+       \"ns_per_query\": %.0f, \"p50_ns\": %s, \"p99_ns\": %s%s }"
+      l.sl_r.ED.paths_explored (List.length l.sl_r.ED.tests) l.sl_r.ED.errors
+      l.sl_r.ED.instructions l.sl_ss.Smt.Solver.queries l.sl_ss.Smt.Solver.trivial
+      l.sl_ss.Smt.Solver.range_hits l.sl_ss.Smt.Solver.cache_hits l.sl_ss.Smt.Solver.cex_hits
+      l.sl_ss.Smt.Solver.sat_calls l.sl_rw.Smt.Simplify.visits l.sl_rw.Smt.Simplify.rewrites
+      l.sl_rw.Smt.Simplify.memo_hits l.sl_elapsed l.sl_nsq (jop l.sl_p50) (jop l.sl_p99)
+      inc_part
   in
   List.iteri
-    (fun i (name, (rb, sb, wb, eb, nsq_b), (ro, so, wo, eo, nsq_o)) ->
-      Printf.fprintf oc "%s\n  { \"name\": %S, \"baseline\": %s, \"optimized\": %s }"
+    (fun i (name, base, opt, inc) ->
+      Printf.fprintf oc "%s\n  { \"name\": %S, \"baseline\": %s, \"optimized\": %s, \"incremental\": %s }"
         (if i = 0 then "" else ",")
-        name (leg rb sb wb eb nsq_b) (leg ro so wo eo nsq_o))
+        name (leg base) (leg opt) (leg inc))
     rows;
   Printf.fprintf oc " ],\n  \"total_rewrites_baseline\": %d, \"total_rewrites_optimized\": %d, \"rewrite_reduction\": %.2f,\n  \"ok\": %b }\n"
     rw_b rw_o ratio (!failures = []);

@@ -189,7 +189,13 @@ let run_local ?obs target options =
   let st = report.C.solver_stats in
   Format.printf "solver: %d queries, %d SAT calls, %d cache hits, %d model-probe hits@."
     st.Smt.Solver.queries st.Smt.Solver.sat_calls st.Smt.Solver.cache_hits
-    st.Smt.Solver.cex_hits
+    st.Smt.Solver.cex_hits;
+  let inc = report.C.inc_stats in
+  if inc.Smt.Solver.assumption_solves > 0 then
+    Format.printf
+      "incremental: %d assumption solves, %d group hits / %d misses, %d retirements@."
+      inc.Smt.Solver.assumption_solves inc.Smt.Solver.group_hits inc.Smt.Solver.group_misses
+      inc.Smt.Solver.retirements
 
 let run_cluster ?obs target nworkers speed goal max_steps crashes rejoin msg_loss =
   let fault_plan =

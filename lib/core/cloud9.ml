@@ -49,6 +49,7 @@ type report = {
   exhausted : bool;
   tests : Testcase.t list;
   solver_stats : Smt.Solver.stats;
+  inc_stats : Smt.Solver.inc_stats;
 }
 
 (* --- single-node runs --------------------------------------------------------- *)
@@ -76,6 +77,7 @@ let run_local ?obs ?(options = default_options) (t : target) =
     exhausted = r.Engine.Driver.exhausted;
     tests = r.Engine.Driver.tests;
     solver_stats = Smt.Solver.stats solver;
+    inc_stats = Smt.Solver.copy_inc_stats solver;
   }
 
 (* OR coverage vectors together and return the covered fraction over

@@ -36,6 +36,8 @@ type report = {
   exhausted : bool;
   tests : Testcase.t list;
   solver_stats : Smt.Solver.stats;
+  inc_stats : Smt.Solver.inc_stats;
+      (** incremental-solving counters of the run's solver *)
 }
 
 (** Run a symbolic test on one engine.  [obs] attaches an observability

@@ -21,6 +21,7 @@ type 'env result = {
   instructions : int;
   errors : int;
   solver_stats : Smt.Solver.stats; (* snapshot of this run's solver counters *)
+  inc_stats : Smt.Solver.inc_stats; (* incremental-solving counters (zero when disabled) *)
 }
 
 let coverage_fraction cfg program =
@@ -126,6 +127,7 @@ let run ?(collect_tests = max_int) ?(goal = Exhaust) cfg searcher (st0 : 'env St
     instructions = cfg.Executor.stats.Executor.useful_instrs;
     errors = !errors;
     solver_stats = Smt.Solver.copy_stats cfg.Executor.solver;
+    inc_stats = Smt.Solver.copy_inc_stats cfg.Executor.solver;
   }
 
 (* Convenience wrapper: run a program that needs no environment model. *)

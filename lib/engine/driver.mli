@@ -18,6 +18,9 @@ type 'env result = {
   errors : int;
   solver_stats : Smt.Solver.stats;
       (** snapshot of this run's solver counters (see {!Smt.Solver.stats}) *)
+  inc_stats : Smt.Solver.inc_stats;
+      (** incremental-solving counters (all zero when the solver was
+          created with [~use_incremental:false]) *)
 }
 
 val coverage_fraction : 'env Executor.config -> Cvm.Program.t -> float

@@ -4,15 +4,60 @@
    significant bit first.  Translations are memoized per context, so shared
    subterms produce shared circuitry.  Signed division/remainder must be
    lowered first (see {!Simplify.lower}); the translation here only
-   implements unsigned arithmetic. *)
+   implements unsigned arithmetic.
+
+   A context can be used one-shot ([assert_expr] + [solve], one query) or
+   persistently: [activate] blasts a constraint once, keyed on its
+   hashcons id, and guards its root assertion behind a fresh activation
+   literal so it only binds when that literal is assumed.  The gate
+   clauses themselves are definitional (always satisfiable), so a
+   persistent instance is a growing library of translated circuits from
+   which [solve_with_assumptions] switches an arbitrary subset on per
+   query — a constraint already blasted contributes zero new clauses on
+   re-query, and everything the CDCL core learned earlier is retained. *)
+
+(* Cone (dependency) tracking.  Per translated node — an expression, a
+   shared division circuit, or an activation group — we record which SAT
+   variables its own gates allocated ([vars]) and which previously
+   translated nodes it references ([refs], by dep id).  The transitive
+   closure of a group's dep record is exactly the set of variables its
+   constraint can depend on; [solve_activated] hands that cone to
+   {!Sat.begin_marks} so the search never branches outside it.  Without
+   the restriction a persistent instance must assign {e every} variable —
+   including circuitry of groups that are switched off — making query
+   cost grow with instance size instead of query size.
+
+   Dep records live in a dense array; every translated node is known by
+   its index, so the per-query cone walk is pure array traversal (a
+   stamped visited array, no hashing).  Only first-time translation pays
+   hashtable costs. *)
+type dep = {
+  dvars : int array;
+  drefs : int array;
+  dclo : int; (* clause-arena range emitted while this node's frame *)
+  dchi : int; (* was open (nested frames included: all in the cone) *)
+}
+
+type frame = { mutable fvars : int list; mutable frefs : int list; fclo : int }
 
 type ctx = {
   sat : Sat.t;
   true_lit : int;
-  cache : (int, int array) Hashtbl.t; (* hashcons id -> literal per bit *)
+  cache : (int, int array * int) Hashtbl.t;
+    (* hashcons id -> literal per bit, dep index *)
   sym_bits : (int, int array) Hashtbl.t; (* sym id -> SAT var per bit *)
-  divmod_cache : (int * int, int array * int array) Hashtbl.t; (* (a id, b id) *)
+  divmod_cache : (int * int, int array * int array * int) Hashtbl.t;
+    (* (a id, b id) -> quotient bits, remainder bits, dep index *)
+  groups : (int, int * int) Hashtbl.t;
+    (* constraint hashcons id -> activation literal, dep index *)
+  mutable deps : dep array; (* dense arena of cone records *)
+  mutable ndeps : int;
+  mutable walked : int array; (* dep index -> last mark generation *)
+  mutable mark_gen : int;
+  mutable frames : frame list; (* open recording frames, innermost first *)
 }
+
+let no_dep = { dvars = [||]; drefs = [||]; dclo = 0; dchi = 0 }
 
 let create () =
   let sat = Sat.create () in
@@ -25,6 +70,12 @@ let create () =
     cache = Hashtbl.create 256;
     sym_bits = Hashtbl.create 64;
     divmod_cache = Hashtbl.create 16;
+    groups = Hashtbl.create 64;
+    deps = Array.make 256 no_dep;
+    ndeps = 0;
+    walked = Array.make 256 0;
+    mark_gen = 0;
+    frames = [];
   }
 
 let lit_true ctx = ctx.true_lit
@@ -32,7 +83,47 @@ let lit_false ctx = ctx.true_lit lxor 1
 let const_lit ctx b = if b then lit_true ctx else lit_false ctx
 let is_ctrue ctx l = l = ctx.true_lit
 let is_cfalse ctx l = l = ctx.true_lit lxor 1
-let fresh_lit ctx = Sat.lit ~positive:true (Sat.new_var ctx.sat)
+
+let push_frame ctx =
+  ctx.frames <-
+    { fvars = []; frefs = []; fclo = Sat.num_clauses ctx.sat } :: ctx.frames
+
+(* Close the innermost frame into a fresh dense dep slot; returns its
+   index. *)
+let pop_frame ctx =
+  match ctx.frames with
+  | f :: rest ->
+    ctx.frames <- rest;
+    if ctx.ndeps >= Array.length ctx.deps then begin
+      let a = Array.make (2 * Array.length ctx.deps) no_dep in
+      Array.blit ctx.deps 0 a 0 ctx.ndeps;
+      ctx.deps <- a;
+      let w = Array.make (2 * Array.length ctx.walked) 0 in
+      Array.blit ctx.walked 0 w 0 ctx.ndeps;
+      ctx.walked <- w
+    end;
+    let idx = ctx.ndeps in
+    ctx.deps.(idx) <-
+      {
+        dvars = Array.of_list f.fvars;
+        drefs = Array.of_list f.frefs;
+        dclo = f.fclo;
+        dchi = Sat.num_clauses ctx.sat;
+      };
+    ctx.ndeps <- idx + 1;
+    idx
+  | [] -> assert false
+
+(* Record that the current frame's node references dep node [idx]. *)
+let note_ref ctx idx =
+  match ctx.frames with f :: _ -> f.frefs <- idx :: f.frefs | [] -> ()
+
+let ctx_new_var ctx =
+  let v = Sat.new_var ctx.sat in
+  (match ctx.frames with f :: _ -> f.fvars <- v :: f.fvars | [] -> ());
+  v
+
+let fresh_lit ctx = Sat.lit ~positive:true (ctx_new_var ctx)
 let neg l = l lxor 1
 
 (* --- gates ------------------------------------------------------------ *)
@@ -195,7 +286,7 @@ let sym_vector ctx id w =
     assert (Array.length vars = w);
     Array.map (fun v -> Sat.lit ~positive:true v) vars
   | None ->
-    let vars = Array.init w (fun _ -> Sat.new_var ctx.sat) in
+    let vars = Array.init w (fun _ -> ctx_new_var ctx) in
     Hashtbl.replace ctx.sym_bits id vars;
     Array.map (fun v -> Sat.lit ~positive:true v) vars
 
@@ -208,17 +299,26 @@ let imply_vec_eq ctx cond a b =
     a
 
 let rec translate ctx (e : Expr.t) : int array =
-  match Hashtbl.find_opt ctx.cache (Expr.id e) with
-  | Some bits -> bits
+  let id = Expr.id e in
+  match Hashtbl.find_opt ctx.cache id with
+  | Some (bits, idx) ->
+    note_ref ctx idx;
+    bits
   | None ->
+    push_frame ctx;
     let bits = translate_uncached ctx e in
-    Hashtbl.replace ctx.cache (Expr.id e) bits;
+    let idx = pop_frame ctx in
+    Hashtbl.replace ctx.cache id (bits, idx);
+    note_ref ctx idx;
     bits
 
 and divmod ctx a b =
   match Hashtbl.find_opt ctx.divmod_cache (Expr.id a, Expr.id b) with
-  | Some qr -> qr
+  | Some (q, r, did) ->
+    note_ref ctx did;
+    (q, r)
   | None ->
+    push_frame ctx;
     let w = Expr.width a in
     let av = translate ctx a and bv = translate ctx b in
     let q = Array.init w (fun _ -> fresh_lit ctx) in
@@ -234,7 +334,9 @@ and divmod ctx a b =
     imply_vec_eq ctx bnz sum (pad av);
     let rlt = vec_ult ctx r bv in
     Sat.add_clause ctx.sat [ neg bnz; rlt ];
-    Hashtbl.replace ctx.divmod_cache (Expr.id a, Expr.id b) (q, r);
+    let did = pop_frame ctx in
+    Hashtbl.replace ctx.divmod_cache (Expr.id a, Expr.id b) (q, r, did);
+    note_ref ctx did;
     (q, r)
 
 and translate_uncached ctx (e : Expr.t) : int array =
@@ -295,7 +397,71 @@ let assert_expr ctx e =
   let bits = translate ctx e in
   Sat.add_clause ctx.sat [ bits.(0) ]
 
+(* Activation-guarded assertion for persistent contexts: translate [e]
+   (hitting the cross-query translation cache) and add the single guarded
+   clause [not a \/ root], inert until [a] is assumed.  Keyed on the
+   pre-lowering hashcons id, since that is what re-occurring constraints
+   present.  Returns the activation literal and whether the group was
+   newly blasted. *)
+let activate ctx e =
+  match Hashtbl.find_opt ctx.groups (Expr.id e) with
+  | Some (a, _) -> (a, false)
+  | None ->
+    let lowered = Simplify.lower e in
+    assert (Expr.width lowered = 1);
+    push_frame ctx;
+    let bits = translate ctx lowered in
+    let a = fresh_lit ctx in
+    (* the guard clause must close before the frame does, so it lands in
+       the group's clause range and gets marked with the cone *)
+    Sat.add_clause ctx.sat [ neg a; bits.(0) ];
+    let did = pop_frame ctx in
+    Hashtbl.replace ctx.groups (Expr.id e) (a, did);
+    (a, true)
+
 let solve ctx = Sat.solve ctx.sat
+
+(* Mark the transitive cone of dep node [idx] as relevant in the SAT
+   core.  Pure array traversal: the visited stamp lives in a dense array
+   indexed by dep slot, so re-marking on every query stays cheap. *)
+let rec mark_dep ctx idx =
+  if ctx.walked.(idx) <> ctx.mark_gen then begin
+    ctx.walked.(idx) <- ctx.mark_gen;
+    let d = ctx.deps.(idx) in
+    Array.iter (Sat.mark_var ctx.sat) d.dvars;
+    for ci = d.dclo to d.dchi - 1 do
+      Sat.mark_clause ctx.sat ci
+    done;
+    Array.iter (mark_dep ctx) d.drefs
+  end
+
+(* Query the conjunction of previously {!activate}d constraints: assume
+   their activation literals and restrict branching to the union of their
+   cones (every other variable in the instance belongs to circuitry the
+   query cannot depend on — switched-off groups stay satisfiable with
+   their activation literal false). *)
+let solve_activated ctx es =
+  let gs =
+    List.map
+      (fun e ->
+        match Hashtbl.find_opt ctx.groups (Expr.id e) with
+        | Some g -> g
+        | None -> invalid_arg "Cnf.solve_activated: constraint not activated")
+      es
+  in
+  Sat.begin_marks ctx.sat;
+  ctx.mark_gen <- ctx.mark_gen + 1;
+  Sat.mark_var ctx.sat (Sat.var_of_lit ctx.true_lit);
+  List.iter
+    (fun (a, did) ->
+      Sat.mark_var ctx.sat (Sat.var_of_lit a);
+      mark_dep ctx did)
+    gs;
+  Sat.solve_with_assumptions ctx.sat (List.map fst gs)
+let num_clauses ctx = Sat.num_clauses ctx.sat
+let num_groups ctx = Hashtbl.length ctx.groups
+let sat_stats ctx = Sat.stats ctx.sat
+let is_ok ctx = Sat.is_ok ctx.sat
 
 (* Read back the value of symbol [id] (width [w]) from the satisfying
    assignment; returns [None] if the symbol never appeared in a constraint. *)

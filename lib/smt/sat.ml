@@ -1,8 +1,22 @@
 (* A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
    analysis, VSIDS-style activities with phase saving, and Luby restarts.
-   Clause deletion is omitted: the query mix produced by symbolic execution
-   of our targets consists of many small queries, for which learnt-clause
-   growth within a single query is negligible.
+
+   The instance is persistent: [solve_with_assumptions] answers a query
+   under a set of assumption literals (installed as pseudo-decisions at
+   levels 1..n, MiniSat-style) and leaves the instance reusable — learned
+   clauses, variable activities, saved phases and the watch lists all
+   survive to the next call, so closely related queries (the two polarities
+   of a fork, successive queries along one path) share everything the
+   earlier ones taught the solver.  Learnt clauses recorded while
+   assumptions were in effect mention the assumption literals explicitly
+   (first-UIP only drops level-0 literals), so retaining them is sound:
+   every learnt clause is implied by the clause database alone.
+
+   Learnt-clause deletion is age-based and runs at the root level between
+   queries: when the live learnt set outgrows a limit, the oldest half is
+   detached (binary and reason clauses are kept).  Within a single query
+   learnt growth is negligible for our query mix; deletion only matters
+   for long-lived incremental instances.
 
    Literal encoding: variable [v] (0-based) has positive literal [2*v] and
    negative literal [2*v+1].  [lit lxor 1] negates. *)
@@ -29,9 +43,21 @@ type t = {
   mutable qhead : int;
   mutable var_inc : float;
   mutable ok : bool;                  (* false once a top-level conflict exists *)
+  mutable learnt_cis : int array;     (* live learnt clause indices, learning order *)
+  mutable nlearnts : int;
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
+  mutable learned : int;              (* learnt clauses ever recorded (incl. units) *)
+  mutable deleted : int;              (* learnt clauses removed by DB reduction *)
+  mutable mark : int array;           (* var -> relevance stamp *)
+  mutable cmark : int array;          (* clause -> relevance stamp; -1 = always *)
+  mutable mark_stamp : int;
+  mutable use_marks : bool;           (* restrict decisions to marked vars *)
+  mutable skipped : int array;        (* unmarked vars popped off the heap *)
+  mutable nskipped : int;
+  mutable nmarked_open : int;         (* marked vars currently unassigned *)
 }
 
 let create () =
@@ -55,9 +81,21 @@ let create () =
     qhead = 0;
     var_inc = 1.0;
     ok = true;
+    learnt_cis = Array.make 16 0;
+    nlearnts = 0;
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
+    learned = 0;
+    deleted = 0;
+    mark = Array.make 16 0;
+    cmark = Array.make 16 0;
+    mark_stamp = 0;
+    use_marks = false;
+    skipped = Array.make 16 0;
+    nskipped = 0;
+    nmarked_open = 0;
   }
 
 let grow_array a n default =
@@ -147,6 +185,52 @@ let new_var s =
   heap_insert s v;
   v
 
+(* --- relevance marks ---------------------------------------------------
+
+   A caller that knows which variables the current query can actually
+   depend on (the transitive cone of the constraints being assumed, see
+   {!Cnf}) may restrict branching to them: [begin_marks] opens a fresh
+   mark generation and arms the restriction for the next
+   [solve_with_assumptions]; [mark_var] adds one variable.  The search
+   then never *decides* an unmarked variable (propagation may still
+   assign them), and answers [Satisfiable] once every marked variable is
+   assigned without conflict.  This is sound whenever the unmarked
+   remainder of the instance is extendable — true by construction for
+   bit-blasted circuitry: unmarked clauses are Tseitin gate definitions
+   (evaluate bottom-up from any input assignment) or activation guards
+   (satisfied by leaving the group's activation literal false). *)
+
+let begin_marks s =
+  s.mark <- grow_array s.mark (max 16 s.nvars) 0;
+  s.cmark <- grow_array s.cmark (max 16 s.nclauses) 0;
+  s.mark_stamp <- s.mark_stamp + 1;
+  s.use_marks <- true;
+  s.nmarked_open <- 0
+
+(* [nmarked_open] counts marked variables not yet assigned, so the search
+   can answer Satisfiable the instant the cone is fully assigned instead
+   of draining the instance-wide branching heap past the mark filter.
+   Marking may happen while the previous query's trail is still in place:
+   variables it still holds assigned are not counted here, and the
+   [cancel_until 0] at the head of the next solve counts them back in. *)
+let mark_var s v =
+  if s.mark.(v) <> s.mark_stamp then begin
+    s.mark.(v) <- s.mark_stamp;
+    if s.assign.(v) = Unassigned then s.nmarked_open <- s.nmarked_open + 1
+  end
+
+let marked s v = v < Array.length s.mark && s.mark.(v) = s.mark_stamp
+
+(* Clause-level relevance: callers stamp the clauses of the active cone;
+   anything else is circuitry of switched-off groups and is skipped
+   wholesale during above-root propagation (its clauses always contain an
+   unmarked — hence unassigned — variable, so they can never become unit
+   or conflicting).  Learnt clauses carry stamp -1: always relevant. *)
+let mark_clause s ci = if s.cmark.(ci) >= 0 then s.cmark.(ci) <- s.mark_stamp
+let clause_relevant s ci =
+  let cm = s.cmark.(ci) in
+  cm < 0 || cm = s.mark_stamp
+
 let var_of_lit l = l lsr 1
 let lit_sign l = l land 1 = 0 (* true when positive *)
 let lit ~positive v = if positive then 2 * v else (2 * v) + 1
@@ -165,6 +249,7 @@ let decision_level s = s.ntrail_lim
 
 let enqueue s l reason =
   let v = var_of_lit l in
+  if s.use_marks && marked s v then s.nmarked_open <- s.nmarked_open - 1;
   s.assign.(v) <- (if lit_sign l then True else False);
   s.level.(v) <- decision_level s;
   s.reason.(v) <- reason;
@@ -177,6 +262,7 @@ let cancel_until s lvl =
     let bound = s.trail_lim.(lvl) in
     for i = s.trail_size - 1 downto bound do
       let v = var_of_lit s.trail.(i) in
+      if s.use_marks && marked s v then s.nmarked_open <- s.nmarked_open + 1;
       s.assign.(v) <- Unassigned;
       s.reason.(v) <- -1;
       heap_insert s v
@@ -199,12 +285,63 @@ let push_clause s c =
     Array.blit s.clauses 0 a 0 s.nclauses;
     s.clauses <- a
   end;
+  s.cmark <- grow_array s.cmark (s.nclauses + 1) 0;
+  s.cmark.(s.nclauses) <- 0;
   s.clauses.(s.nclauses) <- c;
   s.nclauses <- s.nclauses + 1;
   s.nclauses - 1
 
-(* Add a problem clause.  Must be called before [solve] (at level 0). *)
+let detach_clause s ci =
+  let c = s.clauses.(ci) in
+  s.watches.(c.(0)) <- List.filter (fun x -> x <> ci) s.watches.(c.(0));
+  s.watches.(c.(1)) <- List.filter (fun x -> x <> ci) s.watches.(c.(1))
+
+(* A clause is locked while it is the reason of its asserting literal. *)
+let locked s ci =
+  let c = s.clauses.(ci) in
+  let v = var_of_lit c.(0) in
+  s.assign.(v) <> Unassigned && s.reason.(v) = ci
+
+(* Age-based learnt-DB reduction, run at the root level between queries:
+   detach the oldest half of the live learnt clauses, keeping binary and
+   locked (reason) ones.  Detached slots are tombstoned in the arena —
+   indices of surviving clauses never move, so reasons and watches of the
+   kept clauses stay valid. *)
+let reduce_learnts s =
+  let half = s.nlearnts / 2 in
+  let kept = Array.make (Array.length s.learnt_cis) 0 in
+  let nkept = ref 0 in
+  for i = 0 to s.nlearnts - 1 do
+    let ci = s.learnt_cis.(i) in
+    if i >= half || Array.length s.clauses.(ci) <= 2 || locked s ci then begin
+      kept.(!nkept) <- ci;
+      incr nkept
+    end
+    else begin
+      detach_clause s ci;
+      s.clauses.(ci) <- [||];
+      s.deleted <- s.deleted + 1
+    end
+  done;
+  s.learnt_cis <- kept;
+  s.nlearnts <- !nkept
+
+(* Reduce when the live learnt set outgrows the problem-clause count plus
+   a fixed floor (the arena holds problem and learnt clauses together, so
+   the problem count is the remainder). *)
+let learnt_limit s = 2048 + ((s.nclauses - s.nlearnts) / 2)
+
+let note_learnt s ci =
+  s.learnt_cis <- grow_array s.learnt_cis (s.nlearnts + 1) 0;
+  s.learnt_cis.(s.nlearnts) <- ci;
+  s.nlearnts <- s.nlearnts + 1
+
+(* Add a problem clause.  Clauses may be added between queries on a
+   persistent instance: any leftover non-root assignment from the previous
+   [solve] is undone first, so the literal filtering below only ever uses
+   root-level (implied) facts. *)
 let add_clause s lits =
+  if decision_level s > 0 then cancel_until s 0;
   if s.ok then begin
     (* Remove duplicates and false literals; detect tautologies. *)
     let lits = List.sort_uniq compare lits in
@@ -240,8 +377,17 @@ let propagate s =
     let false_lit = p lxor 1 in
     let old_watch = s.watches.(false_lit) in
     s.watches.(false_lit) <- [];
+    let skip_irrelevant = s.use_marks && s.ntrail_lim > 0 in
     let rec go = function
       | [] -> ()
+      | ci :: rest when skip_irrelevant && not (clause_relevant s ci) ->
+        (* Clause of a switched-off group: keep the watch as-is.  Only
+           above the root level — root propagation must maintain every
+           watch, since the root trail is never re-propagated and a
+           clause left watching a root-false literal could otherwise go
+           silent in a later query where it is relevant. *)
+        s.watches.(false_lit) <- ci :: s.watches.(false_lit);
+        go rest
       | ci :: rest ->
         let c = s.clauses.(ci) in
         (* ensure the false literal is at position 1 *)
@@ -274,6 +420,14 @@ let propagate s =
               s.qhead <- s.trail_size;
               conflict := ci
             end
+            else if s.use_marks && not (marked s (var_of_lit c.(0))) then
+              (* Unit implication of an irrelevant variable: skip the
+                 assignment (the satisfying extension of the unmarked
+                 remainder honors it), cutting the propagation cascade
+                 into circuitry of switched-off groups.  No conflict can
+                 be missed: unmarked variables then stay unassigned, so
+                 no clause over them ever goes all-false. *)
+              go rest
             else begin
               enqueue s c.(0) ci;
               go rest
@@ -363,24 +517,43 @@ let luby y i =
   in
   outer i
 
+(* Pop until an unassigned (and, under marks, relevant) variable surfaces.
+   Unmarked variables are stashed off the heap for the rest of the query
+   ([restore_skipped] puts them back before [solve_aux] returns). *)
 let pick_branch_var s =
   let rec loop () =
     if s.heap_size = 0 then -1
     else
       let v = heap_pop s in
-      if s.assign.(v) = Unassigned then v else loop ()
+      if s.assign.(v) <> Unassigned then loop ()
+      else if s.use_marks && not (marked s v) then begin
+        s.skipped <- grow_array s.skipped (s.nskipped + 1) 0;
+        s.skipped.(s.nskipped) <- v;
+        s.nskipped <- s.nskipped + 1;
+        loop ()
+      end
+      else v
   in
   loop ()
+
+let restore_skipped s =
+  for i = 0 to s.nskipped - 1 do
+    heap_insert s s.skipped.(i)
+  done;
+  s.nskipped <- 0
 
 type result = Satisfiable | Unsatisfiable
 
 let record_learnt s learnt =
+  s.learned <- s.learned + 1;
   match learnt with
   | [ l ] -> enqueue s l (-1)
   | l0 :: _ :: _ ->
     let c = Array.of_list learnt in
     (* watch the asserting literal and a literal from the backtrack level *)
     let ci = push_clause s c in
+    s.cmark.(ci) <- -1; (* learnt: relevant in every query *)
+    note_learnt s ci;
     (* position 1 must hold a highest-level literal among the rest *)
     let best = ref 1 in
     for i = 2 to Array.length c - 1 do
@@ -393,17 +566,33 @@ let record_learnt s learnt =
     enqueue s l0 ci
   | [] -> s.ok <- false
 
-let solve s =
-  if not s.ok then Unsatisfiable
+let push_level s =
+  s.trail_lim <- grow_array s.trail_lim (s.ntrail_lim + 1) 0;
+  s.trail_lim.(s.ntrail_lim) <- s.trail_size;
+  s.ntrail_lim <- s.ntrail_lim + 1
+
+(* The CDCL loop, parameterized by assumption literals.  Assumptions are
+   installed in order as the first [n] decisions (a dummy level when one
+   is already implied); when a pending assumption is found False, the
+   clause database together with the earlier assumptions implies its
+   negation and the query is unsatisfiable *under the assumptions* — the
+   instance itself stays usable ([ok] is only cleared by a root-level
+   conflict, which means the database is contradictory outright).
+   Restarts cancel back to the assumption prefix, never behind it.  On
+   [Satisfiable] the trail is left in place so the model can be read; the
+   next call backtracks to the root first. *)
+let solve_aux s assumps =
+  if not s.ok then begin
+    s.use_marks <- false;
+    Unsatisfiable
+  end
   else begin
+    cancel_until s 0;
+    if s.nlearnts > learnt_limit s then reduce_learnts s;
+    let nassumps = Array.length assumps in
     let restart_base = 64.0 in
-    let restarts = ref 0 in
     let conflicts_until_restart = ref (restart_base *. luby 2.0 0) in
     let result = ref None in
-    (if propagate s >= 0 then begin
-       s.ok <- false;
-       result := Some Unsatisfiable
-     end);
     while !result = None do
       let conflict = propagate s in
       if conflict >= 0 then begin
@@ -420,24 +609,64 @@ let solve s =
           conflicts_until_restart := !conflicts_until_restart -. 1.0
         end
       end
-      else if !conflicts_until_restart <= 0.0 && decision_level s > 0 then begin
-        incr restarts;
-        conflicts_until_restart := restart_base *. luby 2.0 !restarts;
-        cancel_until s 0
+      else if !conflicts_until_restart <= 0.0 && decision_level s > nassumps then begin
+        s.restarts <- s.restarts + 1;
+        conflicts_until_restart := restart_base *. luby 2.0 s.restarts;
+        cancel_until s nassumps
       end
+      else if decision_level s < nassumps then begin
+        (* install the next assumption as a pseudo-decision *)
+        let p = assumps.(decision_level s) in
+        match lit_value s p with
+        | True -> push_level s (* already implied: open an empty level *)
+        | False -> result := Some Unsatisfiable (* unsat under assumptions *)
+        | Unassigned ->
+          push_level s;
+          enqueue s p (-1)
+      end
+      else if s.use_marks && s.nmarked_open = 0 then
+        (* every relevant variable is assigned without conflict; the
+           unmarked remainder is extendable by construction *)
+        result := Some Satisfiable
       else begin
         let v = pick_branch_var s in
         if v < 0 then result := Some Satisfiable
         else begin
           s.decisions <- s.decisions + 1;
-          s.trail_lim <- grow_array s.trail_lim (s.ntrail_lim + 1) 0;
-          s.trail_lim.(s.ntrail_lim) <- s.trail_size;
-          s.ntrail_lim <- s.ntrail_lim + 1;
+          push_level s;
           enqueue s (lit ~positive:s.phase.(v) v) (-1)
         end
       end
     done;
+    restore_skipped s;
+    s.use_marks <- false;
     match !result with Some r -> r | None -> assert false
   end
 
-let stats s = (s.conflicts, s.decisions, s.propagations)
+let solve s =
+  s.use_marks <- false;
+  solve_aux s [||]
+let solve_with_assumptions s assumps = solve_aux s (Array.of_list assumps)
+
+let num_clauses s = s.nclauses
+let num_vars s = s.nvars
+let is_ok s = s.ok
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learned : int;
+  deleted : int;
+}
+
+let stats (s : t) =
+  {
+    conflicts = s.conflicts;
+    decisions = s.decisions;
+    propagations = s.propagations;
+    restarts = s.restarts;
+    learned = s.learned;
+    deleted = s.deleted;
+  }

@@ -25,6 +25,18 @@ type stats = {
   mutable sat_calls : int;     (* full bit-blast + SAT runs *)
 }
 
+(* Counters of the incremental (persistent-instance) SAT path; all zero
+   when [use_incremental] is off.  [group_hits]/[group_misses] count
+   per-constraint clause-group lookups across all assumption solves: a
+   hit means the constraint was already blasted into the live instance
+   and contributed zero new clauses to this query. *)
+type inc_stats = {
+  mutable assumption_solves : int; (* sat_calls answered on the persistent instance *)
+  mutable group_hits : int;
+  mutable group_misses : int;
+  mutable retirements : int;       (* persistent instances discarded *)
+}
+
 (* Observability handles, resolved once at [create]: the per-tier query
    counters are plain mutable cells, so the instrumented hot path pays a
    single field write plus the trace append.  Cache/hashcons size gauges
@@ -33,6 +45,9 @@ type stats = {
 type obs = {
   sink : Obs.Sink.t;
   tier_counters : (Obs.Event.solver_tier * Obs.Metrics.counter) list;
+  c_inc_solves : Obs.Metrics.counter;
+  c_inc_group_hits : Obs.Metrics.counter;
+  c_inc_group_misses : Obs.Metrics.counter;
   g_sat_cache : Obs.Metrics.gauge;
   g_det_cache : Obs.Metrics.gauge;
   g_cex_models : Obs.Metrics.gauge;
@@ -40,6 +55,8 @@ type obs = {
   g_hc_entries : Obs.Metrics.gauge;
   g_hc_hits : Obs.Metrics.gauge;
   g_hc_misses : Obs.Metrics.gauge;
+  g_inc_learned : Obs.Metrics.gauge;
+  g_inc_groups : Obs.Metrics.gauge;
   mutable noted : int;
 }
 
@@ -47,6 +64,7 @@ let gauge_period = 256
 
 type t = {
   stats : stats;
+  inc_stats : inc_stats;
   obs : obs option;
   prof : Obs.Profile.t option;
   mutable q_t0 : int;  (* wall-clock start of the query in flight (profiling only) *)
@@ -54,6 +72,8 @@ type t = {
   use_cex_cache : bool;
   use_independence : bool;
   use_range : bool;
+  use_incremental : bool;
+  mutable inc : Cnf.ctx option;  (* the persistent incremental instance *)
   sat_cache : (int list, result) Hashtbl.t; (* key: ids of id-sorted constraints *)
   det_cache : (int list, result) Hashtbl.t;
   mutable cex_models : Model.t list;
@@ -71,6 +91,9 @@ let make_obs sink =
   {
     sink;
     tier_counters;
+    c_inc_solves = Obs.Metrics.counter m "solver_inc_assumption_solves";
+    c_inc_group_hits = Obs.Metrics.counter m "solver_inc_group_hits";
+    c_inc_group_misses = Obs.Metrics.counter m "solver_inc_group_misses";
     g_sat_cache = Obs.Metrics.gauge m "solver_sat_cache_entries";
     g_det_cache = Obs.Metrics.gauge m "solver_det_cache_entries";
     g_cex_models = Obs.Metrics.gauge m "solver_cex_models";
@@ -78,6 +101,8 @@ let make_obs sink =
     g_hc_entries = Obs.Metrics.gauge m "hashcons_entries";
     g_hc_hits = Obs.Metrics.gauge m "hashcons_hits";
     g_hc_misses = Obs.Metrics.gauge m "hashcons_misses";
+    g_inc_learned = Obs.Metrics.gauge m "solver_inc_learned_clauses";
+    g_inc_groups = Obs.Metrics.gauge m "solver_inc_clause_groups";
     noted = 0;
   }
 
@@ -121,13 +146,14 @@ let hashcons_lock_samples () =
   acq "uncontended" ls.Expr.lk_uncontended :: acq "contended" ls.Expr.lk_contended :: wait :: tops
 
 let create ?(use_sat_cache = true) ?(use_cex_cache = true) ?(use_independence = true)
-    ?(use_range = true) ?obs ?prof () =
+    ?(use_range = true) ?(use_incremental = true) ?obs ?prof () =
   Option.iter
     (fun sink -> Obs.Sink.set_provider sink ~name:"hashcons_locks" hashcons_lock_samples)
     obs;
   {
     stats =
       { queries = 0; trivial = 0; range_hits = 0; cache_hits = 0; cex_hits = 0; sat_calls = 0 };
+    inc_stats = { assumption_solves = 0; group_hits = 0; group_misses = 0; retirements = 0 };
     obs = Option.map make_obs obs;
     prof;
     q_t0 = 0;
@@ -135,6 +161,8 @@ let create ?(use_sat_cache = true) ?(use_cex_cache = true) ?(use_independence = 
     use_cex_cache;
     use_independence;
     use_range;
+    use_incremental;
+    inc = None;
     sat_cache = Hashtbl.create 1024;
     det_cache = Hashtbl.create 256;
     cex_models = [];
@@ -142,6 +170,18 @@ let create ?(use_sat_cache = true) ?(use_cex_cache = true) ?(use_independence = 
   }
 
 let stats t = t.stats
+let inc_stats t = t.inc_stats
+
+let copy_inc_stats t =
+  let s = t.inc_stats in
+  {
+    assumption_solves = s.assumption_solves;
+    group_hits = s.group_hits;
+    group_misses = s.group_misses;
+    retirements = s.retirements;
+  }
+
+let inc_sat_stats t = Option.map Cnf.sat_stats t.inc
 
 let copy_stats t =
   let s = t.stats in
@@ -177,7 +217,15 @@ let sample_gauges t =
     let hc = Expr.hashcons_stats () in
     Obs.Metrics.set o.g_hc_entries (float_of_int hc.Expr.table_size);
     Obs.Metrics.set o.g_hc_hits (float_of_int hc.Expr.hits);
-    Obs.Metrics.set o.g_hc_misses (float_of_int hc.Expr.misses)
+    Obs.Metrics.set o.g_hc_misses (float_of_int hc.Expr.misses);
+    (match t.inc with
+    | Some ctx ->
+      let st = Cnf.sat_stats ctx in
+      Obs.Metrics.set o.g_inc_learned (float_of_int (st.Sat.learned - st.Sat.deleted));
+      Obs.Metrics.set o.g_inc_groups (float_of_int (Cnf.num_groups ctx))
+    | None ->
+      Obs.Metrics.set o.g_inc_learned 0.0;
+      Obs.Metrics.set o.g_inc_groups 0.0)
 
 (* One query answered: bump the tier counter, close the query's
    wall-clock span (chaining [q_t0] to the stop timestamp, so fused fork
@@ -199,11 +247,19 @@ let note t kind tier sat =
     if o.noted mod gauge_period = 0 then sample_gauges t
 
 (* Drop the satisfiability cache (used when measuring cache reconstruction
-   after a job transfer, see paper section 6 "Constraint Caches"). *)
+   after a job transfer, see paper section 6 "Constraint Caches").  Also
+   retires the persistent incremental instance: a migrated state must
+   never solve against the source worker's activation groups — the next
+   SAT call rebuilds from an empty instance, exactly like the caches. *)
 let clear_caches t =
   Hashtbl.reset t.sat_cache;
   Hashtbl.reset t.det_cache;
-  t.cex_models <- []
+  t.cex_models <- [];
+  match t.inc with
+  | Some _ ->
+    t.inc_stats.retirements <- t.inc_stats.retirements + 1;
+    t.inc <- None
+  | None -> ()
 
 (* Normalize a constraint set: simplify, drop trivially-true constraints,
    and sort by hashcons id for a canonical in-process ordering.  Returns
@@ -248,8 +304,10 @@ let slice ~seed constraints =
   done;
   !selected
 
-let solve_raw t constraints =
-  t.stats.sat_calls <- t.stats.sat_calls + 1;
+(* One-shot solve on a fresh context (the non-incremental path, and the
+   deterministic-model path, which must not depend on query history). *)
+let solve_fresh t constraints =
+  ignore t;
   let ctx = Cnf.create () in
   List.iter (Cnf.assert_expr ctx) constraints;
   match Cnf.solve ctx with
@@ -265,6 +323,78 @@ let solve_raw t constraints =
        own soundness check (cheap: concrete evaluation). *)
     assert (Model.satisfies model constraints);
     Sat model
+
+(* Retire the persistent instance when its clause arena outgrows this
+   bound: a fresh instance re-blasts only the live path's constraints,
+   shedding circuits (and tombstoned learnts) of long-dead branches. *)
+let inc_clause_cap = 262_144
+
+let inc_ctx t =
+  match t.inc with
+  | Some ctx when Cnf.num_clauses ctx < inc_clause_cap -> ctx
+  | prev ->
+    if prev <> None then t.inc_stats.retirements <- t.inc_stats.retirements + 1;
+    let ctx = Cnf.create () in
+    t.inc <- Some ctx;
+    ctx
+
+(* Assumption-based solve on the per-solver persistent instance: each
+   constraint's clause group is blasted at most once per instance
+   ([Cnf.activate], keyed on hashcons id), the query is the conjunction
+   of the groups' activation literals, and the CDCL core keeps learned
+   clauses, activities and phases between calls — so the second polarity
+   of a fork, and later queries sharing a pc prefix, start from
+   everything the earlier solves established.  The model reads back only
+   the symbols of the queried constraints (the instance knows many
+   more). *)
+let solve_incremental t constraints =
+  let ctx = inc_ctx t in
+  let hits = ref 0 and misses = ref 0 in
+  List.iter
+    (fun c ->
+      let _, fresh = Cnf.activate ctx c in
+      if fresh then incr misses else incr hits)
+    constraints;
+  t.inc_stats.assumption_solves <- t.inc_stats.assumption_solves + 1;
+  t.inc_stats.group_hits <- t.inc_stats.group_hits + !hits;
+  t.inc_stats.group_misses <- t.inc_stats.group_misses + !misses;
+  (match t.obs with
+  | Some o ->
+    Obs.Metrics.incr o.c_inc_solves;
+    Obs.Metrics.add o.c_inc_group_hits !hits;
+    Obs.Metrics.add o.c_inc_group_misses !misses
+  | None -> ());
+  match Cnf.solve_activated ctx constraints with
+  | Sat.Unsatisfiable ->
+    if Cnf.is_ok ctx then Unsat
+    else begin
+      (* A root-level contradiction is impossible when every assertion is
+         activation-guarded; treat it as instance corruption — retire and
+         answer from a fresh context rather than risk a wrong Unsat. *)
+      t.inc_stats.retirements <- t.inc_stats.retirements + 1;
+      t.inc <- None;
+      solve_fresh t constraints
+    end
+  | Sat.Satisfiable ->
+    let syms =
+      List.fold_left
+        (fun acc c -> Expr.Iset.union acc (Expr.sym_set c))
+        Expr.Iset.empty constraints
+    in
+    let model =
+      Expr.Iset.fold
+        (fun id m ->
+          match Cnf.sym_value ctx id with Some v -> Model.add id v m | None -> m)
+        syms Model.empty
+    in
+    (* Same soundness check as the fresh path. *)
+    assert (Model.satisfies model constraints);
+    Sat model
+
+let solve_raw t constraints =
+  t.stats.sat_calls <- t.stats.sat_calls + 1;
+  if t.use_incremental then solve_incremental t constraints
+  else solve_fresh t constraints
 
 let remember_model t m =
   if t.use_cex_cache then begin
@@ -485,7 +615,11 @@ let check_deterministic t constraints =
       note t "det" Obs.Event.Det_cache (is_sat r);
       r
     | None ->
-      let r = solve_raw t (List.sort Expr.compare_structural cs) in
+      (* Always a fresh, from-scratch solve: the persistent incremental
+         instance's phases/activities depend on query history, and the
+         whole point here is a history-independent model. *)
+      t.stats.sat_calls <- t.stats.sat_calls + 1;
+      let r = solve_fresh t (List.sort Expr.compare_structural cs) in
       note t "det" Obs.Event.Sat_call (is_sat r);
       Hashtbl.replace t.det_cache k r;
       r)

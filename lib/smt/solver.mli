@@ -15,6 +15,21 @@ type stats = {
   mutable sat_calls : int;   (** full bit-blast + SAT runs *)
 }
 
+(** Counters of the incremental SAT path (all zero when
+    [use_incremental:false]).  [group_hits] counts constraints whose
+    clause group was already blasted into the live persistent instance —
+    a reused group contributes zero new clauses to its query. *)
+type inc_stats = {
+  mutable assumption_solves : int;
+      (** SAT calls answered by an assumption solve on the persistent
+          instance (vs. a fresh bit-blast) *)
+  mutable group_hits : int;
+  mutable group_misses : int;
+  mutable retirements : int;
+      (** persistent instances discarded — by {!clear_caches} or the
+          instance-growth cap *)
+}
+
 type t
 
 (** [obs] attaches an observability sink: every answered query bumps a
@@ -30,6 +45,7 @@ val create :
   ?use_cex_cache:bool ->
   ?use_independence:bool ->
   ?use_range:bool ->
+  ?use_incremental:bool ->
   ?obs:Obs.Sink.t ->
   ?prof:Obs.Profile.t ->
   unit ->
@@ -40,14 +56,26 @@ val stats : t -> stats
 (** Immutable snapshot of the live counters. *)
 val copy_stats : t -> stats
 
+(** Live counters of the incremental SAT path (see {!inc_stats}). *)
+val inc_stats : t -> inc_stats
+
+(** Immutable snapshot of {!inc_stats}. *)
+val copy_inc_stats : t -> inc_stats
+
+(** CDCL counters of the live persistent instance ([None] when disabled
+    or not yet built / retired). *)
+val inc_sat_stats : t -> Sat.stats option
+
 val zero_stats : unit -> stats
 
 (** [accum_stats acc src] adds [src]'s counters into [acc] (for
     aggregating per-worker solvers into a cluster total). *)
 val accum_stats : stats -> stats -> unit
 
-(** Drop all caches; models transferred to another worker lose their
-    source's caches (paper section 6, "Constraint Caches"). *)
+(** Drop all caches {e and} retire the persistent incremental instance;
+    models transferred to another worker lose their source's caches and
+    must never solve against the source's stale activation groups (paper
+    section 6, "Constraint Caches"). *)
 val clear_caches : t -> unit
 
 (** Is the conjunction satisfiable?  On [Sat], the model covers every

@@ -232,6 +232,50 @@ let prop_sat_matches_bruteforce =
       let got = match Smt.Sat.solve s with Smt.Sat.Satisfiable -> true | Smt.Sat.Unsatisfiable -> false in
       got = brute)
 
+(* --- incremental SAT --------------------------------------------------------- *)
+
+(* One persistent instance answering several assumption-based queries in
+   sequence must agree, on every query, with a fresh instance that gets
+   the same assumptions as unit clauses.  The learnt clauses, activities
+   and saved phases accumulated by the earlier queries must not leak into
+   later verdicts, and an unsat-under-assumptions answer must not poison
+   the shared instance. *)
+let prop_assumptions_match_units =
+  let gen =
+    let open QCheck2.Gen in
+    let* nvars = int_range 3 6 in
+    let* nclauses = int_range 3 18 in
+    let lit_gen = pair (int_bound (nvars - 1)) bool in
+    let* clauses = list_repeat nclauses (list_repeat 3 lit_gen) in
+    let* assump_sets = list_size (int_range 1 6) (list_size (int_range 1 3) lit_gen) in
+    return (nvars, clauses, assump_sets)
+  in
+  QCheck2.Test.make ~count:300
+    ~name:"assumption queries match unit-clause solves across one instance" gen
+    (fun (nvars, clauses, assump_sets) ->
+      let build () =
+        let s = Smt.Sat.create () in
+        let vars = Array.init nvars (fun _ -> Smt.Sat.new_var s) in
+        List.iter
+          (fun clause ->
+            Smt.Sat.add_clause s
+              (List.map (fun (v, sign) -> Smt.Sat.lit ~positive:sign vars.(v)) clause))
+          clauses;
+        (s, vars)
+      in
+      let persistent, pvars = build () in
+      List.for_all
+        (fun assumps ->
+          let lits vars =
+            List.map (fun (v, sign) -> Smt.Sat.lit ~positive:sign vars.(v)) assumps
+          in
+          let fresh, fvars = build () in
+          List.iter (fun l -> Smt.Sat.add_clause fresh [ l ]) (lits fvars);
+          let expected = Smt.Sat.solve fresh in
+          let got = Smt.Sat.solve_with_assumptions persistent (lits pvars) in
+          got = expected)
+        assump_sets)
+
 (* --- bit blasting ----------------------------------------------------------- *)
 
 (* For a random expression [e] and full assignment [sigma]:
@@ -342,6 +386,58 @@ let test_model_extraction () =
   | Smt.Solver.Sat m ->
     Alcotest.(check int64) "a = 42" 42L (Smt.Model.eval m sym_a);
     Alcotest.(check int64) "b = 58" 58L (Smt.Model.eval m sym_b)
+
+(* Regression for {!Smt.Solver.clear_caches} on the incremental path:
+   dropping every cache, including the persistent SAT instance, must not
+   change any verdict or deterministic model — later queries rebuild the
+   clause groups from scratch and agree with a brand-new solver. *)
+let test_clear_caches_rebuild () =
+  let solver = Smt.Solver.create () in
+  let pc = [ E.ult sym_a (i8 100); E.ult sym_b sym_a ] in
+  let ask s =
+    ( Smt.Solver.branch_feasible s ~pc (E.eq sym_a (i8 50)),
+      Smt.Solver.branch_feasible s ~pc (E.ult (E.add sym_a sym_b) (i8 199)),
+      Smt.Solver.must_be_true s ~pc (E.ult sym_b (i8 99)),
+      match Smt.Solver.check_deterministic s pc with
+      | Smt.Solver.Sat m -> Some (Smt.Model.eval m sym_a, Smt.Model.eval m sym_b)
+      | Smt.Solver.Unsat -> None )
+  in
+  let before = ask solver in
+  let inc_before = Smt.Solver.copy_inc_stats solver in
+  Alcotest.(check bool) "incremental path exercised" true
+    (inc_before.Smt.Solver.assumption_solves > 0);
+  Smt.Solver.clear_caches solver;
+  let inc_after = Smt.Solver.copy_inc_stats solver in
+  Alcotest.(check int) "clear_caches retires the persistent instance"
+    (inc_before.Smt.Solver.retirements + 1)
+    inc_after.Smt.Solver.retirements;
+  let after = ask solver in
+  Alcotest.(check bool) "verdicts and model rebuild identically" true (before = after);
+  Alcotest.(check bool) "rebuilt groups are fresh blasts" true
+    ((Smt.Solver.copy_inc_stats solver).Smt.Solver.group_misses
+    > inc_after.Smt.Solver.group_misses);
+  let fresh = ask (Smt.Solver.create ()) in
+  Alcotest.(check bool) "agrees with a brand-new solver" true (before = fresh)
+
+(* The incremental solver (persistent assumption-queried instance) and the
+   per-query fresh solver must give the same verdict on every query of a
+   growing path, whatever the earlier queries taught the shared instance. *)
+let prop_incremental_matches_fresh =
+  QCheck2.Test.make ~count:100 ~name:"incremental verdicts match fresh-instance solver"
+    QCheck2.Gen.(list_size (int_range 1 8) gen_bool_expr)
+    (fun conds ->
+      let si = Smt.Solver.create ~use_incremental:true () in
+      let sf = Smt.Solver.create ~use_incremental:false () in
+      let ok = ref true in
+      let pc = ref [ E.ult sym_a (i8 200) ] in
+      List.iter
+        (fun c ->
+          let vi = Smt.Solver.branch_feasible si ~pc:!pc c in
+          let vf = Smt.Solver.branch_feasible sf ~pc:!pc c in
+          if vi <> vf then ok := false;
+          if vi then pc := c :: !pc)
+        conds;
+      !ok)
 
 (* --- hash consing ------------------------------------------------------------- *)
 
@@ -523,7 +619,7 @@ let () =
           Alcotest.test_case "basic unsat" `Quick test_sat_unsat;
           Alcotest.test_case "pigeonhole" `Quick test_sat_pigeonhole;
         ]
-        @ qsuite [ prop_sat_matches_bruteforce ] );
+        @ qsuite [ prop_sat_matches_bruteforce; prop_assumptions_match_units ] );
       ("cnf", qsuite [ prop_cnf_agrees_with_eval ]);
       ( "range",
         Alcotest.test_case "basics" `Quick test_range_basics
@@ -536,6 +632,13 @@ let () =
           Alcotest.test_case "deterministic models" `Quick test_deterministic_models;
           Alcotest.test_case "model extraction" `Quick test_model_extraction;
           Alcotest.test_case "trivial-true tier counted" `Quick test_trivial_true_counted;
+          Alcotest.test_case "clear_caches rebuilds" `Quick test_clear_caches_rebuild;
         ]
-        @ qsuite [ prop_solver_matches_bruteforce; prop_stats_reconcile; prop_fork_matches_branch ] );
+        @ qsuite
+            [
+              prop_solver_matches_bruteforce;
+              prop_stats_reconcile;
+              prop_fork_matches_branch;
+              prop_incremental_matches_fresh;
+            ] );
     ]
