@@ -1811,6 +1811,433 @@ let bench_service ?(quick = false) () =
   end
 
 (* ====================================================================== *)
+(* Telemetry plane: overhead, stall detection, surface agreement, diff    *)
+(* ====================================================================== *)
+
+(* The telemetry-plane gate (lib/obs/progress + lib/service/telemetry +
+   `cloud9 top` + `report --diff`).  Four hard gates, each exiting
+   non-zero on breach:
+     - A/B overhead: a telemetry-enabled daemon (status + Prometheus
+       files on a 1-slice cadence) vs the same daemon with the plane off
+       stays under the 5% budget, with the same dual min/median
+       estimator the profile gate uses;
+     - stall detection: a campaign whose frontier is fully banned and
+       whose coverage vector is saturated gains nothing per slice and
+       must be flipped to `stalled` within K coverage-dry slices;
+     - surface agreement: the status file's aggregate totals equal both
+       the event stream's final per-campaign summaries and the daemon's
+       in-memory counters, exactly;
+     - regression checking: `report --diff` (library and CLI) accepts
+       identical artifacts and rejects a seeded synthetic regression. *)
+let bench_telemetry ?(quick = false) () =
+  let module SC = Service.Campaign in
+  let module SD = Service.Daemon in
+  let module ST = Service.Telemetry in
+  let module J = Obs.Json in
+  section "telemetry"
+    "Campaign telemetry plane: the enabled-vs-disabled overhead budget, stalled-\n\
+     campaign detection within K dry slices, exact agreement between the status\n\
+     file, the event stream and the in-memory counters, and the report --diff\n\
+     regression checker on identical vs seeded-regression artifacts.";
+  let failures = ref [] in
+  let gate cond msg = if not cond then failures := msg :: !failures in
+  let tenants = if quick then [ "cu04"; "cu20" ] else [ "cu04"; "cu20"; "cu74" ] in
+  let spec v =
+    {
+      SC.sp_name = v;
+      sp_target = "coreutils";
+      sp_variant = Some v;
+      sp_runtime = SC.Sim;
+      sp_workers = 4;
+      sp_speed = 80;
+      sp_max_steps = 2000;
+      sp_seed = 42;
+      sp_slice_instrs = None;
+    }
+  in
+  let tmp suffix =
+    let f = Filename.temp_file "bench_telemetry" suffix in
+    Sys.remove f;
+    f
+  in
+  let rm f = if Sys.file_exists f then Sys.remove f in
+  (* one daemon leg: submit the tenants, drive to completion in batch
+     mode, return (seconds, daemon) *)
+  let leg ~telemetry ~events_file () =
+    let state = tmp ".state.json" in
+    let cfg =
+      {
+        (SD.default_config ~state_file:state) with
+        SD.slice_instrs = 1000;
+        events_file;
+        obs = Some (Obs.Sink.create ());
+        telemetry;
+      }
+    in
+    let d = match SD.create cfg with Ok d -> d | Error m -> failwith m in
+    List.iter (fun v -> SD.submit d (spec v)) tenants;
+    let t0 = Unix.gettimeofday () in
+    (* batch mode: drives to idle, then checkpoints and flushes the
+       final status document — the same path a production daemon takes *)
+    SD.run ~idle_exit:true d;
+    let dt = Unix.gettimeofday () -. t0 in
+    rm state;
+    (dt, d)
+  in
+  (* --- part A: A/B overhead gate --------------------------------------- *)
+  (* Same discipline as the profile gate: interleaved samples, verdict on
+     the smaller of min-of-N and median ratios — host noise inflates each
+     independently, a real regression inflates both.  The legs run
+     heavyweight tenants for a fixed slice count at a realistic slice
+     budget: the flush cost amortizes over real slice work instead of
+     dominating a degenerate few-millisecond run.  Leg order alternates
+     within each pair so thermal/frequency drift cannot bias one side. *)
+  let trials = if quick then 4 else 8 in
+  let budget_pct = 5.0 in
+  let ov_tenants = if quick then [ "cu11"; "cu19" ] else [ "cu11"; "cu19"; "cu47" ] in
+  let ov_slices = if quick then 16 else 36 in
+  let ov_slice_instrs = 5000 in
+  let status_file = tmp ".status.json" in
+  let prom_file = tmp ".prom.txt" in
+  (* default cadence: the gate measures the configuration a production
+     daemon runs with, not a pathological every-slice rewrite *)
+  let tele_cfg =
+    Some
+      { ST.default_config with ST.status_file = Some status_file; prom_file = Some prom_file }
+  in
+  let paths_of d = List.fold_left (fun acc c -> acc + c.SC.paths) 0 (SD.campaigns d) in
+  let ov_leg ~telemetry () =
+    let state = tmp ".ov-state.json" in
+    let cfg =
+      {
+        (SD.default_config ~state_file:state) with
+        SD.slice_instrs = ov_slice_instrs;
+        obs = Some (Obs.Sink.create ());
+        telemetry;
+      }
+    in
+    let d = match SD.create cfg with Ok d -> d | Error m -> failwith m in
+    List.iter (fun v -> SD.submit d (spec v)) ov_tenants;
+    (* settle the heap so GC debt from the previous leg doesn't land here *)
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let rec go n =
+      if n < ov_slices then match SD.step d with `Sliced _ -> go (n + 1) | `Idle | `Stopped -> ()
+    in
+    go 0;
+    let dt = Unix.gettimeofday () -. t0 in
+    rm state;
+    (dt, d)
+  in
+  Printf.printf
+    "A/B overhead gate (%d interleaved pairs, %d slices x %d instrs, %d tenants):\n%!" trials
+    ov_slices ov_slice_instrs (List.length ov_tenants);
+  (* one unmeasured warmup pair: page-in code and warm allocator state so
+     the first measured leg isn't the cold one *)
+  ignore (ov_leg ~telemetry:None ());
+  ignore (ov_leg ~telemetry:tele_cfg ());
+  let t_off = Array.make trials 0.0 in
+  let t_on = Array.make trials 0.0 in
+  for i = 0 to trials - 1 do
+    let dt_off, d_off, dt_on, d_on =
+      if i mod 2 = 0 then begin
+        let dt_off, d_off = ov_leg ~telemetry:None () in
+        let dt_on, d_on = ov_leg ~telemetry:tele_cfg () in
+        (dt_off, d_off, dt_on, d_on)
+      end
+      else begin
+        let dt_on, d_on = ov_leg ~telemetry:tele_cfg () in
+        let dt_off, d_off = ov_leg ~telemetry:None () in
+        (dt_off, d_off, dt_on, d_on)
+      end
+    in
+    if paths_of d_on <> paths_of d_off then
+      gate false
+        (Printf.sprintf "sample %d: telemetry-enabled run found %d paths, disabled %d" i
+           (paths_of d_on) (paths_of d_off));
+    t_off.(i) <- dt_off;
+    t_on.(i) <- dt_on
+  done;
+  let minimum a = Array.fold_left Float.min infinity a in
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let min_off = minimum t_off and min_on = minimum t_on in
+  let ratio_min = if min_off > 1e-9 then min_on /. min_off else 1.0 in
+  let ratio_med = if median t_off > 1e-9 then median t_on /. median t_off else 1.0 in
+  let overhead_pct = 100.0 *. (Float.min ratio_min ratio_med -. 1.0) in
+  Printf.printf "  off: min %.3f s, median %.3f s;  on: min %.3f s, median %.3f s\n" min_off
+    (median t_off) min_on (median t_on);
+  Printf.printf "  min ratio %.3f, median ratio %.3f -> overhead %+.2f%% (budget %.1f%%)\n%!"
+    ratio_min ratio_med overhead_pct budget_pct;
+  gate
+    (overhead_pct <= budget_pct)
+    (Printf.sprintf "telemetry overhead %.2f%% exceeds the %.1f%% budget" overhead_pct
+       budget_pct);
+  (* --- part B: stall detection ------------------------------------------ *)
+  (* A deep campaign is advanced a few slices, then wedged: its frontier
+     is fully banned and its coverage vector saturated, so every further
+     slice burns budget without any coverage gain.  The health machine
+     must flip it to `stalled` within K dry slices.  (Bans are exact-path
+     and fire on fork products, so the wedged campaign keeps exploring —
+     the stall is a *progress* stall, exactly what the estimator sees.) *)
+  let stall_k = ST.default_config.ST.stall_slices in
+  let stall_tenant = "cu14" in
+  let stall_status = tmp ".stall-status.json" in
+  let stall_events = tmp ".stall-events.jsonl" in
+  let stall_state = tmp ".stall-state.json" in
+  let stall_cfg =
+    {
+      (SD.default_config ~state_file:stall_state) with
+      SD.slice_instrs = 1000;
+      events_file = Some stall_events;
+      telemetry =
+        Some { ST.default_config with ST.status_file = Some stall_status; cadence_slices = 1 };
+    }
+  in
+  let d = match SD.create stall_cfg with Ok d -> d | Error m -> failwith m in
+  SD.submit d (spec stall_tenant);
+  let step_slice () = match SD.step d with `Sliced _ -> true | `Idle | `Stopped -> false in
+  for _ = 1 to 3 do
+    ignore (step_slice ())
+  done;
+  let c =
+    match SD.find d stall_tenant with Some c -> c | None -> failwith "stall tenant lost"
+  in
+  gate (c.SC.status = SC.Running && c.SC.frontier <> [])
+    "stall scenario: campaign finished before it could be wedged";
+  (* wedge it: ban the whole frontier and saturate the coverage vector
+     (exactly the coverable bits, so the fraction pins at 1.0) *)
+  c.SC.bans <- c.SC.frontier @ c.SC.bans;
+  let saturated =
+    let n = c.SC.coverable in
+    let b = Bytes.make ((n + 7) / 8) '\000' in
+    for i = 0 to n - 1 do
+      Bytes.set b (i / 8) (Char.chr (Char.code (Bytes.get b (i / 8)) lor (1 lsl (i mod 8))))
+    done;
+    b
+  in
+  SC.or_coverage c saturated;
+  SC.recompute_coverage_frac c;
+  (* the slice that lands the saturated fraction registers as a gain;
+     dry counting starts after it *)
+  ignore (step_slice ());
+  let tele = match SD.telemetry d with Some t -> t | None -> failwith "telemetry off" in
+  let slices_to_stalled = ref 0 in
+  let rec wait n =
+    if ST.health tele stall_tenant = Some ST.Stalled then slices_to_stalled := n
+    else if n >= stall_k + 2 || not (step_slice ()) then slices_to_stalled := -1
+    else wait (n + 1)
+  in
+  wait 0;
+  Printf.printf "stall: tenant %s flipped to stalled after %d dry slices (bound %d)\n%!"
+    stall_tenant !slices_to_stalled stall_k;
+  gate
+    (!slices_to_stalled >= 0 && !slices_to_stalled <= stall_k)
+    (Printf.sprintf "campaign not stalled within %d dry slices" stall_k);
+  gate (c.SC.status = SC.Running) "stall scenario: campaign no longer running at detection";
+  (* the transition must be visible on both surfaces: a telemetry event
+     on the stream and health=stalled in the status file *)
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let stall_event_seen =
+    String.split_on_char '\n' (read_file stall_events)
+    |> List.exists (fun line ->
+           match J.parse line with
+           | Ok ev ->
+             J.member "event" ev = Some (J.Str "telemetry")
+             && J.member "to" ev = Some (J.Str "stalled")
+             && J.member "name" ev = Some (J.Str stall_tenant)
+           | Error _ -> false)
+  in
+  gate stall_event_seen "no telemetry event with to=stalled on the event stream";
+  let status_health =
+    match J.parse (String.trim (read_file stall_status)) with
+    | Error e -> failwith ("status file unreadable: " ^ e)
+    | Ok doc -> (
+      match Option.bind (J.member "campaigns" doc) J.to_list with
+      | Some (row :: _) ->
+        Option.value ~default:"?" (Option.bind (J.member "health" row) J.to_str)
+      | _ -> "?")
+  in
+  gate (status_health = "stalled")
+    (Printf.sprintf "status file says health=%s, expected stalled" status_health);
+  List.iter rm [ stall_status; stall_events; stall_state ];
+  (* --- part C: surface agreement ---------------------------------------- *)
+  (* One full telemetry-enabled run with the event stream on: the status
+     file's totals, the event stream's final per-campaign summaries and
+     the in-memory counters must agree exactly. *)
+  let agree_events = tmp ".agree-events.jsonl" in
+  let _, d = leg ~telemetry:tele_cfg ~events_file:(Some agree_events) () in
+  let counter_paths = paths_of d in
+  let counter_errors = List.fold_left (fun a c -> a + c.SC.errors) 0 (SD.campaigns d) in
+  let counter_slices = List.fold_left (fun a c -> a + c.SC.slices) 0 (SD.campaigns d) in
+  let status_doc =
+    match J.parse (String.trim (read_file status_file)) with
+    | Ok doc -> doc
+    | Error e -> failwith ("status file unreadable: " ^ e)
+  in
+  let status_total field =
+    match Option.bind (J.member "totals" status_doc) (fun t -> J.member field t) with
+    | Some (J.Num f) -> int_of_float f
+    | _ -> -1
+  in
+  (* event stream: the latest summary per campaign is its final state *)
+  let final_summaries = Hashtbl.create 8 in
+  String.split_on_char '\n' (read_file agree_events)
+  |> List.iter (fun line ->
+         match J.parse line with
+         | Ok ev when J.member "event" ev = Some (J.Str "progress")
+                      || J.member "event" ev = Some (J.Str "done") -> (
+           match (J.member "name" ev, J.member "campaign" ev) with
+           | Some (J.Str n), Some summary -> Hashtbl.replace final_summaries n summary
+           | _ -> ())
+         | _ -> ());
+  let event_total field =
+    Hashtbl.fold
+      (fun _ summary acc ->
+        match J.member field summary with Some (J.Num f) -> acc + int_of_float f | _ -> acc)
+      final_summaries 0
+  in
+  Printf.printf
+    "agreement: paths %d/%d/%d errors %d/%d/%d slices %d/%d/%d (counter/status/events)\n%!"
+    counter_paths (status_total "paths") (event_total "paths") counter_errors
+    (status_total "errors") (event_total "errors") counter_slices (status_total "slices")
+    (event_total "slices");
+  let agree field counter = status_total field = counter && event_total field = counter in
+  gate (agree "paths" counter_paths) "path totals disagree across telemetry surfaces";
+  gate (agree "errors" counter_errors) "error totals disagree across telemetry surfaces";
+  gate (agree "slices" counter_slices) "slice totals disagree across telemetry surfaces";
+  let prom_ok =
+    Sys.file_exists prom_file
+    && String.length (read_file prom_file) > 0
+    && String.sub (read_file prom_file) 0 6 = "# TYPE"
+  in
+  gate prom_ok "prometheus exposition missing or malformed";
+  rm agree_events;
+  (* --- part D: report --diff self-test ----------------------------------- *)
+  (* identical artifacts -> zero regressions and exit 0; an artifact with
+     a seeded regression (a path count collapsed, a gate flipped) ->
+     non-empty regressions and exit 1.  Checked at the library level and
+     through the installed CLI. *)
+  let artifact ~paths ~ok =
+    J.Obj
+      [
+        ("bench", J.Str "synthetic");
+        ("quick", J.Bool quick);
+        ( "campaigns",
+          J.Arr
+            [
+              J.Obj [ ("tenant", J.Str "t1"); ("paths", J.Num (float_of_int paths)) ];
+              J.Obj [ ("tenant", J.Str "t2"); ("paths", J.Num 99.0) ];
+            ] );
+        ("ok", J.Bool ok);
+      ]
+  in
+  let base = artifact ~paths:500 ~ok:true in
+  let seeded = artifact ~paths:250 ~ok:false in
+  let lib_identical = Obs.Bench_diff.ok (Obs.Bench_diff.compare base base) in
+  let lib_seeded = Obs.Bench_diff.ok (Obs.Bench_diff.compare base seeded) in
+  gate lib_identical "Bench_diff flags regressions on identical artifacts";
+  gate (not lib_seeded) "Bench_diff misses a seeded regression";
+  let cloud9 =
+    List.find_opt Sys.file_exists [ "../bin/cloud9.exe"; "_build/default/bin/cloud9.exe" ]
+  in
+  let write_json path v =
+    let oc = open_out path in
+    output_string oc (J.to_string v);
+    output_char oc '\n';
+    close_out oc
+  in
+  let identical_exit, seeded_exit =
+    match cloud9 with
+    | None ->
+      gate false "cloud9 binary not found for the report --diff CLI check";
+      (-1, -1)
+    | Some exe ->
+      let a = tmp ".a.json" and b = tmp ".b.json" in
+      write_json a base;
+      write_json b seeded;
+      let run args = Sys.command (Filename.quote_command exe args ^ " > /dev/null") in
+      let ie = run [ "report"; "--diff"; a; a ] in
+      let se = run [ "report"; "--diff"; a; b ] in
+      rm a;
+      rm b;
+      gate (ie = 0) (Printf.sprintf "report --diff exited %d on identical artifacts" ie);
+      gate (se <> 0) "report --diff exited 0 on a seeded regression";
+      (ie, se)
+  in
+  Printf.printf "diff: identical exit %d, seeded-regression exit %d\n%!" identical_exit
+    seeded_exit;
+  List.iter rm [ status_file; prom_file ];
+  (* --- artifact ----------------------------------------------------------- *)
+  let ok = !failures = [] in
+  let doc =
+    J.Obj
+      [
+        ("bench", J.Str "telemetry");
+        ("quick", J.Bool quick);
+        ("tenants", J.Num (float_of_int (List.length tenants)));
+        ( "overhead",
+          J.Obj
+            [
+              ("samples_per_side", J.Num (float_of_int trials));
+              ("slices_per_leg", J.Num (float_of_int ov_slices));
+              ("slice_instrs", J.Num (float_of_int ov_slice_instrs));
+              ("leg_tenants", J.Num (float_of_int (List.length ov_tenants)));
+              ("min_off_s", J.Num min_off);
+              ("min_on_s", J.Num min_on);
+              ("median_off_s", J.Num (median t_off));
+              ("median_on_s", J.Num (median t_on));
+              ("overhead_pct", J.Num overhead_pct);
+              ("budget_pct", J.Num budget_pct);
+            ] );
+        ( "stall",
+          J.Obj
+            [
+              ("tenant", J.Str stall_tenant);
+              ("stall_slices", J.Num (float_of_int stall_k));
+              ("dry_slices_to_stalled", J.Num (float_of_int !slices_to_stalled));
+              ("event_seen", J.Bool stall_event_seen);
+              ("status_health", J.Str status_health);
+            ] );
+        ( "agreement",
+          J.Obj
+            [
+              ("paths", J.Num (float_of_int counter_paths));
+              ("errors", J.Num (float_of_int counter_errors));
+              ("slices", J.Num (float_of_int counter_slices));
+              ("exact", J.Bool (agree "paths" counter_paths && agree "errors" counter_errors
+                                && agree "slices" counter_slices));
+            ] );
+        ( "diff",
+          J.Obj
+            [
+              ("library_identical_ok", J.Bool lib_identical);
+              ("library_seeded_flagged", J.Bool (not lib_seeded));
+              ("identical_exit", J.Num (float_of_int identical_exit));
+              ("seeded_exit", J.Num (float_of_int seeded_exit));
+            ] );
+        ("ok", J.Bool ok);
+      ]
+  in
+  let oc = open_out "BENCH_telemetry.json" in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_telemetry.json\n";
+  if not ok then begin
+    List.iter (fun m -> Printf.printf "TELEMETRY GATE: %s\n" m) (List.rev !failures);
+    exit 1
+  end
+
+(* ====================================================================== *)
 
 let experiments =
   [
@@ -1840,6 +2267,8 @@ let experiments =
     ("profile", bench_profile);
     ("service", fun () -> bench_service ());
     ("service-quick", fun () -> bench_service ~quick:true ());
+    ("telemetry", fun () -> bench_telemetry ());
+    ("telemetry-quick", fun () -> bench_telemetry ~quick:true ());
     ("smoke", smoke);
     ("obs-overhead", obs_overhead);
     ("micro", micro);

@@ -324,12 +324,43 @@ let run_cmd =
       $ max_steps_arg $ max_paths_arg $ coverage_arg $ tests_arg $ speed_arg $ crash_arg
       $ rejoin_arg $ msg_loss_arg $ trace_arg $ metrics_arg)
 
+(* Total file read for the report/top readers: a missing, unreadable or
+   empty file is an [Error], never an uncaught exception. *)
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | "" -> Error (Printf.sprintf "%s: empty file" path)
+        | text -> Ok text
+        | exception End_of_file -> Error (Printf.sprintf "%s: truncated read" path))
+
+let read_json path =
+  match read_file path with
+  | Error e -> Error e
+  | Ok text -> (
+    match Obs.Json.parse (String.trim text) with
+    | Ok v -> Ok v
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+
 let report_cmd =
   let metrics_file_arg =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"METRICS" ~doc:"Metrics JSONL file written by cloud9 run --metrics")
+      & info [] ~docv:"METRICS"
+          ~doc:
+            "Metrics JSONL file written by cloud9 run --metrics (or, with $(b,--diff), the \
+             baseline BENCH artifact)")
+  in
+  let diff_file_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"With $(b,--diff): the new BENCH artifact to compare")
   in
   let profile_arg =
     Arg.(
@@ -340,27 +371,141 @@ let report_cmd =
              latency_ns histogram (mailbox waits, steal round-trips, job replays, solver \
              queries by tier, shard lock waits, obs flushes) and the most contended locks")
   in
-  let run path profile =
-    let text =
-      let ic = open_in path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    match Obs.Report.parse_jsonl text with
-    | Ok snap ->
-      print_string (Obs.Report.render_string snap);
-      if profile then begin
-        print_newline ();
-        print_string (Obs.Report.render_profile_string snap)
-      end
+  let diff_arg =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Regression check: structurally compare two BENCH_*.json artifacts and exit \
+             non-zero if a gate flipped or a deterministic metric moved beyond tolerance")
+  in
+  let run_summary path profile =
+    match read_file path with
     | Error msg ->
-      Printf.eprintf "%s: %s\n" path msg;
+      Printf.eprintf "cloud9 report: %s\n" msg;
       exit 1
+    | Ok text -> (
+      match Obs.Report.parse_jsonl text with
+      | Ok snap ->
+        print_string (Obs.Report.render_string snap);
+        if profile then begin
+          print_newline ();
+          print_string (Obs.Report.render_profile_string snap)
+        end
+      | Error msg ->
+        Printf.eprintf "cloud9 report: %s: %s\n" path msg;
+        exit 1)
+  in
+  let run_diff base_path new_path =
+    match (read_json base_path, read_json new_path) with
+    | Error msg, _ | _, Error msg ->
+      Printf.eprintf "cloud9 report --diff: %s\n" msg;
+      exit 1
+    | Ok base, Ok cur ->
+      let o = Obs.Bench_diff.compare base cur in
+      print_string (Obs.Bench_diff.render o);
+      if not (Obs.Bench_diff.ok o) then exit 1
+  in
+  let run path second profile diff =
+    match (diff, second) with
+    | true, Some new_path -> run_diff path new_path
+    | true, None ->
+      Printf.eprintf "cloud9 report --diff: expected two artifacts (BASE NEW)\n";
+      exit 1
+    | false, Some _ ->
+      Printf.eprintf "cloud9 report: unexpected second argument (did you mean --diff?)\n";
+      exit 1
+    | false, None -> run_summary path profile
   in
   Cmd.v
-    (Cmd.info "report" ~doc:"Summarize a metrics JSONL dump from a previous run")
-    Term.(const run $ metrics_file_arg $ profile_arg)
+    (Cmd.info "report"
+       ~doc:
+         "Summarize a metrics JSONL dump, or compare two BENCH artifacts with $(b,--diff)")
+    Term.(const run $ metrics_file_arg $ diff_file_arg $ profile_arg $ diff_arg)
+
+(* --- cloud9 top --------------------------------------------------------- *)
+
+let top_cmd =
+  let status_file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STATUS" ~doc:"Status file written by cloud9 serve --status")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval"; "n" ] ~docv:"S" ~doc:"Seconds between refreshes")
+  in
+  let once_arg =
+    Arg.(value & flag & info [ "once" ] ~doc:"Render one frame and exit (no screen control)")
+  in
+  let module J = Obs.Json in
+  let str field row = Option.bind (J.member field row) J.to_str in
+  let num field row = Option.bind (J.member field row) J.to_float in
+  let pnum field row = Option.bind (J.member "progress" row) (num field) in
+  let render doc =
+    let buf = Buffer.create 1024 in
+    let granted = Option.value ~default:0.0 (num "granted_slices" doc) in
+    let campaigns = Option.value ~default:[] (Option.bind (J.member "campaigns" doc) J.to_list) in
+    Buffer.add_string buf
+      (Printf.sprintf "cloud9 top — %d campaign(s), %.0f slices granted\n\n"
+         (List.length campaigns) granted);
+    Buffer.add_string buf
+      (Printf.sprintf "%-14s %-9s %-9s %6s %9s %8s %6s %7s %7s %6s\n" "NAME" "STATUS" "HEALTH"
+         "COV%" "VEL/SLICE" "FRONTIER" "DEPTH" "REPLAY%" "SOLVER" "ETA");
+    List.iter
+      (fun row ->
+        let s field = Option.value ~default:"-" (str field row) in
+        let f ?(scale = 1.0) field =
+          match num field row with Some v -> v *. scale | None -> 0.0
+        in
+        let eta =
+          match pnum "eta_slices" row with
+          | Some v -> Printf.sprintf "%.0f" v
+          | None -> "?" (* below the confidence floor: refuse to guess *)
+        in
+        let p ?(scale = 1.0) field =
+          match pnum field row with Some v -> v *. scale | None -> 0.0
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-14s %-9s %-9s %6.1f %9.4f %8.0f %6.1f %7.1f %7.3f %6s\n" (s "name")
+             (s "status") (s "health")
+             (f ~scale:100.0 "coverage")
+             (p "velocity") (f "frontier") (p "depth_mean")
+             (p ~scale:100.0 "replay_share")
+             (p "solver_rate") eta))
+      campaigns;
+    Buffer.contents buf
+  in
+  let run path interval once =
+    if once then (
+      match read_json path with
+      | Error msg ->
+        Printf.eprintf "cloud9 top: %s\n" msg;
+        exit 1
+      | Ok doc -> print_string (render doc))
+    else
+      (* live mode: clear + home each frame; a missing or torn file is a
+         transient (the daemon rewrites atomically), keep polling *)
+      let rec loop () =
+        (match read_json path with
+        | Ok doc ->
+          print_string "\027[2J\027[H";
+          print_string (render doc)
+        | Error msg -> Printf.printf "\027[2J\027[Hcloud9 top: waiting for status (%s)\n" msg);
+        flush stdout;
+        Unix.sleepf interval;
+        loop ()
+      in
+      loop ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live campaign monitor: poll the daemon's status file and render per-campaign \
+          health, coverage velocity, frontier shape and ETA")
+    Term.(const run $ status_file_arg $ interval_arg $ once_arg)
 
 let serve_cmd =
   let state_arg =
@@ -410,8 +555,52 @@ let serve_cmd =
       & info [ "idle-exit" ]
           ~doc:"Exit (with a final checkpoint) once no campaign is runnable — batch mode")
   in
-  let run state control events slice checkpoint_every poll idle_exit metrics =
-    let obs = if metrics <> None then Some (Obs.Sink.create ()) else None in
+  let status_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "status" ] ~docv:"FILE"
+          ~doc:
+            "Telemetry: atomically rewrite a JSON status document (health, coverage \
+             velocity, ETA per campaign) to $(docv); read it with $(b,cloud9 top)")
+  in
+  let prom_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:"Telemetry: also write a Prometheus text exposition of the metrics registry")
+  in
+  let status_every_arg =
+    Arg.(
+      value
+      & opt (pos_int ~flag:"--status-every") 1
+      & info [ "status-every" ] ~docv:"N" ~doc:"Telemetry: rewrite status every $(docv) slices")
+  in
+  let stall_arg =
+    Arg.(
+      value
+      & opt (pos_int ~flag:"--stall-slices") Service.Telemetry.default_config.stall_slices
+      & info [ "stall-slices" ] ~docv:"K"
+          ~doc:"Telemetry: mark a campaign stalled after $(docv) slices without new coverage")
+  in
+  let run state control events slice checkpoint_every poll idle_exit metrics status prom
+      status_every stall_slices =
+    let obs =
+      if metrics <> None || prom <> None then Some (Obs.Sink.create ()) else None
+    in
+    let telemetry =
+      if status = None && prom = None then None
+      else
+        Some
+          {
+            Service.Telemetry.default_config with
+            status_file = status;
+            prom_file = prom;
+            cadence_slices = status_every;
+            stall_slices;
+          }
+    in
     let cfg =
       {
         Service.Daemon.state_file = state;
@@ -420,6 +609,7 @@ let serve_cmd =
         slice_instrs = slice;
         checkpoint_every;
         obs;
+        telemetry;
       }
     in
     match Service.Daemon.create cfg with
@@ -437,11 +627,12 @@ let serve_cmd =
           daemon driven by a JSONL control plane")
     Term.(
       const run $ state_arg $ control_arg $ events_arg $ slice_arg $ checkpoint_every_arg
-      $ poll_arg $ idle_exit_arg $ metrics_arg)
+      $ poll_arg $ idle_exit_arg $ metrics_arg $ status_arg $ prom_arg $ status_every_arg
+      $ stall_arg)
 
 let () =
   let info =
     Cmd.info "cloud9" ~version:"1.0"
       ~doc:"Parallel symbolic execution for automated real-world software testing"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; table4_cmd; run_cmd; report_cmd; serve_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; table4_cmd; run_cmd; report_cmd; top_cmd; serve_cmd ]))

@@ -32,14 +32,31 @@ let escape_to buf s =
     s;
   Buffer.add_char buf '"'
 
+(* Exact round-trip float printing: integers print without an exponent
+   or trailing zeros; everything else takes the shortest of %.15g/%.16g/
+   %.17g that parses back to the identical bit pattern (17 significant
+   digits always suffice for IEEE 754 doubles).  Non-finite values have
+   no JSON representation and degrade to null like most encoders. *)
 let number_to_string f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-  else Printf.sprintf "%g" f
+  (* integer fast path: |f| < 1e15 < 2^53, so int_of_float is exact and
+     string_of_int avoids Printf's format interpretation on the hot path
+     (the Prometheus exposition is almost entirely integer-valued) *)
+  if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+  else
+    let exact fmt =
+      let s = Printf.sprintf fmt f in
+      if float_of_string s = f then Some s else None
+    in
+    match exact "%.15g" with
+    | Some s -> s
+    | None -> ( match exact "%.16g" with Some s -> s | None -> Printf.sprintf "%.17g" f)
+
+let number_token f = if Float.is_finite f then number_to_string f else "null"
 
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Num f -> Buffer.add_string buf (number_to_string f)
+  | Num f -> Buffer.add_string buf (number_token f)
   | Str s -> escape_to buf s
   | Arr items ->
     Buffer.add_char buf '[';

@@ -16,6 +16,11 @@ val escape_to : Buffer.t -> string -> unit
 val write : Buffer.t -> t -> unit
 val to_string : t -> string
 
+(** Exact round-trip rendering of a finite float: integers print plainly,
+    everything else as the shortest decimal that parses back to the
+    identical double (never lossy, unlike the [%g] this replaced). *)
+val number_to_string : float -> string
+
 exception Malformed of string
 
 (** @raise Malformed on syntax errors. *)

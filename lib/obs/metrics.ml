@@ -240,3 +240,75 @@ let write_jsonl buf snap =
       Json.write buf (sample_to_json s);
       Buffer.add_char buf '\n')
     snap
+
+(* --- Prometheus text exposition ---------------------------------------- *)
+
+(* Label values in the exposition format live inside double quotes with
+   backslash, quote and newline escaped — a different grammar from JSON
+   strings. *)
+let prom_labels buf labels =
+  match labels with
+  | [] -> ()
+  | _ ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        String.iter
+          (fun c ->
+            match c with
+            | '\\' -> Buffer.add_string buf "\\\\"
+            | '"' -> Buffer.add_string buf "\\\""
+            | '\n' -> Buffer.add_string buf "\\n"
+            | c -> Buffer.add_char buf c)
+          v;
+        Buffer.add_char buf '"')
+      (List.sort compare labels);
+    Buffer.add_char buf '}'
+
+let prom_line buf name labels value =
+  Buffer.add_string buf name;
+  prom_labels buf labels;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (if Float.is_finite value then Json.number_to_string value else "+Inf");
+  Buffer.add_char buf '\n'
+
+(* Text exposition of a snapshot, one # TYPE header per metric family
+   (emitted at the family's first sample; labeled variants follow under
+   it).  Histograms expand to the conventional cumulative
+   [_bucket{le=...}] series plus [_sum] and [_count]. *)
+let write_prometheus buf snap =
+  let typed = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let type_header kind =
+        if not (Hashtbl.mem typed s.s_name) then begin
+          Hashtbl.replace typed s.s_name ();
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" s.s_name kind)
+        end
+      in
+      match s.s_value with
+      | Vcounter c ->
+        type_header "counter";
+        prom_line buf s.s_name s.s_labels (float_of_int c)
+      | Vgauge g ->
+        type_header "gauge";
+        prom_line buf s.s_name s.s_labels g
+      | Vhistogram h ->
+        type_header "histogram";
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + c;
+            let le =
+              if i < Array.length h.vbounds then Json.number_to_string h.vbounds.(i) else "+Inf"
+            in
+            prom_line buf (s.s_name ^ "_bucket")
+              (s.s_labels @ [ ("le", le) ])
+              (float_of_int !cum))
+          h.vcounts;
+        prom_line buf (s.s_name ^ "_sum") s.s_labels h.vsum;
+        prom_line buf (s.s_name ^ "_count") s.s_labels (float_of_int h.vcount))
+    snap

@@ -73,3 +73,8 @@ val sample_to_json : sample -> Json.t
 (** One JSON object per line:
     [{"metric":...,"labels":{...},"type":...,"value":...}]. *)
 val write_jsonl : Buffer.t -> snapshot -> unit
+
+(** Prometheus text exposition: one [# TYPE] header per family, then one
+    sample line per label set; histograms expand to cumulative
+    [_bucket{le=...}] series plus [_sum] and [_count]. *)
+val write_prometheus : Buffer.t -> snapshot -> unit

@@ -1,0 +1,176 @@
+(* Per-campaign progress estimation for the telemetry plane.
+
+   A long-running campaign advances in scheduler slices; raw cumulative
+   counters (paths, instructions) say nothing about whether it is still
+   *converging*.  This estimator turns the per-slice observation stream
+   into rate signals: an EWMA of coverage gained per slice (the velocity
+   the load balancer of the paper steers by), the frontier's size and
+   depth distribution, the replay and solver share of the work done, and
+   a bounded-confidence ETA.
+
+   The ETA deliberately refuses to extrapolate from thin evidence: with
+   fewer than [min_slices] observations, or with a velocity at zero, it
+   answers [None] rather than a number that would whipsaw the operator.
+   This module is deliberately free of service/engine types — callers
+   feed plain numbers — so the estimator is testable in isolation and
+   reusable by any runtime that advances in slices. *)
+
+type slice = {
+  sl_coverage : float;      (* cumulative coverage fraction after the slice *)
+  sl_useful : int;          (* useful instructions retired by the slice *)
+  sl_replay : int;          (* replay instructions paid by the slice *)
+  sl_solver_queries : int;  (* solver queries issued by the slice *)
+  sl_frontier_depths : int list; (* depth of each frontier node at the barrier *)
+  sl_crashes : int;         (* worker crashes observed during the slice *)
+  sl_retransmits : int;     (* job-batch retransmits during the slice *)
+}
+
+(* Depth histogram buckets: power-of-two upper bounds keep the histogram
+   small for six-figure frontiers while preserving the shape. *)
+let depth_bounds = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 |]
+
+type t = {
+  alpha : float;            (* EWMA smoothing factor in (0, 1] *)
+  min_slices : int;         (* ETA confidence floor *)
+  mutable slices : int;     (* observations folded in *)
+  mutable coverage : float; (* latest cumulative coverage fraction *)
+  mutable velocity : float; (* EWMA of per-slice coverage delta *)
+  mutable since_gain : int; (* slices since coverage last increased *)
+  mutable useful : int;     (* cumulative across observed slices *)
+  mutable replay : int;
+  mutable solver_queries : int;
+  mutable fault_rate : float; (* EWMA of (crashes + retransmits) per slice *)
+  mutable frontier_size : int;
+  mutable depth_counts : int array; (* length = depth_bounds + 1 (+inf) *)
+  mutable depth_max : int;
+  mutable depth_sum : int;  (* over the latest frontier, for the mean *)
+}
+
+let create ?(alpha = 0.3) ?(min_slices = 3) ?(initial_coverage = 0.0) () =
+  if not (alpha > 0.0 && alpha <= 1.0) then invalid_arg "Progress.create: alpha not in (0,1]";
+  {
+    alpha;
+    min_slices = max 1 min_slices;
+    slices = 0;
+    coverage = initial_coverage;
+    velocity = 0.0;
+    since_gain = 0;
+    useful = 0;
+    replay = 0;
+    solver_queries = 0;
+    fault_rate = 0.0;
+    frontier_size = 0;
+    depth_counts = Array.make (Array.length depth_bounds + 1) 0;
+    depth_max = 0;
+    depth_sum = 0;
+  }
+
+let min_slices t = t.min_slices
+
+(* EWMA with warm start: the first sample becomes the estimate (an
+   initial 0 would take 1/alpha slices to forget). *)
+let ewma t prev x = if t.slices = 1 then x else (t.alpha *. x) +. ((1.0 -. t.alpha) *. prev)
+
+let observe t (s : slice) =
+  t.slices <- t.slices + 1;
+  let gain = Float.max 0.0 (s.sl_coverage -. t.coverage) in
+  t.velocity <- ewma t t.velocity gain;
+  t.since_gain <- (if gain > 0.0 then 0 else t.since_gain + 1);
+  t.coverage <- Float.max t.coverage s.sl_coverage;
+  t.useful <- t.useful + s.sl_useful;
+  t.replay <- t.replay + s.sl_replay;
+  t.solver_queries <- t.solver_queries + s.sl_solver_queries;
+  t.fault_rate <- ewma t t.fault_rate (float_of_int (s.sl_crashes + s.sl_retransmits));
+  (* the frontier is a state, not a rate: each barrier replaces it *)
+  let counts = Array.make (Array.length depth_bounds + 1) 0 in
+  let size = ref 0 and dmax = ref 0 and dsum = ref 0 in
+  List.iter
+    (fun d ->
+      incr size;
+      dmax := max !dmax d;
+      dsum := !dsum + d;
+      let rec slot i =
+        if i >= Array.length depth_bounds || d <= depth_bounds.(i) then i else slot (i + 1)
+      in
+      let i = slot 0 in
+      counts.(i) <- counts.(i) + 1)
+    s.sl_frontier_depths;
+  t.depth_counts <- counts;
+  t.frontier_size <- !size;
+  t.depth_max <- !dmax;
+  t.depth_sum <- !dsum
+
+(* --- accessors --------------------------------------------------------- *)
+
+let slices t = t.slices
+let coverage t = t.coverage
+let coverage_velocity t = t.velocity
+let slices_since_gain t = t.since_gain
+let fault_rate t = t.fault_rate
+let frontier_size t = t.frontier_size
+let depth_max t = t.depth_max
+let depth_mean t =
+  if t.frontier_size = 0 then 0.0 else float_of_int t.depth_sum /. float_of_int t.frontier_size
+
+let depth_histogram t =
+  Array.to_list
+    (Array.mapi
+       (fun i c ->
+         let bound =
+           if i < Array.length depth_bounds then Some depth_bounds.(i) else None
+         in
+         (bound, c))
+       t.depth_counts)
+
+let share part total = if total = 0 then 0.0 else float_of_int part /. float_of_int total
+
+(* Replay instructions as a share of all instructions retired. *)
+let replay_share t = share t.replay (t.useful + t.replay)
+
+(* Solver queries per useful instruction: the "how solver-bound is this
+   campaign" signal (queries and instructions are different units, so
+   this is a rate, not a partition of a whole). *)
+let solver_rate t = if t.useful = 0 then 0.0 else float_of_int t.solver_queries /. float_of_int t.useful
+
+(* Bounded-confidence ETA, in slices, to reach [target] coverage.
+   [None] until [min_slices] observations have accumulated AND the
+   velocity is meaningfully positive — an estimator that divides by a
+   near-zero velocity produces garbage with great precision. *)
+let eta_slices ?(target = 1.0) t =
+  if t.slices < t.min_slices then None
+  else if t.coverage >= target then Some 0
+  else if t.velocity <= 1e-9 then None
+  else Some (int_of_float (Float.ceil ((target -. t.coverage) /. t.velocity)))
+
+(* --- export ------------------------------------------------------------ *)
+
+let to_json t =
+  let depth_buckets =
+    List.map
+      (fun (bound, c) ->
+        Json.Obj
+          [
+            ("le", match bound with Some b -> Json.Num (float_of_int b) | None -> Json.Null);
+            ("count", Json.Num (float_of_int c));
+          ])
+      (depth_histogram t)
+  in
+  Json.Obj
+    [
+      ("slices", Json.Num (float_of_int t.slices));
+      ("coverage", Json.Num t.coverage);
+      ("velocity", Json.Num t.velocity);
+      ("slices_since_gain", Json.Num (float_of_int t.since_gain));
+      ("useful", Json.Num (float_of_int t.useful));
+      ("replay", Json.Num (float_of_int t.replay));
+      ("replay_share", Json.Num (replay_share t));
+      ("solver_queries", Json.Num (float_of_int t.solver_queries));
+      ("solver_rate", Json.Num (solver_rate t));
+      ("fault_rate", Json.Num t.fault_rate);
+      ("frontier", Json.Num (float_of_int t.frontier_size));
+      ("depth_mean", Json.Num (depth_mean t));
+      ("depth_max", Json.Num (float_of_int t.depth_max));
+      ("depth_histogram", Json.Arr depth_buckets);
+      ( "eta_slices",
+        match eta_slices t with Some n -> Json.Num (float_of_int n) | None -> Json.Null );
+    ]

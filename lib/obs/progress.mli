@@ -1,0 +1,67 @@
+(** Per-campaign progress estimation for the telemetry plane.
+
+    Folds the per-slice observation stream of a campaign into rate
+    signals: EWMA coverage velocity, frontier size and depth histogram,
+    replay/solver work share, a fault-rate EWMA, and a
+    bounded-confidence ETA that refuses to extrapolate from fewer than
+    [min_slices] observations or from a zero velocity.  Pure numbers in,
+    pure numbers out — no service or engine types. *)
+
+type t
+
+(** One scheduler slice worth of observations. *)
+type slice = {
+  sl_coverage : float;  (** cumulative coverage fraction after the slice *)
+  sl_useful : int;  (** useful instructions retired by the slice *)
+  sl_replay : int;  (** replay instructions paid by the slice *)
+  sl_solver_queries : int;  (** solver queries issued by the slice *)
+  sl_frontier_depths : int list;  (** depth of each frontier node at the barrier *)
+  sl_crashes : int;  (** worker crashes observed during the slice *)
+  sl_retransmits : int;  (** job-batch retransmits during the slice *)
+}
+
+(** [create ()] builds an estimator.  [alpha] is the EWMA smoothing
+    factor in (0,1] (default 0.3); [min_slices] the ETA confidence floor
+    (default 3, clamped to >= 1); [initial_coverage] seeds the coverage
+    baseline for resumed campaigns so the first slice's gain is not the
+    whole history.
+    @raise Invalid_argument if [alpha] is outside (0,1]. *)
+val create : ?alpha:float -> ?min_slices:int -> ?initial_coverage:float -> unit -> t
+
+val observe : t -> slice -> unit
+
+val slices : t -> int
+val min_slices : t -> int
+
+(** Latest cumulative coverage fraction (monotone). *)
+val coverage : t -> float
+
+(** EWMA of per-slice coverage gain. *)
+val coverage_velocity : t -> float
+
+(** Consecutive slices without a coverage gain — the stall signal. *)
+val slices_since_gain : t -> int
+
+(** EWMA of (crashes + retransmits) per slice — the degraded signal. *)
+val fault_rate : t -> float
+
+val frontier_size : t -> int
+val depth_max : t -> int
+val depth_mean : t -> float
+
+(** Buckets as [(upper_bound, count)]; [None] is the +inf bucket.
+    Bounds are powers of two up to 512. *)
+val depth_histogram : t -> (int option * int) list
+
+(** Replay instructions over all instructions retired, in [0,1]. *)
+val replay_share : t -> float
+
+(** Solver queries per useful instruction. *)
+val solver_rate : t -> float
+
+(** ETA in slices to reach [target] coverage (default 1.0).  [None]
+    below the [min_slices] confidence floor or when velocity is
+    effectively zero; [Some 0] once the target is reached. *)
+val eta_slices : ?target:float -> t -> int option
+
+val to_json : t -> Json.t

@@ -106,6 +106,7 @@ type event =
   | Progress of { name : string; summary : J.t }
   | Campaign_done of { name : string; summary : J.t }
   | Checkpointed of { file : string; campaigns : int }
+  | Telemetry of { name : string; from_ : string; to_ : string; progress : J.t }
   | Service_error of string
   | Shutting_down
 
@@ -124,6 +125,15 @@ let event_to_json = function
         ("event", J.Str "checkpointed");
         ("file", J.Str file);
         ("campaigns", J.Num (float_of_int campaigns));
+      ]
+  | Telemetry { name; from_; to_; progress } ->
+    J.Obj
+      [
+        ("event", J.Str "telemetry");
+        ("name", J.Str name);
+        ("from", J.Str from_);
+        ("to", J.Str to_);
+        ("progress", progress);
       ]
   | Service_error msg -> J.Obj [ ("event", J.Str "error"); ("reason", J.Str msg) ]
   | Shutting_down -> J.Obj [ ("event", J.Str "shutdown") ]

@@ -24,6 +24,9 @@ type event =
   | Progress of { name : string; summary : Obs.Json.t }
   | Campaign_done of { name : string; summary : Obs.Json.t }
   | Checkpointed of { file : string; campaigns : int }
+  | Telemetry of { name : string; from_ : string; to_ : string; progress : Obs.Json.t }
+      (** health state transition: [from_] -> [to_], with the campaign's
+          progress-estimator snapshot attached *)
   | Service_error of string
   | Shutting_down
 

@@ -18,6 +18,7 @@ type config = {
   slice_instrs : int;           (* default per-slice instruction budget *)
   checkpoint_every : int;       (* slices between automatic checkpoints; 0 = manual only *)
   obs : Obs.Sink.t option;
+  telemetry : Telemetry.config option; (* None = telemetry plane off (zero cost) *)
 }
 
 let default_config ~state_file =
@@ -28,12 +29,14 @@ let default_config ~state_file =
     slice_instrs = 20_000;
     checkpoint_every = 4;
     obs = None;
+    telemetry = None;
   }
 
 type t = {
   cfg : config;
   sched : Scheduler.t;
   campaigns : (string, Campaign.t) Hashtbl.t;
+  tele : Telemetry.t option;
   mutable control_pos : int;     (* bytes of the control file consumed *)
   mutable slices_since_ckpt : int;
   mutable stopped : bool;
@@ -63,6 +66,66 @@ let bump t (c : Campaign.t) ~paths ~errors ~instrs =
     Obs.Metrics.add (Obs.Metrics.counter m ~labels "campaign_errors") errors;
     Obs.Metrics.add (Obs.Metrics.counter m ~labels "campaign_instrs") instrs
 
+(* Telemetry hooks.  [telemetry_slice] folds one granted slice into the
+   campaign's progress estimator and emits one `telemetry` event per
+   health transition; [telemetry_status] rewrites the status surfaces
+   when the cadence is due.  Both are single option matches when the
+   plane is disabled. *)
+let telemetry_slice t (c : Campaign.t) ~useful ~replay ~solver_queries ~crashes ~retransmits =
+  match t.tele with
+  | None -> ()
+  | Some tele ->
+    let name = c.Campaign.spec.Campaign.sp_name in
+    let runnable =
+      Hashtbl.fold (fun n c acc -> if Campaign.runnable c then n :: acc else acc) t.campaigns []
+    in
+    let slice =
+      {
+        Obs.Progress.sl_coverage = c.Campaign.coverage_frac;
+        sl_useful = useful;
+        sl_replay = replay;
+        sl_solver_queries = solver_queries;
+        sl_frontier_depths = List.map Engine.Path.length c.Campaign.frontier;
+        sl_crashes = crashes;
+        sl_retransmits = retransmits;
+      }
+    in
+    let done_ = c.Campaign.status = Campaign.Done in
+    List.iter
+      (fun (tr : Telemetry.transition) ->
+        let progress =
+          match Telemetry.progress tele tr.tr_name with
+          | Some p -> Obs.Progress.to_json p
+          | None -> J.Null
+        in
+        emit t
+          (Control.Telemetry
+             {
+               name = tr.tr_name;
+               from_ = Telemetry.health_to_string tr.tr_from;
+               to_ = Telemetry.health_to_string tr.tr_to;
+               progress;
+             }))
+      (Telemetry.observe tele ~name ~runnable ~done_ slice)
+
+let campaign_pairs t =
+  Hashtbl.fold (fun _ c acc -> c :: acc) t.campaigns []
+  |> List.sort (fun a b ->
+         compare a.Campaign.spec.Campaign.sp_name b.Campaign.spec.Campaign.sp_name)
+  |> List.map (fun c -> (c.Campaign.spec.Campaign.sp_name, Campaign.summary c))
+
+let telemetry_flush t =
+  match t.tele with
+  | None -> ()
+  | Some tele ->
+    let metrics = Option.map (fun s -> Obs.Metrics.snapshot (Obs.Sink.metrics s)) t.cfg.obs in
+    Telemetry.write_status tele ~rows:(campaign_pairs t) ~metrics
+
+let telemetry_status t =
+  match t.tele with
+  | None -> ()
+  | Some tele -> if Telemetry.due tele then telemetry_flush t
+
 (* --- snapshotting ------------------------------------------------------ *)
 
 let snapshot_state t =
@@ -89,6 +152,7 @@ let create cfg =
       cfg;
       sched = Scheduler.create ();
       campaigns = Hashtbl.create 16;
+      tele = Option.map Telemetry.create cfg.telemetry;
       control_pos = 0;
       slices_since_ckpt = 0;
       stopped = false;
@@ -175,6 +239,7 @@ let handle_command t = function
   | Control.Checkpoint -> checkpoint t
   | Control.Shutdown ->
     checkpoint t;
+    telemetry_flush t; (* the final status document must carry the final totals *)
     emit t Control.Shutting_down;
     t.stopped <- true
 
@@ -243,6 +308,10 @@ let run_slice t (c : Campaign.t) =
       Campaign.apply_parallel c r;
       bump t c ~paths:r.Cluster.Parallel.total_paths ~errors:r.Cluster.Parallel.total_errors
         ~instrs:(r.Cluster.Parallel.useful_instrs + r.Cluster.Parallel.replay_instrs);
+      telemetry_slice t c ~useful:r.Cluster.Parallel.useful_instrs
+        ~replay:r.Cluster.Parallel.replay_instrs
+        ~solver_queries:r.Cluster.Parallel.solver_stats.Smt.Solver.queries
+        ~crashes:r.Cluster.Parallel.crashes ~retransmits:r.Cluster.Parallel.retransmits;
       emit t (Control.Campaign_done { name = s.sp_name; summary = Campaign.summary c })
     | Campaign.Sim -> (
       let options =
@@ -265,6 +334,10 @@ let run_slice t (c : Campaign.t) =
       | Ok () ->
         bump t c ~paths:r.Cluster.Driver.total_paths ~errors:r.Cluster.Driver.total_errors
           ~instrs:(r.Cluster.Driver.useful_instrs + r.Cluster.Driver.replay_instrs);
+        telemetry_slice t c ~useful:r.Cluster.Driver.useful_instrs
+          ~replay:r.Cluster.Driver.replay_instrs
+          ~solver_queries:r.Cluster.Driver.solver_stats.Smt.Solver.queries
+          ~crashes:r.Cluster.Driver.crashes ~retransmits:r.Cluster.Driver.retransmits;
         if c.Campaign.status = Campaign.Done then
           emit t (Control.Campaign_done { name = s.sp_name; summary = Campaign.summary c })
         else emit t (Control.Progress { name = s.sp_name; summary = Campaign.summary c })))
@@ -285,6 +358,7 @@ let step t =
       t.slices_since_ckpt <- t.slices_since_ckpt + 1;
       if t.cfg.checkpoint_every > 0 && t.slices_since_ckpt >= t.cfg.checkpoint_every then
         checkpoint t;
+      telemetry_status t;
       `Sliced name
 
 (* Run until shutdown.  [idle_exit] stops (with a final checkpoint) once
@@ -298,6 +372,7 @@ let run ?(poll_s = 0.05) ?(idle_exit = false) t =
     | `Idle ->
       if idle_exit then begin
         checkpoint t;
+        telemetry_flush t;
         emit t Control.Shutting_down;
         t.stopped <- true
       end
@@ -314,3 +389,4 @@ let campaigns t =
          compare a.Campaign.spec.Campaign.sp_name b.Campaign.spec.Campaign.sp_name)
 
 let submit t spec = handle_submit t spec
+let telemetry t = t.tele

@@ -9,6 +9,8 @@ type config = {
   slice_instrs : int;           (** default per-slice instruction budget *)
   checkpoint_every : int;       (** slices between automatic checkpoints; 0 = manual only *)
   obs : Obs.Sink.t option;
+  telemetry : Telemetry.config option;
+      (** [None] disables the telemetry plane entirely (zero cost) *)
 }
 
 val default_config : state_file:string -> config
@@ -39,3 +41,6 @@ val step : t -> [ `Sliced of string | `Idle | `Stopped ]
     final checkpoint) once no campaign is runnable — batch mode.  An
     idle daemon sleeps [poll_s] seconds between control polls. *)
 val run : ?poll_s:float -> ?idle_exit:bool -> t -> unit
+
+(** The daemon's telemetry aggregator, when the plane is enabled. *)
+val telemetry : t -> Telemetry.t option

@@ -1,0 +1,222 @@
+(* The daemon's telemetry plane: per-campaign progress estimators folded
+   into a health state machine, surfaced two ways — `telemetry` events on
+   the existing JSONL stream at every state transition, and a
+   machine-readable status file (JSON, plus a Prometheus text exposition
+   of the metrics registry) atomically rewritten on a slice cadence.
+
+   Health states, in *decreasing* precedence:
+
+     degraded  crash + retransmit EWMA above [fault_threshold]
+     starved   the scheduler's structural K-1 fairness bound was
+               violated — a runnable campaign watched more than K-1
+               other slices go by since its last grant.  A watchdog: it
+               cannot fire under the round-robin scheduler, so firing
+               means the rotation was corrupted (e.g. a hand-edited
+               snapshot) or the scheduler regressed.
+     stalled   no new coverage in [stall_slices] consecutive slices
+     healthy   everything else
+
+   The whole plane is optional: a daemon with no [Telemetry.t] pays one
+   option match per slice, nothing more (gated <5% by bench_telemetry,
+   like the profile layer's gate). *)
+
+module J = Obs.Json
+module Progress = Obs.Progress
+
+type health = Healthy | Stalled | Starved | Degraded
+
+let health_to_string = function
+  | Healthy -> "healthy"
+  | Stalled -> "stalled"
+  | Starved -> "starved"
+  | Degraded -> "degraded"
+
+let health_of_string = function
+  | "healthy" -> Ok Healthy
+  | "stalled" -> Ok Stalled
+  | "starved" -> Ok Starved
+  | "degraded" -> Ok Degraded
+  | s -> Error (Printf.sprintf "unknown health state %S" s)
+
+type config = {
+  stall_slices : int;       (* K: coverage-dry slices before `stalled` *)
+  fault_threshold : float;  (* faults-per-slice EWMA above this = `degraded` *)
+  eta_min_slices : int;     (* Progress confidence floor *)
+  alpha : float;            (* Progress EWMA smoothing *)
+  status_file : string option;  (* JSON status document; None = no file *)
+  prom_file : string option;    (* Prometheus text exposition; None = no file *)
+  cadence_slices : int;     (* granted slices between status rewrites *)
+}
+
+(* Cadence 4 mirrors [checkpoint_every]: rendering the full metrics
+   registry to the Prometheus exposition every slice is measurable on
+   millisecond slices, and a monitor polling the status file does not
+   need sub-slice freshness.  The daemon force-flushes on shutdown, so
+   the final document is always complete regardless of cadence. *)
+let default_config =
+  {
+    stall_slices = 4;
+    fault_threshold = 3.0;
+    eta_min_slices = 3;
+    alpha = 0.3;
+    status_file = None;
+    prom_file = None;
+    cadence_slices = 4;
+  }
+
+type entry = {
+  prog : Progress.t;
+  mutable health : health;
+  mutable last_grant : int;  (* global slice counter at the last grant *)
+}
+
+type transition = { tr_name : string; tr_from : health; tr_to : health }
+
+type t = {
+  cfg : config;
+  entries : (string, entry) Hashtbl.t;
+  mutable granted : int;           (* global slices granted, all campaigns *)
+  mutable since_status : int;      (* granted slices since last status write *)
+  mutable status_writes : int;
+}
+
+let create cfg =
+  if cfg.stall_slices < 1 then invalid_arg "Telemetry.create: stall_slices < 1";
+  if cfg.cadence_slices < 1 then invalid_arg "Telemetry.create: cadence_slices < 1";
+  { cfg; entries = Hashtbl.create 16; granted = 0; since_status = 0; status_writes = 0 }
+
+let entry t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        prog = Progress.create ~alpha:t.cfg.alpha ~min_slices:t.cfg.eta_min_slices ();
+        health = Healthy;
+        last_grant = 0;
+      }
+    in
+    Hashtbl.replace t.entries name e;
+    e
+
+let progress t name = Option.map (fun e -> e.prog) (Hashtbl.find_opt t.entries name)
+let health t name = Option.map (fun e -> e.health) (Hashtbl.find_opt t.entries name)
+
+let classify t e ~done_ =
+  if done_ then Healthy (* a finished campaign is not stalled, it is done *)
+  else if Progress.fault_rate e.prog > t.cfg.fault_threshold then Degraded
+  else if Progress.slices_since_gain e.prog >= t.cfg.stall_slices then Stalled
+  else Healthy
+
+let set_health e h acc name =
+  if e.health = h then acc
+  else begin
+    let tr = { tr_name = name; tr_from = e.health; tr_to = h } in
+    e.health <- h;
+    tr :: acc
+  end
+
+(* Record one granted slice.  [runnable] is the full set of currently
+   runnable campaign names (the starvation watchdog's K); [done_] marks
+   the campaign as finished by this slice.  Returns the health
+   transitions this grant caused, oldest first. *)
+let observe t ~name ~runnable ~done_ (s : Progress.slice) =
+  t.granted <- t.granted + 1;
+  t.since_status <- t.since_status + 1;
+  let e = entry t name in
+  Progress.observe e.prog s;
+  e.last_grant <- t.granted;
+  let acc = set_health e (classify t e ~done_) [] name in
+  (* Starvation watchdog over the campaigns still waiting: among K
+     runnable campaigns the scheduler grants each one a slice at least
+     every K global slices, so a gap beyond that is a fairness
+     violation.  Campaigns never granted a slice have no entry yet and
+     are not judged — their clock starts at the first grant. *)
+  let k = List.length runnable in
+  let acc =
+    List.fold_left
+      (fun acc other ->
+        if other = name then acc
+        else
+          match Hashtbl.find_opt t.entries other with
+          | None -> acc
+          | Some oe ->
+            let gap = t.granted - oe.last_grant in
+            if gap > k && oe.health <> Degraded then set_health oe Starved acc other
+            else acc)
+      acc runnable
+  in
+  List.rev acc
+
+(* --- status document ---------------------------------------------------- *)
+
+let campaign_json t (name, summary) =
+  let extra =
+    match Hashtbl.find_opt t.entries name with
+    | None -> [ ("health", J.Str (health_to_string Healthy)) ]
+    | Some e ->
+      [ ("health", J.Str (health_to_string e.health)); ("progress", Progress.to_json e.prog) ]
+  in
+  match summary with
+  | J.Obj fields -> J.Obj (fields @ extra)
+  | other -> other
+
+(* The status document embeds per-campaign summaries (the same rows the
+   event stream carries) plus aggregate totals, so artifact checks can
+   demand exact agreement between the three surfaces: status file,
+   event stream, and in-memory counters. *)
+let status_json t ~rows =
+  let num field row =
+    match J.member field row with Some (J.Num f) -> f | _ -> 0.0
+  in
+  let total field = List.fold_left (fun acc (_, row) -> acc +. num field row) 0.0 rows in
+  J.Obj
+    [
+      ("schema", J.Str "cloud9-status/1");
+      ("granted_slices", J.Num (float_of_int t.granted));
+      ("status_writes", J.Num (float_of_int (t.status_writes + 1)));
+      ( "totals",
+        J.Obj
+          [
+            ("paths", J.Num (total "paths"));
+            ("errors", J.Num (total "errors"));
+            ("instructions", J.Num (total "instructions"));
+            ("slices", J.Num (total "slices"));
+          ] );
+      ("campaigns", J.Arr (List.map (campaign_json t) rows));
+    ]
+
+(* Same crash-safe discipline as Snapshot.save: a reader polling the
+   status file (cloud9 top) must never observe a torn write. *)
+let atomic_write path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(* Rewrite the status surfaces.  [rows] are (name, summary) pairs in a
+   stable order; [metrics] feeds the Prometheus exposition. *)
+let write_status t ~rows ~metrics =
+  (match t.cfg.status_file with
+  | None -> ()
+  | Some path -> atomic_write path (J.to_string (status_json t ~rows) ^ "\n"));
+  (match (t.cfg.prom_file, metrics) with
+  | Some path, Some snap ->
+    let buf = Buffer.create 4096 in
+    Obs.Metrics.write_prometheus buf snap;
+    atomic_write path (Buffer.contents buf)
+  | _ -> ());
+  t.status_writes <- t.status_writes + 1;
+  t.since_status <- 0
+
+(* Cadence check: is a status rewrite due? *)
+let due t = t.since_status >= t.cfg.cadence_slices
+
+let granted t = t.granted
+let status_writes t = t.status_writes

@@ -1,0 +1,67 @@
+(** The daemon's telemetry plane: per-campaign {!Obs.Progress} estimators
+    folded into a health state machine, `telemetry` events at every state
+    transition, and an atomically rewritten status file (JSON + a
+    Prometheus text exposition) on a slice cadence.  Optional end to end:
+    a daemon without a [Telemetry.t] pays one option match per slice. *)
+
+(** In decreasing precedence: [Degraded] (fault EWMA above threshold),
+    [Starved] (the scheduler's structural K-1 fairness bound was
+    violated — a watchdog that cannot fire under the correct
+    round-robin), [Stalled] (no new coverage in [stall_slices]
+    consecutive slices), [Healthy]. *)
+type health = Healthy | Stalled | Starved | Degraded
+
+val health_to_string : health -> string
+val health_of_string : string -> (health, string) result
+
+type config = {
+  stall_slices : int;  (** coverage-dry slices before [Stalled] *)
+  fault_threshold : float;  (** faults-per-slice EWMA above this = [Degraded] *)
+  eta_min_slices : int;  (** ETA confidence floor (see {!Obs.Progress}) *)
+  alpha : float;  (** progress EWMA smoothing factor *)
+  status_file : string option;  (** JSON status document; [None] = none *)
+  prom_file : string option;  (** Prometheus exposition; [None] = none *)
+  cadence_slices : int;  (** granted slices between status rewrites *)
+}
+
+(** stall_slices 4, fault_threshold 3.0, eta_min_slices 3, alpha 0.3,
+    no files, cadence 4 (the daemon force-flushes on shutdown, so the
+    final status document is complete at any cadence). *)
+val default_config : config
+
+type t
+
+type transition = { tr_name : string; tr_from : health; tr_to : health }
+
+(** @raise Invalid_argument if [stall_slices] or [cadence_slices] < 1. *)
+val create : config -> t
+
+(** Record one granted slice for campaign [name].  [runnable] is the
+    full set of currently runnable campaign names (the starvation
+    watchdog's K); [done_] marks the campaign finished by this slice
+    (a finished campaign reads [Healthy], not [Stalled]).  Returns the
+    health transitions caused, oldest first — the daemon emits one
+    `telemetry` event per transition. *)
+val observe :
+  t -> name:string -> runnable:string list -> done_:bool -> Obs.Progress.slice -> transition list
+
+val health : t -> string -> health option
+val progress : t -> string -> Obs.Progress.t option
+
+(** The status document: schema tag, granted-slice count, aggregate
+    totals summed from [rows] (paths / errors / instructions / slices),
+    and per-campaign rows — each row is its control-plane summary
+    extended with [health] and [progress] fields. *)
+val status_json : t -> rows:(string * Obs.Json.t) list -> Obs.Json.t
+
+(** Atomically (tmp + rename) rewrite the status file and, when
+    [metrics] is present, the Prometheus exposition. *)
+val write_status :
+  t -> rows:(string * Obs.Json.t) list -> metrics:Obs.Metrics.snapshot option -> unit
+
+(** True once [cadence_slices] slices accumulated since the last
+    [write_status]. *)
+val due : t -> bool
+
+val granted : t -> int
+val status_writes : t -> int

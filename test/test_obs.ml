@@ -25,17 +25,23 @@ let test_json_roundtrip () =
   | Ok _ -> Alcotest.fail "expected a parse error"
 
 (* Printer/parser agreement as a property over arbitrary documents.
-   Numbers stay integer-valued: the printer's %g fallback keeps only 6
-   significant digits for non-integers, so exact round-trip is the
-   integer contract (the one the snapshot and metrics codecs rely on). *)
+   The printer promises exact round-trip for every finite double (it
+   escalates %.15g -> %.16g -> %.17g until re-parsing yields the same
+   bits), so the property quantifies over arbitrary finite floats, not
+   just integers. *)
 let gen_json =
   let open QCheck2.Gen in
+  let finite_float =
+    map
+      (fun f -> if Float.is_finite f then f else 0.5)
+      (oneof [ float; map float_of_int (int_range (-1_000_000_000) 1_000_000_000) ])
+  in
   let leaf =
     oneof
       [
         return J.Null;
         map (fun b -> J.Bool b) bool;
-        map (fun n -> J.Num (float_of_int n)) (int_range (-1_000_000_000) 1_000_000_000);
+        map (fun n -> J.Num n) finite_float;
         map (fun s -> J.Str s) (string_size ~gen:printable (int_bound 16));
       ]
   in
@@ -350,6 +356,41 @@ let test_timeline_deltas_and_reset () =
     Alcotest.(check int) "replay total" 30 t.Obs.Timeline.t_replay
   | _ -> Alcotest.fail "expected one worker"
 
+(* A worker that crashes and rejoins TWICE: each rejoin restarts its
+   engine counters from zero, so the timeline must fold two resets into
+   the running totals without double-counting or losing the pre-crash
+   work. *)
+let test_timeline_double_reset () =
+  let tl = Obs.Timeline.create ~bucket_ticks:10 () in
+  let ob ~tick ~useful ~replay =
+    Obs.Timeline.observe tl ~tick ~worker:0 ~useful ~replay ~idle:0 ~depth:2 ~queries:0
+      ~sat_calls:0
+  in
+  ob ~tick:1 ~useful:100 ~replay:0;
+  ob ~tick:5 ~useful:250 ~replay:20;
+  (* first crash + rejoin: counters restart below their last value *)
+  ob ~tick:8 ~useful:40 ~replay:0;
+  ob ~tick:12 ~useful:90 ~replay:10;
+  (* second crash + rejoin *)
+  ob ~tick:15 ~useful:30 ~replay:0;
+  ob ~tick:18 ~useful:80 ~replay:5;
+  Obs.Timeline.flush tl;
+  (match Obs.Timeline.rows tl with
+  | [ b0; b1 ] ->
+    (* bucket 0: 100 + 150 + 40-after-reset = 290 useful, 20 replay *)
+    Alcotest.(check int) "bucket 0 useful" 290 b0.Obs.Timeline.b_useful;
+    Alcotest.(check int) "bucket 0 replay" 20 b0.Obs.Timeline.b_replay;
+    (* bucket 1: 50 + 30-after-reset + 50 = 130 useful, 10 + 0 + 5 replay *)
+    Alcotest.(check int) "bucket 1 useful" 130 b1.Obs.Timeline.b_useful;
+    Alcotest.(check int) "bucket 1 replay" 15 b1.Obs.Timeline.b_replay
+  | rows -> Alcotest.failf "expected 2 buckets, got %d" (List.length rows));
+  match Obs.Timeline.totals tl with
+  | [ (0, t) ] ->
+    (* both resets reconcile: 290 + 130 and 20 + 15 *)
+    Alcotest.(check int) "useful total spans both resets" 420 t.Obs.Timeline.t_useful;
+    Alcotest.(check int) "replay total spans both resets" 35 t.Obs.Timeline.t_replay
+  | _ -> Alcotest.fail "expected one worker"
+
 (* --- exported samples helper --------------------------------------------------- *)
 
 let sum_counter samples name =
@@ -496,6 +537,185 @@ let test_searcher_names_in_error () =
     (fun name -> ignore (Engine.Searcher.of_name ~rng name))
     Engine.Searcher.names
 
+(* --- progress estimator --------------------------------------------------- *)
+
+let pslice ?(cov = 0.0) ?(useful = 1000) ?(replay = 100) ?(queries = 10)
+    ?(depths = [ 1; 3; 5 ]) ?(crashes = 0) ?(retransmits = 0) () =
+  {
+    Obs.Progress.sl_coverage = cov;
+    sl_useful = useful;
+    sl_replay = replay;
+    sl_solver_queries = queries;
+    sl_frontier_depths = depths;
+    sl_crashes = crashes;
+    sl_retransmits = retransmits;
+  }
+
+let test_progress_eta_confidence () =
+  let module P = Obs.Progress in
+  (match P.create ~alpha:0.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "alpha 0 must be rejected");
+  (match P.create ~alpha:1.5 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "alpha > 1 must be rejected");
+  let p = P.create () in
+  Alcotest.(check (option int)) "no slices -> no ETA" None (P.eta_slices p);
+  (* warm start: the first sample IS the estimate *)
+  P.observe p (pslice ~cov:0.1 ());
+  Alcotest.(check (float 1e-9)) "warm-start velocity" 0.1 (P.coverage_velocity p);
+  Alcotest.(check (option int)) "below confidence floor" None (P.eta_slices p);
+  P.observe p (pslice ~cov:0.2 ());
+  Alcotest.(check (option int)) "still below floor" None (P.eta_slices p);
+  P.observe p (pslice ~cov:0.3 ());
+  (* velocity ~0.1/slice, 0.7 to go -> ~7 slices (float EWMA rounding
+     makes the ceiling land on 7 or 8) *)
+  (match P.eta_slices p with
+  | Some n when n = 7 || n = 8 -> ()
+  | other ->
+    Alcotest.failf "bounded-confidence ETA: expected ~7, got %s"
+      (match other with Some n -> string_of_int n | None -> "None"));
+  (* a dry run decays velocity and counts toward the stall signal *)
+  P.observe p (pslice ~cov:0.3 ());
+  Alcotest.(check int) "since gain" 1 (P.slices_since_gain p);
+  Alcotest.(check bool) "velocity decays" true (P.coverage_velocity p < 0.1);
+  P.observe p (pslice ~cov:1.0 ());
+  Alcotest.(check (option int)) "target reached" (Some 0) (P.eta_slices p);
+  Alcotest.(check int) "gain resets the stall counter" 0 (P.slices_since_gain p);
+  (* zero velocity refuses an ETA even past the confidence floor: the
+     resumed-campaign baseline makes every slice coverage-flat *)
+  let flat = P.create ~initial_coverage:0.5 () in
+  for _ = 1 to 5 do
+    P.observe flat (pslice ~cov:0.5 ())
+  done;
+  Alcotest.(check (option int)) "zero velocity -> no ETA" None (P.eta_slices flat)
+
+let test_progress_signals () =
+  let module P = Obs.Progress in
+  let p = P.create () in
+  P.observe p (pslice ~useful:900 ~replay:100 ~queries:90 ~depths:[ 1; 2; 3; 600 ] ());
+  Alcotest.(check (float 1e-9)) "replay share" 0.1 (P.replay_share p);
+  Alcotest.(check (float 1e-9)) "solver rate" 0.1 (P.solver_rate p);
+  Alcotest.(check int) "frontier size" 4 (P.frontier_size p);
+  Alcotest.(check int) "depth max" 600 (P.depth_max p);
+  Alcotest.(check (float 1e-9)) "depth mean" 151.5 (P.depth_mean p);
+  (* 600 exceeds the last power-of-two bound: it lands in the +inf bucket *)
+  let inf_count =
+    List.fold_left
+      (fun acc (bound, n) -> match bound with None -> acc + n | Some _ -> acc)
+      0 (P.depth_histogram p)
+  in
+  Alcotest.(check int) "+inf bucket" 1 inf_count;
+  (* fault EWMA warm-starts off the first faulty slice *)
+  P.observe p (pslice ~crashes:2 ~retransmits:1 ());
+  Alcotest.(check bool) "fault rate positive" true (P.fault_rate p > 0.0);
+  (* the JSON export parses back *)
+  match J.parse (J.to_string (P.to_json p)) with
+  | Ok (J.Obj fields) ->
+    Alcotest.(check bool) "export has eta" true (List.mem_assoc "eta_slices" fields)
+  | Ok _ -> Alcotest.fail "progress export not an object"
+  | Error e -> Alcotest.failf "progress export unparseable: %s" e
+
+(* --- bench artifact diff --------------------------------------------------- *)
+
+let test_bench_diff_rules () =
+  let module BD = Obs.Bench_diff in
+  let artifact ~paths ~wall ~ok =
+    J.Obj
+      [
+        ("bench", J.Str "x");
+        ("quick", J.Bool false);
+        ("total_paths", J.Num (float_of_int paths));
+        ("wall_s", J.Num wall);
+        ( "rows",
+          J.Arr
+            [
+              J.Obj [ ("tenant", J.Str "a"); ("paths", J.Num 10.0) ];
+              J.Obj [ ("tenant", J.Str "b"); ("paths", J.Num 20.0) ];
+            ] );
+        ("ok", J.Bool ok);
+      ]
+  in
+  let base = artifact ~paths:100 ~wall:1.0 ~ok:true in
+  Alcotest.(check bool) "identical ok" true (BD.ok (BD.compare base base));
+  (* wall-clock keys are environment-dependent: never a regression *)
+  Alcotest.(check bool) "timing drift ignored" true
+    (BD.ok (BD.compare base (artifact ~paths:100 ~wall:9.0 ~ok:true)));
+  (* a "paths" key is exact: any drop is a regression *)
+  Alcotest.(check bool) "path drop flagged" false
+    (BD.ok (BD.compare base (artifact ~paths:99 ~wall:1.0 ~ok:true)));
+  (* an ok gate flipping true -> false is always a regression *)
+  Alcotest.(check bool) "ok flip flagged" false
+    (BD.ok (BD.compare base (artifact ~paths:100 ~wall:1.0 ~ok:false)));
+  (* identity-keyed rows are matched by key, not position *)
+  let swapped =
+    J.Obj
+      [
+        ("bench", J.Str "x");
+        ("quick", J.Bool false);
+        ("total_paths", J.Num 100.0);
+        ("wall_s", J.Num 1.0);
+        ( "rows",
+          J.Arr
+            [
+              J.Obj [ ("tenant", J.Str "b"); ("paths", J.Num 20.0) ];
+              J.Obj [ ("tenant", J.Str "a"); ("paths", J.Num 10.0) ];
+            ] );
+        ("ok", J.Bool true);
+      ]
+  in
+  Alcotest.(check bool) "row order irrelevant" true (BD.ok (BD.compare base swapped));
+  (* cross-variant comparison (full vs quick) only judges the ok gates *)
+  let quick_variant =
+    match artifact ~paths:37 ~wall:0.1 ~ok:true with
+    | J.Obj fields ->
+      J.Obj (List.map (function "quick", _ -> ("quick", J.Bool true) | kv -> kv) fields)
+    | v -> v
+  in
+  Alcotest.(check bool) "variant mismatch: numbers are notes" true
+    (BD.ok (BD.compare base quick_variant));
+  let quick_bad =
+    match quick_variant with
+    | J.Obj fields ->
+      J.Obj (List.map (function "ok", _ -> ("ok", J.Bool false) | kv -> kv) fields)
+    | v -> v
+  in
+  Alcotest.(check bool) "variant mismatch: ok flip still flagged" false
+    (BD.ok (BD.compare base quick_bad))
+
+(* --- prometheus exposition ------------------------------------------------- *)
+
+let test_prometheus_exposition () =
+  let reg = M.create () in
+  M.add (M.counter reg "c9_paths" ~labels:[ ("tenant", "a") ]) 7;
+  M.set (M.gauge reg "c9_frac") 0.5;
+  let h = M.histogram reg "c9_lat" ~buckets:[| 1.0; 2.0 |] in
+  M.observe h 0.5;
+  M.observe h 1.5;
+  M.observe h 99.0;
+  let buf = Buffer.create 256 in
+  M.write_prometheus buf (M.snapshot reg);
+  let text = Buffer.contents buf in
+  let has s =
+    let n = String.length s and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = s || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun line -> Alcotest.(check bool) line true (has line))
+    [
+      "# TYPE c9_paths counter";
+      "c9_paths{tenant=\"a\"} 7";
+      "# TYPE c9_frac gauge";
+      "c9_frac 0.5";
+      "# TYPE c9_lat histogram";
+      "c9_lat_bucket{le=\"1\"} 1";
+      (* cumulative: the le="2" bucket includes the le="1" observation *)
+      "c9_lat_bucket{le=\"2\"} 2";
+      "c9_lat_bucket{le=\"+Inf\"} 3";
+      "c9_lat_count 3";
+    ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -522,7 +742,11 @@ let () =
           Alcotest.test_case "ring bound" `Quick test_trace_ring_bound;
           Alcotest.test_case "spill" `Quick test_trace_spill;
         ] );
-      ("timeline", [ Alcotest.test_case "deltas + reset" `Quick test_timeline_deltas_and_reset ]);
+      ( "timeline",
+        [
+          Alcotest.test_case "deltas + reset" `Quick test_timeline_deltas_and_reset;
+          Alcotest.test_case "double crash/rejoin reconciles" `Quick test_timeline_double_reset;
+        ] );
       ( "integration",
         [
           Alcotest.test_case "local run reconciles" `Quick test_local_run_reconciles;
@@ -532,4 +756,11 @@ let () =
           Alcotest.test_case "report parse errors" `Quick test_report_parse_errors;
         ] );
       ("searcher", [ Alcotest.test_case "names in error" `Quick test_searcher_names_in_error ]);
+      ( "progress",
+        [
+          Alcotest.test_case "bounded-confidence ETA" `Quick test_progress_eta_confidence;
+          Alcotest.test_case "rate + histogram signals" `Quick test_progress_signals;
+        ] );
+      ("bench diff", [ Alcotest.test_case "rules" `Quick test_bench_diff_rules ]);
+      ("prometheus", [ Alcotest.test_case "text exposition" `Quick test_prometheus_exposition ]);
     ]

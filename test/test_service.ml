@@ -60,15 +60,20 @@ let test_path_parse_errors () =
 (* --- json printer/parser property (satellite a lives in test_obs too) -- *)
 
 let gen_json =
-  (* integer-valued numbers only: the printer's %g fallback is lossy for
-     non-integers, so exact round-trip is the integer contract *)
+  (* the printer guarantees exact round-trip for every finite double, so
+     the property covers arbitrary finite floats *)
   let open QCheck2.Gen in
+  let finite_float =
+    map
+      (fun f -> if Float.is_finite f then f else 0.25)
+      (oneof [ float; map float_of_int (int_range (-1_000_000) 1_000_000) ])
+  in
   let leaf =
     oneof
       [
         return J.Null;
         map (fun b -> J.Bool b) bool;
-        map (fun n -> J.Num (float_of_int n)) (int_range (-1_000_000) 1_000_000);
+        map (fun n -> J.Num n) finite_float;
         map (fun s -> J.Str s) (string_size ~gen:printable (int_bound 12));
       ]
   in
@@ -513,6 +518,171 @@ let test_multi_tenant_progress () =
     [ "a"; "b"; "c" ];
   if Sys.file_exists state then Sys.remove state
 
+(* --- telemetry health machine ------------------------------------------- *)
+
+module T = Service.Telemetry
+
+let tslice ?(cov = 0.0) ?(crashes = 0) ?(retransmits = 0) () =
+  {
+    Obs.Progress.sl_coverage = cov;
+    sl_useful = 1000;
+    sl_replay = 100;
+    sl_solver_queries = 10;
+    sl_frontier_depths = [ 1; 3; 5 ];
+    sl_crashes = crashes;
+    sl_retransmits = retransmits;
+  }
+
+let test_telemetry_validation () =
+  (match T.create { T.default_config with T.stall_slices = 0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stall_slices 0 must be rejected");
+  match T.create { T.default_config with T.cadence_slices = 0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cadence_slices 0 must be rejected"
+
+let test_telemetry_stall_transitions () =
+  let t = T.create T.default_config in
+  let ob ?cov ?(done_ = false) () =
+    T.observe t ~name:"c" ~runnable:[ "c" ] ~done_ (tslice ?cov ())
+  in
+  Alcotest.(check (list unit)) "first grant: no transitions" []
+    (List.map (fun _ -> ()) (ob ~cov:0.1 ()));
+  Alcotest.(check bool) "healthy while gaining" true (T.health t "c" = Some T.Healthy);
+  (* exactly stall_slices dry grants flip it, and only the flipping
+     grant reports a transition *)
+  let k = T.default_config.T.stall_slices in
+  let trs = List.concat (List.init k (fun _ -> ob ~cov:0.1 ())) in
+  (match trs with
+  | [ { T.tr_name = "c"; tr_from = T.Healthy; tr_to = T.Stalled } ] -> ()
+  | l -> Alcotest.failf "expected one healthy->stalled transition, got %d" (List.length l));
+  Alcotest.(check bool) "stalled" true (T.health t "c" = Some T.Stalled);
+  (* a new coverage gain recovers it *)
+  (match ob ~cov:0.2 () with
+  | [ { T.tr_from = T.Stalled; tr_to = T.Healthy; _ } ] -> ()
+  | l -> Alcotest.failf "expected one stalled->healthy transition, got %d" (List.length l));
+  (* a finished campaign is done, not stalled, no matter how dry *)
+  for _ = 1 to k + 1 do
+    ignore (ob ~cov:0.2 ~done_:true ())
+  done;
+  Alcotest.(check bool) "done reads healthy" true (T.health t "c" = Some T.Healthy)
+
+let test_telemetry_degraded_precedence () =
+  let t = T.create T.default_config in
+  (* dry AND faulty slices: the fault EWMA above threshold must win over
+     the stall signal *)
+  for _ = 1 to T.default_config.T.stall_slices + 1 do
+    ignore (T.observe t ~name:"c" ~runnable:[ "c" ] ~done_:false (tslice ~crashes:5 ~retransmits:2 ()))
+  done;
+  Alcotest.(check bool) "degraded beats stalled" true (T.health t "c" = Some T.Degraded)
+
+let test_telemetry_starvation_watchdog () =
+  let t = T.create T.default_config in
+  let runnable = [ "a"; "b" ] in
+  ignore (T.observe t ~name:"a" ~runnable ~done_:false (tslice ~cov:0.1 ()));
+  (* grant only b: with K = 2 runnable campaigns, a's gap exceeds K on
+     the third consecutive b-grant *)
+  let trs =
+    List.concat
+      (List.init 3 (fun i ->
+           T.observe t ~name:"b" ~runnable ~done_:false (tslice ~cov:(0.1 +. (0.1 *. float_of_int i)) ())))
+  in
+  (match List.filter (fun tr -> tr.T.tr_name = "a") trs with
+  | [ { T.tr_from = T.Healthy; tr_to = T.Starved; _ } ] -> ()
+  | l -> Alcotest.failf "expected one a:healthy->starved transition, got %d" (List.length l));
+  Alcotest.(check bool) "a starved" true (T.health t "a" = Some T.Starved);
+  (* a campaign never granted a slice has no entry and is never judged *)
+  Alcotest.(check (option unit)) "unknown name unjudged" None
+    (Option.map (fun _ -> ()) (T.health t "ghost"))
+
+let test_telemetry_status_file () =
+  let t = T.create { T.default_config with T.cadence_slices = 2;
+                     status_file = Some (Filename.temp_file "tele" ".status.json") } in
+  Alcotest.(check bool) "not due at creation" false (T.due t);
+  ignore (T.observe t ~name:"c" ~runnable:[ "c" ] ~done_:false (tslice ~cov:0.1 ()));
+  Alcotest.(check bool) "not due after one slice" false (T.due t);
+  ignore (T.observe t ~name:"c" ~runnable:[ "c" ] ~done_:false (tslice ~cov:0.2 ()));
+  Alcotest.(check bool) "due at the cadence" true (T.due t);
+  let rows =
+    [
+      ( "c",
+        J.Obj
+          [
+            ("name", J.Str "c");
+            ("paths", J.Num 40.0);
+            ("errors", J.Num 2.0);
+            ("instructions", J.Num 2000.0);
+            ("slices", J.Num 2.0);
+          ] );
+    ]
+  in
+  T.write_status t ~rows ~metrics:None;
+  Alcotest.(check bool) "write resets the cadence clock" false (T.due t);
+  (* read the document back through the public parser *)
+  let file = Filename.temp_file "tele2" ".status.json" in
+  let t2 = T.create { T.default_config with T.status_file = Some file } in
+  ignore (T.observe t2 ~name:"c" ~runnable:[ "c" ] ~done_:false (tslice ~cov:0.1 ()));
+  T.write_status t2 ~rows ~metrics:None;
+  let ic = open_in_bin file in
+  let doc =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove file;
+  match J.parse (String.trim doc) with
+  | Error e -> Alcotest.failf "status file unparseable: %s" e
+  | Ok j ->
+    Alcotest.(check (option string)) "schema" (Some "cloud9-status/1")
+      (Option.bind (J.member "schema" j) J.to_str);
+    (match Option.bind (J.member "totals" j) (fun tt -> J.member "paths" tt) with
+    | Some (J.Num f) -> Alcotest.(check int) "totals sum rows" 40 (int_of_float f)
+    | _ -> Alcotest.fail "totals.paths missing");
+    (match Option.bind (J.member "campaigns" j) J.to_list with
+    | Some [ row ] ->
+      Alcotest.(check (option string)) "row health" (Some "healthy")
+        (Option.bind (J.member "health" row) J.to_str);
+      Alcotest.(check bool) "row progress embedded" true (J.member "progress" row <> None)
+    | _ -> Alcotest.fail "expected one campaign row")
+
+(* --- report CLI: missing files and --diff ------------------------------- *)
+
+let test_report_cli () =
+  let exe = "../bin/cloud9.exe" in
+  if Sys.file_exists exe then begin
+    let run args =
+      Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" exe (String.concat " " args))
+    in
+    (* a missing metrics file is a clear non-zero failure, not a crash *)
+    Alcotest.(check bool) "missing file rejected" true
+      (run [ "report"; "/nonexistent/metrics.jsonl" ] <> 0);
+    (* an empty (truncated) file is rejected too *)
+    let empty = Filename.temp_file "report" ".jsonl" in
+    Alcotest.(check bool) "empty file rejected" true (run [ "report"; empty ] <> 0);
+    Sys.remove empty;
+    (* --diff: identical artifacts exit 0, a seeded regression exits 1 *)
+    let artifact ~ok =
+      J.Obj [ ("bench", J.Str "t"); ("paths", J.Num 5.0); ("ok", J.Bool ok) ]
+    in
+    let write v =
+      let f = Filename.temp_file "artifact" ".json" in
+      let oc = open_out f in
+      output_string oc (J.to_string v);
+      close_out oc;
+      f
+    in
+    let a = write (artifact ~ok:true) in
+    let b = write (artifact ~ok:false) in
+    Alcotest.(check int) "identical diff exits 0" 0 (run [ "report"; "--diff"; a; a ]);
+    Alcotest.(check bool) "seeded regression exits non-zero" true
+      (run [ "report"; "--diff"; a; b ] <> 0);
+    (* --diff against a missing artifact is a clear failure *)
+    Alcotest.(check bool) "diff with missing file rejected" true
+      (run [ "report"; "--diff"; a; "/nonexistent/b.json" ] <> 0);
+    Sys.remove a;
+    Sys.remove b
+  end
+
 let () =
   Alcotest.run "service"
     [
@@ -548,4 +718,13 @@ let () =
             test_checkpoint_kill_restore_differential;
         ] );
       ("fairness", [ Alcotest.test_case "multi-tenant progress" `Quick test_multi_tenant_progress ]);
+      ( "telemetry",
+        [
+          Alcotest.test_case "config validation" `Quick test_telemetry_validation;
+          Alcotest.test_case "stall transitions" `Quick test_telemetry_stall_transitions;
+          Alcotest.test_case "degraded precedence" `Quick test_telemetry_degraded_precedence;
+          Alcotest.test_case "starvation watchdog" `Quick test_telemetry_starvation_watchdog;
+          Alcotest.test_case "status file" `Quick test_telemetry_status_file;
+        ] );
+      ("report cli", [ Alcotest.test_case "missing files + --diff" `Quick test_report_cli ]);
     ]
